@@ -1,0 +1,198 @@
+//! The paper's algorithmic claims as scaling benches:
+//!
+//! * Theorem 5.2 — Algorithm 1 is PTIME for fixed query arity and
+//!   exponential in the arity (`exhaustive/concepts` vs
+//!   `exhaustive/arity`).
+//! * Theorem 5.1(2) — EXISTENCE-OF-EXPLANATION is NP-complete: the SET
+//!   COVER family grows combinatorially (`existence/hard`), easy
+//!   instances stay flat (`existence/easy`).
+//! * Theorem 5.3 — Algorithm 2 is PTIME in selection-free `LS`
+//!   (`incremental/selection_free`).
+//! * Theorem 5.4 / Lemma 5.2 — `lubσ` is PTIME for bounded arity and
+//!   explodes with the arity (`lub/rows` vs `lub/arity`).
+//! * §5.2 discussion — materialize-then-exhaust vs incremental search on
+//!   `OI` (`exhaustive_vs_incremental`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+use whynot_concepts::{lub_sigma, LsConcept};
+use whynot_core::setcover::{hard_family, reduce_set_cover, SetCover};
+use whynot_core::{
+    exhaustive_search, find_explanation, incremental_search,
+    incremental_search_with_selections, min_fragment_concepts, InstanceOntology,
+    MaterializedOntology,
+};
+use whynot_relation::{Instance, SchemaBuilder, Value};
+use whynot_scenarios::generators::{city_network, random_instance, random_ontology, random_whynot};
+
+/// Theorem 5.2, fixed arity: scaling the concept count is polynomial.
+fn bench_exhaustive_concepts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms/exhaustive_concepts");
+    for &leaves in &[4usize, 8, 16, 32] {
+        let o = random_ontology(leaves, 3, 60, 11);
+        let (o2, wn) = random_whynot(&o, 2, 60, 15, 11);
+        group.bench_with_input(BenchmarkId::new("m2", leaves), &leaves, |bench, _| {
+            bench.iter(|| exhaustive_search(&o2, black_box(&wn)))
+        });
+    }
+    group.finish();
+}
+
+/// Theorem 5.2, growing arity: the candidate product is |C|^m.
+fn bench_exhaustive_arity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms/exhaustive_arity");
+    let o = random_ontology(6, 2, 40, 13);
+    for &m in &[1usize, 2, 3, 4] {
+        let (o2, wn) = random_whynot(&o, m, 40, 10, 13);
+        group.bench_with_input(BenchmarkId::new("arity", m), &m, |bench, _| {
+            bench.iter(|| exhaustive_search(&o2, black_box(&wn)))
+        });
+    }
+    group.finish();
+}
+
+/// Theorem 5.1(2): the SET COVER hardness family vs an easy family.
+fn bench_existence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms/existence");
+    for &n in &[6usize, 8, 10, 12] {
+        // Hard: budget-2 windows — the search must consider many pairs.
+        let sc = hard_family(n, 2);
+        let (o, wn) = reduce_set_cover(&sc);
+        group.bench_with_input(BenchmarkId::new("hard", n), &n, |bench, _| {
+            bench.iter(|| find_explanation(&o, black_box(&wn)))
+        });
+        // Easy: one covering set — found immediately.
+        let sc = SetCover { universe: n, sets: vec![(0..n).collect()], budget: 2 };
+        let (o, wn) = reduce_set_cover(&sc);
+        group.bench_with_input(BenchmarkId::new("easy", n), &n, |bench, _| {
+            bench.iter(|| find_explanation(&o, black_box(&wn)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Theorem 5.3: Algorithm 2 scales polynomially with the active domain.
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms/incremental");
+    for &n in &[16usize, 32, 64, 128] {
+        let net = city_network(n, 4, 5);
+        group.bench_with_input(BenchmarkId::new("selection_free", n), &n, |bench, _| {
+            bench.iter(|| incremental_search(black_box(&net.why_not)))
+        });
+    }
+    // The σ-variant on a smaller sweep (Lemma 5.2's lub is heavier).
+    for &n in &[16usize, 32] {
+        let net = city_network(n, 4, 5);
+        group.bench_with_input(BenchmarkId::new("with_selections", n), &n, |bench, _| {
+            bench.iter(|| incremental_search_with_selections(black_box(&net.why_not)))
+        });
+    }
+    group.finish();
+}
+
+/// Lemma 5.2: `lubσ` per-call cost — polynomial in rows at fixed arity,
+/// exploding as the arity grows.
+fn bench_lub_sigma(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms/lub_sigma");
+    // Rows sweep at arity 2. The support values must occur in the
+    // projected column, or the lub is trivially ⊤/nominal-only.
+    for &rows in &[20usize, 40, 80] {
+        let mut b = SchemaBuilder::new();
+        let r = b.relation_arity("R", 2);
+        let schema = b.finish().unwrap();
+        let inst = random_instance(&schema, rows, 50, 17);
+        let support: BTreeSet<Value> = pick_support(&inst, r, 3);
+        group.bench_with_input(BenchmarkId::new("rows_arity2", rows), &rows, |bench, _| {
+            bench.iter(|| lub_sigma(&schema, black_box(&inst), &support))
+        });
+    }
+    // Arity sweep at fixed rows (same seed so the data density matches).
+    for &arity in &[1usize, 2, 3] {
+        let mut b = SchemaBuilder::new();
+        let r = b.relation_arity("R", arity);
+        let schema = b.finish().unwrap();
+        let inst = random_instance(&schema, 25, 40, 17);
+        let support: BTreeSet<Value> = pick_support(&inst, r, 3);
+        group.bench_with_input(BenchmarkId::new("arity_rows25", arity), &arity, |bench, _| {
+            bench.iter(|| lub_sigma(&schema, black_box(&inst), &support))
+        });
+    }
+    group.finish();
+}
+
+/// Support values drawn from the relation's first column, so every lub
+/// call does real bounding-box work.
+fn pick_support(inst: &Instance, rel: whynot_relation::RelId, k: usize) -> BTreeSet<Value> {
+    inst.column(rel, 0).into_iter().take(k).collect()
+}
+
+/// §5.2: materializing `OI[K]`'s min fragment and running Algorithm 1 vs
+/// running Algorithm 2 directly. Incremental wins as the domain grows.
+fn bench_exhaustive_vs_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms/exhaustive_vs_incremental");
+    for &n in &[16usize, 32, 64] {
+        let net = city_network(n, 4, 23);
+        let wn = &net.why_not;
+        group.bench_with_input(BenchmarkId::new("materialize_exhaust", n), &n, |bench, _| {
+            bench.iter(|| {
+                let oi = InstanceOntology::new(wn.schema.clone(), wn.instance.clone());
+                let k = wn.restriction_constants();
+                let mat =
+                    MaterializedOntology::new(&oi, min_fragment_concepts(&wn.schema, &k));
+                exhaustive_search(&mat, black_box(wn))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |bench, _| {
+            bench.iter(|| incremental_search(black_box(wn)))
+        });
+    }
+    group.finish();
+}
+
+/// CHECK-MGE via the Proposition 5.2 probes (PTIME, selection-free).
+fn bench_check_mge(c: &mut Criterion) {
+    use whynot_core::{check_mge_instance, LubKind};
+    let mut group = c.benchmark_group("algorithms/check_mge");
+    for &n in &[16usize, 32, 64] {
+        let net = city_network(n, 4, 29);
+        let e = incremental_search(&net.why_not);
+        group.bench_with_input(BenchmarkId::new("instance", n), &n, |bench, _| {
+            bench.iter(|| {
+                assert!(check_mge_instance(
+                    black_box(&net.why_not),
+                    &e,
+                    LubKind::SelectionFree
+                ));
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A sanity anchor: the trivial nominal explanation always validates in
+/// near-constant time regardless of scale.
+fn bench_trivial_explanation(c: &mut Criterion) {
+    use whynot_core::{is_explanation, Explanation};
+    let mut group = c.benchmark_group("algorithms/trivial_explanation");
+    for &n in &[32usize, 128] {
+        let net = city_network(n, 4, 31);
+        let oi = InstanceOntology::new(net.why_not.schema.clone(), net.why_not.instance.clone());
+        let trivial = Explanation::new(
+            net.why_not.tuple.iter().map(|v| LsConcept::nominal(v.clone())),
+        );
+        group.bench_with_input(BenchmarkId::new("nominals", n), &n, |bench, _| {
+            bench.iter(|| assert!(is_explanation(&oi, black_box(&net.why_not), &trivial)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = whynot_bench::quick();
+    targets = bench_exhaustive_concepts, bench_exhaustive_arity, bench_existence,
+        bench_incremental, bench_lub_sigma, bench_exhaustive_vs_incremental,
+        bench_check_mge, bench_trivial_explanation
+}
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Figures 1–5 as benchmarks: the cost of regenerating each printed
+//! artifact, plus instance-scaled versions of the same pipelines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use whynot_core::{exhaustive_search, Ontology};
+use whynot_dllite::BasicConcept;
+use whynot_relation::{materialize_views, Instance, Value};
+use whynot_scenarios::paper;
+
+/// Figure 2: materializing the three views (BigCity, EuropeanCountry,
+/// Reachable) over the printed instance and over scaled synthetic ones.
+fn bench_fig2_views(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig2_views");
+    let (schema, rels) = paper::figure_1_schema();
+    let base = paper::figure_2_base(rels.cities, rels.tc);
+    group.bench_function("paper_instance", |bench| {
+        bench.iter(|| materialize_views(&schema, black_box(&base)).unwrap())
+    });
+    for &n in &[50usize, 100, 200] {
+        // A synthetic enlargement preserving the constraints: n cities in
+        // a line of train connections; FD-safe country/continent columns.
+        let mut big = Instance::new();
+        for i in 0..n {
+            big.insert(
+                rels.cities,
+                vec![
+                    Value::str(format!("c{i:04}")),
+                    Value::int((i as i64) * 100_000),
+                    Value::str(format!("country{}", i / 5)),
+                    Value::str(format!("continent{}", (i / 5) % 3)),
+                ],
+            );
+        }
+        for i in 0..n.saturating_sub(1) {
+            big.insert(
+                rels.tc,
+                vec![Value::str(format!("c{i:04}")), Value::str(format!("c{:04}", i + 1))],
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("scaled", n), &n, |bench, _| {
+            bench.iter(|| materialize_views(&schema, black_box(&big)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Figure 3 + Example 3.4: Algorithm 1 over the external ontology.
+fn bench_fig3_exhaustive(c: &mut Criterion) {
+    let sc = paper::example_3_4();
+    c.benchmark_group("figures/fig3_exhaustive")
+        .bench_function("example_3_4", |bench| {
+            bench.iter(|| {
+                let mges = exhaustive_search(&sc.ontology, black_box(&sc.why_not));
+                assert_eq!(mges.len(), 2);
+                mges
+            })
+        });
+}
+
+/// Figure 4 + Example 4.5: certain-extension computation and the full
+/// MGE pipeline over the OBDA-induced ontology.
+fn bench_fig4_obda(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig4_obda");
+    let sc = paper::example_4_5();
+    let city = BasicConcept::atomic("City");
+    group.bench_function("certain_extension_city", |bench| {
+        bench.iter(|| sc.ontology.extension(black_box(&city), &sc.why_not.instance))
+    });
+    group.bench_function("example_4_5_mges", |bench| {
+        bench.iter(|| {
+            let mges = exhaustive_search(&sc.ontology, black_box(&sc.why_not));
+            assert_eq!(mges.len(), 2);
+            mges
+        })
+    });
+    group.finish();
+}
+
+/// Figure 5 / Example 4.7: evaluating the listed `LS` concepts.
+fn bench_fig5_ls_eval(c: &mut Criterion) {
+    let (_, rels, inst) = paper::figure_2_instance();
+    let concepts = paper::figure_5_concepts(&rels);
+    let all = [
+        &concepts.city,
+        &concepts.european_city,
+        &concepts.na_city,
+        &concepts.large_city,
+        &concepts.big_city,
+        &concepts.santa_cruz,
+        &concepts.small_reachable_from_amsterdam,
+    ];
+    c.benchmark_group("figures/fig5_ls_eval")
+        .bench_function("all_seven_concepts", |bench| {
+            bench.iter(|| {
+                all.iter()
+                    .map(|concept| concept.extension(black_box(&inst)))
+                    .collect::<Vec<_>>()
+            })
+        });
+}
+
+criterion_group! {
+    name = benches;
+    config = whynot_bench::quick();
+    targets = bench_fig2_views, bench_fig3_exhaustive, bench_fig4_obda, bench_fig5_ls_eval
+}
+criterion_main!(benches);

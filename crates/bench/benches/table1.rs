@@ -1,0 +1,269 @@
+//! Table 1 — complexity of concept subsumption `⊑S`, one benchmark group
+//! per row. The paper's claims and what each group shows:
+//!
+//! * `fd`      — FDs: PTIME. Smooth polynomial growth in schema arity and
+//!   FD count.
+//! * `id`      — IDs (selection-free): PTIME. Linear-ish growth in the
+//!   position-path length.
+//! * `ucq`     — UCQ views, no comparisons: NP-complete. The containment
+//!   core (canonical DB + evaluation) grows with query size; the
+//!   mismatched-direction family forces exhaustive homomorphism search.
+//! * `ucq_cmp` — UCQ views with comparisons: ΠP2-complete. Region case
+//!   analysis is exponential in the number of compared variables.
+//! * `nested`  — nested UCQ views: coNEXPTIME-complete. Branching stacks
+//!   double the unfolding per level; linear stacks stay polynomial.
+//! * `fd_id`   — FDs + IDs: undecidable. The bounded chase's cost grows
+//!   with the round budget on cyclic inputs and reports `Unknown`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use whynot_concepts::{LsConcept, Selection};
+use whynot_relation::{
+    Atom, CmpOp, Comparison, Cq, Fd, Ind, SchemaBuilder, Term, Ucq, Value, Var, ViewDef,
+};
+use whynot_scenarios::generators::{banded_views, id_chain, view_stack};
+use whynot_subsumption::{
+    subsumed_bounded, subsumed_schema, subsumed_under_fds, subsumed_under_inds,
+    subsumed_under_views, ChaseLimits,
+};
+
+/// Row "FDs in PTIME": chase-based decision under growing FD chains.
+fn bench_fd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/fd");
+    for &arity in &[3usize, 6, 9, 12] {
+        // R(a0..a_{arity-1}) with the FD chain a0→a1, a1→a2, …
+        let mut b = SchemaBuilder::new();
+        let r = b.relation_arity("R", arity);
+        for i in 0..arity - 1 {
+            b.add_fd(Fd::new(r, [i], [i + 1]));
+        }
+        let schema = b.finish().unwrap();
+        // Two conjuncts sharing the key column force chase merges along
+        // the chain; the target asks for the merged band.
+        let c1 = LsConcept::proj_sel(r, 0, Selection::new([(arity - 1, CmpOp::Le, Value::int(9))]))
+            .and(&LsConcept::proj_sel(r, 0, Selection::new([(arity - 1, CmpOp::Ge, Value::int(1))])));
+        let c2 = LsConcept::proj_sel(
+            r,
+            0,
+            Selection::new([(arity - 1, CmpOp::Ge, Value::int(1)), (arity - 1, CmpOp::Le, Value::int(9))]),
+        );
+        group.bench_with_input(BenchmarkId::new("chain", arity), &arity, |bench, _| {
+            bench.iter(|| {
+                let out = subsumed_under_fds(&schema, black_box(&c1), black_box(&c2));
+                assert!(out.holds());
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Row "IDs: PTIME for selection-free LS": position-graph reachability
+/// over chains of growing length.
+fn bench_id(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/id");
+    for &len in &[4usize, 8, 16, 32] {
+        let (schema, rels) = id_chain(len);
+        let c1 = LsConcept::proj(rels[0], 0);
+        let c2 = LsConcept::proj(*rels.last().unwrap(), 0);
+        group.bench_with_input(BenchmarkId::new("chain", len), &len, |bench, _| {
+            bench.iter(|| {
+                let out = subsumed_under_inds(&schema, black_box(&c1), black_box(&c2));
+                assert!(out.holds());
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Row "UCQ views (no comparisons): NP-complete": containment via frozen
+/// canonical databases. The failing direction must exhaust the
+/// homomorphism search.
+fn bench_ucq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/ucq");
+    for &n in &[2usize, 4, 6, 8] {
+        // Flat views: P = n-path over E, plus the reversed path Q.
+        let mut b = SchemaBuilder::new();
+        let e = b.relation("E", ["x", "y"]);
+        let p = b.relation("P", ["x", "y"]);
+        let q = b.relation("Q", ["x", "y"]);
+        let path = |rel, n: usize, reversed: bool| {
+            let atoms: Vec<Atom> = (0..n)
+                .map(|i| {
+                    let (a, bb) = (Var(i as u32), Var(i as u32 + 1));
+                    if reversed {
+                        Atom::new(rel, [Term::Var(bb), Term::Var(a)])
+                    } else {
+                        Atom::new(rel, [Term::Var(a), Term::Var(bb)])
+                    }
+                })
+                .collect();
+            Cq::new([Term::Var(Var(0)), Term::Var(Var(n as u32))], atoms, [])
+        };
+        b.add_view(ViewDef::new(p, Ucq::single(path(e, n, false))));
+        b.add_view(ViewDef::new(q, Ucq::single(path(e, n, true))));
+        let schema = b.finish().unwrap();
+        let holds = (LsConcept::proj(p, 0), LsConcept::proj(e, 0));
+        let fails = (LsConcept::proj(p, 0), LsConcept::proj(q, 1));
+        group.bench_with_input(BenchmarkId::new("path_holds", n), &n, |bench, _| {
+            bench.iter(|| subsumed_under_views(&schema, black_box(&holds.0), black_box(&holds.1)))
+        });
+        group.bench_with_input(BenchmarkId::new("path_fails", n), &n, |bench, _| {
+            bench.iter(|| subsumed_under_views(&schema, black_box(&fails.0), black_box(&fails.1)))
+        });
+    }
+    group.finish();
+}
+
+/// Row "UCQ views (with comparisons): ΠP2-complete": region case analysis
+/// blows up with the number of compared variables.
+fn bench_ucq_cmp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/ucq_cmp");
+    for &bands in &[1usize, 2, 3, 4] {
+        let (schema, m, views) = banded_views(bands);
+        // Concept: a conjunction of `bands` selected projections of
+        // Measure — each conjunct adds a compared variable to the
+        // concept-query. Target: the union of the band views is NOT
+        // entailed (the conjunct bands pairwise intersect only at edges),
+        // so the decider must sweep the whole region space.
+        let mut conjuncts = Vec::new();
+        for k in 0..bands {
+            let lo = (k * 100) as i64;
+            conjuncts.push(LsConcept::proj_sel(
+                m,
+                0,
+                Selection::new([(1, CmpOp::Ge, Value::int(lo))]),
+            ));
+        }
+        let c1 = LsConcept::conj(conjuncts);
+        let c2 = LsConcept::proj(views[0], 0);
+        group.bench_with_input(BenchmarkId::new("bands", bands), &bands, |bench, _| {
+            bench.iter(|| subsumed_under_views(&schema, black_box(&c1), black_box(&c2)))
+        });
+    }
+    group.finish();
+}
+
+/// Rows "nested / linearly nested UCQ views": the unfolding size is the
+/// story — 2^depth for branching stacks, linear for linear ones.
+fn bench_nested(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/nested");
+    for &depth in &[2usize, 3, 4, 5] {
+        for (label, linear) in [("branching", false), ("linear", true)] {
+            let (schema, e, views) = view_stack(depth, linear);
+            let c1 = LsConcept::proj(*views.last().unwrap(), 0);
+            let c2 = LsConcept::proj(e, 0);
+            group.bench_with_input(
+                BenchmarkId::new(label, depth),
+                &depth,
+                |bench, _| {
+                    bench.iter(|| {
+                        let out =
+                            subsumed_under_views(&schema, black_box(&c1), black_box(&c2));
+                        assert!(out.holds());
+                        out
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Row "IDs + FDs: undecidable": the bounded chase spends its round
+/// budget on a cyclic input and honestly answers Unknown; cost grows with
+/// the budget.
+fn bench_fd_id(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/fd_id");
+    let mut b = SchemaBuilder::new();
+    let r = b.relation("R", ["a", "b"]);
+    let t = b.relation("T", ["u"]);
+    b.add_fd(Fd::new(r, [0], [1]));
+    b.add_ind(Ind::new(r, [1], r, [0])); // cyclic: the chase never ends
+    let schema = b.finish().unwrap();
+    let c1 = LsConcept::proj(r, 0);
+    let c2 = LsConcept::proj(t, 0);
+    for &rounds in &[4usize, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("cyclic_rounds", rounds), &rounds, |bench, _| {
+            bench.iter(|| {
+                let out = subsumed_bounded(
+                    &schema,
+                    black_box(&c1),
+                    black_box(&c2),
+                    ChaseLimits { max_rounds: rounds, max_atoms: 1 << 14 },
+                );
+                assert!(out.unknown());
+                out
+            })
+        });
+    }
+    // The decidable sub-pattern by contrast: acyclic FD+ID, answered fast.
+    let mut b = SchemaBuilder::new();
+    let r = b.relation("R", ["a", "b"]);
+    let t = b.relation("T", ["u"]);
+    b.add_fd(Fd::new(r, [0], [1]));
+    b.add_ind(Ind::new(r, [0], t, [0]));
+    let schema = b.finish().unwrap();
+    let c1 = LsConcept::proj(r, 0);
+    let c2 = LsConcept::proj(t, 0);
+    group.bench_function("acyclic", |bench| {
+        bench.iter(|| {
+            let out = subsumed_schema(&schema, black_box(&c1), black_box(&c2));
+            assert!(out.holds());
+            out
+        })
+    });
+    group.finish();
+}
+
+/// Comparison-region scaling inside the containment core (the ΠP2
+/// engine): contained query with `k` compared variables against a
+/// two-disjunct container.
+fn bench_region_core(c: &mut Criterion) {
+    use whynot_subsumption::cq_contained_in_ucq;
+    let mut group = c.benchmark_group("table1/region_core");
+    for &k in &[1usize, 2, 3, 4] {
+        let mut b = SchemaBuilder::new();
+        let e = b.relation_arity("E", k + 1);
+        let _schema = b.finish().unwrap();
+        // φ(x0) ← E(x0,…,xk) ∧ ⋀ x_i ≥ i·10
+        let mut comparisons = Vec::new();
+        for i in 1..=k {
+            comparisons.push(Comparison::new(Var(i as u32), CmpOp::Ge, Value::int(10 * i as i64)));
+        }
+        let phi = Cq::new(
+            [Term::Var(Var(0))],
+            [Atom::new(e, (0..=k).map(|i| Term::Var(Var(i as u32))).collect::<Vec<_>>())],
+            comparisons,
+        );
+        // Container: same atom with one weaker and one incomparable band.
+        let q = Ucq::new([
+            Cq::new(
+                [Term::Var(Var(0))],
+                [Atom::new(e, (0..=k).map(|i| Term::Var(Var(i as u32))).collect::<Vec<_>>())],
+                vec![Comparison::new(Var(1), CmpOp::Ge, Value::int(5))],
+            ),
+            Cq::new(
+                [Term::Var(Var(0))],
+                [Atom::new(e, (0..=k).map(|i| Term::Var(Var(i as u32))).collect::<Vec<_>>())],
+                vec![Comparison::new(Var(1), CmpOp::Lt, Value::int(5))],
+            ),
+        ]);
+        group.bench_with_input(BenchmarkId::new("vars", k), &k, |bench, _| {
+            bench.iter(|| {
+                let out = cq_contained_in_ucq(black_box(&phi), black_box(&q));
+                assert!(out.contained());
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = whynot_bench::quick();
+    targets = bench_fd, bench_id, bench_ucq, bench_ucq_cmp, bench_nested, bench_fd_id, bench_region_core
+}
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! §6 variations as benches: shortest MGEs (Prop 6.1), irredundant
+//! minimization (Prop 6.2), exact concept minimization (Prop 6.3),
+//! cardinality-maximal explanations exact-vs-greedy (Prop 6.4), and
+//! strong-explanation checking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use whynot_concepts::{simplify, LsConcept};
+use whynot_core::setcover::{hard_family, reduce_set_cover};
+use whynot_core::{
+    card_maximal_exact, card_maximal_greedy, incremental_search, irredundant_explanation,
+    is_strong_explanation, minimize_concept, shortest_mge, Explanation, LubKind,
+};
+use whynot_scenarios::generators::city_network;
+use whynot_scenarios::paper;
+use whynot_scenarios::retail::retail_scenario;
+
+/// Prop 6.1: a shortest most-general explanation (exact, via full MGE
+/// enumeration) on growing retail catalogs.
+fn bench_shortest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variations/shortest");
+    for &np in &[20usize, 40, 80] {
+        let sc = retail_scenario(np, np / 2, 4, 3, 3);
+        group.bench_with_input(BenchmarkId::new("retail", np), &np, |bench, _| {
+            bench.iter(|| {
+                shortest_mge(&sc.ontology, black_box(&sc.why_not), |c| c.0.len()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Prop 6.2: irredundant explanation cleanup after Algorithm 2 (PTIME).
+fn bench_irredundant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variations/irredundant");
+    for &n in &[16usize, 32, 64] {
+        let net = city_network(n, 4, 7);
+        let raw = incremental_search(&net.why_not);
+        group.bench_with_input(BenchmarkId::new("cleanup", n), &n, |bench, _| {
+            bench.iter(|| irredundant_explanation(black_box(&net.why_not), &raw))
+        });
+    }
+    // Concept-level simplification on a deliberately fat conjunction.
+    let sc = paper::example_4_9();
+    let fat = fat_paper_concept(&sc);
+    assert!(fat.num_parts() >= 3, "the bench must exercise real work");
+    group.bench_function("simplify_paper_concept", |bench| {
+        bench.iter(|| simplify(black_box(&fat), &sc.why_not.instance))
+    });
+    group.finish();
+}
+
+/// A deliberately redundant conjunction over the paper instance: the lub
+/// of {Amsterdam, Berlin} (nominal-free, several overlapping column
+/// atoms) conjoined with the σ-lub of the same support.
+fn fat_paper_concept(sc: &paper::DerivedScenario) -> LsConcept {
+    use whynot_concepts::{lub, lub_sigma};
+    let wn = &sc.why_not;
+    let support: std::collections::BTreeSet<whynot_relation::Value> =
+        [whynot_relation::Value::str("Amsterdam"), whynot_relation::Value::str("Berlin")]
+            .into_iter()
+            .collect();
+    lub(&wn.schema, &wn.instance, &support)
+        .and(&lub_sigma(&wn.schema, &wn.instance, &support))
+}
+
+/// Prop 6.3: exact minimized concepts via bounded subset search.
+fn bench_minimize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variations/minimize");
+    let sc = paper::example_4_9();
+    let wn = &sc.why_not;
+    let fat = fat_paper_concept(&sc);
+    for &cap in &[1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("max_conjuncts", cap), &cap, |bench, _| {
+            bench.iter(|| minimize_concept(black_box(wn), &fat, LubKind::SelectionFree, cap))
+        });
+    }
+    group.finish();
+}
+
+/// Prop 6.4: cardinality-maximal explanations — the exact branch-and-
+/// bound blows up on the SET COVER family while the greedy stays flat
+/// (and can be suboptimal).
+fn bench_card_maximal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variations/card_maximal");
+    for &n in &[4usize, 6, 8] {
+        let sc = hard_family(n, 2);
+        let (o, wn) = reduce_set_cover(&sc);
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |bench, _| {
+            bench.iter(|| card_maximal_exact(&o, black_box(&wn)))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |bench, _| {
+            bench.iter(|| card_maximal_greedy(&o, black_box(&wn)))
+        });
+    }
+    group.finish();
+}
+
+/// §6 strong explanations: unsatisfiability checking of q ∧ ⋀Ci under
+/// the Figure 1 constraints.
+fn bench_strong(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variations/strong");
+    let sc = paper::example_4_9();
+    let wn = &sc.why_not;
+    let es = paper::example_4_9_explanations(&sc.rels);
+    // E2 (not strong: some instance connects Europe to N.America) and the
+    // contradictory nominal pair (strong).
+    group.bench_function("e2_not_strong", |bench| {
+        bench.iter(|| is_strong_explanation(black_box(wn), &es[1]))
+    });
+    let dead = Explanation::new([
+        LsConcept::nominal(whynot_relation::Value::str("p"))
+            .and(&LsConcept::nominal(whynot_relation::Value::str("q"))),
+        LsConcept::nominal(whynot_relation::Value::str("r")),
+    ]);
+    group.bench_function("contradiction_strong", |bench| {
+        bench.iter(|| is_strong_explanation(black_box(wn), &dead))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = whynot_bench::quick();
+    targets = bench_shortest, bench_irredundant, bench_minimize, bench_card_maximal, bench_strong
+}
+criterion_main!(benches);

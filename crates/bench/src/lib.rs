@@ -1,0 +1,20 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench target regenerates one row of the paper's Table 1 or one
+//! figure/example (see DESIGN.md §3 for the experiment index and
+//! EXPERIMENTS.md for measured results). The goal is *shape* fidelity:
+//! polynomial rows must scale smoothly, hardness rows must blow up where
+//! the paper places the lower bound.
+
+use criterion::Criterion;
+use std::time::Duration;
+
+/// A Criterion configuration tuned for a large matrix of short benches:
+/// modest sample counts so the whole harness stays in the minutes range.
+pub fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .configure_from_args()
+}

@@ -1,0 +1,454 @@
+//! The concept language `LS` (paper Definition 4.6).
+//!
+//! The grammar
+//!
+//! ```text
+//! D ::= R | σ_{A1 op c1,…,An op cn}(R)
+//! C ::= ⊤ | {c} | π_A(D) | C ⊓ C
+//! ```
+//!
+//! produces concepts of the form `C1 ⊓ … ⊓ Cn` where each `Ci` is `⊤`, a
+//! nominal `{c}`, or a projection `π_A(D)`. We normalize to exactly this
+//! flat form: an [`LsConcept`] is a *set* of [`LsAtom`]s (the empty set is
+//! `⊤`, since `⊓∅ = ⊤`).
+
+use crate::extension::Extension;
+use crate::selection::Selection;
+use std::collections::BTreeSet;
+use std::fmt;
+use whynot_relation::{Attr, Instance, RelId, Schema, Value};
+
+/// An atomic conjunct of an `LS` concept.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum LsAtom {
+    /// A nominal `{c}` — the most specific concept for the constant `c`.
+    Nominal(Value),
+    /// A projection `π_A(D)` with `D = R` or `D = σ…(R)`.
+    Proj {
+        /// The projected relation.
+        rel: RelId,
+        /// The projected attribute position.
+        attr: Attr,
+        /// The selection applied before projecting (empty for plain `R`).
+        selection: Selection,
+    },
+}
+
+impl LsAtom {
+    /// A plain projection `π_A(R)`.
+    pub fn proj(rel: RelId, attr: Attr) -> Self {
+        LsAtom::Proj { rel, attr, selection: Selection::none() }
+    }
+
+    /// A selected projection `π_A(σ…(R))`.
+    pub fn proj_sel(rel: RelId, attr: Attr, selection: Selection) -> Self {
+        LsAtom::Proj { rel, attr, selection }
+    }
+
+    /// The extension of the atom over `inst`.
+    pub fn extension(&self, inst: &Instance) -> Extension {
+        match self {
+            LsAtom::Nominal(c) => Extension::finite([c.clone()]),
+            LsAtom::Proj { rel, attr, selection } => Extension::finite(
+                inst.tuples(*rel)
+                    .filter(|t| selection.selects(t))
+                    .filter_map(|t| t.get(*attr).cloned()),
+            ),
+        }
+    }
+
+    /// Whether the atom uses no selection (`LS` without `σ`).
+    pub fn is_selection_free(&self) -> bool {
+        match self {
+            LsAtom::Nominal(_) => true,
+            LsAtom::Proj { selection, .. } => selection.is_none(),
+        }
+    }
+
+    /// Symbol count (see [`LsConcept::size`]).
+    pub fn size(&self) -> usize {
+        match self {
+            LsAtom::Nominal(_) => 1,
+            // π, R, A count for 2 + 1; each comparison contributes op and
+            // constant plus its attribute.
+            LsAtom::Proj { selection, .. } => 3 + 3 * selection.constraints().len(),
+        }
+    }
+}
+
+/// An `LS` concept in normalized conjunction form.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct LsConcept {
+    parts: BTreeSet<LsAtom>,
+}
+
+impl LsConcept {
+    /// The top concept `⊤` (extension: all of `Const`).
+    pub fn top() -> Self {
+        LsConcept::default()
+    }
+
+    /// The nominal `{c}`.
+    pub fn nominal(c: impl Into<Value>) -> Self {
+        LsConcept { parts: [LsAtom::Nominal(c.into())].into_iter().collect() }
+    }
+
+    /// The plain projection `π_A(R)`.
+    pub fn proj(rel: RelId, attr: Attr) -> Self {
+        LsConcept { parts: [LsAtom::proj(rel, attr)].into_iter().collect() }
+    }
+
+    /// The selected projection `π_A(σ…(R))`.
+    pub fn proj_sel(rel: RelId, attr: Attr, selection: Selection) -> Self {
+        LsConcept { parts: [LsAtom::proj_sel(rel, attr, selection)].into_iter().collect() }
+    }
+
+    /// A concept from explicit atoms.
+    pub fn from_atoms(atoms: impl IntoIterator<Item = LsAtom>) -> Self {
+        LsConcept { parts: atoms.into_iter().collect() }
+    }
+
+    /// The conjunction `self ⊓ other`.
+    pub fn and(&self, other: &LsConcept) -> LsConcept {
+        LsConcept { parts: self.parts.union(&other.parts).cloned().collect() }
+    }
+
+    /// The conjunction `⊓ concepts` (empty input yields `⊤`, as the paper
+    /// stipulates for `⊓∅`).
+    pub fn conj(concepts: impl IntoIterator<Item = LsConcept>) -> LsConcept {
+        let mut parts = BTreeSet::new();
+        for c in concepts {
+            parts.extend(c.parts);
+        }
+        LsConcept { parts }
+    }
+
+    /// The conjuncts.
+    pub fn parts(&self) -> impl Iterator<Item = &LsAtom> + '_ {
+        self.parts.iter()
+    }
+
+    /// Number of conjuncts (0 for `⊤`).
+    pub fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether this is `⊤`.
+    pub fn is_top(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Removes a conjunct, returning the smaller concept.
+    pub fn without(&self, atom: &LsAtom) -> LsConcept {
+        let mut parts = self.parts.clone();
+        parts.remove(atom);
+        LsConcept { parts }
+    }
+
+    /// The extension `[[C]]^I` (paper §4.2 semantics).
+    pub fn extension(&self, inst: &Instance) -> Extension {
+        let mut ext = Extension::Universal;
+        for atom in &self.parts {
+            ext = ext.intersect(&atom.extension(inst));
+            if ext.is_empty() {
+                break;
+            }
+        }
+        ext
+    }
+
+    /// Instance-level subsumption `self ⊑I other`, i.e.
+    /// `[[self]]^I ⊆ [[other]]^I` (paper §4.2; decidable in PTIME by
+    /// Proposition 4.1).
+    pub fn subsumed_in(&self, other: &LsConcept, inst: &Instance) -> bool {
+        self.extension(inst).subset_of(&other.extension(inst))
+    }
+
+    /// Instance-level equivalence `self ≡I other`.
+    pub fn equivalent_in(&self, other: &LsConcept, inst: &Instance) -> bool {
+        self.extension(inst) == other.extension(inst)
+    }
+
+    /// Whether the concept avoids `σ` (selection-free `LS`).
+    pub fn is_selection_free(&self) -> bool {
+        self.parts.iter().all(LsAtom::is_selection_free)
+    }
+
+    /// Whether the concept avoids `⊓` (intersection-free `LS`): at most one
+    /// conjunct.
+    pub fn is_intersection_free(&self) -> bool {
+        self.parts.len() <= 1
+    }
+
+    /// Whether the concept lies in `LminS` (no `σ`, no `⊓`).
+    pub fn is_min(&self) -> bool {
+        self.is_selection_free() && self.is_intersection_free()
+    }
+
+    /// All constants mentioned (nominals and selection constants). Used to
+    /// check membership in the constant-restricted language `LS[K]`
+    /// (paper Proposition 5.1).
+    pub fn constants(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        for atom in &self.parts {
+            match atom {
+                LsAtom::Nominal(c) => {
+                    out.insert(c.clone());
+                }
+                LsAtom::Proj { selection, .. } => {
+                    out.extend(selection.constants().cloned());
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether every constant of the concept belongs to `K`
+    /// (membership in `LS[K]`).
+    pub fn uses_only_constants(&self, k: &BTreeSet<Value>) -> bool {
+        self.constants().is_subset(k)
+    }
+
+    /// The length of the concept expression, measured as a symbol count
+    /// (paper §6 measures explanation length as "the total number of
+    /// symbols needed to write out `C1, …, Ck`"; any fixed per-token cost
+    /// works — ours charges 1 per nominal, 3 per projection and 3 per
+    /// selection comparison, plus the `⊓` separators).
+    pub fn size(&self) -> usize {
+        if self.parts.is_empty() {
+            return 1; // ⊤
+        }
+        let atoms: usize = self.parts.iter().map(LsAtom::size).sum();
+        atoms + (self.parts.len() - 1)
+    }
+
+    /// Renders the concept in the paper's notation, resolving relation and
+    /// attribute names against `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        DisplayConcept { concept: self, schema }
+    }
+}
+
+struct DisplayConcept<'a> {
+    concept: &'a LsConcept,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for DisplayConcept<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.concept.is_top() {
+            return write!(f, "⊤");
+        }
+        for (i, atom) in self.concept.parts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ⊓ ")?;
+            }
+            match atom {
+                LsAtom::Nominal(c) => write!(f, "{{{c}}}")?,
+                LsAtom::Proj { rel, attr, selection } => {
+                    let decl = self.schema.decl(*rel);
+                    let attr_name = decl
+                        .attrs()
+                        .get(*attr)
+                        .map(String::as_str)
+                        .unwrap_or("?");
+                    if selection.is_none() {
+                        write!(f, "π_{attr_name}({})", decl.name())?;
+                    } else {
+                        write!(
+                            f,
+                            "π_{attr_name}(σ_{{{}}}({}))",
+                            selection.display(decl.attrs()),
+                            decl.name()
+                        )?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whynot_relation::{CmpOp, SchemaBuilder};
+
+    fn s(x: &str) -> Value {
+        Value::str(x)
+    }
+
+    /// The Figure 1/2 Cities table (data relations only).
+    fn cities_fixture() -> (Schema, RelId, Instance) {
+        let mut b = SchemaBuilder::new();
+        let cities = b.relation("Cities", ["name", "population", "country", "continent"]);
+        let schema = b.finish().unwrap();
+        let mut inst = Instance::new();
+        for (name, pop, country, continent) in [
+            ("Amsterdam", 779_808, "Netherlands", "Europe"),
+            ("Berlin", 3_502_000, "Germany", "Europe"),
+            ("Rome", 2_753_000, "Italy", "Europe"),
+            ("New York", 8_337_000, "USA", "N.America"),
+            ("San Francisco", 837_442, "USA", "N.America"),
+            ("Santa Cruz", 59_946, "USA", "N.America"),
+            ("Tokyo", 13_185_000, "Japan", "Asia"),
+            ("Kyoto", 1_400_000, "Japan", "Asia"),
+        ] {
+            inst.insert(cities, vec![s(name), Value::int(pop), s(country), s(continent)]);
+        }
+        (schema, cities, inst)
+    }
+
+    #[test]
+    fn top_is_universal() {
+        let (_, _, inst) = cities_fixture();
+        assert_eq!(LsConcept::top().extension(&inst), Extension::Universal);
+        assert!(LsConcept::top().is_top());
+        assert!(LsConcept::top().is_min());
+    }
+
+    #[test]
+    fn nominal_extension_is_singleton() {
+        let (_, _, inst) = cities_fixture();
+        let c = LsConcept::nominal(s("Santa Cruz"));
+        assert_eq!(c.extension(&inst), Extension::finite([s("Santa Cruz")]));
+    }
+
+    #[test]
+    fn figure_5_european_city() {
+        let (schema, cities, inst) = cities_fixture();
+        // π_name(σ_continent="Europe"(Cities))
+        let continent = schema.attr_expect(cities, "continent");
+        let c = LsConcept::proj_sel(cities, 0, Selection::eq(continent, s("Europe")));
+        assert_eq!(
+            c.extension(&inst),
+            Extension::finite([s("Amsterdam"), s("Berlin"), s("Rome")])
+        );
+    }
+
+    #[test]
+    fn figure_5_large_city() {
+        let (schema, cities, inst) = cities_fixture();
+        // π_name(σ_population>1000000(Cities))
+        let pop = schema.attr_expect(cities, "population");
+        let sel = Selection::new([(pop, CmpOp::Gt, Value::int(1_000_000))]);
+        let c = LsConcept::proj_sel(cities, 0, sel);
+        assert_eq!(
+            c.extension(&inst),
+            Extension::finite([s("Berlin"), s("Rome"), s("New York"), s("Tokyo"), s("Kyoto")])
+        );
+    }
+
+    #[test]
+    fn conjunction_intersects_extensions() {
+        let (schema, cities, inst) = cities_fixture();
+        let pop = schema.attr_expect(cities, "population");
+        let continent = schema.attr_expect(cities, "continent");
+        let large = LsConcept::proj_sel(
+            cities,
+            0,
+            Selection::new([(pop, CmpOp::Gt, Value::int(1_000_000))]),
+        );
+        let european =
+            LsConcept::proj_sel(cities, 0, Selection::eq(continent, s("Europe")));
+        let both = large.and(&european);
+        assert_eq!(
+            both.extension(&inst),
+            Extension::finite([s("Berlin"), s("Rome")])
+        );
+        assert_eq!(both.num_parts(), 2);
+        // Conjunction with a nominal outside the projection is empty.
+        let dead = both.and(&LsConcept::nominal(s("Tokyo")));
+        assert!(dead.extension(&inst).is_empty());
+    }
+
+    #[test]
+    fn conjunction_of_nothing_is_top() {
+        assert!(LsConcept::conj([]).is_top());
+    }
+
+    #[test]
+    fn conjunction_deduplicates() {
+        let (_, cities, _) = cities_fixture();
+        let a = LsConcept::proj(cities, 0);
+        assert_eq!(a.and(&a).num_parts(), 1);
+    }
+
+    #[test]
+    fn subsumption_is_extension_inclusion() {
+        let (schema, cities, inst) = cities_fixture();
+        let continent = schema.attr_expect(cities, "continent");
+        let european =
+            LsConcept::proj_sel(cities, 0, Selection::eq(continent, s("Europe")));
+        let city = LsConcept::proj(cities, 0);
+        // Example 4.9's first subsumption (its ⊑I projection).
+        assert!(european.subsumed_in(&city, &inst));
+        assert!(!city.subsumed_in(&european, &inst));
+        assert!(city.subsumed_in(&LsConcept::top(), &inst));
+        assert!(!LsConcept::top().subsumed_in(&city, &inst));
+        // ⊑I is reflexive.
+        assert!(city.subsumed_in(&city, &inst));
+    }
+
+    #[test]
+    fn fragment_classification() {
+        let (schema, cities, _) = cities_fixture();
+        let continent = schema.attr_expect(cities, "continent");
+        let plain = LsConcept::proj(cities, 0);
+        let selected = LsConcept::proj_sel(cities, 0, Selection::eq(continent, s("Europe")));
+        let nominal = LsConcept::nominal(s("Rome"));
+        assert!(plain.is_min());
+        assert!(nominal.is_min());
+        assert!(!selected.is_selection_free());
+        assert!(selected.is_intersection_free());
+        let conj = plain.and(&nominal);
+        assert!(conj.is_selection_free());
+        assert!(!conj.is_intersection_free());
+        assert!(!conj.is_min());
+    }
+
+    #[test]
+    fn constants_and_language_restriction() {
+        let (schema, cities, _) = cities_fixture();
+        let continent = schema.attr_expect(cities, "continent");
+        let c = LsConcept::proj_sel(cities, 0, Selection::eq(continent, s("Europe")))
+            .and(&LsConcept::nominal(s("Rome")));
+        let constants = c.constants();
+        assert!(constants.contains(&s("Europe")));
+        assert!(constants.contains(&s("Rome")));
+        let k: BTreeSet<Value> = [s("Europe"), s("Rome"), s("x")].into_iter().collect();
+        assert!(c.uses_only_constants(&k));
+        let small: BTreeSet<Value> = [s("Europe")].into_iter().collect();
+        assert!(!c.uses_only_constants(&small));
+    }
+
+    #[test]
+    fn size_is_monotone_in_structure() {
+        let (schema, cities, _) = cities_fixture();
+        let continent = schema.attr_expect(cities, "continent");
+        let top = LsConcept::top();
+        let nominal = LsConcept::nominal(s("Rome"));
+        let plain = LsConcept::proj(cities, 0);
+        let selected = LsConcept::proj_sel(cities, 0, Selection::eq(continent, s("Europe")));
+        assert!(top.size() <= nominal.size());
+        assert!(nominal.size() < plain.size());
+        assert!(plain.size() < selected.size());
+        assert!(selected.size() < selected.and(&nominal).size());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let (schema, cities, _) = cities_fixture();
+        let continent = schema.attr_expect(cities, "continent");
+        let c = LsConcept::proj_sel(cities, 0, Selection::eq(continent, s("Europe")));
+        assert_eq!(
+            c.display(&schema).to_string(),
+            "π_name(σ_{continent=Europe}(Cities))"
+        );
+        assert_eq!(LsConcept::top().display(&schema).to_string(), "⊤");
+        assert_eq!(
+            LsConcept::nominal(s("Santa Cruz")).display(&schema).to_string(),
+            "{Santa Cruz}"
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Concept extensions `[[C]]^I ⊆ Const` (paper §4.2).
+//!
+//! Every `LS` concept except `⊤` (and conjunctions reducible to it) has a
+//! finite extension; `⊤` denotes all of `Const`. [`Extension`] represents
+//! both cases so subsumption and product-disjointness checks can be exact.
+
+use std::collections::BTreeSet;
+use whynot_relation::Value;
+
+/// The extension of a concept: either all of `Const`, or a finite set.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Extension {
+    /// All constants (`[[⊤]] = Const`).
+    Universal,
+    /// A finite set of constants.
+    Finite(BTreeSet<Value>),
+}
+
+impl Extension {
+    /// The empty extension.
+    pub fn empty() -> Self {
+        Extension::Finite(BTreeSet::new())
+    }
+
+    /// A finite extension from an iterator.
+    pub fn finite(values: impl IntoIterator<Item = Value>) -> Self {
+        Extension::Finite(values.into_iter().collect())
+    }
+
+    /// Whether `v` belongs to the extension.
+    pub fn contains(&self, v: &Value) -> bool {
+        match self {
+            Extension::Universal => true,
+            Extension::Finite(set) => set.contains(v),
+        }
+    }
+
+    /// Whether the extension is empty.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Extension::Universal => false,
+            Extension::Finite(set) => set.is_empty(),
+        }
+    }
+
+    /// The cardinality (`None` for the universal extension).
+    pub fn len(&self) -> Option<usize> {
+        match self {
+            Extension::Universal => None,
+            Extension::Finite(set) => Some(set.len()),
+        }
+    }
+
+    /// Set inclusion `self ⊆ other`.
+    pub fn subset_of(&self, other: &Extension) -> bool {
+        match (self, other) {
+            (_, Extension::Universal) => true,
+            (Extension::Universal, Extension::Finite(_)) => false,
+            (Extension::Finite(a), Extension::Finite(b)) => a.is_subset(b),
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &Extension) -> Extension {
+        match (self, other) {
+            (Extension::Universal, e) => e.clone(),
+            (e, Extension::Universal) => e.clone(),
+            (Extension::Finite(a), Extension::Finite(b)) => {
+                Extension::Finite(a.intersection(b).cloned().collect())
+            }
+        }
+    }
+
+    /// The finite set inside, if finite.
+    pub fn as_finite(&self) -> Option<&BTreeSet<Value>> {
+        match self {
+            Extension::Universal => None,
+            Extension::Finite(set) => Some(set),
+        }
+    }
+
+    /// Whether every element of `values` is contained.
+    pub fn contains_all<'a>(&self, values: impl IntoIterator<Item = &'a Value>) -> bool {
+        values.into_iter().all(|v| self.contains(v))
+    }
+}
+
+impl FromIterator<Value> for Extension {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Extension::Finite(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fin(vals: &[i64]) -> Extension {
+        Extension::finite(vals.iter().map(|&n| Value::int(n)))
+    }
+
+    #[test]
+    fn universal_contains_everything() {
+        assert!(Extension::Universal.contains(&Value::int(5)));
+        assert!(Extension::Universal.contains(&Value::str("x")));
+        assert!(!Extension::Universal.is_empty());
+        assert_eq!(Extension::Universal.len(), None);
+    }
+
+    #[test]
+    fn subset_relations() {
+        assert!(fin(&[1, 2]).subset_of(&fin(&[1, 2, 3])));
+        assert!(!fin(&[1, 4]).subset_of(&fin(&[1, 2, 3])));
+        assert!(fin(&[1]).subset_of(&Extension::Universal));
+        assert!(!Extension::Universal.subset_of(&fin(&[1])));
+        assert!(Extension::Universal.subset_of(&Extension::Universal));
+        assert!(Extension::empty().subset_of(&fin(&[])));
+    }
+
+    #[test]
+    fn intersection() {
+        assert_eq!(fin(&[1, 2, 3]).intersect(&fin(&[2, 3, 4])), fin(&[2, 3]));
+        assert_eq!(Extension::Universal.intersect(&fin(&[7])), fin(&[7]));
+        assert_eq!(fin(&[7]).intersect(&Extension::Universal), fin(&[7]));
+        assert_eq!(
+            Extension::Universal.intersect(&Extension::Universal),
+            Extension::Universal
+        );
+    }
+
+    #[test]
+    fn contains_all() {
+        let vals = [Value::int(1), Value::int(2)];
+        assert!(fin(&[1, 2, 3]).contains_all(vals.iter()));
+        assert!(!fin(&[1]).contains_all(vals.iter()));
+        assert!(Extension::Universal.contains_all(vals.iter()));
+    }
+}

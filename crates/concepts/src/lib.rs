@@ -1,0 +1,40 @@
+//! The concept language `LS` of *"High-Level Why-Not Explanations using
+//! Ontologies"* (PODS 2015, §4.2).
+//!
+//! `LS` builds concepts over a relational schema from unary projections,
+//! selections with constant comparisons, intersections and nominals:
+//!
+//! ```text
+//! D ::= R | σ_{A1 op c1,…,An op cn}(R)
+//! C ::= ⊤ | {c} | π_A(D) | C ⊓ C
+//! ```
+//!
+//! This crate provides:
+//!
+//! * [`LsConcept`] / [`LsAtom`] / [`Selection`] — normalized concept
+//!   expressions with fragment classification (`LminS`, selection-free,
+//!   intersection-free),
+//! * [`Extension`] — exact extensions `[[C]]^I` including the universal
+//!   extension of `⊤`, and instance-level subsumption `⊑I`
+//!   (Proposition 4.1),
+//! * [`lub`] / [`lub_sigma`] — least upper bounds of support sets
+//!   (Lemmas 5.1 and 5.2), the engine of the paper's incremental search
+//!   algorithm, and
+//! * [`irredundant`] / [`simplify`] — polynomial-time irredundant
+//!   equivalents (Proposition 6.2).
+
+#![warn(missing_docs)]
+
+mod concept;
+mod extension;
+mod lub;
+mod minimize;
+mod parse;
+mod selection;
+
+pub use concept::{LsAtom, LsConcept};
+pub use extension::Extension;
+pub use lub::{lub, lub_extension, lub_sigma, selection_free_atom_count};
+pub use minimize::{irredundant, simplify, simplify_selections};
+pub use parse::{parse_concept, parse_value, ParseError};
+pub use selection::{SelConstraint, Selection};

@@ -1,0 +1,193 @@
+//! Irredundant concept expressions (paper Proposition 6.2).
+//!
+//! A conjunction `C = ⊓{C1,…,Cn}` is *irredundant* w.r.t. an instance `I`
+//! if no strict subset of its conjuncts is `≡_{OI}`-equivalent to `C`.
+//! The paper shows a polynomial-time algorithm producing an irredundant
+//! equivalent; the standard greedy elimination below is exactly that.
+//! (Finding a globally *minimized* — shortest — equivalent expression is
+//! NP-hard by Proposition 6.3; see `whynot-core`'s variations module for
+//! the search-based treatment.)
+
+use crate::concept::{LsAtom, LsConcept};
+use crate::selection::Selection;
+use whynot_relation::Instance;
+
+/// Greedily removes conjuncts whose removal preserves the extension,
+/// producing an irredundant concept `≡_{OI}`-equivalent to the input
+/// (Proposition 6.2). Deterministic: conjuncts are tried in their
+/// normalized order, largest first, so nominals (which force singleton
+/// extensions) tend to be dropped before structural atoms.
+pub fn irredundant(concept: &LsConcept, inst: &Instance) -> LsConcept {
+    let target = concept.extension(inst);
+    let mut current = concept.clone();
+    // Snapshot the parts; removal order: reverse normalized order, so that
+    // e.g. selected projections are preferred over plain ones when either
+    // could be dropped.
+    let parts: Vec<LsAtom> = current.parts().cloned().collect();
+    for atom in parts.iter().rev() {
+        if current.num_parts() <= 1 {
+            break;
+        }
+        let candidate = current.without(atom);
+        if candidate.extension(inst) == target {
+            current = candidate;
+        }
+    }
+    current
+}
+
+/// Simplifies each conjunct's selection by dropping comparisons that do not
+/// change the selected tuple set on `inst` (an extension-preserving,
+/// instance-relative cleanup; composes with [`irredundant`]).
+pub fn simplify_selections(concept: &LsConcept, inst: &Instance) -> LsConcept {
+    let atoms = concept.parts().map(|atom| match atom {
+        LsAtom::Nominal(_) => atom.clone(),
+        LsAtom::Proj { rel, attr, selection } => {
+            let mut kept = selection.clone();
+            let mut i = 0;
+            while i < kept.constraints().len() {
+                let mut trial = Selection::new(
+                    kept.constraints()
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i)
+                        .map(|(_, c)| (c.attr, c.op, c.value.clone())),
+                );
+                std::mem::swap(&mut trial, &mut kept);
+                // `kept` now holds the candidate without constraint i;
+                // `trial` holds the previous selection.
+                let same = inst
+                    .tuples(*rel)
+                    .all(|t| kept.selects(t) == trial.selects(t));
+                if !same {
+                    // Put the original back and move on.
+                    kept = trial;
+                    i += 1;
+                }
+            }
+            LsAtom::Proj { rel: *rel, attr: *attr, selection: kept }
+        }
+    });
+    LsConcept::from_atoms(atoms)
+}
+
+/// Full cleanup: selection simplification followed by conjunct elimination.
+/// The result is irredundant and `≡_{OI}`-equivalent to the input.
+pub fn simplify(concept: &LsConcept, inst: &Instance) -> LsConcept {
+    irredundant(&simplify_selections(concept, inst), inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use whynot_relation::{CmpOp, RelId, Schema, SchemaBuilder, Value};
+
+    fn s(x: &str) -> Value {
+        Value::str(x)
+    }
+
+    fn fixture() -> (Schema, RelId, Instance) {
+        let mut b = SchemaBuilder::new();
+        let cities = b.relation("Cities", ["name", "population", "continent"]);
+        let schema = b.finish().unwrap();
+        let mut inst = Instance::new();
+        for (name, pop, cont) in [
+            ("Amsterdam", 779_808, "Europe"),
+            ("Berlin", 3_502_000, "Europe"),
+            ("Tokyo", 13_185_000, "Asia"),
+        ] {
+            inst.insert(cities, vec![s(name), Value::int(pop), s(cont)]);
+        }
+        (schema, cities, inst)
+    }
+
+    #[test]
+    fn irredundant_drops_subsumed_conjuncts() {
+        let (_, cities, inst) = fixture();
+        // European ⊓ City: the City conjunct is redundant.
+        let european = LsConcept::proj_sel(cities, 0, Selection::eq(2, s("Europe")));
+        let city = LsConcept::proj(cities, 0);
+        let conj = european.and(&city);
+        let red = irredundant(&conj, &inst);
+        assert_eq!(red.num_parts(), 1);
+        assert!(red.equivalent_in(&conj, &inst));
+    }
+
+    #[test]
+    fn irredundant_keeps_necessary_conjuncts() {
+        let (_, cities, inst) = fixture();
+        let european = LsConcept::proj_sel(cities, 0, Selection::eq(2, s("Europe")));
+        let big = LsConcept::proj_sel(
+            cities,
+            0,
+            Selection::new([(1, CmpOp::Gt, Value::int(1_000_000))]),
+        );
+        // European ⊓ Big = {Berlin}; neither conjunct alone suffices.
+        let conj = european.and(&big);
+        let red = irredundant(&conj, &inst);
+        assert_eq!(red.num_parts(), 2);
+    }
+
+    #[test]
+    fn irredundant_result_is_irredundant() {
+        let (schema, _cities, inst) = fixture();
+        let x: BTreeSet<Value> = [s("Amsterdam")].into_iter().collect();
+        let fat = crate::lub::lub(&schema, &inst, &x);
+        let red = irredundant(&fat, &inst);
+        assert!(red.equivalent_in(&fat, &inst));
+        // Check the defining property: no conjunct can be dropped.
+        for atom in red.parts() {
+            let smaller = red.without(atom);
+            assert!(
+                !smaller.equivalent_in(&red, &inst),
+                "dropping {atom:?} should change the extension"
+            );
+        }
+    }
+
+    #[test]
+    fn simplify_selections_drops_vacuous_comparisons() {
+        let (_, cities, inst) = fixture();
+        // population > 0 is vacuous on this data; continent = Europe is not.
+        let sel = Selection::new([
+            (1, CmpOp::Gt, Value::int(0)),
+            (2, CmpOp::Eq, s("Europe")),
+        ]);
+        let c = LsConcept::proj_sel(cities, 0, sel);
+        let simp = simplify_selections(&c, &inst);
+        let atom = simp.parts().next().unwrap();
+        match atom {
+            LsAtom::Proj { selection, .. } => {
+                assert_eq!(selection.constraints().len(), 1);
+                assert_eq!(selection.constraints()[0].attr, 2);
+            }
+            _ => panic!("expected projection"),
+        }
+        assert!(simp.equivalent_in(&c, &inst));
+    }
+
+    #[test]
+    fn simplify_composes_both_passes() {
+        let (_, cities, inst) = fixture();
+        let noisy = LsConcept::proj_sel(
+            cities,
+            0,
+            Selection::new([
+                (1, CmpOp::Gt, Value::int(0)),
+                (2, CmpOp::Eq, s("Europe")),
+            ]),
+        )
+        .and(&LsConcept::proj(cities, 0));
+        let simp = simplify(&noisy, &inst);
+        assert!(simp.equivalent_in(&noisy, &inst));
+        assert!(simp.size() < noisy.size());
+        assert_eq!(simp.num_parts(), 1);
+    }
+
+    #[test]
+    fn top_is_already_irredundant() {
+        let (_, _, inst) = fixture();
+        assert!(irredundant(&LsConcept::top(), &inst).is_top());
+    }
+}

@@ -1,0 +1,408 @@
+//! A parser for `LS` concepts in the paper's notation.
+//!
+//! Accepts both the typeset forms and ASCII fallbacks:
+//!
+//! ```text
+//! ⊤                                          top / TOP
+//! {Santa Cruz}                               nominal
+//! π_name(Cities)                             pi_name(Cities)
+//! π_name(σ_{continent=Europe}(Cities))       pi_name(sigma_{continent=Europe}(Cities))
+//! π_name(σ_{population>1000000}(Cities)) ⊓ π_1(BigCity)      (⊓ or &)
+//! ```
+//!
+//! Attributes may be named (resolved against the schema) or positional
+//! (`#0`, `#1`, … or a bare 1-based index as in the paper's `π_1`).
+//! Values parse as integers when possible, as strings otherwise; quotes
+//! are optional and stripped.
+
+use crate::concept::{LsAtom, LsConcept};
+use crate::selection::Selection;
+use std::fmt;
+use whynot_relation::{Attr, CmpOp, RelId, Schema, Value};
+
+/// A concept-parsing error with a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "concept parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a concept expression against a schema.
+pub fn parse_concept(schema: &Schema, input: &str) -> Result<LsConcept, ParseError> {
+    let mut parser = Parser { schema, rest: input.trim() };
+    let concept = parser.concept()?;
+    if !parser.rest.trim().is_empty() {
+        return Err(ParseError(format!("trailing input: {:?}", parser.rest.trim())));
+    }
+    Ok(concept)
+}
+
+struct Parser<'a> {
+    schema: &'a Schema,
+    rest: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if let Some(stripped) = self.rest.strip_prefix(token) {
+            self.rest = stripped;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ParseError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(ParseError(format!("expected {token:?} at {:?}", head(self.rest))))
+        }
+    }
+
+    fn concept(&mut self) -> Result<LsConcept, ParseError> {
+        let mut atoms: Vec<LsAtom> = Vec::new();
+        let mut saw_top = false;
+        loop {
+            self.skip_ws();
+            if self.eat("⊤") || self.eat_keyword("TOP") || self.eat_keyword("top") {
+                saw_top = true;
+            } else {
+                atoms.push(self.atom()?);
+            }
+            self.skip_ws();
+            if self.eat("⊓") || self.eat("&") {
+                continue;
+            }
+            break;
+        }
+        if atoms.is_empty() && !saw_top {
+            return Err(ParseError("empty concept".into()));
+        }
+        Ok(LsConcept::from_atoms(atoms))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        if let Some(stripped) = self.rest.strip_prefix(kw) {
+            // Keyword must end at a boundary.
+            if stripped.chars().next().map_or(true, |c| !c.is_alphanumeric()) {
+                self.rest = stripped;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn atom(&mut self) -> Result<LsAtom, ParseError> {
+        self.skip_ws();
+        if self.rest.starts_with('{') {
+            return self.nominal();
+        }
+        if self.eat("π") || self.eat("pi") {
+            return self.projection();
+        }
+        Err(ParseError(format!(
+            "expected '⊤', a nominal '{{c}}' or a projection 'π_…' at {:?}",
+            head(self.rest)
+        )))
+    }
+
+    fn nominal(&mut self) -> Result<LsAtom, ParseError> {
+        self.expect("{")?;
+        let inner = self.take_until('}')?;
+        self.expect("}")?;
+        Ok(LsAtom::Nominal(parse_value(inner.trim())))
+    }
+
+    fn projection(&mut self) -> Result<LsAtom, ParseError> {
+        self.expect("_")?;
+        let attr_name = self.identifier("attribute")?.to_string();
+        self.expect("(")?;
+        self.skip_ws();
+        let (rel, selection) = if self.eat("σ") || self.eat("sigma") {
+            self.expect("_")?;
+            self.expect("{")?;
+            let sel_src = self.take_until('}')?.to_string();
+            self.expect("}")?;
+            self.expect("(")?;
+            let rel = self.relation()?;
+            self.expect(")")?;
+            let selection = parse_selection(self.schema, rel, &sel_src)?;
+            (rel, selection)
+        } else {
+            (self.relation()?, Selection::none())
+        };
+        self.expect(")")?;
+        let attr = resolve_attr(self.schema, rel, &attr_name)?;
+        Ok(LsAtom::Proj { rel, attr, selection })
+    }
+
+    fn relation(&mut self) -> Result<RelId, ParseError> {
+        let name = self.identifier("relation")?;
+        self.schema
+            .rel(name)
+            .ok_or_else(|| ParseError(format!("unknown relation {name:?}")))
+    }
+
+    fn identifier(&mut self, what: &str) -> Result<&'a str, ParseError> {
+        self.skip_ws();
+        let end = self
+            .rest
+            .char_indices()
+            .find(|(_, c)| !(c.is_alphanumeric() || matches!(c, '_' | '-' | '#' | '.')))
+            .map(|(i, _)| i)
+            .unwrap_or(self.rest.len());
+        if end == 0 {
+            return Err(ParseError(format!("expected {what} name at {:?}", head(self.rest))));
+        }
+        let (name, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        Ok(name)
+    }
+
+    fn take_until(&mut self, close: char) -> Result<&'a str, ParseError> {
+        // `rest` currently starts after an opening brace was *not yet*
+        // consumed for nominal — handle both callers: nominal calls expect
+        // before; projection-selection likewise. Here we only scan.
+        match self.rest.find(close) {
+            Some(pos) => {
+                let (inner, rest) = self.rest.split_at(pos);
+                self.rest = rest;
+                Ok(inner)
+            }
+            None => Err(ParseError(format!("missing closing {close:?}"))),
+        }
+    }
+}
+
+fn head(s: &str) -> String {
+    s.chars().take(16).collect()
+}
+
+/// Parses a value: integer if it looks like one, `'…'`/`"…"` stripped,
+/// bare string otherwise.
+pub fn parse_value(src: &str) -> Value {
+    let trimmed = src.trim();
+    if let Ok(n) = trimmed.parse::<i64>() {
+        return Value::int(n);
+    }
+    let unquoted = trimmed
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .or_else(|| trimmed.strip_prefix('\'').and_then(|s| s.strip_suffix('\'')))
+        .unwrap_or(trimmed);
+    Value::str(unquoted)
+}
+
+fn resolve_attr(schema: &Schema, rel: RelId, name: &str) -> Result<Attr, ParseError> {
+    if let Some(stripped) = name.strip_prefix('#') {
+        return stripped
+            .parse::<usize>()
+            .ok()
+            .filter(|&i| i < schema.arity(rel))
+            .ok_or_else(|| ParseError(format!("bad positional attribute {name:?}")));
+    }
+    if let Some(attr) = schema.attr(rel, name) {
+        return Ok(attr);
+    }
+    // The paper writes π_1 for the first attribute: 1-based fallback.
+    if let Ok(i) = name.parse::<usize>() {
+        if i >= 1 && i <= schema.arity(rel) {
+            return Ok(i - 1);
+        }
+    }
+    Err(ParseError(format!(
+        "relation {:?} has no attribute {name:?}",
+        schema.name(rel)
+    )))
+}
+
+fn parse_selection(schema: &Schema, rel: RelId, src: &str) -> Result<Selection, ParseError> {
+    let mut sel = Selection::none();
+    for clause in src.split(',') {
+        let clause = clause.trim();
+        if clause.is_empty() {
+            continue;
+        }
+        // Find the operator (two-char ops first).
+        let ops = [
+            ("<=", CmpOp::Le),
+            (">=", CmpOp::Ge),
+            ("≤", CmpOp::Le),
+            ("≥", CmpOp::Ge),
+            ("=", CmpOp::Eq),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+        ];
+        let mut found = None;
+        for (tok, op) in ops {
+            if let Some(pos) = clause.find(tok) {
+                // Prefer the earliest operator occurrence; among ops at the
+                // same position, the longest token (<= before <).
+                let better = match found {
+                    None => true,
+                    Some((p, t, _)) => pos < p || (pos == p && tok.len() > strlen(t)),
+                };
+                if better {
+                    found = Some((pos, tok, op));
+                }
+            }
+        }
+        let Some((pos, tok, op)) = found else {
+            return Err(ParseError(format!("no comparison operator in {clause:?}")));
+        };
+        let attr_name = clause[..pos].trim();
+        let value_src = clause[pos + tok.len()..].trim();
+        let attr = resolve_attr(schema, rel, attr_name)?;
+        sel.push(attr, op, parse_value(value_src));
+    }
+    Ok(sel)
+}
+
+fn strlen(s: &str) -> usize {
+    s.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whynot_relation::SchemaBuilder;
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        b.relation("Cities", ["name", "population", "country", "continent"]);
+        b.relation("BigCity", ["name"]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn parses_top() {
+        let s = schema();
+        assert!(parse_concept(&s, "⊤").unwrap().is_top());
+        assert!(parse_concept(&s, "TOP").unwrap().is_top());
+        assert!(parse_concept(&s, " top ").unwrap().is_top());
+    }
+
+    #[test]
+    fn parses_nominal() {
+        let s = schema();
+        let c = parse_concept(&s, "{Santa Cruz}").unwrap();
+        assert_eq!(c, LsConcept::nominal(Value::str("Santa Cruz")));
+        let c = parse_concept(&s, "{42}").unwrap();
+        assert_eq!(c, LsConcept::nominal(Value::int(42)));
+        let c = parse_concept(&s, "{\"7 dwarfs\"}").unwrap();
+        assert_eq!(c, LsConcept::nominal(Value::str("7 dwarfs")));
+    }
+
+    #[test]
+    fn parses_plain_projection() {
+        let s = schema();
+        let cities = s.rel_expect("Cities");
+        assert_eq!(
+            parse_concept(&s, "π_name(Cities)").unwrap(),
+            LsConcept::proj(cities, 0)
+        );
+        assert_eq!(
+            parse_concept(&s, "pi_country(Cities)").unwrap(),
+            LsConcept::proj(cities, 2)
+        );
+        // The paper's positional form π_1(BigCity) (1-based).
+        let big = s.rel_expect("BigCity");
+        assert_eq!(
+            parse_concept(&s, "π_1(BigCity)").unwrap(),
+            LsConcept::proj(big, 0)
+        );
+        // Explicit 0-based positional.
+        assert_eq!(
+            parse_concept(&s, "π_#1(Cities)").unwrap(),
+            LsConcept::proj(cities, 1)
+        );
+    }
+
+    #[test]
+    fn parses_selection() {
+        let s = schema();
+        let cities = s.rel_expect("Cities");
+        let c = parse_concept(&s, "π_name(σ_{continent=Europe}(Cities))").unwrap();
+        assert_eq!(
+            c,
+            LsConcept::proj_sel(cities, 0, Selection::eq(3, Value::str("Europe")))
+        );
+        let c = parse_concept(&s, "pi_name(sigma_{population>1000000}(Cities))").unwrap();
+        assert_eq!(
+            c,
+            LsConcept::proj_sel(
+                cities,
+                0,
+                Selection::new([(1usize, CmpOp::Gt, Value::int(1_000_000))])
+            )
+        );
+        // Multiple comparisons, two-char operators.
+        let c = parse_concept(
+            &s,
+            "π_name(σ_{population>=1000000, population<=9000000}(Cities))",
+        )
+        .unwrap();
+        let first = c.parts().next().unwrap().clone();
+        match first {
+            LsAtom::Proj { selection, .. } => assert_eq!(selection.constraints().len(), 2),
+            _ => panic!("expected projection"),
+        }
+    }
+
+    #[test]
+    fn parses_conjunction() {
+        let s = schema();
+        let c = parse_concept(&s, "π_name(Cities) ⊓ {Rome} & π_1(BigCity)").unwrap();
+        assert_eq!(c.num_parts(), 3);
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        let s = schema();
+        let cities = s.rel_expect("Cities");
+        let original = LsConcept::proj_sel(
+            cities,
+            0,
+            Selection::new([(3usize, CmpOp::Eq, Value::str("Europe"))]),
+        )
+        .and(&LsConcept::nominal(Value::str("Rome")));
+        let rendered = original.display(&s).to_string();
+        let reparsed = parse_concept(&s, &rendered).unwrap();
+        assert_eq!(reparsed, original);
+    }
+
+    #[test]
+    fn error_messages_are_specific() {
+        let s = schema();
+        assert!(parse_concept(&s, "").unwrap_err().0.contains("expected"));
+        assert!(parse_concept(&s, "π_name(Atlantis)")
+            .unwrap_err()
+            .0
+            .contains("unknown relation"));
+        assert!(parse_concept(&s, "π_mayor(Cities)")
+            .unwrap_err()
+            .0
+            .contains("no attribute"));
+        assert!(parse_concept(&s, "π_name(σ_{continent~Europe}(Cities))")
+            .unwrap_err()
+            .0
+            .contains("operator"));
+        assert!(parse_concept(&s, "π_name(Cities) garbage")
+            .unwrap_err()
+            .0
+            .contains("trailing"));
+        assert!(parse_concept(&s, "{unclosed").unwrap_err().0.contains("closing"));
+    }
+}

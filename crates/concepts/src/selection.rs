@@ -1,0 +1,235 @@
+//! Selections `σ_{A1 op c1, …, An op cn}(R)` from the concept language `LS`
+//! (paper Definition 4.6).
+//!
+//! A selection is a finite conjunction of attribute-constant comparisons.
+//! Repeated constraints on the same attribute are allowed by the grammar;
+//! semantically they intersect into one [`Interval`] per attribute.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use whynot_relation::{Attr, CmpOp, Interval, Value};
+
+/// A single selection constraint `A op c`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SelConstraint {
+    /// Attribute position.
+    pub attr: Attr,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Compared constant.
+    pub value: Value,
+}
+
+/// A selection: a conjunction of [`SelConstraint`]s (empty = no selection).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct Selection {
+    constraints: Vec<SelConstraint>,
+}
+
+impl Selection {
+    /// The empty selection (selects every tuple).
+    pub fn none() -> Self {
+        Selection::default()
+    }
+
+    /// A selection from `(attr, op, value)` triples.
+    pub fn new<V: Into<Value>>(constraints: impl IntoIterator<Item = (Attr, CmpOp, V)>) -> Self {
+        Selection {
+            constraints: constraints
+                .into_iter()
+                .map(|(attr, op, value)| SelConstraint { attr, op, value: value.into() })
+                .collect(),
+        }
+    }
+
+    /// The equality selection `A = c`.
+    pub fn eq(attr: Attr, value: impl Into<Value>) -> Self {
+        Selection::new([(attr, CmpOp::Eq, value)])
+    }
+
+    /// The constraints, in the order given.
+    pub fn constraints(&self) -> &[SelConstraint] {
+        &self.constraints
+    }
+
+    /// Whether the selection is empty (no constraints; `D ::= R`).
+    pub fn is_none(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Adds a constraint.
+    pub fn push(&mut self, attr: Attr, op: CmpOp, value: impl Into<Value>) {
+        self.constraints.push(SelConstraint { attr, op, value: value.into() });
+    }
+
+    /// The per-attribute interval semantics of the conjunction.
+    pub fn intervals(&self) -> BTreeMap<Attr, Interval> {
+        let mut out: BTreeMap<Attr, Interval> = BTreeMap::new();
+        for c in &self.constraints {
+            let iv = Interval::from_comparison(c.op, c.value.clone());
+            out.entry(c.attr)
+                .and_modify(|cur| *cur = cur.intersect(&iv))
+                .or_insert(iv);
+        }
+        out
+    }
+
+    /// Whether a tuple passes the selection.
+    pub fn selects(&self, tuple: &[Value]) -> bool {
+        self.constraints
+            .iter()
+            .all(|c| tuple.get(c.attr).is_some_and(|v| c.op.holds(v, &c.value)))
+    }
+
+    /// Whether the selection is unsatisfiable (some attribute's interval is
+    /// empty under the density assumption).
+    pub fn is_unsatisfiable(&self) -> bool {
+        self.intervals().values().any(Interval::is_empty)
+    }
+
+    /// Whether every tuple selected by `self` is selected by `other`
+    /// (constraint entailment, per-attribute interval inclusion).
+    ///
+    /// This is a *syntactic* (instance-independent) entailment: sound for
+    /// `⊑S`-style reasoning, and used by the deciders in
+    /// `whynot-subsumption`.
+    pub fn entails(&self, other: &Selection) -> bool {
+        if self.is_unsatisfiable() {
+            return true;
+        }
+        let mine = self.intervals();
+        other.intervals().iter().all(|(attr, theirs)| {
+            mine.get(attr).map_or(theirs == &Interval::full(), |m| m.subset_of(theirs))
+        })
+    }
+
+    /// All constants mentioned.
+    pub fn constants(&self) -> impl Iterator<Item = &Value> + '_ {
+        self.constraints.iter().map(|c| &c.value)
+    }
+
+    /// The largest attribute position mentioned, if any.
+    pub fn max_attr(&self) -> Option<Attr> {
+        self.constraints.iter().map(|c| c.attr).max()
+    }
+
+    /// A selection equivalent to the closed box `lo_j ≤ A_j ≤ hi_j`
+    /// (collapsing to `=` for point dimensions), as produced by the
+    /// bounding-box `lub` construction of Lemma 5.2.
+    pub fn from_box(bounds: impl IntoIterator<Item = (Attr, Value, Value)>) -> Self {
+        let mut sel = Selection::none();
+        for (attr, lo, hi) in bounds {
+            if lo == hi {
+                sel.push(attr, CmpOp::Eq, lo);
+            } else {
+                sel.push(attr, CmpOp::Ge, lo);
+                sel.push(attr, CmpOp::Le, hi);
+            }
+        }
+        sel
+    }
+
+    /// Renders the selection with attribute names from `attr_names` (falls
+    /// back to positional names).
+    pub fn display<'a>(&'a self, attr_names: &'a [String]) -> impl fmt::Display + 'a {
+        DisplaySelection { sel: self, attr_names }
+    }
+}
+
+struct DisplaySelection<'a> {
+    sel: &'a Selection,
+    attr_names: &'a [String],
+}
+
+impl fmt::Display for DisplaySelection<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.sel.constraints.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match self.attr_names.get(c.attr) {
+                Some(name) => write!(f, "{name}")?,
+                None => write!(f, "#{}", c.attr)?,
+            }
+            write!(f, "{}{}", c.op, c.value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: i64) -> Value {
+        Value::int(n)
+    }
+
+    #[test]
+    fn selects_applies_all_constraints() {
+        let sel = Selection::new([(0, CmpOp::Ge, v(5)), (1, CmpOp::Eq, Value::str("x"))]);
+        assert!(sel.selects(&[v(7), Value::str("x")]));
+        assert!(!sel.selects(&[v(3), Value::str("x")]));
+        assert!(!sel.selects(&[v(7), Value::str("y")]));
+    }
+
+    #[test]
+    fn empty_selection_selects_everything() {
+        assert!(Selection::none().selects(&[v(1)]));
+        assert!(Selection::none().selects(&[]));
+        assert!(Selection::none().is_none());
+    }
+
+    #[test]
+    fn out_of_range_attribute_selects_nothing() {
+        let sel = Selection::eq(5, v(1));
+        assert!(!sel.selects(&[v(1)]));
+    }
+
+    #[test]
+    fn repeated_attribute_constraints_intersect() {
+        let sel = Selection::new([(0, CmpOp::Ge, v(3)), (0, CmpOp::Le, v(5))]);
+        assert!(sel.selects(&[v(4)]));
+        assert!(!sel.selects(&[v(6)]));
+        let iv = &sel.intervals()[&0];
+        assert!(iv.contains(&v(3)) && iv.contains(&v(5)) && !iv.contains(&v(2)));
+    }
+
+    #[test]
+    fn unsatisfiable_detection() {
+        let sel = Selection::new([(0, CmpOp::Lt, v(3)), (0, CmpOp::Gt, v(5))]);
+        assert!(sel.is_unsatisfiable());
+        assert!(!Selection::eq(0, v(3)).is_unsatisfiable());
+    }
+
+    #[test]
+    fn entailment_is_per_attribute_inclusion() {
+        let tight = Selection::new([(0, CmpOp::Ge, v(4)), (0, CmpOp::Le, v(5))]);
+        let loose = Selection::new([(0, CmpOp::Ge, v(3))]);
+        assert!(tight.entails(&loose));
+        assert!(!loose.entails(&tight));
+        assert!(tight.entails(&Selection::none()));
+        // Different attributes do not entail each other.
+        let other_attr = Selection::new([(1, CmpOp::Ge, v(0))]);
+        assert!(!tight.entails(&other_attr));
+        // Unsatisfiable selections entail anything.
+        let bot = Selection::new([(0, CmpOp::Lt, v(0)), (0, CmpOp::Gt, v(0))]);
+        assert!(bot.entails(&tight));
+    }
+
+    #[test]
+    fn from_box_collapses_points_to_equality() {
+        let sel = Selection::from_box([(0, v(3), v(3)), (1, v(1), v(9))]);
+        assert_eq!(sel.constraints().len(), 3);
+        assert_eq!(sel.constraints()[0].op, CmpOp::Eq);
+        assert!(sel.selects(&[v(3), v(5)]));
+        assert!(!sel.selects(&[v(4), v(5)]));
+    }
+
+    #[test]
+    fn display_uses_attribute_names() {
+        let names = vec!["name".to_string(), "population".to_string()];
+        let sel = Selection::new([(1, CmpOp::Gt, v(1_000_000))]);
+        assert_eq!(sel.display(&names).to_string(), "population>1000000");
+    }
+}

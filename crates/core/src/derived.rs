@@ -1,0 +1,315 @@
+//! The ontologies the framework derives when no external one is given
+//! (paper Definition 4.8), plus the OBDA-induced ontology adapter
+//! (Definition 4.4).
+//!
+//! * [`InstanceOntology`] — `OI = (LS, ⊑I, ext)`: subsumption is extension
+//!   inclusion over a *fixed* instance (Proposition 4.1: PTIME).
+//! * [`SchemaOntology`] — `OS = (LS, ⊑S, ext)`: subsumption quantifies over
+//!   all constraint-satisfying instances, decided by the Table 1 deciders
+//!   of `whynot-subsumption` (`Unknown` conservatively maps to
+//!   "not subsumed"; see the field docs).
+//! * [`ObdaOntology`] — `O_B` for an OBDA specification: basic DL-LiteR
+//!   concepts, TBox subsumption, certain extensions.
+//!
+//! `OI` and `OS` are infinite; [`materialize_min_fragment`] produces the
+//! finite `LminS[K]` restriction used by the materialization-based upper
+//! bounds (Propositions 4.2, 5.3, 5.4).
+
+use crate::ontology::{FiniteOntology, Ontology};
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use whynot_concepts::{Extension, LsConcept};
+use whynot_dllite::{BasicConcept, Interpretation, ObdaSpec};
+use whynot_relation::{Instance, Schema, Value};
+use whynot_subsumption::subsumed_schema;
+
+/// `OI` — the ontology derived from an instance (Definition 4.8).
+#[derive(Clone, Debug)]
+pub struct InstanceOntology {
+    schema: Schema,
+    instance: Instance,
+}
+
+impl InstanceOntology {
+    /// Builds `OI` for a schema and the instance fixing `⊑I`.
+    pub fn new(schema: Schema, instance: Instance) -> Self {
+        InstanceOntology { schema, instance }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The instance fixing the subsumption order.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+}
+
+impl Ontology for InstanceOntology {
+    type Concept = LsConcept;
+
+    fn subsumed(&self, sub: &LsConcept, sup: &LsConcept) -> bool {
+        // ⊑I: extension inclusion over the stored instance.
+        sub.subsumed_in(sup, &self.instance)
+    }
+
+    fn extension(&self, c: &LsConcept, inst: &Instance) -> Extension {
+        c.extension(inst)
+    }
+
+    fn concept_name(&self, c: &LsConcept) -> String {
+        c.display(&self.schema).to_string()
+    }
+}
+
+/// `OS` — the ontology derived from a schema (Definition 4.8).
+///
+/// Subsumption calls are cached: `⊑S` decisions can be as hard as
+/// coNEXPTIME (Table 1), and the search algorithms re-ask the same pairs.
+pub struct SchemaOntology {
+    schema: Schema,
+    /// Decision cache; `Unknown` outcomes are stored as `false`
+    /// ("not provably subsumed"), which makes the derived pre-order a
+    /// sound *under*-approximation on undecidable constraint classes.
+    cache: RefCell<std::collections::BTreeMap<(LsConcept, LsConcept), bool>>,
+}
+
+impl SchemaOntology {
+    /// Builds `OS` for a schema.
+    pub fn new(schema: Schema) -> Self {
+        SchemaOntology { schema, cache: RefCell::new(Default::default()) }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+}
+
+impl Ontology for SchemaOntology {
+    type Concept = LsConcept;
+
+    fn subsumed(&self, sub: &LsConcept, sup: &LsConcept) -> bool {
+        if let Some(&cached) = self.cache.borrow().get(&(sub.clone(), sup.clone())) {
+            return cached;
+        }
+        let decided = subsumed_schema(&self.schema, sub, sup).holds();
+        self.cache.borrow_mut().insert((sub.clone(), sup.clone()), decided);
+        decided
+    }
+
+    fn extension(&self, c: &LsConcept, inst: &Instance) -> Extension {
+        c.extension(inst)
+    }
+
+    fn concept_name(&self, c: &LsConcept) -> String {
+        c.display(&self.schema).to_string()
+    }
+}
+
+/// `O_B` — the ontology induced by an OBDA specification
+/// (Definition 4.4): concepts are the basic concept expressions of the
+/// TBox, subsumption is TBox entailment, extensions are certain
+/// extensions. The mapping image of the last-seen instance is cached.
+pub struct ObdaOntology {
+    spec: ObdaSpec,
+    concepts: Vec<BasicConcept>,
+    cache: RefCell<Option<(Instance, Interpretation)>>,
+}
+
+impl ObdaOntology {
+    /// Builds the induced ontology (Theorem 4.2: polynomial).
+    pub fn new(spec: ObdaSpec) -> Self {
+        let concepts = spec.concept_set();
+        ObdaOntology { spec, concepts, cache: RefCell::new(None) }
+    }
+
+    /// The underlying OBDA specification.
+    pub fn spec(&self) -> &ObdaSpec {
+        &self.spec
+    }
+
+    fn base_for(&self, inst: &Instance) -> Interpretation {
+        let mut cache = self.cache.borrow_mut();
+        if let Some((cached_inst, interp)) = cache.as_ref() {
+            if cached_inst == inst {
+                return interp.clone();
+            }
+        }
+        let interp = self.spec.base_interpretation(inst);
+        *cache = Some((inst.clone(), interp.clone()));
+        interp
+    }
+}
+
+impl Ontology for ObdaOntology {
+    type Concept = BasicConcept;
+
+    fn subsumed(&self, sub: &BasicConcept, sup: &BasicConcept) -> bool {
+        self.spec.subsumed(sub, sup)
+    }
+
+    fn extension(&self, c: &BasicConcept, inst: &Instance) -> Extension {
+        let base = self.base_for(inst);
+        Extension::Finite(self.spec.certain_extension_from(&base, c))
+    }
+
+    fn concept_name(&self, c: &BasicConcept) -> String {
+        c.to_string()
+    }
+}
+
+impl FiniteOntology for ObdaOntology {
+    fn concepts(&self) -> Vec<BasicConcept> {
+        self.concepts.clone()
+    }
+}
+
+/// The finite `LminS[K]` fragment of a derived ontology: `⊤`, the
+/// nominals over `K`, and every plain projection `π_A(R)`
+/// (Proposition 4.2: polynomially many).
+pub fn min_fragment_concepts(schema: &Schema, k: &BTreeSet<Value>) -> Vec<LsConcept> {
+    let mut out = vec![LsConcept::top()];
+    for c in k {
+        out.push(LsConcept::nominal(c.clone()));
+    }
+    for rel in schema.rel_ids() {
+        for attr in 0..schema.arity(rel) {
+            out.push(LsConcept::proj(rel, attr));
+        }
+    }
+    out
+}
+
+/// A finite materialization of a derived ontology over an explicit concept
+/// list (the `O[K]` restrictions of Proposition 5.1), delegating
+/// subsumption and extensions to the wrapped ontology.
+pub struct MaterializedOntology<'a, O: Ontology> {
+    inner: &'a O,
+    concepts: Vec<O::Concept>,
+}
+
+impl<'a, O: Ontology> MaterializedOntology<'a, O> {
+    /// Wraps an ontology with an explicit finite concept list.
+    pub fn new(inner: &'a O, concepts: Vec<O::Concept>) -> Self {
+        MaterializedOntology { inner, concepts }
+    }
+}
+
+impl<O: Ontology> Ontology for MaterializedOntology<'_, O> {
+    type Concept = O::Concept;
+
+    fn subsumed(&self, sub: &O::Concept, sup: &O::Concept) -> bool {
+        self.inner.subsumed(sub, sup)
+    }
+
+    fn extension(&self, c: &O::Concept, inst: &Instance) -> Extension {
+        self.inner.extension(c, inst)
+    }
+
+    fn concept_name(&self, c: &O::Concept) -> String {
+        self.inner.concept_name(c)
+    }
+}
+
+impl<O: Ontology> FiniteOntology for MaterializedOntology<'_, O> {
+    fn concepts(&self) -> Vec<O::Concept> {
+        self.concepts.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whynot_concepts::Selection;
+    use whynot_relation::SchemaBuilder;
+
+    fn s(x: &str) -> Value {
+        Value::str(x)
+    }
+
+    fn fixture() -> (Schema, whynot_relation::RelId, Instance) {
+        let mut b = SchemaBuilder::new();
+        let cities = b.relation("Cities", ["name", "population", "continent"]);
+        let schema = b.finish().unwrap();
+        let mut inst = Instance::new();
+        for (n, p, c) in [
+            ("Amsterdam", 779_808, "Europe"),
+            ("Berlin", 3_502_000, "Europe"),
+            ("Tokyo", 13_185_000, "Asia"),
+        ] {
+            inst.insert(cities, vec![s(n), Value::int(p), s(c)]);
+        }
+        (schema, cities, inst)
+    }
+
+    #[test]
+    fn instance_ontology_uses_fixed_instance_for_subsumption() {
+        let (schema, cities, inst) = fixture();
+        let oi = InstanceOntology::new(schema, inst);
+        let european = LsConcept::proj_sel(cities, 0, Selection::eq(2, s("Europe")));
+        let city = LsConcept::proj(cities, 0);
+        assert!(oi.subsumed(&european, &city));
+        assert!(!oi.subsumed(&city, &european));
+        // Extension is evaluated against the *argument* instance
+        // (Definition 4.8's ext is instance-parametric).
+        let empty = Instance::new();
+        assert!(oi.extension(&city, &empty).is_empty());
+        assert_eq!(oi.extension(&city, oi.instance()).len(), Some(3));
+    }
+
+    #[test]
+    fn schema_ontology_differs_from_instance_ontology() {
+        let (schema, cities, inst) = fixture();
+        // On this instance every European city has population < 5M, so
+        // ⊑I holds; ⊑S cannot (another instance breaks it).
+        let european = LsConcept::proj_sel(cities, 0, Selection::eq(2, s("Europe")));
+        let small = LsConcept::proj_sel(
+            cities,
+            0,
+            Selection::new([(1, whynot_relation::CmpOp::Lt, Value::int(5_000_000))]),
+        );
+        let oi = InstanceOntology::new(schema.clone(), inst);
+        assert!(oi.subsumed(&european, &small));
+        let os = SchemaOntology::new(schema);
+        assert!(!os.subsumed(&european, &small));
+        // ⊑S implies ⊑I on shared questions that do hold.
+        let city = LsConcept::proj(cities, 0);
+        assert!(os.subsumed(&european, &city));
+        assert!(oi.subsumed(&european, &city));
+    }
+
+    #[test]
+    fn schema_ontology_caches_decisions() {
+        let (schema, cities, _) = fixture();
+        let os = SchemaOntology::new(schema);
+        let a = LsConcept::proj(cities, 0);
+        let b = LsConcept::proj(cities, 1);
+        assert!(!os.subsumed(&a, &b));
+        assert!(!os.subsumed(&a, &b)); // second call hits the cache
+        assert_eq!(os.cache.borrow().len(), 1);
+    }
+
+    #[test]
+    fn min_fragment_counts_match_proposition_4_2() {
+        let (schema, _, inst) = fixture();
+        let k = inst.active_domain();
+        let concepts = min_fragment_concepts(&schema, &k);
+        // 1 (⊤) + |K| nominals + Σ arity projections.
+        assert_eq!(concepts.len(), 1 + k.len() + 3);
+        assert!(concepts.iter().all(LsConcept::is_min));
+    }
+
+    #[test]
+    fn materialized_ontology_is_finite_view() {
+        let (schema, _, inst) = fixture();
+        let k = inst.active_domain();
+        let oi = InstanceOntology::new(schema.clone(), inst);
+        let mat = MaterializedOntology::new(&oi, min_fragment_concepts(&schema, &k));
+        assert_eq!(mat.concepts().len(), mat.concepts().len());
+        let top = LsConcept::top();
+        assert!(mat.subsumed(&mat.concepts()[1], &top));
+    }
+}

@@ -1,0 +1,245 @@
+//! Extensions beyond the paper's core algorithms.
+//!
+//! * [`incremental_search_balanced`] — Algorithm 2 with round-robin
+//!   position growth. The paper's Algorithm 2 saturates position 1 before
+//!   touching position 2, which can yield lopsided most-general
+//!   explanations (one component climbing to `⊤` while the other stays a
+//!   nominal). Growing positions alternately produces the balanced
+//!   explanations the paper's examples display. Both variants return
+//!   verified MGEs — the MGE set simply has many members.
+//!
+//! * [`enumerate_mges_instance`] — a bounded enumeration of *distinct*
+//!   most-general explanations w.r.t. `OI`. The paper's conclusion poses
+//!   polynomial-delay MGE enumeration as an open problem; this
+//!   implementation is an honest heuristic: it reruns the incremental
+//!   search under permuted growth orders (seeded, deterministic) and
+//!   deduplicates by extension tuple, so every returned explanation is a
+//!   checked MGE, but completeness of the enumeration is not guaranteed.
+
+use crate::incremental::LubKind;
+use crate::whynot::{exts_form_explanation, Explanation, WhyNotInstance};
+use std::collections::BTreeSet;
+use whynot_concepts::{lub, lub_sigma, Extension, LsConcept};
+use whynot_relation::Value;
+
+fn lub_of(
+    kind: LubKind,
+    wn: &WhyNotInstance,
+    x: &BTreeSet<Value>,
+) -> LsConcept {
+    match kind {
+        LubKind::SelectionFree => lub(&wn.schema, &wn.instance, x),
+        LubKind::WithSelections => lub_sigma(&wn.schema, &wn.instance, x),
+    }
+}
+
+/// Algorithm 2 with round-robin growth: positions absorb constants in an
+/// interleaved order, so no position can monopolize the generalization
+/// budget. Output is a most-general explanation w.r.t. `OI` (same
+/// guarantee as the paper's order — maximality is order-independent, the
+/// *choice* of MGE is not).
+pub fn incremental_search_balanced(
+    wn: &WhyNotInstance,
+    kind: LubKind,
+) -> Explanation<LsConcept> {
+    let adom: Vec<Value> = wn.instance.active_domain().into_iter().collect();
+    let positions: Vec<usize> = (0..wn.arity()).collect();
+    grow_with_order(wn, kind, &adom, &positions, true)
+}
+
+/// The shared growth engine: processes `(position, constant)` pairs either
+/// round-robin (`balanced`) or position-major like the paper, visiting
+/// positions in the supplied order.
+fn grow_with_order(
+    wn: &WhyNotInstance,
+    kind: LubKind,
+    adom: &[Value],
+    positions: &[usize],
+    balanced: bool,
+) -> Explanation<LsConcept> {
+    let m = wn.arity();
+    debug_assert_eq!(positions.len(), m);
+    let mut support: Vec<BTreeSet<Value>> =
+        wn.tuple.iter().map(|a| [a.clone()].into_iter().collect()).collect();
+    let mut concepts: Vec<LsConcept> =
+        support.iter().map(|x| lub_of(kind, wn, x)).collect();
+    let mut exts: Vec<Extension> =
+        concepts.iter().map(|c| c.extension(&wn.instance)).collect();
+
+    let try_grow = |j: usize,
+                        b: &Value,
+                        support: &mut Vec<BTreeSet<Value>>,
+                        concepts: &mut Vec<LsConcept>,
+                        exts: &mut Vec<Extension>| {
+        if exts[j].contains(b) {
+            return;
+        }
+        let mut grown = support[j].clone();
+        grown.insert(b.clone());
+        let candidate = lub_of(kind, wn, &grown);
+        let candidate_ext = candidate.extension(&wn.instance);
+        let saved = std::mem::replace(&mut exts[j], candidate_ext);
+        if exts_form_explanation(exts, wn) {
+            concepts[j] = candidate;
+            support[j] = grown;
+        } else {
+            exts[j] = saved;
+        }
+    };
+
+    if balanced {
+        for b in adom {
+            for &j in positions {
+                try_grow(j, b, &mut support, &mut concepts, &mut exts);
+            }
+        }
+    } else {
+        for &j in positions {
+            for b in adom {
+                try_grow(j, b, &mut support, &mut concepts, &mut exts);
+            }
+        }
+    }
+    Explanation::new(concepts)
+}
+
+/// Enumerates distinct most-general explanations w.r.t. `OI` by rerunning
+/// the growth engine under `tries` different deterministic constant
+/// orders (both balanced and position-major), deduplicating by the tuple
+/// of extensions. Every element of the result is a genuine MGE; the list
+/// is not guaranteed exhaustive (the paper leaves complete enumeration
+/// open).
+pub fn enumerate_mges_instance(
+    wn: &WhyNotInstance,
+    kind: LubKind,
+    tries: usize,
+) -> Vec<Explanation<LsConcept>> {
+    let base: Vec<Value> = wn.instance.active_domain().into_iter().collect();
+    let mut seen: BTreeSet<Vec<Extension>> = BTreeSet::new();
+    let mut out: Vec<Explanation<LsConcept>> = Vec::new();
+    let push = |e: Explanation<LsConcept>,
+                    seen: &mut BTreeSet<Vec<Extension>>,
+                    out: &mut Vec<Explanation<LsConcept>>| {
+        let key: Vec<Extension> =
+            e.concepts.iter().map(|c| c.extension(&wn.instance)).collect();
+        if seen.insert(key) {
+            out.push(e);
+        }
+    };
+    for t in 0..tries.max(1) {
+        // Deterministic rotation + stride permutation of the domain.
+        let mut order = base.clone();
+        if !order.is_empty() {
+            let n = order.len();
+            let stride = 1 + t % n.max(1);
+            let mut permuted = Vec::with_capacity(n);
+            let mut idx = t % n;
+            for _ in 0..n {
+                permuted.push(order[idx].clone());
+                idx = (idx + stride) % n;
+            }
+            // The stride walk may revisit; fall back to rotation when the
+            // stride is not coprime with n.
+            let unique: BTreeSet<&Value> = permuted.iter().collect();
+            if unique.len() == n {
+                order = permuted;
+            } else {
+                order.rotate_left(t % n);
+            }
+        }
+        // Rotate the position-visit order too: which position gets to
+        // absorb constants first determines which maximal tuple the greedy
+        // converges to.
+        let m = wn.arity().max(1);
+        for rot in 0..m {
+            let positions: Vec<usize> = (0..wn.arity()).map(|j| (j + rot) % m).collect();
+            for balanced in [true, false] {
+                let e = grow_with_order(wn, kind, &order, &positions, balanced);
+                push(e, &mut seen, &mut out);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incremental::check_mge_instance;
+    use whynot_relation::{Atom, Cq, Instance, SchemaBuilder, Term, Ucq, Var};
+
+    fn s(x: &str) -> Value {
+        Value::str(x)
+    }
+
+    fn paper_like_wn() -> WhyNotInstance {
+        let mut b = SchemaBuilder::new();
+        let tc = b.relation("TC", ["from", "to"]);
+        let schema = b.finish().unwrap();
+        let mut inst = Instance::new();
+        for (a, c) in [
+            ("Amsterdam", "Berlin"),
+            ("Berlin", "Rome"),
+            ("Berlin", "Amsterdam"),
+            ("New York", "San Francisco"),
+            ("San Francisco", "Santa Cruz"),
+            ("Tokyo", "Kyoto"),
+        ] {
+            inst.insert(tc, vec![s(a), s(c)]);
+        }
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        let q = Ucq::single(Cq::new(
+            [Term::Var(x), Term::Var(y)],
+            [
+                Atom::new(tc, [Term::Var(x), Term::Var(z)]),
+                Atom::new(tc, [Term::Var(z), Term::Var(y)]),
+            ],
+            [],
+        ));
+        WhyNotInstance::new(schema, inst, q, vec![s("Amsterdam"), s("New York")]).unwrap()
+    }
+
+    #[test]
+    fn balanced_output_is_a_verified_mge() {
+        let wn = paper_like_wn();
+        for kind in [LubKind::SelectionFree, LubKind::WithSelections] {
+            let e = incremental_search_balanced(&wn, kind);
+            assert!(check_mge_instance(&wn, &e, kind), "{kind:?}: {e:?}");
+        }
+    }
+
+    #[test]
+    fn balanced_differs_from_position_major_here() {
+        // Position-major lets the first component reach ⊤; the balanced
+        // order keeps both components finite on this data.
+        let wn = paper_like_wn();
+        let balanced = incremental_search_balanced(&wn, LubKind::SelectionFree);
+        let ext0 = balanced.concepts[0].extension(&wn.instance);
+        let ext1 = balanced.concepts[1].extension(&wn.instance);
+        assert!(ext0.len().is_some() || ext1.len().is_some());
+    }
+
+    #[test]
+    fn enumeration_yields_multiple_distinct_mges() {
+        let wn = paper_like_wn();
+        let all = enumerate_mges_instance(&wn, LubKind::SelectionFree, 6);
+        assert!(!all.is_empty());
+        for e in &all {
+            assert!(check_mge_instance(&wn, e, LubKind::SelectionFree));
+        }
+        // Distinctness by extension tuple.
+        let keys: BTreeSet<Vec<Extension>> = all
+            .iter()
+            .map(|e| e.concepts.iter().map(|c| c.extension(&wn.instance)).collect())
+            .collect();
+        assert_eq!(keys.len(), all.len());
+    }
+
+    #[test]
+    fn enumeration_handles_single_try() {
+        let wn = paper_like_wn();
+        let one = enumerate_mges_instance(&wn, LubKind::SelectionFree, 1);
+        assert!(!one.is_empty());
+    }
+}

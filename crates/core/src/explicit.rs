@@ -1,0 +1,251 @@
+//! Explicitly-given finite ontologies (the paper's Figure 3 style):
+//! named concepts, a Hasse-diagram subsumption relation, and extension
+//! tables.
+//!
+//! `ext` may be instance-independent (as in Figure 3) or supplied per
+//! concept as a function of the instance; the explicit table variant
+//! covers every use in the paper's examples and the benchmark generators.
+
+use crate::ontology::{FiniteOntology, Ontology};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use whynot_concepts::Extension;
+use whynot_relation::{Instance, Value};
+
+/// A named concept of an [`ExplicitOntology`].
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub struct ConceptName(pub String);
+
+impl ConceptName {
+    /// Builds a concept name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ConceptName(name.into())
+    }
+}
+
+impl fmt::Display for ConceptName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ConceptName {
+    fn from(s: &str) -> Self {
+        ConceptName(s.to_string())
+    }
+}
+
+/// A finite, explicitly tabulated `S`-ontology.
+#[derive(Clone, Debug, Default)]
+pub struct ExplicitOntology {
+    concepts: Vec<ConceptName>,
+    index: BTreeMap<ConceptName, usize>,
+    /// Reflexive-transitive subsumption matrix.
+    subsumed: Vec<Vec<bool>>,
+    /// Instance-independent extensions.
+    extensions: Vec<BTreeSet<Value>>,
+}
+
+impl ExplicitOntology {
+    /// Starts building an ontology.
+    pub fn builder() -> ExplicitOntologyBuilder {
+        ExplicitOntologyBuilder::default()
+    }
+
+    /// Index of a named concept.
+    pub fn concept(&self, name: &str) -> Option<ConceptName> {
+        self.index.get(&ConceptName(name.to_string())).map(|_| ConceptName(name.to_string()))
+    }
+
+    /// Looks a concept up, panicking with a readable message if missing
+    /// (for tests and examples).
+    pub fn concept_expect(&self, name: &str) -> ConceptName {
+        self.concept(name)
+            .unwrap_or_else(|| panic!("ontology has no concept named {name:?}"))
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Whether the ontology has no concepts.
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    fn idx(&self, c: &ConceptName) -> Option<usize> {
+        self.index.get(c).copied()
+    }
+}
+
+impl Ontology for ExplicitOntology {
+    type Concept = ConceptName;
+
+    fn subsumed(&self, sub: &ConceptName, sup: &ConceptName) -> bool {
+        match (self.idx(sub), self.idx(sup)) {
+            (Some(a), Some(b)) => self.subsumed[a][b],
+            _ => sub == sup,
+        }
+    }
+
+    fn extension(&self, c: &ConceptName, _inst: &Instance) -> Extension {
+        match self.idx(c) {
+            Some(i) => Extension::Finite(self.extensions[i].clone()),
+            None => Extension::empty(),
+        }
+    }
+
+    fn concept_name(&self, c: &ConceptName) -> String {
+        c.0.clone()
+    }
+}
+
+impl FiniteOntology for ExplicitOntology {
+    fn concepts(&self) -> Vec<ConceptName> {
+        self.concepts.clone()
+    }
+}
+
+/// Builder for [`ExplicitOntology`].
+#[derive(Default)]
+pub struct ExplicitOntologyBuilder {
+    concepts: Vec<ConceptName>,
+    extensions: Vec<BTreeSet<Value>>,
+    edges: Vec<(ConceptName, ConceptName)>,
+}
+
+impl ExplicitOntologyBuilder {
+    /// Declares a concept with its (instance-independent) extension.
+    pub fn concept<V: Into<Value>>(
+        mut self,
+        name: impl Into<String>,
+        extension: impl IntoIterator<Item = V>,
+    ) -> Self {
+        self.concepts.push(ConceptName(name.into()));
+        self.extensions.push(extension.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Declares a subsumption edge `sub ⊑ sup` (the transitive-reflexive
+    /// closure is computed at build time).
+    pub fn edge(mut self, sub: impl Into<String>, sup: impl Into<String>) -> Self {
+        self.edges.push((ConceptName(sub.into()), ConceptName(sup.into())));
+        self
+    }
+
+    /// Finalizes the ontology.
+    ///
+    /// # Panics
+    /// Panics if an edge references an undeclared concept (an authoring
+    /// bug in test/bench fixtures).
+    pub fn build(self) -> ExplicitOntology {
+        let index: BTreeMap<ConceptName, usize> = self
+            .concepts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.clone(), i))
+            .collect();
+        let n = self.concepts.len();
+        let mut subsumed = vec![vec![false; n]; n];
+        for (i, row) in subsumed.iter_mut().enumerate() {
+            row[i] = true;
+        }
+        for (sub, sup) in &self.edges {
+            let a = *index
+                .get(sub)
+                .unwrap_or_else(|| panic!("edge references unknown concept {sub}"));
+            let b = *index
+                .get(sup)
+                .unwrap_or_else(|| panic!("edge references unknown concept {sup}"));
+            subsumed[a][b] = true;
+        }
+        // Floyd–Warshall-style transitive closure.
+        for k in 0..n {
+            for i in 0..n {
+                if subsumed[i][k] {
+                    for j in 0..n {
+                        if subsumed[k][j] {
+                            subsumed[i][j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        ExplicitOntology { concepts: self.concepts, index, subsumed, extensions: self.extensions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology::consistent_with;
+
+    /// The Figure 3 ontology.
+    pub fn figure_3() -> ExplicitOntology {
+        ExplicitOntology::builder()
+            .concept(
+                "City",
+                ["Amsterdam", "Berlin", "Rome", "New York", "San Francisco", "Santa Cruz", "Tokyo", "Kyoto"],
+            )
+            .concept("European-City", ["Amsterdam", "Berlin", "Rome"])
+            .concept("Dutch-City", ["Amsterdam"])
+            .concept("US-City", ["New York", "San Francisco", "Santa Cruz"])
+            .concept("East-Coast-City", ["New York"])
+            .concept("West-Coast-City", ["Santa Cruz", "San Francisco"])
+            .edge("European-City", "City")
+            .edge("Dutch-City", "European-City")
+            .edge("US-City", "City")
+            .edge("East-Coast-City", "US-City")
+            .edge("West-Coast-City", "US-City")
+            .build()
+    }
+
+    #[test]
+    fn closure_is_reflexive_and_transitive() {
+        let o = figure_3();
+        let dutch = o.concept_expect("Dutch-City");
+        let city = o.concept_expect("City");
+        let eu = o.concept_expect("European-City");
+        assert!(o.subsumed(&dutch, &dutch));
+        assert!(o.subsumed(&dutch, &eu));
+        assert!(o.subsumed(&dutch, &city));
+        assert!(!o.subsumed(&city, &dutch));
+        assert!(o.strictly_subsumed(&dutch, &city));
+        assert!(!o.strictly_subsumed(&city, &city));
+    }
+
+    #[test]
+    fn figure_3_is_consistent_with_any_instance() {
+        // Instance-independent extensions: consistency is a property of the
+        // tables alone, and Figure 3's tables respect the hierarchy.
+        let o = figure_3();
+        assert!(consistent_with(&o, &Instance::new()));
+    }
+
+    #[test]
+    fn inconsistent_tables_are_detected() {
+        let o = ExplicitOntology::builder()
+            .concept("Sub", ["a", "b"])
+            .concept("Sup", ["a"])
+            .edge("Sub", "Sup")
+            .build();
+        assert!(!consistent_with(&o, &Instance::new()));
+    }
+
+    #[test]
+    fn unknown_concepts_have_empty_extensions() {
+        let o = figure_3();
+        let ghost = ConceptName::new("Ghost");
+        assert!(o.extension(&ghost, &Instance::new()).is_empty());
+        assert!(o.subsumed(&ghost, &ghost));
+        assert_eq!(o.concept("Ghost"), None);
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        let o = figure_3();
+        assert_eq!(o.len(), 6);
+        assert_eq!(o.concepts()[0], ConceptName::new("City"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Ontology-based why-not explanations — the core framework of
+//! *"High-Level Why-Not Explanations using Ontologies"* (PODS 2015).
+//!
+//! Given a why-not instance `(S, I, q, Ans, a)` and an `S`-ontology, an
+//! **explanation** for `a ∉ Ans` is a tuple of concepts whose extensions
+//! contain the missing tuple componentwise while their product avoids the
+//! answer set (Definition 3.2); the best explanations are the
+//! **most general** ones (Definition 3.3). This crate provides:
+//!
+//! * [`Ontology`] / [`FiniteOntology`] — the `S`-ontology abstraction
+//!   (Definition 3.1) with [`consistent_with`] checking;
+//! * concrete ontologies: [`ExplicitOntology`] (Figure 3 style),
+//!   [`ObdaOntology`] (OBDA-induced, Definition 4.4),
+//!   [`InstanceOntology`] (`OI`) and [`SchemaOntology`] (`OS`)
+//!   (Definition 4.8), plus materialized `O[K]` fragments;
+//! * [`WhyNotInstance`], [`Explanation`], [`is_explanation`] and the
+//!   generality order (Definitions 3.2, 3.3, 5.1);
+//! * **Algorithm 1** — [`exhaustive_search`] for all most-general
+//!   explanations over finite ontologies (Theorem 5.2), with
+//!   [`find_explanation`] / [`explanation_exists`] for
+//!   EXISTENCE-OF-EXPLANATION (NP-complete, Theorem 5.1(2); the executable
+//!   SET COVER reduction lives in [`setcover`]) and [`check_mge`]
+//!   (PTIME, Theorem 5.1(1));
+//! * **Algorithm 2** — [`incremental_search`] (selection-free,
+//!   Theorem 5.3) and [`incremental_search_with_selections`]
+//!   (Theorem 5.4) for one MGE w.r.t. `OI`, plus
+//!   [`check_mge_instance`] (Proposition 5.2);
+//! * `OS`-side computation via fragment materialization:
+//!   [`compute_mge_schema`], [`all_mges_schema`], [`check_mge_schema`]
+//!   (Propositions 5.3, 5.4);
+//! * the §6 variations: [`shortest_mge`], [`irredundant_mge`],
+//!   [`minimize_concept`] / [`minimized_explanation`],
+//!   [`card_maximal_exact`] / [`card_maximal_greedy`], and
+//!   [`is_strong_explanation`].
+
+#![warn(missing_docs)]
+
+mod derived;
+mod enumerate;
+mod exhaustive;
+mod explicit;
+mod incremental;
+mod obda_query;
+mod ontology;
+mod schema_mge;
+pub mod setcover;
+mod variations;
+mod whynot;
+
+pub use derived::{
+    min_fragment_concepts, InstanceOntology, MaterializedOntology, ObdaOntology, SchemaOntology,
+};
+pub use enumerate::{enumerate_mges_instance, incremental_search_balanced};
+pub use obda_query::obda_why_not;
+pub use exhaustive::{
+    check_mge, exhaustive_search, explanation_exists, find_explanation, retain_most_general,
+};
+pub use explicit::{ConceptName, ExplicitOntology, ExplicitOntologyBuilder};
+pub use incremental::{
+    check_mge_instance, incremental_search, incremental_search_kind,
+    incremental_search_with_selections, LubKind,
+};
+pub use ontology::{consistent_with, FiniteOntology, Ontology};
+pub use schema_mge::{
+    all_mges_schema, check_mge_schema, compute_mge_schema, fragment_concepts, SchemaFragment,
+};
+pub use variations::{
+    card_maximal_exact, card_maximal_greedy, degree_of_generality, irredundant_explanation,
+    irredundant_mge, is_strong_explanation, is_strong_explanation_query, minimize_concept,
+    minimized_explanation, shortest_mge, StrongOutcome,
+};
+pub use whynot::{
+    display_explanation, equivalent_explanations, explanation_extensions, exts_form_explanation,
+    is_explanation, less_general, strictly_less_general, Explanation, WhyNotInstance,
+};

@@ -1,0 +1,66 @@
+//! The `S`-ontology abstraction (paper Definition 3.1).
+//!
+//! An `S`-ontology is a triple `(C, ⊑, ext)`: a (possibly infinite) set of
+//! concepts, a subsumption *pre-order*, and a polynomial-time extension
+//! function from concepts and instances to sets of constants. The trait
+//! below captures exactly that; [`FiniteOntology`] adds enumerability,
+//! which Algorithm 1 (exhaustive search) requires.
+
+use std::fmt::Debug;
+use whynot_concepts::Extension;
+use whynot_relation::Instance;
+
+/// An `S`-ontology `(C, ⊑, ext)` over some relational schema
+/// (Definition 3.1).
+pub trait Ontology {
+    /// The concept representation.
+    type Concept: Clone + Ord + Debug;
+
+    /// The subsumption pre-order: `sub ⊑ sup`.
+    fn subsumed(&self, sub: &Self::Concept, sup: &Self::Concept) -> bool;
+
+    /// The extension `ext(c, inst)`.
+    fn extension(&self, c: &Self::Concept, inst: &Instance) -> Extension;
+
+    /// Pretty-prints a concept (used by explanation displays; defaults to
+    /// `Debug`).
+    fn concept_name(&self, c: &Self::Concept) -> String {
+        format!("{c:?}")
+    }
+
+    /// Strict subsumption `sub ⊏ sup` in the pre-order: `sub ⊑ sup` and
+    /// not `sup ⊑ sub`.
+    fn strictly_subsumed(&self, sub: &Self::Concept, sup: &Self::Concept) -> bool {
+        self.subsumed(sub, sup) && !self.subsumed(sup, sub)
+    }
+
+    /// Concept equivalence in the pre-order.
+    fn equivalent(&self, a: &Self::Concept, b: &Self::Concept) -> bool {
+        self.subsumed(a, b) && self.subsumed(b, a)
+    }
+}
+
+/// An ontology whose concept set can be enumerated (the exhaustive search
+/// algorithm and the materialized `OS[K]` / `OI[K]` restrictions).
+pub trait FiniteOntology: Ontology {
+    /// All concepts, in a deterministic order.
+    fn concepts(&self) -> Vec<Self::Concept>;
+}
+
+/// Whether `inst` is *consistent with* a finite ontology
+/// (Definition 3.1): subsumption implies extension inclusion on `inst`.
+pub fn consistent_with<O: FiniteOntology>(ontology: &O, inst: &Instance) -> bool {
+    let concepts = ontology.concepts();
+    for c1 in &concepts {
+        for c2 in &concepts {
+            if ontology.subsumed(c1, c2) {
+                let e1 = ontology.extension(c1, inst);
+                let e2 = ontology.extension(c2, inst);
+                if !e1.subset_of(&e2) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}

@@ -1,0 +1,205 @@
+//! COMPUTE-ONE-MGE and CHECK-MGE **w.r.t. `OS`** (paper §5.3,
+//! Propositions 5.3 and 5.4) via materialization of the constant-
+//! restricted fragment `O_S[K]` and the exhaustive search algorithm.
+//!
+//! The paper's upper bounds arise from materializing `LS[K]` fragments:
+//! `LminS[K]` has polynomially many concepts (Proposition 4.2), so with a
+//! PTIME-decidable constraint class (e.g. FDs) the whole pipeline is
+//! polynomial for fixed query arity — exactly Proposition 5.3's last
+//! bullet. Richer fragments trade concept-count blow-up for finer
+//! explanations; [`SchemaFragment`] selects the trade-off.
+
+use crate::derived::{min_fragment_concepts, MaterializedOntology, SchemaOntology};
+use crate::exhaustive::{check_mge, exhaustive_search};
+use crate::whynot::{Explanation, WhyNotInstance};
+use std::collections::BTreeSet;
+use whynot_concepts::{LsConcept, Selection};
+use whynot_relation::{CmpOp, Schema, Value};
+
+/// Which `LS[K]` fragment to materialize.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchemaFragment {
+    /// `LminS[K]`: `⊤`, nominals over `K`, plain projections —
+    /// polynomially many concepts (Proposition 4.2 bullet 1).
+    Min,
+    /// `LminS[K]` plus equality-selected projections
+    /// `π_A(σ_{B=c}(R))` for `c ∈ K` — still polynomial, strictly finer.
+    WithEqualitySelections,
+}
+
+/// Materializes the chosen fragment's concept list over
+/// `K = adom(I) ∪ {a1,…,am}`.
+pub fn fragment_concepts(
+    schema: &Schema,
+    k: &BTreeSet<Value>,
+    fragment: SchemaFragment,
+) -> Vec<LsConcept> {
+    let mut out = min_fragment_concepts(schema, k);
+    if fragment == SchemaFragment::WithEqualitySelections {
+        for rel in schema.rel_ids() {
+            let arity = schema.arity(rel);
+            for attr in 0..arity {
+                for sel_attr in 0..arity {
+                    for c in k {
+                        out.push(LsConcept::proj_sel(
+                            rel,
+                            attr,
+                            Selection::new([(sel_attr, CmpOp::Eq, c.clone())]),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// COMPUTE-ONE-MGE W.R.T. `OS` (Definition 5.8): materializes `O_S[K]`
+/// over the chosen fragment and runs the exhaustive search; returns one
+/// most-general explanation (the first in the deterministic order), if
+/// any.
+///
+/// With nominals in the language an explanation always exists; `None` is
+/// only possible for arity-0 questions.
+pub fn compute_mge_schema(
+    wn: &WhyNotInstance,
+    fragment: SchemaFragment,
+) -> Option<Explanation<LsConcept>> {
+    let os = SchemaOntology::new(wn.schema.clone());
+    let k = wn.restriction_constants();
+    let mat = MaterializedOntology::new(&os, fragment_concepts(&wn.schema, &k, fragment));
+    exhaustive_search(&mat, wn).into_iter().next()
+}
+
+/// All most-general explanations w.r.t. the materialized `O_S[K]`
+/// fragment.
+pub fn all_mges_schema(
+    wn: &WhyNotInstance,
+    fragment: SchemaFragment,
+) -> Vec<Explanation<LsConcept>> {
+    let os = SchemaOntology::new(wn.schema.clone());
+    let k = wn.restriction_constants();
+    let mat = MaterializedOntology::new(&os, fragment_concepts(&wn.schema, &k, fragment));
+    exhaustive_search(&mat, wn)
+}
+
+/// CHECK-MGE W.R.T. `OS` (Definition 5.9, Proposition 5.4): decided
+/// against the materialized fragment.
+pub fn check_mge_schema(
+    wn: &WhyNotInstance,
+    e: &Explanation<LsConcept>,
+    fragment: SchemaFragment,
+) -> bool {
+    let os = SchemaOntology::new(wn.schema.clone());
+    let k = wn.restriction_constants();
+    let mat = MaterializedOntology::new(&os, fragment_concepts(&wn.schema, &k, fragment));
+    check_mge(&mat, wn, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::whynot::is_explanation;
+    use whynot_relation::{Atom, Cq, Fd, Instance, SchemaBuilder, Term, Ucq, Var};
+
+    fn s(x: &str) -> Value {
+        Value::str(x)
+    }
+
+    fn fd_wn() -> WhyNotInstance {
+        // Cities with country → continent; query: pairs of cities in the
+        // same relation row — keep it simple: q(x) = π_name, why-not a
+        // fresh city.
+        let mut b = SchemaBuilder::new();
+        let cities = b.relation("Cities", ["name", "country", "continent"]);
+        b.add_fd(Fd::new(cities, [1], [2]));
+        let schema = b.finish().unwrap();
+        let mut inst = Instance::new();
+        for (n, c, k) in [
+            ("Amsterdam", "Netherlands", "Europe"),
+            ("Berlin", "Germany", "Europe"),
+            ("Tokyo", "Japan", "Asia"),
+        ] {
+            inst.insert(cities, vec![s(n), s(c), s(k)]);
+        }
+        let q = Ucq::single(Cq::new(
+            [Term::Var(Var(0))],
+            [Atom::new(cities, [Term::Var(Var(0)), Term::Var(Var(1)), Term::Var(Var(2))])],
+            [],
+        ));
+        WhyNotInstance::new(schema, inst, q, vec![s("Netherlands")]).unwrap()
+    }
+
+    #[test]
+    fn fragment_sizes() {
+        let wn = fd_wn();
+        let k = wn.restriction_constants();
+        let min = fragment_concepts(&wn.schema, &k, SchemaFragment::Min);
+        let eq = fragment_concepts(&wn.schema, &k, SchemaFragment::WithEqualitySelections);
+        // 1 + |K| + 3 projections.
+        assert_eq!(min.len(), 1 + k.len() + 3);
+        // plus 3·3·|K| equality selections.
+        assert_eq!(eq.len(), min.len() + 9 * k.len());
+    }
+
+    #[test]
+    fn compute_mge_schema_yields_a_checked_mge() {
+        let wn = fd_wn();
+        let e = compute_mge_schema(&wn, SchemaFragment::Min).expect("nominals guarantee one");
+        let os = SchemaOntology::new(wn.schema.clone());
+        assert!(is_explanation(&os, &wn, &e));
+        assert!(check_mge_schema(&wn, &e, SchemaFragment::Min));
+    }
+
+    #[test]
+    fn min_fragment_mges_are_nominal_and_country_projection() {
+        // W.r.t. OS a nominal is *incomparable* with a projection: no
+        // instance-independent inclusion holds in either direction (the
+        // empty instance kills {c} ⊑S π, any instance with extra rows
+        // kills π ⊑S {c}). Both maximal explanations must be returned.
+        let wn = fd_wn();
+        let mges = all_mges_schema(&wn, SchemaFragment::Min);
+        let cities = wn.schema.rel_expect("Cities");
+        let nominal = Explanation::new([LsConcept::nominal(s("Netherlands"))]);
+        let country = Explanation::new([LsConcept::proj(cities, 1)]);
+        assert!(mges.contains(&nominal), "{mges:?}");
+        assert!(mges.contains(&country), "{mges:?}");
+        assert_eq!(mges.len(), 2, "{mges:?}");
+        assert!(check_mge_schema(&wn, &nominal, SchemaFragment::Min));
+        assert!(check_mge_schema(&wn, &country, SchemaFragment::Min));
+    }
+
+    #[test]
+    fn equality_fragment_refines_min_fragment() {
+        let wn = fd_wn();
+        let min_all = all_mges_schema(&wn, SchemaFragment::Min);
+        let eq_all = all_mges_schema(&wn, SchemaFragment::WithEqualitySelections);
+        assert!(!min_all.is_empty());
+        assert!(!eq_all.is_empty());
+        // Every min-fragment MGE stays an explanation in the bigger
+        // fragment (though possibly no longer maximal there).
+        let os = SchemaOntology::new(wn.schema.clone());
+        for e in &min_all {
+            assert!(is_explanation(&os, &wn, e));
+        }
+    }
+
+    #[test]
+    fn check_mge_schema_rejects_non_maximal_equality_selection() {
+        // π_name(σ_{name=Netherlands}(Cities)) ⊑S π_name(Cities) strictly,
+        // and the plain projection… contains answers. But the *country*
+        // projection σ-selected to Netherlands is strictly below the plain
+        // country projection, which IS an explanation — so the selected
+        // one is rejected in the equality fragment.
+        let wn = fd_wn();
+        let cities = wn.schema.rel_expect("Cities");
+        let selected = Explanation::new([LsConcept::proj_sel(
+            cities,
+            1,
+            Selection::eq(1, s("Netherlands")),
+        )]);
+        let os = SchemaOntology::new(wn.schema.clone());
+        assert!(is_explanation(&os, &wn, &selected));
+        assert!(!check_mge_schema(&wn, &selected, SchemaFragment::WithEqualitySelections));
+    }
+}

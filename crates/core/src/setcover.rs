@@ -1,0 +1,199 @@
+//! The SET COVER reduction behind Theorem 5.1(2) (NP-hardness of
+//! EXISTENCE-OF-EXPLANATION) and the hardness family of Proposition 6.4,
+//! made executable.
+//!
+//! Given a universe `U` and sets `S1,…,Sk`, the reduction builds a why-not
+//! question of arity `t` (the cover budget) whose answers are the diagonal
+//! tuples `(u,…,u)` and an ontology with one concept per set `Sj` whose
+//! extension is `(U ∖ Sj) ∪ {⋆}`, where `⋆` is the missing tuple's
+//! constant. Choosing concept `D_{j_i}` at position `i` excludes exactly
+//! the diagonal tuples of `S_{j_i}`, so **an explanation exists iff some
+//! `≤ t` sets cover `U`** — a faithful, executable rendering of the
+//! paper's lower-bound construction (note the query arity is unbounded
+//! while the schema arity stays 1, matching the theorem's remark).
+
+use crate::explicit::ExplicitOntology;
+use crate::whynot::WhyNotInstance;
+use whynot_relation::{Atom, Cq, Instance, SchemaBuilder, Term, Ucq, Value, Var};
+
+/// A SET COVER instance.
+#[derive(Clone, Debug)]
+pub struct SetCover {
+    /// Universe size; elements are `0..universe`.
+    pub universe: usize,
+    /// The candidate sets (element indices).
+    pub sets: Vec<Vec<usize>>,
+    /// Cover budget `t`.
+    pub budget: usize,
+}
+
+impl SetCover {
+    /// Brute-force solver: does a cover of size ≤ budget exist?
+    /// (Exponential — used only to cross-check the reduction in tests and
+    /// to label generated instances.)
+    pub fn solvable(&self) -> bool {
+        self.search(0, &mut vec![false; self.universe], 0)
+    }
+
+    fn search(&self, from: usize, covered: &mut [bool], used: usize) -> bool {
+        if covered.iter().all(|&c| c) {
+            return true;
+        }
+        if used == self.budget || from == self.sets.len() {
+            return false;
+        }
+        // Include sets[from].
+        let newly: Vec<usize> =
+            self.sets[from].iter().copied().filter(|&u| !covered[u]).collect();
+        if !newly.is_empty() {
+            for &u in &newly {
+                covered[u] = true;
+            }
+            if self.search(from + 1, covered, used + 1) {
+                return true;
+            }
+            for &u in &newly {
+                covered[u] = false;
+            }
+        }
+        // Skip sets[from].
+        self.search(from + 1, covered, used)
+    }
+}
+
+fn elem(u: usize) -> Value {
+    Value::str(format!("u{u}"))
+}
+
+/// The reduction: a why-not question + ontology such that an explanation
+/// exists iff the SET COVER instance is solvable.
+pub fn reduce_set_cover(sc: &SetCover) -> (ExplicitOntology, WhyNotInstance) {
+    let star = Value::str("⋆");
+    // Ontology: D_j has extension (U ∖ S_j) ∪ {⋆}; flat order.
+    let mut builder = ExplicitOntology::builder();
+    for (j, set) in sc.sets.iter().enumerate() {
+        let ext: Vec<Value> = (0..sc.universe)
+            .filter(|u| !set.contains(u))
+            .map(elem)
+            .chain([star.clone()])
+            .collect();
+        builder = builder.concept(format!("D{j}"), ext);
+    }
+    let ontology = builder.build();
+
+    // Database: unary U with the universe; query of arity `budget` whose
+    // head repeats one variable, so Ans is the diagonal.
+    let mut sb = SchemaBuilder::new();
+    let urel = sb.relation("U", ["elem"]);
+    let schema = sb.finish().unwrap();
+    let mut inst = Instance::new();
+    for u in 0..sc.universe {
+        inst.insert(urel, vec![elem(u)]);
+    }
+    let x = Var(0);
+    let q = Ucq::single(Cq::new(
+        std::iter::repeat(Term::Var(x)).take(sc.budget),
+        [Atom::new(urel, [Term::Var(x)])],
+        [],
+    ));
+    let missing = vec![star; sc.budget];
+    let wn = WhyNotInstance::new(schema, inst, q, missing)
+        .expect("⋆ is never a diagonal answer");
+    (ontology, wn)
+}
+
+/// A hard family for the benches: `n` elements, the sets are the
+/// `(n/2)`-element "windows" plus singletons, budget `t`. Around
+/// `t ≈ 2` the windows barely cover, making the search space dense.
+pub fn hard_family(n: usize, t: usize) -> SetCover {
+    let mut sets: Vec<Vec<usize>> = Vec::new();
+    let w = (n / 2).max(1);
+    for start in 0..n {
+        sets.push((0..w).map(|i| (start + i * 2) % n).collect());
+    }
+    for u in 0..n {
+        sets.push(vec![u]);
+    }
+    SetCover { universe: n, sets, budget: t }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::{explanation_exists, find_explanation};
+    use crate::whynot::is_explanation;
+
+    #[test]
+    fn solver_basics() {
+        let sc = SetCover { universe: 3, sets: vec![vec![0, 1], vec![2]], budget: 2 };
+        assert!(sc.solvable());
+        let sc = SetCover { universe: 3, sets: vec![vec![0, 1], vec![1, 2]], budget: 1 };
+        assert!(!sc.solvable());
+        let sc = SetCover { universe: 0, sets: vec![], budget: 1 };
+        assert!(sc.solvable());
+    }
+
+    #[test]
+    fn reduction_positive_instance() {
+        let sc = SetCover { universe: 4, sets: vec![vec![0, 1], vec![2, 3], vec![0, 3]], budget: 2 };
+        assert!(sc.solvable());
+        let (o, wn) = reduce_set_cover(&sc);
+        assert!(explanation_exists(&o, &wn));
+        let e = find_explanation(&o, &wn).unwrap();
+        assert!(is_explanation(&o, &wn, &e));
+    }
+
+    #[test]
+    fn reduction_negative_instance() {
+        // Three pairwise-disjoint pairs, budget 2: cannot cover 6 elements.
+        let sc = SetCover {
+            universe: 6,
+            sets: vec![vec![0, 1], vec![2, 3], vec![4, 5]],
+            budget: 2,
+        };
+        assert!(!sc.solvable());
+        let (o, wn) = reduce_set_cover(&sc);
+        assert!(!explanation_exists(&o, &wn));
+    }
+
+    #[test]
+    fn reduction_agrees_with_solver_exhaustively() {
+        // Cross-check on a family of small random-ish instances.
+        let mut cases = Vec::new();
+        for universe in 1..5usize {
+            for mask in 0..(1u32 << universe.min(4)) {
+                let set: Vec<usize> =
+                    (0..universe).filter(|&u| mask & (1 << u) != 0).collect();
+                if !set.is_empty() {
+                    cases.push(set);
+                }
+            }
+            for budget in 1..3usize {
+                for chunk in cases.chunks(5) {
+                    let sc = SetCover {
+                        universe,
+                        sets: chunk.to_vec(),
+                        budget,
+                    };
+                    let (o, wn) = reduce_set_cover(&sc);
+                    assert_eq!(
+                        sc.solvable(),
+                        explanation_exists(&o, &wn),
+                        "disagreement on {sc:?}"
+                    );
+                }
+            }
+            cases.clear();
+        }
+    }
+
+    #[test]
+    fn hard_family_shapes() {
+        let sc = hard_family(6, 2);
+        assert_eq!(sc.universe, 6);
+        assert!(sc.sets.len() >= 12);
+        // Singletons alone can always cover with budget = n.
+        let all = SetCover { universe: 4, sets: hard_family(4, 4).sets, budget: 4 };
+        assert!(all.solvable());
+    }
+}

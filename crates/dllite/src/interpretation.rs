@@ -1,0 +1,195 @@
+//! `(ΦC, ΦR)`-interpretations and model checking (paper Definition 4.1).
+//!
+//! An interpretation assigns a unary relation over `Const` to every atomic
+//! concept and a binary relation to every atomic role; it extends to
+//! arbitrary concept and role expressions by the usual semantics (the
+//! negation cases are checked lazily — `Const` is infinite, so `¬B` is
+//! never materialized).
+
+use crate::syntax::{
+    AtomicConcept, AtomicRole, BasicConcept, ConceptExpr, Role, RoleExpr, TBox, TBoxAxiom,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use whynot_relation::Value;
+
+/// A finite representation of a `(ΦC, ΦR)`-interpretation.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Interpretation {
+    concepts: BTreeMap<AtomicConcept, BTreeSet<Value>>,
+    roles: BTreeMap<AtomicRole, BTreeSet<(Value, Value)>>,
+}
+
+impl Interpretation {
+    /// The empty interpretation.
+    pub fn new() -> Self {
+        Interpretation::default()
+    }
+
+    /// Asserts `c ∈ I(A)`; returns whether the assertion was new.
+    pub fn add_concept(&mut self, a: AtomicConcept, c: Value) -> bool {
+        self.concepts.entry(a).or_default().insert(c)
+    }
+
+    /// Asserts `(x, y) ∈ I(P)`; returns whether the assertion was new.
+    pub fn add_role(&mut self, p: AtomicRole, x: Value, y: Value) -> bool {
+        self.roles.entry(p).or_default().insert((x, y))
+    }
+
+    /// `I(A)` for an atomic concept.
+    pub fn concept_ext(&self, a: &AtomicConcept) -> BTreeSet<Value> {
+        self.concepts.get(a).cloned().unwrap_or_default()
+    }
+
+    /// `I(R)` for a basic role (inverting as needed).
+    pub fn role_ext(&self, r: &Role) -> BTreeSet<(Value, Value)> {
+        let base = self.roles.get(r.atom()).cloned().unwrap_or_default();
+        match r {
+            Role::Direct(_) => base,
+            Role::Inverse(_) => base.into_iter().map(|(x, y)| (y, x)).collect(),
+        }
+    }
+
+    /// `I(B)` for a basic concept: `I(A)`, or `π1(I(R))` for `∃R`.
+    pub fn basic_ext(&self, b: &BasicConcept) -> BTreeSet<Value> {
+        match b {
+            BasicConcept::Atomic(a) => self.concept_ext(a),
+            BasicConcept::Exists(r) => self.role_ext(r).into_iter().map(|(x, _)| x).collect(),
+        }
+    }
+
+    /// Membership in a (possibly negated) concept expression.
+    pub fn satisfies_concept(&self, c: &ConceptExpr, v: &Value) -> bool {
+        match c {
+            ConceptExpr::Basic(b) => self.basic_ext(b).contains(v),
+            ConceptExpr::Neg(b) => !self.basic_ext(b).contains(v),
+        }
+    }
+
+    /// Whether the interpretation satisfies one axiom.
+    pub fn satisfies_axiom(&self, ax: &TBoxAxiom) -> bool {
+        match ax {
+            TBoxAxiom::Concept { sub, sup } => self
+                .basic_ext(sub)
+                .iter()
+                .all(|v| self.satisfies_concept(sup, v)),
+            TBoxAxiom::Role { sub, sup } => {
+                let lhs = self.role_ext(sub);
+                match sup {
+                    RoleExpr::Role(s) => {
+                        let rhs = self.role_ext(s);
+                        lhs.iter().all(|p| rhs.contains(p))
+                    }
+                    RoleExpr::Neg(s) => {
+                        let rhs = self.role_ext(s);
+                        lhs.iter().all(|p| !rhs.contains(p))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether the interpretation satisfies every axiom of the TBox.
+    pub fn satisfies_tbox(&self, tbox: &TBox) -> bool {
+        tbox.axioms().iter().all(|ax| self.satisfies_axiom(ax))
+    }
+
+    /// Set-inclusion comparison with another interpretation (used to check
+    /// minimality of canonical solutions).
+    pub fn included_in(&self, other: &Interpretation) -> bool {
+        self.concepts.iter().all(|(a, ext)| {
+            let theirs = other.concept_ext(a);
+            ext.iter().all(|v| theirs.contains(v))
+        }) && self.roles.iter().all(|(p, ext)| {
+            let theirs = other.roles.get(p).cloned().unwrap_or_default();
+            ext.iter().all(|v| theirs.contains(v))
+        })
+    }
+
+    /// Total number of assertions.
+    pub fn len(&self) -> usize {
+        self.concepts.values().map(BTreeSet::len).sum::<usize>()
+            + self.roles.values().map(BTreeSet::len).sum::<usize>()
+    }
+
+    /// Whether the interpretation makes no assertions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: &str) -> Value {
+        Value::str(x)
+    }
+
+    #[test]
+    fn exists_is_first_projection() {
+        let mut i = Interpretation::new();
+        i.add_role(AtomicRole::new("hasCountry"), s("Rome"), s("Italy"));
+        assert_eq!(
+            i.basic_ext(&BasicConcept::exists("hasCountry")),
+            [s("Rome")].into_iter().collect()
+        );
+        assert_eq!(
+            i.basic_ext(&BasicConcept::exists_inv("hasCountry")),
+            [s("Italy")].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn axiom_checking_positive_and_negative() {
+        let mut i = Interpretation::new();
+        i.add_concept(AtomicConcept::new("EU-City"), s("Rome"));
+        i.add_concept(AtomicConcept::new("City"), s("Rome"));
+        let mut t = TBox::new();
+        t.concept_incl(BasicConcept::atomic("EU-City"), BasicConcept::atomic("City"));
+        t.concept_disj(BasicConcept::atomic("EU-City"), BasicConcept::atomic("N.A.-City"));
+        assert!(i.satisfies_tbox(&t));
+        // Violate the positive inclusion.
+        i.add_concept(AtomicConcept::new("EU-City"), s("Berlin"));
+        assert!(!i.satisfies_tbox(&t));
+        i.add_concept(AtomicConcept::new("City"), s("Berlin"));
+        assert!(i.satisfies_tbox(&t));
+        // Violate the disjointness.
+        i.add_concept(AtomicConcept::new("N.A.-City"), s("Rome"));
+        assert!(!i.satisfies_tbox(&t));
+    }
+
+    #[test]
+    fn existential_axiom_needs_witnesses() {
+        let mut t = TBox::new();
+        t.concept_incl(BasicConcept::atomic("City"), BasicConcept::exists("hasCountry"));
+        let mut i = Interpretation::new();
+        i.add_concept(AtomicConcept::new("City"), s("Rome"));
+        assert!(!i.satisfies_tbox(&t));
+        i.add_role(AtomicRole::new("hasCountry"), s("Rome"), s("Italy"));
+        assert!(i.satisfies_tbox(&t));
+    }
+
+    #[test]
+    fn role_axiom_checking() {
+        let mut t = TBox::new();
+        t.role_incl(Role::direct("train"), Role::direct("connected"));
+        let mut i = Interpretation::new();
+        i.add_role(AtomicRole::new("train"), s("A"), s("B"));
+        assert!(!i.satisfies_tbox(&t));
+        i.add_role(AtomicRole::new("connected"), s("A"), s("B"));
+        assert!(i.satisfies_tbox(&t));
+    }
+
+    #[test]
+    fn inclusion_between_interpretations() {
+        let mut small = Interpretation::new();
+        small.add_concept(AtomicConcept::new("City"), s("Rome"));
+        let mut big = small.clone();
+        big.add_concept(AtomicConcept::new("City"), s("Berlin"));
+        big.add_role(AtomicRole::new("train"), s("A"), s("B"));
+        assert!(small.included_in(&big));
+        assert!(!big.included_in(&small));
+        assert_eq!(big.len(), 3);
+        assert!(!big.is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! DL-LiteR, GAV mappings, and OBDA specifications — the external-ontology
+//! side of *"High-Level Why-Not Explanations using Ontologies"*
+//! (PODS 2015, §4.1).
+//!
+//! This crate implements, from scratch:
+//!
+//! * [`TBox`] and the DL-LiteR expression grammar (Definition 4.1),
+//! * [`TBoxReasoner`] — PTIME subsumption, disjointness and
+//!   unsatisfiability via closure of the inclusion digraph
+//!   (Theorem 4.1(1)),
+//! * [`Interpretation`] — `(ΦC, ΦR)`-interpretations with model checking,
+//! * [`GavMapping`] — GAV mapping assertions relating a relational schema
+//!   to the ontology vocabulary (Definition 4.2), and
+//! * [`ObdaSpec`] — OBDA specifications with certain extensions, canonical
+//!   solutions and consistency checking (Definitions 4.3–4.4,
+//!   Theorems 4.1(2) and 4.2).
+//!
+//! The induced `S`-ontology `O_B` (concepts = basic concepts of `T`,
+//! subsumption = TBox entailment, `ext` = certain extensions) is wrapped
+//! into the why-not framework by `whynot-core`'s `ObdaOntology`.
+
+#![warn(missing_docs)]
+
+mod interpretation;
+mod mapping;
+mod obda;
+mod reasoning;
+mod rewriting;
+mod syntax;
+
+pub use interpretation::Interpretation;
+pub use mapping::{body_atom, c, v, GavMapping, MappingHead};
+pub use obda::{is_witness_null, witness_null, ObdaSpec};
+pub use reasoning::TBoxReasoner;
+pub use rewriting::{perfect_ref, OntAtom, OntCq};
+pub use syntax::{
+    AtomicConcept, AtomicRole, BasicConcept, ConceptExpr, Role, RoleExpr, TBox, TBoxAxiom,
+};

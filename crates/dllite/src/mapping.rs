@@ -1,0 +1,224 @@
+//! GAV mapping assertions (paper Definition 4.2).
+//!
+//! A GAV mapping relates a conjunctive-query body over the relational
+//! schema `S` to one atomic concept or role assertion:
+//!
+//! ```text
+//! ∀x̄ (φ1(x̄1) ∧ … ∧ φn(x̄n)) → A(xi)        or      → P(xi, xj)
+//! ```
+
+use crate::interpretation::Interpretation;
+use crate::syntax::{AtomicConcept, AtomicRole};
+use std::fmt;
+use whynot_relation::{Atom, Cq, Instance, RelError, Schema, Term, Value, Var};
+
+/// The head of a GAV mapping: an atomic concept or role assertion over
+/// body variables.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MappingHead {
+    /// `→ A(x)`.
+    Concept(AtomicConcept, Var),
+    /// `→ P(x, y)`.
+    Role(AtomicRole, Var, Var),
+}
+
+/// A GAV mapping assertion.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GavMapping {
+    /// The body atoms over the relational schema.
+    pub body: Vec<Atom>,
+    /// The ontology-side head.
+    pub head: MappingHead,
+}
+
+impl GavMapping {
+    /// A concept mapping `body → A(var)`.
+    pub fn concept(
+        name: impl Into<Box<str>>,
+        var: Var,
+        body: impl IntoIterator<Item = Atom>,
+    ) -> Self {
+        GavMapping {
+            body: body.into_iter().collect(),
+            head: MappingHead::Concept(AtomicConcept::new(name), var),
+        }
+    }
+
+    /// A role mapping `body → P(x, y)`.
+    pub fn role(
+        name: impl Into<Box<str>>,
+        x: Var,
+        y: Var,
+        body: impl IntoIterator<Item = Atom>,
+    ) -> Self {
+        GavMapping {
+            body: body.into_iter().collect(),
+            head: MappingHead::Role(AtomicRole::new(name), x, y),
+        }
+    }
+
+    /// The body as a conjunctive query projecting the head variables.
+    pub fn as_query(&self) -> Cq {
+        let head = match &self.head {
+            MappingHead::Concept(_, v) => vec![Term::Var(*v)],
+            MappingHead::Role(_, x, y) => vec![Term::Var(*x), Term::Var(*y)],
+        };
+        Cq::new(head, self.body.iter().cloned(), [])
+    }
+
+    /// Validates body arities and head-variable safety against the schema.
+    pub fn validate(&self, schema: &Schema) -> Result<(), RelError> {
+        self.as_query().validate(schema)
+    }
+
+    /// The assertions this mapping derives from `inst`, added to `interp`.
+    pub fn apply(&self, inst: &Instance, interp: &mut Interpretation) {
+        let answers = self.as_query().eval(inst);
+        for t in answers {
+            match &self.head {
+                MappingHead::Concept(a, _) => {
+                    interp.add_concept(a.clone(), t[0].clone());
+                }
+                MappingHead::Role(p, _, _) => {
+                    interp.add_role(p.clone(), t[0].clone(), t[1].clone());
+                }
+            }
+        }
+    }
+
+    /// Whether the pair `(inst, interp)` satisfies the mapping
+    /// (Definition 4.2): every body match's head assertion is present.
+    pub fn satisfied_by(&self, inst: &Instance, interp: &Interpretation) -> bool {
+        let answers = self.as_query().eval(inst);
+        answers.iter().all(|t| match &self.head {
+            MappingHead::Concept(a, _) => interp.concept_ext(a).contains(&t[0]),
+            MappingHead::Role(p, _, _) => {
+                interp.role_ext(&crate::syntax::Role::Direct(p.clone())).contains(&(
+                    t[0].clone(),
+                    t[1].clone(),
+                ))
+            }
+        })
+    }
+}
+
+impl fmt::Display for GavMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, atom) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let args: Vec<String> = atom.args.iter().map(|t| t.to_string()).collect();
+            write!(f, "R{}({})", atom.rel.0, args.join(", "))?;
+        }
+        match &self.head {
+            MappingHead::Concept(a, v) => write!(f, " → {a}({v})"),
+            MappingHead::Role(p, x, y) => write!(f, " → {p}({x}, {y})"),
+        }
+    }
+}
+
+/// Helper: the constant-pattern body atom `R(t1, …, tk)` with a mix of
+/// variables and constants, as used throughout Figure 4.
+pub fn body_atom(
+    rel: whynot_relation::RelId,
+    args: impl IntoIterator<Item = Term>,
+) -> Atom {
+    Atom::new(rel, args)
+}
+
+/// Term helper: a variable.
+pub fn v(i: u32) -> Term {
+    Term::Var(Var(i))
+}
+
+/// Term helper: a string constant.
+pub fn c(s: &str) -> Term {
+    Term::Const(Value::str(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whynot_relation::SchemaBuilder;
+
+    fn s(x: &str) -> Value {
+        Value::str(x)
+    }
+
+    fn fixture() -> (whynot_relation::Schema, whynot_relation::RelId, Instance) {
+        let mut b = SchemaBuilder::new();
+        let cities = b.relation("Cities", ["name", "population", "country", "continent"]);
+        let schema = b.finish().unwrap();
+        let mut inst = Instance::new();
+        for (name, pop, country, continent) in [
+            ("Amsterdam", 779_808, "Netherlands", "Europe"),
+            ("New York", 8_337_000, "USA", "N.America"),
+        ] {
+            inst.insert(cities, vec![s(name), Value::int(pop), s(country), s(continent)]);
+        }
+        (schema, cities, inst)
+    }
+
+    #[test]
+    fn concept_mapping_derives_assertions() {
+        let (schema, cities, inst) = fixture();
+        // Cities(x, z, w, "Europe") → EU-City(x)
+        let m = GavMapping::concept(
+            "EU-City",
+            Var(0),
+            [body_atom(cities, [v(0), v(1), v(2), c("Europe")])],
+        );
+        m.validate(&schema).unwrap();
+        let mut i = Interpretation::new();
+        m.apply(&inst, &mut i);
+        assert_eq!(
+            i.concept_ext(&AtomicConcept::new("EU-City")),
+            [s("Amsterdam")].into_iter().collect()
+        );
+        assert!(m.satisfied_by(&inst, &i));
+    }
+
+    #[test]
+    fn role_mapping_derives_pairs() {
+        let (schema, cities, inst) = fixture();
+        // Cities(x, k, y, w) → hasCountry(x, y)
+        let m = GavMapping::role(
+            "hasCountry",
+            Var(0),
+            Var(2),
+            [body_atom(cities, [v(0), v(1), v(2), v(3)])],
+        );
+        m.validate(&schema).unwrap();
+        let mut i = Interpretation::new();
+        m.apply(&inst, &mut i);
+        let ext = i.role_ext(&crate::syntax::Role::direct("hasCountry"));
+        assert!(ext.contains(&(s("Amsterdam"), s("Netherlands"))));
+        assert!(ext.contains(&(s("New York"), s("USA"))));
+        assert_eq!(ext.len(), 2);
+    }
+
+    #[test]
+    fn satisfaction_fails_on_missing_assertions() {
+        let (_, cities, inst) = fixture();
+        let m = GavMapping::concept(
+            "City",
+            Var(0),
+            [body_atom(cities, [v(0), v(1), v(2), v(3)])],
+        );
+        let empty = Interpretation::new();
+        assert!(!m.satisfied_by(&inst, &empty));
+        // A superset interpretation still satisfies it.
+        let mut i = Interpretation::new();
+        m.apply(&inst, &mut i);
+        i.add_concept(AtomicConcept::new("City"), s("Atlantis"));
+        assert!(m.satisfied_by(&inst, &i));
+    }
+
+    #[test]
+    fn validate_rejects_head_variable_not_in_body() {
+        let (schema, cities, _) = fixture();
+        let m = GavMapping::concept("X", Var(9), [body_atom(cities, [v(0), v(1), v(2), v(3)])]);
+        assert!(m.validate(&schema).is_err());
+    }
+}

@@ -1,0 +1,483 @@
+//! OBDA specifications and their induced `S`-ontologies
+//! (paper Definitions 4.3–4.4, Theorems 4.1–4.2).
+//!
+//! An OBDA specification `B = (T, S, M)` combines a DL-LiteR TBox, a
+//! relational schema, and GAV mappings. Its induced ontology has:
+//!
+//! * concepts `C_OB` — the basic concept expressions occurring in `T`,
+//! * subsumption `⊑_OB` — TBox entailment (PTIME via [`TBoxReasoner`]),
+//! * extensions `ext_OB(C, I) = ⋂ { I(C) : I solution for I w.r.t. B }` —
+//!   the *certain* extensions.
+//!
+//! For DL-LiteR + GAV, a constant is certainly in `C` iff some basic `B'`
+//! with `T |= B' ⊑ C` holds the constant in the mapping image: existential
+//! axioms only ever create labelled nulls, which are not constants
+//! (Theorem 4.1(2) makes this computable in PTIME; we implement it by
+//! unioning the mapping-level extensions over the reasoner's downward
+//! cone).
+
+use crate::interpretation::Interpretation;
+use crate::mapping::GavMapping;
+use crate::reasoning::TBoxReasoner;
+use crate::syntax::{BasicConcept, Role, TBox};
+use std::collections::BTreeSet;
+use whynot_relation::{Instance, RelError, Schema, Value};
+
+/// An OBDA specification `(T, M)` over an (externally held) schema `S`.
+#[derive(Clone, Debug)]
+pub struct ObdaSpec {
+    tbox: TBox,
+    mappings: Vec<GavMapping>,
+    reasoner: TBoxReasoner,
+}
+
+impl ObdaSpec {
+    /// Builds a specification and precomputes the reasoning closures.
+    pub fn new(tbox: TBox, mappings: impl IntoIterator<Item = GavMapping>) -> Self {
+        let reasoner = TBoxReasoner::new(&tbox);
+        ObdaSpec { tbox, mappings: mappings.into_iter().collect(), reasoner }
+    }
+
+    /// The TBox `T`.
+    pub fn tbox(&self) -> &TBox {
+        &self.tbox
+    }
+
+    /// The mapping assertions `M`.
+    pub fn mappings(&self) -> &[GavMapping] {
+        &self.mappings
+    }
+
+    /// The precomputed reasoner.
+    pub fn reasoner(&self) -> &TBoxReasoner {
+        &self.reasoner
+    }
+
+    /// Validates every mapping body against the schema.
+    pub fn validate(&self, schema: &Schema) -> Result<(), RelError> {
+        for m in &self.mappings {
+            m.validate(schema)?;
+        }
+        Ok(())
+    }
+
+    /// The concept set `C_OB` of the induced ontology: all basic concept
+    /// expressions occurring in `T` (Definition 4.4).
+    pub fn concept_set(&self) -> Vec<BasicConcept> {
+        self.tbox.basic_concepts()
+    }
+
+    /// TBox-level subsumption `⊑_OB` (Theorem 4.1(1), PTIME).
+    pub fn subsumed(&self, sub: &BasicConcept, sup: &BasicConcept) -> bool {
+        self.reasoner.subsumed(sub, sup)
+    }
+
+    /// The mapping image of `inst`: the minimal assertions forced by `M`
+    /// alone.
+    pub fn base_interpretation(&self, inst: &Instance) -> Interpretation {
+        let mut interp = Interpretation::new();
+        for m in &self.mappings {
+            m.apply(inst, &mut interp);
+        }
+        interp
+    }
+
+    /// The certain extension `ext_OB(b, I)` (Theorem 4.1(2)).
+    ///
+    /// Computed as the union of the mapping-image extensions of every basic
+    /// concept in the downward cone of `b`. Equals the intersection of
+    /// `I(b)` over all solutions whenever `(inst, B)` is consistent (which
+    /// [`ObdaSpec::is_consistent`] checks); on inconsistent input it
+    /// returns the saturation of the mapping image, which is the standard
+    /// "derivable assertions" reading.
+    pub fn certain_extension(&self, b: &BasicConcept, inst: &Instance) -> BTreeSet<Value> {
+        let base = self.base_interpretation(inst);
+        self.certain_extension_from(&base, b)
+    }
+
+    /// [`ObdaSpec::certain_extension`] against a precomputed mapping image
+    /// (use this when querying many concepts over one instance).
+    pub fn certain_extension_from(
+        &self,
+        base: &Interpretation,
+        b: &BasicConcept,
+    ) -> BTreeSet<Value> {
+        let mut cone: Vec<BasicConcept> = self.reasoner.subsumees(b);
+        if !cone.contains(b) {
+            cone.push(b.clone());
+        }
+        let mut out = BTreeSet::new();
+        for sub in cone {
+            out.extend(base.basic_ext(&sub));
+        }
+        out
+    }
+
+    /// The derived extension of a basic role: the mapping image closed
+    /// under role inclusions.
+    pub fn certain_role_extension(
+        &self,
+        r: &Role,
+        inst: &Instance,
+    ) -> BTreeSet<(Value, Value)> {
+        let base = self.base_interpretation(inst);
+        let mut out = BTreeSet::new();
+        for sub in self.reasoner.roles() {
+            if self.reasoner.role_subsumed(sub, r) && !self.reasoner.role_unsat(sub) {
+                out.extend(base.role_ext(sub));
+            }
+        }
+        out.extend(base.role_ext(r));
+        out
+    }
+
+    /// Whether `inst` is consistent with the specification: some solution
+    /// exists, i.e. the derived assertions violate no negative inclusion.
+    pub fn is_consistent(&self, inst: &Instance) -> bool {
+        let base = self.base_interpretation(inst);
+        let concepts: Vec<BasicConcept> = self.reasoner.concepts().cloned().collect();
+        for (i, b1) in concepts.iter().enumerate() {
+            let e1 = self.certain_extension_from(&base, b1);
+            if e1.is_empty() {
+                continue;
+            }
+            if self.reasoner.concept_unsat(b1) {
+                return false;
+            }
+            for b2 in &concepts[i..] {
+                if self.reasoner.disjoint(b1, b2) {
+                    let e2 = self.certain_extension_from(&base, b2);
+                    if e1.iter().any(|v| e2.contains(v)) {
+                        return false;
+                    }
+                }
+            }
+        }
+        let roles: Vec<Role> = self.reasoner.roles().cloned().collect();
+        for (i, r1) in roles.iter().enumerate() {
+            let e1 = self.certain_role_extension(r1, inst);
+            if e1.is_empty() {
+                continue;
+            }
+            if self.reasoner.role_unsat(r1) {
+                return false;
+            }
+            for r2 in &roles[i..] {
+                if self.reasoner.role_disjoint(r1, r2) {
+                    let e2 = self.certain_role_extension(r2, inst);
+                    if e1.iter().any(|p| e2.contains(p)) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Builds the *canonical solution*: the mapping image saturated under
+    /// the positive TBox axioms, with one reusable labelled null per basic
+    /// role serving as existential witness. When `inst` is consistent this
+    /// interpretation satisfies `T` and all mappings, and is pointwise
+    /// minimal on constants (every solution contains its constant part).
+    pub fn canonical_solution(&self, inst: &Instance) -> Interpretation {
+        let mut interp = self.base_interpretation(inst);
+        // Saturate role pairs under role inclusions.
+        let roles: Vec<Role> = self.reasoner.roles().cloned().collect();
+        for r in &roles {
+            for s in &roles {
+                if r != s && self.reasoner.role_subsumed(r, s) {
+                    for (x, y) in interp.role_ext(r) {
+                        add_role_pair(&mut interp, s, x, y);
+                    }
+                }
+            }
+        }
+        // Saturate concept memberships, creating witnesses as needed.
+        let mut pending: Vec<(Value, BasicConcept)> = Vec::new();
+        let mut seen: BTreeSet<(Value, BasicConcept)> = BTreeSet::new();
+        for b in self.reasoner.concepts() {
+            for val in interp.basic_ext(b) {
+                pending.push((val, b.clone()));
+            }
+        }
+        while let Some((val, b)) = pending.pop() {
+            if !seen.insert((val.clone(), b.clone())) {
+                continue;
+            }
+            // Materialize the membership.
+            match &b {
+                BasicConcept::Atomic(a) => {
+                    interp.add_concept(a.clone(), val.clone());
+                }
+                BasicConcept::Exists(r) => {
+                    let has_successor =
+                        interp.role_ext(r).iter().any(|(x, _)| x == &val);
+                    if !has_successor {
+                        let witness = witness_null(r);
+                        // The new pair participates in every super-role.
+                        for s in &roles {
+                            if self.reasoner.role_subsumed(r, s) {
+                                add_role_pair(&mut interp, s, val.clone(), witness.clone());
+                            }
+                        }
+                        add_role_pair(&mut interp, r, val.clone(), witness.clone());
+                        pending.push((witness, BasicConcept::Exists(r.inverted())));
+                    }
+                }
+            }
+            // Propagate along positive inclusions.
+            for sup in self.reasoner.concepts() {
+                if sup != &b && self.reasoner.subsumed(&b, sup) {
+                    pending.push((val.clone(), sup.clone()));
+                }
+            }
+        }
+        interp
+    }
+}
+
+fn add_role_pair(interp: &mut Interpretation, role: &Role, x: Value, y: Value) {
+    match role {
+        Role::Direct(p) => {
+            interp.add_role(p.clone(), x, y);
+        }
+        Role::Inverse(p) => {
+            interp.add_role(p.clone(), y, x);
+        }
+    }
+}
+
+/// The reusable labelled null witnessing `∃r`-successors. Uses a reserved
+/// private-use prefix so it can never collide with data constants.
+pub fn witness_null(r: &Role) -> Value {
+    Value::str(format!("\u{e001}w[{r}]"))
+}
+
+/// Whether a value is a labelled null created by [`ObdaSpec::canonical_solution`].
+pub fn is_witness_null(v: &Value) -> bool {
+    matches!(v, Value::Str(s) if s.starts_with('\u{e001}'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{body_atom, c, v};
+    use whynot_relation::{RelId, SchemaBuilder, Var};
+
+    fn s(x: &str) -> Value {
+        Value::str(x)
+    }
+
+    fn a(name: &str) -> BasicConcept {
+        BasicConcept::atomic(name)
+    }
+
+    /// Figure 4: the full TBox.
+    pub fn figure_4_tbox() -> TBox {
+        let mut t = TBox::new();
+        t.concept_incl(a("EU-City"), a("City"));
+        t.concept_incl(a("Dutch-City"), a("EU-City"));
+        t.concept_incl(a("N.A.-City"), a("City"));
+        t.concept_disj(a("EU-City"), a("N.A.-City"));
+        t.concept_incl(a("US-City"), a("N.A.-City"));
+        t.concept_incl(a("City"), BasicConcept::exists("hasCountry"));
+        t.concept_incl(a("Country"), BasicConcept::exists("hasContinent"));
+        t.concept_incl(BasicConcept::exists_inv("hasCountry"), a("Country"));
+        t.concept_incl(BasicConcept::exists_inv("hasContinent"), a("Continent"));
+        t.concept_incl(BasicConcept::exists("connected"), a("City"));
+        t.concept_incl(BasicConcept::exists_inv("connected"), a("City"));
+        t
+    }
+
+    /// Figure 4: the GAV mappings over the Figure 1 data schema.
+    fn figure_4_mappings(cities: RelId, tc: RelId) -> Vec<GavMapping> {
+        vec![
+            GavMapping::concept("EU-City", Var(0), [body_atom(cities, [v(0), v(1), v(2), c("Europe")])]),
+            GavMapping::concept("Dutch-City", Var(0), [body_atom(cities, [v(0), v(1), c("Netherlands"), v(3)])]),
+            GavMapping::concept("N.A.-City", Var(0), [body_atom(cities, [v(0), v(1), v(2), c("N.America")])]),
+            GavMapping::concept("US-City", Var(0), [body_atom(cities, [v(0), v(1), c("USA"), v(3)])]),
+            GavMapping::concept("Continent", Var(3), [body_atom(cities, [v(0), v(1), v(2), v(3)])]),
+            GavMapping::role("hasCountry", Var(0), Var(2), [body_atom(cities, [v(0), v(1), v(2), v(3)])]),
+            GavMapping::role("hasContinent", Var(0), Var(3), [body_atom(cities, [v(0), v(1), v(2), v(3)])]),
+            GavMapping::role(
+                "connected",
+                Var(0),
+                Var(4),
+                [
+                    body_atom(tc, [v(0), v(4)]),
+                    body_atom(cities, [v(0), v(1), v(2), v(3)]),
+                    body_atom(cities, [v(4), v(5), v(6), v(7)]),
+                ],
+            ),
+        ]
+    }
+
+    fn fixture() -> (whynot_relation::Schema, ObdaSpec, Instance) {
+        let mut b = SchemaBuilder::new();
+        let cities = b.relation("Cities", ["name", "population", "country", "continent"]);
+        let tc = b.relation("Train-Connections", ["city_from", "city_to"]);
+        let schema = b.finish().unwrap();
+        let spec = ObdaSpec::new(figure_4_tbox(), figure_4_mappings(cities, tc));
+        spec.validate(&schema).unwrap();
+        let mut inst = Instance::new();
+        for (name, pop, country, continent) in [
+            ("Amsterdam", 779_808, "Netherlands", "Europe"),
+            ("Berlin", 3_502_000, "Germany", "Europe"),
+            ("Rome", 2_753_000, "Italy", "Europe"),
+            ("New York", 8_337_000, "USA", "N.America"),
+            ("San Francisco", 837_442, "USA", "N.America"),
+            ("Santa Cruz", 59_946, "USA", "N.America"),
+            ("Tokyo", 13_185_000, "Japan", "Asia"),
+            ("Kyoto", 1_400_000, "Japan", "Asia"),
+        ] {
+            inst.insert(cities, vec![s(name), Value::int(pop), s(country), s(continent)]);
+        }
+        for (x, y) in [
+            ("Amsterdam", "Berlin"),
+            ("Berlin", "Rome"),
+            ("Berlin", "Amsterdam"),
+            ("New York", "San Francisco"),
+            ("San Francisco", "Santa Cruz"),
+            ("Tokyo", "Kyoto"),
+        ] {
+            inst.insert(tc, vec![s(x), s(y)]);
+        }
+        (schema, spec, inst)
+    }
+
+    fn names(set: &BTreeSet<Value>) -> Vec<String> {
+        set.iter().map(|v| v.to_string()).collect()
+    }
+
+    #[test]
+    fn example_4_5_certain_extensions() {
+        let (_, spec, inst) = fixture();
+        // ext_OB(City, I): all eight cities (derived through subclasses and
+        // the connected-role cones — no direct City mapping exists).
+        assert_eq!(
+            names(&spec.certain_extension(&a("City"), &inst)),
+            [
+                "Amsterdam", "Berlin", "Kyoto", "New York", "Rome",
+                "San Francisco", "Santa Cruz", "Tokyo"
+            ]
+        );
+        assert_eq!(
+            names(&spec.certain_extension(&a("EU-City"), &inst)),
+            ["Amsterdam", "Berlin", "Rome"]
+        );
+        assert_eq!(
+            names(&spec.certain_extension(&a("N.A.-City"), &inst)),
+            ["New York", "San Francisco", "Santa Cruz"]
+        );
+        assert_eq!(
+            names(&spec.certain_extension(&BasicConcept::exists_inv("hasCountry"), &inst)),
+            ["Germany", "Italy", "Japan", "Netherlands", "USA"]
+        );
+        // Note: the paper's Example 4.5 prints ext(∃connected) as
+        // {Amsterdam, Berlin, New York}; by the mapping semantics San
+        // Francisco and Tokyo also have outgoing connections, so the
+        // computed certain extension necessarily includes them.
+        assert_eq!(
+            names(&spec.certain_extension(&BasicConcept::exists("connected"), &inst)),
+            ["Amsterdam", "Berlin", "New York", "San Francisco", "Tokyo"]
+        );
+    }
+
+    #[test]
+    fn certain_extension_unions_the_cone() {
+        let (_, spec, inst) = fixture();
+        // Country has no direct mapping; it is populated through
+        // ∃hasCountry⁻ ⊑ Country.
+        assert_eq!(
+            names(&spec.certain_extension(&a("Country"), &inst)),
+            ["Germany", "Italy", "Japan", "Netherlands", "USA"]
+        );
+        // ∃hasContinent collects cities (mapping) and countries
+        // (Country ⊑ ∃hasContinent — an existential axiom, which adds
+        // countries to the *certain* extension of ∃hasContinent because
+        // every solution must give them a successor).
+        let e = spec.certain_extension(&BasicConcept::exists("hasContinent"), &inst);
+        assert!(e.contains(&s("Amsterdam")));
+        assert!(e.contains(&s("Netherlands")));
+        assert_eq!(e.len(), 13);
+    }
+
+    #[test]
+    fn figure_4_instance_is_consistent() {
+        let (_, spec, inst) = fixture();
+        assert!(spec.is_consistent(&inst));
+    }
+
+    #[test]
+    fn disjointness_violation_detected() {
+        let (_, spec, _) = fixture();
+        let mut bad = Instance::new();
+        // A city claiming to be both in Europe and in N.America violates
+        // EU-City ⊑ ¬N.A.-City... via two rows with different continents.
+        bad.insert(RelId(0), vec![s("Chimera"), Value::int(1), s("X"), s("Europe")]);
+        bad.insert(RelId(0), vec![s("Chimera"), Value::int(1), s("X"), s("N.America")]);
+        assert!(!spec.is_consistent(&bad));
+    }
+
+    #[test]
+    fn canonical_solution_is_a_solution() {
+        let (_, spec, inst) = fixture();
+        let sol = spec.canonical_solution(&inst);
+        assert!(sol.satisfies_tbox(spec.tbox()), "canonical solution must satisfy T");
+        for m in spec.mappings() {
+            assert!(m.satisfied_by(&inst, &sol), "mapping violated: {m}");
+        }
+        // The base interpretation embeds into it.
+        assert!(spec.base_interpretation(&inst).included_in(&sol));
+    }
+
+    #[test]
+    fn canonical_solution_witnesses_are_nulls() {
+        let (_, spec, inst) = fixture();
+        let sol = spec.canonical_solution(&inst);
+        // Countries need continents: Netherlands has a hasContinent edge to
+        // a labelled null (no data-level continent for countries).
+        let pairs = sol.role_ext(&Role::direct("hasContinent"));
+        let dutch_target = pairs
+            .iter()
+            .find(|(x, _)| x == &s("Netherlands"))
+            .map(|(_, y)| y.clone())
+            .expect("Netherlands must have a continent successor");
+        assert!(is_witness_null(&dutch_target));
+        // Certain extensions never contain nulls.
+        for b in spec.concept_set() {
+            for val in spec.certain_extension(&b, &inst) {
+                assert!(!is_witness_null(&val), "{b} contains a null");
+            }
+        }
+    }
+
+    #[test]
+    fn certain_extension_is_contained_in_every_solutions_extension() {
+        // Definition 4.4: ext_OB(C, I) = ⋂ I(C) over solutions. We verify
+        // the ⊆ direction against the canonical solution (which is itself a
+        // solution, so the intersection is inside it).
+        let (_, spec, inst) = fixture();
+        let sol = spec.canonical_solution(&inst);
+        for b in spec.concept_set() {
+            let certain = spec.certain_extension(&b, &inst);
+            let in_sol = sol.basic_ext(&b);
+            assert!(
+                certain.iter().all(|v| in_sol.contains(v)),
+                "certain({b}) ⊄ canonical solution"
+            );
+        }
+    }
+
+    #[test]
+    fn concept_set_matches_definition_4_4() {
+        let (_, spec, _) = fixture();
+        let cs = spec.concept_set();
+        // The 13 basic concept expressions listed in Example 4.5.
+        assert_eq!(cs.len(), 13);
+        assert!(cs.contains(&a("City")));
+        assert!(cs.contains(&BasicConcept::exists("hasCountry")));
+        assert!(cs.contains(&BasicConcept::exists_inv("hasContinent")));
+        assert!(cs.contains(&BasicConcept::exists_inv("connected")));
+    }
+}

@@ -1,0 +1,374 @@
+//! PTIME TBox reasoning for DL-LiteR (paper Theorem 4.1(1)).
+//!
+//! Subsumption between basic concepts reduces to reachability in the
+//! inclusion digraph: positive concept inclusions are concept edges,
+//! positive role inclusions `R ⊑ S` give role edges `R → S` and
+//! `R⁻ → S⁻`, and each role edge induces concept edges `∃R → ∃S`.
+//! Disjointness closes the negative inclusions under the positive
+//! reachability on both sides, and unsatisfiable concepts/roles (those
+//! disjoint from themselves) are subsumed by everything.
+
+use crate::syntax::{BasicConcept, ConceptExpr, Role, RoleExpr, TBox, TBoxAxiom};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Precomputed reasoning closures for a TBox.
+#[derive(Clone, Debug)]
+pub struct TBoxReasoner {
+    /// reach_c[b] = set of basic concepts reachable from b (including b).
+    reach_c: BTreeMap<BasicConcept, BTreeSet<BasicConcept>>,
+    /// reach_r[r] = set of basic roles reachable from r (including r).
+    reach_r: BTreeMap<Role, BTreeSet<Role>>,
+    /// Pairs of directly-asserted disjoint concepts (after no closure).
+    neg_c: Vec<(BasicConcept, BasicConcept)>,
+    /// Pairs of directly-asserted disjoint roles.
+    neg_r: Vec<(Role, Role)>,
+    /// All basic concepts in the closure universe.
+    universe_c: BTreeSet<BasicConcept>,
+    /// All basic roles in the closure universe.
+    universe_r: BTreeSet<Role>,
+    /// Concepts forced empty in every model (fixpoint with `unsat_r`).
+    unsat_c: BTreeSet<BasicConcept>,
+    /// Roles forced empty in every model.
+    unsat_r: BTreeSet<Role>,
+}
+
+impl TBoxReasoner {
+    /// Builds the closures for `tbox`.
+    pub fn new(tbox: &TBox) -> Self {
+        // Universe: every basic concept/role mentioned, plus the ∃R / ∃R⁻
+        // and R / R⁻ companions of every atomic role.
+        let mut universe_c: BTreeSet<BasicConcept> =
+            tbox.basic_concepts().into_iter().collect();
+        let mut universe_r: BTreeSet<Role> = BTreeSet::new();
+        for p in tbox.atomic_roles() {
+            universe_r.insert(Role::Direct(p.clone()));
+            universe_r.insert(Role::Inverse(p.clone()));
+            universe_c.insert(BasicConcept::Exists(Role::Direct(p.clone())));
+            universe_c.insert(BasicConcept::Exists(Role::Inverse(p)));
+        }
+
+        // Direct edges.
+        let mut edges_c: BTreeMap<BasicConcept, BTreeSet<BasicConcept>> = BTreeMap::new();
+        let mut edges_r: BTreeMap<Role, BTreeSet<Role>> = BTreeMap::new();
+        let mut neg_c: Vec<(BasicConcept, BasicConcept)> = Vec::new();
+        let mut neg_r: Vec<(Role, Role)> = Vec::new();
+        for ax in tbox.axioms() {
+            match ax {
+                TBoxAxiom::Concept { sub, sup: ConceptExpr::Basic(sup) } => {
+                    edges_c.entry(sub.clone()).or_default().insert(sup.clone());
+                }
+                TBoxAxiom::Concept { sub, sup: ConceptExpr::Neg(sup) } => {
+                    neg_c.push((sub.clone(), sup.clone()));
+                }
+                TBoxAxiom::Role { sub, sup: RoleExpr::Role(sup) } => {
+                    edges_r.entry(sub.clone()).or_default().insert(sup.clone());
+                    edges_r
+                        .entry(sub.inverted())
+                        .or_default()
+                        .insert(sup.inverted());
+                }
+                TBoxAxiom::Role { sub, sup: RoleExpr::Neg(sup) } => {
+                    neg_r.push((sub.clone(), sup.clone()));
+                }
+            }
+        }
+
+        // Role reachability (transitive-reflexive closure).
+        let reach_r: BTreeMap<Role, BTreeSet<Role>> = universe_r
+            .iter()
+            .map(|r| (r.clone(), closure(r, &edges_r)))
+            .collect();
+
+        // Role edges induce concept edges ∃R → ∃S.
+        for (r, reachable) in &reach_r {
+            let from = BasicConcept::Exists(r.clone());
+            for s in reachable {
+                edges_c
+                    .entry(from.clone())
+                    .or_default()
+                    .insert(BasicConcept::Exists(s.clone()));
+            }
+        }
+
+        // Concept reachability.
+        let reach_c: BTreeMap<BasicConcept, BTreeSet<BasicConcept>> = universe_c
+            .iter()
+            .map(|b| (b.clone(), closure(b, &edges_c)))
+            .collect();
+
+        // Unsatisfiability fixpoint: concepts and roles can force each
+        // other empty (B reaching ∃R of an empty role is empty; a role
+        // whose ∃R or ∃R⁻ cone is contradictory is empty).
+        let mut unsat_c: BTreeSet<BasicConcept> = BTreeSet::new();
+        let mut unsat_r: BTreeSet<Role> = BTreeSet::new();
+        loop {
+            let mut changed = false;
+            for b in &universe_c {
+                if unsat_c.contains(b) {
+                    continue;
+                }
+                let up = &reach_c[b];
+                let clash = neg_c.iter().any(|(x, y)| up.contains(x) && up.contains(y))
+                    || up.iter().any(|c| match c {
+                        BasicConcept::Exists(r) => unsat_r.contains(r),
+                        BasicConcept::Atomic(_) => false,
+                    });
+                if clash {
+                    unsat_c.insert(b.clone());
+                    changed = true;
+                }
+            }
+            for r in &universe_r {
+                if unsat_r.contains(r) {
+                    continue;
+                }
+                let up = &reach_r[r];
+                let clash = neg_r.iter().any(|(x, y)| {
+                    (up.contains(x) && up.contains(y))
+                        || (up.contains(&x.inverted()) && up.contains(&y.inverted()))
+                }) || unsat_c.contains(&BasicConcept::Exists(r.clone()))
+                    || unsat_c.contains(&BasicConcept::Exists(r.inverted()));
+                if clash {
+                    unsat_r.insert(r.clone());
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        TBoxReasoner { reach_c, reach_r, neg_c, neg_r, universe_c, universe_r, unsat_c, unsat_r }
+    }
+
+    /// All basic concepts in the reasoning universe.
+    pub fn concepts(&self) -> impl Iterator<Item = &BasicConcept> + '_ {
+        self.universe_c.iter()
+    }
+
+    /// All basic roles in the reasoning universe.
+    pub fn roles(&self) -> impl Iterator<Item = &Role> + '_ {
+        self.universe_r.iter()
+    }
+
+    fn reachable_c(&self, from: &BasicConcept) -> BTreeSet<BasicConcept> {
+        self.reach_c.get(from).cloned().unwrap_or_else(|| [from.clone()].into_iter().collect())
+    }
+
+    fn reachable_r(&self, from: &Role) -> BTreeSet<Role> {
+        self.reach_r.get(from).cloned().unwrap_or_else(|| [from.clone()].into_iter().collect())
+    }
+
+    /// `T |= B1 ⊑ B2` (positive subsumption between basic concepts).
+    pub fn subsumed(&self, sub: &BasicConcept, sup: &BasicConcept) -> bool {
+        self.reachable_c(sub).contains(sup) || self.concept_unsat(sub)
+    }
+
+    /// `T |= R1 ⊑ R2` (positive subsumption between basic roles).
+    pub fn role_subsumed(&self, sub: &Role, sup: &Role) -> bool {
+        self.reachable_r(sub).contains(sup) || self.role_unsat(sub)
+    }
+
+    /// `T |= B1 ⊑ ¬B2` (concept disjointness).
+    pub fn disjoint(&self, b1: &BasicConcept, b2: &BasicConcept) -> bool {
+        if self.concept_unsat(b1) || self.concept_unsat(b2) {
+            return true;
+        }
+        let up1 = self.reachable_c(b1);
+        let up2 = self.reachable_c(b2);
+        // Note: disjoint roles do NOT make ∃R-concepts disjoint (two roles
+        // with no common pair can still share first components), so only
+        // the concept-level negative inclusions matter here. Self-disjoint
+        // (empty) roles are handled by the unsat checks above.
+        self.neg_c.iter().any(|(x, y)| {
+            (up1.contains(x) && up2.contains(y)) || (up1.contains(y) && up2.contains(x))
+        })
+    }
+
+    /// `T |= R1 ⊑ ¬R2` (role disjointness).
+    pub fn role_disjoint(&self, r1: &Role, r2: &Role) -> bool {
+        if self.role_unsat(r1) || self.role_unsat(r2) {
+            return true;
+        }
+        let up1 = self.reachable_r(r1);
+        let up2 = self.reachable_r(r2);
+        // A negative role inclusion X ⊑ ¬Y also denies the inverted pair
+        // X⁻ ⊑ ¬Y⁻ (as binary relations: X ∩ Y = ∅ iff X⁻ ∩ Y⁻ = ∅).
+        self.neg_r.iter().any(|(x, y)| {
+            (up1.contains(x) && up2.contains(y))
+                || (up1.contains(y) && up2.contains(x))
+                || (up1.contains(&x.inverted()) && up2.contains(&y.inverted()))
+                || (up1.contains(&y.inverted()) && up2.contains(&x.inverted()))
+        })
+    }
+
+    /// Whether `T` forces `B` to be empty in every model.
+    pub fn concept_unsat(&self, b: &BasicConcept) -> bool {
+        self.unsat_c.contains(b)
+    }
+
+    /// Whether `T` forces `R` to be empty in every model.
+    pub fn role_unsat(&self, r: &Role) -> bool {
+        self.unsat_r.contains(r)
+    }
+
+    /// All basic concepts `B'` with `T |= B' ⊑ b` within the universe —
+    /// the "downward cone" used to compute certain extensions.
+    pub fn subsumees(&self, b: &BasicConcept) -> Vec<BasicConcept> {
+        self.universe_c.iter().filter(|c| self.subsumed(c, b)).cloned().collect()
+    }
+}
+
+fn closure<T: Ord + Clone>(start: &T, edges: &BTreeMap<T, BTreeSet<T>>) -> BTreeSet<T> {
+    let mut seen: BTreeSet<T> = [start.clone()].into_iter().collect();
+    let mut stack = vec![start.clone()];
+    while let Some(node) = stack.pop() {
+        if let Some(nexts) = edges.get(&node) {
+            for n in nexts {
+                if seen.insert(n.clone()) {
+                    stack.push(n.clone());
+                }
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(name: &str) -> BasicConcept {
+        BasicConcept::atomic(name)
+    }
+
+    /// The Figure 4 TBox.
+    fn figure_4_tbox() -> TBox {
+        let mut t = TBox::new();
+        t.concept_incl(a("EU-City"), a("City"));
+        t.concept_incl(a("Dutch-City"), a("EU-City"));
+        t.concept_incl(a("N.A.-City"), a("City"));
+        t.concept_disj(a("EU-City"), a("N.A.-City"));
+        t.concept_incl(a("US-City"), a("N.A.-City"));
+        t.concept_incl(a("City"), BasicConcept::exists("hasCountry"));
+        t.concept_incl(a("Country"), BasicConcept::exists("hasContinent"));
+        t.concept_incl(BasicConcept::exists_inv("hasCountry"), a("Country"));
+        t.concept_incl(BasicConcept::exists_inv("hasContinent"), a("Continent"));
+        t.concept_incl(BasicConcept::exists("connected"), a("City"));
+        t.concept_incl(BasicConcept::exists_inv("connected"), a("City"));
+        t
+    }
+
+    #[test]
+    fn transitive_subsumption() {
+        let r = TBoxReasoner::new(&figure_4_tbox());
+        assert!(r.subsumed(&a("Dutch-City"), &a("EU-City")));
+        assert!(r.subsumed(&a("Dutch-City"), &a("City")));
+        assert!(r.subsumed(&a("US-City"), &a("City")));
+        assert!(!r.subsumed(&a("City"), &a("EU-City")));
+        assert!(!r.subsumed(&a("EU-City"), &a("US-City")));
+        // Reflexive.
+        assert!(r.subsumed(&a("City"), &a("City")));
+    }
+
+    #[test]
+    fn existential_chains() {
+        let r = TBoxReasoner::new(&figure_4_tbox());
+        // Dutch-City ⊑ … ⊑ City ⊑ ∃hasCountry.
+        assert!(r.subsumed(&a("Dutch-City"), &BasicConcept::exists("hasCountry")));
+        // ∃hasCountry⁻ ⊑ Country ⊑ ∃hasContinent.
+        assert!(r.subsumed(
+            &BasicConcept::exists_inv("hasCountry"),
+            &BasicConcept::exists("hasContinent")
+        ));
+        // ∃connected ⊑ City.
+        assert!(r.subsumed(&BasicConcept::exists("connected"), &a("City")));
+    }
+
+    #[test]
+    fn disjointness_closes_under_subsumption() {
+        let r = TBoxReasoner::new(&figure_4_tbox());
+        assert!(r.disjoint(&a("EU-City"), &a("N.A.-City")));
+        // Subclasses inherit the disjointness on both sides and in both
+        // orders.
+        assert!(r.disjoint(&a("Dutch-City"), &a("US-City")));
+        assert!(r.disjoint(&a("US-City"), &a("Dutch-City")));
+        assert!(!r.disjoint(&a("City"), &a("EU-City")));
+        assert!(!r.disjoint(&a("Country"), &a("Continent")));
+    }
+
+    #[test]
+    fn consistency_of_figure_4_concepts() {
+        let r = TBoxReasoner::new(&figure_4_tbox());
+        for c in r.concepts() {
+            assert!(!r.concept_unsat(c), "{c} should be satisfiable");
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_concept_is_subsumed_by_everything() {
+        let mut t = figure_4_tbox();
+        // Ghost-City ⊑ EU-City, Ghost-City ⊑ US-City: contradiction with
+        // EU-City ⊑ ¬N.A.-City (US-City ⊑ N.A.-City).
+        t.concept_incl(a("Ghost-City"), a("EU-City"));
+        t.concept_incl(a("Ghost-City"), a("US-City"));
+        let r = TBoxReasoner::new(&t);
+        assert!(r.concept_unsat(&a("Ghost-City")));
+        assert!(r.subsumed(&a("Ghost-City"), &a("Continent")));
+        assert!(r.disjoint(&a("Ghost-City"), &a("Ghost-City")));
+    }
+
+    #[test]
+    fn role_inclusions_propagate_to_existentials_and_inverses() {
+        let mut t = TBox::new();
+        t.role_incl(Role::direct("train"), Role::direct("connected"));
+        let r = TBoxReasoner::new(&t);
+        assert!(r.role_subsumed(&Role::direct("train"), &Role::direct("connected")));
+        assert!(r.role_subsumed(&Role::inverse("train"), &Role::inverse("connected")));
+        assert!(!r.role_subsumed(&Role::direct("connected"), &Role::direct("train")));
+        assert!(r.subsumed(
+            &BasicConcept::exists("train"),
+            &BasicConcept::exists("connected")
+        ));
+        assert!(r.subsumed(
+            &BasicConcept::exists_inv("train"),
+            &BasicConcept::exists_inv("connected")
+        ));
+        assert!(!r.subsumed(
+            &BasicConcept::exists("train"),
+            &BasicConcept::exists_inv("connected")
+        ));
+    }
+
+    #[test]
+    fn role_disjointness_and_emptiness() {
+        let mut t = TBox::new();
+        t.role_incl(Role::direct("tram"), Role::direct("rail"));
+        t.role_disj(Role::direct("rail"), Role::direct("road"));
+        let r = TBoxReasoner::new(&t);
+        assert!(r.role_disjoint(&Role::direct("tram"), &Role::direct("road")));
+        assert!(r.role_disjoint(&Role::inverse("tram"), &Role::inverse("road")));
+        assert!(!r.role_disjoint(&Role::direct("rail"), &Role::direct("tram")));
+
+        // A role disjoint with itself is empty, and so are its ∃s.
+        let mut t2 = TBox::new();
+        t2.role_disj(Role::direct("ghost"), Role::direct("ghost"));
+        t2.concept_incl(a("Spooky"), BasicConcept::exists("ghost"));
+        let r2 = TBoxReasoner::new(&t2);
+        assert!(r2.role_unsat(&Role::direct("ghost")));
+        assert!(r2.concept_unsat(&BasicConcept::exists("ghost")));
+        assert!(r2.concept_unsat(&BasicConcept::exists_inv("ghost")));
+        assert!(r2.concept_unsat(&a("Spooky")));
+    }
+
+    #[test]
+    fn subsumees_form_the_downward_cone() {
+        let r = TBoxReasoner::new(&figure_4_tbox());
+        let below_city = r.subsumees(&a("City"));
+        assert!(below_city.contains(&a("City")));
+        assert!(below_city.contains(&a("EU-City")));
+        assert!(below_city.contains(&a("Dutch-City")));
+        assert!(below_city.contains(&BasicConcept::exists("connected")));
+        assert!(!below_city.contains(&a("Country")));
+    }
+}

@@ -1,0 +1,608 @@
+//! Certain-answer query rewriting for DL-LiteR — the *PerfectRef*
+//! algorithm of Calvanese et al. (JAR 2007), which the paper's
+//! Theorem 4.1(2) builds on, implemented from scratch.
+//!
+//! Given a conjunctive query over the ontology vocabulary (atomic
+//! concepts and roles) and a DL-LiteR TBox, [`perfect_ref`] computes a
+//! union of conjunctive queries whose evaluation over any ABox returns
+//! exactly the certain answers. [`ObdaSpec::certain_answers`] then
+//! composes the rewriting with the GAV mappings, producing a relational
+//! UCQ over the data schema — which also powers the paper's future-work
+//! scenario of *why-not questions over ontology-level queries*
+//! (`whynot-core` builds `WhyNotInstance`s straight from it).
+//!
+//! [`ObdaSpec::certain_answers`]: crate::ObdaSpec::certain_answers
+
+use crate::mapping::MappingHead;
+use crate::obda::ObdaSpec;
+use crate::syntax::{AtomicConcept, AtomicRole, BasicConcept, ConceptExpr, Role, RoleExpr, TBox, TBoxAxiom};
+use std::collections::{BTreeMap, BTreeSet};
+use whynot_relation::{Cq, Instance, RelError, Schema, Term, Tuple, Ucq, Var};
+
+/// An atom over the ontology vocabulary.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum OntAtom {
+    /// `A(t)`.
+    Concept(AtomicConcept, Term),
+    /// `P(t1, t2)`.
+    Role(AtomicRole, Term, Term),
+}
+
+impl OntAtom {
+    fn terms(&self) -> Vec<&Term> {
+        match self {
+            OntAtom::Concept(_, t) => vec![t],
+            OntAtom::Role(_, s, t) => vec![s, t],
+        }
+    }
+
+    fn map_terms(&self, f: &mut impl FnMut(&Term) -> Term) -> OntAtom {
+        match self {
+            OntAtom::Concept(a, t) => OntAtom::Concept(a.clone(), f(t)),
+            OntAtom::Role(p, s, t) => OntAtom::Role(p.clone(), f(s), f(t)),
+        }
+    }
+}
+
+/// A conjunctive query over the ontology vocabulary.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct OntCq {
+    /// Head terms (answer variables or constants).
+    pub head: Vec<Term>,
+    /// Body atoms.
+    pub atoms: Vec<OntAtom>,
+}
+
+impl OntCq {
+    /// Builds an ontology-level CQ.
+    pub fn new(
+        head: impl IntoIterator<Item = Term>,
+        atoms: impl IntoIterator<Item = OntAtom>,
+    ) -> Self {
+        OntCq { head: head.into_iter().collect(), atoms: atoms.into_iter().collect() }
+    }
+
+    fn vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        for t in self.head.iter().chain(self.atoms.iter().flat_map(|a| a.terms())) {
+            if let Term::Var(v) = t {
+                out.insert(*v);
+            }
+        }
+        out
+    }
+
+    /// Whether a term is *bound*: a constant, a distinguished (head)
+    /// variable, or a variable occurring more than once in the body.
+    fn is_bound(&self, term: &Term) -> bool {
+        match term {
+            Term::Const(_) => true,
+            Term::Var(v) => {
+                if self.head.iter().any(|h| h == term) {
+                    return true;
+                }
+                let occurrences: usize = self
+                    .atoms
+                    .iter()
+                    .map(|a| a.terms().iter().filter(|t| ***t == Term::Var(*v)).count())
+                    .sum();
+                occurrences >= 2
+            }
+        }
+    }
+
+    /// Canonical form for the seen-set: variables renamed in order of
+    /// first occurrence (head first), atoms sorted.
+    fn canonical(&self) -> OntCq {
+        let mut map: BTreeMap<Var, Var> = BTreeMap::new();
+        let mut next = 0u32;
+        let mut rename = |t: &Term| -> Term {
+            match t {
+                Term::Const(_) => t.clone(),
+                Term::Var(v) => {
+                    let nv = *map.entry(*v).or_insert_with(|| {
+                        let nv = Var(next);
+                        next += 1;
+                        nv
+                    });
+                    Term::Var(nv)
+                }
+            }
+        };
+        let head: Vec<Term> = self.head.iter().map(&mut rename).collect();
+        let mut atoms: Vec<OntAtom> =
+            self.atoms.iter().map(|a| a.map_terms(&mut rename)).collect();
+        atoms.sort();
+        atoms.dedup();
+        OntCq { head, atoms }
+    }
+}
+
+/// The PerfectRef rewriting: a finite set of CQs over the ontology
+/// vocabulary whose union, evaluated over any (virtual) ABox, yields the
+/// certain answers of `q` under `tbox`.
+pub fn perfect_ref(tbox: &TBox, q: &OntCq) -> Vec<OntCq> {
+    let mut seen: BTreeSet<OntCq> = BTreeSet::new();
+    let mut result: Vec<OntCq> = Vec::new();
+    let mut frontier: Vec<OntCq> = vec![q.canonical()];
+    seen.insert(q.canonical());
+    while let Some(current) = frontier.pop() {
+        result.push(current.clone());
+        let mut fresh_counter =
+            current.vars().iter().map(|v| v.0 + 1).max().unwrap_or(0);
+        // (a) Apply every applicable positive inclusion to every atom.
+        for (i, atom) in current.atoms.iter().enumerate() {
+            for axiom in tbox.axioms() {
+                if let Some(new_atom) = apply_axiom(&current, atom, axiom, &mut fresh_counter) {
+                    let mut atoms = current.atoms.clone();
+                    atoms[i] = new_atom;
+                    let candidate = OntCq { head: current.head.clone(), atoms }.canonical();
+                    if seen.insert(candidate.clone()) {
+                        frontier.push(candidate);
+                    }
+                }
+            }
+        }
+        // (b) Reduce: unify pairs of atoms (the mgu may turn bound
+        // variables unbound, enabling further inclusions).
+        for i in 0..current.atoms.len() {
+            for j in (i + 1)..current.atoms.len() {
+                if let Some(candidate) = reduce(&current, i, j) {
+                    let candidate = candidate.canonical();
+                    if seen.insert(candidate.clone()) {
+                        frontier.push(candidate);
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+/// The PerfectRef applicability table: if the positive inclusion `axiom`
+/// applies to `atom` within `q`, returns the replacement atom.
+fn apply_axiom(
+    q: &OntCq,
+    atom: &OntAtom,
+    axiom: &TBoxAxiom,
+    fresh: &mut u32,
+) -> Option<OntAtom> {
+    let mut fresh_var = || {
+        let v = Var(*fresh);
+        *fresh += 1;
+        Term::Var(v)
+    };
+    match (atom, axiom) {
+        // g = A(t), I = B ⊑ A  ⇒  atom-of-B(t).
+        (
+            OntAtom::Concept(a, t),
+            TBoxAxiom::Concept { sub, sup: ConceptExpr::Basic(BasicConcept::Atomic(sup_a)) },
+        ) if sup_a == a => Some(atom_of_basic(sub, t.clone(), &mut fresh_var)),
+        // g = P(t1, t2), I = B ⊑ ∃P (t2 unbound) or B ⊑ ∃P⁻ (t1 unbound).
+        (
+            OntAtom::Role(p, t1, t2),
+            TBoxAxiom::Concept { sub, sup: ConceptExpr::Basic(BasicConcept::Exists(r)) },
+        ) if r.atom() == p => match r {
+            Role::Direct(_) if !q.is_bound(t2) => {
+                Some(atom_of_basic(sub, t1.clone(), &mut fresh_var))
+            }
+            Role::Inverse(_) if !q.is_bound(t1) => {
+                Some(atom_of_basic(sub, t2.clone(), &mut fresh_var))
+            }
+            _ => None,
+        },
+        // g = Q(t1, t2), I = R1 ⊑ R2 with R2's atom = Q.
+        (OntAtom::Role(p, t1, t2), TBoxAxiom::Role { sub, sup: RoleExpr::Role(sup_r) })
+            if sup_r.atom() == p =>
+        {
+            // Orient the pair through the superrole, then through the sub.
+            let (s, t) = match sup_r {
+                Role::Direct(_) => (t1.clone(), t2.clone()),
+                Role::Inverse(_) => (t2.clone(), t1.clone()),
+            };
+            Some(match sub {
+                Role::Direct(q_atom) => OntAtom::Role(q_atom.clone(), s, t),
+                Role::Inverse(q_atom) => OntAtom::Role(q_atom.clone(), t, s),
+            })
+        }
+        _ => None,
+    }
+}
+
+fn atom_of_basic(
+    b: &BasicConcept,
+    t: Term,
+    fresh: &mut impl FnMut() -> Term,
+) -> OntAtom {
+    match b {
+        BasicConcept::Atomic(a) => OntAtom::Concept(a.clone(), t),
+        BasicConcept::Exists(Role::Direct(p)) => OntAtom::Role(p.clone(), t, fresh()),
+        BasicConcept::Exists(Role::Inverse(p)) => OntAtom::Role(p.clone(), fresh(), t),
+    }
+}
+
+/// Unifies atoms `i` and `j` of `q` (same predicate), applying the most
+/// general unifier to the whole query.
+fn reduce(q: &OntCq, i: usize, j: usize) -> Option<OntCq> {
+    let pairs: Vec<(Term, Term)> = match (&q.atoms[i], &q.atoms[j]) {
+        (OntAtom::Concept(a1, t1), OntAtom::Concept(a2, t2)) if a1 == a2 => {
+            vec![(t1.clone(), t2.clone())]
+        }
+        (OntAtom::Role(p1, s1, t1), OntAtom::Role(p2, s2, t2)) if p1 == p2 => {
+            vec![(s1.clone(), s2.clone()), (t1.clone(), t2.clone())]
+        }
+        _ => return None,
+    };
+    // Union-find unification (no function symbols).
+    let mut parent: BTreeMap<Var, Term> = BTreeMap::new();
+    fn find(parent: &BTreeMap<Var, Term>, mut t: Term) -> Term {
+        loop {
+            match t {
+                Term::Var(v) => match parent.get(&v) {
+                    Some(next) => t = next.clone(),
+                    None => return Term::Var(v),
+                },
+                c @ Term::Const(_) => return c,
+            }
+        }
+    }
+    for (a, b) in pairs {
+        let ra = find(&parent, a);
+        let rb = find(&parent, b);
+        match (ra, rb) {
+            (Term::Const(x), Term::Const(y)) => {
+                if x != y {
+                    return None;
+                }
+            }
+            (Term::Var(v), t) | (t, Term::Var(v)) => {
+                if t != Term::Var(v) {
+                    parent.insert(v, t);
+                }
+            }
+        }
+    }
+    let mut subst = |t: &Term| find(&parent, t.clone());
+    let head: Vec<Term> = q.head.iter().map(&mut subst).collect();
+    let mut atoms: Vec<OntAtom> = q
+        .atoms
+        .iter()
+        .enumerate()
+        .filter(|(k, _)| *k != j)
+        .map(|(_, a)| a.map_terms(&mut subst))
+        .collect();
+    atoms.dedup();
+    Some(OntCq { head, atoms })
+}
+
+impl ObdaSpec {
+    /// The certain answers of an ontology-level CQ over `inst`
+    /// (Theorem 4.1(2) generalized from concepts to conjunctive queries):
+    /// PerfectRef rewriting over the TBox, mapping unfolding, evaluation.
+    pub fn certain_answers(
+        &self,
+        schema: &Schema,
+        q: &OntCq,
+        inst: &Instance,
+    ) -> Result<BTreeSet<Tuple>, RelError> {
+        let ucq = self.rewrite_to_relational(schema, q)?;
+        Ok(ucq.eval(inst))
+    }
+
+    /// The full rewriting pipeline: PerfectRef, then GAV unfolding,
+    /// producing a relational UCQ over the data schema whose evaluation
+    /// yields the certain answers on any instance.
+    pub fn rewrite_to_relational(&self, schema: &Schema, q: &OntCq) -> Result<Ucq, RelError> {
+        let mut disjuncts: Vec<Cq> = Vec::new();
+        for rewritten in perfect_ref(self.tbox(), q) {
+            disjuncts.extend(self.unfold_one(&rewritten));
+        }
+        let ucq = Ucq::new(disjuncts);
+        ucq.validate(schema)?;
+        Ok(ucq)
+    }
+
+    fn unfold_one(&self, q: &OntCq) -> Vec<Cq> {
+        let mut next_var: u32 = q.vars().iter().map(|v| v.0 + 1).max().unwrap_or(0);
+        let mut partial: Vec<Cq> = vec![Cq::new(q.head.clone(), [], [])];
+        for atom in &q.atoms {
+            let mut expanded: Vec<Cq> = Vec::new();
+            for base in &partial {
+                for mapping in self.mappings() {
+                    let head_vars: Vec<Var> = match (&mapping.head, atom) {
+                        (MappingHead::Concept(a, v), OntAtom::Concept(qa, _)) if a == qa => {
+                            vec![*v]
+                        }
+                        (MappingHead::Role(p, v1, v2), OntAtom::Role(qp, _, _)) if p == qp => {
+                            vec![*v1, *v2]
+                        }
+                        _ => continue,
+                    };
+                    let args: Vec<Term> = atom.terms().into_iter().cloned().collect();
+                    // Rename the mapping body apart, then unify its head
+                    // variables with the atom's arguments.
+                    let body = Cq::new(
+                        head_vars.iter().map(|v| Term::Var(*v)),
+                        mapping.body.iter().cloned(),
+                        [],
+                    );
+                    let fresh_body = body.rename_apart(&mut next_var);
+                    let mut map: BTreeMap<Var, Term> = BTreeMap::new();
+                    let mut ok = true;
+                    for (h, a) in fresh_body.head.iter().zip(&args) {
+                        match h {
+                            Term::Var(hv) => {
+                                map.insert(*hv, a.clone());
+                            }
+                            Term::Const(c) => {
+                                if Term::Const(c.clone()) != *a {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if !ok {
+                        continue;
+                    }
+                    let Some(instantiated) = fresh_body.substitute(&map) else { continue };
+                    let mut atoms = base.atoms.clone();
+                    atoms.extend(instantiated.atoms);
+                    let mut comparisons = base.comparisons.clone();
+                    comparisons.extend(instantiated.comparisons);
+                    expanded.push(Cq { head: base.head.clone(), atoms, comparisons });
+                }
+            }
+            partial = expanded;
+        }
+        // Queries whose head variables never got bound to body atoms are
+        // unsafe; drop them (they contribute no certain answers).
+        partial.retain(|cq| {
+            let safe = cq.atom_vars();
+            cq.head.iter().all(|t| match t {
+                Term::Const(_) => true,
+                Term::Var(v) => safe.contains(v),
+            })
+        });
+        partial
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{body_atom, c, v, GavMapping};
+    use whynot_relation::{SchemaBuilder, Value};
+
+    fn s(x: &str) -> Value {
+        Value::str(x)
+    }
+
+    fn a(name: &str) -> BasicConcept {
+        BasicConcept::atomic(name)
+    }
+
+    /// The Figure 4 fixture (TBox + mappings + Figure 2 instance).
+    fn fixture() -> (Schema, ObdaSpec, Instance) {
+        let mut b = SchemaBuilder::new();
+        let cities = b.relation("Cities", ["name", "population", "country", "continent"]);
+        let tc = b.relation("Train-Connections", ["city_from", "city_to"]);
+        let schema = b.finish().unwrap();
+        let mut t = TBox::new();
+        t.concept_incl(a("EU-City"), a("City"));
+        t.concept_incl(a("Dutch-City"), a("EU-City"));
+        t.concept_incl(a("N.A.-City"), a("City"));
+        t.concept_disj(a("EU-City"), a("N.A.-City"));
+        t.concept_incl(a("US-City"), a("N.A.-City"));
+        t.concept_incl(a("City"), BasicConcept::exists("hasCountry"));
+        t.concept_incl(a("Country"), BasicConcept::exists("hasContinent"));
+        t.concept_incl(BasicConcept::exists_inv("hasCountry"), a("Country"));
+        t.concept_incl(BasicConcept::exists_inv("hasContinent"), a("Continent"));
+        t.concept_incl(BasicConcept::exists("connected"), a("City"));
+        t.concept_incl(BasicConcept::exists_inv("connected"), a("City"));
+        let mappings = vec![
+            GavMapping::concept("EU-City", Var(0), [body_atom(cities, [v(0), v(1), v(2), c("Europe")])]),
+            GavMapping::concept("Dutch-City", Var(0), [body_atom(cities, [v(0), v(1), c("Netherlands"), v(3)])]),
+            GavMapping::concept("N.A.-City", Var(0), [body_atom(cities, [v(0), v(1), v(2), c("N.America")])]),
+            GavMapping::concept("US-City", Var(0), [body_atom(cities, [v(0), v(1), c("USA"), v(3)])]),
+            GavMapping::concept("Continent", Var(3), [body_atom(cities, [v(0), v(1), v(2), v(3)])]),
+            GavMapping::role("hasCountry", Var(0), Var(2), [body_atom(cities, [v(0), v(1), v(2), v(3)])]),
+            GavMapping::role("hasContinent", Var(0), Var(3), [body_atom(cities, [v(0), v(1), v(2), v(3)])]),
+            GavMapping::role(
+                "connected",
+                Var(0),
+                Var(4),
+                [
+                    body_atom(tc, [v(0), v(4)]),
+                    body_atom(cities, [v(0), v(1), v(2), v(3)]),
+                    body_atom(cities, [v(4), v(5), v(6), v(7)]),
+                ],
+            ),
+        ];
+        let spec = ObdaSpec::new(t, mappings);
+        let mut inst = Instance::new();
+        for (name, pop, country, continent) in [
+            ("Amsterdam", 779_808, "Netherlands", "Europe"),
+            ("Berlin", 3_502_000, "Germany", "Europe"),
+            ("Rome", 2_753_000, "Italy", "Europe"),
+            ("New York", 8_337_000, "USA", "N.America"),
+            ("San Francisco", 837_442, "USA", "N.America"),
+            ("Santa Cruz", 59_946, "USA", "N.America"),
+            ("Tokyo", 13_185_000, "Japan", "Asia"),
+            ("Kyoto", 1_400_000, "Japan", "Asia"),
+        ] {
+            inst.insert(cities, vec![s(name), Value::int(pop), s(country), s(continent)]);
+        }
+        for (x, y) in [
+            ("Amsterdam", "Berlin"),
+            ("Berlin", "Rome"),
+            ("Berlin", "Amsterdam"),
+            ("New York", "San Francisco"),
+            ("San Francisco", "Santa Cruz"),
+            ("Tokyo", "Kyoto"),
+        ] {
+            inst.insert(tc, vec![s(x), s(y)]);
+        }
+        (schema, spec, inst)
+    }
+
+    fn names(ans: &BTreeSet<Tuple>) -> Vec<String> {
+        ans.iter().map(|t| t[0].to_string()).collect()
+    }
+
+    #[test]
+    fn rewriting_expands_the_subclass_cone() {
+        let (_, spec, _) = fixture();
+        // q(x) ← City(x): the rewriting must include disjuncts for every
+        // subclass and both ∃connected cones.
+        let q = OntCq::new(
+            [Term::Var(Var(0))],
+            [OntAtom::Concept(AtomicConcept::new("City"), Term::Var(Var(0)))],
+        );
+        let rewritten = perfect_ref(spec.tbox(), &q);
+        assert!(rewritten.len() >= 6, "got {}", rewritten.len());
+        let has_concept = |name: &str| {
+            rewritten.iter().any(|cq| {
+                cq.atoms.iter().any(
+                    |at| matches!(at, OntAtom::Concept(a, _) if a.name() == name),
+                )
+            })
+        };
+        assert!(has_concept("City"));
+        assert!(has_concept("EU-City"));
+        assert!(has_concept("Dutch-City"));
+        assert!(has_concept("US-City"));
+        assert!(rewritten.iter().any(|cq| {
+            cq.atoms.iter().any(
+                |at| matches!(at, OntAtom::Role(p, _, _) if p.name() == "connected"),
+            )
+        }));
+    }
+
+    #[test]
+    fn certain_answers_match_certain_extensions() {
+        // For every atomic concept, the CQ q(x) ← A(x) must return exactly
+        // ext_OB(A, I) — rewriting and the saturation-based computation
+        // are two routes to the same semantics.
+        let (schema, spec, inst) = fixture();
+        for concept in ["City", "EU-City", "Dutch-City", "N.A.-City", "US-City", "Country", "Continent"] {
+            let q = OntCq::new(
+                [Term::Var(Var(0))],
+                [OntAtom::Concept(AtomicConcept::new(concept), Term::Var(Var(0)))],
+            );
+            let via_rewriting = spec.certain_answers(&schema, &q, &inst).unwrap();
+            let via_saturation = spec.certain_extension(&a(concept), &inst);
+            let flat: BTreeSet<Value> =
+                via_rewriting.into_iter().map(|t| t[0].clone()).collect();
+            assert_eq!(flat, via_saturation, "{concept}");
+        }
+    }
+
+    #[test]
+    fn join_query_through_roles() {
+        let (schema, spec, inst) = fixture();
+        // q(x, y) ← hasCountry(x, y): country pairs from the mapping.
+        let q = OntCq::new(
+            [Term::Var(Var(0)), Term::Var(Var(1))],
+            [OntAtom::Role(AtomicRole::new("hasCountry"), Term::Var(Var(0)), Term::Var(Var(1)))],
+        );
+        let ans = spec.certain_answers(&schema, &q, &inst).unwrap();
+        assert_eq!(ans.len(), 8);
+        assert!(ans.contains(&vec![s("Amsterdam"), s("Netherlands")]));
+        // q(x) ← hasCountry(x, y) ∧ Country(y): every hasCountry target is
+        // a Country (∃hasCountry⁻ ⊑ Country), so this returns all cities.
+        let q = OntCq::new(
+            [Term::Var(Var(0))],
+            [
+                OntAtom::Role(AtomicRole::new("hasCountry"), Term::Var(Var(0)), Term::Var(Var(1))),
+                OntAtom::Concept(AtomicConcept::new("Country"), Term::Var(Var(1))),
+            ],
+        );
+        let ans = spec.certain_answers(&schema, &q, &inst).unwrap();
+        assert_eq!(ans.len(), 8, "{:?}", names(&ans));
+    }
+
+    #[test]
+    fn existential_axioms_do_not_leak_nulls() {
+        let (schema, spec, inst) = fixture();
+        // q(x, y) ← hasContinent(x, y): countries get continent successors
+        // only as existential witnesses (nulls), which certain answers
+        // must exclude — only the mapping-level city→continent pairs
+        // remain.
+        let q = OntCq::new(
+            [Term::Var(Var(0)), Term::Var(Var(1))],
+            [OntAtom::Role(AtomicRole::new("hasContinent"), Term::Var(Var(0)), Term::Var(Var(1)))],
+        );
+        let ans = spec.certain_answers(&schema, &q, &inst).unwrap();
+        assert_eq!(ans.len(), 8);
+        assert!(ans.iter().all(|t| !crate::is_witness_null(&t[0]) && !crate::is_witness_null(&t[1])));
+        // But the *boolean-ish* unary query q(x) ← hasContinent(x, z) with
+        // z existential DOES include countries: Country ⊑ ∃hasContinent.
+        let q = OntCq::new(
+            [Term::Var(Var(0))],
+            [OntAtom::Role(AtomicRole::new("hasContinent"), Term::Var(Var(0)), Term::Var(Var(1)))],
+        );
+        let ans = spec.certain_answers(&schema, &q, &inst).unwrap();
+        let flat: Vec<String> = names(&ans);
+        assert!(flat.contains(&"Netherlands".to_string()), "{flat:?}");
+        assert_eq!(ans.len(), 13); // 8 cities + 5 countries
+    }
+
+    #[test]
+    fn constants_in_ontology_queries() {
+        let (schema, spec, inst) = fixture();
+        // q() ← EU-City("Amsterdam") — boolean query, certain.
+        let q = OntCq::new(
+            [Term::Const(s("Amsterdam"))],
+            [OntAtom::Concept(AtomicConcept::new("EU-City"), Term::Const(s("Amsterdam")))],
+        );
+        let ans = spec.certain_answers(&schema, &q, &inst).unwrap();
+        assert_eq!(ans.len(), 1);
+        // And for a non-European city it is empty.
+        let q = OntCq::new(
+            [Term::Const(s("Tokyo"))],
+            [OntAtom::Concept(AtomicConcept::new("EU-City"), Term::Const(s("Tokyo")))],
+        );
+        assert!(spec.certain_answers(&schema, &q, &inst).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reduce_step_enables_existential_axioms() {
+        // The classic PerfectRef subtlety: q(x) ← P(x,y) ∧ P(z,y) has y
+        // bound (shared); reducing the two atoms unifies them into
+        // P(x,y) with y unbound, after which B ⊑ ∃P applies.
+        let mut t = TBox::new();
+        t.concept_incl(a("B"), BasicConcept::exists("P"));
+        let q = OntCq::new(
+            [Term::Var(Var(0))],
+            [
+                OntAtom::Role(AtomicRole::new("P"), Term::Var(Var(0)), Term::Var(Var(1))),
+                OntAtom::Role(AtomicRole::new("P"), Term::Var(Var(2)), Term::Var(Var(1))),
+            ],
+        );
+        let rewritten = perfect_ref(&t, &q);
+        assert!(rewritten.iter().any(|cq| {
+            cq.atoms.len() == 1
+                && matches!(&cq.atoms[0], OntAtom::Concept(a, _) if a.name() == "B")
+        }), "{rewritten:?}");
+    }
+
+    #[test]
+    fn role_hierarchy_rewriting() {
+        let mut t = TBox::new();
+        t.role_incl(Role::direct("tram"), Role::direct("transit"));
+        t.role_incl(Role::direct("ferry"), Role::inverse("transit"));
+        let q = OntCq::new(
+            [Term::Var(Var(0)), Term::Var(Var(1))],
+            [OntAtom::Role(AtomicRole::new("transit"), Term::Var(Var(0)), Term::Var(Var(1)))],
+        );
+        let rewritten = perfect_ref(&t, &q);
+        // transit(x,y) ∨ tram(x,y) ∨ ferry(y,x).
+        assert_eq!(rewritten.len(), 3, "{rewritten:?}");
+        assert!(rewritten.iter().any(|cq| matches!(
+            &cq.atoms[0],
+            OntAtom::Role(p, Term::Var(a1), Term::Var(b1))
+                if p.name() == "ferry" && *a1 != Var(0) && *b1 == Var(0) || p.name() == "ferry"
+        )));
+    }
+}

@@ -1,0 +1,362 @@
+//! DL-LiteR syntax (paper Definition 4.1).
+//!
+//! Over a vocabulary of atomic concepts `ΦC` and atomic roles `ΦR`:
+//!
+//! ```text
+//! basic concepts   B ::= A | ∃R
+//! basic roles      R ::= P | P⁻
+//! concepts         C ::= B | ¬B
+//! roles            E ::= R | ¬R
+//! ```
+//!
+//! A TBox is a finite set of inclusions `B ⊑ C` and `R ⊑ E`.
+
+use std::fmt;
+
+/// An atomic concept name (`A ∈ ΦC`).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AtomicConcept(pub Box<str>);
+
+impl AtomicConcept {
+    /// Builds an atomic concept from a name.
+    pub fn new(name: impl Into<Box<str>>) -> Self {
+        AtomicConcept(name.into())
+    }
+
+    /// The name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for AtomicConcept {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An atomic role name (`P ∈ ΦR`).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AtomicRole(pub Box<str>);
+
+impl AtomicRole {
+    /// Builds an atomic role from a name.
+    pub fn new(name: impl Into<Box<str>>) -> Self {
+        AtomicRole(name.into())
+    }
+
+    /// The name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for AtomicRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A basic role expression `R ::= P | P⁻`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Role {
+    /// A direct atomic role.
+    Direct(AtomicRole),
+    /// An inverted atomic role.
+    Inverse(AtomicRole),
+}
+
+impl Role {
+    /// The direct role `P`.
+    pub fn direct(name: impl Into<Box<str>>) -> Self {
+        Role::Direct(AtomicRole::new(name))
+    }
+
+    /// The inverse role `P⁻`.
+    pub fn inverse(name: impl Into<Box<str>>) -> Self {
+        Role::Inverse(AtomicRole::new(name))
+    }
+
+    /// The underlying atomic role.
+    pub fn atom(&self) -> &AtomicRole {
+        match self {
+            Role::Direct(p) | Role::Inverse(p) => p,
+        }
+    }
+
+    /// The inverse of this role (`(P⁻)⁻ = P`).
+    pub fn inverted(&self) -> Role {
+        match self {
+            Role::Direct(p) => Role::Inverse(p.clone()),
+            Role::Inverse(p) => Role::Direct(p.clone()),
+        }
+    }
+
+    /// Whether this is an inverse role.
+    pub fn is_inverse(&self) -> bool {
+        matches!(self, Role::Inverse(_))
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Direct(p) => write!(f, "{p}"),
+            Role::Inverse(p) => write!(f, "{p}⁻"),
+        }
+    }
+}
+
+/// A basic concept expression `B ::= A | ∃R`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum BasicConcept {
+    /// An atomic concept.
+    Atomic(AtomicConcept),
+    /// An unqualified existential restriction `∃R`.
+    Exists(Role),
+}
+
+impl BasicConcept {
+    /// The atomic concept `A`.
+    pub fn atomic(name: impl Into<Box<str>>) -> Self {
+        BasicConcept::Atomic(AtomicConcept::new(name))
+    }
+
+    /// The existential `∃P`.
+    pub fn exists(name: impl Into<Box<str>>) -> Self {
+        BasicConcept::Exists(Role::direct(name))
+    }
+
+    /// The existential over the inverse, `∃P⁻`.
+    pub fn exists_inv(name: impl Into<Box<str>>) -> Self {
+        BasicConcept::Exists(Role::inverse(name))
+    }
+}
+
+impl fmt::Display for BasicConcept {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BasicConcept::Atomic(a) => write!(f, "{a}"),
+            BasicConcept::Exists(r) => write!(f, "∃{r}"),
+        }
+    }
+}
+
+/// A (general) concept expression `C ::= B | ¬B`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum ConceptExpr {
+    /// A basic concept.
+    Basic(BasicConcept),
+    /// The negation of a basic concept.
+    Neg(BasicConcept),
+}
+
+impl fmt::Display for ConceptExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConceptExpr::Basic(b) => write!(f, "{b}"),
+            ConceptExpr::Neg(b) => write!(f, "¬{b}"),
+        }
+    }
+}
+
+/// A (general) role expression `E ::= R | ¬R`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum RoleExpr {
+    /// A basic role.
+    Role(Role),
+    /// The negation of a basic role.
+    Neg(Role),
+}
+
+impl fmt::Display for RoleExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoleExpr::Role(r) => write!(f, "{r}"),
+            RoleExpr::Neg(r) => write!(f, "¬{r}"),
+        }
+    }
+}
+
+/// A TBox axiom: a concept inclusion `B ⊑ C` or a role inclusion `R ⊑ E`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum TBoxAxiom {
+    /// `B ⊑ C`.
+    Concept {
+        /// Left-hand basic concept.
+        sub: BasicConcept,
+        /// Right-hand (possibly negated) concept.
+        sup: ConceptExpr,
+    },
+    /// `R ⊑ E`.
+    Role {
+        /// Left-hand basic role.
+        sub: Role,
+        /// Right-hand (possibly negated) role.
+        sup: RoleExpr,
+    },
+}
+
+impl fmt::Display for TBoxAxiom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TBoxAxiom::Concept { sub, sup } => write!(f, "{sub} ⊑ {sup}"),
+            TBoxAxiom::Role { sub, sup } => write!(f, "{sub} ⊑ {sup}"),
+        }
+    }
+}
+
+/// A DL-LiteR TBox: a finite set of axioms.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct TBox {
+    axioms: Vec<TBoxAxiom>,
+}
+
+impl TBox {
+    /// An empty TBox.
+    pub fn new() -> Self {
+        TBox::default()
+    }
+
+    /// The axioms.
+    pub fn axioms(&self) -> &[TBoxAxiom] {
+        &self.axioms
+    }
+
+    /// Adds a positive concept inclusion `B1 ⊑ B2`.
+    pub fn concept_incl(&mut self, sub: BasicConcept, sup: BasicConcept) -> &mut Self {
+        self.axioms.push(TBoxAxiom::Concept { sub, sup: ConceptExpr::Basic(sup) });
+        self
+    }
+
+    /// Adds a disjointness (negative concept inclusion) `B1 ⊑ ¬B2`.
+    pub fn concept_disj(&mut self, sub: BasicConcept, sup: BasicConcept) -> &mut Self {
+        self.axioms.push(TBoxAxiom::Concept { sub, sup: ConceptExpr::Neg(sup) });
+        self
+    }
+
+    /// Adds a positive role inclusion `R1 ⊑ R2`.
+    pub fn role_incl(&mut self, sub: Role, sup: Role) -> &mut Self {
+        self.axioms.push(TBoxAxiom::Role { sub, sup: RoleExpr::Role(sup) });
+        self
+    }
+
+    /// Adds a role disjointness `R1 ⊑ ¬R2`.
+    pub fn role_disj(&mut self, sub: Role, sup: Role) -> &mut Self {
+        self.axioms.push(TBoxAxiom::Role { sub, sup: RoleExpr::Neg(sup) });
+        self
+    }
+
+    /// Adds a raw axiom.
+    pub fn add(&mut self, axiom: TBoxAxiom) -> &mut Self {
+        self.axioms.push(axiom);
+        self
+    }
+
+    /// Every basic concept expression occurring in the TBox (the concept
+    /// set `C_OB` of the induced ontology, Definition 4.4).
+    pub fn basic_concepts(&self) -> Vec<BasicConcept> {
+        let mut out: Vec<BasicConcept> = Vec::new();
+        let mut push = |b: &BasicConcept| {
+            if !out.contains(b) {
+                out.push(b.clone());
+            }
+        };
+        for ax in &self.axioms {
+            match ax {
+                TBoxAxiom::Concept { sub, sup } => {
+                    push(sub);
+                    match sup {
+                        ConceptExpr::Basic(b) | ConceptExpr::Neg(b) => push(b),
+                    }
+                }
+                TBoxAxiom::Role { .. } => {}
+            }
+        }
+        out
+    }
+
+    /// Every atomic role mentioned anywhere.
+    pub fn atomic_roles(&self) -> Vec<AtomicRole> {
+        let mut out: Vec<AtomicRole> = Vec::new();
+        let mut push = |r: &Role| {
+            if !out.contains(r.atom()) {
+                out.push(r.atom().clone());
+            }
+        };
+        for ax in &self.axioms {
+            match ax {
+                TBoxAxiom::Concept { sub, sup } => {
+                    if let BasicConcept::Exists(r) = sub {
+                        push(r);
+                    }
+                    match sup {
+                        ConceptExpr::Basic(BasicConcept::Exists(r))
+                        | ConceptExpr::Neg(BasicConcept::Exists(r)) => push(r),
+                        _ => {}
+                    }
+                }
+                TBoxAxiom::Role { sub, sup } => {
+                    push(sub);
+                    match sup {
+                        RoleExpr::Role(r) | RoleExpr::Neg(r) => push(r),
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for TBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for ax in &self.axioms {
+            writeln!(f, "{ax}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_inversion_is_involutive() {
+        let p = Role::direct("hasCountry");
+        assert_eq!(p.inverted().inverted(), p);
+        assert!(p.inverted().is_inverse());
+        assert_eq!(p.inverted().atom().name(), "hasCountry");
+    }
+
+    #[test]
+    fn display_notation() {
+        assert_eq!(BasicConcept::atomic("City").to_string(), "City");
+        assert_eq!(BasicConcept::exists("connected").to_string(), "∃connected");
+        assert_eq!(BasicConcept::exists_inv("hasCountry").to_string(), "∃hasCountry⁻");
+        let mut t = TBox::new();
+        t.concept_disj(BasicConcept::atomic("EU-City"), BasicConcept::atomic("N.A.-City"));
+        assert_eq!(t.to_string(), "EU-City ⊑ ¬N.A.-City\n");
+    }
+
+    #[test]
+    fn basic_concepts_collects_both_sides() {
+        let mut t = TBox::new();
+        t.concept_incl(BasicConcept::atomic("City"), BasicConcept::exists("hasCountry"));
+        t.concept_incl(BasicConcept::exists_inv("hasCountry"), BasicConcept::atomic("Country"));
+        let bcs = t.basic_concepts();
+        assert_eq!(bcs.len(), 4);
+        assert!(bcs.contains(&BasicConcept::atomic("City")));
+        assert!(bcs.contains(&BasicConcept::exists("hasCountry")));
+        assert!(bcs.contains(&BasicConcept::exists_inv("hasCountry")));
+        assert!(bcs.contains(&BasicConcept::atomic("Country")));
+    }
+
+    #[test]
+    fn atomic_roles_collects_from_role_axioms() {
+        let mut t = TBox::new();
+        t.role_incl(Role::direct("partOf"), Role::inverse("contains"));
+        let roles = t.atomic_roles();
+        assert_eq!(roles.len(), 2);
+    }
+}

@@ -1,0 +1,632 @@
+//! Integrity constraints: functional dependencies, inclusion dependencies,
+//! and (nested) UCQ-view definitions (paper §2).
+//!
+//! View definitions are treated as a special case of integrity constraints,
+//! exactly as in the paper: a set `Σ` is a *collection of UCQ-view
+//! definitions* when the schema partitions into data relations `D` and view
+//! relations `V`, and each `P ∈ V` has exactly one sentence
+//! `P(x̄) ↔ ∨ᵢ φᵢ(x̄)`. *Nested* definitions let the `φᵢ` mention other
+//! views, subject to acyclicity of the "depends on" relation; a nesting is
+//! *linear* when each disjunct contains at most one view atom.
+
+use crate::error::RelError;
+use crate::instance::Instance;
+use crate::query::Ucq;
+use crate::schema::{Attr, RelId, Schema};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A functional dependency `R : X → Y` (paper §2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Fd {
+    /// The constrained relation.
+    pub rel: RelId,
+    /// Determinant attribute positions `X`.
+    pub lhs: Vec<Attr>,
+    /// Dependent attribute positions `Y`.
+    pub rhs: Vec<Attr>,
+}
+
+impl Fd {
+    /// Builds an FD.
+    pub fn new(
+        rel: RelId,
+        lhs: impl IntoIterator<Item = Attr>,
+        rhs: impl IntoIterator<Item = Attr>,
+    ) -> Self {
+        Fd { rel, lhs: lhs.into_iter().collect(), rhs: rhs.into_iter().collect() }
+    }
+
+    /// Whether `inst` satisfies the FD.
+    pub fn satisfied_by(&self, inst: &Instance) -> bool {
+        let mut seen: BTreeMap<Vec<&crate::value::Value>, Vec<&crate::value::Value>> =
+            BTreeMap::new();
+        for t in inst.tuples(self.rel) {
+            let key: Vec<_> = self.lhs.iter().map(|&a| &t[a]).collect();
+            let val: Vec<_> = self.rhs.iter().map(|&a| &t[a]).collect();
+            match seen.get(&key) {
+                Some(prev) if *prev != val => return false,
+                Some(_) => {}
+                None => {
+                    seen.insert(key, val);
+                }
+            }
+        }
+        true
+    }
+}
+
+/// An inclusion dependency `R[A1,…,An] ⊆ S[B1,…,Bn]` (paper §2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Ind {
+    /// Source relation `R`.
+    pub from: RelId,
+    /// Source attribute positions.
+    pub from_attrs: Vec<Attr>,
+    /// Target relation `S`.
+    pub to: RelId,
+    /// Target attribute positions.
+    pub to_attrs: Vec<Attr>,
+}
+
+impl Ind {
+    /// Builds an inclusion dependency.
+    pub fn new(
+        from: RelId,
+        from_attrs: impl IntoIterator<Item = Attr>,
+        to: RelId,
+        to_attrs: impl IntoIterator<Item = Attr>,
+    ) -> Self {
+        Ind {
+            from,
+            from_attrs: from_attrs.into_iter().collect(),
+            to: to,
+            to_attrs: to_attrs.into_iter().collect(),
+        }
+    }
+
+    /// Whether `inst` satisfies the ID.
+    pub fn satisfied_by(&self, inst: &Instance) -> bool {
+        let targets: BTreeSet<Vec<&crate::value::Value>> = inst
+            .tuples(self.to)
+            .map(|t| self.to_attrs.iter().map(|&a| &t[a]).collect())
+            .collect();
+        inst.tuples(self.from)
+            .all(|t| targets.contains(&self.from_attrs.iter().map(|&a| &t[a]).collect::<Vec<_>>()))
+    }
+}
+
+/// A UCQ-view definition `P(x̄) ↔ ∨ᵢ φᵢ(x̄)`.
+///
+/// Disjunct heads may use repeated variables or constants; the paper's form
+/// `(∗)` with distinct head variables is the common case.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ViewDef {
+    /// The defined view relation `P`.
+    pub view: RelId,
+    /// The defining union of conjunctive queries.
+    pub definition: Ucq,
+}
+
+impl ViewDef {
+    /// Builds a view definition.
+    pub fn new(view: RelId, definition: Ucq) -> Self {
+        ViewDef { view, definition }
+    }
+
+    /// Whether `inst` satisfies the definition: the stored view extension
+    /// equals the defining query's result over `inst`.
+    pub fn satisfied_by(&self, inst: &Instance) -> bool {
+        let computed = self.definition.eval(inst);
+        let stored: BTreeSet<_> = inst.tuples(self.view).cloned().collect();
+        computed == stored
+    }
+
+    /// The view relations occurring in the defining bodies ("depends on").
+    pub fn dependencies(&self, views: &BTreeSet<RelId>) -> BTreeSet<RelId> {
+        self.definition
+            .disjuncts
+            .iter()
+            .flat_map(|d| d.atoms.iter())
+            .map(|a| a.rel)
+            .filter(|r| views.contains(r))
+            .collect()
+    }
+}
+
+/// One integrity constraint.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Constraint {
+    /// A functional dependency.
+    Fd(Fd),
+    /// An inclusion dependency.
+    Ind(Ind),
+    /// A UCQ-view definition.
+    View(ViewDef),
+}
+
+impl Constraint {
+    /// Whether `inst` satisfies this constraint.
+    pub fn satisfied_by(&self, _schema: &Schema, inst: &Instance) -> bool {
+        match self {
+            Constraint::Fd(fd) => fd.satisfied_by(inst),
+            Constraint::Ind(ind) => ind.satisfied_by(inst),
+            Constraint::View(v) => v.satisfied_by(inst),
+        }
+    }
+
+    /// Renders the constraint with relation names.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        DisplayConstraint { c: self, schema }
+    }
+}
+
+struct DisplayConstraint<'a> {
+    c: &'a Constraint,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for DisplayConstraint<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let attr_name = |rel: RelId, a: Attr| -> &str {
+            self.schema
+                .decl(rel)
+                .attrs()
+                .get(a)
+                .map(String::as_str)
+                .unwrap_or("?")
+        };
+        match self.c {
+            Constraint::Fd(fd) => {
+                let lhs: Vec<&str> = fd.lhs.iter().map(|&a| attr_name(fd.rel, a)).collect();
+                let rhs: Vec<&str> = fd.rhs.iter().map(|&a| attr_name(fd.rel, a)).collect();
+                write!(
+                    f,
+                    "{} : {} → {}",
+                    self.schema.name(fd.rel),
+                    lhs.join(","),
+                    rhs.join(",")
+                )
+            }
+            Constraint::Ind(ind) => {
+                let from: Vec<&str> =
+                    ind.from_attrs.iter().map(|&a| attr_name(ind.from, a)).collect();
+                let to: Vec<&str> = ind.to_attrs.iter().map(|&a| attr_name(ind.to, a)).collect();
+                write!(
+                    f,
+                    "{}[{}] ⊆ {}[{}]",
+                    self.schema.name(ind.from),
+                    from.join(","),
+                    self.schema.name(ind.to),
+                    to.join(",")
+                )
+            }
+            Constraint::View(v) => {
+                write!(
+                    f,
+                    "{} ↔ {}",
+                    self.schema.name(v.view),
+                    v.definition.display(self.schema)
+                )
+            }
+        }
+    }
+}
+
+/// The class of a constraint set, used to dispatch the `⊑S` deciders of the
+/// paper's Table 1.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ConstraintClass {
+    /// No constraints.
+    None,
+    /// Only functional dependencies (Table 1: subsumption in PTIME).
+    FdsOnly,
+    /// Only inclusion dependencies (Table 1: open in general; PTIME for
+    /// selection-free `LS`).
+    IndsOnly,
+    /// Flat UCQ-view definitions over base relations only.
+    /// (Table 1: NP-complete without comparisons, ΠP2-complete with.)
+    UcqViews {
+        /// Whether any definition uses comparisons.
+        comparisons: bool,
+    },
+    /// Nested UCQ-view definitions.
+    /// (Table 1: ΠP2-complete if linear, coNEXPTIME-complete in general.)
+    NestedUcqViews {
+        /// Whether every disjunct has at most one view atom.
+        linear: bool,
+        /// Whether any definition uses comparisons.
+        comparisons: bool,
+    },
+    /// FDs and IDs mixed (Table 1: undecidable).
+    FdsAndInds,
+    /// Anything else (views mixed with FDs/IDs, as in the paper's Figure 1).
+    Mixed,
+}
+
+/// The view partition `S = D ∪ V` of a schema.
+#[derive(Clone, Debug, Default)]
+pub struct ViewPartition {
+    /// View relations with their definition index in `schema.constraints()`.
+    pub views: BTreeMap<RelId, usize>,
+    /// A topological order of the views (dependencies first).
+    pub topo_order: Vec<RelId>,
+}
+
+impl ViewPartition {
+    /// Whether `rel` is a view relation.
+    pub fn is_view(&self, rel: RelId) -> bool {
+        self.views.contains_key(&rel)
+    }
+}
+
+/// Computes the view partition and a topological evaluation order.
+///
+/// Assumes the schema already passed [`validate`]; returns an empty
+/// partition for schemas without view definitions.
+pub fn view_partition(schema: &Schema) -> ViewPartition {
+    let mut views: BTreeMap<RelId, usize> = BTreeMap::new();
+    for (idx, c) in schema.constraints().iter().enumerate() {
+        if let Constraint::View(v) = c {
+            views.insert(v.view, idx);
+        }
+    }
+    let view_set: BTreeSet<RelId> = views.keys().copied().collect();
+    // Kahn's algorithm over the "depends on" graph.
+    let mut deps: BTreeMap<RelId, BTreeSet<RelId>> = BTreeMap::new();
+    for (&v, &idx) in &views {
+        let Constraint::View(def) = &schema.constraints()[idx] else { unreachable!() };
+        deps.insert(v, def.dependencies(&view_set));
+    }
+    let mut topo_order = Vec::with_capacity(views.len());
+    let mut placed: BTreeSet<RelId> = BTreeSet::new();
+    while placed.len() < views.len() {
+        let mut progressed = false;
+        for &v in views.keys() {
+            if !placed.contains(&v) && deps[&v].iter().all(|d| placed.contains(d)) {
+                topo_order.push(v);
+                placed.insert(v);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            // Cyclic definitions are rejected by `validate`; reaching this
+            // point means the caller skipped validation.
+            break;
+        }
+    }
+    ViewPartition { views, topo_order }
+}
+
+/// Validates the constraints of a schema: attribute ranges, view arity
+/// agreement, single definition per view, and acyclicity of nested
+/// definitions.
+pub fn validate(schema: &Schema) -> Result<(), RelError> {
+    let mut seen_views: BTreeSet<RelId> = BTreeSet::new();
+    for c in schema.constraints() {
+        match c {
+            Constraint::Fd(fd) => {
+                check_rel(schema, fd.rel)?;
+                for &a in fd.lhs.iter().chain(&fd.rhs) {
+                    check_attr(schema, fd.rel, a)?;
+                }
+            }
+            Constraint::Ind(ind) => {
+                check_rel(schema, ind.from)?;
+                check_rel(schema, ind.to)?;
+                if ind.from_attrs.len() != ind.to_attrs.len() {
+                    return Err(RelError::Invalid(
+                        "inclusion dependency with mismatched attribute lists".into(),
+                    ));
+                }
+                for &a in &ind.from_attrs {
+                    check_attr(schema, ind.from, a)?;
+                }
+                for &a in &ind.to_attrs {
+                    check_attr(schema, ind.to, a)?;
+                }
+            }
+            Constraint::View(v) => {
+                check_rel(schema, v.view)?;
+                if !seen_views.insert(v.view) {
+                    return Err(RelError::ViewPartition(format!(
+                        "{} has more than one definition",
+                        schema.name(v.view)
+                    )));
+                }
+                v.definition.validate(schema)?;
+                if v.definition.arity() != schema.arity(v.view) {
+                    return Err(RelError::ArityMismatch {
+                        relation: schema.name(v.view).to_string(),
+                        expected: schema.arity(v.view),
+                        got: v.definition.arity(),
+                    });
+                }
+            }
+        }
+    }
+    // Acyclicity of the "depends on" relation (nested UCQ-view definitions).
+    let view_set = seen_views;
+    let mut color: BTreeMap<RelId, u8> = BTreeMap::new(); // 1 = visiting, 2 = done
+    for &start in &view_set {
+        if dfs_cycle(schema, &view_set, start, &mut color) {
+            return Err(RelError::CyclicViews(format!(
+                "view {} participates in a definition cycle",
+                schema.name(start)
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn dfs_cycle(
+    schema: &Schema,
+    views: &BTreeSet<RelId>,
+    at: RelId,
+    color: &mut BTreeMap<RelId, u8>,
+) -> bool {
+    match color.get(&at) {
+        Some(1) => return true,
+        Some(2) => return false,
+        _ => {}
+    }
+    color.insert(at, 1);
+    let def = schema.constraints().iter().find_map(|c| match c {
+        Constraint::View(v) if v.view == at => Some(v),
+        _ => None,
+    });
+    if let Some(def) = def {
+        for dep in def.dependencies(views) {
+            if dfs_cycle(schema, views, dep, color) {
+                return true;
+            }
+        }
+    }
+    color.insert(at, 2);
+    false
+}
+
+fn check_rel(schema: &Schema, rel: RelId) -> Result<(), RelError> {
+    if (rel.0 as usize) < schema.len() {
+        Ok(())
+    } else {
+        Err(RelError::UnknownRelation(format!("{rel:?}")))
+    }
+}
+
+fn check_attr(schema: &Schema, rel: RelId, attr: Attr) -> Result<(), RelError> {
+    if attr < schema.arity(rel) {
+        Ok(())
+    } else {
+        Err(RelError::BadAttribute { relation: schema.name(rel).to_string(), attr })
+    }
+}
+
+/// Classifies the constraint set for Table 1 dispatch.
+pub fn classify(schema: &Schema) -> ConstraintClass {
+    let mut fds = 0usize;
+    let mut inds = 0usize;
+    let mut views: Vec<&ViewDef> = Vec::new();
+    for c in schema.constraints() {
+        match c {
+            Constraint::Fd(_) => fds += 1,
+            Constraint::Ind(_) => inds += 1,
+            Constraint::View(v) => views.push(v),
+        }
+    }
+    match (fds, inds, views.is_empty()) {
+        (0, 0, true) => ConstraintClass::None,
+        (_, 0, true) if fds > 0 => ConstraintClass::FdsOnly,
+        (0, _, true) if inds > 0 => ConstraintClass::IndsOnly,
+        (_, _, true) => ConstraintClass::FdsAndInds,
+        (0, 0, false) => {
+            let view_set: BTreeSet<RelId> = views.iter().map(|v| v.view).collect();
+            let comparisons = views
+                .iter()
+                .any(|v| v.definition.disjuncts.iter().any(|d| !d.comparisons.is_empty()));
+            let nested = views.iter().any(|v| !v.dependencies(&view_set).is_empty());
+            if !nested {
+                ConstraintClass::UcqViews { comparisons }
+            } else {
+                let linear = views.iter().all(|v| {
+                    v.definition.disjuncts.iter().all(|d| {
+                        d.atoms.iter().filter(|a| view_set.contains(&a.rel)).count() <= 1
+                    })
+                });
+                ConstraintClass::NestedUcqViews { linear, comparisons }
+            }
+        }
+        _ => ConstraintClass::Mixed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Atom, CmpOp, Comparison, Cq, Term, Var};
+    use crate::schema::SchemaBuilder;
+    use crate::value::Value;
+
+    fn s(x: &str) -> Value {
+        Value::str(x)
+    }
+
+    #[test]
+    fn fd_detects_violation() {
+        let fd = Fd::new(RelId(0), [2], [3]); // country → continent
+        let mut inst = Instance::new();
+        inst.insert(RelId(0), vec![s("Rome"), Value::int(1), s("Italy"), s("Europe")]);
+        inst.insert(RelId(0), vec![s("Milan"), Value::int(2), s("Italy"), s("Europe")]);
+        assert!(fd.satisfied_by(&inst));
+        inst.insert(RelId(0), vec![s("X"), Value::int(3), s("Italy"), s("Asia")]);
+        assert!(!fd.satisfied_by(&inst));
+    }
+
+    #[test]
+    fn ind_detects_violation() {
+        // TC[from] ⊆ Cities[name]
+        let ind = Ind::new(RelId(1), [0], RelId(0), [0]);
+        let mut inst = Instance::new();
+        inst.insert(RelId(0), vec![s("Rome")]);
+        inst.insert(RelId(1), vec![s("Rome"), s("Berlin")]);
+        assert!(ind.satisfied_by(&inst));
+        inst.insert(RelId(1), vec![s("Atlantis"), s("Rome")]);
+        assert!(!ind.satisfied_by(&inst));
+    }
+
+    fn big_city_schema() -> (Schema, RelId, RelId) {
+        let mut b = SchemaBuilder::new();
+        let cities = b.relation("Cities", ["name", "population"]);
+        let big = b.relation("BigCity", ["name"]);
+        let (x, y) = (Var(0), Var(1));
+        let def = Cq::new(
+            [Term::Var(x)],
+            [Atom::new(cities, [Term::Var(x), Term::Var(y)])],
+            [Comparison::new(y, CmpOp::Ge, Value::int(5_000_000))],
+        );
+        b.add_view(ViewDef::new(big, Ucq::single(def)));
+        let schema = b.finish().unwrap();
+        (schema, cities, big)
+    }
+
+    #[test]
+    fn view_satisfaction_requires_exact_extension() {
+        let (schema, cities, big) = big_city_schema();
+        let mut inst = Instance::new();
+        inst.insert(cities, vec![s("Tokyo"), Value::int(13_185_000)]);
+        inst.insert(cities, vec![s("Rome"), Value::int(2_753_000)]);
+        // Missing BigCity(Tokyo): violated.
+        assert!(!inst.satisfies_constraints(&schema));
+        inst.insert(big, vec![s("Tokyo")]);
+        assert!(inst.satisfies_constraints(&schema));
+        // Extra fact not produced by the definition: violated.
+        inst.insert(big, vec![s("Rome")]);
+        assert!(!inst.satisfies_constraints(&schema));
+    }
+
+    #[test]
+    fn classification_flat_views_with_comparisons() {
+        let (schema, _, _) = big_city_schema();
+        assert_eq!(
+            *schema.constraint_class(),
+            ConstraintClass::UcqViews { comparisons: true }
+        );
+    }
+
+    #[test]
+    fn classification_fds_inds_mixed() {
+        let mut b = SchemaBuilder::new();
+        let r = b.relation("R", ["a", "b"]);
+        b.add_fd(Fd::new(r, [0], [1]));
+        assert_eq!(*b.finish().unwrap().constraint_class(), ConstraintClass::FdsOnly);
+
+        let mut b = SchemaBuilder::new();
+        let r = b.relation("R", ["a", "b"]);
+        let t = b.relation("T", ["c"]);
+        b.add_ind(Ind::new(r, [0], t, [0]));
+        assert_eq!(*b.finish().unwrap().constraint_class(), ConstraintClass::IndsOnly);
+
+        let mut b = SchemaBuilder::new();
+        let r = b.relation("R", ["a", "b"]);
+        let t = b.relation("T", ["c"]);
+        b.add_fd(Fd::new(r, [0], [1]));
+        b.add_ind(Ind::new(r, [0], t, [0]));
+        assert_eq!(*b.finish().unwrap().constraint_class(), ConstraintClass::FdsAndInds);
+    }
+
+    #[test]
+    fn classification_nested_and_linear() {
+        let mut b = SchemaBuilder::new();
+        let base = b.relation("E", ["x", "y"]);
+        let v1 = b.relation("V1", ["x", "y"]);
+        let v2 = b.relation("V2", ["x", "y"]);
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        b.add_view(ViewDef::new(
+            v1,
+            Ucq::single(Cq::new(
+                [Term::Var(x), Term::Var(y)],
+                [Atom::new(base, [Term::Var(x), Term::Var(y)])],
+                [],
+            )),
+        ));
+        // V2 = V1 ∘ E : one view atom per disjunct → linear nesting.
+        b.add_view(ViewDef::new(
+            v2,
+            Ucq::single(Cq::new(
+                [Term::Var(x), Term::Var(y)],
+                [
+                    Atom::new(v1, [Term::Var(x), Term::Var(z)]),
+                    Atom::new(base, [Term::Var(z), Term::Var(y)]),
+                ],
+                [],
+            )),
+        ));
+        let schema = b.finish().unwrap();
+        assert_eq!(
+            *schema.constraint_class(),
+            ConstraintClass::NestedUcqViews { linear: true, comparisons: false }
+        );
+        let part = view_partition(&schema);
+        assert_eq!(part.topo_order, vec![v1, v2]);
+        assert!(part.is_view(v2));
+        assert!(!part.is_view(base));
+    }
+
+    #[test]
+    fn cyclic_views_are_rejected() {
+        let mut b = SchemaBuilder::new();
+        let v1 = b.relation("V1", ["x"]);
+        let v2 = b.relation("V2", ["x"]);
+        let x = Var(0);
+        b.add_view(ViewDef::new(
+            v1,
+            Ucq::single(Cq::new([Term::Var(x)], [Atom::new(v2, [Term::Var(x)])], [])),
+        ));
+        b.add_view(ViewDef::new(
+            v2,
+            Ucq::single(Cq::new([Term::Var(x)], [Atom::new(v1, [Term::Var(x)])], [])),
+        ));
+        assert!(matches!(b.finish(), Err(RelError::CyclicViews(_))));
+    }
+
+    #[test]
+    fn duplicate_view_definitions_are_rejected() {
+        let mut b = SchemaBuilder::new();
+        let e = b.relation("E", ["x"]);
+        let v = b.relation("V", ["x"]);
+        let x = Var(0);
+        let def = Cq::new([Term::Var(x)], [Atom::new(e, [Term::Var(x)])], []);
+        b.add_view(ViewDef::new(v, Ucq::single(def.clone())));
+        b.add_view(ViewDef::new(v, Ucq::single(def)));
+        assert!(matches!(b.finish(), Err(RelError::ViewPartition(_))));
+    }
+
+    #[test]
+    fn view_arity_mismatch_is_rejected() {
+        let mut b = SchemaBuilder::new();
+        let e = b.relation("E", ["x", "y"]);
+        let v = b.relation("V", ["x", "y"]);
+        let x = Var(0);
+        // Unary definition for a binary view.
+        let def = Cq::new(
+            [Term::Var(x)],
+            [Atom::new(e, [Term::Var(x), Term::Var(Var(1))])],
+            [],
+        );
+        b.add_view(ViewDef::new(v, Ucq::single(def)));
+        assert!(matches!(b.finish(), Err(RelError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn constraint_display() {
+        let mut b = SchemaBuilder::new();
+        let c = b.relation("Cities", ["name", "population", "country", "continent"]);
+        let t = b.relation("TC", ["from", "to"]);
+        b.add_fd(Fd::new(c, [2], [3]));
+        b.add_ind(Ind::new(t, [0], c, [0]));
+        let schema = b.finish().unwrap();
+        let shown = schema.to_string();
+        assert!(shown.contains("Cities : country → continent"));
+        assert!(shown.contains("TC[from] ⊆ Cities[name]"));
+    }
+}

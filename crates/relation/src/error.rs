@@ -1,0 +1,61 @@
+//! Error type shared across the relational substrate.
+
+use std::fmt;
+
+/// Errors raised while building schemas, instances or queries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RelError {
+    /// A tuple or atom has the wrong number of arguments for its relation.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Provided arity.
+        got: usize,
+    },
+    /// A referenced relation id does not belong to the schema.
+    UnknownRelation(String),
+    /// A query is unsafe: a head or comparison variable does not occur in
+    /// any atom.
+    UnsafeQuery(String),
+    /// The disjuncts of a UCQ do not agree on head arity.
+    MixedArityUnion,
+    /// A view relation has more than one definition, or a base fact was
+    /// supplied for a view relation.
+    ViewPartition(String),
+    /// The "depends on" relation between view definitions is cyclic
+    /// (nested UCQ-view definitions must be acyclic, paper §2).
+    CyclicViews(String),
+    /// A constraint refers to an attribute position outside the relation's
+    /// arity.
+    BadAttribute {
+        /// Relation name.
+        relation: String,
+        /// Offending position.
+        attr: usize,
+    },
+    /// A well-formedness problem not covered by the other variants.
+    Invalid(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::ArityMismatch { relation, expected, got } => {
+                write!(f, "arity mismatch for {relation}: expected {expected}, got {got}")
+            }
+            RelError::UnknownRelation(name) => write!(f, "unknown relation {name}"),
+            RelError::UnsafeQuery(msg) => write!(f, "unsafe query: {msg}"),
+            RelError::MixedArityUnion => write!(f, "UCQ disjuncts have different head arities"),
+            RelError::ViewPartition(msg) => write!(f, "view partition violation: {msg}"),
+            RelError::CyclicViews(msg) => write!(f, "cyclic view definitions: {msg}"),
+            RelError::BadAttribute { relation, attr } => {
+                write!(f, "attribute {attr} out of range for {relation}")
+            }
+            RelError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}

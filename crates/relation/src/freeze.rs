@@ -1,0 +1,141 @@
+//! Canonical databases ("freezing") for conjunctive queries.
+//!
+//! Containment and the chase-based deciders repeatedly need the classic
+//! construction: view the body of a CQ as a database by treating each
+//! variable as a fresh constant. [`freeze`] does this with reserved
+//! constants guaranteed not to collide with data constants;
+//! [`freeze_with`] instantiates variables with caller-chosen values (used by
+//! the region-based containment test for queries with comparisons).
+
+use crate::error::RelError;
+use crate::instance::{Instance, Tuple};
+use crate::query::{Cq, Term, Var};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// The result of freezing a CQ: its canonical database, the frozen head
+/// tuple, and the variable assignment used.
+#[derive(Clone, Debug)]
+pub struct Frozen {
+    /// Canonical database (one fact per atom).
+    pub instance: Instance,
+    /// The frozen head tuple.
+    pub head: Tuple,
+    /// How each variable was instantiated.
+    pub assignment: BTreeMap<Var, Value>,
+}
+
+/// A reserved constant for freezing variable `i`. Uses a private-use
+/// Unicode prefix so it can never collide with ordinary data constants.
+pub fn fresh_constant(i: u32) -> Value {
+    Value::str(format!("\u{e000}v{i}"))
+}
+
+/// Whether `v` is a reserved frozen constant.
+pub fn is_fresh_constant(v: &Value) -> bool {
+    matches!(v, Value::Str(s) if s.starts_with('\u{e000}'))
+}
+
+/// Freezes a comparison-free CQ into its canonical database.
+///
+/// Returns an error if the query carries comparisons — those need the
+/// region-based treatment (see `whynot-subsumption`), not a single frozen
+/// instance.
+pub fn freeze(cq: &Cq) -> Result<Frozen, RelError> {
+    if !cq.comparisons.is_empty() {
+        return Err(RelError::Invalid(
+            "freeze: query has comparisons; use freeze_with over region representatives".into(),
+        ));
+    }
+    let assignment: BTreeMap<Var, Value> =
+        cq.vars().into_iter().map(|v| (v, fresh_constant(v.0))).collect();
+    Ok(freeze_with(cq, &assignment).expect("comparison-free freeze cannot fail"))
+}
+
+/// Freezes a CQ under a given (total) variable assignment, checking that
+/// every comparison holds under it. Returns `None` if a comparison fails or
+/// a variable is unassigned.
+pub fn freeze_with(cq: &Cq, assignment: &BTreeMap<Var, Value>) -> Option<Frozen> {
+    for c in &cq.comparisons {
+        let v = assignment.get(&c.var)?;
+        if !c.op.holds(v, &c.value) {
+            return None;
+        }
+    }
+    let resolve = |t: &Term| -> Option<Value> {
+        match t {
+            Term::Const(c) => Some(c.clone()),
+            Term::Var(v) => assignment.get(v).cloned(),
+        }
+    };
+    let mut instance = Instance::new();
+    for atom in &cq.atoms {
+        let tuple: Option<Tuple> = atom.args.iter().map(resolve).collect();
+        instance.insert(atom.rel, tuple?);
+    }
+    let head: Option<Tuple> = cq.head.iter().map(resolve).collect();
+    Some(Frozen { instance, head: head?, assignment: assignment.clone() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Atom, CmpOp, Comparison};
+    use crate::schema::RelId;
+
+    #[test]
+    fn freeze_builds_one_fact_per_atom() {
+        let r = RelId(0);
+        let (x, y) = (Var(0), Var(1));
+        let q = Cq::new(
+            [Term::Var(x)],
+            [
+                Atom::new(r, [Term::Var(x), Term::Var(y)]),
+                Atom::new(r, [Term::Var(y), Term::Var(x)]),
+            ],
+            [],
+        );
+        let frozen = freeze(&q).unwrap();
+        assert_eq!(frozen.instance.cardinality(r), 2);
+        assert_eq!(frozen.head, vec![fresh_constant(0)]);
+        // The query answers its own frozen head (the canonical property).
+        assert!(q.answers(&frozen.instance, &frozen.head));
+    }
+
+    #[test]
+    fn freeze_rejects_comparisons() {
+        let r = RelId(0);
+        let x = Var(0);
+        let q = Cq::new(
+            [Term::Var(x)],
+            [Atom::new(r, [Term::Var(x)])],
+            [Comparison::new(x, CmpOp::Gt, Value::int(0))],
+        );
+        assert!(freeze(&q).is_err());
+    }
+
+    #[test]
+    fn freeze_with_checks_comparisons() {
+        let r = RelId(0);
+        let x = Var(0);
+        let q = Cq::new(
+            [Term::Var(x)],
+            [Atom::new(r, [Term::Var(x)])],
+            [Comparison::new(x, CmpOp::Gt, Value::int(0))],
+        );
+        let good: BTreeMap<Var, Value> = [(x, Value::int(5))].into_iter().collect();
+        assert!(freeze_with(&q, &good).is_some());
+        let bad: BTreeMap<Var, Value> = [(x, Value::int(-5))].into_iter().collect();
+        assert!(freeze_with(&q, &bad).is_none());
+        let missing: BTreeMap<Var, Value> = BTreeMap::new();
+        assert!(freeze_with(&q, &missing).is_none());
+    }
+
+    #[test]
+    fn fresh_constants_are_reserved() {
+        assert!(is_fresh_constant(&fresh_constant(3)));
+        assert!(!is_fresh_constant(&Value::str("v3")));
+        assert!(!is_fresh_constant(&Value::int(3)));
+        assert_ne!(fresh_constant(1), fresh_constant(2));
+    }
+}

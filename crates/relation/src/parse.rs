@@ -1,0 +1,516 @@
+//! Text formats for schemas, facts and queries — the loading layer for
+//! the command-line tool and for test fixtures.
+//!
+//! ## Query syntax (Datalog-style)
+//!
+//! ```text
+//! q(X, Y) <- Train-Connections(X, Z), Train-Connections(Z, Y)
+//! big(X)  <- Cities(X, P, C, K), P >= 5000000
+//! ```
+//!
+//! * **Variables** start with an uppercase letter (`X`, `City2`) or `?`.
+//! * **Constants** are numbers (`42`, `-3`), quoted strings
+//!   (`"New York"`, `'Europe'`), or bare words starting lowercase.
+//! * Comparisons `Var op Const` with `op ∈ {=, <, >, <=, >=, ≤, ≥}` may
+//!   appear among the body atoms.
+//! * A union of conjunctive queries is written as several rules with the
+//!   same head shape, one per line (or separated by `;`).
+//!
+//! ## Schema + data files
+//!
+//! ```text
+//! # line comments with '#'
+//! relation Cities(name, population, country, continent)
+//! relation Train-Connections(city_from, city_to)
+//! fd Cities: country -> continent
+//! ind Train-Connections[city_from] <= Cities[name]
+//! view BigCity(name): BigCity(X) <- Cities(X, P, C, K), P >= 5000000
+//!
+//! data Cities("Amsterdam", 779808, "Netherlands", "Europe")
+//! data Train-Connections("Amsterdam", "Berlin")
+//! ```
+
+use crate::constraints::{Fd, Ind, ViewDef};
+use crate::error::RelError;
+use crate::instance::{Instance, Tuple};
+use crate::query::{Atom, CmpOp, Comparison, Cq, Term, Ucq, Var};
+use crate::schema::{RelId, Schema, SchemaBuilder};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// A parsed schema-and-data file.
+#[derive(Debug)]
+pub struct Loaded {
+    /// The schema with all declared constraints.
+    pub schema: Schema,
+    /// The base facts (views not yet materialized).
+    pub base: Instance,
+}
+
+/// Parses a full schema + data file (see the module docs for the format).
+pub fn parse_program(src: &str) -> Result<Loaded, RelError> {
+    let mut builder = SchemaBuilder::new();
+    let mut rel_names: Vec<String> = Vec::new();
+    let mut pending_views: Vec<(String, Vec<String>, String)> = Vec::new();
+    let mut pending_fds: Vec<(String, Vec<String>, Vec<String>)> = Vec::new();
+    let mut pending_inds: Vec<(String, Vec<String>, String, Vec<String>)> = Vec::new();
+    let mut pending_facts: Vec<String> = Vec::new();
+
+    for raw in src.lines() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("relation ") {
+            let (name, attrs) = parse_signature(rest)?;
+            builder.relation(name.clone(), attrs);
+            rel_names.push(name);
+        } else if let Some(rest) = line.strip_prefix("fd ") {
+            // fd R: a, b -> c
+            let (rel, spec) = rest
+                .split_once(':')
+                .ok_or_else(|| bad(format!("fd needs 'R: lhs -> rhs': {line}")))?;
+            let (lhs, rhs) = spec
+                .split_once("->")
+                .ok_or_else(|| bad(format!("fd needs '->': {line}")))?;
+            pending_fds.push((
+                rel.trim().to_string(),
+                split_names(lhs),
+                split_names(rhs),
+            ));
+        } else if let Some(rest) = line.strip_prefix("ind ") {
+            // ind R[a, b] <= S[c, d]
+            let (from, to) = rest
+                .split_once("<=")
+                .ok_or_else(|| bad(format!("ind needs '<=': {line}")))?;
+            let (fr, fa) = parse_bracketed(from)?;
+            let (tr, ta) = parse_bracketed(to)?;
+            pending_inds.push((fr, fa, tr, ta));
+        } else if let Some(rest) = line.strip_prefix("view ") {
+            // view Name(attrs): rule [; rule…]
+            let (sig, body) = rest
+                .split_once(':')
+                .ok_or_else(|| bad(format!("view needs ': rules': {line}")))?;
+            let (name, attrs) = parse_signature(sig)?;
+            builder.relation(name.clone(), attrs.clone());
+            rel_names.push(name.clone());
+            pending_views.push((name, attrs, body.trim().to_string()));
+        } else if let Some(rest) = line.strip_prefix("data ") {
+            pending_facts.push(rest.trim().to_string());
+        } else {
+            return Err(bad(format!("unrecognized line: {line}")));
+        }
+    }
+
+    // Resolve constraints now that every relation is declared. Build a
+    // probe schema (constraint-free) for name resolution.
+    let probe = {
+        let mut b = SchemaBuilder::new();
+        // Recreate declarations by parsing again — the builder above owns
+        // them. Simpler: finish the builder into a schema to look names
+        // up, then rebuild with constraints attached.
+        let _ = &mut b;
+        builder.finish()?
+    };
+    let mut rebuilt = SchemaBuilder::new();
+    for rel in probe.rel_ids() {
+        rebuilt.relation(
+            probe.name(rel).to_string(),
+            probe.decl(rel).attrs().iter().cloned().collect::<Vec<_>>(),
+        );
+    }
+    for (rel, lhs, rhs) in pending_fds {
+        let rid = probe
+            .rel(&rel)
+            .ok_or_else(|| RelError::UnknownRelation(rel.clone()))?;
+        let lhs = resolve_attrs(&probe, rid, &lhs)?;
+        let rhs = resolve_attrs(&probe, rid, &rhs)?;
+        rebuilt.add_fd(Fd::new(rid, lhs, rhs));
+    }
+    for (fr, fa, tr, ta) in pending_inds {
+        let frid = probe.rel(&fr).ok_or_else(|| RelError::UnknownRelation(fr.clone()))?;
+        let trid = probe.rel(&tr).ok_or_else(|| RelError::UnknownRelation(tr.clone()))?;
+        let fa = resolve_attrs(&probe, frid, &fa)?;
+        let ta = resolve_attrs(&probe, trid, &ta)?;
+        rebuilt.add_ind(Ind::new(frid, fa, trid, ta));
+    }
+    for (name, _attrs, body) in pending_views {
+        let rid = probe.rel(&name).expect("declared above");
+        let ucq = parse_query(&probe, &body)?;
+        rebuilt.add_view(ViewDef::new(rid, ucq));
+    }
+    let schema = rebuilt.finish()?;
+
+    let mut base = Instance::new();
+    for fact in pending_facts {
+        let (rel, tuple) = parse_fact(&schema, &fact)?;
+        base.insert_checked(&schema, rel, tuple)?;
+    }
+    Ok(Loaded { schema, base })
+}
+
+/// Parses a Datalog-style query (one or more rules; see module docs).
+pub fn parse_query(schema: &Schema, src: &str) -> Result<Ucq, RelError> {
+    let mut disjuncts = Vec::new();
+    for rule in src.split(';').flat_map(|chunk| chunk.lines()) {
+        let rule = strip_comment(rule).trim();
+        if rule.is_empty() {
+            continue;
+        }
+        disjuncts.push(parse_rule(schema, rule)?);
+    }
+    if disjuncts.is_empty() {
+        return Err(bad("no rules in query".into()));
+    }
+    let ucq = Ucq::new(disjuncts);
+    ucq.validate(schema)?;
+    Ok(ucq)
+}
+
+/// Parses one fact `R(c1, …, ck)` (constants only).
+pub fn parse_fact(schema: &Schema, src: &str) -> Result<(RelId, Tuple), RelError> {
+    let (name, args_src) = split_call(src.trim())?;
+    let rel = schema
+        .rel(&name)
+        .ok_or_else(|| RelError::UnknownRelation(name.clone()))?;
+    let mut tuple = Vec::new();
+    for arg in split_args(&args_src) {
+        match parse_term(arg.trim())? {
+            Term::Const(v) => tuple.push(v),
+            Term::Var(_) => {
+                return Err(bad(format!("facts cannot contain variables: {src}")))
+            }
+        }
+    }
+    Ok((rel, tuple))
+}
+
+fn parse_rule(schema: &Schema, src: &str) -> Result<Cq, RelError> {
+    let (head_src, body_src) = src
+        .split_once("<-")
+        .ok_or_else(|| bad(format!("rule needs '<-': {src}")))?;
+    let mut vars: BTreeMap<String, Var> = BTreeMap::new();
+    let mut next = 0u32;
+    let mut term_of = |tok: &str| -> Result<Term, RelError> {
+        let t = parse_term(tok)?;
+        Ok(match t {
+            Term::Var(_) => {
+                // parse_term returns Var(0) placeholders for variable
+                // tokens; intern by name instead.
+                let v = *vars.entry(tok.trim().to_string()).or_insert_with(|| {
+                    let v = Var(next);
+                    next += 1;
+                    v
+                });
+                Term::Var(v)
+            }
+            c => c,
+        })
+    };
+
+    let (_qname, head_args) = split_call(head_src.trim())?;
+    let head: Vec<Term> = split_args(&head_args)
+        .iter()
+        .map(|a| term_of(a))
+        .collect::<Result<_, _>>()?;
+
+    let mut atoms = Vec::new();
+    let mut comparisons = Vec::new();
+    for part in split_args(body_src.trim()) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some((var_tok, op, val_tok)) = split_comparison(part) {
+            let term = term_of(&var_tok)?;
+            let Term::Var(v) = term else {
+                return Err(bad(format!("comparison must start with a variable: {part}")));
+            };
+            let Term::Const(value) = parse_term(val_tok.trim())? else {
+                return Err(bad(format!(
+                    "comparisons must be against constants: {part}"
+                )));
+            };
+            comparisons.push(Comparison { var: v, op, value });
+        } else {
+            let (name, args_src) = split_call(part)?;
+            let rel = schema
+                .rel(&name)
+                .ok_or_else(|| RelError::UnknownRelation(name.clone()))?;
+            let args: Vec<Term> = split_args(&args_src)
+                .iter()
+                .map(|a| term_of(a))
+                .collect::<Result<_, _>>()?;
+            atoms.push(Atom::new(rel, args));
+        }
+    }
+    Ok(Cq::new(head, atoms, comparisons))
+}
+
+/// A term token: uppercase-initial or `?`-prefixed = variable (returned
+/// as a placeholder `Var(0)`; the caller interns by name), otherwise a
+/// constant.
+fn parse_term(tok: &str) -> Result<Term, RelError> {
+    let tok = tok.trim();
+    if tok.is_empty() {
+        return Err(bad("empty term".into()));
+    }
+    if let Ok(n) = tok.parse::<i64>() {
+        return Ok(Term::Const(Value::int(n)));
+    }
+    if let Some(stripped) = tok.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+        return Ok(Term::Const(Value::str(stripped)));
+    }
+    if let Some(stripped) = tok.strip_prefix('\'').and_then(|s| s.strip_suffix('\'')) {
+        return Ok(Term::Const(Value::str(stripped)));
+    }
+    if tok.starts_with('?') || tok.chars().next().is_some_and(|c| c.is_uppercase()) {
+        return Ok(Term::Var(Var(0))); // placeholder, interned by caller
+    }
+    Ok(Term::Const(Value::str(tok)))
+}
+
+fn split_comparison(part: &str) -> Option<(String, CmpOp, String)> {
+    // Ordered so that two-character operators win.
+    for (tok, op) in [
+        ("<=", CmpOp::Le),
+        (">=", CmpOp::Ge),
+        ("≤", CmpOp::Le),
+        ("≥", CmpOp::Ge),
+        ("=", CmpOp::Eq),
+        ("<", CmpOp::Lt),
+        (">", CmpOp::Gt),
+    ] {
+        if let Some(pos) = part.find(tok) {
+            let lhs = part[..pos].trim();
+            // Guard: `R(x)` contains no operator at the top level; a
+            // parenthesis before the operator means this is an atom.
+            if lhs.contains('(') {
+                return None;
+            }
+            let rhs = part[pos + tok.len()..].trim();
+            if lhs.is_empty() || rhs.is_empty() {
+                return None;
+            }
+            return Some((lhs.to_string(), op, rhs.to_string()));
+        }
+    }
+    None
+}
+
+/// Splits `Name(arg, arg, …)` into name and raw argument string.
+fn split_call(src: &str) -> Result<(String, String), RelError> {
+    let open = src
+        .find('(')
+        .ok_or_else(|| bad(format!("expected '(' in {src:?}")))?;
+    if !src.ends_with(')') {
+        return Err(bad(format!("expected trailing ')' in {src:?}")));
+    }
+    let name = src[..open].trim().to_string();
+    let args = src[open + 1..src.len() - 1].to_string();
+    Ok((name, args))
+}
+
+/// Splits a comma-separated list, respecting quotes and parentheses.
+fn split_args(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut in_quote: Option<char> = None;
+    let mut current = String::new();
+    for ch in src.chars() {
+        match in_quote {
+            Some(q) => {
+                current.push(ch);
+                if ch == q {
+                    in_quote = None;
+                }
+            }
+            None => match ch {
+                '"' | '\'' => {
+                    in_quote = Some(ch);
+                    current.push(ch);
+                }
+                '(' => {
+                    depth += 1;
+                    current.push(ch);
+                }
+                ')' => {
+                    depth = depth.saturating_sub(1);
+                    current.push(ch);
+                }
+                ',' if depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                }
+                _ => current.push(ch),
+            },
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_signature(src: &str) -> Result<(String, Vec<String>), RelError> {
+    let (name, args) = split_call(src.trim())?;
+    Ok((name, split_args(&args).iter().map(|a| a.trim().to_string()).collect()))
+}
+
+fn parse_bracketed(src: &str) -> Result<(String, Vec<String>), RelError> {
+    let src = src.trim();
+    let open = src
+        .find('[')
+        .ok_or_else(|| bad(format!("expected '[' in {src:?}")))?;
+    let close = src
+        .rfind(']')
+        .ok_or_else(|| bad(format!("expected ']' in {src:?}")))?;
+    let name = src[..open].trim().to_string();
+    let attrs = split_names(&src[open + 1..close]);
+    Ok((name, attrs))
+}
+
+fn split_names(src: &str) -> Vec<String> {
+    src.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
+}
+
+fn resolve_attrs(
+    schema: &Schema,
+    rel: RelId,
+    names: &[String],
+) -> Result<Vec<usize>, RelError> {
+    names
+        .iter()
+        .map(|n| {
+            schema.attr(rel, n).ok_or_else(|| RelError::BadAttribute {
+                relation: schema.name(rel).to_string(),
+                attr: usize::MAX,
+            })
+        })
+        .collect()
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn bad(msg: String) -> RelError {
+    RelError::Invalid(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::views::materialize_views;
+
+    const PROGRAM: &str = r#"
+# The Figure 1/2 data, in the text format.
+relation Cities(name, population, country, continent)
+relation Train-Connections(city_from, city_to)
+fd Cities: country -> continent
+ind Train-Connections[city_from] <= Cities[name]
+view BigCity(name): BigCity(X) <- Cities(X, P, C, K), P >= 5000000
+
+data Cities("Amsterdam", 779808, "Netherlands", "Europe")
+data Cities("Tokyo", 13185000, "Japan", "Asia")
+data Train-Connections("Amsterdam", "Tokyo")   # fictional, keeps the IND happy
+data Train-Connections("Tokyo", "Amsterdam")
+"#;
+
+    #[test]
+    fn parses_schema_and_data() {
+        let loaded = parse_program(PROGRAM).unwrap();
+        assert_eq!(loaded.schema.len(), 3);
+        let cities = loaded.schema.rel_expect("Cities");
+        assert_eq!(loaded.base.cardinality(cities), 2);
+        let full = materialize_views(&loaded.schema, &loaded.base).unwrap();
+        assert!(full.satisfies_constraints(&loaded.schema));
+        let big = loaded.schema.rel_expect("BigCity");
+        assert_eq!(full.cardinality(big), 1); // Tokyo
+    }
+
+    #[test]
+    fn parses_queries_with_joins_and_comparisons() {
+        let loaded = parse_program(PROGRAM).unwrap();
+        let q = parse_query(
+            &loaded.schema,
+            "q(X, Y) <- Train-Connections(X, Z), Train-Connections(Z, Y)",
+        )
+        .unwrap();
+        assert_eq!(q.disjuncts.len(), 1);
+        assert_eq!(q.disjuncts[0].atoms.len(), 2);
+        let full = materialize_views(&loaded.schema, &loaded.base).unwrap();
+        let ans = q.eval(&full);
+        assert!(ans.contains(&vec![Value::str("Amsterdam"), Value::str("Amsterdam")]));
+
+        let q = parse_query(
+            &loaded.schema,
+            "big(X) <- Cities(X, P, C, K), P >= 5000000",
+        )
+        .unwrap();
+        let ans = q.eval(&full);
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&vec![Value::str("Tokyo")]));
+    }
+
+    #[test]
+    fn parses_unions() {
+        let loaded = parse_program(PROGRAM).unwrap();
+        let q = parse_query(
+            &loaded.schema,
+            "q(X) <- Cities(X, P, C, K), P >= 5000000 ; q(X) <- Train-Connections(X, Y)",
+        )
+        .unwrap();
+        assert_eq!(q.disjuncts.len(), 2);
+    }
+
+    #[test]
+    fn variable_vs_constant_conventions() {
+        let loaded = parse_program(PROGRAM).unwrap();
+        // lowercase bare word = constant; quoted = constant; Upper = var.
+        let q = parse_query(
+            &loaded.schema,
+            r#"q(X) <- Cities(X, P, japan, "Asia")"#,
+        )
+        .unwrap();
+        let cq = &q.disjuncts[0];
+        assert_eq!(cq.atoms[0].args[2], Term::Const(Value::str("japan")));
+        assert_eq!(cq.atoms[0].args[3], Term::Const(Value::str("Asia")));
+        assert!(matches!(cq.atoms[0].args[0], Term::Var(_)));
+        // ?-prefixed is also a variable.
+        let q = parse_query(&loaded.schema, "q(?x) <- Cities(?x, P, C, K)").unwrap();
+        assert!(matches!(q.disjuncts[0].head[0], Term::Var(_)));
+    }
+
+    #[test]
+    fn shared_variables_are_interned_once() {
+        let loaded = parse_program(PROGRAM).unwrap();
+        let q = parse_query(
+            &loaded.schema,
+            "q(X) <- Train-Connections(X, Z), Train-Connections(Z, X)",
+        )
+        .unwrap();
+        let cq = &q.disjuncts[0];
+        assert_eq!(cq.atoms[0].args[1], cq.atoms[1].args[0]); // Z = Z
+        assert_eq!(cq.atoms[0].args[0], cq.atoms[1].args[1]); // X = X
+    }
+
+    #[test]
+    fn facts_reject_variables() {
+        let loaded = parse_program(PROGRAM).unwrap();
+        assert!(parse_fact(&loaded.schema, "Cities(X, 1, a, b)").is_err());
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(parse_program("nonsense here").is_err());
+        let loaded = parse_program(PROGRAM).unwrap();
+        assert!(parse_query(&loaded.schema, "q(X) <- Ghost(X)").is_err());
+        assert!(parse_query(&loaded.schema, "no arrow").is_err());
+        assert!(parse_query(&loaded.schema, "").is_err());
+        // Unsafe head variable is rejected by validation.
+        assert!(parse_query(&loaded.schema, "q(Y) <- Cities(X, P, C, K)").is_err());
+    }
+}

@@ -1,0 +1,865 @@
+//! Conjunctive queries with comparisons to constants, and unions thereof
+//! (paper §2, "Queries").
+//!
+//! A [`Cq`] is `∃ȳ. φ(x̄, ȳ)` where `φ` is a conjunction of relational atoms
+//! plus comparisons of the form `x op c` with
+//! `op ∈ {=, <, >, ≤, ≥}` and `c ∈ Const`. Comparisons **between
+//! variables** are deliberately unsupported, exactly as in the paper.
+//!
+//! Evaluation is a backtracking join: sound, complete, and deliberately
+//! simple — the paper's why-not instances carry their answer set `Ans`
+//! pre-computed, so query evaluation is never on the critical path of the
+//! complexity results (Definition 5.1 discussion).
+
+use crate::error::RelError;
+use crate::instance::{Instance, Tuple};
+use crate::interval::Interval;
+use crate::schema::{RelId, Schema};
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A query variable.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub u32);
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A term: a variable or a constant.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// A constant.
+    Const(Value),
+}
+
+impl Term {
+    /// The variable inside, if any.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Const(v)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c:?}"),
+        }
+    }
+}
+
+/// A relational atom `R(t1, …, tk)`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Atom {
+    /// The relation.
+    pub rel: RelId,
+    /// The argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Builds an atom.
+    pub fn new(rel: RelId, args: impl IntoIterator<Item = Term>) -> Self {
+        Atom { rel, args: args.into_iter().collect() }
+    }
+
+    /// The variables occurring in the atom.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.args.iter().filter_map(Term::as_var)
+    }
+}
+
+/// A comparison operator.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates `lhs op rhs`.
+    pub fn holds(self, lhs: &Value, rhs: &Value) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+
+    /// All five operators.
+    pub const ALL: [CmpOp; 5] = [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "≤",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => "≥",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A comparison `x op c`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Comparison {
+    /// The compared variable.
+    pub var: Var,
+    /// The operator.
+    pub op: CmpOp,
+    /// The constant.
+    pub value: Value,
+}
+
+impl Comparison {
+    /// Builds a comparison.
+    pub fn new(var: Var, op: CmpOp, value: impl Into<Value>) -> Self {
+        Comparison { var, op, value: value.into() }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {:?}", self.var, self.op, self.value)
+    }
+}
+
+/// A conjunctive query with comparisons to constants.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Cq {
+    /// Head terms (the output tuple shape; constants allowed).
+    pub head: Vec<Term>,
+    /// The relational atoms.
+    pub atoms: Vec<Atom>,
+    /// The comparisons.
+    pub comparisons: Vec<Comparison>,
+}
+
+impl Cq {
+    /// Builds a CQ.
+    pub fn new(
+        head: impl IntoIterator<Item = Term>,
+        atoms: impl IntoIterator<Item = Atom>,
+        comparisons: impl IntoIterator<Item = Comparison>,
+    ) -> Self {
+        Cq {
+            head: head.into_iter().collect(),
+            atoms: atoms.into_iter().collect(),
+            comparisons: comparisons.into_iter().collect(),
+        }
+    }
+
+    /// Head arity.
+    pub fn arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// All variables occurring anywhere in the query.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut out: BTreeSet<Var> = self.atoms.iter().flat_map(|a| a.vars()).collect();
+        out.extend(self.head.iter().filter_map(Term::as_var));
+        out.extend(self.comparisons.iter().map(|c| c.var));
+        out
+    }
+
+    /// Variables occurring in atoms (the "safe" variables).
+    pub fn atom_vars(&self) -> BTreeSet<Var> {
+        self.atoms.iter().flat_map(|a| a.vars()).collect()
+    }
+
+    /// All constants mentioned in the query (atom arguments, head,
+    /// comparisons).
+    pub fn constants(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        for t in self.head.iter().chain(self.atoms.iter().flat_map(|a| a.args.iter())) {
+            if let Term::Const(c) = t {
+                out.insert(c.clone());
+            }
+        }
+        out.extend(self.comparisons.iter().map(|c| c.value.clone()));
+        out
+    }
+
+    /// Validates safety (head and comparison variables occur in atoms) and
+    /// arity agreement against the schema.
+    pub fn validate(&self, schema: &Schema) -> Result<(), RelError> {
+        let safe = self.atom_vars();
+        for atom in &self.atoms {
+            if atom.rel.0 as usize >= schema.len() {
+                return Err(RelError::UnknownRelation(format!("{:?}", atom.rel)));
+            }
+            let expected = schema.arity(atom.rel);
+            if atom.args.len() != expected {
+                return Err(RelError::ArityMismatch {
+                    relation: schema.name(atom.rel).to_string(),
+                    expected,
+                    got: atom.args.len(),
+                });
+            }
+        }
+        for t in &self.head {
+            if let Term::Var(v) = t {
+                if !safe.contains(v) {
+                    return Err(RelError::UnsafeQuery(format!(
+                        "head variable {v} does not occur in any atom"
+                    )));
+                }
+            }
+        }
+        for c in &self.comparisons {
+            if !safe.contains(&c.var) {
+                return Err(RelError::UnsafeQuery(format!(
+                    "comparison variable {} does not occur in any atom",
+                    c.var
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The interval constraint each variable must satisfy, intersecting all
+    /// comparisons mentioning it. Variables without comparisons are absent.
+    pub fn var_intervals(&self) -> BTreeMap<Var, Interval> {
+        let mut out: BTreeMap<Var, Interval> = BTreeMap::new();
+        for c in &self.comparisons {
+            let iv = Interval::from_comparison(c.op, c.value.clone());
+            out.entry(c.var)
+                .and_modify(|cur| *cur = cur.intersect(&iv))
+                .or_insert(iv);
+        }
+        out
+    }
+
+    /// Whether the comparison set alone is satisfiable (every variable's
+    /// interval non-empty under density).
+    pub fn comparisons_satisfiable(&self) -> bool {
+        self.var_intervals().values().all(|iv| !iv.is_empty())
+    }
+
+    /// Evaluates the query over `inst`, returning the answer set `q(I)`.
+    pub fn eval(&self, inst: &Instance) -> BTreeSet<Tuple> {
+        let mut out = BTreeSet::new();
+        let intervals = self.var_intervals();
+        if intervals.values().any(|iv| iv.is_empty()) {
+            return out;
+        }
+        let mut assignment: BTreeMap<Var, Value> = BTreeMap::new();
+        let mut remaining: Vec<usize> = (0..self.atoms.len()).collect();
+        self.search(inst, &intervals, &mut assignment, &mut remaining, &mut out);
+        out
+    }
+
+    /// Whether `tuple` is an answer of the query over `inst`.
+    pub fn answers(&self, inst: &Instance, tuple: &[Value]) -> bool {
+        // Bind head variables from the tuple and run the body check; a full
+        // evaluation would also work but this avoids enumerating all
+        // answers.
+        if tuple.len() != self.head.len() {
+            return false;
+        }
+        let mut assignment: BTreeMap<Var, Value> = BTreeMap::new();
+        for (t, v) in self.head.iter().zip(tuple) {
+            match t {
+                Term::Const(c) => {
+                    if c != v {
+                        return false;
+                    }
+                }
+                Term::Var(x) => match assignment.get(x) {
+                    Some(prev) if prev != v => return false,
+                    _ => {
+                        assignment.insert(*x, v.clone());
+                    }
+                },
+            }
+        }
+        let intervals = self.var_intervals();
+        for (x, iv) in &intervals {
+            if let Some(val) = assignment.get(x) {
+                if !iv.contains(val) {
+                    return false;
+                }
+            }
+            if iv.is_empty() {
+                return false;
+            }
+        }
+        let mut remaining: Vec<usize> = (0..self.atoms.len()).collect();
+        let mut found = false;
+        self.search_body(inst, &intervals, &mut assignment, &mut remaining, &mut |_| {
+            found = true;
+            false // stop at the first witness
+        });
+        found
+    }
+
+    fn search(
+        &self,
+        inst: &Instance,
+        intervals: &BTreeMap<Var, Interval>,
+        assignment: &mut BTreeMap<Var, Value>,
+        remaining: &mut Vec<usize>,
+        out: &mut BTreeSet<Tuple>,
+    ) {
+        self.search_body(inst, intervals, assignment, remaining, &mut |assignment| {
+            let tuple: Option<Tuple> = self
+                .head
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => Some(c.clone()),
+                    Term::Var(v) => assignment.get(v).cloned(),
+                })
+                .collect();
+            if let Some(t) = tuple {
+                out.insert(t);
+            }
+            true // keep enumerating
+        });
+    }
+
+    /// Core backtracking join. Calls `on_match` for every satisfying
+    /// assignment of the body; `on_match` returns `false` to cut the search.
+    fn search_body(
+        &self,
+        inst: &Instance,
+        intervals: &BTreeMap<Var, Interval>,
+        assignment: &mut BTreeMap<Var, Value>,
+        remaining: &mut Vec<usize>,
+        on_match: &mut dyn FnMut(&BTreeMap<Var, Value>) -> bool,
+    ) -> bool {
+        let Some(pos) = self.pick_atom(assignment, remaining) else {
+            return on_match(assignment);
+        };
+        let idx = remaining.swap_remove(pos);
+        let atom = &self.atoms[idx];
+        let tuples: Vec<&Tuple> = inst.tuples(atom.rel).collect();
+        for tuple in tuples {
+            let mut bound_here: Vec<Var> = Vec::new();
+            if self.try_unify(atom, tuple, intervals, assignment, &mut bound_here) {
+                let keep_going =
+                    self.search_body(inst, intervals, assignment, remaining, on_match);
+                for v in &bound_here {
+                    assignment.remove(v);
+                }
+                if !keep_going {
+                    remaining.push(idx);
+                    let last = remaining.len() - 1;
+                    remaining.swap(pos.min(last), last);
+                    return false;
+                }
+            } else {
+                for v in &bound_here {
+                    assignment.remove(v);
+                }
+            }
+        }
+        remaining.push(idx);
+        let last = remaining.len() - 1;
+        remaining.swap(pos.min(last), last);
+        true
+    }
+
+    /// Most-constrained-atom heuristic: prefer atoms with the most bound
+    /// positions.
+    fn pick_atom(
+        &self,
+        assignment: &BTreeMap<Var, Value>,
+        remaining: &[usize],
+    ) -> Option<usize> {
+        remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &idx)| {
+                self.atoms[idx]
+                    .args
+                    .iter()
+                    .filter(|t| match t {
+                        Term::Const(_) => true,
+                        Term::Var(v) => assignment.contains_key(v),
+                    })
+                    .count()
+            })
+            .map(|(pos, _)| pos)
+    }
+
+    fn try_unify(
+        &self,
+        atom: &Atom,
+        tuple: &[Value],
+        intervals: &BTreeMap<Var, Interval>,
+        assignment: &mut BTreeMap<Var, Value>,
+        bound_here: &mut Vec<Var>,
+    ) -> bool {
+        if atom.args.len() != tuple.len() {
+            return false;
+        }
+        for (term, value) in atom.args.iter().zip(tuple) {
+            match term {
+                Term::Const(c) => {
+                    if c != value {
+                        return false;
+                    }
+                }
+                Term::Var(x) => match assignment.get(x) {
+                    Some(prev) => {
+                        if prev != value {
+                            return false;
+                        }
+                    }
+                    None => {
+                        if let Some(iv) = intervals.get(x) {
+                            if !iv.contains(value) {
+                                return false;
+                            }
+                        }
+                        assignment.insert(*x, value.clone());
+                        bound_here.push(*x);
+                    }
+                },
+            }
+        }
+        true
+    }
+
+    /// Applies a substitution to every term (head, atoms) and rewrites
+    /// comparisons. A comparison whose variable maps to a constant is
+    /// evaluated statically; returns `None` if it is false (the disjunct
+    /// becomes unsatisfiable).
+    pub fn substitute(&self, map: &BTreeMap<Var, Term>) -> Option<Cq> {
+        let sub = |t: &Term| -> Term {
+            match t {
+                Term::Var(v) => map.get(v).cloned().unwrap_or_else(|| t.clone()),
+                Term::Const(_) => t.clone(),
+            }
+        };
+        let head = self.head.iter().map(sub).collect();
+        let atoms = self
+            .atoms
+            .iter()
+            .map(|a| Atom { rel: a.rel, args: a.args.iter().map(sub).collect() })
+            .collect();
+        let mut comparisons = Vec::new();
+        for c in &self.comparisons {
+            match map.get(&c.var) {
+                None => comparisons.push(c.clone()),
+                Some(Term::Var(w)) => {
+                    comparisons.push(Comparison { var: *w, op: c.op, value: c.value.clone() })
+                }
+                Some(Term::Const(v)) => {
+                    if !c.op.holds(v, &c.value) {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(Cq { head, atoms, comparisons })
+    }
+
+    /// Renames every variable to a fresh one drawn from `next_var`
+    /// (incremented past each use). Used to keep unfoldings apart.
+    pub fn rename_apart(&self, next_var: &mut u32) -> Cq {
+        let mut map: BTreeMap<Var, Term> = BTreeMap::new();
+        for v in self.vars() {
+            map.insert(v, Term::Var(Var(*next_var)));
+            *next_var += 1;
+        }
+        self.substitute(&map).expect("pure renaming cannot fail")
+    }
+
+    /// Renders the query with relation names.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        DisplayCq { cq: self, schema }
+    }
+}
+
+struct DisplayCq<'a> {
+    cq: &'a Cq,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for DisplayCq<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let head: Vec<String> = self.cq.head.iter().map(|t| t.to_string()).collect();
+        write!(f, "({}) ← ", head.join(", "))?;
+        let mut first = true;
+        for atom in &self.cq.atoms {
+            if !first {
+                write!(f, " ∧ ")?;
+            }
+            first = false;
+            let args: Vec<String> = atom.args.iter().map(|t| t.to_string()).collect();
+            write!(f, "{}({})", self.schema.name(atom.rel), args.join(", "))?;
+        }
+        for c in &self.cq.comparisons {
+            if !first {
+                write!(f, " ∧ ")?;
+            }
+            first = false;
+            write!(f, "{c}")?;
+        }
+        if first {
+            write!(f, "⊤")?;
+        }
+        Ok(())
+    }
+}
+
+/// A union of conjunctive queries (all disjuncts share one head arity).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Ucq {
+    /// The disjuncts.
+    pub disjuncts: Vec<Cq>,
+}
+
+impl Ucq {
+    /// Builds a UCQ.
+    pub fn new(disjuncts: impl IntoIterator<Item = Cq>) -> Self {
+        Ucq { disjuncts: disjuncts.into_iter().collect() }
+    }
+
+    /// A single-disjunct UCQ.
+    pub fn single(cq: Cq) -> Self {
+        Ucq { disjuncts: vec![cq] }
+    }
+
+    /// Head arity (of the first disjunct; [`Ucq::validate`] checks
+    /// agreement).
+    pub fn arity(&self) -> usize {
+        self.disjuncts.first().map_or(0, Cq::arity)
+    }
+
+    /// Validates each disjunct and head-arity agreement.
+    pub fn validate(&self, schema: &Schema) -> Result<(), RelError> {
+        let arity = self.arity();
+        for d in &self.disjuncts {
+            if d.arity() != arity {
+                return Err(RelError::MixedArityUnion);
+            }
+            d.validate(schema)?;
+        }
+        Ok(())
+    }
+
+    /// Evaluates the union over `inst`.
+    pub fn eval(&self, inst: &Instance) -> BTreeSet<Tuple> {
+        let mut out = BTreeSet::new();
+        for d in &self.disjuncts {
+            out.extend(d.eval(inst));
+        }
+        out
+    }
+
+    /// Whether `tuple` is an answer over `inst`.
+    pub fn answers(&self, inst: &Instance, tuple: &[Value]) -> bool {
+        self.disjuncts.iter().any(|d| d.answers(inst, tuple))
+    }
+
+    /// All constants mentioned in any disjunct.
+    pub fn constants(&self) -> BTreeSet<Value> {
+        self.disjuncts.iter().flat_map(|d| d.constants()).collect()
+    }
+
+    /// The largest variable index used, plus one (for fresh-variable
+    /// generation).
+    pub fn next_fresh_var(&self) -> u32 {
+        self.disjuncts
+            .iter()
+            .flat_map(|d| d.vars())
+            .map(|v| v.0 + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders the UCQ with relation names.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        DisplayUcq { ucq: self, schema }
+    }
+}
+
+struct DisplayUcq<'a> {
+    ucq: &'a Ucq,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for DisplayUcq<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.ucq.disjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ∨  ")?;
+            }
+            write!(f, "{}", d.display(self.schema))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+
+    fn tc_schema() -> (Schema, RelId) {
+        let mut b = SchemaBuilder::new();
+        let tc = b.relation("TC", ["from", "to"]);
+        (b.finish().unwrap(), tc)
+    }
+
+    fn s(x: &str) -> Value {
+        Value::str(x)
+    }
+
+    /// The paper's Example 3.4 query:
+    /// `q(x,y) = ∃z. TC(x,z) ∧ TC(z,y)`.
+    fn two_hop(tc: RelId) -> Cq {
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        Cq::new(
+            [Term::Var(x), Term::Var(y)],
+            [
+                Atom::new(tc, [Term::Var(x), Term::Var(z)]),
+                Atom::new(tc, [Term::Var(z), Term::Var(y)]),
+            ],
+            [],
+        )
+    }
+
+    fn train_connections(tc: RelId) -> Instance {
+        let mut inst = Instance::new();
+        for (a, b) in [
+            ("Amsterdam", "Berlin"),
+            ("Berlin", "Rome"),
+            ("Berlin", "Amsterdam"),
+            ("New York", "San Francisco"),
+            ("San Francisco", "Santa Cruz"),
+            ("Tokyo", "Kyoto"),
+        ] {
+            inst.insert(tc, vec![s(a), s(b)]);
+        }
+        inst
+    }
+
+    #[test]
+    fn two_hop_matches_example_3_4() {
+        let (_, tc) = tc_schema();
+        let q = two_hop(tc);
+        let ans = q.eval(&train_connections(tc));
+        let expected: BTreeSet<Tuple> = [
+            vec![s("Amsterdam"), s("Rome")],
+            vec![s("Amsterdam"), s("Amsterdam")],
+            vec![s("Berlin"), s("Berlin")],
+            vec![s("New York"), s("Santa Cruz")],
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(ans, expected);
+    }
+
+    #[test]
+    fn answers_agrees_with_eval() {
+        let (_, tc) = tc_schema();
+        let q = two_hop(tc);
+        let inst = train_connections(tc);
+        let ans = q.eval(&inst);
+        assert!(q.answers(&inst, &[s("Amsterdam"), s("Rome")]));
+        assert!(!q.answers(&inst, &[s("Amsterdam"), s("New York")]));
+        for t in &ans {
+            assert!(q.answers(&inst, t));
+        }
+    }
+
+    #[test]
+    fn constants_in_atoms_filter() {
+        let (_, tc) = tc_schema();
+        let y = Var(0);
+        let q = Cq::new(
+            [Term::Var(y)],
+            [Atom::new(tc, [Term::Const(s("Berlin")), Term::Var(y)])],
+            [],
+        );
+        let ans = q.eval(&train_connections(tc));
+        let expected: BTreeSet<Tuple> =
+            [vec![s("Rome")], vec![s("Amsterdam")]].into_iter().collect();
+        assert_eq!(ans, expected);
+    }
+
+    #[test]
+    fn comparisons_restrict_answers() {
+        let mut b = SchemaBuilder::new();
+        let c = b.relation("Cities", ["name", "population"]);
+        let schema = b.finish().unwrap();
+        let mut inst = Instance::new();
+        inst.insert(c, vec![s("Rome"), Value::int(2_753_000)]);
+        inst.insert(c, vec![s("Santa Cruz"), Value::int(59_946)]);
+        let (x, p) = (Var(0), Var(1));
+        let q = Cq::new(
+            [Term::Var(x)],
+            [Atom::new(c, [Term::Var(x), Term::Var(p)])],
+            [Comparison::new(p, CmpOp::Gt, Value::int(1_000_000))],
+        );
+        q.validate(&schema).unwrap();
+        let ans = q.eval(&inst);
+        assert_eq!(ans, [vec![s("Rome")]].into_iter().collect());
+    }
+
+    #[test]
+    fn unsatisfiable_comparisons_yield_empty() {
+        let (_, tc) = tc_schema();
+        let (x, y) = (Var(0), Var(1));
+        let q = Cq::new(
+            [Term::Var(x)],
+            [Atom::new(tc, [Term::Var(x), Term::Var(y)])],
+            [
+                Comparison::new(y, CmpOp::Lt, Value::int(0)),
+                Comparison::new(y, CmpOp::Gt, Value::int(0)),
+            ],
+        );
+        assert!(!q.comparisons_satisfiable());
+        assert!(q.eval(&train_connections(tc)).is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_unsafe_head() {
+        let (schema, tc) = tc_schema();
+        let q = Cq::new(
+            [Term::Var(Var(7))],
+            [Atom::new(tc, [Term::Var(Var(0)), Term::Var(Var(1))])],
+            [],
+        );
+        assert!(matches!(q.validate(&schema), Err(RelError::UnsafeQuery(_))));
+    }
+
+    #[test]
+    fn validate_rejects_unsafe_comparison() {
+        let (schema, tc) = tc_schema();
+        let q = Cq::new(
+            [Term::Var(Var(0))],
+            [Atom::new(tc, [Term::Var(Var(0)), Term::Var(Var(1))])],
+            [Comparison::new(Var(9), CmpOp::Eq, s("x"))],
+        );
+        assert!(matches!(q.validate(&schema), Err(RelError::UnsafeQuery(_))));
+    }
+
+    #[test]
+    fn validate_rejects_bad_arity() {
+        let (schema, tc) = tc_schema();
+        let q = Cq::new([Term::Var(Var(0))], [Atom::new(tc, [Term::Var(Var(0))])], []);
+        assert!(matches!(q.validate(&schema), Err(RelError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn substitute_rewrites_and_statically_evaluates() {
+        let (_, tc) = tc_schema();
+        let (x, y) = (Var(0), Var(1));
+        let q = Cq::new(
+            [Term::Var(x)],
+            [Atom::new(tc, [Term::Var(x), Term::Var(y)])],
+            [Comparison::new(y, CmpOp::Eq, s("Berlin"))],
+        );
+        // y ↦ "Berlin" satisfies the comparison, which disappears.
+        let map: BTreeMap<Var, Term> = [(y, Term::Const(s("Berlin")))].into_iter().collect();
+        let q2 = q.substitute(&map).unwrap();
+        assert!(q2.comparisons.is_empty());
+        assert_eq!(q2.atoms[0].args[1], Term::Const(s("Berlin")));
+        // y ↦ "Rome" falsifies it: the disjunct dies.
+        let map: BTreeMap<Var, Term> = [(y, Term::Const(s("Rome")))].into_iter().collect();
+        assert!(q.substitute(&map).is_none());
+    }
+
+    #[test]
+    fn rename_apart_is_fresh_and_equivalent() {
+        let (_, tc) = tc_schema();
+        let q = two_hop(tc);
+        let mut next = 100;
+        let q2 = q.rename_apart(&mut next);
+        assert!(next >= 103);
+        assert!(q2.vars().iter().all(|v| v.0 >= 100));
+        let inst = train_connections(tc);
+        assert_eq!(q.eval(&inst), q2.eval(&inst));
+    }
+
+    #[test]
+    fn ucq_unions_disjuncts() {
+        let (_, tc) = tc_schema();
+        let (x, y) = (Var(0), Var(1));
+        let direct = Cq::new(
+            [Term::Var(x), Term::Var(y)],
+            [Atom::new(tc, [Term::Var(x), Term::Var(y)])],
+            [],
+        );
+        let ucq = Ucq::new([direct, two_hop(tc)]);
+        let inst = train_connections(tc);
+        let ans = ucq.eval(&inst);
+        // 6 direct connections + 4 two-hop pairs = 10 (no overlap here).
+        assert_eq!(ans.len(), 10);
+        assert!(ucq.answers(&inst, &[s("Tokyo"), s("Kyoto")]));
+    }
+
+    #[test]
+    fn ucq_validate_checks_arity_agreement() {
+        let (schema, tc) = tc_schema();
+        let one = Cq::new(
+            [Term::Var(Var(0))],
+            [Atom::new(tc, [Term::Var(Var(0)), Term::Var(Var(1))])],
+            [],
+        );
+        let two = two_hop(tc);
+        let ucq = Ucq::new([one, two]);
+        assert!(matches!(ucq.validate(&schema), Err(RelError::MixedArityUnion)));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let (schema, tc) = tc_schema();
+        let q = two_hop(tc);
+        let shown = q.display(&schema).to_string();
+        assert!(shown.contains("TC(x0, x2)"));
+        assert!(shown.contains("TC(x2, x1)"));
+    }
+
+    #[test]
+    fn head_constants_are_emitted() {
+        let (_, tc) = tc_schema();
+        let (x, y) = (Var(0), Var(1));
+        let q = Cq::new(
+            [Term::Const(s("tag")), Term::Var(x)],
+            [Atom::new(tc, [Term::Var(x), Term::Var(y)])],
+            [],
+        );
+        let ans = q.eval(&train_connections(tc));
+        assert!(ans.iter().all(|t| t[0] == s("tag")));
+        assert_eq!(ans.len(), 5); // 5 distinct origins
+    }
+}

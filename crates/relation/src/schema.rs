@@ -1,0 +1,294 @@
+//! Schemas: relation names with arities, attribute names, and integrity
+//! constraints (paper §2, "A schema is a pair `(S, Σ)`").
+//!
+//! Attributes are identified by position (the paper's "attribute `A` of a
+//! `k`-ary relation is a number `i`, `1 ≤ i ≤ k`"); we use 0-based positions
+//! internally and keep human-readable attribute names purely for display and
+//! lookup.
+
+use crate::constraints::{Constraint, ConstraintClass};
+use crate::error::RelError;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a relation within a [`Schema`] (index into the declaration
+/// list).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RelId(pub u32);
+
+/// A 0-based attribute position.
+pub type Attr = usize;
+
+/// Declaration of one relation: name and attribute names (arity is the
+/// number of attributes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationDecl {
+    name: String,
+    attrs: Vec<String>,
+}
+
+impl RelationDecl {
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Attribute names in positional order.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Position of the attribute called `name`, if any.
+    pub fn attr_index(&self, name: &str) -> Option<Attr> {
+        self.attrs.iter().position(|a| a == name)
+    }
+}
+
+/// A relational schema `(S, Σ)`: relation declarations plus integrity
+/// constraints.
+///
+/// Build one with [`SchemaBuilder`]; construction validates constraint
+/// well-formedness (arity agreement, the view partition `S = D ∪ V`, and
+/// acyclicity of the "depends on" relation for nested view definitions).
+#[derive(Clone, Debug)]
+pub struct Schema {
+    relations: Vec<RelationDecl>,
+    by_name: BTreeMap<String, RelId>,
+    constraints: Vec<Constraint>,
+    class: ConstraintClass,
+}
+
+impl Schema {
+    /// All relation ids, in declaration order.
+    pub fn rel_ids(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.relations.len() as u32).map(RelId)
+    }
+
+    /// The declaration of `rel`.
+    ///
+    /// # Panics
+    /// Panics if `rel` does not belong to this schema.
+    pub fn decl(&self, rel: RelId) -> &RelationDecl {
+        &self.relations[rel.0 as usize]
+    }
+
+    /// Arity of `rel`.
+    pub fn arity(&self, rel: RelId) -> usize {
+        self.decl(rel).arity()
+    }
+
+    /// Name of `rel`.
+    pub fn name(&self, rel: RelId) -> &str {
+        self.decl(rel).name()
+    }
+
+    /// Looks a relation up by name.
+    pub fn rel(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks a relation up by name, panicking with a helpful message if it
+    /// is missing. Intended for tests and examples.
+    pub fn rel_expect(&self, name: &str) -> RelId {
+        self.rel(name)
+            .unwrap_or_else(|| panic!("schema has no relation named {name:?}"))
+    }
+
+    /// Resolves `rel.attr_name` to an attribute position.
+    pub fn attr(&self, rel: RelId, attr_name: &str) -> Option<Attr> {
+        self.decl(rel).attr_index(attr_name)
+    }
+
+    /// Resolves `rel.attr_name`, panicking if absent. Intended for tests and
+    /// examples.
+    pub fn attr_expect(&self, rel: RelId, attr_name: &str) -> Attr {
+        self.attr(rel, attr_name).unwrap_or_else(|| {
+            panic!("relation {:?} has no attribute named {attr_name:?}", self.name(rel))
+        })
+    }
+
+    /// The integrity constraints `Σ`.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The constraint class of `Σ`, used to dispatch `⊑S` deciders
+    /// (paper Table 1).
+    pub fn constraint_class(&self) -> &ConstraintClass {
+        &self.class
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the schema declares no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// The maximum arity over all relations (0 for an empty schema).
+    pub fn max_arity(&self) -> usize {
+        self.relations.iter().map(|r| r.arity()).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for decl in &self.relations {
+            writeln!(f, "{}({})", decl.name(), decl.attrs().join(", "))?;
+        }
+        for c in &self.constraints {
+            writeln!(f, "{}", c.display(self))?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Schema`].
+///
+/// ```
+/// use whynot_relation::{SchemaBuilder, Fd};
+/// let mut b = SchemaBuilder::new();
+/// let cities = b.relation("Cities", ["name", "population", "country", "continent"]);
+/// b.add_fd(Fd::new(cities, [2], [3])); // country → continent
+/// let schema = b.finish().unwrap();
+/// assert_eq!(schema.arity(cities), 4);
+/// ```
+#[derive(Default, Debug)]
+pub struct SchemaBuilder {
+    relations: Vec<RelationDecl>,
+    by_name: BTreeMap<String, RelId>,
+    constraints: Vec<Constraint>,
+}
+
+impl SchemaBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a relation with named attributes and returns its id.
+    ///
+    /// # Panics
+    /// Panics on duplicate relation names (a schema-authoring bug).
+    pub fn relation<S: Into<String>>(
+        &mut self,
+        name: impl Into<String>,
+        attrs: impl IntoIterator<Item = S>,
+    ) -> RelId {
+        let name = name.into();
+        let id = RelId(self.relations.len() as u32);
+        assert!(
+            self.by_name.insert(name.clone(), id).is_none(),
+            "duplicate relation name {name:?}"
+        );
+        self.relations.push(RelationDecl {
+            name,
+            attrs: attrs.into_iter().map(Into::into).collect(),
+        });
+        id
+    }
+
+    /// Declares a relation with positional attribute names `a0..a{k-1}`.
+    pub fn relation_arity(&mut self, name: impl Into<String>, arity: usize) -> RelId {
+        self.relation(name, (0..arity).map(|i| format!("a{i}")))
+    }
+
+    /// Adds a functional dependency.
+    pub fn add_fd(&mut self, fd: crate::constraints::Fd) -> &mut Self {
+        self.constraints.push(Constraint::Fd(fd));
+        self
+    }
+
+    /// Adds an inclusion dependency.
+    pub fn add_ind(&mut self, ind: crate::constraints::Ind) -> &mut Self {
+        self.constraints.push(Constraint::Ind(ind));
+        self
+    }
+
+    /// Adds a UCQ-view definition.
+    pub fn add_view(&mut self, view: crate::constraints::ViewDef) -> &mut Self {
+        self.constraints.push(Constraint::View(view));
+        self
+    }
+
+    /// Adds an arbitrary constraint.
+    pub fn add_constraint(&mut self, c: Constraint) -> &mut Self {
+        self.constraints.push(c);
+        self
+    }
+
+    /// Validates and finalizes the schema.
+    pub fn finish(self) -> Result<Schema, RelError> {
+        let schema = Schema {
+            relations: self.relations,
+            by_name: self.by_name,
+            constraints: self.constraints,
+            class: ConstraintClass::None, // recomputed below
+        };
+        crate::constraints::validate(&schema)?;
+        let class = crate::constraints::classify(&schema);
+        Ok(Schema { class, ..schema })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut b = SchemaBuilder::new();
+        let r = b.relation("R", ["x", "y"]);
+        let s = b.relation("S", ["z"]);
+        assert_eq!(r, RelId(0));
+        assert_eq!(s, RelId(1));
+        let schema = b.finish().unwrap();
+        assert_eq!(schema.rel("R"), Some(r));
+        assert_eq!(schema.rel("S"), Some(s));
+        assert_eq!(schema.rel("T"), None);
+        assert_eq!(schema.arity(r), 2);
+        assert_eq!(schema.max_arity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate relation name")]
+    fn duplicate_names_panic() {
+        let mut b = SchemaBuilder::new();
+        b.relation("R", ["x"]);
+        b.relation("R", ["y"]);
+    }
+
+    #[test]
+    fn attribute_lookup_by_name() {
+        let mut b = SchemaBuilder::new();
+        let c = b.relation("Cities", ["name", "population", "country", "continent"]);
+        let schema = b.finish().unwrap();
+        assert_eq!(schema.attr(c, "country"), Some(2));
+        assert_eq!(schema.attr(c, "mayor"), None);
+        assert_eq!(schema.attr_expect(c, "continent"), 3);
+    }
+
+    #[test]
+    fn relation_arity_generates_positional_names() {
+        let mut b = SchemaBuilder::new();
+        let r = b.relation_arity("R", 3);
+        let schema = b.finish().unwrap();
+        assert_eq!(schema.decl(r).attrs(), ["a0", "a1", "a2"]);
+    }
+
+    #[test]
+    fn display_lists_relations() {
+        let mut b = SchemaBuilder::new();
+        b.relation("R", ["x", "y"]);
+        let schema = b.finish().unwrap();
+        assert_eq!(schema.to_string(), "R(x, y)\n");
+    }
+}

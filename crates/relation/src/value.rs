@@ -1,0 +1,331 @@
+//! Constants (`Const` in the paper) and their dense linear order.
+//!
+//! The paper assumes a countably infinite set of constants with a *dense*
+//! linear order `<` (§2, Preliminaries). We realize `Const` as [`Value`]:
+//! exact rationals (covering integers) and strings, with a documented total
+//! order in which every numeric value precedes every string.
+//!
+//! Density matters for two things: deciding emptiness of order intervals and
+//! synthesizing fresh witness constants strictly between two given ones
+//! (used by the `⊑S` deciders to build counterexample instances). Rationals
+//! are genuinely dense; the string segment of the order is *treated as*
+//! dense, which is sound for every construction in this crate because
+//! between-string synthesis falls back to `None` and callers then widen
+//! their search (see [`Value::midpoint`]).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An exact rational number `num/den` with `den > 0`, always reduced.
+///
+/// Arithmetic is implemented over `i128` fields; the workloads in this
+/// repository stay far below the overflow range (values are data constants,
+/// midpoints and ±1 offsets, not accumulating computations).
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+impl Rational {
+    /// Creates the rational `num/den`, reducing to lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        let (mut num, mut den) = if den < 0 { (-num, -den) } else { (num, den) };
+        let g = gcd(num.unsigned_abs(), den.unsigned_abs());
+        if g > 1 {
+            num /= g as i128;
+            den /= g as i128;
+        }
+        Rational { num, den }
+    }
+
+    /// The integer `n` as a rational.
+    pub fn from_int(n: i64) -> Self {
+        Rational { num: n as i128, den: 1 }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn num(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn den(&self) -> i128 {
+        self.den
+    }
+
+    /// Whether this rational is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// The exact midpoint `(self + other) / 2`.
+    pub fn midpoint(&self, other: &Rational) -> Rational {
+        Rational::new(self.num * other.den + other.num * self.den, 2 * self.den * other.den)
+    }
+
+    /// `self + 1`.
+    pub fn succ(&self) -> Rational {
+        Rational { num: self.num + self.den, den: self.den }
+    }
+
+    /// `self - 1`.
+    pub fn pred(&self) -> Rational {
+        Rational { num: self.num - self.den, den: self.den }
+    }
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Cross-multiplication; denominators are positive so the direction
+        // of the comparison is preserved.
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// A database constant: an element of the paper's `Const`.
+///
+/// The total order is: all numbers (by numeric value) precede all strings
+/// (lexicographic by `str` order). Construct numeric values through
+/// [`Value::int`] or [`Value::rat`] so that `5` and `5/1` are the same
+/// constant.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A rational number (integers included).
+    Num(Rational),
+    /// A string constant.
+    Str(Box<str>),
+}
+
+impl Value {
+    /// An integer constant.
+    pub fn int(n: i64) -> Self {
+        Value::Num(Rational::from_int(n))
+    }
+
+    /// A rational constant `num/den`.
+    pub fn rat(num: i128, den: i128) -> Self {
+        Value::Num(Rational::new(num, den))
+    }
+
+    /// A string constant.
+    pub fn str(s: impl Into<Box<str>>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Whether this is a numeric constant.
+    pub fn is_num(&self) -> bool {
+        matches!(self, Value::Num(_))
+    }
+
+    /// A value strictly between `self` and `other`, if this implementation
+    /// can synthesize one.
+    ///
+    /// Always succeeds for two distinct numbers. For strings it attempts the
+    /// smallest extension of the lower string; adjacent-looking strings may
+    /// yield `None` even though the paper's idealized dense order would have
+    /// a value there — callers treat `None` as "no witness available" and
+    /// never rely on it for soundness of a positive (`Holds`) answer.
+    pub fn midpoint(&self, other: &Value) -> Option<Value> {
+        let (lo, hi) = match self.cmp(other) {
+            Ordering::Less => (self, other),
+            Ordering::Greater => (other, self),
+            Ordering::Equal => return None,
+        };
+        match (lo, hi) {
+            (Value::Num(a), Value::Num(b)) => Some(Value::Num(a.midpoint(b))),
+            (Value::Str(a), Value::Str(b)) => {
+                // `a + '\u{1}'` is the least proper extension of `a`;
+                // it lies strictly between `a` and `b` unless `b` is that
+                // very extension.
+                let cand = format!("{a}\u{1}");
+                if cand.as_str() < &**b {
+                    Some(Value::str(cand))
+                } else {
+                    None
+                }
+            }
+            // Between the numeric segment and the string segment of the
+            // order there is always a number above `a` — but it must stay
+            // below *every* string, which any number satisfies.
+            (Value::Num(a), Value::Str(_)) => Some(Value::Num(a.succ())),
+            (Value::Str(_), Value::Num(_)) => unreachable!("ordering puts numbers first"),
+        }
+    }
+
+    /// Some value strictly greater than `self`.
+    pub fn just_above(&self) -> Value {
+        match self {
+            Value::Num(r) => Value::Num(r.succ()),
+            Value::Str(s) => Value::str(format!("{s}\u{1}")),
+        }
+    }
+
+    /// Some value strictly smaller than `self`.
+    pub fn just_below(&self) -> Value {
+        match self {
+            Value::Num(r) => Value::Num(r.pred()),
+            // Every number precedes every string.
+            Value::Str(_) => Value::int(0),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::int(n)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::str(s)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(r) => write!(f, "{r}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(r) => write!(f, "{r}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rational_reduces() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, 7), Rational::new(0, 1));
+    }
+
+    #[test]
+    fn rational_ordering_by_cross_multiplication() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::new(0, 1));
+        assert!(Rational::new(7, 2) > Rational::from_int(3));
+        assert_eq!(Rational::new(3, 1), Rational::from_int(3));
+    }
+
+    #[test]
+    fn rational_midpoint_is_strictly_between() {
+        let a = Rational::from_int(1);
+        let b = Rational::from_int(2);
+        let m = a.midpoint(&b);
+        assert!(a < m && m < b);
+        assert_eq!(m, Rational::new(3, 2));
+    }
+
+    #[test]
+    fn int_and_rat_construct_equal_values() {
+        assert_eq!(Value::int(5), Value::rat(5, 1));
+        assert_eq!(Value::int(5), Value::rat(10, 2));
+    }
+
+    #[test]
+    fn numbers_precede_strings() {
+        assert!(Value::int(1_000_000) < Value::str(""));
+        assert!(Value::str("a") > Value::int(-5));
+    }
+
+    #[test]
+    fn string_order_is_lexicographic() {
+        assert!(Value::str("Amsterdam") < Value::str("Berlin"));
+        assert!(Value::str("a") < Value::str("ab"));
+    }
+
+    #[test]
+    fn midpoint_between_numbers_always_exists() {
+        let m = Value::int(3).midpoint(&Value::int(4)).unwrap();
+        assert!(Value::int(3) < m && m < Value::int(4));
+    }
+
+    #[test]
+    fn midpoint_between_strings_is_best_effort() {
+        let m = Value::str("a").midpoint(&Value::str("b")).unwrap();
+        assert!(Value::str("a") < m && m < Value::str("b"));
+        // The least extension of "a" is "a\u{1}": nothing fits below it.
+        assert_eq!(Value::str("a").midpoint(&Value::str("a\u{1}")), None);
+    }
+
+    #[test]
+    fn midpoint_of_equal_values_is_none() {
+        assert_eq!(Value::int(3).midpoint(&Value::int(3)), None);
+    }
+
+    #[test]
+    fn midpoint_across_segments() {
+        let m = Value::int(7).midpoint(&Value::str("x")).unwrap();
+        assert!(Value::int(7) < m && m < Value::str("x"));
+    }
+
+    #[test]
+    fn just_above_and_below() {
+        assert!(Value::int(5).just_above() > Value::int(5));
+        assert!(Value::int(5).just_below() < Value::int(5));
+        assert!(Value::str("q").just_above() > Value::str("q"));
+        assert!(Value::str("q").just_below() < Value::str("q"));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::int(42).to_string(), "42");
+        assert_eq!(Value::rat(1, 2).to_string(), "1/2");
+        assert_eq!(Value::str("Rome").to_string(), "Rome");
+    }
+}

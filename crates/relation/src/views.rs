@@ -1,0 +1,380 @@
+//! View materialization and unfolding.
+//!
+//! *Materialization* evaluates nested UCQ-view definitions bottom-up in
+//! dependency order — this is exactly non-recursive Datalog evaluation,
+//! which the paper notes is interchangeable with nested UCQ-view
+//! definitions (§2).
+//!
+//! *Unfolding* rewrites a query over `D ∪ V` into a union of conjunctive
+//! queries over the data schema `D` alone by substituting each view atom
+//! with its definition. The result can be exponentially larger for
+//! branching nestings (this blow-up is inherent: it is where the
+//! coNEXPTIME bound of Table 1 comes from) and stays polynomial for
+//! *linearly* nested definitions.
+
+use crate::constraints::{view_partition, Constraint, ViewDef};
+use crate::error::RelError;
+use crate::instance::Instance;
+use crate::query::{Cq, Term, Ucq, Var};
+use crate::schema::{RelId, Schema};
+use std::collections::BTreeMap;
+
+/// Evaluates all view definitions over the base facts in `base`, producing
+/// an instance that additionally contains every view relation's extension.
+///
+/// Returns an error if `base` already contains facts for a view relation
+/// (views are derived, never stored).
+pub fn materialize_views(schema: &Schema, base: &Instance) -> Result<Instance, RelError> {
+    let part = view_partition(schema);
+    for rel in base.populated_relations() {
+        if part.is_view(rel) {
+            return Err(RelError::ViewPartition(format!(
+                "base instance contains facts for view relation {}",
+                schema.name(rel)
+            )));
+        }
+    }
+    let mut inst = base.clone();
+    for &view in &part.topo_order {
+        let idx = part.views[&view];
+        let Constraint::View(def) = &schema.constraints()[idx] else { unreachable!() };
+        for tuple in def.definition.eval(&inst) {
+            inst.insert(view, tuple);
+        }
+    }
+    Ok(inst)
+}
+
+/// Unfolds a single CQ over `D ∪ V` into a UCQ over `D`.
+///
+/// Each view atom is replaced by every disjunct of its definition (with
+/// freshly renamed body variables and the head unified against the atom's
+/// arguments); comparisons that become ground are evaluated statically and
+/// unsatisfiable disjuncts are dropped.
+pub fn unfold_cq(schema: &Schema, cq: &Cq) -> Result<Ucq, RelError> {
+    let part = view_partition(schema);
+    let defs: BTreeMap<RelId, &ViewDef> = part
+        .views
+        .iter()
+        .map(|(&rel, &idx)| {
+            let Constraint::View(def) = &schema.constraints()[idx] else { unreachable!() };
+            (rel, def)
+        })
+        .collect();
+    let mut next_var = cq
+        .vars()
+        .iter()
+        .map(|v| v.0 + 1)
+        .max()
+        .unwrap_or(0)
+        .max(defs.values().map(|d| d.definition.next_fresh_var()).max().unwrap_or(0));
+
+    let mut done: Vec<Cq> = Vec::new();
+    let mut pending: Vec<Cq> = vec![cq.clone()];
+    while let Some(q) = pending.pop() {
+        // Find the first view atom, if any.
+        let Some(pos) = q.atoms.iter().position(|a| defs.contains_key(&a.rel)) else {
+            done.push(q);
+            continue;
+        };
+        let atom = q.atoms[pos].clone();
+        let def = defs[&atom.rel];
+        for disjunct in &def.definition.disjuncts {
+            let fresh = disjunct.rename_apart(&mut next_var);
+            // Unify the definition head with the atom's arguments (outer
+            // and definition variables are disjoint after renaming, so one
+            // substitution covers both sides).
+            let pairs: Vec<(Term, Term)> = fresh
+                .head
+                .iter()
+                .cloned()
+                .zip(atom.args.iter().cloned())
+                .collect();
+            let Some(unifier) = unify_terms(&pairs) else { continue };
+            // Splice the definition body into the outer query, then apply
+            // the unifier everywhere.
+            let mut atoms = q.atoms.clone();
+            atoms.remove(pos);
+            atoms.extend(fresh.atoms);
+            let mut comparisons = q.comparisons.clone();
+            comparisons.extend(fresh.comparisons);
+            let spliced = Cq { head: q.head.clone(), atoms, comparisons };
+            let Some(spliced) = spliced.substitute(&unifier) else { continue };
+            if !spliced.comparisons_satisfiable() {
+                continue;
+            }
+            pending.push(spliced);
+        }
+    }
+    if done.is_empty() {
+        // Every branch died on a static contradiction: an unsatisfiable
+        // query, representable as a UCQ with zero disjuncts of the right
+        // arity via a contradictory comparison-free encoding. We keep an
+        // explicit empty union.
+        return Ok(Ucq { disjuncts: Vec::new() });
+    }
+    Ok(Ucq::new(done))
+}
+
+/// Solves a set of term equations by union-find (no function symbols), and
+/// returns a fully resolved substitution, or `None` on a constant clash.
+fn unify_terms(pairs: &[(Term, Term)]) -> Option<BTreeMap<Var, Term>> {
+    fn find(parent: &BTreeMap<Var, Term>, mut t: Term) -> Term {
+        loop {
+            match t {
+                Term::Var(v) => match parent.get(&v) {
+                    Some(next) => t = next.clone(),
+                    None => return Term::Var(v),
+                },
+                c @ Term::Const(_) => return c,
+            }
+        }
+    }
+    let mut parent: BTreeMap<Var, Term> = BTreeMap::new();
+    for (a, b) in pairs {
+        let ra = find(&parent, a.clone());
+        let rb = find(&parent, b.clone());
+        match (ra, rb) {
+            (Term::Const(x), Term::Const(y)) => {
+                if x != y {
+                    return None;
+                }
+            }
+            (Term::Var(v), t) | (t, Term::Var(v)) => {
+                if t != Term::Var(v) {
+                    parent.insert(v, t);
+                }
+            }
+        }
+    }
+    let keys: Vec<Var> = parent.keys().copied().collect();
+    let mut out = BTreeMap::new();
+    for v in keys {
+        out.insert(v, find(&parent, Term::Var(v)));
+    }
+    Some(out)
+}
+
+/// Unfolds every disjunct of a UCQ over `D ∪ V` into a UCQ over `D`.
+pub fn unfold_ucq(schema: &Schema, ucq: &Ucq) -> Result<Ucq, RelError> {
+    let mut out: Vec<Cq> = Vec::new();
+    for d in &ucq.disjuncts {
+        out.extend(unfold_cq(schema, d)?.disjuncts);
+    }
+    Ok(Ucq { disjuncts: out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::ViewDef;
+    use crate::query::{Atom, CmpOp, Comparison};
+    use crate::schema::SchemaBuilder;
+    use crate::value::Value;
+
+    fn s(x: &str) -> Value {
+        Value::str(x)
+    }
+
+    /// The Figure 1 schema fragment: Reachable as a (flat) union view.
+    fn reachable_schema() -> (Schema, RelId, RelId) {
+        let mut b = SchemaBuilder::new();
+        let tc = b.relation("Train-Connections", ["city_from", "city_to"]);
+        let reach = b.relation("Reachable", ["city_from", "city_to"]);
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        let direct = Cq::new(
+            [Term::Var(x), Term::Var(y)],
+            [Atom::new(tc, [Term::Var(x), Term::Var(y)])],
+            [],
+        );
+        let two_hop = Cq::new(
+            [Term::Var(x), Term::Var(y)],
+            [
+                Atom::new(tc, [Term::Var(x), Term::Var(z)]),
+                Atom::new(tc, [Term::Var(z), Term::Var(y)]),
+            ],
+            [],
+        );
+        b.add_view(ViewDef::new(reach, Ucq::new([direct, two_hop])));
+        let schema = b.finish().unwrap();
+        (schema, tc, reach)
+    }
+
+    #[test]
+    fn materialize_reachable_matches_figure_2() {
+        let (schema, tc, reach) = reachable_schema();
+        let mut base = Instance::new();
+        for (a, b) in [
+            ("Amsterdam", "Berlin"),
+            ("Berlin", "Rome"),
+            ("Berlin", "Amsterdam"),
+            ("New York", "San Francisco"),
+            ("San Francisco", "Santa Cruz"),
+            ("Tokyo", "Kyoto"),
+        ] {
+            base.insert(tc, vec![s(a), s(b)]);
+        }
+        let inst = materialize_views(&schema, &base).unwrap();
+        // Figure 2 lists exactly these ten Reachable tuples.
+        let expected = [
+            ("Amsterdam", "Berlin"),
+            ("Berlin", "Rome"),
+            ("Berlin", "Amsterdam"),
+            ("New York", "San Francisco"),
+            ("San Francisco", "Santa Cruz"),
+            ("Tokyo", "Kyoto"),
+            ("Amsterdam", "Rome"),
+            ("Amsterdam", "Amsterdam"),
+            ("Berlin", "Berlin"),
+            ("New York", "Santa Cruz"),
+        ];
+        assert_eq!(inst.cardinality(reach), expected.len());
+        for (a, b) in expected {
+            assert!(inst.contains(reach, &[s(a), s(b)]), "missing ({a}, {b})");
+        }
+        assert!(inst.satisfies_constraints(&schema));
+    }
+
+    #[test]
+    fn materialize_rejects_stored_view_facts() {
+        let (schema, _, reach) = reachable_schema();
+        let mut base = Instance::new();
+        base.insert(reach, vec![s("a"), s("b")]);
+        assert!(matches!(
+            materialize_views(&schema, &base),
+            Err(RelError::ViewPartition(_))
+        ));
+    }
+
+    #[test]
+    fn unfold_replaces_view_atoms() {
+        let (schema, tc, reach) = reachable_schema();
+        // q(x) ← Reachable("Amsterdam", x)
+        let x = Var(0);
+        let q = Cq::new(
+            [Term::Var(x)],
+            [Atom::new(reach, [Term::Const(s("Amsterdam")), Term::Var(x)])],
+            [],
+        );
+        let unfolded = unfold_cq(&schema, &q).unwrap();
+        // Two disjuncts: direct and two-hop, all over Train-Connections.
+        assert_eq!(unfolded.disjuncts.len(), 2);
+        for d in &unfolded.disjuncts {
+            assert!(d.atoms.iter().all(|a| a.rel == tc));
+        }
+        // Unfolded query and view-based query agree on a materialized
+        // instance.
+        let mut base = Instance::new();
+        base.insert(tc, vec![s("Amsterdam"), s("Berlin")]);
+        base.insert(tc, vec![s("Berlin"), s("Rome")]);
+        let full = materialize_views(&schema, &base).unwrap();
+        assert_eq!(q.eval(&full), unfolded.eval(&base));
+    }
+
+    #[test]
+    fn unfold_nested_views_goes_to_base() {
+        let mut b = SchemaBuilder::new();
+        let e = b.relation("E", ["x", "y"]);
+        let v1 = b.relation("V1", ["x", "y"]);
+        let v2 = b.relation("V2", ["x", "y"]);
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        b.add_view(ViewDef::new(
+            v1,
+            Ucq::single(Cq::new(
+                [Term::Var(x), Term::Var(y)],
+                [
+                    Atom::new(e, [Term::Var(x), Term::Var(z)]),
+                    Atom::new(e, [Term::Var(z), Term::Var(y)]),
+                ],
+                [],
+            )),
+        ));
+        b.add_view(ViewDef::new(
+            v2,
+            Ucq::single(Cq::new(
+                [Term::Var(x), Term::Var(y)],
+                [
+                    Atom::new(v1, [Term::Var(x), Term::Var(z)]),
+                    Atom::new(v1, [Term::Var(z), Term::Var(y)]),
+                ],
+                [],
+            )),
+        ));
+        let schema = b.finish().unwrap();
+        let q = Cq::new(
+            [Term::Var(x), Term::Var(y)],
+            [Atom::new(v2, [Term::Var(x), Term::Var(y)])],
+            [],
+        );
+        let unfolded = unfold_cq(&schema, &q).unwrap();
+        assert_eq!(unfolded.disjuncts.len(), 1);
+        // V2 = V1∘V1 = E∘E∘E∘E: four E-atoms.
+        assert_eq!(unfolded.disjuncts[0].atoms.len(), 4);
+        assert!(unfolded.disjuncts[0].atoms.iter().all(|a| a.rel == e));
+
+        // Check equivalence on a path instance.
+        let mut base = Instance::new();
+        for i in 0..6i64 {
+            base.insert(e, vec![Value::int(i), Value::int(i + 1)]);
+        }
+        let full = materialize_views(&schema, &base).unwrap();
+        assert_eq!(q.eval(&full), unfolded.eval(&base));
+        assert!(unfolded
+            .eval(&base)
+            .contains(&vec![Value::int(0), Value::int(4)]));
+    }
+
+    #[test]
+    fn unfold_statically_kills_false_comparisons() {
+        let mut b = SchemaBuilder::new();
+        let c = b.relation("Cities", ["name", "population"]);
+        let big = b.relation("BigCity", ["name"]);
+        let (x, y) = (Var(0), Var(1));
+        b.add_view(ViewDef::new(
+            big,
+            Ucq::single(Cq::new(
+                [Term::Var(x)],
+                [Atom::new(c, [Term::Var(x), Term::Var(y)])],
+                [Comparison::new(y, CmpOp::Ge, Value::int(5_000_000))],
+            )),
+        ));
+        let schema = b.finish().unwrap();
+        // q() ← BigCity("Rome") — stays satisfiable (population unknown).
+        let q = Cq::new([], [Atom::new(big, [Term::Const(s("Rome"))])], []);
+        let u = unfold_cq(&schema, &q).unwrap();
+        assert_eq!(u.disjuncts.len(), 1);
+        assert_eq!(u.disjuncts[0].comparisons.len(), 1);
+    }
+
+    #[test]
+    fn unfold_handles_constant_head_unification() {
+        let mut b = SchemaBuilder::new();
+        let e = b.relation("E", ["x"]);
+        let v = b.relation("V", ["x", "tag"]);
+        let x = Var(0);
+        // V(x, "ok") ← E(x)
+        b.add_view(ViewDef::new(
+            v,
+            Ucq::single(Cq::new(
+                [Term::Var(x), Term::Const(s("ok"))],
+                [Atom::new(e, [Term::Var(x)])],
+                [],
+            )),
+        ));
+        let schema = b.finish().unwrap();
+        // Asking for tag "ok" keeps the disjunct…
+        let q = Cq::new(
+            [Term::Var(Var(0))],
+            [Atom::new(v, [Term::Var(Var(0)), Term::Const(s("ok"))])],
+            [],
+        );
+        assert_eq!(unfold_cq(&schema, &q).unwrap().disjuncts.len(), 1);
+        // …asking for tag "nope" kills it.
+        let q = Cq::new(
+            [Term::Var(Var(0))],
+            [Atom::new(v, [Term::Var(Var(0)), Term::Const(s("nope"))])],
+            [],
+        );
+        assert_eq!(unfold_cq(&schema, &q).unwrap().disjuncts.len(), 0);
+    }
+}

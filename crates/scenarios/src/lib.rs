@@ -1,0 +1,26 @@
+//! Executable scenarios and workload generators for the why-not
+//! framework.
+//!
+//! * [`paper`] — the figures and examples of *"High-Level Why-Not
+//!   Explanations using Ontologies"* (PODS 2015), datum by datum:
+//!   Figure 1 (schema), Figure 2 (instance with views), Figure 3
+//!   (external ontology), Figure 4 (DL-LiteR + GAV mappings), Figure 5
+//!   (`LS` concepts), Examples 3.4 / 4.5 / 4.9.
+//! * [`retail`] — the introduction's retail story (why is the bluetooth
+//!   headset missing from the San Francisco store?) plus a scaled
+//!   generator.
+//! * [`generators`] — seeded, reproducible workload generators for the
+//!   benchmark harness (city networks, random ontologies, view stacks,
+//!   constraint suites, random instances).
+//!
+//! The SET COVER hardness family lives in `whynot_core::setcover` (it is
+//! part of the paper's Theorem 5.1(2) construction) and is re-exported
+//! here as [`setcover`] for convenience.
+
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod paper;
+pub mod retail;
+
+pub use whynot_core::setcover;

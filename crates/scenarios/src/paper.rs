@@ -1,0 +1,553 @@
+//! The paper's running example, reproduced datum by datum: Figure 1
+//! (schema), Figure 2 (instance), Figure 3 (external ontology), Figure 4
+//! (DL-LiteR TBox + GAV mappings), Figure 5 (`LS` concepts), and the
+//! why-not scenarios of Examples 3.4, 4.5 and 4.9.
+
+use whynot_concepts::{LsConcept, Selection};
+use whynot_core::{ExplicitOntology, InstanceOntology, ObdaOntology, SchemaOntology, WhyNotInstance};
+use whynot_dllite::{body_atom, c, v, BasicConcept, GavMapping, ObdaSpec, TBox};
+use whynot_relation::{
+    materialize_views, Atom, CmpOp, Comparison, Cq, Fd, Ind, Instance, RelId, Schema,
+    SchemaBuilder, Term, Ucq, Value, Var, ViewDef,
+};
+
+/// Relation ids of the Figure 1 schema.
+#[derive(Clone, Copy, Debug)]
+pub struct Figure1Rels {
+    /// `Cities(name, population, country, continent)`.
+    pub cities: RelId,
+    /// `Train-Connections(city_from, city_to)`.
+    pub tc: RelId,
+    /// View `BigCity(name)`.
+    pub big_city: RelId,
+    /// View `EuropeanCountry(name)`.
+    pub european_country: RelId,
+    /// View `Reachable(city_from, city_to)`.
+    pub reachable: RelId,
+}
+
+/// Figure 1: the full schema — data relations, the three UCQ-view
+/// definitions, the FD `country → continent`, and the three inclusion
+/// dependencies.
+pub fn figure_1_schema() -> (Schema, Figure1Rels) {
+    let mut b = SchemaBuilder::new();
+    let cities = b.relation("Cities", ["name", "population", "country", "continent"]);
+    let tc = b.relation("Train-Connections", ["city_from", "city_to"]);
+    let big_city = b.relation("BigCity", ["name"]);
+    let european_country = b.relation("EuropeanCountry", ["name"]);
+    let reachable = b.relation("Reachable", ["city_from", "city_to"]);
+    let (x, y, z, w) = (Var(0), Var(1), Var(2), Var(3));
+    // BigCity(x) ↔ Cities(x,y,z,w) ∧ y ≥ 5000000
+    b.add_view(ViewDef::new(
+        big_city,
+        Ucq::single(Cq::new(
+            [Term::Var(x)],
+            [Atom::new(cities, [Term::Var(x), Term::Var(y), Term::Var(z), Term::Var(w)])],
+            [Comparison::new(y, CmpOp::Ge, Value::int(5_000_000))],
+        )),
+    ));
+    // EuropeanCountry(z) ↔ Cities(x,y,z,w) ∧ w = Europe
+    b.add_view(ViewDef::new(
+        european_country,
+        Ucq::single(Cq::new(
+            [Term::Var(z)],
+            [Atom::new(cities, [Term::Var(x), Term::Var(y), Term::Var(z), Term::Var(w)])],
+            [Comparison::new(w, CmpOp::Eq, Value::str("Europe"))],
+        )),
+    ));
+    // Reachable(x,y) ↔ TC(x,y) ∨ (TC(x,z) ∧ TC(z,y))
+    b.add_view(ViewDef::new(
+        reachable,
+        Ucq::new([
+            Cq::new(
+                [Term::Var(x), Term::Var(y)],
+                [Atom::new(tc, [Term::Var(x), Term::Var(y)])],
+                [],
+            ),
+            Cq::new(
+                [Term::Var(x), Term::Var(y)],
+                [
+                    Atom::new(tc, [Term::Var(x), Term::Var(z)]),
+                    Atom::new(tc, [Term::Var(z), Term::Var(y)]),
+                ],
+                [],
+            ),
+        ]),
+    ));
+    // country → continent
+    b.add_fd(Fd::new(cities, [2], [3]));
+    // BigCity[name] ⊆ TC[city_from], TC[city_from] ⊆ Cities[name],
+    // TC[city_to] ⊆ Cities[name].
+    b.add_ind(Ind::new(big_city, [0], tc, [0]));
+    b.add_ind(Ind::new(tc, [0], cities, [0]));
+    b.add_ind(Ind::new(tc, [1], cities, [0]));
+    let schema = b.finish().expect("Figure 1 schema is well-formed");
+    (schema, Figure1Rels { cities, tc, big_city, european_country, reachable })
+}
+
+/// The data-schema-only fragment (Cities and Train-Connections, no
+/// constraints) — used by Example 3.4 and the OBDA example, where the
+/// ontology is external and the views play no role.
+pub fn data_schema() -> (Schema, RelId, RelId) {
+    let mut b = SchemaBuilder::new();
+    let cities = b.relation("Cities", ["name", "population", "country", "continent"]);
+    let tc = b.relation("Train-Connections", ["city_from", "city_to"]);
+    (b.finish().expect("well-formed"), cities, tc)
+}
+
+/// The eight Figure 2 city rows.
+pub const FIGURE_2_CITIES: [(&str, i64, &str, &str); 8] = [
+    ("Amsterdam", 779_808, "Netherlands", "Europe"),
+    ("Berlin", 3_502_000, "Germany", "Europe"),
+    ("Rome", 2_753_000, "Italy", "Europe"),
+    ("New York", 8_337_000, "USA", "N.America"),
+    ("San Francisco", 837_442, "USA", "N.America"),
+    ("Santa Cruz", 59_946, "USA", "N.America"),
+    ("Tokyo", 13_185_000, "Japan", "Asia"),
+    ("Kyoto", 1_400_000, "Japan", "Asia"),
+];
+
+/// The six Figure 2 train connections.
+pub const FIGURE_2_TRAINS: [(&str, &str); 6] = [
+    ("Amsterdam", "Berlin"),
+    ("Berlin", "Rome"),
+    ("Berlin", "Amsterdam"),
+    ("New York", "San Francisco"),
+    ("San Francisco", "Santa Cruz"),
+    ("Tokyo", "Kyoto"),
+];
+
+/// Figure 2's base facts over a schema with compatible `Cities`/`TC` ids.
+pub fn figure_2_base(cities: RelId, tc: RelId) -> Instance {
+    let mut inst = Instance::new();
+    for (name, pop, country, continent) in FIGURE_2_CITIES {
+        inst.insert(
+            cities,
+            vec![
+                Value::str(name),
+                Value::int(pop),
+                Value::str(country),
+                Value::str(continent),
+            ],
+        );
+    }
+    for (from, to) in FIGURE_2_TRAINS {
+        inst.insert(tc, vec![Value::str(from), Value::str(to)]);
+    }
+    inst
+}
+
+/// Figure 2 in full: the base facts with the three views materialized
+/// over the Figure 1 schema (BigCity, EuropeanCountry, Reachable exactly
+/// as printed).
+pub fn figure_2_instance() -> (Schema, Figure1Rels, Instance) {
+    let (schema, rels) = figure_1_schema();
+    let base = figure_2_base(rels.cities, rels.tc);
+    let inst = materialize_views(&schema, &base).expect("Figure 2 satisfies Figure 1");
+    (schema, rels, inst)
+}
+
+/// Figure 3: the external city ontology with its Hasse diagram and
+/// instance-independent extensions.
+pub fn figure_3_ontology() -> ExplicitOntology {
+    ExplicitOntology::builder()
+        .concept(
+            "City",
+            [
+                "Amsterdam",
+                "Berlin",
+                "Rome",
+                "New York",
+                "San Francisco",
+                "Santa Cruz",
+                "Tokyo",
+                "Kyoto",
+            ],
+        )
+        .concept("European-City", ["Amsterdam", "Berlin", "Rome"])
+        .concept("Dutch-City", ["Amsterdam"])
+        .concept("US-City", ["New York", "San Francisco", "Santa Cruz"])
+        .concept("East-Coast-City", ["New York"])
+        .concept("West-Coast-City", ["Santa Cruz", "San Francisco"])
+        .edge("European-City", "City")
+        .edge("Dutch-City", "European-City")
+        .edge("US-City", "City")
+        .edge("East-Coast-City", "US-City")
+        .edge("West-Coast-City", "US-City")
+        .build()
+}
+
+/// The running query
+/// `q(x, y) = ∃z. Train-Connections(x, z) ∧ Train-Connections(z, y)`.
+pub fn two_hop_query(tc: RelId) -> Ucq {
+    let (x, y, z) = (Var(0), Var(1), Var(2));
+    Ucq::single(Cq::new(
+        [Term::Var(x), Term::Var(y)],
+        [
+            Atom::new(tc, [Term::Var(x), Term::Var(z)]),
+            Atom::new(tc, [Term::Var(z), Term::Var(y)]),
+        ],
+        [],
+    ))
+}
+
+/// A why-not scenario against an explicit external ontology.
+pub struct ExplicitScenario {
+    /// The external ontology.
+    pub ontology: ExplicitOntology,
+    /// The why-not question.
+    pub why_not: WhyNotInstance,
+}
+
+/// Example 3.4: why is ⟨Amsterdam, New York⟩ not connected via one
+/// intermediate stop? (External ontology: Figure 3.)
+pub fn example_3_4() -> ExplicitScenario {
+    let (schema, _, tc) = data_schema();
+    let inst = figure_2_base(schema.rel_expect("Cities"), tc);
+    let why_not = WhyNotInstance::new(
+        schema,
+        inst,
+        two_hop_query(tc),
+        vec![Value::str("Amsterdam"), Value::str("New York")],
+    )
+    .expect("⟨Amsterdam, New York⟩ is not a two-hop answer");
+    ExplicitScenario { ontology: figure_3_ontology(), why_not }
+}
+
+/// Figure 4: the DL-LiteR TBox.
+pub fn figure_4_tbox() -> TBox {
+    let a = BasicConcept::atomic;
+    let mut t = TBox::new();
+    t.concept_incl(a("EU-City"), a("City"));
+    t.concept_incl(a("Dutch-City"), a("EU-City"));
+    t.concept_incl(a("N.A.-City"), a("City"));
+    t.concept_disj(a("EU-City"), a("N.A.-City"));
+    t.concept_incl(a("US-City"), a("N.A.-City"));
+    t.concept_incl(a("City"), BasicConcept::exists("hasCountry"));
+    t.concept_incl(a("Country"), BasicConcept::exists("hasContinent"));
+    t.concept_incl(BasicConcept::exists_inv("hasCountry"), a("Country"));
+    t.concept_incl(BasicConcept::exists_inv("hasContinent"), a("Continent"));
+    t.concept_incl(BasicConcept::exists("connected"), a("City"));
+    t.concept_incl(BasicConcept::exists_inv("connected"), a("City"));
+    t
+}
+
+/// Figure 4: the GAV mapping assertions over the data schema.
+pub fn figure_4_mappings(cities: RelId, tc: RelId) -> Vec<GavMapping> {
+    vec![
+        // Cities(x, z, w, "Europe") → EU-City(x)
+        GavMapping::concept("EU-City", Var(0), [body_atom(cities, [v(0), v(1), v(2), c("Europe")])]),
+        // Cities(x, z, "Netherlands", w) → Dutch-City(x)
+        GavMapping::concept(
+            "Dutch-City",
+            Var(0),
+            [body_atom(cities, [v(0), v(1), c("Netherlands"), v(3)])],
+        ),
+        // Cities(x, z, w, "N.America") → N.A.-City(x)
+        GavMapping::concept(
+            "N.A.-City",
+            Var(0),
+            [body_atom(cities, [v(0), v(1), v(2), c("N.America")])],
+        ),
+        // Cities(x, z, "USA", w) → US-City(x)
+        GavMapping::concept("US-City", Var(0), [body_atom(cities, [v(0), v(1), c("USA"), v(3)])]),
+        // Cities(x, y, z, w) → Continent(w)
+        GavMapping::concept("Continent", Var(3), [body_atom(cities, [v(0), v(1), v(2), v(3)])]),
+        // Cities(x, k, y, w) → hasCountry(x, y)
+        GavMapping::role("hasCountry", Var(0), Var(2), [body_atom(cities, [v(0), v(1), v(2), v(3)])]),
+        // Cities(x, k, w, y) → hasContinent(x, y)
+        GavMapping::role(
+            "hasContinent",
+            Var(0),
+            Var(3),
+            [body_atom(cities, [v(0), v(1), v(2), v(3)])],
+        ),
+        // TC(x, y), Cities(x, …), Cities(y, …) → connected(x, y)
+        GavMapping::role(
+            "connected",
+            Var(0),
+            Var(4),
+            [
+                body_atom(tc, [v(0), v(4)]),
+                body_atom(cities, [v(0), v(1), v(2), v(3)]),
+                body_atom(cities, [v(4), v(5), v(6), v(7)]),
+            ],
+        ),
+    ]
+}
+
+/// A why-not scenario against an OBDA-induced ontology.
+pub struct ObdaScenario {
+    /// The induced ontology `O_B`.
+    pub ontology: ObdaOntology,
+    /// The why-not question.
+    pub why_not: WhyNotInstance,
+}
+
+/// Example 4.5: the same why-not question as Example 3.4, explained
+/// through the Figure 4 OBDA specification.
+pub fn example_4_5() -> ObdaScenario {
+    let (schema, cities, tc) = data_schema();
+    let spec = ObdaSpec::new(figure_4_tbox(), figure_4_mappings(cities, tc));
+    spec.validate(&schema).expect("Figure 4 mappings are well-formed");
+    let inst = figure_2_base(cities, tc);
+    debug_assert!(spec.is_consistent(&inst));
+    let why_not = WhyNotInstance::new(
+        schema,
+        inst,
+        two_hop_query(tc),
+        vec![Value::str("Amsterdam"), Value::str("New York")],
+    )
+    .expect("not a two-hop answer");
+    ObdaScenario { ontology: ObdaOntology::new(spec), why_not }
+}
+
+/// The named Figure 5 concepts over the Figure 1 schema.
+pub struct Figure5Concepts {
+    /// `π_name(Cities)` — City.
+    pub city: LsConcept,
+    /// `π_name(σ_continent="Europe"(Cities))` — European City.
+    pub european_city: LsConcept,
+    /// `π_name(σ_continent="N.America"(Cities))` — N.American City.
+    pub na_city: LsConcept,
+    /// `π_name(σ_population>1000000(Cities))` — Large City.
+    pub large_city: LsConcept,
+    /// `π_1(BigCity)` — name of a BigCity.
+    pub big_city: LsConcept,
+    /// `{"Santa Cruz"}` — the nominal.
+    pub santa_cruz: LsConcept,
+    /// Small city reachable from Amsterdam (the conjunction at the bottom
+    /// of Figure 5).
+    pub small_reachable_from_amsterdam: LsConcept,
+}
+
+/// Figure 5: example concepts specified in `LS`.
+pub fn figure_5_concepts(rels: &Figure1Rels) -> Figure5Concepts {
+    let cities = rels.cities;
+    Figure5Concepts {
+        city: LsConcept::proj(cities, 0),
+        european_city: LsConcept::proj_sel(cities, 0, Selection::eq(3, Value::str("Europe"))),
+        na_city: LsConcept::proj_sel(cities, 0, Selection::eq(3, Value::str("N.America"))),
+        large_city: LsConcept::proj_sel(
+            cities,
+            0,
+            Selection::new([(1, CmpOp::Gt, Value::int(1_000_000))]),
+        ),
+        big_city: LsConcept::proj(rels.big_city, 0),
+        santa_cruz: LsConcept::nominal(Value::str("Santa Cruz")),
+        small_reachable_from_amsterdam: LsConcept::proj_sel(
+            cities,
+            0,
+            Selection::new([(1, CmpOp::Lt, Value::int(1_000_000))]),
+        )
+        .and(&LsConcept::proj_sel(
+            rels.reachable,
+            1,
+            Selection::eq(0, Value::str("Amsterdam")),
+        )),
+    }
+}
+
+/// A why-not scenario over the derived ontologies `OI` / `OS`.
+pub struct DerivedScenario {
+    /// The why-not question over the full Figure 1 schema and Figure 2
+    /// instance (views materialized).
+    pub why_not: WhyNotInstance,
+    /// Relation ids for building concepts.
+    pub rels: Figure1Rels,
+}
+
+impl DerivedScenario {
+    /// The instance-derived ontology `OI`.
+    pub fn oi(&self) -> InstanceOntology {
+        InstanceOntology::new(self.why_not.schema.clone(), self.why_not.instance.clone())
+    }
+
+    /// The schema-derived ontology `OS`.
+    pub fn os(&self) -> SchemaOntology {
+        SchemaOntology::new(self.why_not.schema.clone())
+    }
+}
+
+/// Example 4.9: the two-hop why-not question asked over the full Figure 1
+/// schema, explained with derived ontologies.
+pub fn example_4_9() -> DerivedScenario {
+    let (schema, rels, inst) = figure_2_instance();
+    let why_not = WhyNotInstance::new(
+        schema,
+        inst,
+        two_hop_query(rels.tc),
+        vec![Value::str("Amsterdam"), Value::str("New York")],
+    )
+    .expect("not a two-hop answer");
+    DerivedScenario { why_not, rels }
+}
+
+/// Example 4.9's explanation candidates `E1 … E8`, in paper order.
+pub fn example_4_9_explanations(
+    rels: &Figure1Rels,
+) -> Vec<whynot_core::Explanation<LsConcept>> {
+    use whynot_core::Explanation;
+    let cities = rels.cities;
+    let tc = rels.tc;
+    let reach = rels.reachable;
+    let european = LsConcept::proj_sel(cities, 0, Selection::eq(3, Value::str("Europe")));
+    let na = LsConcept::proj_sel(cities, 0, Selection::eq(3, Value::str("N.America")));
+    let pop7 = LsConcept::proj_sel(
+        cities,
+        0,
+        Selection::new([(1, CmpOp::Gt, Value::int(7_000_000))]),
+    );
+    let big = LsConcept::proj(rels.big_city, 0);
+    vec![
+        // E1
+        Explanation::new([
+            european.clone(),
+            LsConcept::proj_sel(tc, 0, Selection::eq(1, Value::str("San Francisco"))),
+        ]),
+        // E2
+        Explanation::new([european.clone(), na.clone()]),
+        // E3
+        Explanation::new([
+            LsConcept::proj_sel(reach, 1, Selection::eq(0, Value::str("Berlin"))),
+            LsConcept::proj_sel(reach, 0, Selection::eq(1, Value::str("Santa Cruz"))),
+        ]),
+        // E4
+        Explanation::new([LsConcept::nominal(Value::str("Amsterdam")), pop7.clone()]),
+        // E5
+        Explanation::new([
+            LsConcept::proj_sel(cities, 0, Selection::eq(2, Value::str("Netherlands"))),
+            big.clone().and(&na),
+        ]),
+        // E6
+        Explanation::new([
+            LsConcept::nominal(Value::str("Amsterdam")),
+            LsConcept::nominal(Value::str("New York")),
+        ]),
+        // E7
+        Explanation::new([european.clone(), big]),
+        // E8
+        Explanation::new([european, pop7]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whynot_concepts::Extension;
+    use whynot_core::{is_explanation, Ontology};
+
+    fn s(x: &str) -> Value {
+        Value::str(x)
+    }
+
+    #[test]
+    fn figure_2_views_match_the_printed_tables() {
+        let (_, rels, inst) = figure_2_instance();
+        // BigCity: New York, Tokyo.
+        let big: Vec<String> =
+            inst.tuples(rels.big_city).map(|t| t[0].to_string()).collect();
+        assert_eq!(big, ["New York", "Tokyo"]);
+        // EuropeanCountry: Netherlands, Germany, Italy.
+        let eu: std::collections::BTreeSet<String> =
+            inst.tuples(rels.european_country).map(|t| t[0].to_string()).collect();
+        assert_eq!(
+            eu.into_iter().collect::<Vec<_>>(),
+            ["Germany", "Italy", "Netherlands"]
+        );
+        // Reachable: the ten printed pairs.
+        assert_eq!(inst.cardinality(rels.reachable), 10);
+        for (f, t) in [
+            ("Amsterdam", "Rome"),
+            ("Amsterdam", "Amsterdam"),
+            ("Berlin", "Berlin"),
+            ("New York", "Santa Cruz"),
+        ] {
+            assert!(inst.contains(rels.reachable, &[s(f), s(t)]));
+        }
+        // The instance satisfies every Figure 1 constraint.
+        let (schema, _) = figure_1_schema();
+        assert!(inst.satisfies_constraints(&schema));
+    }
+
+    #[test]
+    fn example_3_4_answers_match_the_paper() {
+        let sc = example_3_4();
+        let expected: std::collections::BTreeSet<Vec<Value>> = [
+            vec![s("Amsterdam"), s("Rome")],
+            vec![s("Amsterdam"), s("Amsterdam")],
+            vec![s("Berlin"), s("Berlin")],
+            vec![s("New York"), s("Santa Cruz")],
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(sc.why_not.ans, expected);
+    }
+
+    #[test]
+    fn figure_5_extensions() {
+        let (_, rels, inst) = figure_2_instance();
+        let c = figure_5_concepts(&rels);
+        assert_eq!(c.city.extension(&inst).len(), Some(8));
+        assert_eq!(
+            c.european_city.extension(&inst),
+            Extension::finite([s("Amsterdam"), s("Berlin"), s("Rome")])
+        );
+        assert_eq!(c.na_city.extension(&inst).len(), Some(3));
+        assert_eq!(c.large_city.extension(&inst).len(), Some(5));
+        assert_eq!(
+            c.big_city.extension(&inst),
+            Extension::finite([s("New York"), s("Tokyo")])
+        );
+        assert_eq!(c.santa_cruz.extension(&inst), Extension::finite([s("Santa Cruz")]));
+        // Small city reachable from Amsterdam: Amsterdam itself (pop < 1M,
+        // reachable via Berlin), and nobody else.
+        assert_eq!(
+            c.small_reachable_from_amsterdam.extension(&inst),
+            Extension::finite([s("Amsterdam")])
+        );
+    }
+
+    #[test]
+    fn example_4_9_all_eight_are_explanations() {
+        let sc = example_4_9();
+        let oi = sc.oi();
+        for (i, e) in example_4_9_explanations(&sc.rels).iter().enumerate() {
+            assert!(is_explanation(&oi, &sc.why_not, e), "E{} failed", i + 1);
+        }
+    }
+
+    #[test]
+    fn example_4_9_subsumptions() {
+        let sc = example_4_9();
+        let os = sc.os();
+        let oi = sc.oi();
+        let cities = sc.rels.cities;
+        // The four ⊑S subsumptions stated in Example 4.9.
+        let european = LsConcept::proj_sel(cities, 0, Selection::eq(3, s("Europe")));
+        let city = LsConcept::proj(cities, 0);
+        let pop7 = LsConcept::proj_sel(
+            cities,
+            0,
+            Selection::new([(1, CmpOp::Gt, Value::int(7_000_000))]),
+        );
+        let big = LsConcept::proj(sc.rels.big_city, 0);
+        let tc_from = LsConcept::proj(sc.rels.tc, 0);
+        assert!(os.subsumed(&european, &city));
+        assert!(os.subsumed(&pop7, &big));
+        assert!(os.subsumed(&big, &city));
+        assert!(os.subsumed(&big, &tc_from));
+        // ⊑S implies ⊑I.
+        for (a, b) in [(&european, &city), (&pop7, &big), (&big, &city), (&big, &tc_from)] {
+            assert!(oi.subsumed(a, b));
+        }
+        // The ⊑I-only subsumption: reachable-from-Amsterdam ⊑I
+        // reachable-from-Berlin, but not ⊑S.
+        let from_ams =
+            LsConcept::proj_sel(sc.rels.reachable, 1, Selection::eq(0, s("Amsterdam")));
+        let from_ber =
+            LsConcept::proj_sel(sc.rels.reachable, 1, Selection::eq(0, s("Berlin")));
+        assert!(oi.subsumed(&from_ams, &from_ber));
+        assert!(!os.subsumed(&from_ams, &from_ber));
+    }
+}

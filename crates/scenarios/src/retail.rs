@@ -1,0 +1,189 @@
+//! The introduction's retail scenario: a query asks which products each
+//! store has in stock, and a user wonders why the pair
+//! `(P0034, S012)` — a bluetooth headset and a San Francisco store — is
+//! missing. The high-level answer the paper wants the framework to
+//! produce: *"none of the stores in San Francisco has any bluetooth
+//! headsets in stock."*
+//!
+//! [`bluetooth_example`] is the fixed, paper-faithful instance;
+//! [`retail_scenario`] scales it for the benches.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use whynot_core::{ExplicitOntology, WhyNotInstance};
+use whynot_relation::{Atom, Cq, Instance, RelId, Schema, SchemaBuilder, Term, Ucq, Value, Var};
+
+/// The retail schema: `Stock(product, store)` plus catalog relations.
+pub fn retail_schema() -> (Schema, RelId) {
+    let mut b = SchemaBuilder::new();
+    let stock = b.relation("Stock", ["product", "store"]);
+    (b.finish().expect("well-formed"), stock)
+}
+
+/// The stock query `q(p, s) ← Stock(p, s)`.
+pub fn stock_query(stock: RelId) -> Ucq {
+    Ucq::single(Cq::new(
+        [Term::Var(Var(0)), Term::Var(Var(1))],
+        [Atom::new(stock, [Term::Var(Var(0)), Term::Var(Var(1))])],
+        [],
+    ))
+}
+
+/// A retail why-not scenario with its product/store ontology.
+pub struct RetailScenario {
+    /// The ontology: product categories and store regions.
+    pub ontology: ExplicitOntology,
+    /// Why is `(product, store)` missing from the stock listing?
+    pub why_not: WhyNotInstance,
+}
+
+/// The introduction's example: bluetooth headset `P0034`, San Francisco
+/// store `S012`, and a stock table where electronics never reach the Bay
+/// Area.
+pub fn bluetooth_example() -> RetailScenario {
+    let (schema, stock) = retail_schema();
+    let mut inst = Instance::new();
+    // Stock: headsets and speakers sell in New York; groceries everywhere.
+    for (p, s) in [
+        ("P0034", "S201"), // bluetooth headset in a New York store
+        ("P0035", "S202"), // wired headset in another New York store
+        ("P0090", "S012"), // apples in the San Francisco store
+        ("P0090", "S201"),
+        ("P0091", "S013"), // bread in the other SF store
+    ] {
+        inst.insert(stock, vec![Value::str(p), Value::str(s)]);
+    }
+    let ontology = ExplicitOntology::builder()
+        .concept("Product", ["P0034", "P0035", "P0090", "P0091"])
+        .concept("Electronics", ["P0034", "P0035"])
+        .concept("Bluetooth-Headset", ["P0034"])
+        .concept("Grocery", ["P0090", "P0091"])
+        .concept("Store", ["S012", "S013", "S201", "S202"])
+        .concept("California-Store", ["S012", "S013"])
+        .concept("SF-Store", ["S012", "S013"])
+        .concept("NY-Store", ["S201", "S202"])
+        .edge("Electronics", "Product")
+        .edge("Bluetooth-Headset", "Electronics")
+        .edge("Grocery", "Product")
+        .edge("SF-Store", "California-Store")
+        .edge("California-Store", "Store")
+        .edge("NY-Store", "Store")
+        .build();
+    let why_not = WhyNotInstance::new(
+        schema,
+        inst,
+        stock_query(stock),
+        vec![Value::str("P0034"), Value::str("S012")],
+    )
+    .expect("the headset is not stocked in SF");
+    RetailScenario { ontology, why_not }
+}
+
+/// A scaled retail scenario: `n_products` products in `categories`
+/// categories, `n_stores` stores in `regions` regions; every category is
+/// stocked everywhere except the *blocked* category–region pair that the
+/// why-not tuple points into.
+///
+/// The generated instance guarantees that
+/// `⟨category-of-missing-product, region-of-missing-store⟩` is an
+/// explanation, so the benches always have a non-trivial search.
+pub fn retail_scenario(
+    n_products: usize,
+    n_stores: usize,
+    categories: usize,
+    regions: usize,
+    seed: u64,
+) -> RetailScenario {
+    assert!(categories >= 1 && regions >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (schema, stock) = retail_schema();
+
+    let product = |i: usize| format!("P{i:04}");
+    let store = |i: usize| format!("S{i:03}");
+    let category_of = |i: usize| i % categories;
+    let region_of = |i: usize| i % regions;
+
+    // The blocked pair: category 0 products never appear in region 0.
+    let mut inst = Instance::new();
+    for p in 0..n_products {
+        for s in 0..n_stores {
+            let blocked = category_of(p) == 0 && region_of(s) == 0;
+            if !blocked && rng.gen_bool(0.6) {
+                inst.insert(stock, vec![Value::str(product(p)), Value::str(store(s))]);
+            }
+        }
+    }
+
+    let mut builder = ExplicitOntology::builder()
+        .concept("Product", (0..n_products).map(product).collect::<Vec<_>>())
+        .concept("Store", (0..n_stores).map(store).collect::<Vec<_>>());
+    for c in 0..categories {
+        let members: Vec<String> =
+            (0..n_products).filter(|&p| category_of(p) == c).map(product).collect();
+        builder = builder.concept(format!("Category{c}"), members).edge(format!("Category{c}"), "Product");
+    }
+    for r in 0..regions {
+        let members: Vec<String> =
+            (0..n_stores).filter(|&s| region_of(s) == r).map(store).collect();
+        builder = builder.concept(format!("Region{r}"), members).edge(format!("Region{r}"), "Store");
+    }
+    let ontology = builder.build();
+
+    let why_not = WhyNotInstance::new(
+        schema,
+        inst,
+        stock_query(stock),
+        vec![Value::str(product(0)), Value::str(store(0))],
+    )
+    .expect("the blocked pair is missing by construction");
+    RetailScenario { ontology, why_not }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whynot_core::{
+        check_mge, exhaustive_search, explanation_exists, is_explanation, Explanation,
+    };
+
+    #[test]
+    fn bluetooth_headline_explanation() {
+        let sc = bluetooth_example();
+        // The introduction's promised explanation: ⟨Bluetooth-Headset,
+        // SF-Store⟩ — no SF store stocks any bluetooth headset.
+        let e = Explanation::new([
+            sc.ontology.concept_expect("Bluetooth-Headset"),
+            sc.ontology.concept_expect("SF-Store"),
+        ]);
+        assert!(is_explanation(&sc.ontology, &sc.why_not, &e));
+        // The most general version lifts to Electronics × California (and
+        // the exhaustive search finds it).
+        let mges = exhaustive_search(&sc.ontology, &sc.why_not);
+        let lifted = Explanation::new([
+            sc.ontology.concept_expect("Electronics"),
+            sc.ontology.concept_expect("California-Store"),
+        ]);
+        assert!(mges.contains(&lifted), "{mges:?}");
+        assert!(check_mge(&sc.ontology, &sc.why_not, &lifted));
+    }
+
+    #[test]
+    fn scaled_scenario_always_has_an_explanation() {
+        for seed in 0..3 {
+            let sc = retail_scenario(12, 9, 3, 3, seed);
+            assert!(explanation_exists(&sc.ontology, &sc.why_not));
+            let blocked = Explanation::new([
+                sc.ontology.concept_expect("Category0"),
+                sc.ontology.concept_expect("Region0"),
+            ]);
+            assert!(is_explanation(&sc.ontology, &sc.why_not, &blocked));
+        }
+    }
+
+    #[test]
+    fn scaled_scenario_is_deterministic_per_seed() {
+        let a = retail_scenario(10, 8, 2, 2, 7);
+        let b = retail_scenario(10, 8, 2, 2, 7);
+        assert_eq!(a.why_not.ans, b.why_not.ans);
+    }
+}

@@ -1,0 +1,367 @@
+//! Canonical databases for concepts, with interval-constrained labelled
+//! nulls and union-find merging — the substrate of the chase-based `⊑S`
+//! deciders.
+//!
+//! The canonical structure of a concept `C = ⊓ parts` has one atom per
+//! projection conjunct, all sharing a distinguished node `x` at the
+//! projected position; selection comparisons become interval constraints
+//! on the nodes; nominals pin `x` to a point. A functional-dependency
+//! chase merges nodes (intersecting their intervals); an inclusion-
+//! dependency chase adds atoms.
+
+use whynot_concepts::{LsAtom, LsConcept};
+use whynot_relation::{Instance, Interval, RelId, Schema, Value};
+use std::collections::BTreeMap;
+
+/// A node identifier within a [`Canonical`] structure.
+pub type NodeId = usize;
+
+/// The semantic identity of a node: a labelled null, or a constant (when
+/// the node's interval collapses to a point).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Key {
+    /// Still a null: identified by its union-find root.
+    Node(NodeId),
+    /// Pinned to a constant.
+    Const(Value),
+}
+
+/// The chase found the concept unsatisfiable (an interval emptied).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Unsat;
+
+/// A canonical database with constrained nulls.
+#[derive(Clone, Debug)]
+pub struct Canonical {
+    /// Atoms as (relation, node ids).
+    pub atoms: Vec<(RelId, Vec<NodeId>)>,
+    /// The distinguished node (the concept's projected element).
+    pub x: NodeId,
+    parent: Vec<NodeId>,
+    interval: Vec<Interval>,
+}
+
+impl Canonical {
+    /// Builds the canonical database of a concept. Returns `None` if the
+    /// concept has no projection conjuncts (handled by the pre-checks).
+    pub fn from_concept(schema: &Schema, concept: &LsConcept) -> Option<Canonical> {
+        let mut canon = Canonical {
+            atoms: Vec::new(),
+            x: 0,
+            parent: vec![0],
+            interval: vec![Interval::full()],
+        };
+        let mut has_atoms = false;
+        for part in concept.parts() {
+            match part {
+                LsAtom::Nominal(c) => {
+                    if canon.constrain(0, &Interval::point(c.clone())).is_err() {
+                        // Contradictory nominals: empty concept; caller's
+                        // pre-checks treat this as Holds, but be safe.
+                        return None;
+                    }
+                }
+                LsAtom::Proj { rel, attr, selection } => {
+                    has_atoms = true;
+                    let arity = schema.arity(*rel);
+                    let mut nodes = Vec::with_capacity(arity);
+                    for j in 0..arity {
+                        if j == *attr {
+                            nodes.push(0);
+                        } else {
+                            nodes.push(canon.fresh_node());
+                        }
+                    }
+                    for (attr_j, iv) in selection.intervals() {
+                        if attr_j < arity && canon.constrain(nodes[attr_j], &iv).is_err() {
+                            return None;
+                        }
+                    }
+                    canon.atoms.push((*rel, nodes));
+                }
+            }
+        }
+        has_atoms.then_some(canon)
+    }
+
+    /// Builds the canonical database of a unary conjunctive query (as
+    /// produced by concept-to-query translation and view unfolding):
+    /// one node per variable, pinned nodes for constants, comparisons as
+    /// interval constraints. `Err(Unsat)` if the comparisons conflict;
+    /// `Ok(None)` if the query has no atoms (handled by callers).
+    pub fn from_cq(
+        _schema: &Schema,
+        cq: &whynot_relation::Cq,
+    ) -> Result<Option<Canonical>, Unsat> {
+        use whynot_relation::Term;
+        if cq.atoms.is_empty() {
+            return Ok(None);
+        }
+        let mut canon = Canonical {
+            atoms: Vec::new(),
+            x: 0,
+            parent: vec![0],
+            interval: vec![Interval::full()],
+        };
+        let mut var_node: std::collections::BTreeMap<whynot_relation::Var, NodeId> =
+            std::collections::BTreeMap::new();
+        // The head must be a single term (unary concept query).
+        let head = cq.head.first().cloned().unwrap_or(Term::Var(whynot_relation::Var(0)));
+        match &head {
+            Term::Var(v) => {
+                var_node.insert(*v, 0);
+            }
+            Term::Const(c) => {
+                canon.constrain(0, &Interval::point(c.clone()))?;
+            }
+        }
+        for atom in &cq.atoms {
+            let mut nodes = Vec::with_capacity(atom.args.len());
+            for arg in &atom.args {
+                let node = match arg {
+                    Term::Var(v) => *var_node.entry(*v).or_insert_with(|| {
+                        let id = canon.parent.len();
+                        canon.parent.push(id);
+                        canon.interval.push(Interval::full());
+                        id
+                    }),
+                    Term::Const(c) => {
+                        let id = canon.fresh_node();
+                        canon.constrain(id, &Interval::point(c.clone()))?;
+                        id
+                    }
+                };
+                nodes.push(node);
+            }
+            canon.atoms.push((atom.rel, nodes));
+        }
+        for cmp in &cq.comparisons {
+            if let Some(&node) = var_node.get(&cmp.var) {
+                canon.constrain(node, &Interval::from_comparison(cmp.op, cmp.value.clone()))?;
+            }
+        }
+        Ok(Some(canon))
+    }
+
+    fn fresh_node(&mut self) -> NodeId {
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.interval.push(Interval::full());
+        id
+    }
+
+    /// Adds a fresh unconstrained node (used by the inclusion-dependency
+    /// chase when it invents new atoms).
+    pub fn add_node(&mut self) -> NodeId {
+        self.fresh_node()
+    }
+
+    /// Appends an atom (inclusion-dependency chase step).
+    pub fn add_atom(&mut self, rel: RelId, nodes: Vec<NodeId>) {
+        self.atoms.push((rel, nodes));
+    }
+
+    /// Union-find root.
+    pub fn find(&self, mut n: NodeId) -> NodeId {
+        while self.parent[n] != n {
+            n = self.parent[n];
+        }
+        n
+    }
+
+    /// The interval constraint of a node.
+    pub fn interval(&self, n: NodeId) -> &Interval {
+        &self.interval[self.find(n)]
+    }
+
+    /// Tightens a node's interval; `Err(Unsat)` if it empties.
+    pub fn constrain(&mut self, n: NodeId, iv: &Interval) -> Result<(), Unsat> {
+        let root = self.find(n);
+        let merged = self.interval[root].intersect(iv);
+        if merged.is_empty() {
+            return Err(Unsat);
+        }
+        self.interval[root] = merged;
+        Ok(())
+    }
+
+    /// Merges two nodes (FD chase step), intersecting their intervals.
+    /// Returns whether anything changed; `Err(Unsat)` if the intersection
+    /// empties.
+    pub fn merge(&mut self, a: NodeId, b: NodeId) -> Result<bool, Unsat> {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return Ok(false);
+        }
+        let merged = self.interval[ra].intersect(&self.interval[rb]);
+        if merged.is_empty() {
+            return Err(Unsat);
+        }
+        self.parent[rb] = ra;
+        self.interval[ra] = merged;
+        Ok(true)
+    }
+
+    /// The semantic key of a node: a constant if pinned to a point,
+    /// otherwise its root.
+    pub fn key(&self, n: NodeId) -> Key {
+        let root = self.find(n);
+        match self.interval[root].as_point() {
+            Some(v) => Key::Const(v.clone()),
+            None => Key::Node(root),
+        }
+    }
+
+    /// Number of nodes (including merged ones).
+    pub fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Instantiates the canonical structure as a concrete instance under a
+    /// completion assigning a value to every root node.
+    pub fn instantiate(&self, values: &BTreeMap<NodeId, Value>) -> Option<Instance> {
+        let mut inst = Instance::new();
+        for (rel, nodes) in &self.atoms {
+            let tuple: Option<Vec<Value>> =
+                nodes.iter().map(|&n| values.get(&self.find(n)).cloned()).collect();
+            inst.insert(*rel, tuple?);
+        }
+        Some(inst)
+    }
+
+    /// A *generic completion*: assigns each root its point value when
+    /// pinned, and otherwise a fresh value inside its interval, distinct
+    /// from every previously assigned value and from every constant in
+    /// `avoid_constants`. Returns `None` if some interval cannot supply a
+    /// fresh value (string-gap corner; callers report `Unknown`).
+    pub fn generic_completion(
+        &self,
+        avoid_constants: &[Value],
+        overrides: &BTreeMap<NodeId, Vec<Interval>>,
+    ) -> Option<BTreeMap<NodeId, Value>> {
+        let mut values: BTreeMap<NodeId, Value> = BTreeMap::new();
+        let mut used: Vec<Value> = avoid_constants.to_vec();
+        let roots: Vec<NodeId> =
+            (0..self.parent.len()).filter(|&n| self.find(n) == n).collect();
+        for root in roots {
+            let val = if let Some(v) = self.interval[root].as_point() {
+                v.clone()
+            } else if let Some(pieces) = overrides.get(&root) {
+                // Kill constraints: the value must come from one of the
+                // allowed pieces (already intersected with the node's
+                // interval by the caller).
+                let mut found = None;
+                for piece in pieces {
+                    if let Some(v) = piece.sample_avoiding(&used) {
+                        found = Some(v);
+                        break;
+                    }
+                    // A pinned piece may be forced onto a used constant;
+                    // accept the collision as a last resort (the final
+                    // witness verification decides).
+                    if let Some(v) = piece.sample() {
+                        found = Some(v);
+                        break;
+                    }
+                }
+                found?
+            } else {
+                self.interval[root]
+                    .sample_avoiding(&used)
+                    .or_else(|| self.interval[root].sample())?
+            };
+            used.push(val.clone());
+            values.insert(root, val);
+        }
+        Some(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whynot_concepts::Selection;
+    use whynot_relation::{CmpOp, SchemaBuilder};
+
+    fn fixture() -> (Schema, RelId) {
+        let mut b = SchemaBuilder::new();
+        let r = b.relation("R", ["a", "b", "c"]);
+        (b.finish().unwrap(), r)
+    }
+
+    #[test]
+    fn shared_head_node_across_conjuncts() {
+        let (schema, r) = fixture();
+        let c = LsConcept::proj(r, 0).and(&LsConcept::proj(r, 2));
+        let canon = Canonical::from_concept(&schema, &c).unwrap();
+        assert_eq!(canon.atoms.len(), 2);
+        // x occurs at position 0 of one atom and position 2 of the other.
+        let positions: Vec<usize> = canon
+            .atoms
+            .iter()
+            .map(|(_, nodes)| nodes.iter().position(|&n| canon.find(n) == canon.x).unwrap())
+            .collect();
+        assert!(positions.contains(&0) && positions.contains(&2));
+        // 1 shared + 2+2 fresh nodes.
+        assert_eq!(canon.num_nodes(), 5);
+    }
+
+    #[test]
+    fn selections_constrain_nodes() {
+        let (schema, r) = fixture();
+        let c = LsConcept::proj_sel(
+            r,
+            0,
+            Selection::new([(1, CmpOp::Ge, Value::int(5)), (0, CmpOp::Le, Value::int(9))]),
+        );
+        let canon = Canonical::from_concept(&schema, &c).unwrap();
+        let (_, nodes) = &canon.atoms[0];
+        assert!(canon.interval(nodes[1]).contains(&Value::int(7)));
+        assert!(!canon.interval(nodes[1]).contains(&Value::int(3)));
+        // Selection on the projected attribute lands on x itself.
+        assert!(!canon.interval(canon.x).contains(&Value::int(10)));
+    }
+
+    #[test]
+    fn nominal_pins_x() {
+        let (schema, r) = fixture();
+        let c = LsConcept::proj(r, 0).and(&LsConcept::nominal(Value::int(3)));
+        let canon = Canonical::from_concept(&schema, &c).unwrap();
+        assert_eq!(canon.key(canon.x), Key::Const(Value::int(3)));
+    }
+
+    #[test]
+    fn merge_intersects_and_detects_unsat() {
+        let (schema, r) = fixture();
+        let c = LsConcept::proj_sel(r, 0, Selection::new([(1, CmpOp::Ge, Value::int(5))]))
+            .and(&LsConcept::proj_sel(r, 0, Selection::new([(1, CmpOp::Le, Value::int(3))])));
+        let mut canon = Canonical::from_concept(&schema, &c).unwrap();
+        // The two b-nodes have intervals [5,∞) and (-∞,3]: merging empties.
+        let n1 = canon.atoms[0].1[1];
+        let n2 = canon.atoms[1].1[1];
+        assert_eq!(canon.merge(n1, n2), Err(Unsat));
+        // Merging a node with itself is a no-op.
+        assert_eq!(canon.merge(n1, n1), Ok(false));
+    }
+
+    #[test]
+    fn generic_completion_is_generic() {
+        let (schema, r) = fixture();
+        let c = LsConcept::proj(r, 0).and(&LsConcept::proj(r, 1));
+        let canon = Canonical::from_concept(&schema, &c).unwrap();
+        let avoid = [Value::int(42)];
+        let values = canon.generic_completion(&avoid, &BTreeMap::new()).unwrap();
+        // All roots assigned, pairwise distinct, avoiding 42.
+        let mut seen = std::collections::BTreeSet::new();
+        for v in values.values() {
+            assert_ne!(*v, Value::int(42));
+            assert!(seen.insert(v.clone()), "duplicate value {v:?}");
+        }
+        let inst = canon.instantiate(&values).unwrap();
+        assert_eq!(inst.len(), 2);
+        // x's value sits at position 0 of one atom and 1 of the other.
+        let xv = &values[&canon.find(canon.x)];
+        assert!(inst.tuples(r).any(|t| &t[0] == xv));
+        assert!(inst.tuples(r).any(|t| &t[1] == xv));
+    }
+}

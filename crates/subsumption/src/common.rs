@@ -1,0 +1,268 @@
+//! Shared machinery for the `⊑S` deciders: class-independent pre-checks,
+//! the concept-as-query view, and witness verification.
+
+use crate::outcome::{SubsumptionOutcome, Witness};
+use std::collections::BTreeSet;
+use whynot_concepts::{LsAtom, LsConcept};
+use whynot_relation::{
+    materialize_views, Atom, CmpOp, Comparison, Cq, Instance, Schema, Term, Value, Var,
+};
+
+/// The distinct nominal of a concept, if it is "nominal-only" (no
+/// projections, at least one nominal). Two distinct nominals make the
+/// concept unsatisfiable, which [`pre_check`] handles separately.
+fn nominal_only(c: &LsConcept) -> Option<&Value> {
+    let mut nominal = None;
+    for part in c.parts() {
+        match part {
+            LsAtom::Nominal(v) => nominal = Some(v),
+            LsAtom::Proj { .. } => return None,
+        }
+    }
+    nominal
+}
+
+/// Whether a concept is syntactically unsatisfiable: it carries two
+/// distinct nominals, or a conjunct whose selection denotes an empty set of
+/// tuples under the density assumption. Such concepts have empty extension
+/// over every instance, hence are `⊑S`-below everything.
+pub fn syntactically_empty(c: &LsConcept) -> bool {
+    let mut nominal: Option<&Value> = None;
+    for part in c.parts() {
+        match part {
+            LsAtom::Nominal(v) => {
+                if let Some(prev) = nominal {
+                    if prev != v {
+                        return true;
+                    }
+                }
+                nominal = Some(v);
+            }
+            LsAtom::Proj { selection, .. } => {
+                if selection.is_unsatisfiable() {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Constraint-class-independent decisions, run before every specialized
+/// decider:
+///
+/// * unsatisfiable `C1` or `⊤` on the right → `Holds`;
+/// * syntactic conjunct inclusion (`C2`'s parts ⊆ `C1`'s parts) → `Holds`
+///   (extensions are intersections of conjunct extensions);
+/// * `⊤` on the left of a non-`⊤` right → `Fails` over the "materialized
+///   empty" instance;
+/// * nominal-only `C1 = {c}` → decided by monotonicity: `{c} ⊑S C2` iff
+///   `c ∈ [[C2]]` already over the materialized empty instance.
+///
+/// Returns `None` when the heavy deciders must take over.
+pub fn pre_check(
+    schema: &Schema,
+    c1: &LsConcept,
+    c2: &LsConcept,
+) -> Option<SubsumptionOutcome> {
+    if syntactically_empty(c1) || c2.is_top() {
+        return Some(SubsumptionOutcome::Holds);
+    }
+    let parts2: BTreeSet<&LsAtom> = c2.parts().collect();
+    let parts1: BTreeSet<&LsAtom> = c1.parts().collect();
+    if parts2.is_subset(&parts1) {
+        return Some(SubsumptionOutcome::Holds);
+    }
+    // The smallest constraint-satisfying instance: no base facts, views
+    // computed (they can be non-empty only through constant-headed
+    // disjuncts).
+    let empty = materialize_views(schema, &Instance::new()).ok()?;
+    if c1.is_top() {
+        let ext2 = c2.extension(&empty);
+        // c2 is not ⊤ here, so its extension is finite: pick any constant
+        // outside it.
+        let mut candidate = Value::int(0);
+        while ext2.contains(&candidate) {
+            candidate = candidate.just_above();
+        }
+        return Some(SubsumptionOutcome::Fails(Box::new(Witness {
+            instance: empty,
+            element: candidate,
+        })));
+    }
+    if let Some(c) = nominal_only(c1) {
+        // [[{c}]]^I = {c} on every instance; UCQ views and projections are
+        // monotone, so membership of `c` in [[C2]] over the empty instance
+        // propagates to every larger one.
+        return Some(if c2.extension(&empty).contains(c) {
+            SubsumptionOutcome::Holds
+        } else {
+            SubsumptionOutcome::Fails(Box::new(Witness { instance: empty, element: c.clone() }))
+        });
+    }
+    None
+}
+
+/// The unary conjunctive query `q_C(x)` associated with a concept: one atom
+/// per projection conjunct sharing the head variable at the projected
+/// position, selection constraints as comparisons, nominals as `x = c`.
+///
+/// Returns `None` for concepts without projection conjuncts (those are
+/// fully handled by [`pre_check`]).
+pub fn concept_to_cq(schema: &Schema, concept: &LsConcept) -> Option<Cq> {
+    let x = Var(0);
+    let mut next = 1u32;
+    let mut atoms: Vec<Atom> = Vec::new();
+    let mut comparisons: Vec<Comparison> = Vec::new();
+    for part in concept.parts() {
+        match part {
+            LsAtom::Nominal(c) => {
+                comparisons.push(Comparison::new(x, CmpOp::Eq, c.clone()));
+            }
+            LsAtom::Proj { rel, attr, selection } => {
+                let arity = schema.arity(*rel);
+                let mut args: Vec<Term> = Vec::with_capacity(arity);
+                let mut local: Vec<Var> = Vec::with_capacity(arity);
+                for j in 0..arity {
+                    if j == *attr {
+                        args.push(Term::Var(x));
+                        local.push(x);
+                    } else {
+                        let v = Var(next);
+                        next += 1;
+                        args.push(Term::Var(v));
+                        local.push(v);
+                    }
+                }
+                atoms.push(Atom::new(*rel, args));
+                for sc in selection.constraints() {
+                    if sc.attr < arity {
+                        comparisons.push(Comparison::new(local[sc.attr], sc.op, sc.value.clone()));
+                    }
+                }
+            }
+        }
+    }
+    if atoms.is_empty() {
+        return None;
+    }
+    Some(Cq::new([Term::Var(x)], atoms, comparisons))
+}
+
+/// Verifies a counterexample end-to-end: the instance satisfies every
+/// constraint of the schema, the element lies in `[[C1]]`, and not in
+/// `[[C2]]`. All `Fails` verdicts emitted by the deciders pass through
+/// this check, so they are sound by construction.
+pub fn verify_witness(
+    schema: &Schema,
+    witness: &Witness,
+    c1: &LsConcept,
+    c2: &LsConcept,
+) -> bool {
+    witness.instance.satisfies_constraints(schema)
+        && c1.extension(&witness.instance).contains(&witness.element)
+        && !c2.extension(&witness.instance).contains(&witness.element)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whynot_concepts::Selection;
+    use whynot_relation::{RelId, SchemaBuilder};
+
+    fn s(x: &str) -> Value {
+        Value::str(x)
+    }
+
+    fn schema() -> (Schema, RelId) {
+        let mut b = SchemaBuilder::new();
+        let r = b.relation("R", ["a", "b"]);
+        (b.finish().unwrap(), r)
+    }
+
+    #[test]
+    fn unsat_left_holds() {
+        let (schema, r) = schema();
+        let dead = LsConcept::nominal(s("x")).and(&LsConcept::nominal(s("y")));
+        assert!(syntactically_empty(&dead));
+        let out = pre_check(&schema, &dead, &LsConcept::proj(r, 0)).unwrap();
+        assert!(out.holds());
+
+        let empty_sel = LsConcept::proj_sel(
+            r,
+            0,
+            Selection::new([(0, CmpOp::Lt, Value::int(0)), (0, CmpOp::Gt, Value::int(0))]),
+        );
+        assert!(syntactically_empty(&empty_sel));
+    }
+
+    #[test]
+    fn top_right_holds() {
+        let (schema, r) = schema();
+        let out = pre_check(&schema, &LsConcept::proj(r, 0), &LsConcept::top()).unwrap();
+        assert!(out.holds());
+    }
+
+    #[test]
+    fn conjunct_inclusion_holds() {
+        let (schema, r) = schema();
+        let small = LsConcept::proj(r, 0).and(&LsConcept::proj(r, 1));
+        let big = LsConcept::proj(r, 0);
+        assert!(pre_check(&schema, &small, &big).unwrap().holds());
+        // Not the other way round.
+        assert!(pre_check(&schema, &big, &small).is_none());
+    }
+
+    #[test]
+    fn top_left_fails_with_witness() {
+        let (schema, r) = schema();
+        let c2 = LsConcept::proj(r, 0);
+        let out = pre_check(&schema, &LsConcept::top(), &c2).unwrap();
+        let w = out.witness().expect("must fail");
+        assert!(verify_witness(&schema, w, &LsConcept::top(), &c2));
+    }
+
+    #[test]
+    fn nominal_only_left_fails_against_projection() {
+        let (schema, r) = schema();
+        let c1 = LsConcept::nominal(s("Rome"));
+        let c2 = LsConcept::proj(r, 0);
+        let out = pre_check(&schema, &c1, &c2).unwrap();
+        assert!(out.fails());
+        assert!(verify_witness(&schema, out.witness().unwrap(), &c1, &c2));
+        // Nominal vs the same nominal holds.
+        let out = pre_check(&schema, &c1, &LsConcept::nominal(s("Rome"))).unwrap();
+        assert!(out.holds());
+        // Nominal vs different nominal fails.
+        let out = pre_check(&schema, &c1, &LsConcept::nominal(s("Berlin"))).unwrap();
+        assert!(out.fails());
+    }
+
+    #[test]
+    fn concept_to_cq_shares_head_variable() {
+        let (schema, r) = schema();
+        let c = LsConcept::proj(r, 0)
+            .and(&LsConcept::proj_sel(r, 1, Selection::new([(0, CmpOp::Ge, Value::int(5))])));
+        let q = concept_to_cq(&schema, &c).unwrap();
+        assert_eq!(q.atoms.len(), 2);
+        assert_eq!(q.head, vec![Term::Var(Var(0))]);
+        // Head variable occurs in both atoms (at different positions).
+        for atom in &q.atoms {
+            assert!(atom.vars().any(|v| v == Var(0)));
+        }
+        assert_eq!(q.comparisons.len(), 1);
+        q.validate(&schema).unwrap();
+    }
+
+    #[test]
+    fn concept_to_cq_nominal_becomes_equality() {
+        let (schema, r) = schema();
+        let c = LsConcept::proj(r, 0).and(&LsConcept::nominal(s("Rome")));
+        let q = concept_to_cq(&schema, &c).unwrap();
+        assert_eq!(q.comparisons.len(), 1);
+        assert_eq!(q.comparisons[0].var, Var(0));
+        assert_eq!(q.comparisons[0].op, CmpOp::Eq);
+        assert!(concept_to_cq(&schema, &LsConcept::nominal(s("x"))).is_none());
+        assert!(concept_to_cq(&schema, &LsConcept::top()).is_none());
+    }
+}

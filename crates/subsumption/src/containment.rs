@@ -1,0 +1,382 @@
+//! Containment of conjunctive queries with constant comparisons in unions
+//! of such queries — the engine behind the view-definition rows of
+//! Table 1.
+//!
+//! Without comparisons this is the classical canonical-database test
+//! (freeze the contained query, evaluate the container): NP-complete.
+//! With comparisons the frozen variables must be *case-split over
+//! regions*: the constants mentioned by either query partition the dense
+//! order into points and open intervals, and `φ ⊆ Q` iff the head is
+//! answered on every region-consistent generic instantiation (a ΠP2-shaped
+//! procedure — exponential in the number of variables of `φ`, with a coNP
+//! core per instantiation). Collapsing two variables inside one open
+//! region can only *help* the container (query satisfaction is preserved
+//! under collapsing within a region), so distinct generic representatives
+//! per region suffice for completeness.
+
+use std::collections::{BTreeMap, BTreeSet};
+use whynot_relation::{
+    freeze, freeze_with, Bound, Cq, Instance, Interval, Tuple, Ucq, Value, Var,
+};
+
+/// The verdict of a containment test.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ContainmentResult {
+    /// `φ ⊆ Q` on every instance.
+    Contained,
+    /// Not contained: a frozen counterexample instance and the head tuple
+    /// it produces for `φ` but not for `Q`.
+    NotContained(Box<CounterExample>),
+    /// The test could not be completed (value-synthesis corner in a string
+    /// gap region).
+    Unknown(String),
+}
+
+/// A containment counterexample.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterExample {
+    /// The frozen instance.
+    pub instance: Instance,
+    /// The head tuple answered by `φ` but not by the container.
+    pub head: Tuple,
+}
+
+impl ContainmentResult {
+    /// Whether containment holds.
+    pub fn contained(&self) -> bool {
+        matches!(self, ContainmentResult::Contained)
+    }
+}
+
+/// Decides `φ ⊆ Q` for a CQ `φ` and a UCQ `Q` over the same schema (no
+/// integrity constraints — callers unfold views first).
+pub fn cq_contained_in_ucq(phi: &Cq, q: &Ucq) -> ContainmentResult {
+    if !phi.comparisons_satisfiable() {
+        return ContainmentResult::Contained;
+    }
+    if phi.comparisons.is_empty() && q.disjuncts.iter().all(|d| d.comparisons.is_empty()) {
+        // Classical comparison-free case (atom constants are fine): one
+        // frozen instance with fresh distinct variable values suffices.
+        let frozen = freeze(phi).expect("comparison-free");
+        return if q.answers(&frozen.instance, &frozen.head) {
+            ContainmentResult::Contained
+        } else {
+            ContainmentResult::NotContained(Box::new(CounterExample {
+                instance: frozen.instance,
+                head: frozen.head,
+            }))
+        };
+    }
+    // Region case analysis. Constants from both queries are relevant: the
+    // container may distinguish them even if φ does not.
+    let mut constants: BTreeSet<Value> = phi.constants();
+    constants.extend(q.constants());
+    let regions = regions_of(&constants);
+    let vars: Vec<Var> = phi.atom_vars().into_iter().collect();
+    let intervals = phi.var_intervals();
+
+    // Allowed regions per variable (regions refine the comparison
+    // intervals, whose endpoints are among the constants).
+    let mut allowed: Vec<Vec<usize>> = Vec::with_capacity(vars.len());
+    for v in &vars {
+        let constraint = intervals.get(v).cloned().unwrap_or_else(Interval::full);
+        let ok: Vec<usize> = regions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| region_intersects(r, &constraint))
+            .map(|(i, _)| i)
+            .collect();
+        if ok.is_empty() {
+            return ContainmentResult::Contained; // φ unsatisfiable
+        }
+        allowed.push(ok);
+    }
+
+    // Enumerate region assignments.
+    let mut choice = vec![0usize; vars.len()];
+    loop {
+        match check_assignment(phi, q, &vars, &regions, &allowed, &choice) {
+            Ok(None) => {}
+            Ok(Some(cex)) => return ContainmentResult::NotContained(Box::new(cex)),
+            Err(msg) => return ContainmentResult::Unknown(msg),
+        }
+        // Next assignment (odometer).
+        let mut i = 0;
+        loop {
+            if i == vars.len() {
+                return ContainmentResult::Contained;
+            }
+            choice[i] += 1;
+            if choice[i] < allowed[i].len() {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Decides `Q1 ⊆ Q2` for UCQs: every disjunct of `Q1` must be contained.
+pub fn ucq_contained_in_ucq(q1: &Ucq, q2: &Ucq) -> ContainmentResult {
+    for phi in &q1.disjuncts {
+        match cq_contained_in_ucq(phi, q2) {
+            ContainmentResult::Contained => {}
+            other => return other,
+        }
+    }
+    ContainmentResult::Contained
+}
+
+/// Checks one region assignment: instantiate generic distinct values and
+/// evaluate the container. `Ok(None)` = container answered; `Ok(Some)` =
+/// counterexample; `Err` = sampling failed.
+fn check_assignment(
+    phi: &Cq,
+    q: &Ucq,
+    vars: &[Var],
+    regions: &[Interval],
+    allowed: &[Vec<usize>],
+    choice: &[usize],
+) -> Result<Option<CounterExample>, String> {
+    let mut assignment: BTreeMap<Var, Value> = BTreeMap::new();
+    let mut used: Vec<Value> = Vec::new();
+    for (i, v) in vars.iter().enumerate() {
+        let region = &regions[allowed[i][choice[i]]];
+        let val = match region.as_point() {
+            Some(p) => p.clone(),
+            None => match region.sample_avoiding(&used) {
+                Some(val) => val,
+                None => {
+                    // The region offers no fresh value in our realization
+                    // of Const: if it is entirely empty we may skip it, but
+                    // a partially-sampleable region leaves a gap we cannot
+                    // check.
+                    if region.sample().is_none() {
+                        return Ok(None); // empty region: no valuation here
+                    }
+                    return Err(format!(
+                        "cannot synthesize a fresh value in region {region} (string gap)"
+                    ));
+                }
+            },
+        };
+        used.push(val.clone());
+        assignment.insert(*v, val);
+    }
+    let Some(frozen) = freeze_with(phi, &assignment) else {
+        // The assignment violates φ's comparisons — cannot happen, regions
+        // refine the intervals; treat as a skipped valuation.
+        return Ok(None);
+    };
+    if q.answers(&frozen.instance, &frozen.head) {
+        Ok(None)
+    } else {
+        Ok(Some(CounterExample { instance: frozen.instance, head: frozen.head }))
+    }
+}
+
+/// The region partition induced by a constant set: each constant is a
+/// point region; between consecutive constants (and at both ends) lies an
+/// open region.
+pub fn regions_of(constants: &BTreeSet<Value>) -> Vec<Interval> {
+    let mut out = Vec::with_capacity(2 * constants.len() + 1);
+    let mut prev: Option<&Value> = None;
+    for c in constants {
+        let lo = match prev {
+            None => Bound::Unbounded,
+            Some(p) => Bound::Excl(p.clone()),
+        };
+        out.push(Interval::new(lo, Bound::Excl(c.clone())));
+        out.push(Interval::point(c.clone()));
+        prev = Some(c);
+    }
+    match prev {
+        None => out.push(Interval::full()),
+        Some(p) => out.push(Interval::new(Bound::Excl(p.clone()), Bound::Unbounded)),
+    }
+    out
+}
+
+fn region_intersects(region: &Interval, constraint: &Interval) -> bool {
+    !region.intersect(constraint).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whynot_relation::{Atom, CmpOp, Comparison, RelId, SchemaBuilder, Term};
+
+    fn setup() -> (whynot_relation::Schema, RelId) {
+        let mut b = SchemaBuilder::new();
+        let e = b.relation("E", ["x", "y"]);
+        (b.finish().unwrap(), e)
+    }
+
+    fn path(e: RelId, len: usize) -> Cq {
+        // q(x0, x_len) ← E(x0,x1) ∧ … ∧ E(x_{len-1}, x_len)
+        let atoms: Vec<Atom> = (0..len)
+            .map(|i| Atom::new(e, [Term::Var(Var(i as u32)), Term::Var(Var(i as u32 + 1))]))
+            .collect();
+        Cq::new([Term::Var(Var(0)), Term::Var(Var(len as u32))], atoms, [])
+    }
+
+    #[test]
+    fn classical_path_containment() {
+        let (_, e) = setup();
+        // A 2-path query is contained in the 1-path (edge) query? No —
+        // containment goes the other way: longer paths are NOT contained
+        // in shorter ones, and a query is contained in a weaker one when a
+        // homomorphism exists from the weaker body.
+        let p1 = Ucq::single(path(e, 1));
+        let p2 = Ucq::single(path(e, 2));
+        // p1 ⊆ p2 fails (an edge is not necessarily extendable).
+        assert!(!cq_contained_in_ucq(&path(e, 1), &p2).contained());
+        // p2 ⊆ p1 fails too (endpoints of a 2-path need not be linked).
+        assert!(!cq_contained_in_ucq(&path(e, 2), &p1).contained());
+        // Reflexive containment holds.
+        assert!(cq_contained_in_ucq(&path(e, 2), &p2).contained());
+    }
+
+    #[test]
+    fn union_containment() {
+        let (_, e) = setup();
+        // 1-path ⊆ (1-path ∪ 2-path).
+        let q = Ucq::new([path(e, 1), path(e, 2)]);
+        assert!(cq_contained_in_ucq(&path(e, 1), &q).contained());
+        // And every disjunct of the union is contained in itself.
+        assert!(ucq_contained_in_ucq(&q, &q).contained());
+        // (1-path ∪ 2-path) ⊄ 1-path.
+        assert!(!ucq_contained_in_ucq(&q, &Ucq::single(path(e, 1))).contained());
+    }
+
+    #[test]
+    fn homomorphism_folding() {
+        let (_, e) = setup();
+        // q(x,y) ← E(x,y) ∧ E(x,z): contained in the plain edge query
+        // (drop the second atom via hom z ↦ y)…
+        let q1 = Cq::new(
+            [Term::Var(Var(0)), Term::Var(Var(1))],
+            [
+                Atom::new(e, [Term::Var(Var(0)), Term::Var(Var(1))]),
+                Atom::new(e, [Term::Var(Var(0)), Term::Var(Var(2))]),
+            ],
+            [],
+        );
+        assert!(cq_contained_in_ucq(&q1, &Ucq::single(path(e, 1))).contained());
+        // …and the edge query is contained in q1 as well (hom maps both
+        // atoms to the single frozen edge): the two are equivalent.
+        assert!(cq_contained_in_ucq(&path(e, 1), &Ucq::single(q1)).contained());
+    }
+
+    #[test]
+    fn counterexample_is_usable() {
+        let (_, e) = setup();
+        let out = cq_contained_in_ucq(&path(e, 2), &Ucq::single(path(e, 1)));
+        let ContainmentResult::NotContained(cex) = out else { panic!("expected failure") };
+        // φ answers its own counterexample head, the container does not.
+        assert!(path(e, 2).answers(&cex.instance, &cex.head));
+        assert!(!Ucq::single(path(e, 1)).answers(&cex.instance, &cex.head));
+    }
+
+    #[test]
+    fn comparison_weakening_is_contained() {
+        let (_, e) = setup();
+        let strong = Cq::new(
+            [Term::Var(Var(0))],
+            [Atom::new(e, [Term::Var(Var(0)), Term::Var(Var(1))])],
+            [Comparison::new(Var(1), CmpOp::Gt, Value::int(10))],
+        );
+        let weak = Ucq::single(Cq::new(
+            [Term::Var(Var(0))],
+            [Atom::new(e, [Term::Var(Var(0)), Term::Var(Var(1))])],
+            [Comparison::new(Var(1), CmpOp::Gt, Value::int(5))],
+        ));
+        assert!(cq_contained_in_ucq(&strong, &weak).contained());
+        let strong_u = Ucq::single(strong.clone());
+        let weak_q = weak.disjuncts[0].clone();
+        assert!(!cq_contained_in_ucq(&weak_q, &strong_u).contained());
+    }
+
+    #[test]
+    fn union_of_comparison_ranges_covers() {
+        let (_, e) = setup();
+        // y ≥ 3 ⊆ (y > 3 ∪ y ≤ 3)? The left boundary point y = 3 goes to
+        // the second disjunct: containment holds.
+        let lhs = Cq::new(
+            [Term::Var(Var(0))],
+            [Atom::new(e, [Term::Var(Var(0)), Term::Var(Var(1))])],
+            [Comparison::new(Var(1), CmpOp::Ge, Value::int(3))],
+        );
+        let rhs = Ucq::new([
+            Cq::new(
+                [Term::Var(Var(0))],
+                [Atom::new(e, [Term::Var(Var(0)), Term::Var(Var(1))])],
+                [Comparison::new(Var(1), CmpOp::Gt, Value::int(3))],
+            ),
+            Cq::new(
+                [Term::Var(Var(0))],
+                [Atom::new(e, [Term::Var(Var(0)), Term::Var(Var(1))])],
+                [Comparison::new(Var(1), CmpOp::Le, Value::int(3))],
+            ),
+        ]);
+        assert!(cq_contained_in_ucq(&lhs, &rhs).contained());
+        // Remove the boundary from the second disjunct: y = 3 escapes.
+        let rhs_gap = Ucq::new([
+            rhs.disjuncts[0].clone(),
+            Cq::new(
+                [Term::Var(Var(0))],
+                [Atom::new(e, [Term::Var(Var(0)), Term::Var(Var(1))])],
+                [Comparison::new(Var(1), CmpOp::Lt, Value::int(3))],
+            ),
+        ]);
+        let out = cq_contained_in_ucq(&lhs, &rhs_gap);
+        let ContainmentResult::NotContained(cex) = out else { panic!("expected failure") };
+        // The counterexample must use y = 3 exactly.
+        assert!(cex.instance.tuples(e).any(|t| t[1] == Value::int(3)));
+    }
+
+    #[test]
+    fn container_constants_split_regions() {
+        let (_, e) = setup();
+        // φ has no comparisons; the container distinguishes y = 7. φ ⊆ Q
+        // fails because y could be anything.
+        let phi = path(e, 1);
+        let q = Ucq::single(Cq::new(
+            [Term::Var(Var(0)), Term::Var(Var(1))],
+            [Atom::new(e, [Term::Var(Var(0)), Term::Var(Var(1))])],
+            [Comparison::new(Var(1), CmpOp::Eq, Value::int(7))],
+        ));
+        assert!(!cq_contained_in_ucq(&phi, &q).contained());
+    }
+
+    #[test]
+    fn regions_partition_the_order() {
+        let constants: BTreeSet<Value> = [Value::int(1), Value::int(5)].into_iter().collect();
+        let regions = regions_of(&constants);
+        assert_eq!(regions.len(), 5);
+        // Spot-check membership of representatives.
+        assert!(regions[0].contains(&Value::int(0)));
+        assert!(regions[1].contains(&Value::int(1)));
+        assert!(regions[2].contains(&Value::int(3)));
+        assert!(regions[3].contains(&Value::int(5)));
+        assert!(regions[4].contains(&Value::int(9)));
+        // Each value belongs to exactly one region.
+        for v in [Value::int(0), Value::int(1), Value::int(3), Value::int(5), Value::int(9)] {
+            assert_eq!(regions.iter().filter(|r| r.contains(&v)).count(), 1);
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_phi_is_contained() {
+        let (_, e) = setup();
+        let phi = Cq::new(
+            [Term::Var(Var(0))],
+            [Atom::new(e, [Term::Var(Var(0)), Term::Var(Var(1))])],
+            [
+                Comparison::new(Var(1), CmpOp::Lt, Value::int(0)),
+                Comparison::new(Var(1), CmpOp::Gt, Value::int(0)),
+            ],
+        );
+        assert!(cq_contained_in_ucq(&phi, &Ucq::single(path(e, 2))).contained());
+    }
+}

@@ -1,0 +1,343 @@
+//! `⊑S` under inclusion dependencies (paper Table 1: open in general,
+//! PTIME for selection-free `LS`).
+//!
+//! The engine is *position-graph reachability*: an ID
+//! `R[A1,…,An] ⊆ S[B1,…,Bn]` propagates the value at `(R, Ai)` to
+//! `(S, Bi)`, so for selection-free targets, `x` certainly appears at
+//! `(S, B)` iff some position provably carrying `x` reaches `(S, B)`.
+//! Counterexamples come from the canonical instance saturated by the
+//! bottom-filling ID chase (fresh positions take a reserved `⊥` constant,
+//! which keeps the chase finite and never places `x` anywhere new).
+//!
+//! Targets with selections fall outside the decidable fragment the paper
+//! identifies; the decider still answers when a direct witness atom exists
+//! (sound `Holds`) or when a verified counterexample is found (sound
+//! `Fails`), and reports `Unknown` otherwise — mirroring the `?` entry of
+//! Table 1.
+
+use crate::canonical::{Canonical, Key};
+use crate::common::{pre_check, verify_witness};
+use crate::outcome::{SubsumptionOutcome, Witness};
+use std::collections::{BTreeMap, BTreeSet};
+use whynot_concepts::{LsAtom, LsConcept};
+use whynot_relation::{Attr, Constraint, Ind, Instance, RelId, Schema, Value};
+
+/// A position `(relation, attribute)` in the propagation graph.
+pub type Position = (RelId, Attr);
+
+/// Builds the ID position-propagation graph: one edge per component of
+/// each inclusion dependency.
+pub fn position_graph(schema: &Schema) -> BTreeMap<Position, BTreeSet<Position>> {
+    let mut edges: BTreeMap<Position, BTreeSet<Position>> = BTreeMap::new();
+    for c in schema.constraints() {
+        if let Constraint::Ind(ind) = c {
+            for (&a, &b) in ind.from_attrs.iter().zip(&ind.to_attrs) {
+                edges.entry((ind.from, a)).or_default().insert((ind.to, b));
+            }
+        }
+    }
+    edges
+}
+
+/// Reflexive-transitive closure from one position.
+pub fn reachable_positions(
+    edges: &BTreeMap<Position, BTreeSet<Position>>,
+    from: Position,
+) -> BTreeSet<Position> {
+    let mut seen: BTreeSet<Position> = [from].into_iter().collect();
+    let mut stack = vec![from];
+    while let Some(p) = stack.pop() {
+        if let Some(nexts) = edges.get(&p) {
+            for &n in nexts {
+                if seen.insert(n) {
+                    stack.push(n);
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// Decides `c1 ⊑S c2` for a schema whose constraints are inclusion
+/// dependencies.
+pub fn subsumed_under_inds(
+    schema: &Schema,
+    c1: &LsConcept,
+    c2: &LsConcept,
+) -> SubsumptionOutcome {
+    if let Some(out) = pre_check(schema, c1, c2) {
+        return out;
+    }
+    let Some(canon) = Canonical::from_concept(schema, c1) else {
+        return SubsumptionOutcome::Unknown("concept without projections".into());
+    };
+    let edges = position_graph(schema);
+
+    // Positions provably carrying x: those whose node shares x's key.
+    let x_key = canon.key(canon.x);
+    let mut x_reach: BTreeSet<Position> = BTreeSet::new();
+    for (rel, nodes) in &canon.atoms {
+        for (j, &n) in nodes.iter().enumerate() {
+            if canon.key(n) == x_key {
+                x_reach.extend(reachable_positions(&edges, (*rel, j)));
+            }
+        }
+    }
+
+    let mut all_witnessed = true;
+    let mut selection_target = false;
+    for part in c2.parts() {
+        let ok = match part {
+            LsAtom::Nominal(c) => x_key == Key::Const(c.clone()),
+            LsAtom::Proj { rel, attr, selection } => {
+                if selection.is_none() {
+                    x_reach.contains(&(*rel, *attr))
+                } else {
+                    selection_target = true;
+                    // Sound sufficient checks: a direct witness atom, or a
+                    // selection touching only the projected attribute whose
+                    // constraint x's own interval already entails.
+                    let direct = crate::fd::witnessed(&canon, part);
+                    let only_projected = selection
+                        .intervals()
+                        .iter()
+                        .all(|(j, iv)| *j == *attr && canon.interval(canon.x).subset_of(iv));
+                    direct || (only_projected && x_reach.contains(&(*rel, *attr)))
+                }
+            }
+        };
+        if !ok {
+            all_witnessed = false;
+        }
+    }
+    if all_witnessed {
+        return SubsumptionOutcome::Holds;
+    }
+
+    // Counterexample: generic completion, then the bottom-filling chase.
+    let mut avoid: Vec<Value> = c1.constants().into_iter().collect();
+    avoid.extend(c2.constants());
+    avoid.push(bottom());
+    if let Some(values) = canon.generic_completion(&avoid, &BTreeMap::new()) {
+        if let Some(mut instance) = canon.instantiate(&values) {
+            saturate_inds(schema, &mut instance);
+            if let Some(xv) = values.get(&canon.find(canon.x)) {
+                let witness = Witness { instance, element: xv.clone() };
+                if verify_witness(schema, &witness, c1, c2) {
+                    return SubsumptionOutcome::Fails(Box::new(witness));
+                }
+            }
+        }
+    }
+    if selection_target {
+        SubsumptionOutcome::Unknown(
+            "ID decider: selection targets are outside the decidable fragment (Table 1: '?')"
+                .into(),
+        )
+    } else {
+        SubsumptionOutcome::Unknown(
+            "ID decider: witness construction failed (value-synthesis corner)".into(),
+        )
+    }
+}
+
+/// The reserved filler constant of the bottom-filling chase.
+pub fn bottom() -> Value {
+    Value::str("\u{e002}⊥")
+}
+
+/// Saturates an instance under the schema's inclusion dependencies,
+/// filling unconstrained positions of new tuples with [`bottom`]. The
+/// active domain never grows beyond `adom ∪ {⊥}`, so the chase terminates.
+pub fn saturate_inds(schema: &Schema, inst: &mut Instance) {
+    let inds: Vec<&Ind> = schema
+        .constraints()
+        .iter()
+        .filter_map(|c| match c {
+            Constraint::Ind(i) => Some(i),
+            _ => None,
+        })
+        .collect();
+    loop {
+        let mut additions: Vec<(RelId, Vec<Value>)> = Vec::new();
+        for ind in &inds {
+            let targets: BTreeSet<Vec<&Value>> = inst
+                .tuples(ind.to)
+                .map(|t| ind.to_attrs.iter().map(|&a| &t[a]).collect())
+                .collect();
+            for t in inst.tuples(ind.from) {
+                let proj: Vec<&Value> = ind.from_attrs.iter().map(|&a| &t[a]).collect();
+                if !targets.contains(&proj) {
+                    let mut fresh = vec![bottom(); schema.arity(ind.to)];
+                    for (&src, &dst) in ind.from_attrs.iter().zip(&ind.to_attrs) {
+                        fresh[dst] = t[src].clone();
+                    }
+                    additions.push((ind.to, fresh));
+                }
+            }
+        }
+        if additions.is_empty() {
+            return;
+        }
+        for (rel, tuple) in additions {
+            inst.insert(rel, tuple);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whynot_concepts::Selection;
+    use whynot_relation::{CmpOp, SchemaBuilder};
+
+    fn s(x: &str) -> Value {
+        Value::str(x)
+    }
+
+    /// Figure 1's inclusion dependencies:
+    /// BigCity[name] ⊆ TC[city_from], TC[city_from] ⊆ Cities[name],
+    /// TC[city_to] ⊆ Cities[name].
+    fn figure_1_ids() -> (Schema, RelId, RelId, RelId) {
+        let mut b = SchemaBuilder::new();
+        let cities = b.relation("Cities", ["name", "population", "country", "continent"]);
+        let tc = b.relation("TC", ["city_from", "city_to"]);
+        let big = b.relation("BigCity", ["name"]);
+        b.add_ind(Ind::new(big, [0], tc, [0]));
+        b.add_ind(Ind::new(tc, [0], cities, [0]));
+        b.add_ind(Ind::new(tc, [1], cities, [0]));
+        (b.finish().unwrap(), cities, tc, big)
+    }
+
+    #[test]
+    fn example_4_9_fourth_subsumption() {
+        // π_name(BigCity) ⊑S π_city_from(TC): every BigCity has a train
+        // departing from it.
+        let (schema, _, tc, big) = figure_1_ids();
+        let out = subsumed_under_inds(
+            &schema,
+            &LsConcept::proj(big, 0),
+            &LsConcept::proj(tc, 0),
+        );
+        assert!(out.holds(), "{out:?}");
+    }
+
+    #[test]
+    fn transitive_position_path() {
+        // BigCity[name] → TC[from] → Cities[name].
+        let (schema, cities, _, big) = figure_1_ids();
+        let out = subsumed_under_inds(
+            &schema,
+            &LsConcept::proj(big, 0),
+            &LsConcept::proj(cities, 0),
+        );
+        assert!(out.holds(), "{out:?}");
+        // Reverse direction fails with a verified witness.
+        let c1 = LsConcept::proj(cities, 0);
+        let c2 = LsConcept::proj(big, 0);
+        let out = subsumed_under_inds(&schema, &c1, &c2);
+        let w = out.witness().expect("must fail");
+        assert!(w.instance.satisfies_constraints(&schema));
+        assert!(c1.extension(&w.instance).contains(&w.element));
+        assert!(!c2.extension(&w.instance).contains(&w.element));
+    }
+
+    #[test]
+    fn conjunction_on_either_side() {
+        let (schema, cities, tc, big) = figure_1_ids();
+        // Conjunction on the left: any conjunct's path suffices.
+        let left = LsConcept::proj(big, 0).and(&LsConcept::proj(cities, 1));
+        assert!(subsumed_under_inds(&schema, &left, &LsConcept::proj(tc, 0)).holds());
+        // Conjunction on the right: every conjunct needs a path.
+        let right = LsConcept::proj(tc, 0).and(&LsConcept::proj(cities, 0));
+        assert!(subsumed_under_inds(&schema, &LsConcept::proj(big, 0), &right).holds());
+        let right_bad = LsConcept::proj(tc, 0).and(&LsConcept::proj(tc, 1));
+        let out = subsumed_under_inds(&schema, &LsConcept::proj(big, 0), &right_bad);
+        assert!(out.fails(), "{out:?}");
+    }
+
+    #[test]
+    fn saturation_fills_with_bottom_and_satisfies_ids() {
+        let (schema, _, _, big) = figure_1_ids();
+        let mut inst = Instance::new();
+        inst.insert(big, vec![s("Tokyo")]);
+        saturate_inds(&schema, &mut inst);
+        assert!(inst.satisfies_constraints(&schema));
+        // Tokyo propagated into TC[from] and Cities[name]; fillers are ⊥.
+        assert!(inst.tuples(RelId(1)).any(|t| t[0] == s("Tokyo")));
+        assert!(inst.tuples(RelId(0)).any(|t| t[0] == s("Tokyo")));
+        assert!(inst.tuples(RelId(0)).any(|t| t[1] == bottom()));
+    }
+
+    #[test]
+    fn selections_on_the_left_are_fine() {
+        let (schema, cities, tc, big) = figure_1_ids();
+        let _ = cities;
+        // Selection on C1 only strengthens it; the path still carries x.
+        let left = LsConcept::proj_sel(big, 0, Selection::eq(0, s("Tokyo")));
+        assert!(subsumed_under_inds(&schema, &left, &LsConcept::proj(tc, 0)).holds());
+    }
+
+    #[test]
+    fn selection_targets_direct_witness_or_unknown() {
+        let (schema, cities, _, _) = figure_1_ids();
+        // Direct witness: stronger selection on the same atom.
+        let strong = LsConcept::proj_sel(
+            cities,
+            0,
+            Selection::new([(1, CmpOp::Gt, Value::int(7_000_000))]),
+        );
+        let weak = LsConcept::proj_sel(
+            cities,
+            0,
+            Selection::new([(1, CmpOp::Gt, Value::int(5_000_000))]),
+        );
+        assert!(subsumed_under_inds(&schema, &strong, &weak).holds());
+        // Failing selection target: verified witness.
+        let out = subsumed_under_inds(&schema, &weak, &strong);
+        assert!(out.fails(), "{out:?}");
+    }
+
+    #[test]
+    fn selection_only_on_projected_attribute_propagates() {
+        let (schema, _, tc, big) = figure_1_ids();
+        // x itself is constrained: BigCity names starting ≥ "T" still flow
+        // into TC[from] with the same constraint on the projected value.
+        let left = LsConcept::proj_sel(big, 0, Selection::new([(0, CmpOp::Ge, s("T"))]));
+        let right = LsConcept::proj_sel(tc, 0, Selection::new([(0, CmpOp::Ge, s("T"))]));
+        let out = subsumed_under_inds(&schema, &left, &right);
+        assert!(out.holds(), "{out:?}");
+    }
+
+    #[test]
+    fn nominal_targets() {
+        let (schema, _, tc, big) = figure_1_ids();
+        let left = LsConcept::proj(big, 0).and(&LsConcept::nominal(s("Tokyo")));
+        assert!(subsumed_under_inds(&schema, &left, &LsConcept::nominal(s("Tokyo"))).holds());
+        let out =
+            subsumed_under_inds(&schema, &left, &LsConcept::nominal(s("Kyoto")));
+        assert!(out.fails(), "{out:?}");
+        // Nominal-pinned x still propagates along paths.
+        assert!(subsumed_under_inds(&schema, &left, &LsConcept::proj(tc, 0)).holds());
+    }
+
+    #[test]
+    fn pinned_selection_positions_count_as_x_positions() {
+        // C1 = {c} ⊓ π_a(σ_{b=c}(R)): position (R, b) carries x (= c), so
+        // an ID from (R, b) certifies the target.
+        let mut b = SchemaBuilder::new();
+        let r = b.relation("R", ["a", "b"]);
+        let t = b.relation("T", ["u"]);
+        b.add_ind(Ind::new(r, [1], t, [0]));
+        let schema = b.finish().unwrap();
+        let c1 = LsConcept::nominal(s("c"))
+            .and(&LsConcept::proj_sel(r, 0, Selection::eq(1, s("c"))));
+        let out = subsumed_under_inds(&schema, &c1, &LsConcept::proj(t, 0));
+        assert!(out.holds(), "{out:?}");
+        // Without the nominal, position (R,b) carries the constant c, not
+        // x, so the subsumption fails.
+        let c1 = LsConcept::proj_sel(r, 0, Selection::eq(1, s("c")));
+        let out = subsumed_under_inds(&schema, &c1, &LsConcept::proj(t, 0));
+        assert!(out.fails(), "{out:?}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Schema-level concept subsumption `⊑S` — one decider per constraint
+//! class of the paper's Table 1 (*"High-Level Why-Not Explanations using
+//! Ontologies"*, PODS 2015, §4.2 and Theorem 4.3):
+//!
+//! | Constraints | Complexity (paper) | Decider |
+//! |---|---|---|
+//! | UCQ-view definitions (no comparisons) | NP-complete | [`subsumed_under_views`] |
+//! | UCQ-view definitions | ΠP2-complete | [`subsumed_under_views`] |
+//! | linearly nested UCQ-view definitions | ΠP2-complete | [`subsumed_under_views`] |
+//! | nested UCQ-view definitions | coNEXPTIME-complete | [`subsumed_under_views`] |
+//! | FDs | PTIME | [`subsumed_under_fds`] |
+//! | IDs | open (`?`); PTIME for selection-free `LS` | [`subsumed_under_inds`] |
+//! | IDs + FDs | **undecidable** | [`subsumed_bounded`] (bounded chase, may return `Unknown`) |
+//!
+//! Every `Fails` verdict carries a counterexample instance that has been
+//! verified end-to-end (constraints satisfied, extensions separated), so
+//! negative answers are sound by construction; `Holds` answers follow the
+//! soundness arguments documented per decider; the deciders return
+//! [`SubsumptionOutcome::Unknown`] instead of guessing whenever they leave
+//! their completeness envelope.
+//!
+//! [`subsumed_schema`] dispatches on the schema's
+//! [`ConstraintClass`].
+//!
+//! [`ConstraintClass`]: whynot_relation::ConstraintClass
+
+#![warn(missing_docs)]
+
+mod canonical;
+mod chase;
+mod common;
+mod containment;
+mod fd;
+mod id;
+mod outcome;
+mod views;
+
+pub use canonical::{Canonical, Key, NodeId, Unsat};
+pub use chase::{satisfiable_under, subsumed_bounded, ChaseLimits, Satisfiability};
+pub use common::{concept_to_cq, pre_check, syntactically_empty, verify_witness};
+pub use containment::{
+    cq_contained_in_ucq, regions_of, ucq_contained_in_ucq, ContainmentResult, CounterExample,
+};
+pub use fd::{holds_on, subsumed_under_fds};
+pub use id::{
+    bottom, position_graph, reachable_positions, saturate_inds, subsumed_under_inds, Position,
+};
+pub use outcome::{SubsumptionOutcome, Witness};
+pub use views::subsumed_under_views;
+
+use whynot_concepts::LsConcept;
+use whynot_relation::{ConstraintClass, Schema};
+
+/// Decides `c1 ⊑S c2`, dispatching to the decider matching the schema's
+/// constraint class (Table 1).
+pub fn subsumed_schema(schema: &Schema, c1: &LsConcept, c2: &LsConcept) -> SubsumptionOutcome {
+    match schema.constraint_class() {
+        // Without constraints the FD decider (with an empty FD set) is the
+        // plain canonical-database test.
+        ConstraintClass::None | ConstraintClass::FdsOnly => subsumed_under_fds(schema, c1, c2),
+        ConstraintClass::IndsOnly => subsumed_under_inds(schema, c1, c2),
+        ConstraintClass::UcqViews { .. } | ConstraintClass::NestedUcqViews { .. } => {
+            subsumed_under_views(schema, c1, c2)
+        }
+        ConstraintClass::FdsAndInds | ConstraintClass::Mixed => {
+            subsumed_bounded(schema, c1, c2, ChaseLimits::default())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whynot_relation::{Fd, Ind, SchemaBuilder};
+
+    #[test]
+    fn dispatch_matches_constraint_class() {
+        // No constraints → canonical-database test.
+        let mut b = SchemaBuilder::new();
+        let r = b.relation("R", ["a", "b"]);
+        let schema = b.finish().unwrap();
+        assert!(subsumed_schema(&schema, &LsConcept::proj(r, 0), &LsConcept::proj(r, 0)).holds());
+        assert!(subsumed_schema(&schema, &LsConcept::proj(r, 0), &LsConcept::proj(r, 1)).fails());
+
+        // FDs → FD decider; IDs → position graph; both → bounded chase.
+        let mut b = SchemaBuilder::new();
+        let r = b.relation("R", ["a", "b"]);
+        let t = b.relation("T", ["u"]);
+        b.add_fd(Fd::new(r, [0], [1]));
+        b.add_ind(Ind::new(r, [0], t, [0]));
+        let schema = b.finish().unwrap();
+        assert!(subsumed_schema(&schema, &LsConcept::proj(r, 0), &LsConcept::proj(t, 0)).holds());
+    }
+}

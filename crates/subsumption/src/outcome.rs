@@ -1,0 +1,69 @@
+//! Outcomes of a schema-level subsumption test `C1 ⊑S C2`.
+
+use whynot_relation::{Instance, Value};
+
+/// A concrete counterexample to `C1 ⊑S C2`: an instance satisfying the
+/// schema's constraints and an element separating the two extensions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Witness {
+    /// The counterexample instance (constraint-satisfying, views included).
+    pub instance: Instance,
+    /// An element of `[[C1]]` that is not in `[[C2]]`.
+    pub element: Value,
+}
+
+/// The verdict of a `⊑S` decider.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubsumptionOutcome {
+    /// `C1 ⊑S C2` holds over every constraint-satisfying instance.
+    Holds,
+    /// Subsumption fails; a verified counterexample is attached.
+    Fails(Box<Witness>),
+    /// The decider could not settle the question. Carries a reason string
+    /// (e.g. the FD+ID chase bound was exhausted — the paper proves this
+    /// class undecidable — or the fragment falls outside the decider's
+    /// completeness envelope).
+    Unknown(String),
+}
+
+impl SubsumptionOutcome {
+    /// Whether the outcome is `Holds`.
+    pub fn holds(&self) -> bool {
+        matches!(self, SubsumptionOutcome::Holds)
+    }
+
+    /// Whether the outcome is `Fails`.
+    pub fn fails(&self) -> bool {
+        matches!(self, SubsumptionOutcome::Fails(_))
+    }
+
+    /// Whether the outcome is `Unknown`.
+    pub fn unknown(&self) -> bool {
+        matches!(self, SubsumptionOutcome::Unknown(_))
+    }
+
+    /// The witness, if failing.
+    pub fn witness(&self) -> Option<&Witness> {
+        match self {
+            SubsumptionOutcome::Fails(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert!(SubsumptionOutcome::Holds.holds());
+        assert!(!SubsumptionOutcome::Holds.fails());
+        let w = Witness { instance: Instance::new(), element: Value::int(1) };
+        let f = SubsumptionOutcome::Fails(Box::new(w));
+        assert!(f.fails());
+        assert!(f.witness().is_some());
+        assert!(SubsumptionOutcome::Unknown("x".into()).unknown());
+        assert_eq!(SubsumptionOutcome::Holds.witness(), None);
+    }
+}

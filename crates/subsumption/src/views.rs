@@ -1,0 +1,291 @@
+//! `⊑S` under (nested) UCQ-view definitions (paper Table 1: NP-complete
+//! without comparisons, ΠP2-complete with comparisons or linear nesting,
+//! coNEXPTIME-complete for general nesting).
+//!
+//! Concepts become unary queries over `D ∪ V`; view unfolding rewrites
+//! them into UCQs over the data schema `D` (the exponential unfolding for
+//! branching nestings is exactly the coNEXPTIME source); the rest is UCQ
+//! containment from [`crate::containment`]. Counterexamples are frozen
+//! containment counterexamples with the views re-materialized on top.
+
+use crate::common::{concept_to_cq, pre_check, verify_witness};
+use crate::containment::{cq_contained_in_ucq, ContainmentResult};
+use crate::outcome::{SubsumptionOutcome, Witness};
+use whynot_concepts::LsConcept;
+use whynot_relation::{materialize_views, unfold_cq, unfold_ucq, Schema, Ucq};
+
+/// Decides `c1 ⊑S c2` for a schema whose constraints are UCQ-view
+/// definitions (flat, linearly nested, or nested).
+pub fn subsumed_under_views(
+    schema: &Schema,
+    c1: &LsConcept,
+    c2: &LsConcept,
+) -> SubsumptionOutcome {
+    if let Some(out) = pre_check(schema, c1, c2) {
+        return out;
+    }
+    let (Some(q1), Some(q2)) = (concept_to_cq(schema, c1), concept_to_cq(schema, c2)) else {
+        return SubsumptionOutcome::Unknown("concept without projections".into());
+    };
+    let u1 = match unfold_cq(schema, &q1) {
+        Ok(u) => u,
+        Err(e) => return SubsumptionOutcome::Unknown(format!("unfolding failed: {e}")),
+    };
+    let u2 = match unfold_ucq(schema, &Ucq::single(q2)) {
+        Ok(u) => u,
+        Err(e) => return SubsumptionOutcome::Unknown(format!("unfolding failed: {e}")),
+    };
+    for phi in &u1.disjuncts {
+        match cq_contained_in_ucq(phi, &u2) {
+            ContainmentResult::Contained => {}
+            ContainmentResult::Unknown(msg) => return SubsumptionOutcome::Unknown(msg),
+            ContainmentResult::NotContained(cex) => {
+                // The counterexample is over the data schema; re-compute
+                // the views to obtain a constraint-satisfying instance.
+                let Ok(full) = materialize_views(schema, &cex.instance) else {
+                    return SubsumptionOutcome::Unknown(
+                        "counterexample could not be completed with views".into(),
+                    );
+                };
+                let witness = Witness { instance: full, element: cex.head[0].clone() };
+                if verify_witness(schema, &witness, c1, c2) {
+                    return SubsumptionOutcome::Fails(Box::new(witness));
+                }
+                return SubsumptionOutcome::Unknown(
+                    "containment counterexample failed end-to-end verification".into(),
+                );
+            }
+        }
+    }
+    SubsumptionOutcome::Holds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whynot_concepts::Selection;
+    use whynot_relation::{
+        Atom, CmpOp, Comparison, Cq, RelId, SchemaBuilder, Term, Value, Var, ViewDef,
+    };
+
+    fn s(x: &str) -> Value {
+        Value::str(x)
+    }
+
+    /// The Figure 1 schema restricted to its view definitions (no FDs/IDs,
+    /// so the pure view decider applies).
+    fn figure_1_views() -> (Schema, RelId, RelId, RelId, RelId, RelId) {
+        let mut b = SchemaBuilder::new();
+        let cities = b.relation("Cities", ["name", "population", "country", "continent"]);
+        let tc = b.relation("Train-Connections", ["city_from", "city_to"]);
+        let big = b.relation("BigCity", ["name"]);
+        let eu = b.relation("EuropeanCountry", ["name"]);
+        let reach = b.relation("Reachable", ["city_from", "city_to"]);
+        let (x, y, z, w) = (Var(0), Var(1), Var(2), Var(3));
+        // BigCity(x) ↔ Cities(x,y,z,w) ∧ y ≥ 5000000
+        b.add_view(ViewDef::new(
+            big,
+            Ucq::single(Cq::new(
+                [Term::Var(x)],
+                [Atom::new(cities, [Term::Var(x), Term::Var(y), Term::Var(z), Term::Var(w)])],
+                [Comparison::new(y, CmpOp::Ge, Value::int(5_000_000))],
+            )),
+        ));
+        // EuropeanCountry(z) ↔ Cities(x,y,z,w) ∧ w = Europe
+        b.add_view(ViewDef::new(
+            eu,
+            Ucq::single(Cq::new(
+                [Term::Var(z)],
+                [Atom::new(cities, [Term::Var(x), Term::Var(y), Term::Var(z), Term::Var(w)])],
+                [Comparison::new(w, CmpOp::Eq, s("Europe"))],
+            )),
+        ));
+        // Reachable(x,y) ↔ TC(x,y) ∨ (TC(x,z) ∧ TC(z,y))
+        b.add_view(ViewDef::new(
+            reach,
+            Ucq::new([
+                Cq::new(
+                    [Term::Var(x), Term::Var(y)],
+                    [Atom::new(tc, [Term::Var(x), Term::Var(y)])],
+                    [],
+                ),
+                Cq::new(
+                    [Term::Var(x), Term::Var(y)],
+                    [
+                        Atom::new(tc, [Term::Var(x), Term::Var(z)]),
+                        Atom::new(tc, [Term::Var(z), Term::Var(y)]),
+                    ],
+                    [],
+                ),
+            ]),
+        ));
+        let schema = b.finish().unwrap();
+        (schema, cities, tc, big, eu, reach)
+    }
+
+    #[test]
+    fn example_4_9_second_subsumption() {
+        // π_name(σ_{population>7000000}(Cities)) ⊑S π_1(BigCity): the view
+        // definition makes every such city a BigCity (threshold 5M).
+        let (schema, cities, _, big, _, _) = figure_1_views();
+        let seven = LsConcept::proj_sel(
+            cities,
+            0,
+            Selection::new([(1, CmpOp::Gt, Value::int(7_000_000))]),
+        );
+        let bigc = LsConcept::proj(big, 0);
+        let out = subsumed_under_views(&schema, &seven, &bigc);
+        assert!(out.holds(), "{out:?}");
+        // The 5M threshold itself (≥) also works…
+        let five = LsConcept::proj_sel(
+            cities,
+            0,
+            Selection::new([(1, CmpOp::Ge, Value::int(5_000_000))]),
+        );
+        assert!(subsumed_under_views(&schema, &five, &bigc).holds());
+        // …but strictly below the threshold fails, with a verified
+        // boundary counterexample.
+        let below = LsConcept::proj_sel(
+            cities,
+            0,
+            Selection::new([(1, CmpOp::Gt, Value::int(4_999_999))]),
+        );
+        let out = subsumed_under_views(&schema, &below, &bigc);
+        assert!(out.fails(), "{out:?}");
+    }
+
+    #[test]
+    fn example_4_9_third_subsumption() {
+        // π_1(BigCity) ⊑S π_name(Cities): unfolding BigCity lands in
+        // Cities.
+        let (schema, cities, _, big, _, _) = figure_1_views();
+        let out = subsumed_under_views(
+            &schema,
+            &LsConcept::proj(big, 0),
+            &LsConcept::proj(cities, 0),
+        );
+        assert!(out.holds(), "{out:?}");
+        // And the converse fails.
+        let out = subsumed_under_views(
+            &schema,
+            &LsConcept::proj(cities, 0),
+            &LsConcept::proj(big, 0),
+        );
+        assert!(out.fails(), "{out:?}");
+    }
+
+    #[test]
+    fn reachable_union_subsumptions() {
+        let (schema, _, tc, _, _, reach) = figure_1_views();
+        // Direct connections are reachable (first disjunct).
+        let direct_from = LsConcept::proj(tc, 0);
+        let reach_from = LsConcept::proj(reach, 0);
+        assert!(subsumed_under_views(&schema, &direct_from, &reach_from).holds());
+        // Reachability origins are exactly connection origins (both
+        // disjuncts start with a TC edge): the converse holds too.
+        assert!(subsumed_under_views(&schema, &reach_from, &direct_from).holds());
+        // But reachable *targets* are not necessarily direct targets of
+        // the same relation? They are: both disjuncts end in a TC edge
+        // into y. Check the cross pair instead: origins vs targets fail.
+        let direct_to = LsConcept::proj(tc, 1);
+        let out = subsumed_under_views(&schema, &reach_from, &direct_to);
+        assert!(out.fails(), "{out:?}");
+    }
+
+    #[test]
+    fn selection_pushes_through_views() {
+        // π_city_to(σ_{city_from=Amsterdam}(Reachable)) ⊑S
+        // π_city_to(Reachable) — selection weakening through a view.
+        let (schema, _, _, _, _, reach) = figure_1_views();
+        let from_ams =
+            LsConcept::proj_sel(reach, 1, Selection::eq(0, s("Amsterdam")));
+        let any = LsConcept::proj(reach, 1);
+        assert!(subsumed_under_views(&schema, &from_ams, &any).holds());
+        // The converse fails.
+        assert!(subsumed_under_views(&schema, &any, &from_ams).fails());
+    }
+
+    #[test]
+    fn european_country_view() {
+        // π_1(EuropeanCountry) ⊑S π_country(Cities).
+        let (schema, cities, _, _, eu, _) = figure_1_views();
+        let out = subsumed_under_views(
+            &schema,
+            &LsConcept::proj(eu, 0),
+            &LsConcept::proj(cities, 2),
+        );
+        assert!(out.holds(), "{out:?}");
+        // π_1(EuropeanCountry) ⊄ π_name(Cities) (countries vs names).
+        let out = subsumed_under_views(
+            &schema,
+            &LsConcept::proj(eu, 0),
+            &LsConcept::proj(cities, 0),
+        );
+        assert!(out.fails(), "{out:?}");
+    }
+
+    #[test]
+    fn nested_views_unfold_transitively() {
+        // V2 = V1 ∘ V1 over E; π_0(V2) ⊑S π_0(E).
+        let mut b = SchemaBuilder::new();
+        let e = b.relation("E", ["x", "y"]);
+        let v1 = b.relation("V1", ["x", "y"]);
+        let v2 = b.relation("V2", ["x", "y"]);
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        b.add_view(ViewDef::new(
+            v1,
+            Ucq::single(Cq::new(
+                [Term::Var(x), Term::Var(y)],
+                [
+                    Atom::new(e, [Term::Var(x), Term::Var(z)]),
+                    Atom::new(e, [Term::Var(z), Term::Var(y)]),
+                ],
+                [],
+            )),
+        ));
+        b.add_view(ViewDef::new(
+            v2,
+            Ucq::single(Cq::new(
+                [Term::Var(x), Term::Var(y)],
+                [
+                    Atom::new(v1, [Term::Var(x), Term::Var(z)]),
+                    Atom::new(v1, [Term::Var(z), Term::Var(y)]),
+                ],
+                [],
+            )),
+        ));
+        let schema = b.finish().unwrap();
+        let out = subsumed_under_views(
+            &schema,
+            &LsConcept::proj(v2, 0),
+            &LsConcept::proj(e, 0),
+        );
+        assert!(out.holds(), "{out:?}");
+        // π_0(V2) ⊑S π_0(V1) holds as well (a 4-path starts a 2-path).
+        let out = subsumed_under_views(
+            &schema,
+            &LsConcept::proj(v2, 0),
+            &LsConcept::proj(v1, 0),
+        );
+        assert!(out.holds(), "{out:?}");
+        // π_0(V1) ⊑S π_0(V2) fails: a 2-path need not extend to 4.
+        let out = subsumed_under_views(
+            &schema,
+            &LsConcept::proj(v1, 0),
+            &LsConcept::proj(v2, 0),
+        );
+        assert!(out.fails(), "{out:?}");
+    }
+
+    #[test]
+    fn witnesses_satisfy_view_constraints() {
+        let (schema, cities, _, big, _, _) = figure_1_views();
+        let out = subsumed_under_views(
+            &schema,
+            &LsConcept::proj(cities, 0),
+            &LsConcept::proj(big, 0),
+        );
+        let w = out.witness().expect("fails");
+        assert!(w.instance.satisfies_constraints(&schema));
+    }
+}

@@ -1,0 +1,128 @@
+//! Debugging nested view stacks — the LogiQL-style workflow the paper's
+//! introduction motivates: complex analytics specified as collections of
+//! nested views, where a missing answer is hard to track manually.
+//!
+//! The example builds a small data pipeline (raw events → sessions →
+//! funnels), asks why a user is missing from the funnel report, and uses
+//! schema-derived concepts plus *strong explanations* (§6) to separate
+//! data problems from structural ones.
+//!
+//! ```sh
+//! cargo run --example debugging_views
+//! ```
+
+use whynot::concepts::{LsConcept, Selection};
+use whynot::core::{
+    incremental_search_with_selections, irredundant_explanation, is_explanation,
+    is_strong_explanation, Explanation, InstanceOntology, StrongOutcome, WhyNotInstance,
+};
+use whynot::relation::{
+    materialize_views, Atom, CmpOp, Comparison, Cq, Instance, SchemaBuilder, Term, Ucq, Value,
+    Var, ViewDef,
+};
+
+fn main() {
+    // Pipeline schema: Events(user, action, amount);
+    //   Buyers(user)   ↔ Events(user, "buy", a)
+    //   BigSpenders(u) ↔ Events(u, "buy", a) ∧ a ≥ 100
+    //   Funnel(u)      ↔ Buyers(u) ∧ Events(u, "visit", a')   (nested!)
+    let mut b = SchemaBuilder::new();
+    let events = b.relation("Events", ["user", "action", "amount"]);
+    let buyers = b.relation("Buyers", ["user"]);
+    let big = b.relation("BigSpenders", ["user"]);
+    let funnel = b.relation("Funnel", ["user"]);
+    let (u, a, a2) = (Var(0), Var(1), Var(2));
+    b.add_view(ViewDef::new(
+        buyers,
+        Ucq::single(Cq::new(
+            [Term::Var(u)],
+            [Atom::new(events, [Term::Var(u), Term::Const(Value::str("buy")), Term::Var(a)])],
+            [],
+        )),
+    ));
+    b.add_view(ViewDef::new(
+        big,
+        Ucq::single(Cq::new(
+            [Term::Var(u)],
+            [Atom::new(events, [Term::Var(u), Term::Const(Value::str("buy")), Term::Var(a)])],
+            [Comparison::new(a, CmpOp::Ge, Value::int(100))],
+        )),
+    ));
+    b.add_view(ViewDef::new(
+        funnel,
+        Ucq::single(Cq::new(
+            [Term::Var(u)],
+            [
+                Atom::new(buyers, [Term::Var(u)]),
+                Atom::new(events, [Term::Var(u), Term::Const(Value::str("visit")), Term::Var(a2)]),
+            ],
+            [],
+        )),
+    ));
+    let schema = b.finish().expect("well-formed pipeline");
+    println!("Pipeline schema:\n{schema}");
+
+    // Data: carol bought (big!) but never logged a visit — a classic
+    // ingestion gap.
+    let mut base = Instance::new();
+    for (user, action, amount) in [
+        ("alice", "visit", 0),
+        ("alice", "buy", 20),
+        ("bob", "visit", 0),
+        ("bob", "buy", 30),
+        ("carol", "buy", 400),
+        ("dave", "visit", 0),
+    ] {
+        base.insert(events, vec![Value::str(user), Value::str(action), Value::int(amount)]);
+    }
+    let inst = materialize_views(&schema, &base).expect("satisfies the views");
+
+    // Why is carol missing from the funnel?
+    let q = Ucq::single(Cq::new([Term::Var(u)], [Atom::new(funnel, [Term::Var(u)])], []));
+    let wn = WhyNotInstance::new(schema.clone(), inst, q, vec![Value::str("carol")])
+        .expect("carol is not in the funnel");
+    println!("Funnel(I) = {:?}", wn.ans.iter().map(|t| t[0].to_string()).collect::<Vec<_>>());
+    println!("Why is carol missing?\n");
+
+    // Derived-ontology explanation.
+    let mge = irredundant_explanation(&wn, &incremental_search_with_selections(&wn));
+    println!("Most-general derived explanation (Algorithm 2 + σ):");
+    for c in &mge.concepts {
+        println!("  {}", c.display(&schema));
+    }
+
+    // A hand-written high-level hypothesis: "carol is a big spender, and
+    // big spenders are missing from the funnel".
+    let big_spenders = LsConcept::proj(big, 0);
+    let e = Explanation::new([big_spenders]);
+    let oi = InstanceOntology::new(wn.schema.clone(), wn.instance.clone());
+    println!(
+        "\n⟨π_user(BigSpenders)⟩ is an explanation: {}",
+        is_explanation(&oi, &wn, &e)
+    );
+    // …but it is NOT strong: on other data, big spenders do visit.
+    match is_strong_explanation(&wn, &e) {
+        StrongOutcome::NotStrong => println!(
+            "…and it is NOT strong: some instance puts a big spender into\n\
+             the funnel, so this is a *data* problem (carol's visit events\n\
+             were lost), not a structural one."
+        ),
+        other => println!("strong check: {other:?}"),
+    }
+
+    // A structurally impossible hypothesis IS strong: "users who never
+    // produced any event" can never be in the funnel, on any instance.
+    let never_bought = LsConcept::proj_sel(
+        events,
+        0,
+        Selection::new([(1, CmpOp::Eq, Value::str("refund"))]),
+    );
+    let e = Explanation::new([never_bought]);
+    match is_strong_explanation(&wn, &e) {
+        StrongOutcome::NotStrong => println!(
+            "\n⟨π_user(σ_action=refund(Events))⟩ is not strong either — a\n\
+             refunder may separately buy and visit."
+        ),
+        other => println!("\nrefunder check: {other:?}"),
+    }
+}

@@ -1,0 +1,89 @@
+//! Derived ontologies: explaining a why-not question *without* any
+//! external ontology, using concepts built from the schema itself
+//! (the paper's §4.2, Examples 4.7 and 4.9).
+//!
+//! ```sh
+//! cargo run --example derived_ontology
+//! ```
+
+use whynot::core::{
+    check_mge_instance, incremental_search, incremental_search_with_selections,
+    irredundant_explanation, is_explanation, less_general, Explanation, LubKind,
+};
+use whynot::scenarios::paper;
+
+fn main() {
+    let scenario = paper::example_4_9();
+    let wn = &scenario.why_not;
+    let schema = &wn.schema;
+    let oi = scenario.oi();
+    let os = scenario.os();
+
+    println!("Schema (Figure 1):\n{schema}");
+    println!("Why is ⟨{}, {}⟩ not a two-hop connection?\n", wn.tuple[0], wn.tuple[1]);
+
+    // Figure 5: concepts definable in LS without any external ontology.
+    let f5 = paper::figure_5_concepts(&scenario.rels);
+    println!("Figure 5 concepts and their extensions on the Figure 2 instance:");
+    for (label, c) in [
+        ("City", &f5.city),
+        ("European City", &f5.european_city),
+        ("Large City", &f5.large_city),
+        ("BigCity view", &f5.big_city),
+        ("Small city reachable from Amsterdam", &f5.small_reachable_from_amsterdam),
+    ] {
+        let ext = c.extension(&wn.instance);
+        let members: Vec<String> = ext
+            .as_finite()
+            .map(|s| s.iter().map(|v| v.to_string()).collect())
+            .unwrap_or_default();
+        println!("  {label}: {} = {{{}}}", c.display(schema), members.join(", "));
+    }
+
+    // Example 4.9: the paper's E1–E8 and their relationships.
+    let es = paper::example_4_9_explanations(&scenario.rels);
+    println!("\nExample 4.9's candidate explanations:");
+    for (i, e) in es.iter().enumerate() {
+        let parts: Vec<String> =
+            e.concepts.iter().map(|c| c.display(schema).to_string()).collect();
+        println!(
+            "  E{} = ⟨{}⟩ → explanation: {}",
+            i + 1,
+            parts.join(",  "),
+            is_explanation(&oi, wn, e)
+        );
+    }
+    // E2 vs E5/E3: more general w.r.t. OI but not w.r.t. OS.
+    let (e2, e3, e5) = (&es[1], &es[2], &es[4]);
+    println!("\n  E2 ≥OI E5: {}", less_general(&oi, e5, e2));
+    println!("  E2 ≥OI E3: {}", less_general(&oi, e3, e2));
+    println!("  E2 ≥OS E5: {}", less_general(&os, e5, e2));
+    println!("  E2 ≥OS E3: {}", less_general(&os, e3, e2));
+
+    // Algorithm 2: one most-general explanation w.r.t. OI.
+    let mge = incremental_search(wn);
+    println!("\nAlgorithm 2 (selection-free) returns:");
+    let lean = irredundant_explanation(wn, &mge);
+    for c in &lean.concepts {
+        println!("  {}", c.display(schema));
+    }
+    assert!(check_mge_instance(wn, &mge, LubKind::SelectionFree));
+
+    let mge_sel = incremental_search_with_selections(wn);
+    let lean_sel = irredundant_explanation(wn, &mge_sel);
+    println!("\nAlgorithm 2 with selections returns:");
+    for c in &lean_sel.concepts {
+        println!("  {}", c.display(schema));
+    }
+    assert!(check_mge_instance(wn, &mge_sel, LubKind::WithSelections));
+
+    // A named derived explanation, the paper's headline for this section:
+    let e2_display: Vec<String> =
+        es[1].concepts.iter().map(|c| c.display(schema).to_string()).collect();
+    println!(
+        "\nE2 = ⟨{}⟩ reads: Amsterdam is European, New York is North\n\
+         American, and no European city reaches a N.American one by train.",
+        e2_display.join(", ")
+    );
+    let _ = Explanation::new(Vec::<whynot::concepts::LsConcept>::new());
+}

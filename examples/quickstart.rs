@@ -1,0 +1,67 @@
+//! Quickstart: the paper's Example 3.4 end to end.
+//!
+//! Why is ⟨Amsterdam, New York⟩ missing from the two-hop train
+//! connectivity query? Run with:
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use whynot::core::{
+    check_mge, exhaustive_search, is_explanation, strictly_less_general, Explanation,
+};
+use whynot::scenarios::paper;
+
+fn main() {
+    let scenario = paper::example_3_4();
+    let ontology = &scenario.ontology;
+    let wn = &scenario.why_not;
+
+    println!("Query: q(x, y) = ∃z. Train-Connections(x, z) ∧ Train-Connections(z, y)");
+    println!("Answers q(I):");
+    for t in &wn.ans {
+        println!("  ⟨{}, {}⟩", t[0], t[1]);
+    }
+    println!("\nWhy is ⟨{}, {}⟩ not among them?\n", wn.tuple[0], wn.tuple[1]);
+
+    // The paper's candidate explanations E1–E4.
+    let candidates = [
+        ("E1", "Dutch-City", "East-Coast-City"),
+        ("E2", "Dutch-City", "US-City"),
+        ("E3", "European-City", "East-Coast-City"),
+        ("E4", "European-City", "US-City"),
+    ];
+    println!("Candidate explanations (Example 3.4):");
+    let mut built = Vec::new();
+    for (label, c1, c2) in candidates {
+        let e = Explanation::new([
+            ontology.concept_expect(c1),
+            ontology.concept_expect(c2),
+        ]);
+        let ok = is_explanation(ontology, wn, &e);
+        println!("  {label} = {e}  → explanation: {ok}");
+        built.push((label, e));
+    }
+
+    // Orderings among them.
+    println!("\nGenerality (Definition 3.3):");
+    for (la, ea) in &built {
+        for (lb, eb) in &built {
+            if strictly_less_general(ontology, ea, eb) {
+                println!("  {la} <O {lb}");
+            }
+        }
+    }
+
+    // Algorithm 1: all most-general explanations.
+    let mges = exhaustive_search(ontology, wn);
+    println!("\nMost-general explanations (Algorithm 1, EXHAUSTIVE SEARCH):");
+    for e in &mges {
+        debug_assert!(check_mge(ontology, wn, e));
+        println!("  {e}");
+    }
+    println!(
+        "\nReading E4: Amsterdam is a European city, New York a US city —\n\
+         and no European city reaches a US city with one change of train."
+    );
+}

@@ -1,0 +1,162 @@
+//! `whynot-cli` — ask why-not questions from the command line.
+//!
+//! ```sh
+//! whynot-cli <program.wn> \
+//!     --query  'q(X, Y) <- Train-Connections(X, Z), Train-Connections(Z, Y)' \
+//!     --missing 'Amsterdam, New York' \
+//!     [--selections]            # use lubσ (Algorithm 2 with selections)
+//!     [--enumerate N]           # enumerate up to N growth orders
+//!     [--check 'π_…; π_…']      # check a concept tuple as an explanation
+//!     [--strong]                # also run the §6 strong-explanation test
+//! ```
+//!
+//! The program file declares relations, constraints, views and facts in
+//! the format of `whynot_relation::parse_program` (see the library docs);
+//! the query uses Datalog-style rules; concepts use the paper's π/σ/⊓
+//! notation via `whynot_concepts::parse_concept`.
+
+use std::process::ExitCode;
+use whynot::concepts::parse_concept;
+use whynot::core::{
+    check_mge_instance, display_explanation, enumerate_mges_instance, incremental_search_balanced,
+    irredundant_explanation, is_explanation, is_strong_explanation, Explanation,
+    InstanceOntology, LubKind, StrongOutcome, WhyNotInstance,
+};
+use whynot::relation::{materialize_views, parse_program, parse_query, Value};
+
+struct Args {
+    program: String,
+    query: String,
+    missing: String,
+    selections: bool,
+    enumerate: usize,
+    check: Option<String>,
+    strong: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut program = None;
+    let mut query = None;
+    let mut missing = None;
+    let mut selections = false;
+    let mut enumerate = 0usize;
+    let mut check = None;
+    let mut strong = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--query" => query = Some(args.next().ok_or("--query needs a value")?),
+            "--missing" => missing = Some(args.next().ok_or("--missing needs a value")?),
+            "--selections" => selections = true,
+            "--enumerate" => {
+                enumerate = args
+                    .next()
+                    .ok_or("--enumerate needs a count")?
+                    .parse()
+                    .map_err(|_| "--enumerate needs a number")?
+            }
+            "--check" => check = Some(args.next().ok_or("--check needs concepts")?),
+            "--strong" => strong = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if program.is_none() => program = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        program: program.ok_or_else(|| format!("missing program file\n{USAGE}"))?,
+        query: query.ok_or_else(|| format!("missing --query\n{USAGE}"))?,
+        missing: missing.ok_or_else(|| format!("missing --missing\n{USAGE}"))?,
+        selections,
+        enumerate,
+        check,
+        strong,
+    })
+}
+
+const USAGE: &str = "usage: whynot-cli <program.wn> --query '<rule>' --missing 'c1, c2' \
+[--selections] [--enumerate N] [--check 'concept; concept'] [--strong]";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let src = std::fs::read_to_string(&args.program)
+        .map_err(|e| format!("cannot read {}: {e}", args.program))?;
+    let loaded = parse_program(&src).map_err(|e| format!("program: {e}"))?;
+    let instance = materialize_views(&loaded.schema, &loaded.base)
+        .map_err(|e| format!("views: {e}"))?;
+    if !instance.satisfies_constraints(&loaded.schema) {
+        return Err("the data violates the declared constraints".into());
+    }
+    let query = parse_query(&loaded.schema, &args.query).map_err(|e| format!("query: {e}"))?;
+    let missing: Vec<Value> = args
+        .missing
+        .split(',')
+        .map(|c| whynot::concepts::parse_value(c.trim()))
+        .collect();
+    let wn = WhyNotInstance::new(loaded.schema, instance, query, missing)
+        .map_err(|e| format!("why-not: {e}"))?;
+
+    println!("Answers ({}):", wn.ans.len());
+    for t in wn.ans.iter().take(20) {
+        let row: Vec<String> = t.iter().map(|v| v.to_string()).collect();
+        println!("  ⟨{}⟩", row.join(", "));
+    }
+    if wn.ans.len() > 20 {
+        println!("  … {} more", wn.ans.len() - 20);
+    }
+    let missing_row: Vec<String> = wn.tuple.iter().map(|v| v.to_string()).collect();
+    println!("\nWhy is ⟨{}⟩ missing?\n", missing_row.join(", "));
+
+    let kind = if args.selections { LubKind::WithSelections } else { LubKind::SelectionFree };
+    let oi = InstanceOntology::new(wn.schema.clone(), wn.instance.clone());
+
+    // User-supplied hypothesis first, if any.
+    if let Some(check) = &args.check {
+        let concepts: Result<Vec<_>, _> = check
+            .split(';')
+            .map(|c| parse_concept(&wn.schema, c.trim()))
+            .collect();
+        let concepts = concepts.map_err(|e| format!("--check: {e}"))?;
+        let e = Explanation::new(concepts);
+        println!(
+            "Hypothesis {} → explanation: {}",
+            display_explanation(&oi, &e),
+            is_explanation(&oi, &wn, &e)
+        );
+        if is_explanation(&oi, &wn, &e) {
+            println!("  most general: {}", check_mge_instance(&wn, &e, kind));
+        }
+        if args.strong {
+            let verdict = match is_strong_explanation(&wn, &e) {
+                StrongOutcome::Strong => "strong (holds on every instance)",
+                StrongOutcome::NotStrong => "not strong (instance-specific)",
+                StrongOutcome::Unknown(_) => "undetermined",
+            };
+            println!("  strength: {verdict}");
+        }
+        println!();
+    }
+
+    if args.enumerate > 0 {
+        println!("Most-general explanations (up to {} growth orders):", args.enumerate);
+        for e in enumerate_mges_instance(&wn, kind, args.enumerate) {
+            let lean = irredundant_explanation(&wn, &e);
+            println!("  {}", display_explanation(&oi, &lean));
+        }
+    } else {
+        let e = incremental_search_balanced(&wn, kind);
+        let lean = irredundant_explanation(&wn, &e);
+        println!("Most-general explanation (balanced Algorithm 2):");
+        println!("  {}", display_explanation(&oi, &lean));
+    }
+    Ok(())
+}

@@ -1,0 +1,166 @@
+//! Property tests for the DL-LiteR side: the PTIME reasoner's verdicts
+//! against model checking on canonical solutions, and PerfectRef's
+//! certain answers against the saturation-based extension computation.
+
+use proptest::prelude::*;
+use whynot::dllite::{
+    BasicConcept, GavMapping, Interpretation, ObdaSpec, OntAtom, OntCq, Role, TBox,
+};
+use whynot::relation::{Atom, Instance, SchemaBuilder, Term, Value, Var};
+
+/// A small random TBox over 4 atomic concepts and 2 roles: positive
+/// inclusions only (so every instance is consistent and canonical
+/// solutions always exist).
+fn random_positive_tbox() -> impl Strategy<Value = TBox> {
+    let concept_names = ["A", "B", "C", "D"];
+    let axiom = (0usize..6, 0usize..6).prop_map(move |(i, j)| (i, j));
+    proptest::collection::vec(axiom, 1..8).prop_map(move |pairs| {
+        let basic = |k: usize| -> BasicConcept {
+            match k {
+                0..=3 => BasicConcept::atomic(concept_names[k]),
+                4 => BasicConcept::exists("P"),
+                _ => BasicConcept::exists_inv("Q"),
+            }
+        };
+        let mut t = TBox::new();
+        for (i, j) in pairs {
+            if i != j {
+                t.concept_incl(basic(i), basic(j));
+            }
+        }
+        t
+    })
+}
+
+/// A base interpretation over a tiny domain.
+fn random_base() -> impl Strategy<Value = Interpretation> {
+    let memb = (0usize..4, 0i64..5);
+    let role = (0usize..2, 0i64..5, 0i64..5);
+    (
+        proptest::collection::vec(memb, 0..8),
+        proptest::collection::vec(role, 0..6),
+    )
+        .prop_map(|(members, roles)| {
+            let names = ["A", "B", "C", "D"];
+            let mut interp = Interpretation::new();
+            for (c, e) in members {
+                interp.add_concept(
+                    whynot::dllite::AtomicConcept::new(names[c]),
+                    Value::int(e),
+                );
+            }
+            for (r, x, y) in roles {
+                let name = if r == 0 { "P" } else { "Q" };
+                interp.add_role(
+                    whynot::dllite::AtomicRole::new(name),
+                    Value::int(x),
+                    Value::int(y),
+                );
+            }
+            interp
+        })
+}
+
+/// Builds an OBDA spec whose mappings copy unary/binary relations straight
+/// into the vocabulary, plus a matching instance realizing `base`.
+fn spec_and_instance(
+    tbox: TBox,
+    base: &Interpretation,
+) -> (whynot::relation::Schema, ObdaSpec, Instance) {
+    let mut b = SchemaBuilder::new();
+    let ra = b.relation("TA", ["x"]);
+    let rb = b.relation("TB", ["x"]);
+    let rc = b.relation("TC", ["x"]);
+    let rd = b.relation("TD", ["x"]);
+    let rp = b.relation("TP", ["x", "y"]);
+    let rq = b.relation("TQ", ["x", "y"]);
+    let schema = b.finish().unwrap();
+    let mappings = vec![
+        GavMapping::concept("A", Var(0), [Atom::new(ra, [Term::Var(Var(0))])]),
+        GavMapping::concept("B", Var(0), [Atom::new(rb, [Term::Var(Var(0))])]),
+        GavMapping::concept("C", Var(0), [Atom::new(rc, [Term::Var(Var(0))])]),
+        GavMapping::concept("D", Var(0), [Atom::new(rd, [Term::Var(Var(0))])]),
+        GavMapping::role("P", Var(0), Var(1), [Atom::new(rp, [Term::Var(Var(0)), Term::Var(Var(1))])]),
+        GavMapping::role("Q", Var(0), Var(1), [Atom::new(rq, [Term::Var(Var(0)), Term::Var(Var(1))])]),
+    ];
+    let spec = ObdaSpec::new(tbox, mappings);
+    let mut inst = Instance::new();
+    for (name, rel) in [("A", ra), ("B", rb), ("C", rc), ("D", rd)] {
+        for v in base.concept_ext(&whynot::dllite::AtomicConcept::new(name)) {
+            inst.insert(rel, vec![v]);
+        }
+    }
+    for (name, rel) in [("P", rp), ("Q", rq)] {
+        for (x, y) in base.role_ext(&Role::direct(name)) {
+            inst.insert(rel, vec![x, y]);
+        }
+    }
+    (schema, spec, inst)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The canonical solution is a genuine solution: it satisfies the
+    /// TBox and all mappings, and contains the mapping image.
+    #[test]
+    fn canonical_solution_is_a_solution(
+        tbox in random_positive_tbox(),
+        base in random_base(),
+    ) {
+        let (_, spec, inst) = spec_and_instance(tbox, &base);
+        let sol = spec.canonical_solution(&inst);
+        prop_assert!(sol.satisfies_tbox(spec.tbox()));
+        for m in spec.mappings() {
+            prop_assert!(m.satisfied_by(&inst, &sol));
+        }
+        prop_assert!(spec.base_interpretation(&inst).included_in(&sol));
+    }
+
+    /// Reasoner subsumption is sound for certain extensions: if
+    /// `T |= B1 ⊑ B2` then `certain(B1) ⊆ certain(B2)` on every instance.
+    #[test]
+    fn subsumption_implies_certain_inclusion(
+        tbox in random_positive_tbox(),
+        base in random_base(),
+    ) {
+        let (_, spec, inst) = spec_and_instance(tbox, &base);
+        let concepts: Vec<BasicConcept> = spec.reasoner().concepts().cloned().collect();
+        for b1 in &concepts {
+            for b2 in &concepts {
+                if spec.subsumed(b1, b2) {
+                    let e1 = spec.certain_extension(b1, &inst);
+                    let e2 = spec.certain_extension(b2, &inst);
+                    prop_assert!(
+                        e1.is_subset(&e2),
+                        "{b1} ⊑ {b2} but certain extensions disagree"
+                    );
+                }
+            }
+        }
+    }
+
+    /// PerfectRef agrees with the saturation-based certain extensions on
+    /// atomic-concept queries.
+    #[test]
+    fn rewriting_matches_saturation(
+        tbox in random_positive_tbox(),
+        base in random_base(),
+    ) {
+        let (schema, spec, inst) = spec_and_instance(tbox, &base);
+        for name in ["A", "B", "C", "D"] {
+            let q = OntCq::new(
+                [Term::Var(Var(0))],
+                [OntAtom::Concept(
+                    whynot::dllite::AtomicConcept::new(name),
+                    Term::Var(Var(0)),
+                )],
+            );
+            let via_rewriting = spec.certain_answers(&schema, &q, &inst).unwrap();
+            let flat: std::collections::BTreeSet<Value> =
+                via_rewriting.into_iter().map(|t| t[0].clone()).collect();
+            let via_saturation = spec.certain_extension(&BasicConcept::atomic(name), &inst);
+            prop_assert_eq!(flat, via_saturation, "{}", name);
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Property-based tests of the core invariants, with `proptest`.
+//!
+//! Strategy: generate small random schemas/instances/concepts and check
+//! the paper's definitional invariants — lub minimality (Lemmas 5.1/5.2),
+//! soundness of the `⊑S` deciders against brute-force `⊑I` sampling,
+//! correctness of Algorithm 2's output (Theorems 5.3/5.4), the interval
+//! algebra, and the backtracking evaluator against a naive one.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use whynot::concepts::{lub, lub_sigma, simplify, LsConcept, Selection};
+use whynot::core::{
+    check_mge_instance, exts_form_explanation, incremental_search,
+    incremental_search_with_selections, LubKind, WhyNotInstance,
+};
+use whynot::relation::{
+    Atom, CmpOp, Cq, Instance, Interval, RelId, Schema, SchemaBuilder, Term, Tuple, Ucq, Value,
+    Var,
+};
+use whynot::subsumption::{subsumed_under_fds, SubsumptionOutcome};
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+/// A fixed two-relation schema: R(a, b, c) and T(u, v).
+fn fixed_schema() -> (Schema, RelId, RelId) {
+    let mut b = SchemaBuilder::new();
+    let r = b.relation("R", ["a", "b", "c"]);
+    let t = b.relation("T", ["u", "v"]);
+    (b.finish().unwrap(), r, t)
+}
+
+prop_compose! {
+    fn small_value()(n in 0i64..12) -> Value { Value::int(n) }
+}
+
+prop_compose! {
+    fn small_instance()(
+        r_rows in proptest::collection::vec((0i64..12, 0i64..12, 0i64..12), 0..12),
+        t_rows in proptest::collection::vec((0i64..12, 0i64..12), 0..8),
+    ) -> Instance {
+        let (_, r, t) = fixed_schema();
+        let mut inst = Instance::new();
+        for (a, b, c) in r_rows {
+            inst.insert(r, vec![Value::int(a), Value::int(b), Value::int(c)]);
+        }
+        for (u, v) in t_rows {
+            inst.insert(t, vec![Value::int(u), Value::int(v)]);
+        }
+        inst
+    }
+}
+
+fn small_concept() -> impl Strategy<Value = LsConcept> {
+    let (_, r, t) = fixed_schema();
+    let atom = prop_oneof![
+        (0usize..3).prop_map(move |a| LsConcept::proj(r, a)),
+        (0usize..2).prop_map(move |a| LsConcept::proj(t, a)),
+        (0i64..12).prop_map(|n| LsConcept::nominal(Value::int(n))),
+        ((0usize..3), (0usize..3), any::<bool>(), 0i64..12).prop_map(move |(pa, sa, ge, c)| {
+            let op = if ge { CmpOp::Ge } else { CmpOp::Le };
+            LsConcept::proj_sel(r, pa, Selection::new([(sa, op, Value::int(c))]))
+        }),
+    ];
+    proptest::collection::vec(atom, 0..3)
+        .prop_map(|cs| LsConcept::conj(cs.into_iter()))
+}
+
+// ---------------------------------------------------------------------
+// Interval algebra
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn interval_intersection_is_membership_conjunction(
+        op1 in 0usize..5, c1 in -5i64..15,
+        op2 in 0usize..5, c2 in -5i64..15,
+        probe in -6i64..16,
+    ) {
+        let ops = [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let i1 = Interval::from_comparison(ops[op1], Value::int(c1));
+        let i2 = Interval::from_comparison(ops[op2], Value::int(c2));
+        let both = i1.intersect(&i2);
+        let v = Value::int(probe);
+        prop_assert_eq!(both.contains(&v), i1.contains(&v) && i2.contains(&v));
+    }
+
+    #[test]
+    fn interval_sample_lands_inside(
+        op1 in 0usize..5, c1 in -5i64..15,
+        op2 in 0usize..5, c2 in -5i64..15,
+    ) {
+        let ops = [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let both = Interval::from_comparison(ops[op1], Value::int(c1))
+            .intersect(&Interval::from_comparison(ops[op2], Value::int(c2)));
+        match both.sample() {
+            Some(v) => prop_assert!(both.contains(&v)),
+            None => prop_assert!(both.is_empty()),
+        }
+    }
+
+    #[test]
+    fn interval_subset_respects_membership(
+        op1 in 0usize..5, c1 in -5i64..15,
+        op2 in 0usize..5, c2 in -5i64..15,
+        probe in -6i64..16,
+    ) {
+        let ops = [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let i1 = Interval::from_comparison(ops[op1], Value::int(c1));
+        let i2 = Interval::from_comparison(ops[op2], Value::int(c2));
+        if i1.subset_of(&i2) {
+            let v = Value::int(probe);
+            prop_assert!(!i1.contains(&v) || i2.contains(&v));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Query evaluation vs naive enumeration
+// ---------------------------------------------------------------------
+
+/// Naive evaluator: enumerate every assignment of the query's variables
+/// over the active domain.
+fn naive_eval(q: &Cq, inst: &Instance) -> BTreeSet<Tuple> {
+    let vars: Vec<Var> = q.vars().into_iter().collect();
+    let adom: Vec<Value> = inst.active_domain().into_iter().collect();
+    let mut out = BTreeSet::new();
+    if vars.is_empty() || adom.is_empty() {
+        return out;
+    }
+    let mut idx = vec![0usize; vars.len()];
+    'outer: loop {
+        let assignment: std::collections::BTreeMap<Var, Value> = vars
+            .iter()
+            .zip(&idx)
+            .map(|(v, &i)| (*v, adom[i].clone()))
+            .collect();
+        let holds = q.atoms.iter().all(|atom| {
+            let tuple: Vec<Value> = atom
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => c.clone(),
+                    Term::Var(v) => assignment[v].clone(),
+                })
+                .collect();
+            inst.contains(atom.rel, &tuple)
+        }) && q
+            .comparisons
+            .iter()
+            .all(|c| c.op.holds(&assignment[&c.var], &c.value));
+        if holds {
+            let head: Vec<Value> = q
+                .head
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => c.clone(),
+                    Term::Var(v) => assignment[v].clone(),
+                })
+                .collect();
+            out.insert(head);
+        }
+        for i in 0..idx.len() {
+            idx[i] += 1;
+            if idx[i] < adom.len() {
+                continue 'outer;
+            }
+            idx[i] = 0;
+        }
+        break;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn backtracking_matches_naive_evaluation(
+        inst in small_instance(),
+        cmp_c in 0i64..12,
+        use_cmp in any::<bool>(),
+    ) {
+        let (_, r, t) = fixed_schema();
+        // q(x, y) ← R(x, z, y) ∧ T(y, w) [∧ z ≥ c]
+        let (x, y, z, w) = (Var(0), Var(1), Var(2), Var(3));
+        let comparisons = if use_cmp {
+            vec![whynot::relation::Comparison::new(z, CmpOp::Ge, Value::int(cmp_c))]
+        } else {
+            vec![]
+        };
+        let q = Cq::new(
+            [Term::Var(x), Term::Var(y)],
+            [
+                Atom::new(r, [Term::Var(x), Term::Var(z), Term::Var(y)]),
+                Atom::new(t, [Term::Var(y), Term::Var(w)]),
+            ],
+            comparisons,
+        );
+        prop_assert_eq!(q.eval(&inst), naive_eval(&q, &inst));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Concept extensions, lubs and simplification
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn lub_contains_support_and_is_minimal(
+        inst in small_instance(),
+        support_raw in proptest::collection::btree_set(0i64..12, 1..4),
+    ) {
+        let (schema, r, t) = fixed_schema();
+        let support: BTreeSet<Value> = support_raw.into_iter().map(Value::int).collect();
+        let c = lub(&schema, &inst, &support);
+        let ext = c.extension(&inst);
+        // Lemma 5.1(1): support containment.
+        prop_assert!(ext.contains_all(support.iter()));
+        // Lemma 5.1(2): minimality against every selection-free atom.
+        for (rel, arity) in [(r, 3usize), (t, 2usize)] {
+            for attr in 0..arity {
+                let atom = LsConcept::proj(rel, attr);
+                let aext = atom.extension(&inst);
+                if aext.contains_all(support.iter()) {
+                    prop_assert!(ext.subset_of(&aext));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lub_sigma_refines_lub_and_contains_support(
+        inst in small_instance(),
+        support_raw in proptest::collection::btree_set(0i64..12, 1..3),
+    ) {
+        let (schema, ..) = fixed_schema();
+        let support: BTreeSet<Value> = support_raw.into_iter().map(Value::int).collect();
+        let coarse = lub(&schema, &inst, &support).extension(&inst);
+        let fine = lub_sigma(&schema, &inst, &support).extension(&inst);
+        prop_assert!(fine.contains_all(support.iter()));
+        prop_assert!(fine.subset_of(&coarse));
+    }
+
+    #[test]
+    fn simplify_preserves_extension(
+        inst in small_instance(),
+        concept in small_concept(),
+    ) {
+        let lean = simplify(&concept, &inst);
+        prop_assert!(lean.equivalent_in(&concept, &inst));
+        prop_assert!(lean.size() <= concept.size());
+        // Irredundancy: no conjunct of the result can be dropped.
+        if lean.num_parts() > 1 {
+            for atom in lean.parts() {
+                let smaller = lean.without(atom);
+                prop_assert!(!smaller.equivalent_in(&lean, &inst));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// ⊑S soundness against ⊑I sampling
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn fd_decider_sound_on_samples(
+        inst in small_instance(),
+        c1 in small_concept(),
+        c2 in small_concept(),
+    ) {
+        // Schema without constraints: every instance qualifies, so
+        // Holds ⟹ extension inclusion on every sampled instance.
+        let (schema, ..) = fixed_schema();
+        match subsumed_under_fds(&schema, &c1, &c2) {
+            SubsumptionOutcome::Holds => {
+                prop_assert!(
+                    c1.extension(&inst).subset_of(&c2.extension(&inst)),
+                    "Holds but refuted by sampled instance"
+                );
+            }
+            SubsumptionOutcome::Fails(w) => {
+                // Witnesses are verified by construction; re-verify.
+                prop_assert!(c1.extension(&w.instance).contains(&w.element));
+                prop_assert!(!c2.extension(&w.instance).contains(&w.element));
+            }
+            SubsumptionOutcome::Unknown(_) => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Algorithm 2 on random why-not instances
+// ---------------------------------------------------------------------
+
+prop_compose! {
+    fn random_whynot()(
+        inst in small_instance().prop_filter("need data", |i| !i.is_empty()),
+        missing in 100i64..110,
+    ) -> WhyNotInstance {
+        let (schema, _, t) = fixed_schema();
+        // q(u) ← T(u, v); the missing constant is outside the domain.
+        let q = Ucq::single(Cq::new(
+            [Term::Var(Var(0))],
+            [Atom::new(t, [Term::Var(Var(0)), Term::Var(Var(1))])],
+            [],
+        ));
+        WhyNotInstance::new(schema, inst, q, vec![Value::int(missing)])
+            .expect("missing constant is out of domain")
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn incremental_search_returns_verified_mges(wn in random_whynot()) {
+        let e = incremental_search(&wn);
+        let exts: Vec<_> = e.concepts.iter().map(|c| c.extension(&wn.instance)).collect();
+        prop_assert!(exts_form_explanation(&exts, &wn));
+        prop_assert!(check_mge_instance(&wn, &e, LubKind::SelectionFree));
+    }
+
+    #[test]
+    fn incremental_with_selections_returns_verified_mges(wn in random_whynot()) {
+        let e = incremental_search_with_selections(&wn);
+        let exts: Vec<_> = e.concepts.iter().map(|c| c.extension(&wn.instance)).collect();
+        prop_assert!(exts_form_explanation(&exts, &wn));
+        prop_assert!(check_mge_instance(&wn, &e, LubKind::WithSelections));
+    }
+}
+
+// ---------------------------------------------------------------------
+// SET COVER reduction agreement
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn set_cover_reduction_agrees_with_brute_force(
+        universe in 1usize..5,
+        sets in proptest::collection::vec(
+            proptest::collection::btree_set(0usize..5, 1..4), 1..5),
+        budget in 1usize..4,
+    ) {
+        use whynot::core::setcover::{reduce_set_cover, SetCover};
+        use whynot::core::explanation_exists;
+        let sets: Vec<Vec<usize>> = sets
+            .into_iter()
+            .map(|s| s.into_iter().filter(|&u| u < universe).collect::<Vec<_>>())
+            .filter(|s: &Vec<usize>| !s.is_empty())
+            .collect();
+        prop_assume!(!sets.is_empty());
+        let sc = SetCover { universe, sets, budget };
+        let (o, wn) = reduce_set_cover(&sc);
+        prop_assert_eq!(sc.solvable(), explanation_exists(&o, &wn));
+    }
+}

@@ -1,0 +1,76 @@
+//! Moderate-scale end-to-end runs: the algorithms keep their guarantees
+//! (explanation-hood, maximality, agreement between independent
+//! procedures) on generated workloads well beyond the paper's toy sizes.
+
+use whynot::core::{
+    check_mge, check_mge_instance, exhaustive_search, explanation_exists, find_explanation,
+    incremental_search, incremental_search_balanced, is_explanation, less_general,
+    InstanceOntology, LubKind, MaterializedOntology,
+};
+use whynot::scenarios::generators::city_network;
+use whynot::scenarios::retail::retail_scenario;
+use whynot::scenarios::setcover::{hard_family, reduce_set_cover};
+
+#[test]
+fn city_network_mges_scale_and_verify() {
+    for (n, regions, seed) in [(24, 3, 1), (48, 4, 2), (96, 6, 3)] {
+        let net = city_network(n, regions, seed);
+        let wn = &net.why_not;
+        // External-ontology route.
+        let mges = exhaustive_search(&net.ontology, wn);
+        assert!(!mges.is_empty(), "n={n}");
+        for e in &mges {
+            assert!(check_mge(&net.ontology, wn, e), "n={n}: {e}");
+        }
+        // Derived-ontology route: both growth orders produce verified MGEs.
+        let a = incremental_search(wn);
+        assert!(check_mge_instance(wn, &a, LubKind::SelectionFree), "n={n}");
+        let b = incremental_search_balanced(wn, LubKind::SelectionFree);
+        assert!(check_mge_instance(wn, &b, LubKind::SelectionFree), "n={n}");
+    }
+}
+
+#[test]
+fn retail_catalog_explanations_scale() {
+    for (np, ns, seed) in [(40, 30, 5), (80, 60, 6)] {
+        let sc = retail_scenario(np, ns, 5, 4, seed);
+        assert!(explanation_exists(&sc.ontology, &sc.why_not));
+        let found = find_explanation(&sc.ontology, &sc.why_not).unwrap();
+        assert!(is_explanation(&sc.ontology, &sc.why_not, &found));
+        // The found explanation is below (or equal to) some MGE.
+        let mges = exhaustive_search(&sc.ontology, &sc.why_not);
+        assert!(
+            mges.iter().any(|m| less_general(&sc.ontology, &found, m)),
+            "found explanation must be dominated by an MGE"
+        );
+    }
+}
+
+#[test]
+fn set_cover_families_scale() {
+    // Positive windows-family instances stay solvable as n grows with
+    // budget 2 (two opposite windows cover), and the reduction agrees.
+    for n in [6usize, 10, 14] {
+        let sc = hard_family(n, 2);
+        let (o, wn) = reduce_set_cover(&sc);
+        assert_eq!(sc.solvable(), explanation_exists(&o, &wn), "n={n}");
+    }
+}
+
+#[test]
+fn materialized_min_fragment_matches_instance_semantics() {
+    // Every MGE found over the materialized LminS[K] fragment of OI is an
+    // explanation under the live (unmaterialized) ontology too, and
+    // passes the fragment-level CHECK-MGE.
+    let net = city_network(32, 4, 9);
+    let wn = &net.why_not;
+    let oi = InstanceOntology::new(wn.schema.clone(), wn.instance.clone());
+    let k = wn.restriction_constants();
+    let mat = MaterializedOntology::new(&oi, whynot::core::min_fragment_concepts(&wn.schema, &k));
+    let mges = exhaustive_search(&mat, wn);
+    assert!(!mges.is_empty());
+    for e in &mges {
+        assert!(is_explanation(&oi, wn, e));
+        assert!(check_mge(&mat, wn, e));
+    }
+}
