@@ -19,9 +19,8 @@ use std::hint::black_box;
 use whynot_concepts::{lub_sigma, LsConcept};
 use whynot_core::setcover::{hard_family, reduce_set_cover, SetCover};
 use whynot_core::{
-    exhaustive_search, find_explanation, incremental_search,
-    incremental_search_with_selections, min_fragment_concepts, InstanceOntology,
-    MaterializedOntology,
+    exhaustive_search, find_explanation, incremental_search, incremental_search_with_selections,
+    min_fragment_concepts, InstanceOntology, MaterializedOntology,
 };
 use whynot_relation::{Instance, SchemaBuilder, Value};
 use whynot_scenarios::generators::{city_network, random_instance, random_ontology, random_whynot};
@@ -63,7 +62,11 @@ fn bench_existence(c: &mut Criterion) {
             bench.iter(|| find_explanation(&o, black_box(&wn)))
         });
         // Easy: one covering set — found immediately.
-        let sc = SetCover { universe: n, sets: vec![(0..n).collect()], budget: 2 };
+        let sc = SetCover {
+            universe: n,
+            sets: vec![(0..n).collect()],
+            budget: 2,
+        };
         let (o, wn) = reduce_set_cover(&sc);
         group.bench_with_input(BenchmarkId::new("easy", n), &n, |bench, _| {
             bench.iter(|| find_explanation(&o, black_box(&wn)).unwrap())
@@ -114,9 +117,11 @@ fn bench_lub_sigma(c: &mut Criterion) {
         let schema = b.finish().unwrap();
         let inst = random_instance(&schema, 25, 40, 17);
         let support: BTreeSet<Value> = pick_support(&inst, r, 3);
-        group.bench_with_input(BenchmarkId::new("arity_rows25", arity), &arity, |bench, _| {
-            bench.iter(|| lub_sigma(&schema, black_box(&inst), &support))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("arity_rows25", arity),
+            &arity,
+            |bench, _| bench.iter(|| lub_sigma(&schema, black_box(&inst), &support)),
+        );
     }
     group.finish();
 }
@@ -134,15 +139,18 @@ fn bench_exhaustive_vs_incremental(c: &mut Criterion) {
     for &n in &[16usize, 32, 64] {
         let net = city_network(n, 4, 23);
         let wn = &net.why_not;
-        group.bench_with_input(BenchmarkId::new("materialize_exhaust", n), &n, |bench, _| {
-            bench.iter(|| {
-                let oi = InstanceOntology::new(wn.schema.clone(), wn.instance.clone());
-                let k = wn.restriction_constants();
-                let mat =
-                    MaterializedOntology::new(&oi, min_fragment_concepts(&wn.schema, &k));
-                exhaustive_search(&mat, black_box(wn))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("materialize_exhaust", n),
+            &n,
+            |bench, _| {
+                bench.iter(|| {
+                    let oi = InstanceOntology::new(wn.schema.clone(), wn.instance.clone());
+                    let k = wn.restriction_constants();
+                    let mat = MaterializedOntology::new(&oi, min_fragment_concepts(&wn.schema, &k));
+                    exhaustive_search(&mat, black_box(wn))
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("incremental", n), &n, |bench, _| {
             bench.iter(|| incremental_search(black_box(wn)))
         });
@@ -179,7 +187,10 @@ fn bench_trivial_explanation(c: &mut Criterion) {
         let net = city_network(n, 4, 31);
         let oi = InstanceOntology::new(net.why_not.schema.clone(), net.why_not.instance.clone());
         let trivial = Explanation::new(
-            net.why_not.tuple.iter().map(|v| LsConcept::nominal(v.clone())),
+            net.why_not
+                .tuple
+                .iter()
+                .map(|v| LsConcept::nominal(v.clone())),
         );
         group.bench_with_input(BenchmarkId::new("nominals", n), &n, |bench, _| {
             bench.iter(|| assert!(is_explanation(&oi, black_box(&net.why_not), &trivial)))

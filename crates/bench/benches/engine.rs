@@ -1,0 +1,213 @@
+//! Old-vs-new extension engine: `exhaustive_search` through the interned
+//! bitset engine against a faithful re-implementation of the seed's
+//! evaluation discipline (one `Ontology::extension` call per
+//! (position, concept), tree-set membership everywhere).
+//!
+//! Run with `cargo bench -p whynot-bench --bench engine`. Results land in
+//! `BENCH_engine_speedup.json` at the workspace root: per-size medians
+//! for both engines over the `scenarios::generators::city_network`
+//! workload family, plus the speedup on the largest size (the PR's
+//! acceptance criterion asks for ≥ 3×).
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+use whynot_core::{
+    exhaustive_search, retain_most_general, Explanation, FiniteOntology, WhyNotInstance,
+};
+use whynot_relation::Value;
+use whynot_scenarios::generators::city_network;
+
+// ---------------------------------------------------------------------
+// The baseline: the seed's exhaustive search, verbatim in structure —
+// re-evaluates every concept once per answer position and keeps
+// extensions as owned `BTreeSet<Value>`s (`None` = universal), exactly
+// the representation the pre-engine `Extension` had.
+// ---------------------------------------------------------------------
+
+struct BaselineCandidates<C> {
+    concepts: Vec<C>,
+    conflicts: Vec<Vec<u64>>,
+}
+
+fn baseline_extension<O: FiniteOntology>(
+    ontology: &O,
+    c: &O::Concept,
+    wn: &WhyNotInstance,
+) -> Option<BTreeSet<Value>> {
+    // Materialize as a tree set, as the seed's `Extension::Finite` did.
+    ontology
+        .extension(c, &wn.instance)
+        .as_finite()
+        .map(|s| s.to_btree_set())
+}
+
+fn baseline_build<O: FiniteOntology>(
+    ontology: &O,
+    wn: &WhyNotInstance,
+) -> Option<Vec<BaselineCandidates<O::Concept>>> {
+    let ans: Vec<&whynot_relation::Tuple> = wn.ans.iter().collect();
+    let words = ans.len().div_ceil(64);
+    let all = ontology.concepts();
+    let mut out = Vec::with_capacity(wn.arity());
+    for (i, a_i) in wn.tuple.iter().enumerate() {
+        let mut cands = BaselineCandidates {
+            concepts: Vec::new(),
+            conflicts: Vec::new(),
+        };
+        for c in &all {
+            // The seed's discipline: a fresh evaluation per position.
+            let ext = baseline_extension(ontology, c, wn);
+            let contains = |v: &Value| ext.as_ref().is_none_or(|s| s.contains(v));
+            if !contains(a_i) {
+                continue;
+            }
+            let mut bits = vec![0u64; words];
+            for (j, t) in ans.iter().enumerate() {
+                if contains(&t[i]) {
+                    bits[j / 64] |= 1 << (j % 64);
+                }
+            }
+            cands.concepts.push(c.clone());
+            cands.conflicts.push(bits);
+        }
+        if cands.concepts.is_empty() {
+            return None;
+        }
+        out.push(cands);
+    }
+    Some(out)
+}
+
+fn baseline_collect<C: Clone>(
+    candidates: &[BaselineCandidates<C>],
+    choice: &mut Vec<usize>,
+    live: &[u64],
+    found: &mut Vec<Explanation<C>>,
+) {
+    let depth = choice.len();
+    if depth == candidates.len() {
+        if live.iter().all(|w| *w == 0) {
+            found.push(Explanation::new(
+                choice
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &k)| candidates[i].concepts[k].clone()),
+            ));
+        }
+        return;
+    }
+    for k in 0..candidates[depth].concepts.len() {
+        let masked: Vec<u64> = live
+            .iter()
+            .zip(&candidates[depth].conflicts[k])
+            .map(|(l, c)| l & c)
+            .collect();
+        choice.push(k);
+        baseline_collect(candidates, choice, &masked, found);
+        choice.pop();
+    }
+}
+
+/// The seed's Algorithm 1, end to end.
+fn baseline_exhaustive_search<O: FiniteOntology>(
+    ontology: &O,
+    wn: &WhyNotInstance,
+) -> Vec<Explanation<O::Concept>> {
+    let Some(candidates) = baseline_build(ontology, wn) else {
+        return Vec::new();
+    };
+    if wn.arity() == 0 {
+        return Vec::new();
+    }
+    let words = wn.ans.len().div_ceil(64);
+    let mut found = Vec::new();
+    baseline_collect(
+        &candidates,
+        &mut Vec::with_capacity(wn.arity()),
+        &vec![u64::MAX; words],
+        &mut found,
+    );
+    retain_most_general(ontology, found)
+}
+
+// ---------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------
+
+fn median_ns(mut f: impl FnMut(), runs: usize) -> f64 {
+    f(); // warm-up
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let sizes = [64usize, 128, 256, 512, 768];
+    let regions = 8;
+    let runs = 9;
+    let mut rows: Vec<String> = Vec::new();
+    let mut last_speedup = 0.0;
+
+    println!("extension engine: exhaustive_search, interned bitsets vs seed baseline");
+    println!(
+        "{:>6} {:>14} {:>14} {:>9}",
+        "cities", "baseline (ms)", "engine (ms)", "speedup"
+    );
+    for &n in &sizes {
+        let net = city_network(n, regions, 42);
+        let wn = &net.why_not;
+        // Equal results first (the baseline is the semantic reference).
+        let new_mges = exhaustive_search(&net.ontology, wn);
+        let old_mges = baseline_exhaustive_search(&net.ontology, wn);
+        assert_eq!(new_mges, old_mges, "engines disagree at n={n}");
+
+        let t_old = median_ns(
+            || {
+                std::hint::black_box(baseline_exhaustive_search(&net.ontology, wn));
+            },
+            runs,
+        );
+        let t_new = median_ns(
+            || {
+                std::hint::black_box(exhaustive_search(&net.ontology, wn));
+            },
+            runs,
+        );
+        let speedup = t_old / t_new;
+        last_speedup = speedup;
+        println!(
+            "{n:>6} {:>14.3} {:>14.3} {speedup:>8.2}x",
+            t_old / 1e6,
+            t_new / 1e6
+        );
+        rows.push(format!(
+            "  {{\"workload\": \"city_network\", \"cities\": {n}, \"regions\": {regions}, \
+             \"answers\": {}, \"baseline_ns\": {t_old:.0}, \"engine_ns\": {t_new:.0}, \
+             \"speedup\": {speedup:.2}}}",
+            wn.ans.len()
+        ));
+    }
+
+    let json = format!(
+        "{{\n\"bench\": \"engine_speedup\",\n\"unit\": \"ns median of {runs}\",\n\
+         \"results\": [\n{}\n],\n\"largest_workload_speedup\": {last_speedup:.2}\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_engine_speedup.json"
+    );
+    std::fs::write(path, &json).expect("write BENCH_engine_speedup.json");
+    println!("wrote {path}");
+    if last_speedup < 3.0 {
+        println!(
+            "WARNING: speedup on the largest workload is {last_speedup:.2}x, below the 3x target"
+        );
+    }
+}

@@ -35,7 +35,10 @@ fn bench_fig2_views(c: &mut Criterion) {
         for i in 0..n.saturating_sub(1) {
             big.insert(
                 rels.tc,
-                vec![Value::str(format!("c{i:04}")), Value::str(format!("c{:04}", i + 1))],
+                vec![
+                    Value::str(format!("c{i:04}")),
+                    Value::str(format!("c{:04}", i + 1)),
+                ],
             );
         }
         group.bench_with_input(BenchmarkId::new("scaled", n), &n, |bench, _| {
@@ -65,7 +68,10 @@ fn bench_fig4_obda(c: &mut Criterion) {
     let sc = paper::example_4_5();
     let city = BasicConcept::atomic("City");
     group.bench_function("certain_extension_city", |bench| {
-        bench.iter(|| sc.ontology.extension(black_box(&city), &sc.why_not.instance))
+        bench.iter(|| {
+            sc.ontology
+                .extension(black_box(&city), &sc.why_not.instance)
+        })
     });
     group.bench_function("example_4_5_mges", |bench| {
         bench.iter(|| {

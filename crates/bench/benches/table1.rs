@@ -40,12 +40,23 @@ fn bench_fd(c: &mut Criterion) {
         let schema = b.finish().unwrap();
         // Two conjuncts sharing the key column force chase merges along
         // the chain; the target asks for the merged band.
-        let c1 = LsConcept::proj_sel(r, 0, Selection::new([(arity - 1, CmpOp::Le, Value::int(9))]))
-            .and(&LsConcept::proj_sel(r, 0, Selection::new([(arity - 1, CmpOp::Ge, Value::int(1))])));
+        let c1 = LsConcept::proj_sel(
+            r,
+            0,
+            Selection::new([(arity - 1, CmpOp::Le, Value::int(9))]),
+        )
+        .and(&LsConcept::proj_sel(
+            r,
+            0,
+            Selection::new([(arity - 1, CmpOp::Ge, Value::int(1))]),
+        ));
         let c2 = LsConcept::proj_sel(
             r,
             0,
-            Selection::new([(arity - 1, CmpOp::Ge, Value::int(1)), (arity - 1, CmpOp::Le, Value::int(9))]),
+            Selection::new([
+                (arity - 1, CmpOp::Ge, Value::int(1)),
+                (arity - 1, CmpOp::Le, Value::int(9)),
+            ]),
         );
         group.bench_with_input(BenchmarkId::new("chain", arity), &arity, |bench, _| {
             bench.iter(|| {
@@ -154,18 +165,13 @@ fn bench_nested(c: &mut Criterion) {
             let (schema, e, views) = view_stack(depth, linear);
             let c1 = LsConcept::proj(*views.last().unwrap(), 0);
             let c2 = LsConcept::proj(e, 0);
-            group.bench_with_input(
-                BenchmarkId::new(label, depth),
-                &depth,
-                |bench, _| {
-                    bench.iter(|| {
-                        let out =
-                            subsumed_under_views(&schema, black_box(&c1), black_box(&c2));
-                        assert!(out.holds());
-                        out
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, depth), &depth, |bench, _| {
+                bench.iter(|| {
+                    let out = subsumed_under_views(&schema, black_box(&c1), black_box(&c2));
+                    assert!(out.holds());
+                    out
+                })
+            });
         }
     }
     group.finish();
@@ -185,18 +191,25 @@ fn bench_fd_id(c: &mut Criterion) {
     let c1 = LsConcept::proj(r, 0);
     let c2 = LsConcept::proj(t, 0);
     for &rounds in &[4usize, 8, 16, 32] {
-        group.bench_with_input(BenchmarkId::new("cyclic_rounds", rounds), &rounds, |bench, _| {
-            bench.iter(|| {
-                let out = subsumed_bounded(
-                    &schema,
-                    black_box(&c1),
-                    black_box(&c2),
-                    ChaseLimits { max_rounds: rounds, max_atoms: 1 << 14 },
-                );
-                assert!(out.unknown());
-                out
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cyclic_rounds", rounds),
+            &rounds,
+            |bench, _| {
+                bench.iter(|| {
+                    let out = subsumed_bounded(
+                        &schema,
+                        black_box(&c1),
+                        black_box(&c2),
+                        ChaseLimits {
+                            max_rounds: rounds,
+                            max_atoms: 1 << 14,
+                        },
+                    );
+                    assert!(out.unknown());
+                    out
+                })
+            },
+        );
     }
     // The decidable sub-pattern by contrast: acyclic FD+ID, answered fast.
     let mut b = SchemaBuilder::new();
@@ -230,23 +243,42 @@ fn bench_region_core(c: &mut Criterion) {
         // φ(x0) ← E(x0,…,xk) ∧ ⋀ x_i ≥ i·10
         let mut comparisons = Vec::new();
         for i in 1..=k {
-            comparisons.push(Comparison::new(Var(i as u32), CmpOp::Ge, Value::int(10 * i as i64)));
+            comparisons.push(Comparison::new(
+                Var(i as u32),
+                CmpOp::Ge,
+                Value::int(10 * i as i64),
+            ));
         }
         let phi = Cq::new(
             [Term::Var(Var(0))],
-            [Atom::new(e, (0..=k).map(|i| Term::Var(Var(i as u32))).collect::<Vec<_>>())],
+            [Atom::new(
+                e,
+                (0..=k)
+                    .map(|i| Term::Var(Var(i as u32)))
+                    .collect::<Vec<_>>(),
+            )],
             comparisons,
         );
         // Container: same atom with one weaker and one incomparable band.
         let q = Ucq::new([
             Cq::new(
                 [Term::Var(Var(0))],
-                [Atom::new(e, (0..=k).map(|i| Term::Var(Var(i as u32))).collect::<Vec<_>>())],
+                [Atom::new(
+                    e,
+                    (0..=k)
+                        .map(|i| Term::Var(Var(i as u32)))
+                        .collect::<Vec<_>>(),
+                )],
                 vec![Comparison::new(Var(1), CmpOp::Ge, Value::int(5))],
             ),
             Cq::new(
                 [Term::Var(Var(0))],
-                [Atom::new(e, (0..=k).map(|i| Term::Var(Var(i as u32))).collect::<Vec<_>>())],
+                [Atom::new(
+                    e,
+                    (0..=k)
+                        .map(|i| Term::Var(Var(i as u32)))
+                        .collect::<Vec<_>>(),
+                )],
                 vec![Comparison::new(Var(1), CmpOp::Lt, Value::int(5))],
             ),
         ]);

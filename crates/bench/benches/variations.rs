@@ -22,9 +22,8 @@ fn bench_shortest(c: &mut Criterion) {
     for &np in &[20usize, 40, 80] {
         let sc = retail_scenario(np, np / 2, 4, 3, 3);
         group.bench_with_input(BenchmarkId::new("retail", np), &np, |bench, _| {
-            bench.iter(|| {
-                shortest_mge(&sc.ontology, black_box(&sc.why_not), |c| c.0.len()).unwrap()
-            })
+            bench
+                .iter(|| shortest_mge(&sc.ontology, black_box(&sc.why_not), |c| c.0.len()).unwrap())
         });
     }
     group.finish();
@@ -56,12 +55,13 @@ fn bench_irredundant(c: &mut Criterion) {
 fn fat_paper_concept(sc: &paper::DerivedScenario) -> LsConcept {
     use whynot_concepts::{lub, lub_sigma};
     let wn = &sc.why_not;
-    let support: std::collections::BTreeSet<whynot_relation::Value> =
-        [whynot_relation::Value::str("Amsterdam"), whynot_relation::Value::str("Berlin")]
-            .into_iter()
-            .collect();
-    lub(&wn.schema, &wn.instance, &support)
-        .and(&lub_sigma(&wn.schema, &wn.instance, &support))
+    let support: std::collections::BTreeSet<whynot_relation::Value> = [
+        whynot_relation::Value::str("Amsterdam"),
+        whynot_relation::Value::str("Berlin"),
+    ]
+    .into_iter()
+    .collect();
+    lub(&wn.schema, &wn.instance, &support).and(&lub_sigma(&wn.schema, &wn.instance, &support))
 }
 
 /// Prop 6.3: exact minimized concepts via bounded subset search.

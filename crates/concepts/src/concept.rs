@@ -16,7 +16,8 @@ use crate::extension::Extension;
 use crate::selection::Selection;
 use std::collections::BTreeSet;
 use std::fmt;
-use whynot_relation::{Attr, Instance, RelId, Schema, Value};
+use std::sync::Arc;
+use whynot_relation::{Attr, ConstPool, Instance, RelId, Schema, Value};
 
 /// An atomic conjunct of an `LS` concept.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -37,19 +38,51 @@ pub enum LsAtom {
 impl LsAtom {
     /// A plain projection `π_A(R)`.
     pub fn proj(rel: RelId, attr: Attr) -> Self {
-        LsAtom::Proj { rel, attr, selection: Selection::none() }
+        LsAtom::Proj {
+            rel,
+            attr,
+            selection: Selection::none(),
+        }
     }
 
     /// A selected projection `π_A(σ…(R))`.
     pub fn proj_sel(rel: RelId, attr: Attr, selection: Selection) -> Self {
-        LsAtom::Proj { rel, attr, selection }
+        LsAtom::Proj {
+            rel,
+            attr,
+            selection,
+        }
     }
 
     /// The extension of the atom over `inst`.
     pub fn extension(&self, inst: &Instance) -> Extension {
         match self {
             LsAtom::Nominal(c) => Extension::finite([c.clone()]),
-            LsAtom::Proj { rel, attr, selection } => Extension::finite(
+            LsAtom::Proj {
+                rel,
+                attr,
+                selection,
+            } => Extension::finite(
+                inst.tuples(*rel)
+                    .filter(|t| selection.selects(t))
+                    .filter_map(|t| t.get(*attr).cloned()),
+            ),
+        }
+    }
+
+    /// The extension of the atom over `inst`, interned into a shared
+    /// pool: projection results are set directly as bits (every projected
+    /// value sits in `adom(I)` and therefore in any adom-covering pool),
+    /// so no intermediate tree is built.
+    pub fn extension_in(&self, inst: &Instance, pool: &Arc<ConstPool>) -> Extension {
+        match self {
+            LsAtom::Nominal(c) => Extension::finite_in(Arc::clone(pool), [c.clone()]),
+            LsAtom::Proj {
+                rel,
+                attr,
+                selection,
+            } => Extension::finite_in(
+                Arc::clone(pool),
                 inst.tuples(*rel)
                     .filter(|t| selection.selects(t))
                     .filter_map(|t| t.get(*attr).cloned()),
@@ -90,27 +123,39 @@ impl LsConcept {
 
     /// The nominal `{c}`.
     pub fn nominal(c: impl Into<Value>) -> Self {
-        LsConcept { parts: [LsAtom::Nominal(c.into())].into_iter().collect() }
+        LsConcept {
+            parts: [LsAtom::Nominal(c.into())].into_iter().collect(),
+        }
     }
 
     /// The plain projection `π_A(R)`.
     pub fn proj(rel: RelId, attr: Attr) -> Self {
-        LsConcept { parts: [LsAtom::proj(rel, attr)].into_iter().collect() }
+        LsConcept {
+            parts: [LsAtom::proj(rel, attr)].into_iter().collect(),
+        }
     }
 
     /// The selected projection `π_A(σ…(R))`.
     pub fn proj_sel(rel: RelId, attr: Attr, selection: Selection) -> Self {
-        LsConcept { parts: [LsAtom::proj_sel(rel, attr, selection)].into_iter().collect() }
+        LsConcept {
+            parts: [LsAtom::proj_sel(rel, attr, selection)]
+                .into_iter()
+                .collect(),
+        }
     }
 
     /// A concept from explicit atoms.
     pub fn from_atoms(atoms: impl IntoIterator<Item = LsAtom>) -> Self {
-        LsConcept { parts: atoms.into_iter().collect() }
+        LsConcept {
+            parts: atoms.into_iter().collect(),
+        }
     }
 
     /// The conjunction `self ⊓ other`.
     pub fn and(&self, other: &LsConcept) -> LsConcept {
-        LsConcept { parts: self.parts.union(&other.parts).cloned().collect() }
+        LsConcept {
+            parts: self.parts.union(&other.parts).cloned().collect(),
+        }
     }
 
     /// The conjunction `⊓ concepts` (empty input yields `⊤`, as the paper
@@ -150,6 +195,21 @@ impl LsConcept {
         let mut ext = Extension::Universal;
         for atom in &self.parts {
             ext = ext.intersect(&atom.extension(inst));
+            if ext.is_empty() {
+                break;
+            }
+        }
+        ext
+    }
+
+    /// The extension `[[C]]^I` over a shared pool: every conjunct is
+    /// evaluated straight into pool bits, so the intersections are
+    /// word-parallel (the engine path used by the memoizing
+    /// `EvalContext` in `whynot-core`).
+    pub fn extension_in(&self, inst: &Instance, pool: &Arc<ConstPool>) -> Extension {
+        let mut ext = Extension::Universal;
+        for atom in &self.parts {
+            ext = ext.intersect(&atom.extension_in(inst, pool));
             if ext.is_empty() {
                 break;
             }
@@ -225,7 +285,10 @@ impl LsConcept {
     /// Renders the concept in the paper's notation, resolving relation and
     /// attribute names against `schema`.
     pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
-        DisplayConcept { concept: self, schema }
+        DisplayConcept {
+            concept: self,
+            schema,
+        }
     }
 }
 
@@ -245,13 +308,13 @@ impl fmt::Display for DisplayConcept<'_> {
             }
             match atom {
                 LsAtom::Nominal(c) => write!(f, "{{{c}}}")?,
-                LsAtom::Proj { rel, attr, selection } => {
+                LsAtom::Proj {
+                    rel,
+                    attr,
+                    selection,
+                } => {
                     let decl = self.schema.decl(*rel);
-                    let attr_name = decl
-                        .attrs()
-                        .get(*attr)
-                        .map(String::as_str)
-                        .unwrap_or("?");
+                    let attr_name = decl.attrs().get(*attr).map(String::as_str).unwrap_or("?");
                     if selection.is_none() {
                         write!(f, "π_{attr_name}({})", decl.name())?;
                     } else {
@@ -294,7 +357,10 @@ mod tests {
             ("Tokyo", 13_185_000, "Japan", "Asia"),
             ("Kyoto", 1_400_000, "Japan", "Asia"),
         ] {
-            inst.insert(cities, vec![s(name), Value::int(pop), s(country), s(continent)]);
+            inst.insert(
+                cities,
+                vec![s(name), Value::int(pop), s(country), s(continent)],
+            );
         }
         (schema, cities, inst)
     }
@@ -335,7 +401,13 @@ mod tests {
         let c = LsConcept::proj_sel(cities, 0, sel);
         assert_eq!(
             c.extension(&inst),
-            Extension::finite([s("Berlin"), s("Rome"), s("New York"), s("Tokyo"), s("Kyoto")])
+            Extension::finite([
+                s("Berlin"),
+                s("Rome"),
+                s("New York"),
+                s("Tokyo"),
+                s("Kyoto")
+            ])
         );
     }
 
@@ -349,8 +421,7 @@ mod tests {
             0,
             Selection::new([(pop, CmpOp::Gt, Value::int(1_000_000))]),
         );
-        let european =
-            LsConcept::proj_sel(cities, 0, Selection::eq(continent, s("Europe")));
+        let european = LsConcept::proj_sel(cities, 0, Selection::eq(continent, s("Europe")));
         let both = large.and(&european);
         assert_eq!(
             both.extension(&inst),
@@ -378,8 +449,7 @@ mod tests {
     fn subsumption_is_extension_inclusion() {
         let (schema, cities, inst) = cities_fixture();
         let continent = schema.attr_expect(cities, "continent");
-        let european =
-            LsConcept::proj_sel(cities, 0, Selection::eq(continent, s("Europe")));
+        let european = LsConcept::proj_sel(cities, 0, Selection::eq(continent, s("Europe")));
         let city = LsConcept::proj(cities, 0);
         // Example 4.9's first subsumption (its ⊑I projection).
         assert!(european.subsumed_in(&city, &inst));
@@ -447,7 +517,9 @@ mod tests {
         );
         assert_eq!(LsConcept::top().display(&schema).to_string(), "⊤");
         assert_eq!(
-            LsConcept::nominal(s("Santa Cruz")).display(&schema).to_string(),
+            LsConcept::nominal(s("Santa Cruz"))
+                .display(&schema)
+                .to_string(),
             "{Santa Cruz}"
         );
     }

@@ -1,30 +1,340 @@
-//! Concept extensions `[[C]]^I ⊆ Const` (paper §4.2).
+//! Concept extensions `[[C]]^I ⊆ Const` (paper §4.2), bitset-backed.
 //!
 //! Every `LS` concept except `⊤` (and conjunctions reducible to it) has a
 //! finite extension; `⊤` denotes all of `Const`. [`Extension`] represents
-//! both cases so subsumption and product-disjointness checks can be exact.
+//! both cases exactly, as it always did — but the finite case is now a
+//! [`ValueSet`]: a dense bit vector indexed by a shared
+//! [`ConstPool`](whynot_relation::ConstPool) (one bit per interned
+//! constant), plus a small overflow set for the rare constants outside
+//! the pool (e.g. a nominal over a fresh value). When two sets share a
+//! pool — the common case once the extension engine threads one pool per
+//! (ontology, instance) evaluation — `subset_of`, `intersect` and
+//! equality run word-parallel over `u64` words instead of walking
+//! `BTreeSet` nodes.
+//!
+//! Semantics are unchanged: a `ValueSet` *is* a set of [`Value`]s, its
+//! iteration order is ascending value order (ids ascend with values), and
+//! equality/ordering are value-set equality/ordering regardless of which
+//! pool backs either side.
 
+use std::cmp::Ordering;
 use std::collections::BTreeSet;
-use whynot_relation::Value;
+use std::sync::Arc;
+use whynot_relation::{ConstPool, PoolMap, Value};
 
-/// The extension of a concept: either all of `Const`, or a finite set.
+/// A finite set of constants over an interned pool: dense bits for pooled
+/// values, a `BTreeSet` overflow for the rest.
+#[derive(Clone, Debug)]
+pub struct ValueSet {
+    pool: Arc<ConstPool>,
+    /// `words[i / 64] >> (i % 64) & 1` — membership of `ValueId(i)`.
+    words: Vec<u64>,
+    /// Members not interned in `pool` (disjoint from the pooled values by
+    /// construction: a value with an id always lives in `words`).
+    extra: BTreeSet<Value>,
+}
+
+impl ValueSet {
+    /// The empty set over a pool.
+    pub fn empty_in(pool: Arc<ConstPool>) -> Self {
+        let words = vec![0u64; pool.word_len()];
+        ValueSet {
+            pool,
+            words,
+            extra: BTreeSet::new(),
+        }
+    }
+
+    /// Collects values into a set over `pool`; values the pool does not
+    /// intern land in the overflow.
+    pub fn collect_in(pool: Arc<ConstPool>, values: impl IntoIterator<Item = Value>) -> Self {
+        let mut set = ValueSet::empty_in(pool);
+        for v in values {
+            set.insert(v);
+        }
+        set
+    }
+
+    /// Collects values into a set backed by a private pool built from the
+    /// values themselves (the no-context constructor behind
+    /// [`Extension::finite`]).
+    pub fn from_values(values: impl IntoIterator<Item = Value>) -> Self {
+        let owned: BTreeSet<Value> = values.into_iter().collect();
+        let pool = Arc::new(ConstPool::from_values(owned.iter().cloned()));
+        let mut words = vec![u64::MAX; pool.word_len()];
+        // Every pool value is a member; clear the tail bits of the last
+        // word past `pool.len()`.
+        let tail = pool.len() % 64;
+        if tail != 0 {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        ValueSet {
+            pool,
+            words,
+            extra: BTreeSet::new(),
+        }
+    }
+
+    /// The pool this set indexes into.
+    pub fn pool(&self) -> &Arc<ConstPool> {
+        &self.pool
+    }
+
+    /// The backing words (one bit per pooled value). Exposed for the
+    /// word-parallel consumers in the search algorithms.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The overflow members living outside the pool.
+    pub fn extra(&self) -> &BTreeSet<Value> {
+        &self.extra
+    }
+
+    /// Inserts a value; returns whether it was new.
+    pub fn insert(&mut self, v: Value) -> bool {
+        match self.pool.id_of(&v) {
+            Some(id) => {
+                let (w, b) = (id.index() / 64, id.index() % 64);
+                let fresh = self.words[w] & (1 << b) == 0;
+                self.words[w] |= 1 << b;
+                fresh
+            }
+            None => self.extra.insert(v),
+        }
+    }
+
+    /// Membership test: a bit probe for pooled values, a tree lookup
+    /// otherwise.
+    pub fn contains(&self, v: &Value) -> bool {
+        match self.pool.id_of(v) {
+            Some(id) => self.words[id.index() / 64] & (1 << (id.index() % 64)) != 0,
+            None => self.extra.contains(v),
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        let bits: u32 = self.words.iter().map(|w| w.count_ones()).sum();
+        bits as usize + self.extra.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.extra.is_empty() && self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether both sets index the same pool (the word-parallel fast
+    /// path).
+    pub fn same_pool(&self, other: &ValueSet) -> bool {
+        Arc::ptr_eq(&self.pool, &other.pool)
+    }
+
+    /// Set inclusion `self ⊆ other`. Word-parallel when the pools are
+    /// shared; falls back to per-value membership otherwise.
+    pub fn is_subset(&self, other: &ValueSet) -> bool {
+        if self.same_pool(other) {
+            self.words
+                .iter()
+                .zip(&other.words)
+                .all(|(a, b)| a & !b == 0)
+                && self.extra.iter().all(|v| other.extra.contains(v))
+        } else {
+            self.iter().all(|v| other.contains(v))
+        }
+    }
+
+    /// Set intersection. Word-parallel when the pools are shared.
+    pub fn intersection(&self, other: &ValueSet) -> ValueSet {
+        if self.same_pool(other) {
+            ValueSet {
+                pool: Arc::clone(&self.pool),
+                words: self
+                    .words
+                    .iter()
+                    .zip(&other.words)
+                    .map(|(a, b)| a & b)
+                    .collect(),
+                extra: self.extra.intersection(&other.extra).cloned().collect(),
+            }
+        } else {
+            ValueSet::collect_in(
+                Arc::clone(&self.pool),
+                self.iter().filter(|v| other.contains(v)).cloned(),
+            )
+        }
+    }
+
+    /// Iterates members in ascending [`Value`] order (pool ids ascend
+    /// with values; the overflow merges in by comparison).
+    pub fn iter(&self) -> ValueSetIter<'_> {
+        ValueSetIter {
+            set: self,
+            next_id: 0,
+            extra: self.extra.iter().peekable(),
+        }
+    }
+
+    /// Copies the members out into a `BTreeSet` (for callers that need an
+    /// owned, pool-free set — e.g. the lub support sets).
+    pub fn to_btree_set(&self) -> BTreeSet<Value> {
+        self.iter().cloned().collect()
+    }
+
+    /// Re-interns the members into `pool` (bit-copy when the pool is
+    /// already shared).
+    pub fn reinterned(&self, pool: &Arc<ConstPool>) -> ValueSet {
+        if Arc::ptr_eq(&self.pool, pool) {
+            self.clone()
+        } else {
+            ValueSet::collect_in(Arc::clone(pool), self.iter().cloned())
+        }
+    }
+
+    /// Re-interns through a precomputed [`PoolMap`] (`self`'s pool →
+    /// `pool`): every pooled member becomes one translated bit, with no
+    /// value clones or searches; only members absent from the target pool
+    /// fall back to the overflow set.
+    pub fn reinterned_via(&self, pool: &Arc<ConstPool>, map: &PoolMap) -> ValueSet {
+        let mut out = ValueSet::empty_in(Arc::clone(pool));
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut rest = word;
+            while rest != 0 {
+                let b = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                let src = whynot_relation::ValueId((w * 64 + b) as u32);
+                match map.translate(src) {
+                    Some(dst) => {
+                        out.words[dst.index() / 64] |= 1 << (dst.index() % 64);
+                    }
+                    None => {
+                        out.extra.insert(self.pool.value(src).clone());
+                    }
+                }
+            }
+        }
+        for v in &self.extra {
+            out.insert(v.clone());
+        }
+        out
+    }
+}
+
+/// Iterator over a [`ValueSet`] in ascending value order.
+pub struct ValueSetIter<'a> {
+    set: &'a ValueSet,
+    next_id: usize,
+    extra: std::iter::Peekable<std::collections::btree_set::Iter<'a, Value>>,
+}
+
+impl<'a> ValueSetIter<'a> {
+    /// The next pooled member at or after `next_id`, without consuming.
+    fn peek_pooled(&self) -> Option<(usize, &'a Value)> {
+        let words = &self.set.words;
+        let mut i = self.next_id;
+        while i < self.set.pool.len() {
+            let (w, b) = (i / 64, i % 64);
+            let rest = words[w] >> b;
+            if rest == 0 {
+                i = (w + 1) * 64;
+                continue;
+            }
+            i += rest.trailing_zeros() as usize;
+            return Some((i, self.set.pool.value(whynot_relation::ValueId(i as u32))));
+        }
+        None
+    }
+}
+
+impl<'a> Iterator for ValueSetIter<'a> {
+    type Item = &'a Value;
+
+    fn next(&mut self) -> Option<&'a Value> {
+        match (self.peek_pooled(), self.extra.peek()) {
+            (Some((i, pv)), Some(&ev)) => {
+                if pv <= ev {
+                    self.next_id = i + 1;
+                    Some(pv)
+                } else {
+                    self.extra.next()
+                }
+            }
+            (Some((i, pv)), None) => {
+                self.next_id = i + 1;
+                Some(pv)
+            }
+            (None, Some(_)) => self.extra.next(),
+            (None, None) => None,
+        }
+    }
+}
+
+impl PartialEq for ValueSet {
+    fn eq(&self, other: &Self) -> bool {
+        if self.same_pool(other) {
+            self.words == other.words && self.extra == other.extra
+        } else {
+            self.iter().eq(other.iter())
+        }
+    }
+}
+
+impl Eq for ValueSet {}
+
+impl PartialOrd for ValueSet {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ValueSet {
+    /// Lexicographic over ascending members — the same order
+    /// `BTreeSet<Value>` has, so sorted outputs match the previous
+    /// representation.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.iter().cmp(other.iter())
+    }
+}
+
+impl FromIterator<Value> for ValueSet {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        ValueSet::from_values(iter)
+    }
+}
+
+/// The extension of a concept: either all of `Const`, or a finite
+/// (bitset-backed) set.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub enum Extension {
     /// All constants (`[[⊤]] = Const`).
     Universal,
     /// A finite set of constants.
-    Finite(BTreeSet<Value>),
+    Finite(ValueSet),
 }
 
 impl Extension {
-    /// The empty extension.
+    /// The empty extension (over a private empty pool; prefer
+    /// [`Extension::empty_in`] inside the engine).
     pub fn empty() -> Self {
-        Extension::Finite(BTreeSet::new())
+        Extension::Finite(ValueSet::from_values([]))
     }
 
-    /// A finite extension from an iterator.
+    /// The empty extension over a shared pool.
+    pub fn empty_in(pool: Arc<ConstPool>) -> Self {
+        Extension::Finite(ValueSet::empty_in(pool))
+    }
+
+    /// A finite extension from an iterator (private pool; prefer
+    /// [`Extension::finite_in`] inside the engine).
     pub fn finite(values: impl IntoIterator<Item = Value>) -> Self {
-        Extension::Finite(values.into_iter().collect())
+        Extension::Finite(ValueSet::from_values(values))
+    }
+
+    /// A finite extension over a shared pool.
+    pub fn finite_in(pool: Arc<ConstPool>, values: impl IntoIterator<Item = Value>) -> Self {
+        Extension::Finite(ValueSet::collect_in(pool, values))
     }
 
     /// Whether `v` belongs to the extension.
@@ -51,7 +361,7 @@ impl Extension {
         }
     }
 
-    /// Set inclusion `self ⊆ other`.
+    /// Set inclusion `self ⊆ other` (word-parallel on shared pools).
     pub fn subset_of(&self, other: &Extension) -> bool {
         match (self, other) {
             (_, Extension::Universal) => true,
@@ -60,19 +370,17 @@ impl Extension {
         }
     }
 
-    /// Set intersection.
+    /// Set intersection (word-parallel on shared pools).
     pub fn intersect(&self, other: &Extension) -> Extension {
         match (self, other) {
             (Extension::Universal, e) => e.clone(),
             (e, Extension::Universal) => e.clone(),
-            (Extension::Finite(a), Extension::Finite(b)) => {
-                Extension::Finite(a.intersection(b).cloned().collect())
-            }
+            (Extension::Finite(a), Extension::Finite(b)) => Extension::Finite(a.intersection(b)),
         }
     }
 
     /// The finite set inside, if finite.
-    pub fn as_finite(&self) -> Option<&BTreeSet<Value>> {
+    pub fn as_finite(&self) -> Option<&ValueSet> {
         match self {
             Extension::Universal => None,
             Extension::Finite(set) => Some(set),
@@ -83,11 +391,30 @@ impl Extension {
     pub fn contains_all<'a>(&self, values: impl IntoIterator<Item = &'a Value>) -> bool {
         values.into_iter().all(|v| self.contains(v))
     }
+
+    /// Re-interns a finite extension into `pool` (`Universal` passes
+    /// through). The engine calls this once per evaluated concept so all
+    /// cached extensions share one pool and compare word-parallel.
+    pub fn reinterned(&self, pool: &Arc<ConstPool>) -> Extension {
+        match self {
+            Extension::Universal => Extension::Universal,
+            Extension::Finite(set) => Extension::Finite(set.reinterned(pool)),
+        }
+    }
+
+    /// [`Extension::reinterned`] through a precomputed [`PoolMap`] (the
+    /// engine's clone-free fast path).
+    pub fn reinterned_via(&self, pool: &Arc<ConstPool>, map: &PoolMap) -> Extension {
+        match self {
+            Extension::Universal => Extension::Universal,
+            Extension::Finite(set) => Extension::Finite(set.reinterned_via(pool, map)),
+        }
+    }
 }
 
 impl FromIterator<Value> for Extension {
     fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
-        Extension::Finite(iter.into_iter().collect())
+        Extension::finite(iter)
     }
 }
 
@@ -134,5 +461,80 @@ mod tests {
         assert!(fin(&[1, 2, 3]).contains_all(vals.iter()));
         assert!(!fin(&[1]).contains_all(vals.iter()));
         assert!(Extension::Universal.contains_all(vals.iter()));
+    }
+
+    #[test]
+    fn pooled_and_private_sets_compare_semantically() {
+        let pool = Arc::new(ConstPool::from_values((0..10).map(Value::int)));
+        let pooled = Extension::finite_in(Arc::clone(&pool), [Value::int(2), Value::int(5)]);
+        let private = Extension::finite([Value::int(2), Value::int(5)]);
+        assert_eq!(pooled, private);
+        assert!(pooled.subset_of(&private));
+        assert!(private.subset_of(&pooled));
+        assert_eq!(pooled.intersect(&private), private);
+    }
+
+    #[test]
+    fn overflow_values_are_exact() {
+        let pool = Arc::new(ConstPool::from_values([Value::int(1)]));
+        let mut set = ValueSet::empty_in(Arc::clone(&pool));
+        assert!(set.insert(Value::int(1)));
+        assert!(set.insert(Value::str("fresh")));
+        assert!(!set.insert(Value::str("fresh")));
+        assert!(set.contains(&Value::str("fresh")));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.extra().len(), 1);
+        let order: Vec<Value> = set.iter().cloned().collect();
+        assert_eq!(order, vec![Value::int(1), Value::str("fresh")]);
+    }
+
+    #[test]
+    fn iteration_merges_pool_and_overflow_in_value_order() {
+        let pool = Arc::new(ConstPool::from_values([
+            Value::int(1),
+            Value::int(5),
+            Value::str("m"),
+        ]));
+        let set = ValueSet::collect_in(
+            Arc::clone(&pool),
+            [
+                Value::str("m"),
+                Value::int(3), // overflow, sorts between 1 and 5
+                Value::int(1),
+                Value::str("z"), // overflow, sorts last
+            ],
+        );
+        let order: Vec<Value> = set.iter().cloned().collect();
+        assert_eq!(
+            order,
+            vec![
+                Value::int(1),
+                Value::int(3),
+                Value::str("m"),
+                Value::str("z")
+            ]
+        );
+    }
+
+    #[test]
+    fn word_parallel_ops_cross_word_boundaries() {
+        let pool = Arc::new(ConstPool::from_values((0..130).map(Value::int)));
+        let evens = Extension::finite_in(Arc::clone(&pool), (0..130).step_by(2).map(Value::int));
+        let all = Extension::finite_in(Arc::clone(&pool), (0..130).map(Value::int));
+        assert!(evens.subset_of(&all));
+        assert!(!all.subset_of(&evens));
+        assert_eq!(evens.intersect(&all), evens);
+        assert_eq!(evens.len(), Some(65));
+    }
+
+    #[test]
+    fn ordering_matches_btreeset_semantics() {
+        // {1,2} < {1,3} < {2} lexicographically over sorted members.
+        let a = fin(&[1, 2]);
+        let b = fin(&[1, 3]);
+        let c = fin(&[2]);
+        assert!(a < b && b < c);
+        // Universal sorts before Finite (variant order), as before.
+        assert!(Extension::Universal < a);
     }
 }

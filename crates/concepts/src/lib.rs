@@ -14,9 +14,13 @@
 //! * [`LsConcept`] / [`LsAtom`] / [`Selection`] — normalized concept
 //!   expressions with fragment classification (`LminS`, selection-free,
 //!   intersection-free),
-//! * [`Extension`] — exact extensions `[[C]]^I` including the universal
-//!   extension of `⊤`, and instance-level subsumption `⊑I`
-//!   (Proposition 4.1),
+//! * [`Extension`] / [`ValueSet`] — exact extensions `[[C]]^I` including
+//!   the universal extension of `⊤`, represented as dense bit vectors
+//!   over an interned [`ConstPool`](whynot_relation::ConstPool) so
+//!   subset and intersection run word-parallel, with instance-level
+//!   subsumption `⊑I` (Proposition 4.1),
+//! * [`ExtensionTable`] — one-pass evaluation of a whole concept list
+//!   against one instance into a single shared pool,
 //! * [`lub`] / [`lub_sigma`] — least upper bounds of support sets
 //!   (Lemmas 5.1 and 5.2), the engine of the paper's incremental search
 //!   algorithm, and
@@ -31,10 +35,12 @@ mod lub;
 mod minimize;
 mod parse;
 mod selection;
+mod table;
 
 pub use concept::{LsAtom, LsConcept};
-pub use extension::Extension;
+pub use extension::{Extension, ValueSet, ValueSetIter};
 pub use lub::{lub, lub_extension, lub_sigma, selection_free_atom_count};
 pub use minimize::{irredundant, simplify, simplify_selections};
 pub use parse::{parse_concept, parse_value, ParseError};
 pub use selection::{SelConstraint, Selection};
+pub use table::{ExtensionTable, Probe};

@@ -80,8 +80,8 @@ fn box_atom(inst: &Instance, rel: RelId, attr: Attr, bx: &BoundingBox) -> LsAtom
     let mut bounds: Vec<(Attr, Value, Value)> = Vec::new();
     for (j, (lo, hi)) in bx.iter().enumerate() {
         let col = inst.column(rel, j);
-        let spans_column = col.first().is_some_and(|min| min == lo)
-            && col.last().is_some_and(|max| max == hi);
+        let spans_column =
+            col.first().is_some_and(|min| min == lo) && col.last().is_some_and(|max| max == hi);
         if !spans_column {
             bounds.push((j, lo.clone(), hi.clone()));
         }
@@ -92,15 +92,12 @@ fn box_atom(inst: &Instance, rel: RelId, attr: Attr, bx: &BoundingBox) -> LsAtom
 /// Enumerates the minimal (inclusion-wise) boxes `B` with
 /// `X ⊆ π_attr(σ_B(R^I))`. Returns an empty list when some element of `X`
 /// has no witness tuple at all (then no selection of `R` can cover `X`).
-fn minimal_boxes(
-    inst: &Instance,
-    rel: RelId,
-    attr: Attr,
-    x: &BTreeSet<Value>,
-) -> Vec<BoundingBox> {
+fn minimal_boxes(inst: &Instance, rel: RelId, attr: Attr, x: &BTreeSet<Value>) -> Vec<BoundingBox> {
     // Witness tuples: those whose `attr` coordinate lies in X.
-    let witnesses: Vec<&Tuple> =
-        inst.tuples(rel).filter(|t| t.get(attr).is_some_and(|v| x.contains(v))).collect();
+    let witnesses: Vec<&Tuple> = inst
+        .tuples(rel)
+        .filter(|t| t.get(attr).is_some_and(|v| x.contains(v)))
+        .collect();
     if witnesses.is_empty() {
         return Vec::new();
     }
@@ -113,7 +110,16 @@ fn minimal_boxes(
 
     let mut out: Vec<BoundingBox> = Vec::new();
     let surviving: Vec<usize> = (0..witnesses.len()).collect();
-    enumerate_boxes(&witnesses, x, attr, arity, 0, surviving, Vec::new(), &mut out);
+    enumerate_boxes(
+        &witnesses,
+        x,
+        attr,
+        arity,
+        0,
+        surviving,
+        Vec::new(),
+        &mut out,
+    );
     retain_minimal(out)
 }
 
@@ -233,7 +239,10 @@ mod tests {
             ("Tokyo", 13_185_000, "Japan", "Asia"),
             ("Kyoto", 1_400_000, "Japan", "Asia"),
         ] {
-            inst.insert(cities, vec![s(name), Value::int(pop), s(country), s(continent)]);
+            inst.insert(
+                cities,
+                vec![s(name), Value::int(pop), s(country), s(continent)],
+            );
         }
         for (a, b2) in [
             ("Amsterdam", "Berlin"),
@@ -378,10 +387,7 @@ mod tests {
                         let concept = LsConcept::proj_sel(r, 0, sel);
                         let ext = concept.extension(&inst);
                         if ext.contains_all(x.iter()) {
-                            assert!(
-                                fine.subset_of(&ext),
-                                "lubσ not minimal against {concept:?}"
-                            );
+                            assert!(fine.subset_of(&ext), "lubσ not minimal against {concept:?}");
                         }
                     }
                 }

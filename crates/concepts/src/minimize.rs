@@ -42,7 +42,11 @@ pub fn irredundant(concept: &LsConcept, inst: &Instance) -> LsConcept {
 pub fn simplify_selections(concept: &LsConcept, inst: &Instance) -> LsConcept {
     let atoms = concept.parts().map(|atom| match atom {
         LsAtom::Nominal(_) => atom.clone(),
-        LsAtom::Proj { rel, attr, selection } => {
+        LsAtom::Proj {
+            rel,
+            attr,
+            selection,
+        } => {
             let mut kept = selection.clone();
             let mut i = 0;
             while i < kept.constraints().len() {
@@ -65,7 +69,11 @@ pub fn simplify_selections(concept: &LsConcept, inst: &Instance) -> LsConcept {
                     i += 1;
                 }
             }
-            LsAtom::Proj { rel: *rel, attr: *attr, selection: kept }
+            LsAtom::Proj {
+                rel: *rel,
+                attr: *attr,
+                selection: kept,
+            }
         }
     });
     LsConcept::from_atoms(atoms)
@@ -150,10 +158,7 @@ mod tests {
     fn simplify_selections_drops_vacuous_comparisons() {
         let (_, cities, inst) = fixture();
         // population > 0 is vacuous on this data; continent = Europe is not.
-        let sel = Selection::new([
-            (1, CmpOp::Gt, Value::int(0)),
-            (2, CmpOp::Eq, s("Europe")),
-        ]);
+        let sel = Selection::new([(1, CmpOp::Gt, Value::int(0)), (2, CmpOp::Eq, s("Europe"))]);
         let c = LsConcept::proj_sel(cities, 0, sel);
         let simp = simplify_selections(&c, &inst);
         let atom = simp.parts().next().unwrap();
@@ -173,10 +178,7 @@ mod tests {
         let noisy = LsConcept::proj_sel(
             cities,
             0,
-            Selection::new([
-                (1, CmpOp::Gt, Value::int(0)),
-                (2, CmpOp::Eq, s("Europe")),
-            ]),
+            Selection::new([(1, CmpOp::Gt, Value::int(0)), (2, CmpOp::Eq, s("Europe"))]),
         )
         .and(&LsConcept::proj(cities, 0));
         let simp = simplify(&noisy, &inst);

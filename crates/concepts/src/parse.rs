@@ -34,10 +34,16 @@ impl std::error::Error for ParseError {}
 
 /// Parses a concept expression against a schema.
 pub fn parse_concept(schema: &Schema, input: &str) -> Result<LsConcept, ParseError> {
-    let mut parser = Parser { schema, rest: input.trim() };
+    let mut parser = Parser {
+        schema,
+        rest: input.trim(),
+    };
     let concept = parser.concept()?;
     if !parser.rest.trim().is_empty() {
-        return Err(ParseError(format!("trailing input: {:?}", parser.rest.trim())));
+        return Err(ParseError(format!(
+            "trailing input: {:?}",
+            parser.rest.trim()
+        )));
     }
     Ok(concept)
 }
@@ -66,7 +72,10 @@ impl<'a> Parser<'a> {
         if self.eat(token) {
             Ok(())
         } else {
-            Err(ParseError(format!("expected {token:?} at {:?}", head(self.rest))))
+            Err(ParseError(format!(
+                "expected {token:?} at {:?}",
+                head(self.rest)
+            )))
         }
     }
 
@@ -96,7 +105,7 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         if let Some(stripped) = self.rest.strip_prefix(kw) {
             // Keyword must end at a boundary.
-            if stripped.chars().next().map_or(true, |c| !c.is_alphanumeric()) {
+            if stripped.chars().next().is_none_or(|c| !c.is_alphanumeric()) {
                 self.rest = stripped;
                 return true;
             }
@@ -145,7 +154,11 @@ impl<'a> Parser<'a> {
         };
         self.expect(")")?;
         let attr = resolve_attr(self.schema, rel, &attr_name)?;
-        Ok(LsAtom::Proj { rel, attr, selection })
+        Ok(LsAtom::Proj {
+            rel,
+            attr,
+            selection,
+        })
     }
 
     fn relation(&mut self) -> Result<RelId, ParseError> {
@@ -164,7 +177,10 @@ impl<'a> Parser<'a> {
             .map(|(i, _)| i)
             .unwrap_or(self.rest.len());
         if end == 0 {
-            return Err(ParseError(format!("expected {what} name at {:?}", head(self.rest))));
+            return Err(ParseError(format!(
+                "expected {what} name at {:?}",
+                head(self.rest)
+            )));
         }
         let (name, rest) = self.rest.split_at(end);
         self.rest = rest;
@@ -200,7 +216,11 @@ pub fn parse_value(src: &str) -> Value {
     let unquoted = trimmed
         .strip_prefix('"')
         .and_then(|s| s.strip_suffix('"'))
-        .or_else(|| trimmed.strip_prefix('\'').and_then(|s| s.strip_suffix('\'')))
+        .or_else(|| {
+            trimmed
+                .strip_prefix('\'')
+                .and_then(|s| s.strip_suffix('\''))
+        })
         .unwrap_or(trimmed);
     Value::str(unquoted)
 }
@@ -403,6 +423,9 @@ mod tests {
             .unwrap_err()
             .0
             .contains("trailing"));
-        assert!(parse_concept(&s, "{unclosed").unwrap_err().0.contains("closing"));
+        assert!(parse_concept(&s, "{unclosed")
+            .unwrap_err()
+            .0
+            .contains("closing"));
     }
 }

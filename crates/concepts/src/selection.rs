@@ -37,7 +37,11 @@ impl Selection {
         Selection {
             constraints: constraints
                 .into_iter()
-                .map(|(attr, op, value)| SelConstraint { attr, op, value: value.into() })
+                .map(|(attr, op, value)| SelConstraint {
+                    attr,
+                    op,
+                    value: value.into(),
+                })
                 .collect(),
         }
     }
@@ -59,7 +63,11 @@ impl Selection {
 
     /// Adds a constraint.
     pub fn push(&mut self, attr: Attr, op: CmpOp, value: impl Into<Value>) {
-        self.constraints.push(SelConstraint { attr, op, value: value.into() });
+        self.constraints.push(SelConstraint {
+            attr,
+            op,
+            value: value.into(),
+        });
     }
 
     /// The per-attribute interval semantics of the conjunction.
@@ -99,7 +107,8 @@ impl Selection {
         }
         let mine = self.intervals();
         other.intervals().iter().all(|(attr, theirs)| {
-            mine.get(attr).map_or(theirs == &Interval::full(), |m| m.subset_of(theirs))
+            mine.get(attr)
+                .map_or(theirs == &Interval::full(), |m| m.subset_of(theirs))
         })
     }
 
@@ -132,7 +141,10 @@ impl Selection {
     /// Renders the selection with attribute names from `attr_names` (falls
     /// back to positional names).
     pub fn display<'a>(&'a self, attr_names: &'a [String]) -> impl fmt::Display + 'a {
-        DisplaySelection { sel: self, attr_names }
+        DisplaySelection {
+            sel: self,
+            attr_names,
+        }
     }
 }
 

@@ -1,0 +1,154 @@
+//! One-pass extension tables: evaluate a whole concept list against one
+//! instance, re-interned into a single shared [`ConstPool`].
+//!
+//! Every search algorithm in the framework ultimately needs *all* of an
+//! ontology's concept extensions over the same instance — Algorithm 1's
+//! candidate construction, `consistent_with`'s pairwise inclusion check,
+//! the `>card` branch-and-bound. Evaluating lazily per use re-runs the
+//! extension function (and, pre-engine, re-allocated a `BTreeSet`) every
+//! time. An [`ExtensionTable`] evaluates each concept exactly once,
+//! re-interns the result into one pool, and hands out indexed access —
+//! so every downstream comparison hits the word-parallel fast path of
+//! [`Extension`].
+
+use crate::extension::Extension;
+use std::sync::Arc;
+use whynot_relation::{ConstPool, Value, ValueId};
+
+/// All of a concept list's extensions over one instance, sharing a pool.
+#[derive(Clone, Debug)]
+pub struct ExtensionTable {
+    pool: Arc<ConstPool>,
+    exts: Vec<Extension>,
+}
+
+impl ExtensionTable {
+    /// Evaluates `count` concepts through `eval` (called exactly once per
+    /// index, in order) and re-interns every result into `pool`.
+    pub fn build(
+        pool: Arc<ConstPool>,
+        count: usize,
+        mut eval: impl FnMut(usize) -> Extension,
+    ) -> Self {
+        let exts = (0..count).map(|i| eval(i).reinterned(&pool)).collect();
+        ExtensionTable { pool, exts }
+    }
+
+    /// Builds a table by evaluating each item of a slice once.
+    pub fn for_items<T>(
+        pool: Arc<ConstPool>,
+        items: &[T],
+        mut eval: impl FnMut(&T) -> Extension,
+    ) -> Self {
+        ExtensionTable::build(pool, items.len(), |i| eval(&items[i]))
+    }
+
+    /// The shared pool.
+    pub fn pool(&self) -> &Arc<ConstPool> {
+        &self.pool
+    }
+
+    /// The extension at `index`.
+    pub fn get(&self, index: usize) -> &Extension {
+        &self.exts[index]
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.exts.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.exts.is_empty()
+    }
+
+    /// Iterates the extensions in concept order.
+    pub fn iter(&self) -> impl Iterator<Item = &Extension> + '_ {
+        self.exts.iter()
+    }
+
+    /// Interns a probe value once, so repeated membership tests against
+    /// table entries are single bit probes (see [`ExtensionTable::entry_contains`]).
+    pub fn probe(&self, v: &Value) -> Probe {
+        Probe {
+            id: self.pool.id_of(v),
+        }
+    }
+
+    /// Membership of a pre-interned probe in entry `index`.
+    pub fn entry_contains(&self, index: usize, probe: &Probe, v: &Value) -> bool {
+        match (&self.exts[index], probe.id) {
+            (Extension::Universal, _) => true,
+            (Extension::Finite(set), Some(id)) => {
+                set.words()[id.index() / 64] & (1 << (id.index() % 64)) != 0
+            }
+            // The probe value is outside the pool: only the overflow set
+            // can contain it.
+            (Extension::Finite(set), None) => set.extra().contains(v),
+        }
+    }
+}
+
+/// A value pre-interned against a table's pool (see
+/// [`ExtensionTable::probe`]).
+#[derive(Clone, Copy, Debug)]
+pub struct Probe {
+    id: Option<ValueId>,
+}
+
+impl Probe {
+    /// The interned id, if the value is pooled.
+    pub fn id(&self) -> Option<ValueId> {
+        self.id
+    }
+
+    /// Whether the probe value is interned in the table's pool.
+    pub fn in_pool(&self) -> bool {
+        self.id.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whynot_relation::Value;
+
+    #[test]
+    fn evaluates_each_entry_exactly_once() {
+        let pool = Arc::new(ConstPool::from_values((0..8).map(Value::int)));
+        let mut calls = vec![0usize; 3];
+        let table = ExtensionTable::build(Arc::clone(&pool), 3, |i| {
+            calls[i] += 1;
+            Extension::finite((0..=i as i64).map(Value::int))
+        });
+        assert_eq!(calls, vec![1, 1, 1]);
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.get(2).len(), Some(3));
+        // Entries were re-interned into the shared pool.
+        for e in table.iter() {
+            if let Extension::Finite(set) = e {
+                assert!(Arc::ptr_eq(set.pool(), &pool));
+            }
+        }
+    }
+
+    #[test]
+    fn probes_answer_membership() {
+        let pool = Arc::new(ConstPool::from_values((0..8).map(Value::int)));
+        let items = [vec![1i64, 3], vec![2, 4]];
+        let table = ExtensionTable::for_items(Arc::clone(&pool), &items, |vs| {
+            Extension::finite(vs.iter().copied().map(Value::int))
+        });
+        let three = Value::int(3);
+        let p = table.probe(&three);
+        assert!(p.in_pool());
+        assert!(table.entry_contains(0, &p, &three));
+        assert!(!table.entry_contains(1, &p, &three));
+        // Out-of-pool probes fall through to the overflow set.
+        let ghost = Value::str("ghost");
+        let gp = table.probe(&ghost);
+        assert!(!gp.in_pool());
+        assert!(!table.entry_contains(0, &gp, &ghost));
+    }
+}

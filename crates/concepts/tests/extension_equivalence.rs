@@ -1,0 +1,195 @@
+//! Observational equivalence of the bitset [`Extension`] against the
+//! seed's `BTreeSet<Value>` semantics.
+//!
+//! The refactor replaced `Extension::Finite(BTreeSet<Value>)` with a
+//! pool-indexed bit vector ([`ValueSet`]). These properties pit every
+//! public set operation — `contains`, `subset_of`, `intersect`,
+//! `is_empty`, `len`, iteration order, equality and ordering — against a
+//! straightforward `BTreeSet` model over randomized value sets, in all
+//! three representation regimes the engine produces:
+//!
+//! * private pools (the `Extension::finite` constructor),
+//! * one shared pool (the engine's word-parallel fast path), and
+//! * a shared pool with out-of-pool overflow values (fresh nominals).
+//!
+//! `Universal` edge cases are checked exhaustively alongside.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use whynot_concepts::{Extension, ValueSet};
+use whynot_relation::{ConstPool, Value};
+
+/// The value universe: small ints and a few strings, so random sets
+/// collide often (interesting subset/intersection cases) and straddle
+/// the numbers-before-strings order boundary.
+fn value(i: i64) -> Value {
+    if i < 12 {
+        Value::int(i)
+    } else {
+        Value::str(format!("s{i}"))
+    }
+}
+
+/// How to represent a generated set.
+#[derive(Clone, Copy, Debug)]
+enum Repr {
+    /// `Extension::finite` — private per-set pool.
+    Private,
+    /// `ValueSet::collect_in` over the shared test pool.
+    Shared,
+}
+
+prop_compose! {
+    fn raw_set()(vals in proptest::collection::btree_set(0i64..18, 0..10)) -> BTreeSet<i64> {
+        vals
+    }
+}
+
+/// The shared pool covers only part of the universe, so `Shared` sets
+/// exercise the overflow path for values 9..18.
+fn shared_pool() -> Arc<ConstPool> {
+    Arc::new(ConstPool::from_values((0..9).map(value)))
+}
+
+fn build(repr: Repr, pool: &Arc<ConstPool>, raw: &BTreeSet<i64>) -> Extension {
+    let values = raw.iter().map(|&i| value(i));
+    match repr {
+        Repr::Private => Extension::finite(values),
+        Repr::Shared => Extension::Finite(ValueSet::collect_in(Arc::clone(pool), values)),
+    }
+}
+
+fn model(raw: &BTreeSet<i64>) -> BTreeSet<Value> {
+    raw.iter().map(|&i| value(i)).collect()
+}
+
+fn reprs(flip: bool) -> Repr {
+    if flip {
+        Repr::Shared
+    } else {
+        Repr::Private
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn contains_matches_model(raw in raw_set(), flip in any::<bool>(), probe in 0i64..20) {
+        let pool = shared_pool();
+        let ext = build(reprs(flip), &pool, &raw);
+        let model = model(&raw);
+        prop_assert_eq!(ext.contains(&value(probe)), model.contains(&value(probe)));
+    }
+
+    #[test]
+    fn len_and_is_empty_match_model(raw in raw_set(), flip in any::<bool>()) {
+        let pool = shared_pool();
+        let ext = build(reprs(flip), &pool, &raw);
+        let model = model(&raw);
+        prop_assert_eq!(ext.len(), Some(model.len()));
+        prop_assert_eq!(ext.is_empty(), model.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_complete(raw in raw_set(), flip in any::<bool>()) {
+        let pool = shared_pool();
+        let ext = build(reprs(flip), &pool, &raw);
+        let model = model(&raw);
+        if let Some(set) = ext.as_finite() {
+            let iterated: Vec<Value> = set.iter().cloned().collect();
+            let expected: Vec<Value> = model.into_iter().collect();
+            prop_assert_eq!(iterated, expected);
+        } else {
+            prop_assert!(false, "finite build produced Universal");
+        }
+    }
+
+    #[test]
+    fn subset_of_matches_model(
+        a in raw_set(), b in raw_set(),
+        fa in any::<bool>(), fb in any::<bool>(),
+    ) {
+        let pool = shared_pool();
+        let ea = build(reprs(fa), &pool, &a);
+        let eb = build(reprs(fb), &pool, &b);
+        prop_assert_eq!(ea.subset_of(&eb), model(&a).is_subset(&model(&b)));
+    }
+
+    #[test]
+    fn intersect_matches_model(
+        a in raw_set(), b in raw_set(),
+        fa in any::<bool>(), fb in any::<bool>(),
+    ) {
+        let pool = shared_pool();
+        let ea = build(reprs(fa), &pool, &a);
+        let eb = build(reprs(fb), &pool, &b);
+        let both = ea.intersect(&eb);
+        let expected: BTreeSet<Value> =
+            model(&a).intersection(&model(&b)).cloned().collect();
+        prop_assert_eq!(both.len(), Some(expected.len()));
+        let got = both.as_finite().unwrap().to_btree_set();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn equality_and_ordering_are_representation_independent(
+        a in raw_set(), b in raw_set(),
+    ) {
+        let pool = shared_pool();
+        // The same set in all representations must be equal; distinct sets
+        // must order exactly as their BTreeSet models do.
+        let reprs_of_a = [
+            build(Repr::Private, &pool, &a),
+            build(Repr::Shared, &pool, &a),
+        ];
+        for x in &reprs_of_a {
+            for y in &reprs_of_a {
+                prop_assert_eq!(x, y);
+                prop_assert_eq!(x.cmp(y), std::cmp::Ordering::Equal);
+            }
+        }
+        let ea = build(Repr::Private, &pool, &a);
+        let eb = build(Repr::Shared, &pool, &b);
+        prop_assert_eq!(ea.cmp(&eb), model(&a).cmp(&model(&b)));
+        prop_assert_eq!(ea == eb, a == b);
+    }
+
+    #[test]
+    fn reinterning_preserves_the_set(raw in raw_set(), flip in any::<bool>()) {
+        let pool = shared_pool();
+        let ext = build(reprs(flip), &pool, &raw);
+        let other_pool = Arc::new(ConstPool::from_values((3..15).map(value)));
+        let re = ext.reinterned(&other_pool);
+        prop_assert_eq!(&re, &ext);
+        if let Some(set) = re.as_finite() {
+            prop_assert!(Arc::ptr_eq(set.pool(), &other_pool));
+        }
+    }
+
+    #[test]
+    fn universal_edge_cases(raw in raw_set(), flip in any::<bool>(), probe in 0i64..20) {
+        let pool = shared_pool();
+        let ext = build(reprs(flip), &pool, &raw);
+        // ⊤ contains everything, includes every finite set, is included
+        // in nothing finite, and intersects as identity.
+        prop_assert!(Extension::Universal.contains(&value(probe)));
+        prop_assert!(ext.subset_of(&Extension::Universal));
+        prop_assert!(!Extension::Universal.subset_of(&ext));
+        prop_assert_eq!(Extension::Universal.intersect(&ext), ext.clone());
+        prop_assert_eq!(ext.intersect(&Extension::Universal), ext.clone());
+        prop_assert!(!Extension::Universal.is_empty());
+        prop_assert_eq!(Extension::Universal.len(), None);
+    }
+}
+
+#[test]
+fn universal_is_never_a_subset_of_finite() {
+    // Deterministic complement to the property above (a finite set can
+    // never absorb ⊤, whatever its representation or size).
+    let pool = shared_pool();
+    let big = Extension::Finite(ValueSet::collect_in(Arc::clone(&pool), (0..18).map(value)));
+    assert!(!Extension::Universal.subset_of(&big));
+    assert!(Extension::Universal.subset_of(&Extension::Universal));
+}

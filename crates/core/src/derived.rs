@@ -79,7 +79,10 @@ pub struct SchemaOntology {
 impl SchemaOntology {
     /// Builds `OS` for a schema.
     pub fn new(schema: Schema) -> Self {
-        SchemaOntology { schema, cache: RefCell::new(Default::default()) }
+        SchemaOntology {
+            schema,
+            cache: RefCell::new(Default::default()),
+        }
     }
 
     /// The schema.
@@ -96,7 +99,9 @@ impl Ontology for SchemaOntology {
             return cached;
         }
         let decided = subsumed_schema(&self.schema, sub, sup).holds();
-        self.cache.borrow_mut().insert((sub.clone(), sup.clone()), decided);
+        self.cache
+            .borrow_mut()
+            .insert((sub.clone(), sup.clone()), decided);
         decided
     }
 
@@ -123,7 +128,11 @@ impl ObdaOntology {
     /// Builds the induced ontology (Theorem 4.2: polynomial).
     pub fn new(spec: ObdaSpec) -> Self {
         let concepts = spec.concept_set();
-        ObdaOntology { spec, concepts, cache: RefCell::new(None) }
+        ObdaOntology {
+            spec,
+            concepts,
+            cache: RefCell::new(None),
+        }
     }
 
     /// The underlying OBDA specification.
@@ -153,7 +162,7 @@ impl Ontology for ObdaOntology {
 
     fn extension(&self, c: &BasicConcept, inst: &Instance) -> Extension {
         let base = self.base_for(inst);
-        Extension::Finite(self.spec.certain_extension_from(&base, c))
+        Extension::finite(self.spec.certain_extension_from(&base, c))
     }
 
     fn concept_name(&self, c: &BasicConcept) -> String {

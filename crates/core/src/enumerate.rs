@@ -22,11 +22,7 @@ use std::collections::BTreeSet;
 use whynot_concepts::{lub, lub_sigma, Extension, LsConcept};
 use whynot_relation::Value;
 
-fn lub_of(
-    kind: LubKind,
-    wn: &WhyNotInstance,
-    x: &BTreeSet<Value>,
-) -> LsConcept {
+fn lub_of(kind: LubKind, wn: &WhyNotInstance, x: &BTreeSet<Value>) -> LsConcept {
     match kind {
         LubKind::SelectionFree => lub(&wn.schema, &wn.instance, x),
         LubKind::WithSelections => lub_sigma(&wn.schema, &wn.instance, x),
@@ -38,10 +34,7 @@ fn lub_of(
 /// budget. Output is a most-general explanation w.r.t. `OI` (same
 /// guarantee as the paper's order — maximality is order-independent, the
 /// *choice* of MGE is not).
-pub fn incremental_search_balanced(
-    wn: &WhyNotInstance,
-    kind: LubKind,
-) -> Explanation<LsConcept> {
+pub fn incremental_search_balanced(wn: &WhyNotInstance, kind: LubKind) -> Explanation<LsConcept> {
     let adom: Vec<Value> = wn.instance.active_domain().into_iter().collect();
     let positions: Vec<usize> = (0..wn.arity()).collect();
     grow_with_order(wn, kind, &adom, &positions, true)
@@ -59,25 +52,31 @@ fn grow_with_order(
 ) -> Explanation<LsConcept> {
     let m = wn.arity();
     debug_assert_eq!(positions.len(), m);
-    let mut support: Vec<BTreeSet<Value>> =
-        wn.tuple.iter().map(|a| [a.clone()].into_iter().collect()).collect();
-    let mut concepts: Vec<LsConcept> =
-        support.iter().map(|x| lub_of(kind, wn, x)).collect();
-    let mut exts: Vec<Extension> =
-        concepts.iter().map(|c| c.extension(&wn.instance)).collect();
+    // One interned pool per growth run (see `incremental_search_kind`).
+    let pool = wn.instance.const_pool_with(wn.tuple.iter().cloned());
+    let mut support: Vec<BTreeSet<Value>> = wn
+        .tuple
+        .iter()
+        .map(|a| [a.clone()].into_iter().collect())
+        .collect();
+    let mut concepts: Vec<LsConcept> = support.iter().map(|x| lub_of(kind, wn, x)).collect();
+    let mut exts: Vec<Extension> = concepts
+        .iter()
+        .map(|c| c.extension_in(&wn.instance, &pool))
+        .collect();
 
     let try_grow = |j: usize,
-                        b: &Value,
-                        support: &mut Vec<BTreeSet<Value>>,
-                        concepts: &mut Vec<LsConcept>,
-                        exts: &mut Vec<Extension>| {
+                    b: &Value,
+                    support: &mut Vec<BTreeSet<Value>>,
+                    concepts: &mut Vec<LsConcept>,
+                    exts: &mut Vec<Extension>| {
         if exts[j].contains(b) {
             return;
         }
         let mut grown = support[j].clone();
         grown.insert(b.clone());
         let candidate = lub_of(kind, wn, &grown);
-        let candidate_ext = candidate.extension(&wn.instance);
+        let candidate_ext = candidate.extension_in(&wn.instance, &pool);
         let saved = std::mem::replace(&mut exts[j], candidate_ext);
         if exts_form_explanation(exts, wn) {
             concepts[j] = candidate;
@@ -115,13 +114,17 @@ pub fn enumerate_mges_instance(
     tries: usize,
 ) -> Vec<Explanation<LsConcept>> {
     let base: Vec<Value> = wn.instance.active_domain().into_iter().collect();
+    let pool = wn.instance.const_pool_with(wn.tuple.iter().cloned());
     let mut seen: BTreeSet<Vec<Extension>> = BTreeSet::new();
     let mut out: Vec<Explanation<LsConcept>> = Vec::new();
     let push = |e: Explanation<LsConcept>,
-                    seen: &mut BTreeSet<Vec<Extension>>,
-                    out: &mut Vec<Explanation<LsConcept>>| {
-        let key: Vec<Extension> =
-            e.concepts.iter().map(|c| c.extension(&wn.instance)).collect();
+                seen: &mut BTreeSet<Vec<Extension>>,
+                out: &mut Vec<Explanation<LsConcept>>| {
+        let key: Vec<Extension> = e
+            .concepts
+            .iter()
+            .map(|c| c.extension_in(&wn.instance, &pool))
+            .collect();
         if seen.insert(key) {
             out.push(e);
         }
@@ -231,7 +234,12 @@ mod tests {
         // Distinctness by extension tuple.
         let keys: BTreeSet<Vec<Extension>> = all
             .iter()
-            .map(|e| e.concepts.iter().map(|c| c.extension(&wn.instance)).collect())
+            .map(|e| {
+                e.concepts
+                    .iter()
+                    .map(|c| c.extension(&wn.instance))
+                    .collect()
+            })
             .collect();
         assert_eq!(keys.len(), all.len());
     }

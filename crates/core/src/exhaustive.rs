@@ -10,6 +10,7 @@
 //! * [`check_mge`] solves CHECK-MGE (Theorem 5.1(1): PTIME via
 //!   single-position replacement).
 
+use crate::context::EvalContext;
 use crate::ontology::FiniteOntology;
 use crate::whynot::{
     exts_form_explanation, is_explanation, less_general, Explanation, WhyNotInstance,
@@ -24,38 +25,43 @@ struct Candidates<C> {
     /// `conflicts[k][w]`: bit `j` set iff answer tuple `j`'s value at this
     /// position lies in candidate `k`'s extension.
     conflicts: Vec<Vec<u64>>,
-    /// Extensions, aligned with `concepts`.
-    extensions: Vec<Extension>,
 }
 
+/// Builds the per-position candidate sets through the memoizing context:
+/// every concept's extension is evaluated exactly once for the whole
+/// search (the seed re-evaluated per position), all extensions share the
+/// context pool, and the per-answer conflict bits come from pre-interned
+/// probes — one binary search per (position, answer), then O(1) bit
+/// tests per candidate.
 fn build_candidates<O: FiniteOntology>(
-    ontology: &O,
+    ctx: &EvalContext<'_, O>,
     wn: &WhyNotInstance,
 ) -> Option<Vec<Candidates<O::Concept>>> {
     let ans: Vec<&whynot_relation::Tuple> = wn.ans.iter().collect();
     let words = ans.len().div_ceil(64);
-    let all = ontology.concepts();
+    let all = ctx.concepts();
+    let table = ctx.table(&all);
     let mut out = Vec::with_capacity(wn.arity());
     for (i, a_i) in wn.tuple.iter().enumerate() {
+        // Intern this position's answer values once.
+        let probes: Vec<_> = ans.iter().map(|t| table.probe(&t[i])).collect();
         let mut cands = Candidates {
             concepts: Vec::new(),
             conflicts: Vec::new(),
-            extensions: Vec::new(),
         };
-        for c in &all {
-            let ext = ontology.extension(c, &wn.instance);
+        for (k, c) in all.iter().enumerate() {
+            let ext = table.get(k);
             if !ext.contains(a_i) {
                 continue;
             }
             let mut bits = vec![0u64; words];
-            for (j, t) in ans.iter().enumerate() {
-                if ext.contains(&t[i]) {
+            for (j, (t, probe)) in ans.iter().zip(&probes).enumerate() {
+                if table.entry_contains(k, probe, &t[i]) {
                     bits[j / 64] |= 1 << (j % 64);
                 }
             }
             cands.concepts.push(c.clone());
             cands.conflicts.push(bits);
-            cands.extensions.push(ext);
         }
         if cands.concepts.is_empty() {
             return None; // no concept covers a_i: no explanation exists
@@ -72,7 +78,8 @@ pub fn exhaustive_search<O: FiniteOntology>(
     ontology: &O,
     wn: &WhyNotInstance,
 ) -> Vec<Explanation<O::Concept>> {
-    let Some(candidates) = build_candidates(ontology, wn) else {
+    let ctx = EvalContext::with_seeds(ontology, &wn.instance, wn.tuple.iter().cloned());
+    let Some(candidates) = build_candidates(&ctx, wn) else {
         return Vec::new();
     };
     if wn.arity() == 0 {
@@ -100,7 +107,10 @@ fn collect<C: Clone>(
     if depth == candidates.len() {
         if live.iter().all(|w| *w == 0) {
             found.push(Explanation::new(
-                choice.iter().enumerate().map(|(i, &k)| candidates[i].concepts[k].clone()),
+                choice
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &k)| candidates[i].concepts[k].clone()),
             ));
         }
         return;
@@ -149,7 +159,8 @@ pub fn find_explanation<O: FiniteOntology>(
     ontology: &O,
     wn: &WhyNotInstance,
 ) -> Option<Explanation<O::Concept>> {
-    let candidates = build_candidates(ontology, wn)?;
+    let ctx = EvalContext::with_seeds(ontology, &wn.instance, wn.tuple.iter().cloned());
+    let candidates = build_candidates(&ctx, wn)?;
     if wn.arity() == 0 {
         return None;
     }
@@ -157,7 +168,10 @@ pub fn find_explanation<O: FiniteOntology>(
     let mut choice: Vec<usize> = Vec::with_capacity(wn.arity());
     if search_one(&candidates, &mut choice, &vec![u64::MAX; words]) {
         Some(Explanation::new(
-            choice.iter().enumerate().map(|(i, &k)| candidates[i].concepts[k].clone()),
+            choice
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| candidates[i].concepts[k].clone()),
         ))
     } else {
         None
@@ -221,18 +235,20 @@ pub fn check_mge<O: FiniteOntology>(
     wn: &WhyNotInstance,
     e: &Explanation<O::Concept>,
 ) -> bool {
-    if !is_explanation(ontology, wn, e) {
+    let ctx = EvalContext::with_seeds(ontology, &wn.instance, wn.tuple.iter().cloned());
+    if !is_explanation(&ctx, wn, e) {
         return false;
     }
-    let all = ontology.concepts();
-    let mut exts: Vec<Extension> =
-        e.concepts.iter().map(|c| ontology.extension(c, &wn.instance)).collect();
+    let all = ctx.concepts();
+    // The memoizing context makes the replacement loop evaluate each
+    // candidate concept at most once across all positions.
+    let mut exts: Vec<Extension> = e.concepts.iter().map(|c| ctx.extension(c)).collect();
     for i in 0..e.len() {
         for c in &all {
             if !ontology.subsumed(&e.concepts[i], c) || ontology.subsumed(c, &e.concepts[i]) {
                 continue; // not strictly more general
             }
-            let saved = std::mem::replace(&mut exts[i], ontology.extension(c, &wn.instance));
+            let saved = std::mem::replace(&mut exts[i], ctx.extension(c));
             let still = exts_form_explanation(&exts, wn);
             exts[i] = saved;
             if still {
@@ -260,8 +276,14 @@ mod tests {
             .concept(
                 "City",
                 [
-                    "Amsterdam", "Berlin", "Rome", "New York", "San Francisco",
-                    "Santa Cruz", "Tokyo", "Kyoto",
+                    "Amsterdam",
+                    "Berlin",
+                    "Rome",
+                    "New York",
+                    "San Francisco",
+                    "Santa Cruz",
+                    "Tokyo",
+                    "Kyoto",
                 ],
             )
             .concept("European-City", ["Amsterdam", "Berlin", "Rome"])
@@ -324,7 +346,11 @@ mod tests {
         }
         // Combinations that intersect q(I) are not explanations.
         assert!(!is_explanation(&o, &wn, &name_pair(&o, "City", "US-City")));
-        assert!(!is_explanation(&o, &wn, &name_pair(&o, "European-City", "City")));
+        assert!(!is_explanation(
+            &o,
+            &wn,
+            &name_pair(&o, "European-City", "City")
+        ));
     }
 
     #[test]
@@ -355,9 +381,17 @@ mod tests {
     fn check_mge_accepts_e4_and_rejects_the_rest() {
         let o = figure_3();
         let wn = example_3_4();
-        assert!(check_mge(&o, &wn, &name_pair(&o, "European-City", "US-City")));
+        assert!(check_mge(
+            &o,
+            &wn,
+            &name_pair(&o, "European-City", "US-City")
+        ));
         assert!(!check_mge(&o, &wn, &name_pair(&o, "Dutch-City", "US-City")));
-        assert!(!check_mge(&o, &wn, &name_pair(&o, "European-City", "East-Coast-City")));
+        assert!(!check_mge(
+            &o,
+            &wn,
+            &name_pair(&o, "European-City", "East-Coast-City")
+        ));
         // Not an explanation at all → not an MGE.
         assert!(!check_mge(&o, &wn, &name_pair(&o, "City", "City")));
     }
@@ -385,8 +419,7 @@ mod tests {
             [],
         ));
         // "Gotham" is in no concept's extension.
-        let wn =
-            WhyNotInstance::new(schema, inst, q, vec![s("Gotham"), s("Berlin")]).unwrap();
+        let wn = WhyNotInstance::new(schema, inst, q, vec![s("Gotham"), s("Berlin")]).unwrap();
         assert!(!explanation_exists(&o, &wn));
         assert!(exhaustive_search(&o, &wn).is_empty());
     }
@@ -395,7 +428,9 @@ mod tests {
     fn no_explanation_when_answers_block_every_combination() {
         // A one-concept ontology whose extension covers the answers: the
         // product always intersects Ans.
-        let o = ExplicitOntology::builder().concept("All", ["a", "b"]).build();
+        let o = ExplicitOntology::builder()
+            .concept("All", ["a", "b"])
+            .build();
         let mut b = SchemaBuilder::new();
         let r = b.relation("R", ["x"]);
         let schema = b.finish().unwrap();

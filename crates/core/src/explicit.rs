@@ -9,8 +9,9 @@
 use crate::ontology::{FiniteOntology, Ontology};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use whynot_concepts::Extension;
-use whynot_relation::{Instance, Value};
+use std::sync::Arc;
+use whynot_concepts::{Extension, ValueSet};
+use whynot_relation::{ConstPool, Instance, Value};
 
 /// A named concept of an [`ExplicitOntology`].
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
@@ -36,14 +37,21 @@ impl From<&str> for ConceptName {
 }
 
 /// A finite, explicitly tabulated `S`-ontology.
+///
+/// The extension tables are interned at build time: one [`ConstPool`]
+/// over every constant any concept mentions, one bit vector per concept.
+/// Every extension this ontology hands out therefore shares a pool, so
+/// subset/intersection checks between them are word-parallel.
 #[derive(Clone, Debug, Default)]
 pub struct ExplicitOntology {
     concepts: Vec<ConceptName>,
     index: BTreeMap<ConceptName, usize>,
     /// Reflexive-transitive subsumption matrix.
     subsumed: Vec<Vec<bool>>,
-    /// Instance-independent extensions.
-    extensions: Vec<BTreeSet<Value>>,
+    /// The pool over all tabulated constants.
+    pool: Arc<ConstPool>,
+    /// Instance-independent extensions, as bitsets over `pool`.
+    extensions: Vec<ValueSet>,
 }
 
 impl ExplicitOntology {
@@ -54,7 +62,9 @@ impl ExplicitOntology {
 
     /// Index of a named concept.
     pub fn concept(&self, name: &str) -> Option<ConceptName> {
-        self.index.get(&ConceptName(name.to_string())).map(|_| ConceptName(name.to_string()))
+        self.index
+            .get(&ConceptName(name.to_string()))
+            .map(|_| ConceptName(name.to_string()))
     }
 
     /// Looks a concept up, panicking with a readable message if missing
@@ -92,7 +102,7 @@ impl Ontology for ExplicitOntology {
     fn extension(&self, c: &ConceptName, _inst: &Instance) -> Extension {
         match self.idx(c) {
             Some(i) => Extension::Finite(self.extensions[i].clone()),
-            None => Extension::empty(),
+            None => Extension::empty_in(Arc::clone(&self.pool)),
         }
     }
 
@@ -123,14 +133,16 @@ impl ExplicitOntologyBuilder {
         extension: impl IntoIterator<Item = V>,
     ) -> Self {
         self.concepts.push(ConceptName(name.into()));
-        self.extensions.push(extension.into_iter().map(Into::into).collect());
+        self.extensions
+            .push(extension.into_iter().map(Into::into).collect());
         self
     }
 
     /// Declares a subsumption edge `sub ⊑ sup` (the transitive-reflexive
     /// closure is computed at build time).
     pub fn edge(mut self, sub: impl Into<String>, sup: impl Into<String>) -> Self {
-        self.edges.push((ConceptName(sub.into()), ConceptName(sup.into())));
+        self.edges
+            .push((ConceptName(sub.into()), ConceptName(sup.into())));
         self
     }
 
@@ -162,17 +174,32 @@ impl ExplicitOntologyBuilder {
         }
         // Floyd–Warshall-style transitive closure.
         for k in 0..n {
-            for i in 0..n {
-                if subsumed[i][k] {
-                    for j in 0..n {
-                        if subsumed[k][j] {
-                            subsumed[i][j] = true;
-                        }
+            let row_k = subsumed[k].clone();
+            for row_i in subsumed.iter_mut() {
+                if row_i[k] {
+                    for (dst, &src) in row_i.iter_mut().zip(&row_k) {
+                        *dst |= src;
                     }
                 }
             }
         }
-        ExplicitOntology { concepts: self.concepts, index, subsumed, extensions: self.extensions }
+        // Intern every tabulated constant once; extensions become bit
+        // vectors sharing the pool.
+        let pool = Arc::new(ConstPool::from_values(
+            self.extensions.iter().flatten().cloned(),
+        ));
+        let extensions = self
+            .extensions
+            .into_iter()
+            .map(|set| ValueSet::collect_in(Arc::clone(&pool), set))
+            .collect();
+        ExplicitOntology {
+            concepts: self.concepts,
+            index,
+            subsumed,
+            pool,
+            extensions,
+        }
     }
 }
 
@@ -186,7 +213,16 @@ mod tests {
         ExplicitOntology::builder()
             .concept(
                 "City",
-                ["Amsterdam", "Berlin", "Rome", "New York", "San Francisco", "Santa Cruz", "Tokyo", "Kyoto"],
+                [
+                    "Amsterdam",
+                    "Berlin",
+                    "Rome",
+                    "New York",
+                    "San Francisco",
+                    "Santa Cruz",
+                    "Tokyo",
+                    "Kyoto",
+                ],
             )
             .concept("European-City", ["Amsterdam", "Berlin", "Rome"])
             .concept("Dutch-City", ["Amsterdam"])

@@ -63,14 +63,25 @@ pub fn incremental_search_kind(wn: &WhyNotInstance, kind: LubKind) -> Explanatio
     let schema = &wn.schema;
     let inst = &wn.instance;
     let m = wn.arity();
+    // One interned pool for the whole search: every candidate extension
+    // is a bitset over adom(I) ∪ ā, so the per-step explanation checks
+    // run word-parallel.
+    let pool = inst.const_pool_with(wn.tuple.iter().cloned());
     // Line 2: support sets start at the singletons {aj}.
-    let mut support: Vec<BTreeSet<Value>> =
-        wn.tuple.iter().map(|a| [a.clone()].into_iter().collect()).collect();
+    let mut support: Vec<BTreeSet<Value>> = wn
+        .tuple
+        .iter()
+        .map(|a| [a.clone()].into_iter().collect())
+        .collect();
     // Line 3: first candidate explanation — the lubs of the singletons.
-    let mut concepts: Vec<LsConcept> =
-        support.iter().map(|x| lub_of(kind, schema, inst, x)).collect();
-    let mut exts: Vec<Extension> =
-        concepts.iter().map(|c| c.extension(inst)).collect();
+    let mut concepts: Vec<LsConcept> = support
+        .iter()
+        .map(|x| lub_of(kind, schema, inst, x))
+        .collect();
+    let mut exts: Vec<Extension> = concepts
+        .iter()
+        .map(|c| c.extension_in(inst, &pool))
+        .collect();
     debug_assert!(
         exts_form_explanation(&exts, wn),
         "the nominal-based start must be an explanation"
@@ -88,7 +99,7 @@ pub fn incremental_search_kind(wn: &WhyNotInstance, kind: LubKind) -> Explanatio
             let mut grown = support[j].clone();
             grown.insert(b.clone());
             let candidate = lub_of(kind, schema, inst, &grown);
-            let candidate_ext = candidate.extension(inst);
+            let candidate_ext = candidate.extension_in(inst, &pool);
             // Line 9: keep it only if the tuple stays an explanation.
             let saved = std::mem::replace(&mut exts[j], candidate_ext);
             if exts_form_explanation(&exts, wn) {
@@ -110,25 +121,27 @@ pub fn incremental_search_kind(wn: &WhyNotInstance, kind: LubKind) -> Explanatio
 /// more general explanation, `e` is maximal. Runs in PTIME for
 /// selection-free `LS` and (by Lemma 5.2) for bounded schema arity with
 /// selections.
-pub fn check_mge_instance(
-    wn: &WhyNotInstance,
-    e: &Explanation<LsConcept>,
-    kind: LubKind,
-) -> bool {
+pub fn check_mge_instance(wn: &WhyNotInstance, e: &Explanation<LsConcept>, kind: LubKind) -> bool {
     let oi = InstanceOntology::new(wn.schema.clone(), wn.instance.clone());
     if !crate::whynot::is_explanation(&oi, wn, e) {
         return false;
     }
     let schema = &wn.schema;
     let inst = &wn.instance;
-    let mut exts: Vec<Extension> =
-        e.concepts.iter().map(|c| c.extension(inst)).collect();
+    let pool = inst.const_pool_with(wn.tuple.iter().cloned());
+    let mut exts: Vec<Extension> = e
+        .concepts
+        .iter()
+        .map(|c| c.extension_in(inst, &pool))
+        .collect();
     // Candidate growth constants: adom plus the missing tuple (Prop 5.1's
     // constant restriction K).
     let k_consts = wn.restriction_constants();
     for j in 0..e.len() {
         // The universal extension (⊤) cannot be generalized.
-        let Some(current) = exts[j].as_finite().cloned() else { continue };
+        let Some(current) = exts[j].as_finite().map(|s| s.to_btree_set()) else {
+            continue;
+        };
         for b in &k_consts {
             if current.contains(b) {
                 continue;
@@ -136,7 +149,7 @@ pub fn check_mge_instance(
             let mut grown = current.clone();
             grown.insert(b.clone());
             let candidate = lub_of(kind, schema, inst, &grown);
-            let candidate_ext = candidate.extension(inst);
+            let candidate_ext = candidate.extension_in(inst, &pool);
             // Strictly more general by construction: ⊇ current ∪ {b}.
             let saved = std::mem::replace(&mut exts[j], candidate_ext);
             let still = exts_form_explanation(&exts, wn);
@@ -179,7 +192,10 @@ mod tests {
             ("Tokyo", 13_185_000, "Japan", "Asia"),
             ("Kyoto", 1_400_000, "Japan", "Asia"),
         ] {
-            inst.insert(cities, vec![s(name), Value::int(pop), s(country), s(continent)]);
+            inst.insert(
+                cities,
+                vec![s(name), Value::int(pop), s(country), s(continent)],
+            );
         }
         for (a, c) in [
             ("Amsterdam", "Berlin"),
@@ -200,8 +216,7 @@ mod tests {
             ],
             [],
         ));
-        let wn =
-            WhyNotInstance::new(schema, inst, q, vec![s("Amsterdam"), s("New York")]).unwrap();
+        let wn = WhyNotInstance::new(schema, inst, q, vec![s("Amsterdam"), s("New York")]).unwrap();
         (wn, cities, tc)
     }
 
@@ -227,7 +242,10 @@ mod tests {
         let e = incremental_search_with_selections(&wn);
         let oi = InstanceOntology::new(wn.schema.clone(), wn.instance.clone());
         assert!(is_explanation(&oi, &wn, &e));
-        assert!(check_mge_instance(&wn, &e, LubKind::WithSelections), "{e:?}");
+        assert!(
+            check_mge_instance(&wn, &e, LubKind::WithSelections),
+            "{e:?}"
+        );
     }
 
     #[test]
@@ -275,10 +293,7 @@ mod tests {
     #[test]
     fn check_mge_rejects_non_explanations() {
         let (wn, cities, _) = paper_wn();
-        let e = Explanation::new([
-            LsConcept::proj(cities, 0),
-            LsConcept::proj(cities, 0),
-        ]);
+        let e = Explanation::new([LsConcept::proj(cities, 0), LsConcept::proj(cities, 0)]);
         assert!(!check_mge_instance(&wn, &e, LubKind::SelectionFree));
     }
 
@@ -288,8 +303,11 @@ mod tests {
         let e = incremental_search(&wn);
         // Every aj is in its concept's extension (Definition 3.2 first
         // condition), and extensions avoid the answers (second condition).
-        let exts: Vec<Extension> =
-            e.concepts.iter().map(|c| c.extension(&wn.instance)).collect();
+        let exts: Vec<Extension> = e
+            .concepts
+            .iter()
+            .map(|c| c.extension(&wn.instance))
+            .collect();
         assert!(exts_form_explanation(&exts, &wn));
     }
 
@@ -316,6 +334,8 @@ mod tests {
         // (any column concept containing a or miss includes an answer).
         let ext = e.concepts[0].extension(&wn.instance);
         assert_eq!(ext, Extension::finite([s("ghost")]));
-        assert!(e.concepts[0].parts().any(|p| matches!(p, LsAtom::Nominal(_))));
+        assert!(e.concepts[0]
+            .parts()
+            .any(|p| matches!(p, LsAtom::Nominal(_))));
     }
 }

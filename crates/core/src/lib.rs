@@ -9,6 +9,12 @@
 //!
 //! * [`Ontology`] / [`FiniteOntology`] — the `S`-ontology abstraction
 //!   (Definition 3.1) with [`consistent_with`] checking;
+//! * [`EvalContext`] — the memoizing extension engine: at most one
+//!   `ext(c, I)` evaluation per concept, results interned into one
+//!   shared [`ConstPool`](whynot_relation::ConstPool) so every
+//!   subset/membership check downstream is word-parallel on bitsets
+//!   (Algorithm 1, [`consistent_with`], [`check_mge`] and the `>card`
+//!   searches all route through it);
 //! * concrete ontologies: [`ExplicitOntology`] (Figure 3 style),
 //!   [`ObdaOntology`] (OBDA-induced, Definition 4.4),
 //!   [`InstanceOntology`] (`OI`) and [`SchemaOntology`] (`OS`)
@@ -35,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+mod context;
 mod derived;
 mod enumerate;
 mod exhaustive;
@@ -47,11 +54,12 @@ pub mod setcover;
 mod variations;
 mod whynot;
 
+pub use context::EvalContext;
+
 pub use derived::{
     min_fragment_concepts, InstanceOntology, MaterializedOntology, ObdaOntology, SchemaOntology,
 };
 pub use enumerate::{enumerate_mges_instance, incremental_search_balanced};
-pub use obda_query::obda_why_not;
 pub use exhaustive::{
     check_mge, exhaustive_search, explanation_exists, find_explanation, retain_most_general,
 };
@@ -60,6 +68,7 @@ pub use incremental::{
     check_mge_instance, incremental_search, incremental_search_kind,
     incremental_search_with_selections, LubKind,
 };
+pub use obda_query::obda_why_not;
 pub use ontology::{consistent_with, FiniteOntology, Ontology};
 pub use schema_mge::{
     all_mges_schema, check_mge_schema, compute_mge_schema, fragment_concepts, SchemaFragment,

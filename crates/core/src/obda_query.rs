@@ -52,7 +52,11 @@ mod tests {
         let (schema, spec, inst) = sc;
         let q = OntCq::new(
             [Term::Var(Var(0)), Term::Var(Var(1))],
-            [OntAtom::Role(AtomicRole::new("connected"), Term::Var(Var(0)), Term::Var(Var(1)))],
+            [OntAtom::Role(
+                AtomicRole::new("connected"),
+                Term::Var(Var(0)),
+                Term::Var(Var(1)),
+            )],
         );
         let wn = obda_why_not(&spec, schema, inst, &q, vec![s("Amsterdam"), s("New York")])
             .expect("Amsterdam–New York is not directly connected");
@@ -138,11 +142,32 @@ mod tests {
             t.concept_incl(BasicConcept::exists("connected"), a("City"));
             t.concept_incl(BasicConcept::exists_inv("connected"), a("City"));
             let mappings = vec![
-                GavMapping::concept("EU-City", Var(0), [body_atom(cities, [v(0), v(1), v(2), c("Europe")])]),
-                GavMapping::concept("Dutch-City", Var(0), [body_atom(cities, [v(0), v(1), c("Netherlands"), v(3)])]),
-                GavMapping::concept("N.A.-City", Var(0), [body_atom(cities, [v(0), v(1), v(2), c("N.America")])]),
-                GavMapping::concept("US-City", Var(0), [body_atom(cities, [v(0), v(1), c("USA"), v(3)])]),
-                GavMapping::role("hasCountry", Var(0), Var(2), [body_atom(cities, [v(0), v(1), v(2), v(3)])]),
+                GavMapping::concept(
+                    "EU-City",
+                    Var(0),
+                    [body_atom(cities, [v(0), v(1), v(2), c("Europe")])],
+                ),
+                GavMapping::concept(
+                    "Dutch-City",
+                    Var(0),
+                    [body_atom(cities, [v(0), v(1), c("Netherlands"), v(3)])],
+                ),
+                GavMapping::concept(
+                    "N.A.-City",
+                    Var(0),
+                    [body_atom(cities, [v(0), v(1), v(2), c("N.America")])],
+                ),
+                GavMapping::concept(
+                    "US-City",
+                    Var(0),
+                    [body_atom(cities, [v(0), v(1), c("USA"), v(3)])],
+                ),
+                GavMapping::role(
+                    "hasCountry",
+                    Var(0),
+                    Var(2),
+                    [body_atom(cities, [v(0), v(1), v(2), v(3)])],
+                ),
                 GavMapping::role(
                     "connected",
                     Var(0),
@@ -168,7 +193,12 @@ mod tests {
             ] {
                 inst.insert(
                     cities,
-                    vec![Value::str(name), Value::int(pop), Value::str(country), Value::str(continent)],
+                    vec![
+                        Value::str(name),
+                        Value::int(pop),
+                        Value::str(country),
+                        Value::str(continent),
+                    ],
                 );
             }
             for (x, y) in [

@@ -49,16 +49,19 @@ pub trait FiniteOntology: Ontology {
 
 /// Whether `inst` is *consistent with* a finite ontology
 /// (Definition 3.1): subsumption implies extension inclusion on `inst`.
+///
+/// Each concept's extension is evaluated exactly once (the seed
+/// implementation re-evaluated both sides of every subsumed ordered
+/// pair — O(n²) extension calls); the pairwise inclusion checks then run
+/// word-parallel on the cached bitsets.
 pub fn consistent_with<O: FiniteOntology>(ontology: &O, inst: &Instance) -> bool {
+    let ctx = crate::context::EvalContext::new(ontology, inst);
     let concepts = ontology.concepts();
-    for c1 in &concepts {
-        for c2 in &concepts {
-            if ontology.subsumed(c1, c2) {
-                let e1 = ontology.extension(c1, inst);
-                let e2 = ontology.extension(c2, inst);
-                if !e1.subset_of(&e2) {
-                    return false;
-                }
+    let table = ctx.table(&concepts);
+    for (i, c1) in concepts.iter().enumerate() {
+        for (j, c2) in concepts.iter().enumerate() {
+            if ontology.subsumed(c1, c2) && !table.get(i).subset_of(table.get(j)) {
+                return false;
             }
         }
     }

@@ -8,6 +8,13 @@
 //! polynomial for fixed query arity — exactly Proposition 5.3's last
 //! bullet. Richer fragments trade concept-count blow-up for finer
 //! explanations; [`SchemaFragment`] selects the trade-off.
+//!
+//! All three entry points run on the extension engine: the exhaustive
+//! search they delegate to wraps the materialized fragment in a
+//! memoizing [`EvalContext`](crate::EvalContext), so each fragment
+//! concept's `LS` extension is computed once per call — the fragment can
+//! hold thousands of selected projections, and `⊑S` decisions (not
+//! extension evaluation) stay the dominant cost, as the paper intends.
 
 use crate::derived::{min_fragment_concepts, MaterializedOntology, SchemaOntology};
 use crate::exhaustive::{check_mge, exhaustive_search};
@@ -124,7 +131,10 @@ mod tests {
         }
         let q = Ucq::single(Cq::new(
             [Term::Var(Var(0))],
-            [Atom::new(cities, [Term::Var(Var(0)), Term::Var(Var(1)), Term::Var(Var(2))])],
+            [Atom::new(
+                cities,
+                [Term::Var(Var(0)), Term::Var(Var(1)), Term::Var(Var(2))],
+            )],
             [],
         ));
         WhyNotInstance::new(schema, inst, q, vec![s("Netherlands")]).unwrap()
@@ -200,6 +210,10 @@ mod tests {
         )]);
         let os = SchemaOntology::new(wn.schema.clone());
         assert!(is_explanation(&os, &wn, &selected));
-        assert!(!check_mge_schema(&wn, &selected, SchemaFragment::WithEqualitySelections));
+        assert!(!check_mge_schema(
+            &wn,
+            &selected,
+            SchemaFragment::WithEqualitySelections
+        ));
     }
 }

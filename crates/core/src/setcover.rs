@@ -43,8 +43,11 @@ impl SetCover {
             return false;
         }
         // Include sets[from].
-        let newly: Vec<usize> =
-            self.sets[from].iter().copied().filter(|&u| !covered[u]).collect();
+        let newly: Vec<usize> = self.sets[from]
+            .iter()
+            .copied()
+            .filter(|&u| !covered[u])
+            .collect();
         if !newly.is_empty() {
             for &u in &newly {
                 covered[u] = true;
@@ -92,13 +95,12 @@ pub fn reduce_set_cover(sc: &SetCover) -> (ExplicitOntology, WhyNotInstance) {
     }
     let x = Var(0);
     let q = Ucq::single(Cq::new(
-        std::iter::repeat(Term::Var(x)).take(sc.budget),
+        std::iter::repeat_n(Term::Var(x), sc.budget),
         [Atom::new(urel, [Term::Var(x)])],
         [],
     ));
     let missing = vec![star; sc.budget];
-    let wn = WhyNotInstance::new(schema, inst, q, missing)
-        .expect("⋆ is never a diagonal answer");
+    let wn = WhyNotInstance::new(schema, inst, q, missing).expect("⋆ is never a diagonal answer");
     (ontology, wn)
 }
 
@@ -114,7 +116,11 @@ pub fn hard_family(n: usize, t: usize) -> SetCover {
     for u in 0..n {
         sets.push(vec![u]);
     }
-    SetCover { universe: n, sets, budget: t }
+    SetCover {
+        universe: n,
+        sets,
+        budget: t,
+    }
 }
 
 #[cfg(test)]
@@ -125,17 +131,33 @@ mod tests {
 
     #[test]
     fn solver_basics() {
-        let sc = SetCover { universe: 3, sets: vec![vec![0, 1], vec![2]], budget: 2 };
+        let sc = SetCover {
+            universe: 3,
+            sets: vec![vec![0, 1], vec![2]],
+            budget: 2,
+        };
         assert!(sc.solvable());
-        let sc = SetCover { universe: 3, sets: vec![vec![0, 1], vec![1, 2]], budget: 1 };
+        let sc = SetCover {
+            universe: 3,
+            sets: vec![vec![0, 1], vec![1, 2]],
+            budget: 1,
+        };
         assert!(!sc.solvable());
-        let sc = SetCover { universe: 0, sets: vec![], budget: 1 };
+        let sc = SetCover {
+            universe: 0,
+            sets: vec![],
+            budget: 1,
+        };
         assert!(sc.solvable());
     }
 
     #[test]
     fn reduction_positive_instance() {
-        let sc = SetCover { universe: 4, sets: vec![vec![0, 1], vec![2, 3], vec![0, 3]], budget: 2 };
+        let sc = SetCover {
+            universe: 4,
+            sets: vec![vec![0, 1], vec![2, 3], vec![0, 3]],
+            budget: 2,
+        };
         assert!(sc.solvable());
         let (o, wn) = reduce_set_cover(&sc);
         assert!(explanation_exists(&o, &wn));
@@ -162,8 +184,7 @@ mod tests {
         let mut cases = Vec::new();
         for universe in 1..5usize {
             for mask in 0..(1u32 << universe.min(4)) {
-                let set: Vec<usize> =
-                    (0..universe).filter(|&u| mask & (1 << u) != 0).collect();
+                let set: Vec<usize> = (0..universe).filter(|&u| mask & (1 << u) != 0).collect();
                 if !set.is_empty() {
                     cases.push(set);
                 }
@@ -193,7 +214,11 @@ mod tests {
         assert_eq!(sc.universe, 6);
         assert!(sc.sets.len() >= 12);
         // Singletons alone can always cover with budget = n.
-        let all = SetCover { universe: 4, sets: hard_family(4, 4).sets, budget: 4 };
+        let all = SetCover {
+            universe: 4,
+            sets: hard_family(4, 4).sets,
+            budget: 4,
+        };
         assert!(all.solvable());
     }
 }

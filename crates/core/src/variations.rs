@@ -60,34 +60,37 @@ pub fn minimize_concept(
     max_conjuncts: usize,
 ) -> Option<LsConcept> {
     let inst = &wn.instance;
-    let target = concept.extension(inst);
+    // One pool for the whole subset search: candidate extensions compare
+    // against the target word-parallel.
+    let pool = inst.const_pool_with(wn.tuple.iter().cloned());
+    let target = concept.extension_in(inst, &pool);
     // ⊤ and other universal-extension concepts minimize to ⊤.
     let Some(target_set) = target.as_finite() else {
         return Some(LsConcept::top());
     };
     // Candidate pool: every atom whose extension covers the target —
     // exactly the lub's conjuncts — plus the original atoms.
-    let mut pool: Vec<LsAtom> = Vec::new();
+    let mut atom_pool: Vec<LsAtom> = Vec::new();
     if !target_set.is_empty() {
         let support: BTreeSet<_> = target_set.iter().cloned().collect();
         let canonical = match kind {
             LubKind::SelectionFree => lub(&wn.schema, inst, &support),
             LubKind::WithSelections => lub_sigma(&wn.schema, inst, &support),
         };
-        pool.extend(canonical.parts().cloned());
+        atom_pool.extend(canonical.parts().cloned());
     }
     for atom in concept.parts() {
-        if !pool.contains(atom) {
-            pool.push(atom.clone());
+        if !atom_pool.contains(atom) {
+            atom_pool.push(atom.clone());
         }
     }
     // Breadth-first over subset sizes: the first hit is shortest in
     // conjunct count; ties broken by symbol size.
-    for k in 0..=max_conjuncts.min(pool.len()) {
+    for k in 0..=max_conjuncts.min(atom_pool.len()) {
         let mut best: Option<LsConcept> = None;
-        subsets_rec(&pool, 0, k, &mut Vec::new(), &mut |atoms| {
+        subsets_rec(&atom_pool, 0, k, &mut Vec::new(), &mut |atoms| {
             let cand = LsConcept::from_atoms(atoms.iter().map(|a| (*a).clone()));
-            if cand.extension(inst) == target {
+            if cand.extension_in(inst, &pool) == target {
                 let better = match &best {
                     None => true,
                     Some(b) => cand.size() < b.size(),
@@ -135,8 +138,7 @@ pub fn minimized_explanation(
     max_conjuncts: usize,
 ) -> Explanation<LsConcept> {
     Explanation::new(e.concepts.iter().map(|c| {
-        minimize_concept(wn, c, kind, max_conjuncts)
-            .unwrap_or_else(|| simplify(c, &wn.instance))
+        minimize_concept(wn, c, kind, max_conjuncts).unwrap_or_else(|| simplify(c, &wn.instance))
     }))
 }
 
@@ -208,21 +210,26 @@ fn candidate_lists<O: FiniteOntology>(
     ontology: &O,
     wn: &WhyNotInstance,
 ) -> Option<Vec<Vec<Candidate<O::Concept>>>> {
+    // One evaluation per concept for all positions, via the memoizing
+    // context (the seed re-evaluated per position).
+    let ctx =
+        crate::context::EvalContext::with_seeds(ontology, &wn.instance, wn.tuple.iter().cloned());
     let all = ontology.concepts();
+    let table = ctx.table(&all);
     let mut out = Vec::with_capacity(wn.arity());
     for a_i in &wn.tuple {
         let mut list: Vec<Candidate<O::Concept>> = Vec::new();
-        for c in &all {
-            let ext = ontology.extension(c, &wn.instance);
+        for (k, c) in all.iter().enumerate() {
+            let ext = table.get(k);
             if ext.contains(a_i) {
                 let card = ext.len().unwrap_or(usize::MAX / 2);
-                list.push((c.clone(), ext, card));
+                list.push((c.clone(), ext.clone(), card));
             }
         }
         if list.is_empty() {
             return None;
         }
-        list.sort_by(|a, b| b.2.cmp(&a.2));
+        list.sort_by_key(|c| std::cmp::Reverse(c.2));
         out.push(list);
     }
     Some(out)
@@ -244,7 +251,7 @@ fn branch_card<C: Clone>(
                 .enumerate()
                 .map(|(i, &k)| per_position[i][k].2)
                 .sum();
-            if best.as_ref().map_or(true, |(b, _)| total > *b) {
+            if best.as_ref().is_none_or(|(b, _)| total > *b) {
                 *best = Some((total, choice.clone()));
             }
         }
@@ -344,10 +351,7 @@ pub enum StrongOutcome {
 /// query's answers. Reduces to unsatisfiability of
 /// `q(x̄) ∧ C1(x1) ∧ … ∧ Cm(xm)` over the schema's instances, decided by
 /// the bounded chase of `whynot-subsumption`.
-pub fn is_strong_explanation(
-    wn: &WhyNotInstance,
-    e: &Explanation<LsConcept>,
-) -> StrongOutcome {
+pub fn is_strong_explanation(wn: &WhyNotInstance, e: &Explanation<LsConcept>) -> StrongOutcome {
     is_strong_explanation_query(&wn.schema, &wn.query, e)
 }
 
@@ -394,11 +398,17 @@ fn conjoin_concepts(
                             return None;
                         }
                     }
-                    Term::Var(v) => combined.comparisons.push(
-                        whynot_relation::Comparison::new(*v, whynot_relation::CmpOp::Eq, c.clone()),
-                    ),
+                    Term::Var(v) => combined.comparisons.push(whynot_relation::Comparison::new(
+                        *v,
+                        whynot_relation::CmpOp::Eq,
+                        c.clone(),
+                    )),
                 },
-                LsAtom::Proj { rel, attr, selection } => {
+                LsAtom::Proj {
+                    rel,
+                    attr,
+                    selection,
+                } => {
                     let arity = schema.arity(*rel);
                     let mut args: Vec<Term> = Vec::with_capacity(arity);
                     let mut local: Vec<Option<Var>> = Vec::with_capacity(arity);
@@ -419,9 +429,9 @@ fn conjoin_concepts(
                             continue;
                         }
                         match (local[sc.attr], &combined.head) {
-                            (Some(v), _) => combined.comparisons.push(
-                                whynot_relation::Comparison::new(v, sc.op, sc.value.clone()),
-                            ),
+                            (Some(v), _) => combined
+                                .comparisons
+                                .push(whynot_relation::Comparison::new(v, sc.op, sc.value.clone())),
                             (None, _) => {
                                 // Selection on the projected attribute with
                                 // a constant head term: evaluate statically.
@@ -450,9 +460,7 @@ mod tests {
     use crate::explicit::ExplicitOntology;
     use crate::whynot::is_explanation;
     use whynot_concepts::Selection;
-    use whynot_relation::{
-        Atom, CmpOp, Comparison, Instance, SchemaBuilder, Value, ViewDef,
-    };
+    use whynot_relation::{Atom, CmpOp, Comparison, Instance, SchemaBuilder, Value, ViewDef};
 
     fn s(x: &str) -> Value {
         Value::str(x)
@@ -475,7 +483,10 @@ mod tests {
         let (x, p, k) = (Var(0), Var(1), Var(2));
         let q = Ucq::single(Cq::new(
             [Term::Var(x)],
-            [Atom::new(cities, [Term::Var(x), Term::Var(p), Term::Var(k)])],
+            [Atom::new(
+                cities,
+                [Term::Var(x), Term::Var(p), Term::Var(k)],
+            )],
             [Comparison::new(k, CmpOp::Eq, s("Asia"))],
         ));
         let wn = WhyNotInstance::new(schema, inst, q, vec![s("Amsterdam")]).unwrap();

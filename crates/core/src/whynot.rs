@@ -47,7 +47,13 @@ impl WhyNotInstance {
                 "the tuple is among the answers — nothing to explain".into(),
             ));
         }
-        Ok(WhyNotInstance { schema, instance, query, ans, tuple })
+        Ok(WhyNotInstance {
+            schema,
+            instance,
+            query,
+            ans,
+            tuple,
+        })
     }
 
     /// Builds a why-not instance from a precomputed answer set (the literal
@@ -64,7 +70,13 @@ impl WhyNotInstance {
                 "the tuple is among the answers — nothing to explain".into(),
             ));
         }
-        Ok(WhyNotInstance { schema, instance, query, ans, tuple })
+        Ok(WhyNotInstance {
+            schema,
+            instance,
+            query,
+            ans,
+            tuple,
+        })
     }
 
     /// The arity `m` of the question.
@@ -92,7 +104,9 @@ pub struct Explanation<C> {
 impl<C> Explanation<C> {
     /// Builds an explanation from concepts.
     pub fn new(concepts: impl IntoIterator<Item = C>) -> Self {
-        Explanation { concepts: concepts.into_iter().collect() }
+        Explanation {
+            concepts: concepts.into_iter().collect(),
+        }
     }
 
     /// Number of positions.
@@ -120,12 +134,12 @@ impl<C: fmt::Display> fmt::Display for Explanation<C> {
 }
 
 /// Renders an explanation through the ontology's concept printer.
-pub fn display_explanation<O: Ontology>(
-    ontology: &O,
-    e: &Explanation<O::Concept>,
-) -> String {
-    let parts: Vec<String> =
-        e.concepts.iter().map(|c| ontology.concept_name(c)).collect();
+pub fn display_explanation<O: Ontology>(ontology: &O, e: &Explanation<O::Concept>) -> String {
+    let parts: Vec<String> = e
+        .concepts
+        .iter()
+        .map(|c| ontology.concept_name(c))
+        .collect();
     format!("⟨{}⟩", parts.join(", "))
 }
 
@@ -136,7 +150,10 @@ pub fn explanation_extensions<O: Ontology>(
     wn: &WhyNotInstance,
     e: &Explanation<O::Concept>,
 ) -> Vec<Extension> {
-    e.concepts.iter().map(|c| ontology.extension(c, &wn.instance)).collect()
+    e.concepts
+        .iter()
+        .map(|c| ontology.extension(c, &wn.instance))
+        .collect()
 }
 
 /// Definition 3.2: `(C1,…,Cm)` explains `a ∉ Ans` iff every `ai` lies in

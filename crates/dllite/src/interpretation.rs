@@ -145,8 +145,14 @@ mod tests {
         i.add_concept(AtomicConcept::new("EU-City"), s("Rome"));
         i.add_concept(AtomicConcept::new("City"), s("Rome"));
         let mut t = TBox::new();
-        t.concept_incl(BasicConcept::atomic("EU-City"), BasicConcept::atomic("City"));
-        t.concept_disj(BasicConcept::atomic("EU-City"), BasicConcept::atomic("N.A.-City"));
+        t.concept_incl(
+            BasicConcept::atomic("EU-City"),
+            BasicConcept::atomic("City"),
+        );
+        t.concept_disj(
+            BasicConcept::atomic("EU-City"),
+            BasicConcept::atomic("N.A.-City"),
+        );
         assert!(i.satisfies_tbox(&t));
         // Violate the positive inclusion.
         i.add_concept(AtomicConcept::new("EU-City"), s("Berlin"));
@@ -161,7 +167,10 @@ mod tests {
     #[test]
     fn existential_axiom_needs_witnesses() {
         let mut t = TBox::new();
-        t.concept_incl(BasicConcept::atomic("City"), BasicConcept::exists("hasCountry"));
+        t.concept_incl(
+            BasicConcept::atomic("City"),
+            BasicConcept::exists("hasCountry"),
+        );
         let mut i = Interpretation::new();
         i.add_concept(AtomicConcept::new("City"), s("Rome"));
         assert!(!i.satisfies_tbox(&t));

@@ -92,12 +92,9 @@ impl GavMapping {
         let answers = self.as_query().eval(inst);
         answers.iter().all(|t| match &self.head {
             MappingHead::Concept(a, _) => interp.concept_ext(a).contains(&t[0]),
-            MappingHead::Role(p, _, _) => {
-                interp.role_ext(&crate::syntax::Role::Direct(p.clone())).contains(&(
-                    t[0].clone(),
-                    t[1].clone(),
-                ))
-            }
+            MappingHead::Role(p, _, _) => interp
+                .role_ext(&crate::syntax::Role::Direct(p.clone()))
+                .contains(&(t[0].clone(), t[1].clone())),
         })
     }
 }
@@ -120,10 +117,7 @@ impl fmt::Display for GavMapping {
 
 /// Helper: the constant-pattern body atom `R(t1, …, tk)` with a mix of
 /// variables and constants, as used throughout Figure 4.
-pub fn body_atom(
-    rel: whynot_relation::RelId,
-    args: impl IntoIterator<Item = Term>,
-) -> Atom {
+pub fn body_atom(rel: whynot_relation::RelId, args: impl IntoIterator<Item = Term>) -> Atom {
     Atom::new(rel, args)
 }
 
@@ -155,7 +149,10 @@ mod tests {
             ("Amsterdam", 779_808, "Netherlands", "Europe"),
             ("New York", 8_337_000, "USA", "N.America"),
         ] {
-            inst.insert(cities, vec![s(name), Value::int(pop), s(country), s(continent)]);
+            inst.insert(
+                cities,
+                vec![s(name), Value::int(pop), s(country), s(continent)],
+            );
         }
         (schema, cities, inst)
     }

@@ -35,7 +35,11 @@ impl ObdaSpec {
     /// Builds a specification and precomputes the reasoning closures.
     pub fn new(tbox: TBox, mappings: impl IntoIterator<Item = GavMapping>) -> Self {
         let reasoner = TBoxReasoner::new(&tbox);
-        ObdaSpec { tbox, mappings: mappings.into_iter().collect(), reasoner }
+        ObdaSpec {
+            tbox,
+            mappings: mappings.into_iter().collect(),
+            reasoner,
+        }
     }
 
     /// The TBox `T`.
@@ -115,11 +119,7 @@ impl ObdaSpec {
 
     /// The derived extension of a basic role: the mapping image closed
     /// under role inclusions.
-    pub fn certain_role_extension(
-        &self,
-        r: &Role,
-        inst: &Instance,
-    ) -> BTreeSet<(Value, Value)> {
+    pub fn certain_role_extension(&self, r: &Role, inst: &Instance) -> BTreeSet<(Value, Value)> {
         let base = self.base_interpretation(inst);
         let mut out = BTreeSet::new();
         for sub in self.reasoner.roles() {
@@ -210,8 +210,7 @@ impl ObdaSpec {
                     interp.add_concept(a.clone(), val.clone());
                 }
                 BasicConcept::Exists(r) => {
-                    let has_successor =
-                        interp.role_ext(r).iter().any(|(x, _)| x == &val);
+                    let has_successor = interp.role_ext(r).iter().any(|(x, _)| x == &val);
                     if !has_successor {
                         let witness = witness_null(r);
                         // The new pair participates in every super-role.
@@ -292,13 +291,43 @@ mod tests {
     /// Figure 4: the GAV mappings over the Figure 1 data schema.
     fn figure_4_mappings(cities: RelId, tc: RelId) -> Vec<GavMapping> {
         vec![
-            GavMapping::concept("EU-City", Var(0), [body_atom(cities, [v(0), v(1), v(2), c("Europe")])]),
-            GavMapping::concept("Dutch-City", Var(0), [body_atom(cities, [v(0), v(1), c("Netherlands"), v(3)])]),
-            GavMapping::concept("N.A.-City", Var(0), [body_atom(cities, [v(0), v(1), v(2), c("N.America")])]),
-            GavMapping::concept("US-City", Var(0), [body_atom(cities, [v(0), v(1), c("USA"), v(3)])]),
-            GavMapping::concept("Continent", Var(3), [body_atom(cities, [v(0), v(1), v(2), v(3)])]),
-            GavMapping::role("hasCountry", Var(0), Var(2), [body_atom(cities, [v(0), v(1), v(2), v(3)])]),
-            GavMapping::role("hasContinent", Var(0), Var(3), [body_atom(cities, [v(0), v(1), v(2), v(3)])]),
+            GavMapping::concept(
+                "EU-City",
+                Var(0),
+                [body_atom(cities, [v(0), v(1), v(2), c("Europe")])],
+            ),
+            GavMapping::concept(
+                "Dutch-City",
+                Var(0),
+                [body_atom(cities, [v(0), v(1), c("Netherlands"), v(3)])],
+            ),
+            GavMapping::concept(
+                "N.A.-City",
+                Var(0),
+                [body_atom(cities, [v(0), v(1), v(2), c("N.America")])],
+            ),
+            GavMapping::concept(
+                "US-City",
+                Var(0),
+                [body_atom(cities, [v(0), v(1), c("USA"), v(3)])],
+            ),
+            GavMapping::concept(
+                "Continent",
+                Var(3),
+                [body_atom(cities, [v(0), v(1), v(2), v(3)])],
+            ),
+            GavMapping::role(
+                "hasCountry",
+                Var(0),
+                Var(2),
+                [body_atom(cities, [v(0), v(1), v(2), v(3)])],
+            ),
+            GavMapping::role(
+                "hasContinent",
+                Var(0),
+                Var(3),
+                [body_atom(cities, [v(0), v(1), v(2), v(3)])],
+            ),
             GavMapping::role(
                 "connected",
                 Var(0),
@@ -330,7 +359,10 @@ mod tests {
             ("Tokyo", 13_185_000, "Japan", "Asia"),
             ("Kyoto", 1_400_000, "Japan", "Asia"),
         ] {
-            inst.insert(cities, vec![s(name), Value::int(pop), s(country), s(continent)]);
+            inst.insert(
+                cities,
+                vec![s(name), Value::int(pop), s(country), s(continent)],
+            );
         }
         for (x, y) in [
             ("Amsterdam", "Berlin"),
@@ -357,8 +389,14 @@ mod tests {
         assert_eq!(
             names(&spec.certain_extension(&a("City"), &inst)),
             [
-                "Amsterdam", "Berlin", "Kyoto", "New York", "Rome",
-                "San Francisco", "Santa Cruz", "Tokyo"
+                "Amsterdam",
+                "Berlin",
+                "Kyoto",
+                "New York",
+                "Rome",
+                "San Francisco",
+                "Santa Cruz",
+                "Tokyo"
             ]
         );
         assert_eq!(
@@ -414,8 +452,14 @@ mod tests {
         let mut bad = Instance::new();
         // A city claiming to be both in Europe and in N.America violates
         // EU-City ⊑ ¬N.A.-City... via two rows with different continents.
-        bad.insert(RelId(0), vec![s("Chimera"), Value::int(1), s("X"), s("Europe")]);
-        bad.insert(RelId(0), vec![s("Chimera"), Value::int(1), s("X"), s("N.America")]);
+        bad.insert(
+            RelId(0),
+            vec![s("Chimera"), Value::int(1), s("X"), s("Europe")],
+        );
+        bad.insert(
+            RelId(0),
+            vec![s("Chimera"), Value::int(1), s("X"), s("N.America")],
+        );
         assert!(!spec.is_consistent(&bad));
     }
 
@@ -423,7 +467,10 @@ mod tests {
     fn canonical_solution_is_a_solution() {
         let (_, spec, inst) = fixture();
         let sol = spec.canonical_solution(&inst);
-        assert!(sol.satisfies_tbox(spec.tbox()), "canonical solution must satisfy T");
+        assert!(
+            sol.satisfies_tbox(spec.tbox()),
+            "canonical solution must satisfy T"
+        );
         for m in spec.mappings() {
             assert!(m.satisfied_by(&inst, &sol), "mapping violated: {m}");
         }

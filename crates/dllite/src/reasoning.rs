@@ -37,8 +37,7 @@ impl TBoxReasoner {
     pub fn new(tbox: &TBox) -> Self {
         // Universe: every basic concept/role mentioned, plus the ∃R / ∃R⁻
         // and R / R⁻ companions of every atomic role.
-        let mut universe_c: BTreeSet<BasicConcept> =
-            tbox.basic_concepts().into_iter().collect();
+        let mut universe_c: BTreeSet<BasicConcept> = tbox.basic_concepts().into_iter().collect();
         let mut universe_r: BTreeSet<Role> = BTreeSet::new();
         for p in tbox.atomic_roles() {
             universe_r.insert(Role::Direct(p.clone()));
@@ -54,20 +53,32 @@ impl TBoxReasoner {
         let mut neg_r: Vec<(Role, Role)> = Vec::new();
         for ax in tbox.axioms() {
             match ax {
-                TBoxAxiom::Concept { sub, sup: ConceptExpr::Basic(sup) } => {
+                TBoxAxiom::Concept {
+                    sub,
+                    sup: ConceptExpr::Basic(sup),
+                } => {
                     edges_c.entry(sub.clone()).or_default().insert(sup.clone());
                 }
-                TBoxAxiom::Concept { sub, sup: ConceptExpr::Neg(sup) } => {
+                TBoxAxiom::Concept {
+                    sub,
+                    sup: ConceptExpr::Neg(sup),
+                } => {
                     neg_c.push((sub.clone(), sup.clone()));
                 }
-                TBoxAxiom::Role { sub, sup: RoleExpr::Role(sup) } => {
+                TBoxAxiom::Role {
+                    sub,
+                    sup: RoleExpr::Role(sup),
+                } => {
                     edges_r.entry(sub.clone()).or_default().insert(sup.clone());
                     edges_r
                         .entry(sub.inverted())
                         .or_default()
                         .insert(sup.inverted());
                 }
-                TBoxAxiom::Role { sub, sup: RoleExpr::Neg(sup) } => {
+                TBoxAxiom::Role {
+                    sub,
+                    sup: RoleExpr::Neg(sup),
+                } => {
                     neg_r.push((sub.clone(), sup.clone()));
                 }
             }
@@ -138,7 +149,16 @@ impl TBoxReasoner {
             }
         }
 
-        TBoxReasoner { reach_c, reach_r, neg_c, neg_r, universe_c, universe_r, unsat_c, unsat_r }
+        TBoxReasoner {
+            reach_c,
+            reach_r,
+            neg_c,
+            neg_r,
+            universe_c,
+            universe_r,
+            unsat_c,
+            unsat_r,
+        }
     }
 
     /// All basic concepts in the reasoning universe.
@@ -152,11 +172,17 @@ impl TBoxReasoner {
     }
 
     fn reachable_c(&self, from: &BasicConcept) -> BTreeSet<BasicConcept> {
-        self.reach_c.get(from).cloned().unwrap_or_else(|| [from.clone()].into_iter().collect())
+        self.reach_c
+            .get(from)
+            .cloned()
+            .unwrap_or_else(|| [from.clone()].into_iter().collect())
     }
 
     fn reachable_r(&self, from: &Role) -> BTreeSet<Role> {
-        self.reach_r.get(from).cloned().unwrap_or_else(|| [from.clone()].into_iter().collect())
+        self.reach_r
+            .get(from)
+            .cloned()
+            .unwrap_or_else(|| [from.clone()].into_iter().collect())
     }
 
     /// `T |= B1 ⊑ B2` (positive subsumption between basic concepts).
@@ -215,7 +241,11 @@ impl TBoxReasoner {
     /// All basic concepts `B'` with `T |= B' ⊑ b` within the universe —
     /// the "downward cone" used to compute certain extensions.
     pub fn subsumees(&self, b: &BasicConcept) -> Vec<BasicConcept> {
-        self.universe_c.iter().filter(|c| self.subsumed(c, b)).cloned().collect()
+        self.universe_c
+            .iter()
+            .filter(|c| self.subsumed(c, b))
+            .cloned()
+            .collect()
     }
 }
 

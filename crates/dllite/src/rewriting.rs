@@ -15,7 +15,9 @@
 
 use crate::mapping::MappingHead;
 use crate::obda::ObdaSpec;
-use crate::syntax::{AtomicConcept, AtomicRole, BasicConcept, ConceptExpr, Role, RoleExpr, TBox, TBoxAxiom};
+use crate::syntax::{
+    AtomicConcept, AtomicRole, BasicConcept, ConceptExpr, Role, RoleExpr, TBox, TBoxAxiom,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use whynot_relation::{Cq, Instance, RelError, Schema, Term, Tuple, Ucq, Var};
 
@@ -59,12 +61,19 @@ impl OntCq {
         head: impl IntoIterator<Item = Term>,
         atoms: impl IntoIterator<Item = OntAtom>,
     ) -> Self {
-        OntCq { head: head.into_iter().collect(), atoms: atoms.into_iter().collect() }
+        OntCq {
+            head: head.into_iter().collect(),
+            atoms: atoms.into_iter().collect(),
+        }
     }
 
     fn vars(&self) -> BTreeSet<Var> {
         let mut out = BTreeSet::new();
-        for t in self.head.iter().chain(self.atoms.iter().flat_map(|a| a.terms())) {
+        for t in self
+            .head
+            .iter()
+            .chain(self.atoms.iter().flat_map(|a| a.terms()))
+        {
             if let Term::Var(v) = t {
                 out.insert(*v);
             }
@@ -110,8 +119,11 @@ impl OntCq {
             }
         };
         let head: Vec<Term> = self.head.iter().map(&mut rename).collect();
-        let mut atoms: Vec<OntAtom> =
-            self.atoms.iter().map(|a| a.map_terms(&mut rename)).collect();
+        let mut atoms: Vec<OntAtom> = self
+            .atoms
+            .iter()
+            .map(|a| a.map_terms(&mut rename))
+            .collect();
         atoms.sort();
         atoms.dedup();
         OntCq { head, atoms }
@@ -128,15 +140,18 @@ pub fn perfect_ref(tbox: &TBox, q: &OntCq) -> Vec<OntCq> {
     seen.insert(q.canonical());
     while let Some(current) = frontier.pop() {
         result.push(current.clone());
-        let mut fresh_counter =
-            current.vars().iter().map(|v| v.0 + 1).max().unwrap_or(0);
+        let mut fresh_counter = current.vars().iter().map(|v| v.0 + 1).max().unwrap_or(0);
         // (a) Apply every applicable positive inclusion to every atom.
         for (i, atom) in current.atoms.iter().enumerate() {
             for axiom in tbox.axioms() {
                 if let Some(new_atom) = apply_axiom(&current, atom, axiom, &mut fresh_counter) {
                     let mut atoms = current.atoms.clone();
                     atoms[i] = new_atom;
-                    let candidate = OntCq { head: current.head.clone(), atoms }.canonical();
+                    let candidate = OntCq {
+                        head: current.head.clone(),
+                        atoms,
+                    }
+                    .canonical();
                     if seen.insert(candidate.clone()) {
                         frontier.push(candidate);
                     }
@@ -161,12 +176,7 @@ pub fn perfect_ref(tbox: &TBox, q: &OntCq) -> Vec<OntCq> {
 
 /// The PerfectRef applicability table: if the positive inclusion `axiom`
 /// applies to `atom` within `q`, returns the replacement atom.
-fn apply_axiom(
-    q: &OntCq,
-    atom: &OntAtom,
-    axiom: &TBoxAxiom,
-    fresh: &mut u32,
-) -> Option<OntAtom> {
+fn apply_axiom(q: &OntCq, atom: &OntAtom, axiom: &TBoxAxiom, fresh: &mut u32) -> Option<OntAtom> {
     let mut fresh_var = || {
         let v = Var(*fresh);
         *fresh += 1;
@@ -176,12 +186,18 @@ fn apply_axiom(
         // g = A(t), I = B ⊑ A  ⇒  atom-of-B(t).
         (
             OntAtom::Concept(a, t),
-            TBoxAxiom::Concept { sub, sup: ConceptExpr::Basic(BasicConcept::Atomic(sup_a)) },
+            TBoxAxiom::Concept {
+                sub,
+                sup: ConceptExpr::Basic(BasicConcept::Atomic(sup_a)),
+            },
         ) if sup_a == a => Some(atom_of_basic(sub, t.clone(), &mut fresh_var)),
         // g = P(t1, t2), I = B ⊑ ∃P (t2 unbound) or B ⊑ ∃P⁻ (t1 unbound).
         (
             OntAtom::Role(p, t1, t2),
-            TBoxAxiom::Concept { sub, sup: ConceptExpr::Basic(BasicConcept::Exists(r)) },
+            TBoxAxiom::Concept {
+                sub,
+                sup: ConceptExpr::Basic(BasicConcept::Exists(r)),
+            },
         ) if r.atom() == p => match r {
             Role::Direct(_) if !q.is_bound(t2) => {
                 Some(atom_of_basic(sub, t1.clone(), &mut fresh_var))
@@ -192,9 +208,13 @@ fn apply_axiom(
             _ => None,
         },
         // g = Q(t1, t2), I = R1 ⊑ R2 with R2's atom = Q.
-        (OntAtom::Role(p, t1, t2), TBoxAxiom::Role { sub, sup: RoleExpr::Role(sup_r) })
-            if sup_r.atom() == p =>
-        {
+        (
+            OntAtom::Role(p, t1, t2),
+            TBoxAxiom::Role {
+                sub,
+                sup: RoleExpr::Role(sup_r),
+            },
+        ) if sup_r.atom() == p => {
             // Orient the pair through the superrole, then through the sub.
             let (s, t) = match sup_r {
                 Role::Direct(_) => (t1.clone(), t2.clone()),
@@ -209,11 +229,7 @@ fn apply_axiom(
     }
 }
 
-fn atom_of_basic(
-    b: &BasicConcept,
-    t: Term,
-    fresh: &mut impl FnMut() -> Term,
-) -> OntAtom {
+fn atom_of_basic(b: &BasicConcept, t: Term, fresh: &mut impl FnMut() -> Term) -> OntAtom {
     match b {
         BasicConcept::Atomic(a) => OntAtom::Concept(a.clone(), t),
         BasicConcept::Exists(Role::Direct(p)) => OntAtom::Role(p.clone(), t, fresh()),
@@ -345,12 +361,18 @@ impl ObdaSpec {
                     if !ok {
                         continue;
                     }
-                    let Some(instantiated) = fresh_body.substitute(&map) else { continue };
+                    let Some(instantiated) = fresh_body.substitute(&map) else {
+                        continue;
+                    };
                     let mut atoms = base.atoms.clone();
                     atoms.extend(instantiated.atoms);
                     let mut comparisons = base.comparisons.clone();
                     comparisons.extend(instantiated.comparisons);
-                    expanded.push(Cq { head: base.head.clone(), atoms, comparisons });
+                    expanded.push(Cq {
+                        head: base.head.clone(),
+                        atoms,
+                        comparisons,
+                    });
                 }
             }
             partial = expanded;
@@ -401,13 +423,43 @@ mod tests {
         t.concept_incl(BasicConcept::exists("connected"), a("City"));
         t.concept_incl(BasicConcept::exists_inv("connected"), a("City"));
         let mappings = vec![
-            GavMapping::concept("EU-City", Var(0), [body_atom(cities, [v(0), v(1), v(2), c("Europe")])]),
-            GavMapping::concept("Dutch-City", Var(0), [body_atom(cities, [v(0), v(1), c("Netherlands"), v(3)])]),
-            GavMapping::concept("N.A.-City", Var(0), [body_atom(cities, [v(0), v(1), v(2), c("N.America")])]),
-            GavMapping::concept("US-City", Var(0), [body_atom(cities, [v(0), v(1), c("USA"), v(3)])]),
-            GavMapping::concept("Continent", Var(3), [body_atom(cities, [v(0), v(1), v(2), v(3)])]),
-            GavMapping::role("hasCountry", Var(0), Var(2), [body_atom(cities, [v(0), v(1), v(2), v(3)])]),
-            GavMapping::role("hasContinent", Var(0), Var(3), [body_atom(cities, [v(0), v(1), v(2), v(3)])]),
+            GavMapping::concept(
+                "EU-City",
+                Var(0),
+                [body_atom(cities, [v(0), v(1), v(2), c("Europe")])],
+            ),
+            GavMapping::concept(
+                "Dutch-City",
+                Var(0),
+                [body_atom(cities, [v(0), v(1), c("Netherlands"), v(3)])],
+            ),
+            GavMapping::concept(
+                "N.A.-City",
+                Var(0),
+                [body_atom(cities, [v(0), v(1), v(2), c("N.America")])],
+            ),
+            GavMapping::concept(
+                "US-City",
+                Var(0),
+                [body_atom(cities, [v(0), v(1), c("USA"), v(3)])],
+            ),
+            GavMapping::concept(
+                "Continent",
+                Var(3),
+                [body_atom(cities, [v(0), v(1), v(2), v(3)])],
+            ),
+            GavMapping::role(
+                "hasCountry",
+                Var(0),
+                Var(2),
+                [body_atom(cities, [v(0), v(1), v(2), v(3)])],
+            ),
+            GavMapping::role(
+                "hasContinent",
+                Var(0),
+                Var(3),
+                [body_atom(cities, [v(0), v(1), v(2), v(3)])],
+            ),
             GavMapping::role(
                 "connected",
                 Var(0),
@@ -431,7 +483,10 @@ mod tests {
             ("Tokyo", 13_185_000, "Japan", "Asia"),
             ("Kyoto", 1_400_000, "Japan", "Asia"),
         ] {
-            inst.insert(cities, vec![s(name), Value::int(pop), s(country), s(continent)]);
+            inst.insert(
+                cities,
+                vec![s(name), Value::int(pop), s(country), s(continent)],
+            );
         }
         for (x, y) in [
             ("Amsterdam", "Berlin"),
@@ -457,15 +512,18 @@ mod tests {
         // subclass and both ∃connected cones.
         let q = OntCq::new(
             [Term::Var(Var(0))],
-            [OntAtom::Concept(AtomicConcept::new("City"), Term::Var(Var(0)))],
+            [OntAtom::Concept(
+                AtomicConcept::new("City"),
+                Term::Var(Var(0)),
+            )],
         );
         let rewritten = perfect_ref(spec.tbox(), &q);
         assert!(rewritten.len() >= 6, "got {}", rewritten.len());
         let has_concept = |name: &str| {
             rewritten.iter().any(|cq| {
-                cq.atoms.iter().any(
-                    |at| matches!(at, OntAtom::Concept(a, _) if a.name() == name),
-                )
+                cq.atoms
+                    .iter()
+                    .any(|at| matches!(at, OntAtom::Concept(a, _) if a.name() == name))
             })
         };
         assert!(has_concept("City"));
@@ -473,9 +531,9 @@ mod tests {
         assert!(has_concept("Dutch-City"));
         assert!(has_concept("US-City"));
         assert!(rewritten.iter().any(|cq| {
-            cq.atoms.iter().any(
-                |at| matches!(at, OntAtom::Role(p, _, _) if p.name() == "connected"),
-            )
+            cq.atoms
+                .iter()
+                .any(|at| matches!(at, OntAtom::Role(p, _, _) if p.name() == "connected"))
         }));
     }
 
@@ -485,15 +543,25 @@ mod tests {
         // ext_OB(A, I) — rewriting and the saturation-based computation
         // are two routes to the same semantics.
         let (schema, spec, inst) = fixture();
-        for concept in ["City", "EU-City", "Dutch-City", "N.A.-City", "US-City", "Country", "Continent"] {
+        for concept in [
+            "City",
+            "EU-City",
+            "Dutch-City",
+            "N.A.-City",
+            "US-City",
+            "Country",
+            "Continent",
+        ] {
             let q = OntCq::new(
                 [Term::Var(Var(0))],
-                [OntAtom::Concept(AtomicConcept::new(concept), Term::Var(Var(0)))],
+                [OntAtom::Concept(
+                    AtomicConcept::new(concept),
+                    Term::Var(Var(0)),
+                )],
             );
             let via_rewriting = spec.certain_answers(&schema, &q, &inst).unwrap();
             let via_saturation = spec.certain_extension(&a(concept), &inst);
-            let flat: BTreeSet<Value> =
-                via_rewriting.into_iter().map(|t| t[0].clone()).collect();
+            let flat: BTreeSet<Value> = via_rewriting.into_iter().map(|t| t[0].clone()).collect();
             assert_eq!(flat, via_saturation, "{concept}");
         }
     }
@@ -504,7 +572,11 @@ mod tests {
         // q(x, y) ← hasCountry(x, y): country pairs from the mapping.
         let q = OntCq::new(
             [Term::Var(Var(0)), Term::Var(Var(1))],
-            [OntAtom::Role(AtomicRole::new("hasCountry"), Term::Var(Var(0)), Term::Var(Var(1)))],
+            [OntAtom::Role(
+                AtomicRole::new("hasCountry"),
+                Term::Var(Var(0)),
+                Term::Var(Var(1)),
+            )],
         );
         let ans = spec.certain_answers(&schema, &q, &inst).unwrap();
         assert_eq!(ans.len(), 8);
@@ -514,7 +586,11 @@ mod tests {
         let q = OntCq::new(
             [Term::Var(Var(0))],
             [
-                OntAtom::Role(AtomicRole::new("hasCountry"), Term::Var(Var(0)), Term::Var(Var(1))),
+                OntAtom::Role(
+                    AtomicRole::new("hasCountry"),
+                    Term::Var(Var(0)),
+                    Term::Var(Var(1)),
+                ),
                 OntAtom::Concept(AtomicConcept::new("Country"), Term::Var(Var(1))),
             ],
         );
@@ -531,16 +607,26 @@ mod tests {
         // remain.
         let q = OntCq::new(
             [Term::Var(Var(0)), Term::Var(Var(1))],
-            [OntAtom::Role(AtomicRole::new("hasContinent"), Term::Var(Var(0)), Term::Var(Var(1)))],
+            [OntAtom::Role(
+                AtomicRole::new("hasContinent"),
+                Term::Var(Var(0)),
+                Term::Var(Var(1)),
+            )],
         );
         let ans = spec.certain_answers(&schema, &q, &inst).unwrap();
         assert_eq!(ans.len(), 8);
-        assert!(ans.iter().all(|t| !crate::is_witness_null(&t[0]) && !crate::is_witness_null(&t[1])));
+        assert!(ans
+            .iter()
+            .all(|t| !crate::is_witness_null(&t[0]) && !crate::is_witness_null(&t[1])));
         // But the *boolean-ish* unary query q(x) ← hasContinent(x, z) with
         // z existential DOES include countries: Country ⊑ ∃hasContinent.
         let q = OntCq::new(
             [Term::Var(Var(0))],
-            [OntAtom::Role(AtomicRole::new("hasContinent"), Term::Var(Var(0)), Term::Var(Var(1)))],
+            [OntAtom::Role(
+                AtomicRole::new("hasContinent"),
+                Term::Var(Var(0)),
+                Term::Var(Var(1)),
+            )],
         );
         let ans = spec.certain_answers(&schema, &q, &inst).unwrap();
         let flat: Vec<String> = names(&ans);
@@ -554,14 +640,20 @@ mod tests {
         // q() ← EU-City("Amsterdam") — boolean query, certain.
         let q = OntCq::new(
             [Term::Const(s("Amsterdam"))],
-            [OntAtom::Concept(AtomicConcept::new("EU-City"), Term::Const(s("Amsterdam")))],
+            [OntAtom::Concept(
+                AtomicConcept::new("EU-City"),
+                Term::Const(s("Amsterdam")),
+            )],
         );
         let ans = spec.certain_answers(&schema, &q, &inst).unwrap();
         assert_eq!(ans.len(), 1);
         // And for a non-European city it is empty.
         let q = OntCq::new(
             [Term::Const(s("Tokyo"))],
-            [OntAtom::Concept(AtomicConcept::new("EU-City"), Term::Const(s("Tokyo")))],
+            [OntAtom::Concept(
+                AtomicConcept::new("EU-City"),
+                Term::Const(s("Tokyo")),
+            )],
         );
         assert!(spec.certain_answers(&schema, &q, &inst).unwrap().is_empty());
     }
@@ -581,10 +673,13 @@ mod tests {
             ],
         );
         let rewritten = perfect_ref(&t, &q);
-        assert!(rewritten.iter().any(|cq| {
-            cq.atoms.len() == 1
-                && matches!(&cq.atoms[0], OntAtom::Concept(a, _) if a.name() == "B")
-        }), "{rewritten:?}");
+        assert!(
+            rewritten.iter().any(|cq| {
+                cq.atoms.len() == 1
+                    && matches!(&cq.atoms[0], OntAtom::Concept(a, _) if a.name() == "B")
+            }),
+            "{rewritten:?}"
+        );
     }
 
     #[test]
@@ -594,7 +689,11 @@ mod tests {
         t.role_incl(Role::direct("ferry"), Role::inverse("transit"));
         let q = OntCq::new(
             [Term::Var(Var(0)), Term::Var(Var(1))],
-            [OntAtom::Role(AtomicRole::new("transit"), Term::Var(Var(0)), Term::Var(Var(1)))],
+            [OntAtom::Role(
+                AtomicRole::new("transit"),
+                Term::Var(Var(0)),
+                Term::Var(Var(1)),
+            )],
         );
         let rewritten = perfect_ref(&t, &q);
         // transit(x,y) ∨ tram(x,y) ∨ ferry(y,x).

@@ -225,25 +225,37 @@ impl TBox {
 
     /// Adds a positive concept inclusion `B1 ⊑ B2`.
     pub fn concept_incl(&mut self, sub: BasicConcept, sup: BasicConcept) -> &mut Self {
-        self.axioms.push(TBoxAxiom::Concept { sub, sup: ConceptExpr::Basic(sup) });
+        self.axioms.push(TBoxAxiom::Concept {
+            sub,
+            sup: ConceptExpr::Basic(sup),
+        });
         self
     }
 
     /// Adds a disjointness (negative concept inclusion) `B1 ⊑ ¬B2`.
     pub fn concept_disj(&mut self, sub: BasicConcept, sup: BasicConcept) -> &mut Self {
-        self.axioms.push(TBoxAxiom::Concept { sub, sup: ConceptExpr::Neg(sup) });
+        self.axioms.push(TBoxAxiom::Concept {
+            sub,
+            sup: ConceptExpr::Neg(sup),
+        });
         self
     }
 
     /// Adds a positive role inclusion `R1 ⊑ R2`.
     pub fn role_incl(&mut self, sub: Role, sup: Role) -> &mut Self {
-        self.axioms.push(TBoxAxiom::Role { sub, sup: RoleExpr::Role(sup) });
+        self.axioms.push(TBoxAxiom::Role {
+            sub,
+            sup: RoleExpr::Role(sup),
+        });
         self
     }
 
     /// Adds a role disjointness `R1 ⊑ ¬R2`.
     pub fn role_disj(&mut self, sub: Role, sup: Role) -> &mut Self {
-        self.axioms.push(TBoxAxiom::Role { sub, sup: RoleExpr::Neg(sup) });
+        self.axioms.push(TBoxAxiom::Role {
+            sub,
+            sup: RoleExpr::Neg(sup),
+        });
         self
     }
 
@@ -333,17 +345,29 @@ mod tests {
     fn display_notation() {
         assert_eq!(BasicConcept::atomic("City").to_string(), "City");
         assert_eq!(BasicConcept::exists("connected").to_string(), "∃connected");
-        assert_eq!(BasicConcept::exists_inv("hasCountry").to_string(), "∃hasCountry⁻");
+        assert_eq!(
+            BasicConcept::exists_inv("hasCountry").to_string(),
+            "∃hasCountry⁻"
+        );
         let mut t = TBox::new();
-        t.concept_disj(BasicConcept::atomic("EU-City"), BasicConcept::atomic("N.A.-City"));
+        t.concept_disj(
+            BasicConcept::atomic("EU-City"),
+            BasicConcept::atomic("N.A.-City"),
+        );
         assert_eq!(t.to_string(), "EU-City ⊑ ¬N.A.-City\n");
     }
 
     #[test]
     fn basic_concepts_collects_both_sides() {
         let mut t = TBox::new();
-        t.concept_incl(BasicConcept::atomic("City"), BasicConcept::exists("hasCountry"));
-        t.concept_incl(BasicConcept::exists_inv("hasCountry"), BasicConcept::atomic("Country"));
+        t.concept_incl(
+            BasicConcept::atomic("City"),
+            BasicConcept::exists("hasCountry"),
+        );
+        t.concept_incl(
+            BasicConcept::exists_inv("hasCountry"),
+            BasicConcept::atomic("Country"),
+        );
         let bcs = t.basic_concepts();
         assert_eq!(bcs.len(), 4);
         assert!(bcs.contains(&BasicConcept::atomic("City")));

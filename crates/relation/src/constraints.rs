@@ -34,7 +34,11 @@ impl Fd {
         lhs: impl IntoIterator<Item = Attr>,
         rhs: impl IntoIterator<Item = Attr>,
     ) -> Self {
-        Fd { rel, lhs: lhs.into_iter().collect(), rhs: rhs.into_iter().collect() }
+        Fd {
+            rel,
+            lhs: lhs.into_iter().collect(),
+            rhs: rhs.into_iter().collect(),
+        }
     }
 
     /// Whether `inst` satisfies the FD.
@@ -80,7 +84,7 @@ impl Ind {
         Ind {
             from,
             from_attrs: from_attrs.into_iter().collect(),
-            to: to,
+            to,
             to_attrs: to_attrs.into_iter().collect(),
         }
     }
@@ -189,8 +193,11 @@ impl fmt::Display for DisplayConstraint<'_> {
                 )
             }
             Constraint::Ind(ind) => {
-                let from: Vec<&str> =
-                    ind.from_attrs.iter().map(|&a| attr_name(ind.from, a)).collect();
+                let from: Vec<&str> = ind
+                    .from_attrs
+                    .iter()
+                    .map(|&a| attr_name(ind.from, a))
+                    .collect();
                 let to: Vec<&str> = ind.to_attrs.iter().map(|&a| attr_name(ind.to, a)).collect();
                 write!(
                     f,
@@ -275,7 +282,9 @@ pub fn view_partition(schema: &Schema) -> ViewPartition {
     // Kahn's algorithm over the "depends on" graph.
     let mut deps: BTreeMap<RelId, BTreeSet<RelId>> = BTreeMap::new();
     for (&v, &idx) in &views {
-        let Constraint::View(def) = &schema.constraints()[idx] else { unreachable!() };
+        let Constraint::View(def) = &schema.constraints()[idx] else {
+            unreachable!()
+        };
         deps.insert(v, def.dependencies(&view_set));
     }
     let mut topo_order = Vec::with_capacity(views.len());
@@ -398,7 +407,10 @@ fn check_attr(schema: &Schema, rel: RelId, attr: Attr) -> Result<(), RelError> {
     if attr < schema.arity(rel) {
         Ok(())
     } else {
-        Err(RelError::BadAttribute { relation: schema.name(rel).to_string(), attr })
+        Err(RelError::BadAttribute {
+            relation: schema.name(rel).to_string(),
+            attr,
+        })
     }
 }
 
@@ -421,19 +433,26 @@ pub fn classify(schema: &Schema) -> ConstraintClass {
         (_, _, true) => ConstraintClass::FdsAndInds,
         (0, 0, false) => {
             let view_set: BTreeSet<RelId> = views.iter().map(|v| v.view).collect();
-            let comparisons = views
-                .iter()
-                .any(|v| v.definition.disjuncts.iter().any(|d| !d.comparisons.is_empty()));
+            let comparisons = views.iter().any(|v| {
+                v.definition
+                    .disjuncts
+                    .iter()
+                    .any(|d| !d.comparisons.is_empty())
+            });
             let nested = views.iter().any(|v| !v.dependencies(&view_set).is_empty());
             if !nested {
                 ConstraintClass::UcqViews { comparisons }
             } else {
                 let linear = views.iter().all(|v| {
-                    v.definition.disjuncts.iter().all(|d| {
-                        d.atoms.iter().filter(|a| view_set.contains(&a.rel)).count() <= 1
-                    })
+                    v.definition
+                        .disjuncts
+                        .iter()
+                        .all(|d| d.atoms.iter().filter(|a| view_set.contains(&a.rel)).count() <= 1)
                 });
-                ConstraintClass::NestedUcqViews { linear, comparisons }
+                ConstraintClass::NestedUcqViews {
+                    linear,
+                    comparisons,
+                }
             }
         }
         _ => ConstraintClass::Mixed,
@@ -455,8 +474,14 @@ mod tests {
     fn fd_detects_violation() {
         let fd = Fd::new(RelId(0), [2], [3]); // country → continent
         let mut inst = Instance::new();
-        inst.insert(RelId(0), vec![s("Rome"), Value::int(1), s("Italy"), s("Europe")]);
-        inst.insert(RelId(0), vec![s("Milan"), Value::int(2), s("Italy"), s("Europe")]);
+        inst.insert(
+            RelId(0),
+            vec![s("Rome"), Value::int(1), s("Italy"), s("Europe")],
+        );
+        inst.insert(
+            RelId(0),
+            vec![s("Milan"), Value::int(2), s("Italy"), s("Europe")],
+        );
         assert!(fd.satisfied_by(&inst));
         inst.insert(RelId(0), vec![s("X"), Value::int(3), s("Italy"), s("Asia")]);
         assert!(!fd.satisfied_by(&inst));
@@ -518,20 +543,29 @@ mod tests {
         let mut b = SchemaBuilder::new();
         let r = b.relation("R", ["a", "b"]);
         b.add_fd(Fd::new(r, [0], [1]));
-        assert_eq!(*b.finish().unwrap().constraint_class(), ConstraintClass::FdsOnly);
+        assert_eq!(
+            *b.finish().unwrap().constraint_class(),
+            ConstraintClass::FdsOnly
+        );
 
         let mut b = SchemaBuilder::new();
         let r = b.relation("R", ["a", "b"]);
         let t = b.relation("T", ["c"]);
         b.add_ind(Ind::new(r, [0], t, [0]));
-        assert_eq!(*b.finish().unwrap().constraint_class(), ConstraintClass::IndsOnly);
+        assert_eq!(
+            *b.finish().unwrap().constraint_class(),
+            ConstraintClass::IndsOnly
+        );
 
         let mut b = SchemaBuilder::new();
         let r = b.relation("R", ["a", "b"]);
         let t = b.relation("T", ["c"]);
         b.add_fd(Fd::new(r, [0], [1]));
         b.add_ind(Ind::new(r, [0], t, [0]));
-        assert_eq!(*b.finish().unwrap().constraint_class(), ConstraintClass::FdsAndInds);
+        assert_eq!(
+            *b.finish().unwrap().constraint_class(),
+            ConstraintClass::FdsAndInds
+        );
     }
 
     #[test]
@@ -564,7 +598,10 @@ mod tests {
         let schema = b.finish().unwrap();
         assert_eq!(
             *schema.constraint_class(),
-            ConstraintClass::NestedUcqViews { linear: true, comparisons: false }
+            ConstraintClass::NestedUcqViews {
+                linear: true,
+                comparisons: false
+            }
         );
         let part = view_partition(&schema);
         assert_eq!(part.topo_order, vec![v1, v2]);

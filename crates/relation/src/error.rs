@@ -42,8 +42,15 @@ pub enum RelError {
 impl fmt::Display for RelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RelError::ArityMismatch { relation, expected, got } => {
-                write!(f, "arity mismatch for {relation}: expected {expected}, got {got}")
+            RelError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "arity mismatch for {relation}: expected {expected}, got {got}"
+                )
             }
             RelError::UnknownRelation(name) => write!(f, "unknown relation {name}"),
             RelError::UnsafeQuery(msg) => write!(f, "unsafe query: {msg}"),

@@ -47,8 +47,11 @@ pub fn freeze(cq: &Cq) -> Result<Frozen, RelError> {
             "freeze: query has comparisons; use freeze_with over region representatives".into(),
         ));
     }
-    let assignment: BTreeMap<Var, Value> =
-        cq.vars().into_iter().map(|v| (v, fresh_constant(v.0))).collect();
+    let assignment: BTreeMap<Var, Value> = cq
+        .vars()
+        .into_iter()
+        .map(|v| (v, fresh_constant(v.0)))
+        .collect();
     Ok(freeze_with(cq, &assignment).expect("comparison-free freeze cannot fail"))
 }
 
@@ -74,7 +77,11 @@ pub fn freeze_with(cq: &Cq, assignment: &BTreeMap<Var, Value>) -> Option<Frozen>
         instance.insert(atom.rel, tuple?);
     }
     let head: Option<Tuple> = cq.head.iter().map(resolve).collect();
-    Some(Frozen { instance, head: head?, assignment: assignment.clone() })
+    Some(Frozen {
+        instance,
+        head: head?,
+        assignment: assignment.clone(),
+    })
 }
 
 #[cfg(test)]

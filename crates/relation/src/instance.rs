@@ -66,7 +66,9 @@ impl Instance {
 
     /// Removes a fact; returns whether it was present.
     pub fn remove(&mut self, rel: RelId, tuple: &[Value]) -> bool {
-        self.relations.get_mut(&rel).is_some_and(|rs| rs.remove(tuple))
+        self.relations
+            .get_mut(&rel)
+            .is_some_and(|rs| rs.remove(tuple))
     }
 
     /// The tuples of `rel` (`R^I`), empty if none were inserted.
@@ -81,13 +83,18 @@ impl Instance {
 
     /// Whether `rel` contains `tuple`.
     pub fn contains(&self, rel: RelId, tuple: &[Value]) -> bool {
-        self.relations.get(&rel).is_some_and(|rs| rs.contains(tuple))
+        self.relations
+            .get(&rel)
+            .is_some_and(|rs| rs.contains(tuple))
     }
 
     /// Iterates over all facts, ordered by relation id then tuple.
     pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
         self.relations.iter().flat_map(|(&rel, tuples)| {
-            tuples.iter().map(move |t| Fact { rel, tuple: t.clone() })
+            tuples.iter().map(move |t| Fact {
+                rel,
+                tuple: t.clone(),
+            })
         })
     }
 
@@ -118,9 +125,18 @@ impl Instance {
             .collect()
     }
 
+    /// Every constant occurrence across all facts, by reference and with
+    /// repetitions (the allocation-free feed for
+    /// [`ConstPool::for_instance`](crate::ConstPool::for_instance)).
+    pub fn value_occurrences(&self) -> impl Iterator<Item = &Value> + '_ {
+        self.relations.values().flatten().flat_map(|t| t.iter())
+    }
+
     /// The set of values occurring in attribute position `attr` of `rel`.
     pub fn column(&self, rel: RelId, attr: usize) -> BTreeSet<Value> {
-        self.tuples(rel).filter_map(|t| t.get(attr).cloned()).collect()
+        self.tuples(rel)
+            .filter_map(|t| t.get(attr).cloned())
+            .collect()
     }
 
     /// Checks every tuple's arity against the schema.
@@ -147,12 +163,18 @@ impl Instance {
     /// schema (FDs, IDs, and view definitions — a view must contain exactly
     /// the result of its defining UCQ).
     pub fn satisfies_constraints(&self, schema: &Schema) -> bool {
-        schema.constraints().iter().all(|c| c.satisfied_by(schema, self))
+        schema
+            .constraints()
+            .iter()
+            .all(|c| c.satisfied_by(schema, self))
     }
 
     /// Renders the instance with relation and attribute names.
     pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
-        DisplayInstance { instance: self, schema }
+        DisplayInstance {
+            instance: self,
+            schema,
+        }
     }
 }
 
@@ -217,9 +239,18 @@ mod tests {
         let r = b.relation("R", ["x", "y"]);
         let schema = b.finish().unwrap();
         let mut inst = Instance::new();
-        assert!(inst.insert_checked(&schema, r, vec![v("a"), v("b")]).is_ok());
+        assert!(inst
+            .insert_checked(&schema, r, vec![v("a"), v("b")])
+            .is_ok());
         let err = inst.insert_checked(&schema, r, vec![v("a")]).unwrap_err();
-        assert!(matches!(err, RelError::ArityMismatch { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            err,
+            RelError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

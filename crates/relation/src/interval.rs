@@ -46,12 +46,18 @@ pub struct Interval {
 impl Interval {
     /// The full interval `(-∞, +∞)`.
     pub fn full() -> Self {
-        Interval { lo: Bound::Unbounded, hi: Bound::Unbounded }
+        Interval {
+            lo: Bound::Unbounded,
+            hi: Bound::Unbounded,
+        }
     }
 
     /// The single-point interval `[v, v]`.
     pub fn point(v: Value) -> Self {
-        Interval { lo: Bound::Incl(v.clone()), hi: Bound::Incl(v) }
+        Interval {
+            lo: Bound::Incl(v.clone()),
+            hi: Bound::Incl(v),
+        }
     }
 
     /// An interval with explicit bounds.
@@ -61,7 +67,10 @@ impl Interval {
 
     /// `[lo, hi]`, both inclusive.
     pub fn closed(lo: Value, hi: Value) -> Self {
-        Interval { lo: Bound::Incl(lo), hi: Bound::Incl(hi) }
+        Interval {
+            lo: Bound::Incl(lo),
+            hi: Bound::Incl(hi),
+        }
     }
 
     /// The interval denoted by the comparison `x op c`.
@@ -69,10 +78,22 @@ impl Interval {
         use crate::query::CmpOp::*;
         match op {
             Eq => Interval::point(c),
-            Lt => Interval { lo: Bound::Unbounded, hi: Bound::Excl(c) },
-            Le => Interval { lo: Bound::Unbounded, hi: Bound::Incl(c) },
-            Gt => Interval { lo: Bound::Excl(c), hi: Bound::Unbounded },
-            Ge => Interval { lo: Bound::Incl(c), hi: Bound::Unbounded },
+            Lt => Interval {
+                lo: Bound::Unbounded,
+                hi: Bound::Excl(c),
+            },
+            Le => Interval {
+                lo: Bound::Unbounded,
+                hi: Bound::Incl(c),
+            },
+            Gt => Interval {
+                lo: Bound::Excl(c),
+                hi: Bound::Unbounded,
+            },
+            Ge => Interval {
+                lo: Bound::Incl(c),
+                hi: Bound::Unbounded,
+            },
         }
     }
 
@@ -336,7 +357,7 @@ mod tests {
     fn sample_avoiding_picks_fresh_values() {
         let i = iv(CmpOp::Gt, 0).intersect(&iv(CmpOp::Lt, 1));
         let a = i.sample().unwrap();
-        let b = i.sample_avoiding(&[a.clone()]).unwrap();
+        let b = i.sample_avoiding(std::slice::from_ref(&a)).unwrap();
         assert_ne!(a, b);
         assert!(i.contains(&b));
 

@@ -16,7 +16,10 @@
 //! * [`materialize_views`] / [`unfold_cq`] — non-recursive Datalog
 //!   evaluation and view unfolding,
 //! * [`Interval`] — the order-interval algebra backing comparisons,
-//!   selections and the chase, and
+//!   selections and the chase,
+//! * [`ConstPool`] / [`ValueId`] — the interned-constant pool over an
+//!   instance's active domain, the id space of the bitset extension
+//!   engine in `whynot-concepts`, and
 //! * [`freeze`] — canonical databases for containment tests.
 
 #![warn(missing_docs)]
@@ -27,6 +30,7 @@ mod freeze;
 mod instance;
 mod interval;
 mod parse;
+mod pool;
 mod query;
 mod schema;
 mod value;
@@ -41,6 +45,7 @@ pub use freeze::{freeze, freeze_with, fresh_constant, is_fresh_constant, Frozen}
 pub use instance::{instance_of, Fact, Instance, Tuple};
 pub use interval::{Bound, Interval};
 pub use parse::{parse_fact, parse_program, parse_query, Loaded};
+pub use pool::{ConstPool, PoolMap, ValueId};
 pub use query::{Atom, CmpOp, Comparison, Cq, Term, Ucq, Var};
 pub use schema::{Attr, RelId, RelationDecl, Schema, SchemaBuilder};
 pub use value::{Rational, Value};

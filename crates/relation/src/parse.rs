@@ -73,11 +73,7 @@ pub fn parse_program(src: &str) -> Result<Loaded, RelError> {
             let (lhs, rhs) = spec
                 .split_once("->")
                 .ok_or_else(|| bad(format!("fd needs '->': {line}")))?;
-            pending_fds.push((
-                rel.trim().to_string(),
-                split_names(lhs),
-                split_names(rhs),
-            ));
+            pending_fds.push((rel.trim().to_string(), split_names(lhs), split_names(rhs)));
         } else if let Some(rest) = line.strip_prefix("ind ") {
             // ind R[a, b] <= S[c, d]
             let (from, to) = rest
@@ -116,7 +112,7 @@ pub fn parse_program(src: &str) -> Result<Loaded, RelError> {
     for rel in probe.rel_ids() {
         rebuilt.relation(
             probe.name(rel).to_string(),
-            probe.decl(rel).attrs().iter().cloned().collect::<Vec<_>>(),
+            probe.decl(rel).attrs().to_vec(),
         );
     }
     for (rel, lhs, rhs) in pending_fds {
@@ -128,8 +124,12 @@ pub fn parse_program(src: &str) -> Result<Loaded, RelError> {
         rebuilt.add_fd(Fd::new(rid, lhs, rhs));
     }
     for (fr, fa, tr, ta) in pending_inds {
-        let frid = probe.rel(&fr).ok_or_else(|| RelError::UnknownRelation(fr.clone()))?;
-        let trid = probe.rel(&tr).ok_or_else(|| RelError::UnknownRelation(tr.clone()))?;
+        let frid = probe
+            .rel(&fr)
+            .ok_or_else(|| RelError::UnknownRelation(fr.clone()))?;
+        let trid = probe
+            .rel(&tr)
+            .ok_or_else(|| RelError::UnknownRelation(tr.clone()))?;
         let fa = resolve_attrs(&probe, frid, &fa)?;
         let ta = resolve_attrs(&probe, trid, &ta)?;
         rebuilt.add_ind(Ind::new(frid, fa, trid, ta));
@@ -177,9 +177,7 @@ pub fn parse_fact(schema: &Schema, src: &str) -> Result<(RelId, Tuple), RelError
     for arg in split_args(&args_src) {
         match parse_term(arg.trim())? {
             Term::Const(v) => tuple.push(v),
-            Term::Var(_) => {
-                return Err(bad(format!("facts cannot contain variables: {src}")))
-            }
+            Term::Var(_) => return Err(bad(format!("facts cannot contain variables: {src}"))),
         }
     }
     Ok((rel, tuple))
@@ -224,7 +222,9 @@ fn parse_rule(schema: &Schema, src: &str) -> Result<Cq, RelError> {
         if let Some((var_tok, op, val_tok)) = split_comparison(part) {
             let term = term_of(&var_tok)?;
             let Term::Var(v) = term else {
-                return Err(bad(format!("comparison must start with a variable: {part}")));
+                return Err(bad(format!(
+                    "comparison must start with a variable: {part}"
+                )));
             };
             let Term::Const(value) = parse_term(val_tok.trim())? else {
                 return Err(bad(format!(
@@ -353,7 +353,13 @@ fn split_args(src: &str) -> Vec<String> {
 
 fn parse_signature(src: &str) -> Result<(String, Vec<String>), RelError> {
     let (name, args) = split_call(src.trim())?;
-    Ok((name, split_args(&args).iter().map(|a| a.trim().to_string()).collect()))
+    Ok((
+        name,
+        split_args(&args)
+            .iter()
+            .map(|a| a.trim().to_string())
+            .collect(),
+    ))
 }
 
 fn parse_bracketed(src: &str) -> Result<(String, Vec<String>), RelError> {
@@ -370,14 +376,13 @@ fn parse_bracketed(src: &str) -> Result<(String, Vec<String>), RelError> {
 }
 
 fn split_names(src: &str) -> Vec<String> {
-    src.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
+    src.split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
 }
 
-fn resolve_attrs(
-    schema: &Schema,
-    rel: RelId,
-    names: &[String],
-) -> Result<Vec<usize>, RelError> {
+fn resolve_attrs(schema: &Schema, rel: RelId, names: &[String]) -> Result<Vec<usize>, RelError> {
     names
         .iter()
         .map(|n| {
@@ -445,11 +450,7 @@ data Train-Connections("Tokyo", "Amsterdam")
         let ans = q.eval(&full);
         assert!(ans.contains(&vec![Value::str("Amsterdam"), Value::str("Amsterdam")]));
 
-        let q = parse_query(
-            &loaded.schema,
-            "big(X) <- Cities(X, P, C, K), P >= 5000000",
-        )
-        .unwrap();
+        let q = parse_query(&loaded.schema, "big(X) <- Cities(X, P, C, K), P >= 5000000").unwrap();
         let ans = q.eval(&full);
         assert_eq!(ans.len(), 1);
         assert!(ans.contains(&vec![Value::str("Tokyo")]));
@@ -470,11 +471,7 @@ data Train-Connections("Tokyo", "Amsterdam")
     fn variable_vs_constant_conventions() {
         let loaded = parse_program(PROGRAM).unwrap();
         // lowercase bare word = constant; quoted = constant; Upper = var.
-        let q = parse_query(
-            &loaded.schema,
-            r#"q(X) <- Cities(X, P, japan, "Asia")"#,
-        )
-        .unwrap();
+        let q = parse_query(&loaded.schema, r#"q(X) <- Cities(X, P, japan, "Asia")"#).unwrap();
         let cq = &q.disjuncts[0];
         assert_eq!(cq.atoms[0].args[2], Term::Const(Value::str("japan")));
         assert_eq!(cq.atoms[0].args[3], Term::Const(Value::str("Asia")));

@@ -81,7 +81,10 @@ pub struct Atom {
 impl Atom {
     /// Builds an atom.
     pub fn new(rel: RelId, args: impl IntoIterator<Item = Term>) -> Self {
-        Atom { rel, args: args.into_iter().collect() }
+        Atom {
+            rel,
+            args: args.into_iter().collect(),
+        }
     }
 
     /// The variables occurring in the atom.
@@ -148,7 +151,11 @@ pub struct Comparison {
 impl Comparison {
     /// Builds a comparison.
     pub fn new(var: Var, op: CmpOp, value: impl Into<Value>) -> Self {
-        Comparison { var, op, value: value.into() }
+        Comparison {
+            var,
+            op,
+            value: value.into(),
+        }
     }
 }
 
@@ -205,7 +212,11 @@ impl Cq {
     /// comparisons).
     pub fn constants(&self) -> BTreeSet<Value> {
         let mut out = BTreeSet::new();
-        for t in self.head.iter().chain(self.atoms.iter().flat_map(|a| a.args.iter())) {
+        for t in self
+            .head
+            .iter()
+            .chain(self.atoms.iter().flat_map(|a| a.args.iter()))
+        {
             if let Term::Const(c) = t {
                 out.insert(c.clone());
             }
@@ -320,10 +331,16 @@ impl Cq {
         }
         let mut remaining: Vec<usize> = (0..self.atoms.len()).collect();
         let mut found = false;
-        self.search_body(inst, &intervals, &mut assignment, &mut remaining, &mut |_| {
-            found = true;
-            false // stop at the first witness
-        });
+        self.search_body(
+            inst,
+            &intervals,
+            &mut assignment,
+            &mut remaining,
+            &mut |_| {
+                found = true;
+                false // stop at the first witness
+            },
+        );
         found
     }
 
@@ -370,8 +387,7 @@ impl Cq {
         for tuple in tuples {
             let mut bound_here: Vec<Var> = Vec::new();
             if self.try_unify(atom, tuple, intervals, assignment, &mut bound_here) {
-                let keep_going =
-                    self.search_body(inst, intervals, assignment, remaining, on_match);
+                let keep_going = self.search_body(inst, intervals, assignment, remaining, on_match);
                 for v in &bound_here {
                     assignment.remove(v);
                 }
@@ -395,11 +411,7 @@ impl Cq {
 
     /// Most-constrained-atom heuristic: prefer atoms with the most bound
     /// positions.
-    fn pick_atom(
-        &self,
-        assignment: &BTreeMap<Var, Value>,
-        remaining: &[usize],
-    ) -> Option<usize> {
+    fn pick_atom(&self, assignment: &BTreeMap<Var, Value>, remaining: &[usize]) -> Option<usize> {
         remaining
             .iter()
             .enumerate()
@@ -470,15 +482,20 @@ impl Cq {
         let atoms = self
             .atoms
             .iter()
-            .map(|a| Atom { rel: a.rel, args: a.args.iter().map(sub).collect() })
+            .map(|a| Atom {
+                rel: a.rel,
+                args: a.args.iter().map(sub).collect(),
+            })
             .collect();
         let mut comparisons = Vec::new();
         for c in &self.comparisons {
             match map.get(&c.var) {
                 None => comparisons.push(c.clone()),
-                Some(Term::Var(w)) => {
-                    comparisons.push(Comparison { var: *w, op: c.op, value: c.value.clone() })
-                }
+                Some(Term::Var(w)) => comparisons.push(Comparison {
+                    var: *w,
+                    op: c.op,
+                    value: c.value.clone(),
+                }),
                 Some(Term::Const(v)) => {
                     if !c.op.holds(v, &c.value) {
                         return None;
@@ -486,7 +503,11 @@ impl Cq {
                 }
             }
         }
-        Some(Cq { head, atoms, comparisons })
+        Some(Cq {
+            head,
+            atoms,
+            comparisons,
+        })
     }
 
     /// Renames every variable to a fresh one drawn from `next_var`
@@ -548,12 +569,16 @@ pub struct Ucq {
 impl Ucq {
     /// Builds a UCQ.
     pub fn new(disjuncts: impl IntoIterator<Item = Cq>) -> Self {
-        Ucq { disjuncts: disjuncts.into_iter().collect() }
+        Ucq {
+            disjuncts: disjuncts.into_iter().collect(),
+        }
     }
 
     /// A single-disjunct UCQ.
     pub fn single(cq: Cq) -> Self {
-        Ucq { disjuncts: vec![cq] }
+        Ucq {
+            disjuncts: vec![cq],
+        }
     }
 
     /// Head arity (of the first disjunct; [`Ucq::validate`] checks
@@ -710,8 +735,9 @@ mod tests {
             [],
         );
         let ans = q.eval(&train_connections(tc));
-        let expected: BTreeSet<Tuple> =
-            [vec![s("Rome")], vec![s("Amsterdam")]].into_iter().collect();
+        let expected: BTreeSet<Tuple> = [vec![s("Rome")], vec![s("Amsterdam")]]
+            .into_iter()
+            .collect();
         assert_eq!(ans, expected);
     }
 
@@ -775,8 +801,15 @@ mod tests {
     #[test]
     fn validate_rejects_bad_arity() {
         let (schema, tc) = tc_schema();
-        let q = Cq::new([Term::Var(Var(0))], [Atom::new(tc, [Term::Var(Var(0))])], []);
-        assert!(matches!(q.validate(&schema), Err(RelError::ArityMismatch { .. })));
+        let q = Cq::new(
+            [Term::Var(Var(0))],
+            [Atom::new(tc, [Term::Var(Var(0))])],
+            [],
+        );
+        assert!(matches!(
+            q.validate(&schema),
+            Err(RelError::ArityMismatch { .. })
+        ));
     }
 
     #[test]
@@ -837,7 +870,10 @@ mod tests {
         );
         let two = two_hop(tc);
         let ucq = Ucq::new([one, two]);
-        assert!(matches!(ucq.validate(&schema), Err(RelError::MixedArityUnion)));
+        assert!(matches!(
+            ucq.validate(&schema),
+            Err(RelError::MixedArityUnion)
+        ));
     }
 
     #[test]

@@ -108,7 +108,10 @@ impl Schema {
     /// examples.
     pub fn attr_expect(&self, rel: RelId, attr_name: &str) -> Attr {
         self.attr(rel, attr_name).unwrap_or_else(|| {
-            panic!("relation {:?} has no attribute named {attr_name:?}", self.name(rel))
+            panic!(
+                "relation {:?} has no attribute named {attr_name:?}",
+                self.name(rel)
+            )
         })
     }
 

@@ -45,7 +45,10 @@ impl Rational {
 
     /// The integer `n` as a rational.
     pub fn from_int(n: i64) -> Self {
-        Rational { num: n as i128, den: 1 }
+        Rational {
+            num: n as i128,
+            den: 1,
+        }
     }
 
     /// Numerator (sign-carrying).
@@ -65,17 +68,26 @@ impl Rational {
 
     /// The exact midpoint `(self + other) / 2`.
     pub fn midpoint(&self, other: &Rational) -> Rational {
-        Rational::new(self.num * other.den + other.num * self.den, 2 * self.den * other.den)
+        Rational::new(
+            self.num * other.den + other.num * self.den,
+            2 * self.den * other.den,
+        )
     }
 
     /// `self + 1`.
     pub fn succ(&self) -> Rational {
-        Rational { num: self.num + self.den, den: self.den }
+        Rational {
+            num: self.num + self.den,
+            den: self.den,
+        }
     }
 
     /// `self - 1`.
     pub fn pred(&self) -> Rational {
-        Rational { num: self.num - self.den, den: self.den }
+        Rational {
+            num: self.num - self.den,
+            den: self.den,
+        }
     }
 }
 

@@ -37,7 +37,9 @@ pub fn materialize_views(schema: &Schema, base: &Instance) -> Result<Instance, R
     let mut inst = base.clone();
     for &view in &part.topo_order {
         let idx = part.views[&view];
-        let Constraint::View(def) = &schema.constraints()[idx] else { unreachable!() };
+        let Constraint::View(def) = &schema.constraints()[idx] else {
+            unreachable!()
+        };
         for tuple in def.definition.eval(&inst) {
             inst.insert(view, tuple);
         }
@@ -57,17 +59,18 @@ pub fn unfold_cq(schema: &Schema, cq: &Cq) -> Result<Ucq, RelError> {
         .views
         .iter()
         .map(|(&rel, &idx)| {
-            let Constraint::View(def) = &schema.constraints()[idx] else { unreachable!() };
+            let Constraint::View(def) = &schema.constraints()[idx] else {
+                unreachable!()
+            };
             (rel, def)
         })
         .collect();
-    let mut next_var = cq
-        .vars()
-        .iter()
-        .map(|v| v.0 + 1)
-        .max()
-        .unwrap_or(0)
-        .max(defs.values().map(|d| d.definition.next_fresh_var()).max().unwrap_or(0));
+    let mut next_var = cq.vars().iter().map(|v| v.0 + 1).max().unwrap_or(0).max(
+        defs.values()
+            .map(|d| d.definition.next_fresh_var())
+            .max()
+            .unwrap_or(0),
+    );
 
     let mut done: Vec<Cq> = Vec::new();
     let mut pending: Vec<Cq> = vec![cq.clone()];
@@ -90,7 +93,9 @@ pub fn unfold_cq(schema: &Schema, cq: &Cq) -> Result<Ucq, RelError> {
                 .cloned()
                 .zip(atom.args.iter().cloned())
                 .collect();
-            let Some(unifier) = unify_terms(&pairs) else { continue };
+            let Some(unifier) = unify_terms(&pairs) else {
+                continue;
+            };
             // Splice the definition body into the outer query, then apply
             // the unifier everywhere.
             let mut atoms = q.atoms.clone();
@@ -98,8 +103,14 @@ pub fn unfold_cq(schema: &Schema, cq: &Cq) -> Result<Ucq, RelError> {
             atoms.extend(fresh.atoms);
             let mut comparisons = q.comparisons.clone();
             comparisons.extend(fresh.comparisons);
-            let spliced = Cq { head: q.head.clone(), atoms, comparisons };
-            let Some(spliced) = spliced.substitute(&unifier) else { continue };
+            let spliced = Cq {
+                head: q.head.clone(),
+                atoms,
+                comparisons,
+            };
+            let Some(spliced) = spliced.substitute(&unifier) else {
+                continue;
+            };
             if !spliced.comparisons_satisfiable() {
                 continue;
             }
@@ -111,7 +122,9 @@ pub fn unfold_cq(schema: &Schema, cq: &Cq) -> Result<Ucq, RelError> {
         // query, representable as a UCQ with zero disjuncts of the right
         // arity via a contradictory comparison-free encoding. We keep an
         // explicit empty union.
-        return Ok(Ucq { disjuncts: Vec::new() });
+        return Ok(Ucq {
+            disjuncts: Vec::new(),
+        });
     }
     Ok(Ucq::new(done))
 }
@@ -253,7 +266,10 @@ mod tests {
         let x = Var(0);
         let q = Cq::new(
             [Term::Var(x)],
-            [Atom::new(reach, [Term::Const(s("Amsterdam")), Term::Var(x)])],
+            [Atom::new(
+                reach,
+                [Term::Const(s("Amsterdam")), Term::Var(x)],
+            )],
             [],
         );
         let unfolded = unfold_cq(&schema, &q).unwrap();

@@ -9,8 +9,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use whynot_core::{ExplicitOntology, WhyNotInstance};
 use whynot_relation::{
-    Atom, CmpOp, Comparison, Cq, Fd, Ind, Instance, RelId, Schema, SchemaBuilder, Term, Ucq,
-    Value, Var, ViewDef,
+    Atom, CmpOp, Comparison, Cq, Fd, Ind, Instance, RelId, Schema, SchemaBuilder, Term, Ucq, Value,
+    Var, ViewDef,
 };
 
 /// A scalable version of the paper's running example: `n` cities in
@@ -27,7 +27,10 @@ pub struct CityNetwork {
 /// Builds a [`CityNetwork`]. `n` is the number of cities (≥ 2·regions
 /// recommended); `regions ≥ 2`.
 pub fn city_network(n: usize, regions: usize, seed: u64) -> CityNetwork {
-    assert!(regions >= 2 && n >= regions * 2, "need two cities per region");
+    assert!(
+        regions >= 2 && n >= regions * 2,
+        "need two cities per region"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = SchemaBuilder::new();
     let tc = b.relation("Train-Connections", ["city_from", "city_to"]);
@@ -48,7 +51,10 @@ pub fn city_network(n: usize, regions: usize, seed: u64) -> CityNetwork {
         }
         if members.len() > 2 {
             let last = members[members.len() - 1];
-            inst.insert(tc, vec![Value::str(city(last)), Value::str(city(members[0]))]);
+            inst.insert(
+                tc,
+                vec![Value::str(city(last)), Value::str(city(members[0]))],
+            );
         }
         for _ in 0..members.len() / 3 {
             let a = members[rng.gen_range(0..members.len())];
@@ -64,17 +70,22 @@ pub fn city_network(n: usize, regions: usize, seed: u64) -> CityNetwork {
         .concept("World", (0..n).map(city).collect::<Vec<_>>())
         .concept(
             "Continent0",
-            (0..n).filter(|&i| region_of(i) % 2 == 0).map(city).collect::<Vec<_>>(),
+            (0..n)
+                .filter(|&i| region_of(i) % 2 == 0)
+                .map(city)
+                .collect::<Vec<_>>(),
         )
         .concept(
             "Continent1",
-            (0..n).filter(|&i| region_of(i) % 2 == 1).map(city).collect::<Vec<_>>(),
+            (0..n)
+                .filter(|&i| region_of(i) % 2 == 1)
+                .map(city)
+                .collect::<Vec<_>>(),
         )
         .edge("Continent0", "World")
         .edge("Continent1", "World");
     for r in 0..regions {
-        let members: Vec<String> =
-            (0..n).filter(|&i| region_of(i) == r).map(city).collect();
+        let members: Vec<String> = (0..n).filter(|&i| region_of(i) == r).map(city).collect();
         builder = builder
             .concept(format!("Region{r}"), members)
             .edge(format!("Region{r}"), format!("Continent{}", r % 2));
@@ -94,8 +105,13 @@ pub fn city_network(n: usize, regions: usize, seed: u64) -> CityNetwork {
         ],
         [],
     ));
-    let why_not = WhyNotInstance::new(schema, inst, q, vec![Value::str(city(a)), Value::str(city(bb))])
-        .expect("cross-region pairs are never two-hop connected");
+    let why_not = WhyNotInstance::new(
+        schema,
+        inst,
+        q,
+        vec![Value::str(city(a)), Value::str(city(bb))],
+    )
+    .expect("cross-region pairs are never two-hop connected");
     CityNetwork { ontology, why_not }
 }
 
@@ -136,15 +152,24 @@ pub fn random_ontology(
     let mut builder = ExplicitOntology::builder();
     for layer in &layers {
         for (name, ext) in layer {
-            builder = builder.concept(name.clone(), ext.iter().map(|&i| elem(i)).collect::<Vec<_>>());
+            builder = builder.concept(
+                name.clone(),
+                ext.iter().map(|&i| elem(i)).collect::<Vec<_>>(),
+            );
         }
     }
     for level in 1..layers.len() {
         let prev_len = layers[level - 1].len();
         for (i, (name, _)) in layers[level].iter().enumerate() {
             builder = builder
-                .edge(layers[level - 1][(2 * i) % prev_len].0.clone(), name.clone())
-                .edge(layers[level - 1][(2 * i + 1) % prev_len].0.clone(), name.clone());
+                .edge(
+                    layers[level - 1][(2 * i) % prev_len].0.clone(),
+                    name.clone(),
+                )
+                .edge(
+                    layers[level - 1][(2 * i + 1) % prev_len].0.clone(),
+                    name.clone(),
+                );
         }
     }
     builder.build()
@@ -170,8 +195,8 @@ pub fn random_whynot(
     let _ = &mut inst_dummy;
     for c in whynot_core::FiniteOntology::concepts(ontology) {
         let ext = whynot_core::Ontology::extension(ontology, &c, &Instance::new());
-        let mut vals: Vec<Value> = match ext {
-            whynot_concepts::Extension::Finite(set) => set.into_iter().collect(),
+        let mut vals: Vec<Value> = match &ext {
+            whynot_concepts::Extension::Finite(set) => set.iter().cloned().collect(),
             whynot_concepts::Extension::Universal => Vec::new(),
         };
         vals.push(Value::str("⋆"));
@@ -198,7 +223,7 @@ pub fn random_whynot(
     }
     let x = Var(0);
     let q = Ucq::single(Cq::new(
-        std::iter::repeat(Term::Var(x)).take(m),
+        std::iter::repeat_n(Term::Var(x), m),
         [Atom::new(u, [Term::Var(x)])],
         [],
     ));
@@ -292,8 +317,9 @@ pub fn fd_suite(arity: usize, n_fds: usize, seed: u64) -> (Schema, RelId) {
 /// (`π_a(R0) ⊑S π_a(R_{len-1})` holds through the whole chain).
 pub fn id_chain(len: usize) -> (Schema, Vec<RelId>) {
     let mut b = SchemaBuilder::new();
-    let rels: Vec<RelId> =
-        (0..len).map(|i| b.relation(format!("R{i}"), ["a", "b"])).collect();
+    let rels: Vec<RelId> = (0..len)
+        .map(|i| b.relation(format!("R{i}"), ["a", "b"]))
+        .collect();
     for w in rels.windows(2) {
         b.add_ind(Ind::new(w[0], [0], w[1], [0]));
     }
@@ -313,8 +339,9 @@ pub fn random_instance(schema: &Schema, rows: usize, domain: i64, seed: u64) -> 
         }
         let arity = schema.arity(rel);
         for _ in 0..rows {
-            let tuple: Vec<Value> =
-                (0..arity).map(|_| Value::int(rng.gen_range(0..domain))).collect();
+            let tuple: Vec<Value> = (0..arity)
+                .map(|_| Value::int(rng.gen_range(0..domain)))
+                .collect();
             inst.insert(rel, tuple);
         }
     }
@@ -368,7 +395,10 @@ mod tests {
         let (schema, e, views) = view_stack(3, false);
         let q = Cq::new(
             [Term::Var(Var(0)), Term::Var(Var(1))],
-            [Atom::new(*views.last().unwrap(), [Term::Var(Var(0)), Term::Var(Var(1))])],
+            [Atom::new(
+                *views.last().unwrap(),
+                [Term::Var(Var(0)), Term::Var(Var(1))],
+            )],
             [],
         );
         let u = whynot_relation::unfold_cq(&schema, &q).unwrap();
@@ -379,7 +409,10 @@ mod tests {
         let (schema, _, views) = view_stack(3, true);
         let q = Cq::new(
             [Term::Var(Var(0)), Term::Var(Var(1))],
-            [Atom::new(*views.last().unwrap(), [Term::Var(Var(0)), Term::Var(Var(1))])],
+            [Atom::new(
+                *views.last().unwrap(),
+                [Term::Var(Var(0)), Term::Var(Var(1))],
+            )],
             [],
         );
         let u = whynot_relation::unfold_cq(&schema, &q).unwrap();

@@ -4,7 +4,9 @@
 //! why-not scenarios of Examples 3.4, 4.5 and 4.9.
 
 use whynot_concepts::{LsConcept, Selection};
-use whynot_core::{ExplicitOntology, InstanceOntology, ObdaOntology, SchemaOntology, WhyNotInstance};
+use whynot_core::{
+    ExplicitOntology, InstanceOntology, ObdaOntology, SchemaOntology, WhyNotInstance,
+};
 use whynot_dllite::{body_atom, c, v, BasicConcept, GavMapping, ObdaSpec, TBox};
 use whynot_relation::{
     materialize_views, Atom, CmpOp, Comparison, Cq, Fd, Ind, Instance, RelId, Schema,
@@ -42,7 +44,10 @@ pub fn figure_1_schema() -> (Schema, Figure1Rels) {
         big_city,
         Ucq::single(Cq::new(
             [Term::Var(x)],
-            [Atom::new(cities, [Term::Var(x), Term::Var(y), Term::Var(z), Term::Var(w)])],
+            [Atom::new(
+                cities,
+                [Term::Var(x), Term::Var(y), Term::Var(z), Term::Var(w)],
+            )],
             [Comparison::new(y, CmpOp::Ge, Value::int(5_000_000))],
         )),
     ));
@@ -51,7 +56,10 @@ pub fn figure_1_schema() -> (Schema, Figure1Rels) {
         european_country,
         Ucq::single(Cq::new(
             [Term::Var(z)],
-            [Atom::new(cities, [Term::Var(x), Term::Var(y), Term::Var(z), Term::Var(w)])],
+            [Atom::new(
+                cities,
+                [Term::Var(x), Term::Var(y), Term::Var(z), Term::Var(w)],
+            )],
             [Comparison::new(w, CmpOp::Eq, Value::str("Europe"))],
         )),
     ));
@@ -82,7 +90,16 @@ pub fn figure_1_schema() -> (Schema, Figure1Rels) {
     b.add_ind(Ind::new(tc, [0], cities, [0]));
     b.add_ind(Ind::new(tc, [1], cities, [0]));
     let schema = b.finish().expect("Figure 1 schema is well-formed");
-    (schema, Figure1Rels { cities, tc, big_city, european_country, reachable })
+    (
+        schema,
+        Figure1Rels {
+            cities,
+            tc,
+            big_city,
+            european_country,
+            reachable,
+        },
+    )
 }
 
 /// The data-schema-only fragment (Cities and Train-Connections, no
@@ -211,7 +228,10 @@ pub fn example_3_4() -> ExplicitScenario {
         vec![Value::str("Amsterdam"), Value::str("New York")],
     )
     .expect("⟨Amsterdam, New York⟩ is not a two-hop answer");
-    ExplicitScenario { ontology: figure_3_ontology(), why_not }
+    ExplicitScenario {
+        ontology: figure_3_ontology(),
+        why_not,
+    }
 }
 
 /// Figure 4: the DL-LiteR TBox.
@@ -236,7 +256,11 @@ pub fn figure_4_tbox() -> TBox {
 pub fn figure_4_mappings(cities: RelId, tc: RelId) -> Vec<GavMapping> {
     vec![
         // Cities(x, z, w, "Europe") → EU-City(x)
-        GavMapping::concept("EU-City", Var(0), [body_atom(cities, [v(0), v(1), v(2), c("Europe")])]),
+        GavMapping::concept(
+            "EU-City",
+            Var(0),
+            [body_atom(cities, [v(0), v(1), v(2), c("Europe")])],
+        ),
         // Cities(x, z, "Netherlands", w) → Dutch-City(x)
         GavMapping::concept(
             "Dutch-City",
@@ -250,11 +274,24 @@ pub fn figure_4_mappings(cities: RelId, tc: RelId) -> Vec<GavMapping> {
             [body_atom(cities, [v(0), v(1), v(2), c("N.America")])],
         ),
         // Cities(x, z, "USA", w) → US-City(x)
-        GavMapping::concept("US-City", Var(0), [body_atom(cities, [v(0), v(1), c("USA"), v(3)])]),
+        GavMapping::concept(
+            "US-City",
+            Var(0),
+            [body_atom(cities, [v(0), v(1), c("USA"), v(3)])],
+        ),
         // Cities(x, y, z, w) → Continent(w)
-        GavMapping::concept("Continent", Var(3), [body_atom(cities, [v(0), v(1), v(2), v(3)])]),
+        GavMapping::concept(
+            "Continent",
+            Var(3),
+            [body_atom(cities, [v(0), v(1), v(2), v(3)])],
+        ),
         // Cities(x, k, y, w) → hasCountry(x, y)
-        GavMapping::role("hasCountry", Var(0), Var(2), [body_atom(cities, [v(0), v(1), v(2), v(3)])]),
+        GavMapping::role(
+            "hasCountry",
+            Var(0),
+            Var(2),
+            [body_atom(cities, [v(0), v(1), v(2), v(3)])],
+        ),
         // Cities(x, k, w, y) → hasContinent(x, y)
         GavMapping::role(
             "hasContinent",
@@ -289,7 +326,8 @@ pub struct ObdaScenario {
 pub fn example_4_5() -> ObdaScenario {
     let (schema, cities, tc) = data_schema();
     let spec = ObdaSpec::new(figure_4_tbox(), figure_4_mappings(cities, tc));
-    spec.validate(&schema).expect("Figure 4 mappings are well-formed");
+    spec.validate(&schema)
+        .expect("Figure 4 mappings are well-formed");
     let inst = figure_2_base(cities, tc);
     debug_assert!(spec.is_consistent(&inst));
     let why_not = WhyNotInstance::new(
@@ -299,7 +337,10 @@ pub fn example_4_5() -> ObdaScenario {
         vec![Value::str("Amsterdam"), Value::str("New York")],
     )
     .expect("not a two-hop answer");
-    ObdaScenario { ontology: ObdaOntology::new(spec), why_not }
+    ObdaScenario {
+        ontology: ObdaOntology::new(spec),
+        why_not,
+    }
 }
 
 /// The named Figure 5 concepts over the Figure 1 schema.
@@ -384,9 +425,7 @@ pub fn example_4_9() -> DerivedScenario {
 }
 
 /// Example 4.9's explanation candidates `E1 … E8`, in paper order.
-pub fn example_4_9_explanations(
-    rels: &Figure1Rels,
-) -> Vec<whynot_core::Explanation<LsConcept>> {
+pub fn example_4_9_explanations(rels: &Figure1Rels) -> Vec<whynot_core::Explanation<LsConcept>> {
     use whynot_core::Explanation;
     let cities = rels.cities;
     let tc = rels.tc;
@@ -445,12 +484,16 @@ mod tests {
     fn figure_2_views_match_the_printed_tables() {
         let (_, rels, inst) = figure_2_instance();
         // BigCity: New York, Tokyo.
-        let big: Vec<String> =
-            inst.tuples(rels.big_city).map(|t| t[0].to_string()).collect();
+        let big: Vec<String> = inst
+            .tuples(rels.big_city)
+            .map(|t| t[0].to_string())
+            .collect();
         assert_eq!(big, ["New York", "Tokyo"]);
         // EuropeanCountry: Netherlands, Germany, Italy.
-        let eu: std::collections::BTreeSet<String> =
-            inst.tuples(rels.european_country).map(|t| t[0].to_string()).collect();
+        let eu: std::collections::BTreeSet<String> = inst
+            .tuples(rels.european_country)
+            .map(|t| t[0].to_string())
+            .collect();
         assert_eq!(
             eu.into_iter().collect::<Vec<_>>(),
             ["Germany", "Italy", "Netherlands"]
@@ -499,7 +542,10 @@ mod tests {
             c.big_city.extension(&inst),
             Extension::finite([s("New York"), s("Tokyo")])
         );
-        assert_eq!(c.santa_cruz.extension(&inst), Extension::finite([s("Santa Cruz")]));
+        assert_eq!(
+            c.santa_cruz.extension(&inst),
+            Extension::finite([s("Santa Cruz")])
+        );
         // Small city reachable from Amsterdam: Amsterdam itself (pop < 1M,
         // reachable via Berlin), and nobody else.
         assert_eq!(
@@ -538,15 +584,18 @@ mod tests {
         assert!(os.subsumed(&big, &city));
         assert!(os.subsumed(&big, &tc_from));
         // ⊑S implies ⊑I.
-        for (a, b) in [(&european, &city), (&pop7, &big), (&big, &city), (&big, &tc_from)] {
+        for (a, b) in [
+            (&european, &city),
+            (&pop7, &big),
+            (&big, &city),
+            (&big, &tc_from),
+        ] {
             assert!(oi.subsumed(a, b));
         }
         // The ⊑I-only subsumption: reachable-from-Amsterdam ⊑I
         // reachable-from-Berlin, but not ⊑S.
-        let from_ams =
-            LsConcept::proj_sel(sc.rels.reachable, 1, Selection::eq(0, s("Amsterdam")));
-        let from_ber =
-            LsConcept::proj_sel(sc.rels.reachable, 1, Selection::eq(0, s("Berlin")));
+        let from_ams = LsConcept::proj_sel(sc.rels.reachable, 1, Selection::eq(0, s("Amsterdam")));
+        let from_ber = LsConcept::proj_sel(sc.rels.reachable, 1, Selection::eq(0, s("Berlin")));
         assert!(oi.subsumed(&from_ams, &from_ber));
         assert!(!os.subsumed(&from_ams, &from_ber));
     }

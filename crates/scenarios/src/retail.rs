@@ -118,14 +118,22 @@ pub fn retail_scenario(
         .concept("Product", (0..n_products).map(product).collect::<Vec<_>>())
         .concept("Store", (0..n_stores).map(store).collect::<Vec<_>>());
     for c in 0..categories {
-        let members: Vec<String> =
-            (0..n_products).filter(|&p| category_of(p) == c).map(product).collect();
-        builder = builder.concept(format!("Category{c}"), members).edge(format!("Category{c}"), "Product");
+        let members: Vec<String> = (0..n_products)
+            .filter(|&p| category_of(p) == c)
+            .map(product)
+            .collect();
+        builder = builder
+            .concept(format!("Category{c}"), members)
+            .edge(format!("Category{c}"), "Product");
     }
     for r in 0..regions {
-        let members: Vec<String> =
-            (0..n_stores).filter(|&s| region_of(s) == r).map(store).collect();
-        builder = builder.concept(format!("Region{r}"), members).edge(format!("Region{r}"), "Store");
+        let members: Vec<String> = (0..n_stores)
+            .filter(|&s| region_of(s) == r)
+            .map(store)
+            .collect();
+        builder = builder
+            .concept(format!("Region{r}"), members)
+            .edge(format!("Region{r}"), "Store");
     }
     let ontology = builder.build();
 

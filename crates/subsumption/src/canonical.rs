@@ -9,9 +9,9 @@
 //! chase merges nodes (intersecting their intervals); an inclusion-
 //! dependency chase adds atoms.
 
+use std::collections::BTreeMap;
 use whynot_concepts::{LsAtom, LsConcept};
 use whynot_relation::{Instance, Interval, RelId, Schema, Value};
-use std::collections::BTreeMap;
 
 /// A node identifier within a [`Canonical`] structure.
 pub type NodeId = usize;
@@ -61,7 +61,11 @@ impl Canonical {
                         return None;
                     }
                 }
-                LsAtom::Proj { rel, attr, selection } => {
+                LsAtom::Proj {
+                    rel,
+                    attr,
+                    selection,
+                } => {
                     has_atoms = true;
                     let arity = schema.arity(*rel);
                     let mut nodes = Vec::with_capacity(arity);
@@ -89,10 +93,7 @@ impl Canonical {
     /// one node per variable, pinned nodes for constants, comparisons as
     /// interval constraints. `Err(Unsat)` if the comparisons conflict;
     /// `Ok(None)` if the query has no atoms (handled by callers).
-    pub fn from_cq(
-        _schema: &Schema,
-        cq: &whynot_relation::Cq,
-    ) -> Result<Option<Canonical>, Unsat> {
+    pub fn from_cq(_schema: &Schema, cq: &whynot_relation::Cq) -> Result<Option<Canonical>, Unsat> {
         use whynot_relation::Term;
         if cq.atoms.is_empty() {
             return Ok(None);
@@ -106,7 +107,11 @@ impl Canonical {
         let mut var_node: std::collections::BTreeMap<whynot_relation::Var, NodeId> =
             std::collections::BTreeMap::new();
         // The head must be a single term (unary concept query).
-        let head = cq.head.first().cloned().unwrap_or(Term::Var(whynot_relation::Var(0)));
+        let head = cq
+            .head
+            .first()
+            .cloned()
+            .unwrap_or(Term::Var(whynot_relation::Var(0)));
         match &head {
             Term::Var(v) => {
                 var_node.insert(*v, 0);
@@ -222,8 +227,10 @@ impl Canonical {
     pub fn instantiate(&self, values: &BTreeMap<NodeId, Value>) -> Option<Instance> {
         let mut inst = Instance::new();
         for (rel, nodes) in &self.atoms {
-            let tuple: Option<Vec<Value>> =
-                nodes.iter().map(|&n| values.get(&self.find(n)).cloned()).collect();
+            let tuple: Option<Vec<Value>> = nodes
+                .iter()
+                .map(|&n| values.get(&self.find(n)).cloned())
+                .collect();
             inst.insert(*rel, tuple?);
         }
         Some(inst)
@@ -241,8 +248,9 @@ impl Canonical {
     ) -> Option<BTreeMap<NodeId, Value>> {
         let mut values: BTreeMap<NodeId, Value> = BTreeMap::new();
         let mut used: Vec<Value> = avoid_constants.to_vec();
-        let roots: Vec<NodeId> =
-            (0..self.parent.len()).filter(|&n| self.find(n) == n).collect();
+        let roots: Vec<NodeId> = (0..self.parent.len())
+            .filter(|&n| self.find(n) == n)
+            .collect();
         for root in roots {
             let val = if let Some(v) = self.interval[root].as_point() {
                 v.clone()
@@ -299,7 +307,12 @@ mod tests {
         let positions: Vec<usize> = canon
             .atoms
             .iter()
-            .map(|(_, nodes)| nodes.iter().position(|&n| canon.find(n) == canon.x).unwrap())
+            .map(|(_, nodes)| {
+                nodes
+                    .iter()
+                    .position(|&n| canon.find(n) == canon.x)
+                    .unwrap()
+            })
             .collect();
         assert!(positions.contains(&0) && positions.contains(&2));
         // 1 shared + 2+2 fresh nodes.
@@ -333,8 +346,9 @@ mod tests {
     #[test]
     fn merge_intersects_and_detects_unsat() {
         let (schema, r) = fixture();
-        let c = LsConcept::proj_sel(r, 0, Selection::new([(1, CmpOp::Ge, Value::int(5))]))
-            .and(&LsConcept::proj_sel(r, 0, Selection::new([(1, CmpOp::Le, Value::int(3))])));
+        let c = LsConcept::proj_sel(r, 0, Selection::new([(1, CmpOp::Ge, Value::int(5))])).and(
+            &LsConcept::proj_sel(r, 0, Selection::new([(1, CmpOp::Le, Value::int(3))])),
+        );
         let mut canon = Canonical::from_concept(&schema, &c).unwrap();
         // The two b-nodes have intervals [5,∞) and (-∞,3]: merging empties.
         let n1 = canon.atoms[0].1[1];

@@ -29,8 +29,8 @@ use crate::outcome::{SubsumptionOutcome, Witness};
 use std::collections::{BTreeMap, BTreeSet};
 use whynot_concepts::LsConcept;
 use whynot_relation::{
-    materialize_views, unfold_cq, unfold_ucq, view_partition, Constraint, Cq, Fd, Ind,
-    Instance, Interval, RelId, Schema, Term, Ucq, Value, Var,
+    materialize_views, unfold_cq, unfold_ucq, view_partition, Constraint, Cq, Fd, Ind, Instance,
+    Interval, RelId, Schema, Term, Ucq, Value, Var,
 };
 
 /// Resource limits for the bounded chase.
@@ -44,7 +44,10 @@ pub struct ChaseLimits {
 
 impl Default for ChaseLimits {
     fn default() -> Self {
-        ChaseLimits { max_rounds: 16, max_atoms: 4096 }
+        ChaseLimits {
+            max_rounds: 16,
+            max_atoms: 4096,
+        }
     }
 }
 
@@ -330,25 +333,21 @@ fn check_disjunct(
     let Some(element) = values.get(&canon.find(canon.x)).cloned() else {
         return DisjunctVerdict::Unknown("head node unassigned".into());
     };
-    let witness = Witness { instance: full, element };
+    let witness = Witness {
+        instance: full,
+        element,
+    };
     if verify_witness(ctx.schema, &witness, c1, c2) {
         DisjunctVerdict::Refuted(Box::new(witness))
     } else {
-        DisjunctVerdict::Unknown(
-            "terminated chase produced an unverifiable counterexample".into(),
-        )
+        DisjunctVerdict::Unknown("terminated chase produced an unverifiable counterexample".into())
     }
 }
 
 /// Constant-headed, body-free disjuncts: the head value is in `[[c1]]` on
 /// every instance; decide membership on the smallest instance and use
 /// monotonicity.
-fn atomless_disjunct(
-    schema: &Schema,
-    phi: &Cq,
-    c1: &LsConcept,
-    c2: &LsConcept,
-) -> DisjunctVerdict {
+fn atomless_disjunct(schema: &Schema, phi: &Cq, c1: &LsConcept, c2: &LsConcept) -> DisjunctVerdict {
     let Some(Term::Const(c)) = phi.head.first() else {
         return DisjunctVerdict::Unknown("atomless disjunct with variable head".into());
     };
@@ -358,7 +357,10 @@ fn atomless_disjunct(
     if c2.extension(&empty).contains(c) {
         DisjunctVerdict::Entailed
     } else {
-        let w = Witness { instance: empty, element: c.clone() };
+        let w = Witness {
+            instance: empty,
+            element: c.clone(),
+        };
         if verify_witness(schema, &w, c1, c2) {
             DisjunctVerdict::Refuted(Box::new(w))
         } else {
@@ -375,7 +377,9 @@ fn unfolded_view_definitions(
     let part = view_partition(schema);
     let mut out = Vec::new();
     for (&view, &idx) in &part.views {
-        let Constraint::View(def) = &schema.constraints()[idx] else { unreachable!() };
+        let Constraint::View(def) = &schema.constraints()[idx] else {
+            unreachable!()
+        };
         out.push((view, unfold_ucq(schema, &def.definition)?));
     }
     Ok(out)
@@ -469,8 +473,10 @@ fn instantiate_base(
         if view_rels.contains(rel) {
             continue;
         }
-        let tuple: Option<Vec<Value>> =
-            nodes.iter().map(|&n| values.get(&canon.find(n)).cloned()).collect();
+        let tuple: Option<Vec<Value>> = nodes
+            .iter()
+            .map(|&n| values.get(&canon.find(n)).cloned())
+            .collect();
         inst.insert(*rel, tuple?);
     }
     Some(inst)
@@ -524,11 +530,7 @@ fn ind_round(
 /// One view round: add a certified view atom for every embedding of a view
 /// definition disjunct into the structure. Returns atoms added, or `None`
 /// past the atom limit.
-fn view_round(
-    canon: &mut Canonical,
-    views: &[(RelId, Ucq)],
-    max_atoms: usize,
-) -> Option<usize> {
+fn view_round(canon: &mut Canonical, views: &[(RelId, Ucq)], max_atoms: usize) -> Option<usize> {
     let mut added = 0usize;
     for (view, def) in views {
         let mut new_heads: Vec<Vec<Key>> = Vec::new();
@@ -712,7 +714,10 @@ mod tests {
             big,
             Ucq::single(Cq::new(
                 [Term::Var(x)],
-                [Atom::new(cities, [Term::Var(x), Term::Var(y), Term::Var(z), Term::Var(w)])],
+                [Atom::new(
+                    cities,
+                    [Term::Var(x), Term::Var(y), Term::Var(z), Term::Var(w)],
+                )],
                 [Comparison::new(y, CmpOp::Ge, Value::int(5_000_000))],
             )),
         ));
@@ -720,7 +725,10 @@ mod tests {
             eu,
             Ucq::single(Cq::new(
                 [Term::Var(z)],
-                [Atom::new(cities, [Term::Var(x), Term::Var(y), Term::Var(z), Term::Var(w)])],
+                [Atom::new(
+                    cities,
+                    [Term::Var(x), Term::Var(y), Term::Var(z), Term::Var(w)],
+                )],
                 [Comparison::new(w, CmpOp::Eq, s("Europe"))],
             )),
         ));
@@ -774,7 +782,11 @@ mod tests {
         let out = decide(&schema, &seven, &LsConcept::proj(big, 0));
         assert!(out.holds(), "{out:?}");
         // (3) π_1(BigCity) ⊑S π_name(Cities).
-        let out = decide(&schema, &LsConcept::proj(big, 0), &LsConcept::proj(cities, 0));
+        let out = decide(
+            &schema,
+            &LsConcept::proj(big, 0),
+            &LsConcept::proj(cities, 0),
+        );
         assert!(out.holds(), "{out:?}");
         // (4) π_1(BigCity) ⊑S π_city_from(Train-Connections) — through the
         // inclusion dependency on the *view* relation.
@@ -786,7 +798,11 @@ mod tests {
     fn example_4_9_non_subsumptions_fail() {
         let (schema, cities, _, big, reach) = figure_1_full();
         // Cities are not all big.
-        let out = decide(&schema, &LsConcept::proj(cities, 0), &LsConcept::proj(big, 0));
+        let out = decide(
+            &schema,
+            &LsConcept::proj(cities, 0),
+            &LsConcept::proj(big, 0),
+        );
         assert!(out.fails(), "{out:?}");
         // Reachable-from-Amsterdam ⊄S reachable-from-Berlin (Example 4.9:
         // holds w.r.t. OI on the paper's instance but NOT w.r.t. OS).
@@ -844,7 +860,11 @@ mod tests {
     #[test]
     fn witnesses_satisfy_all_constraint_kinds() {
         let (schema, cities, _, big, _) = figure_1_full();
-        let out = decide(&schema, &LsConcept::proj(cities, 0), &LsConcept::proj(big, 0));
+        let out = decide(
+            &schema,
+            &LsConcept::proj(cities, 0),
+            &LsConcept::proj(big, 0),
+        );
         let w = out.witness().expect("fails");
         assert!(
             w.instance.satisfies_constraints(&schema),

@@ -60,11 +60,7 @@ pub fn syntactically_empty(c: &LsConcept) -> bool {
 ///   `c ∈ [[C2]]` already over the materialized empty instance.
 ///
 /// Returns `None` when the heavy deciders must take over.
-pub fn pre_check(
-    schema: &Schema,
-    c1: &LsConcept,
-    c2: &LsConcept,
-) -> Option<SubsumptionOutcome> {
+pub fn pre_check(schema: &Schema, c1: &LsConcept, c2: &LsConcept) -> Option<SubsumptionOutcome> {
     if syntactically_empty(c1) || c2.is_top() {
         return Some(SubsumptionOutcome::Holds);
     }
@@ -97,7 +93,10 @@ pub fn pre_check(
         return Some(if c2.extension(&empty).contains(c) {
             SubsumptionOutcome::Holds
         } else {
-            SubsumptionOutcome::Fails(Box::new(Witness { instance: empty, element: c.clone() }))
+            SubsumptionOutcome::Fails(Box::new(Witness {
+                instance: empty,
+                element: c.clone(),
+            }))
         });
     }
     None
@@ -119,7 +118,11 @@ pub fn concept_to_cq(schema: &Schema, concept: &LsConcept) -> Option<Cq> {
             LsAtom::Nominal(c) => {
                 comparisons.push(Comparison::new(x, CmpOp::Eq, c.clone()));
             }
-            LsAtom::Proj { rel, attr, selection } => {
+            LsAtom::Proj {
+                rel,
+                attr,
+                selection,
+            } => {
                 let arity = schema.arity(*rel);
                 let mut args: Vec<Term> = Vec::with_capacity(arity);
                 let mut local: Vec<Var> = Vec::with_capacity(arity);
@@ -153,12 +156,7 @@ pub fn concept_to_cq(schema: &Schema, concept: &LsConcept) -> Option<Cq> {
 /// constraint of the schema, the element lies in `[[C1]]`, and not in
 /// `[[C2]]`. All `Fails` verdicts emitted by the deciders pass through
 /// this check, so they are sound by construction.
-pub fn verify_witness(
-    schema: &Schema,
-    witness: &Witness,
-    c1: &LsConcept,
-    c2: &LsConcept,
-) -> bool {
+pub fn verify_witness(schema: &Schema, witness: &Witness, c1: &LsConcept, c2: &LsConcept) -> bool {
     witness.instance.satisfies_constraints(schema)
         && c1.extension(&witness.instance).contains(&witness.element)
         && !c2.extension(&witness.instance).contains(&witness.element)
@@ -241,8 +239,11 @@ mod tests {
     #[test]
     fn concept_to_cq_shares_head_variable() {
         let (schema, r) = schema();
-        let c = LsConcept::proj(r, 0)
-            .and(&LsConcept::proj_sel(r, 1, Selection::new([(0, CmpOp::Ge, Value::int(5))])));
+        let c = LsConcept::proj(r, 0).and(&LsConcept::proj_sel(
+            r,
+            1,
+            Selection::new([(0, CmpOp::Ge, Value::int(5))]),
+        ));
         let q = concept_to_cq(&schema, &c).unwrap();
         assert_eq!(q.atoms.len(), 2);
         assert_eq!(q.head, vec![Term::Var(Var(0))]);

@@ -15,9 +15,7 @@
 //! per region suffice for completeness.
 
 use std::collections::{BTreeMap, BTreeSet};
-use whynot_relation::{
-    freeze, freeze_with, Bound, Cq, Instance, Interval, Tuple, Ucq, Value, Var,
-};
+use whynot_relation::{freeze, freeze_with, Bound, Cq, Instance, Interval, Tuple, Ucq, Value, Var};
 
 /// The verdict of a containment test.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -171,7 +169,10 @@ fn check_assignment(
     if q.answers(&frozen.instance, &frozen.head) {
         Ok(None)
     } else {
-        Ok(Some(CounterExample { instance: frozen.instance, head: frozen.head }))
+        Ok(Some(CounterExample {
+            instance: frozen.instance,
+            head: frozen.head,
+        }))
     }
 }
 
@@ -272,7 +273,9 @@ mod tests {
     fn counterexample_is_usable() {
         let (_, e) = setup();
         let out = cq_contained_in_ucq(&path(e, 2), &Ucq::single(path(e, 1)));
-        let ContainmentResult::NotContained(cex) = out else { panic!("expected failure") };
+        let ContainmentResult::NotContained(cex) = out else {
+            panic!("expected failure")
+        };
         // φ answers its own counterexample head, the container does not.
         assert!(path(e, 2).answers(&cex.instance, &cex.head));
         assert!(!Ucq::single(path(e, 1)).answers(&cex.instance, &cex.head));
@@ -330,7 +333,9 @@ mod tests {
             ),
         ]);
         let out = cq_contained_in_ucq(&lhs, &rhs_gap);
-        let ContainmentResult::NotContained(cex) = out else { panic!("expected failure") };
+        let ContainmentResult::NotContained(cex) = out else {
+            panic!("expected failure")
+        };
         // The counterexample must use y = 3 exactly.
         assert!(cex.instance.tuples(e).any(|t| t[1] == Value::int(3)));
     }
@@ -361,7 +366,13 @@ mod tests {
         assert!(regions[3].contains(&Value::int(5)));
         assert!(regions[4].contains(&Value::int(9)));
         // Each value belongs to exactly one region.
-        for v in [Value::int(0), Value::int(1), Value::int(3), Value::int(5), Value::int(9)] {
+        for v in [
+            Value::int(0),
+            Value::int(1),
+            Value::int(3),
+            Value::int(5),
+            Value::int(9),
+        ] {
             assert_eq!(regions.iter().filter(|r| r.contains(&v)).count(), 1);
         }
     }

@@ -22,11 +22,7 @@ use whynot_relation::{Constraint, Fd, Instance, Interval, Schema, Value};
 
 /// Decides `c1 ⊑S c2` for a schema whose constraints are functional
 /// dependencies.
-pub fn subsumed_under_fds(
-    schema: &Schema,
-    c1: &LsConcept,
-    c2: &LsConcept,
-) -> SubsumptionOutcome {
+pub fn subsumed_under_fds(schema: &Schema, c1: &LsConcept, c2: &LsConcept) -> SubsumptionOutcome {
     if let Some(out) = pre_check(schema, c1, c2) {
         return out;
     }
@@ -50,8 +46,7 @@ pub fn subsumed_under_fds(
     }
 
     // Witness check per conjunct of C2.
-    let unwitnessed: Vec<&LsAtom> =
-        c2.parts().filter(|part| !witnessed(&canon, part)).collect();
+    let unwitnessed: Vec<&LsAtom> = c2.parts().filter(|part| !witnessed(&canon, part)).collect();
     if unwitnessed.is_empty() {
         return SubsumptionOutcome::Holds;
     }
@@ -113,14 +108,20 @@ pub(crate) fn chase_fds(canon: &mut Canonical, fds: &[&Fd]) -> Result<(), crate:
 pub(crate) fn witnessed(canon: &Canonical, part: &LsAtom) -> bool {
     match part {
         LsAtom::Nominal(c) => canon.key(canon.x) == Key::Const(c.clone()),
-        LsAtom::Proj { rel, attr, selection } => {
+        LsAtom::Proj {
+            rel,
+            attr,
+            selection,
+        } => {
             let want = canon.key(canon.x);
             let sel_intervals = selection.intervals();
             canon.atoms.iter().any(|(r, nodes)| {
                 *r == *rel
                     && nodes.get(*attr).is_some_and(|&n| canon.key(n) == want)
                     && sel_intervals.iter().all(|(j, iv)| {
-                        nodes.get(*j).is_some_and(|&n| canon.interval(n).subset_of(iv))
+                        nodes
+                            .get(*j)
+                            .is_some_and(|&n| canon.interval(n).subset_of(iv))
                     })
             })
         }
@@ -147,7 +148,11 @@ fn kill_conjunct(
             let element = values.get(&canon.find(canon.x))?.clone();
             return Some(Witness { instance, element });
         }
-        LsAtom::Proj { rel, attr, selection } => (*rel, *attr, selection),
+        LsAtom::Proj {
+            rel,
+            attr,
+            selection,
+        } => (*rel, *attr, selection),
     };
     let sel_intervals = selection.intervals();
     let x_key = canon.key(canon.x);
@@ -163,9 +168,11 @@ fn kill_conjunct(
     let mut options: Vec<Vec<(NodeId, Vec<Interval>)>> = Vec::new();
     for (_, nodes) in &threatening {
         let mut atom_options = Vec::new();
-        for j in 0..arity {
-            let Some(sigma) = sel_intervals.get(&j) else { continue };
-            let node_iv = canon.interval(nodes[j]);
+        for (j, &node) in nodes.iter().enumerate().take(arity) {
+            let Some(sigma) = sel_intervals.get(&j) else {
+                continue;
+            };
+            let node_iv = canon.interval(node);
             if node_iv.subset_of(sigma) {
                 continue; // cannot escape on this attribute
             }
@@ -300,11 +307,22 @@ mod tests {
         let city = LsConcept::proj(c, 0);
         assert!(subsumed_under_fds(&schema, &european, &city).holds());
         // Interval weakening: population > 7M ⊑ population > 5M.
-        let p7 = LsConcept::proj_sel(c, 0, Selection::new([(1, CmpOp::Gt, Value::int(7_000_000))]));
-        let p5 = LsConcept::proj_sel(c, 0, Selection::new([(1, CmpOp::Gt, Value::int(5_000_000))]));
+        let p7 = LsConcept::proj_sel(
+            c,
+            0,
+            Selection::new([(1, CmpOp::Gt, Value::int(7_000_000))]),
+        );
+        let p5 = LsConcept::proj_sel(
+            c,
+            0,
+            Selection::new([(1, CmpOp::Gt, Value::int(5_000_000))]),
+        );
         assert!(subsumed_under_fds(&schema, &p7, &p5).holds());
         let out = subsumed_under_fds(&schema, &p5, &p7);
-        assert!(out.fails(), "weaker selection cannot entail stronger: {out:?}");
+        assert!(
+            out.fails(),
+            "weaker selection cannot entail stronger: {out:?}"
+        );
     }
 
     #[test]
@@ -322,11 +340,17 @@ mod tests {
         let nl_eu = LsConcept::proj_sel(
             c,
             0,
-            Selection::new([(2, CmpOp::Eq, s("Netherlands")), (3, CmpOp::Eq, s("Europe"))]),
+            Selection::new([
+                (2, CmpOp::Eq, s("Netherlands")),
+                (3, CmpOp::Eq, s("Europe")),
+            ]),
         );
         let conj = nl.and(&nl_eu);
         let out = subsumed_under_fds(&schema, &conj, &nl_eu);
-        assert!(out.holds(), "FD chase should witness the entailment: {out:?}");
+        assert!(
+            out.holds(),
+            "FD chase should witness the entailment: {out:?}"
+        );
         // Without the second conjunct the entailment fails (a witness
         // instance places the NL row outside Europe).
         let out = subsumed_under_fds(&schema, &nl, &nl_eu);

@@ -60,11 +60,7 @@ pub fn reachable_positions(
 
 /// Decides `c1 ⊑S c2` for a schema whose constraints are inclusion
 /// dependencies.
-pub fn subsumed_under_inds(
-    schema: &Schema,
-    c1: &LsConcept,
-    c2: &LsConcept,
-) -> SubsumptionOutcome {
+pub fn subsumed_under_inds(schema: &Schema, c1: &LsConcept, c2: &LsConcept) -> SubsumptionOutcome {
     if let Some(out) = pre_check(schema, c1, c2) {
         return out;
     }
@@ -89,7 +85,11 @@ pub fn subsumed_under_inds(
     for part in c2.parts() {
         let ok = match part {
             LsAtom::Nominal(c) => x_key == Key::Const(c.clone()),
-            LsAtom::Proj { rel, attr, selection } => {
+            LsAtom::Proj {
+                rel,
+                attr,
+                selection,
+            } => {
                 if selection.is_none() {
                     x_reach.contains(&(*rel, *attr))
                 } else {
@@ -122,7 +122,10 @@ pub fn subsumed_under_inds(
         if let Some(mut instance) = canon.instantiate(&values) {
             saturate_inds(schema, &mut instance);
             if let Some(xv) = values.get(&canon.find(canon.x)) {
-                let witness = Witness { instance, element: xv.clone() };
+                let witness = Witness {
+                    instance,
+                    element: xv.clone(),
+                };
                 if verify_witness(schema, &witness, c1, c2) {
                     return SubsumptionOutcome::Fails(Box::new(witness));
                 }
@@ -214,11 +217,7 @@ mod tests {
         // π_name(BigCity) ⊑S π_city_from(TC): every BigCity has a train
         // departing from it.
         let (schema, _, tc, big) = figure_1_ids();
-        let out = subsumed_under_inds(
-            &schema,
-            &LsConcept::proj(big, 0),
-            &LsConcept::proj(tc, 0),
-        );
+        let out = subsumed_under_inds(&schema, &LsConcept::proj(big, 0), &LsConcept::proj(tc, 0));
         assert!(out.holds(), "{out:?}");
     }
 
@@ -314,8 +313,7 @@ mod tests {
         let (schema, _, tc, big) = figure_1_ids();
         let left = LsConcept::proj(big, 0).and(&LsConcept::nominal(s("Tokyo")));
         assert!(subsumed_under_inds(&schema, &left, &LsConcept::nominal(s("Tokyo"))).holds());
-        let out =
-            subsumed_under_inds(&schema, &left, &LsConcept::nominal(s("Kyoto")));
+        let out = subsumed_under_inds(&schema, &left, &LsConcept::nominal(s("Kyoto")));
         assert!(out.fails(), "{out:?}");
         // Nominal-pinned x still propagates along paths.
         assert!(subsumed_under_inds(&schema, &left, &LsConcept::proj(tc, 0)).holds());
@@ -330,8 +328,8 @@ mod tests {
         let t = b.relation("T", ["u"]);
         b.add_ind(Ind::new(r, [1], t, [0]));
         let schema = b.finish().unwrap();
-        let c1 = LsConcept::nominal(s("c"))
-            .and(&LsConcept::proj_sel(r, 0, Selection::eq(1, s("c"))));
+        let c1 =
+            LsConcept::nominal(s("c")).and(&LsConcept::proj_sel(r, 0, Selection::eq(1, s("c"))));
         let out = subsumed_under_inds(&schema, &c1, &LsConcept::proj(t, 0));
         assert!(out.holds(), "{out:?}");
         // Without the nominal, position (R,b) carries the constant c, not

@@ -59,7 +59,10 @@ mod tests {
     fn accessors() {
         assert!(SubsumptionOutcome::Holds.holds());
         assert!(!SubsumptionOutcome::Holds.fails());
-        let w = Witness { instance: Instance::new(), element: Value::int(1) };
+        let w = Witness {
+            instance: Instance::new(),
+            element: Value::int(1),
+        };
         let f = SubsumptionOutcome::Fails(Box::new(w));
         assert!(f.fails());
         assert!(f.witness().is_some());

@@ -16,11 +16,7 @@ use whynot_relation::{materialize_views, unfold_cq, unfold_ucq, Schema, Ucq};
 
 /// Decides `c1 ⊑S c2` for a schema whose constraints are UCQ-view
 /// definitions (flat, linearly nested, or nested).
-pub fn subsumed_under_views(
-    schema: &Schema,
-    c1: &LsConcept,
-    c2: &LsConcept,
-) -> SubsumptionOutcome {
+pub fn subsumed_under_views(schema: &Schema, c1: &LsConcept, c2: &LsConcept) -> SubsumptionOutcome {
     if let Some(out) = pre_check(schema, c1, c2) {
         return out;
     }
@@ -47,7 +43,10 @@ pub fn subsumed_under_views(
                         "counterexample could not be completed with views".into(),
                     );
                 };
-                let witness = Witness { instance: full, element: cex.head[0].clone() };
+                let witness = Witness {
+                    instance: full,
+                    element: cex.head[0].clone(),
+                };
                 if verify_witness(schema, &witness, c1, c2) {
                     return SubsumptionOutcome::Fails(Box::new(witness));
                 }
@@ -87,7 +86,10 @@ mod tests {
             big,
             Ucq::single(Cq::new(
                 [Term::Var(x)],
-                [Atom::new(cities, [Term::Var(x), Term::Var(y), Term::Var(z), Term::Var(w)])],
+                [Atom::new(
+                    cities,
+                    [Term::Var(x), Term::Var(y), Term::Var(z), Term::Var(w)],
+                )],
                 [Comparison::new(y, CmpOp::Ge, Value::int(5_000_000))],
             )),
         ));
@@ -96,7 +98,10 @@ mod tests {
             eu,
             Ucq::single(Cq::new(
                 [Term::Var(z)],
-                [Atom::new(cities, [Term::Var(x), Term::Var(y), Term::Var(z), Term::Var(w)])],
+                [Atom::new(
+                    cities,
+                    [Term::Var(x), Term::Var(y), Term::Var(z), Term::Var(w)],
+                )],
                 [Comparison::new(w, CmpOp::Eq, s("Europe"))],
             )),
         ));
@@ -197,8 +202,7 @@ mod tests {
         // π_city_to(σ_{city_from=Amsterdam}(Reachable)) ⊑S
         // π_city_to(Reachable) — selection weakening through a view.
         let (schema, _, _, _, _, reach) = figure_1_views();
-        let from_ams =
-            LsConcept::proj_sel(reach, 1, Selection::eq(0, s("Amsterdam")));
+        let from_ams = LsConcept::proj_sel(reach, 1, Selection::eq(0, s("Amsterdam")));
         let any = LsConcept::proj(reach, 1);
         assert!(subsumed_under_views(&schema, &from_ams, &any).holds());
         // The converse fails.
@@ -255,25 +259,13 @@ mod tests {
             )),
         ));
         let schema = b.finish().unwrap();
-        let out = subsumed_under_views(
-            &schema,
-            &LsConcept::proj(v2, 0),
-            &LsConcept::proj(e, 0),
-        );
+        let out = subsumed_under_views(&schema, &LsConcept::proj(v2, 0), &LsConcept::proj(e, 0));
         assert!(out.holds(), "{out:?}");
         // π_0(V2) ⊑S π_0(V1) holds as well (a 4-path starts a 2-path).
-        let out = subsumed_under_views(
-            &schema,
-            &LsConcept::proj(v2, 0),
-            &LsConcept::proj(v1, 0),
-        );
+        let out = subsumed_under_views(&schema, &LsConcept::proj(v2, 0), &LsConcept::proj(v1, 0));
         assert!(out.holds(), "{out:?}");
         // π_0(V1) ⊑S π_0(V2) fails: a 2-path need not extend to 4.
-        let out = subsumed_under_views(
-            &schema,
-            &LsConcept::proj(v1, 0),
-            &LsConcept::proj(v2, 0),
-        );
+        let out = subsumed_under_views(&schema, &LsConcept::proj(v1, 0), &LsConcept::proj(v2, 0));
         assert!(out.fails(), "{out:?}");
     }
 

@@ -17,8 +17,8 @@ use whynot::core::{
     is_strong_explanation, Explanation, InstanceOntology, StrongOutcome, WhyNotInstance,
 };
 use whynot::relation::{
-    materialize_views, Atom, CmpOp, Comparison, Cq, Instance, SchemaBuilder, Term, Ucq, Value,
-    Var, ViewDef,
+    materialize_views, Atom, CmpOp, Comparison, Cq, Instance, SchemaBuilder, Term, Ucq, Value, Var,
+    ViewDef,
 };
 
 fn main() {
@@ -36,7 +36,10 @@ fn main() {
         buyers,
         Ucq::single(Cq::new(
             [Term::Var(u)],
-            [Atom::new(events, [Term::Var(u), Term::Const(Value::str("buy")), Term::Var(a)])],
+            [Atom::new(
+                events,
+                [Term::Var(u), Term::Const(Value::str("buy")), Term::Var(a)],
+            )],
             [],
         )),
     ));
@@ -44,7 +47,10 @@ fn main() {
         big,
         Ucq::single(Cq::new(
             [Term::Var(u)],
-            [Atom::new(events, [Term::Var(u), Term::Const(Value::str("buy")), Term::Var(a)])],
+            [Atom::new(
+                events,
+                [Term::Var(u), Term::Const(Value::str("buy")), Term::Var(a)],
+            )],
             [Comparison::new(a, CmpOp::Ge, Value::int(100))],
         )),
     ));
@@ -54,7 +60,14 @@ fn main() {
             [Term::Var(u)],
             [
                 Atom::new(buyers, [Term::Var(u)]),
-                Atom::new(events, [Term::Var(u), Term::Const(Value::str("visit")), Term::Var(a2)]),
+                Atom::new(
+                    events,
+                    [
+                        Term::Var(u),
+                        Term::Const(Value::str("visit")),
+                        Term::Var(a2),
+                    ],
+                ),
             ],
             [],
         )),
@@ -73,15 +86,25 @@ fn main() {
         ("carol", "buy", 400),
         ("dave", "visit", 0),
     ] {
-        base.insert(events, vec![Value::str(user), Value::str(action), Value::int(amount)]);
+        base.insert(
+            events,
+            vec![Value::str(user), Value::str(action), Value::int(amount)],
+        );
     }
     let inst = materialize_views(&schema, &base).expect("satisfies the views");
 
     // Why is carol missing from the funnel?
-    let q = Ucq::single(Cq::new([Term::Var(u)], [Atom::new(funnel, [Term::Var(u)])], []));
+    let q = Ucq::single(Cq::new(
+        [Term::Var(u)],
+        [Atom::new(funnel, [Term::Var(u)])],
+        [],
+    ));
     let wn = WhyNotInstance::new(schema.clone(), inst, q, vec![Value::str("carol")])
         .expect("carol is not in the funnel");
-    println!("Funnel(I) = {:?}", wn.ans.iter().map(|t| t[0].to_string()).collect::<Vec<_>>());
+    println!(
+        "Funnel(I) = {:?}",
+        wn.ans.iter().map(|t| t[0].to_string()).collect::<Vec<_>>()
+    );
     println!("Why is carol missing?\n");
 
     // Derived-ontology explanation.

@@ -20,7 +20,10 @@ fn main() {
     let os = scenario.os();
 
     println!("Schema (Figure 1):\n{schema}");
-    println!("Why is ⟨{}, {}⟩ not a two-hop connection?\n", wn.tuple[0], wn.tuple[1]);
+    println!(
+        "Why is ⟨{}, {}⟩ not a two-hop connection?\n",
+        wn.tuple[0], wn.tuple[1]
+    );
 
     // Figure 5: concepts definable in LS without any external ontology.
     let f5 = paper::figure_5_concepts(&scenario.rels);
@@ -30,22 +33,32 @@ fn main() {
         ("European City", &f5.european_city),
         ("Large City", &f5.large_city),
         ("BigCity view", &f5.big_city),
-        ("Small city reachable from Amsterdam", &f5.small_reachable_from_amsterdam),
+        (
+            "Small city reachable from Amsterdam",
+            &f5.small_reachable_from_amsterdam,
+        ),
     ] {
         let ext = c.extension(&wn.instance);
         let members: Vec<String> = ext
             .as_finite()
             .map(|s| s.iter().map(|v| v.to_string()).collect())
             .unwrap_or_default();
-        println!("  {label}: {} = {{{}}}", c.display(schema), members.join(", "));
+        println!(
+            "  {label}: {} = {{{}}}",
+            c.display(schema),
+            members.join(", ")
+        );
     }
 
     // Example 4.9: the paper's E1–E8 and their relationships.
     let es = paper::example_4_9_explanations(&scenario.rels);
     println!("\nExample 4.9's candidate explanations:");
     for (i, e) in es.iter().enumerate() {
-        let parts: Vec<String> =
-            e.concepts.iter().map(|c| c.display(schema).to_string()).collect();
+        let parts: Vec<String> = e
+            .concepts
+            .iter()
+            .map(|c| c.display(schema).to_string())
+            .collect();
         println!(
             "  E{} = ⟨{}⟩ → explanation: {}",
             i + 1,
@@ -78,8 +91,11 @@ fn main() {
     assert!(check_mge_instance(wn, &mge_sel, LubKind::WithSelections));
 
     // A named derived explanation, the paper's headline for this section:
-    let e2_display: Vec<String> =
-        es[1].concepts.iter().map(|c| c.display(schema).to_string()).collect();
+    let e2_display: Vec<String> = es[1]
+        .concepts
+        .iter()
+        .map(|c| c.display(schema).to_string())
+        .collect();
     println!(
         "\nE2 = ⟨{}⟩ reads: Amsterdam is European, New York is North\n\
          American, and no European city reaches a N.American one by train.",

@@ -38,7 +38,10 @@ fn main() {
         .unwrap_or_default();
     println!("  ext(∃hasCountry⁻) = {{{}}}", members.join(", "));
 
-    println!("\nWhy is ⟨{}, {}⟩ not a two-hop connection?", wn.tuple[0], wn.tuple[1]);
+    println!(
+        "\nWhy is ⟨{}, {}⟩ not a two-hop connection?",
+        wn.tuple[0], wn.tuple[1]
+    );
 
     // The paper's E1–E4 for this ontology.
     println!("\nCandidate explanations (Example 4.5):");

@@ -22,7 +22,10 @@ fn main() {
     for t in &wn.ans {
         println!("  ⟨{}, {}⟩", t[0], t[1]);
     }
-    println!("\nWhy is ⟨{}, {}⟩ not among them?\n", wn.tuple[0], wn.tuple[1]);
+    println!(
+        "\nWhy is ⟨{}, {}⟩ not among them?\n",
+        wn.tuple[0], wn.tuple[1]
+    );
 
     // The paper's candidate explanations E1–E4.
     let candidates = [
@@ -34,10 +37,7 @@ fn main() {
     println!("Candidate explanations (Example 3.4):");
     let mut built = Vec::new();
     for (label, c1, c2) in candidates {
-        let e = Explanation::new([
-            ontology.concept_expect(c1),
-            ontology.concept_expect(c2),
-        ]);
+        let e = Explanation::new([ontology.concept_expect(c1), ontology.concept_expect(c2)]);
         let ok = is_explanation(ontology, wn, &e);
         println!("  {label} = {e}  → explanation: {ok}");
         built.push((label, e));

@@ -17,7 +17,10 @@ use whynot::scenarios::retail;
 fn main() {
     // The fixed intro example.
     let sc = retail::bluetooth_example();
-    println!("Why is ⟨{}, {}⟩ missing from the stock listing?", sc.why_not.tuple[0], sc.why_not.tuple[1]);
+    println!(
+        "Why is ⟨{}, {}⟩ missing from the stock listing?",
+        sc.why_not.tuple[0], sc.why_not.tuple[1]
+    );
     let mges = exhaustive_search(&sc.ontology, &sc.why_not);
     println!("Most-general explanations:");
     for e in &mges {
@@ -26,7 +29,10 @@ fn main() {
 
     // Scaled catalogs.
     println!("\nScaling the catalog (seed 42):");
-    println!("{:>10} {:>8} {:>10} {:>12} {:>12}", "products", "stores", "answers", "find-one", "all-MGEs");
+    println!(
+        "{:>10} {:>8} {:>10} {:>12} {:>12}",
+        "products", "stores", "answers", "find-one", "all-MGEs"
+    );
     for (np, ns) in [(30, 20), (60, 40), (120, 80)] {
         let sc = retail::retail_scenario(np, ns, 5, 4, 42);
         let t0 = Instant::now();

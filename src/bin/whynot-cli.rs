@@ -19,8 +19,8 @@ use std::process::ExitCode;
 use whynot::concepts::parse_concept;
 use whynot::core::{
     check_mge_instance, display_explanation, enumerate_mges_instance, incremental_search_balanced,
-    irredundant_explanation, is_explanation, is_strong_explanation, Explanation,
-    InstanceOntology, LubKind, StrongOutcome, WhyNotInstance,
+    irredundant_explanation, is_explanation, is_strong_explanation, Explanation, InstanceOntology,
+    LubKind, StrongOutcome, WhyNotInstance,
 };
 use whynot::relation::{materialize_views, parse_program, parse_query, Value};
 
@@ -91,8 +91,8 @@ fn run() -> Result<(), String> {
     let src = std::fs::read_to_string(&args.program)
         .map_err(|e| format!("cannot read {}: {e}", args.program))?;
     let loaded = parse_program(&src).map_err(|e| format!("program: {e}"))?;
-    let instance = materialize_views(&loaded.schema, &loaded.base)
-        .map_err(|e| format!("views: {e}"))?;
+    let instance =
+        materialize_views(&loaded.schema, &loaded.base).map_err(|e| format!("views: {e}"))?;
     if !instance.satisfies_constraints(&loaded.schema) {
         return Err("the data violates the declared constraints".into());
     }
@@ -116,7 +116,11 @@ fn run() -> Result<(), String> {
     let missing_row: Vec<String> = wn.tuple.iter().map(|v| v.to_string()).collect();
     println!("\nWhy is ⟨{}⟩ missing?\n", missing_row.join(", "));
 
-    let kind = if args.selections { LubKind::WithSelections } else { LubKind::SelectionFree };
+    let kind = if args.selections {
+        LubKind::WithSelections
+    } else {
+        LubKind::SelectionFree
+    };
     let oi = InstanceOntology::new(wn.schema.clone(), wn.instance.clone());
 
     // User-supplied hypothesis first, if any.
@@ -147,7 +151,10 @@ fn run() -> Result<(), String> {
     }
 
     if args.enumerate > 0 {
-        println!("Most-general explanations (up to {} growth orders):", args.enumerate);
+        println!(
+            "Most-general explanations (up to {} growth orders):",
+            args.enumerate
+        );
         for e in enumerate_mges_instance(&wn, kind, args.enumerate) {
             let lean = irredundant_explanation(&wn, &e);
             println!("  {}", display_explanation(&oi, &lean));

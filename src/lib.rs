@@ -16,16 +16,19 @@
 //!
 //! * [`relation`] — relational substrate: values with a dense linear order,
 //!   schemas, instances, conjunctive queries with comparisons, integrity
-//!   constraints and nested UCQ views (paper §2).
+//!   constraints and nested UCQ views (paper §2), plus the `ConstPool`
+//!   value interner underlying the extension engine.
 //! * [`concepts`] — the concept language `LS` derived from a schema:
-//!   projections, selections, intersections, nominals (paper §4.2).
+//!   projections, selections, intersections, nominals (paper §4.2), with
+//!   bitset-backed extensions and one-pass `ExtensionTable`s.
 //! * [`dllite`] — the DL-LiteR description logic, GAV mappings and
 //!   OBDA specifications for external ontologies (paper §4.1).
 //! * [`subsumption`] — schema-level subsumption `⊑S` deciders, one per
 //!   constraint class of the paper's Table 1.
-//! * [`core`] — the why-not framework itself: `S`-ontologies, explanations,
-//!   most-general explanations, the exhaustive and incremental search
-//!   algorithms (paper §3, §5) and the Section 6 variations.
+//! * [`core`] — the why-not framework itself: `S`-ontologies, the
+//!   memoizing `EvalContext` extension engine, explanations, most-general
+//!   explanations, the exhaustive and incremental search algorithms
+//!   (paper §3, §5) and the Section 6 variations.
 //! * [`scenarios`] — the paper's figures and examples as executable
 //!   scenarios, plus seeded workload generators used by the benches.
 //!
@@ -54,9 +57,9 @@ pub use whynot_subsumption as subsumption;
 pub mod prelude {
     pub use crate::concepts::{LsAtom, LsConcept, Selection};
     pub use crate::core::{
-        exhaustive_search, incremental_search, incremental_search_with_selections,
-        Explanation, ExplicitOntology, FiniteOntology, InstanceOntology, ObdaOntology,
-        Ontology, SchemaOntology, WhyNotInstance,
+        exhaustive_search, incremental_search, incremental_search_with_selections, Explanation,
+        ExplicitOntology, FiniteOntology, InstanceOntology, ObdaOntology, Ontology, SchemaOntology,
+        WhyNotInstance,
     };
     pub use crate::dllite::{BasicConcept, GavMapping, ObdaSpec, Role, TBox, TBoxAxiom};
     pub use crate::relation::{

@@ -51,8 +51,8 @@ fn display_parse_round_trip() {
         &f5.small_reachable_from_amsterdam,
     ] {
         let rendered = concept.display(&schema).to_string();
-        let reparsed = parse_concept(&schema, &rendered)
-            .unwrap_or_else(|e| panic!("{rendered}: {e}"));
+        let reparsed =
+            parse_concept(&schema, &rendered).unwrap_or_else(|e| panic!("{rendered}: {e}"));
         assert_eq!(&reparsed, concept, "{rendered}");
     }
 }

@@ -44,10 +44,7 @@ fn random_base() -> impl Strategy<Value = Interpretation> {
             let names = ["A", "B", "C", "D"];
             let mut interp = Interpretation::new();
             for (c, e) in members {
-                interp.add_concept(
-                    whynot::dllite::AtomicConcept::new(names[c]),
-                    Value::int(e),
-                );
+                interp.add_concept(whynot::dllite::AtomicConcept::new(names[c]), Value::int(e));
             }
             for (r, x, y) in roles {
                 let name = if r == 0 { "P" } else { "Q" };
@@ -80,8 +77,18 @@ fn spec_and_instance(
         GavMapping::concept("B", Var(0), [Atom::new(rb, [Term::Var(Var(0))])]),
         GavMapping::concept("C", Var(0), [Atom::new(rc, [Term::Var(Var(0))])]),
         GavMapping::concept("D", Var(0), [Atom::new(rd, [Term::Var(Var(0))])]),
-        GavMapping::role("P", Var(0), Var(1), [Atom::new(rp, [Term::Var(Var(0)), Term::Var(Var(1))])]),
-        GavMapping::role("Q", Var(0), Var(1), [Atom::new(rq, [Term::Var(Var(0)), Term::Var(Var(1))])]),
+        GavMapping::role(
+            "P",
+            Var(0),
+            Var(1),
+            [Atom::new(rp, [Term::Var(Var(0)), Term::Var(Var(1))])],
+        ),
+        GavMapping::role(
+            "Q",
+            Var(0),
+            Var(1),
+            [Atom::new(rq, [Term::Var(Var(0)), Term::Var(Var(1))])],
+        ),
     ];
     let spec = ObdaSpec::new(tbox, mappings);
     let mut inst = Instance::new();

@@ -4,9 +4,9 @@
 
 use whynot::concepts::LsConcept;
 use whynot::core::{
-    check_mge, check_mge_instance, display_explanation, equivalent_explanations,
-    exhaustive_search, incremental_search, incremental_search_with_selections, is_explanation,
-    less_general, strictly_less_general, Explanation, LubKind, Ontology,
+    check_mge, check_mge_instance, display_explanation, equivalent_explanations, exhaustive_search,
+    incremental_search, incremental_search_with_selections, is_explanation, less_general,
+    strictly_less_general, Explanation, LubKind, Ontology,
 };
 use whynot::dllite::BasicConcept;
 use whynot::relation::Value;
@@ -74,7 +74,8 @@ fn figure_4_example_4_5() {
     assert_eq!(o.extension(&a("EU-City"), &wn.instance).len(), Some(3));
     assert_eq!(o.extension(&a("N.A.-City"), &wn.instance).len(), Some(3));
     assert_eq!(
-        o.extension(&BasicConcept::exists_inv("hasCountry"), &wn.instance).len(),
+        o.extension(&BasicConcept::exists_inv("hasCountry"), &wn.instance)
+            .len(),
         Some(5)
     );
     // E1–E4 of Example 4.5.
@@ -110,7 +111,10 @@ fn figure_5_example_4_7() {
     assert_eq!(c.large_city.extension(&inst).len(), Some(5));
     assert_eq!(c.big_city.extension(&inst).len(), Some(2));
     assert_eq!(c.santa_cruz.extension(&inst).len(), Some(1));
-    assert_eq!(c.small_reachable_from_amsterdam.extension(&inst).len(), Some(1));
+    assert_eq!(
+        c.small_reachable_from_amsterdam.extension(&inst).len(),
+        Some(1)
+    );
 }
 
 /// Example 4.9: E1–E8 are explanations w.r.t. both OI and OS (they
@@ -175,17 +179,22 @@ fn example_4_9_mge_checks() {
         }
     }
     // The formal refutation: the destination-city conjunction dominates.
-    let dest_city =
-        LsConcept::proj(sc.rels.cities, 0).and(&LsConcept::proj(sc.rels.tc, 1));
+    let dest_city = LsConcept::proj(sc.rels.cities, 0).and(&LsConcept::proj(sc.rels.tc, 1));
     for target in [&es[1], &es[6]] {
         let mut dom = target.clone();
         dom.concepts[0] = dest_city.clone();
         assert!(is_explanation(&oi, wn, &dom));
         assert!(strictly_less_general(&oi, target, &dom));
     }
-    assert!(!check_mge_instance(wn, &es[1], LubKind::SelectionFree), "E2");
+    assert!(
+        !check_mge_instance(wn, &es[1], LubKind::SelectionFree),
+        "E2"
+    );
     // The trivial E6 is not maximal either.
-    assert!(!check_mge_instance(wn, &es[5], LubKind::WithSelections), "E6");
+    assert!(
+        !check_mge_instance(wn, &es[5], LubKind::WithSelections),
+        "E6"
+    );
     // Algorithm 2 (both flavors) returns verified MGEs.
     let plain = incremental_search(wn);
     assert!(check_mge_instance(wn, &plain, LubKind::SelectionFree));

@@ -14,8 +14,7 @@ use whynot::core::{
     incremental_search_with_selections, LubKind, WhyNotInstance,
 };
 use whynot::relation::{
-    Atom, CmpOp, Cq, Instance, Interval, RelId, Schema, SchemaBuilder, Term, Tuple, Ucq, Value,
-    Var,
+    Atom, CmpOp, Cq, Instance, Interval, RelId, Schema, SchemaBuilder, Term, Tuple, Ucq, Value, Var,
 };
 use whynot::subsumption::{subsumed_under_fds, SubsumptionOutcome};
 
@@ -63,8 +62,7 @@ fn small_concept() -> impl Strategy<Value = LsConcept> {
             LsConcept::proj_sel(r, pa, Selection::new([(sa, op, Value::int(c))]))
         }),
     ];
-    proptest::collection::vec(atom, 0..3)
-        .prop_map(|cs| LsConcept::conj(cs.into_iter()))
+    proptest::collection::vec(atom, 0..3).prop_map(LsConcept::conj)
 }
 
 // ---------------------------------------------------------------------
@@ -161,12 +159,12 @@ fn naive_eval(q: &Cq, inst: &Instance) -> BTreeSet<Tuple> {
                 .collect();
             out.insert(head);
         }
-        for i in 0..idx.len() {
-            idx[i] += 1;
-            if idx[i] < adom.len() {
+        for digit in idx.iter_mut() {
+            *digit += 1;
+            if *digit < adom.len() {
                 continue 'outer;
             }
-            idx[i] = 0;
+            *digit = 0;
         }
         break;
     }

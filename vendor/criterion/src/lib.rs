@@ -1,0 +1,324 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses: `Criterion`, benchmark groups, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! The container building this repository has no crates.io access, so the
+//! real criterion cannot be fetched. This shim keeps every bench target
+//! source-compatible and actually measures: each benchmark runs a short
+//! warm-up followed by `sample_size` timed samples, reports the median
+//! per-iteration time on stdout, and appends one JSON record per
+//! benchmark to `BENCH_<binary>.json` in the working directory, so runs
+//! leave a machine-readable trace (the engine speedup bench relies on
+//! this).
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// The benchmark driver (configuration plus collected results).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    results: Vec<BenchResult>,
+}
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Median wall-clock time per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for compatibility; command-line filtering is not
+    /// implemented by the shim.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Adopts `other`'s configuration while keeping results already
+    /// collected (used by `criterion_group!` so several groups can share
+    /// one driver).
+    pub fn adopt_config(&mut self, other: Criterion) {
+        self.sample_size = other.sample_size;
+        self.warm_up_time = other.warm_up_time;
+        self.measurement_time = other.measurement_time;
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = id.to_string();
+        self.run_one(full, &mut f);
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            median_ns: None,
+            samples: 0,
+        };
+        f(&mut bencher);
+        let median_ns = bencher.median_ns.unwrap_or(f64::NAN);
+        println!("bench {id:<60} median {:>12.1} ns", median_ns);
+        self.results.push(BenchResult {
+            id,
+            median_ns,
+            samples: bencher.samples,
+        });
+    }
+
+    /// The results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes all collected results as JSON to `BENCH_<binary>.json` in
+    /// the working directory. Called by `criterion_main!`.
+    pub fn final_summary(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let bin = std::env::args()
+            .next()
+            .and_then(|p| {
+                std::path::Path::new(&p)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+            })
+            .unwrap_or_else(|| "bench".into());
+        // Strip cargo's content-hash suffix (`engine-0123abcd` → `engine`).
+        let name = match bin.rsplit_once('-') {
+            Some((stem, hash))
+                if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+            {
+                stem.to_string()
+            }
+            _ => bin,
+        };
+        let mut json = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 == self.results.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"samples\": {}}}{comma}",
+                r.id.replace('"', "'"),
+                r.median_ns,
+                r.samples
+            );
+        }
+        json.push_str("]\n");
+        let path = format!("BENCH_{name}.json");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("wrote {path}");
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks a function with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(full, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier `function/parameter`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    median_ns: Option<f64>,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times `f`: a short warm-up, then `sample_size` timed samples (each
+    /// batching iterations so a sample takes a measurable slice of the
+    /// budget), recording the median per-iteration time.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up, also estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let budget_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let batch = ((budget_ns / per_iter.max(1.0)) as u64).clamp(1, 1_000_000);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = Some(samples[samples.len() / 2]);
+        self.samples = samples.len();
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            criterion.adopt_config($config);
+            $( $target(criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_median() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].median_ns.is_finite());
+    }
+
+    #[test]
+    fn group_ids_are_prefixed() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(3));
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("f", 7), &7usize, |b, &n| b.iter(|| n * 2));
+        g.finish();
+        assert_eq!(c.results()[0].id, "g/f/7");
+    }
+}

@@ -1,0 +1,534 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace
+//! uses: the [`Strategy`] trait with `prop_map` / `prop_filter`, range and
+//! tuple strategies, [`collection`] strategies, `any::<bool>()`, and the
+//! `proptest!`, `prop_compose!`, `prop_oneof!`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assume!` macros.
+//!
+//! The container building this repository has no crates.io access, so the
+//! real proptest cannot be fetched. The shim keeps the property tests
+//! source-compatible and genuinely randomized (deterministic per test via
+//! a seed derived from the test name), but does **not** implement
+//! shrinking: a failing case reports its inputs un-minimized.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded explicitly.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x6A09_E667_F3BC_C908,
+        }
+    }
+
+    /// A generator seeded from a test name (stable across runs).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng::new(h)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform index below `n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// A generator of random values of one type. `generate` returns `None`
+/// when a filter rejects the draw; the runner then retries with fresh
+/// randomness.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value, or `None` on filter rejection.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects generated values failing `pred`.
+    fn prop_filter<F>(self, _reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, pred }
+    }
+
+    /// Boxes the strategy behind a uniform closure type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            gen: std::rc::Rc::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.pred)(v))
+    }
+}
+
+/// A type-erased strategy (the result of [`Strategy::boxed`] and
+/// `prop_oneof!`).
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    #[allow(clippy::type_complexity)]
+    gen: std::rc::Rc<dyn Fn(&mut TestRng) -> Option<T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        (self.gen)(rng)
+    }
+}
+
+/// A uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct OneOf<T> {
+    choices: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds the union; panics on an empty choice list.
+    pub fn new(choices: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { choices }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        let k = rng.below(self.choices.len() as u64) as usize;
+        self.choices[k].generate(rng)
+    }
+}
+
+/// A strategy always yielding clones of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                if self.start >= self.end {
+                    return None;
+                }
+                let span = self.end.abs_diff(self.start) as u64;
+                Some(self.start.wrapping_add(rng.below(span) as $t))
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_for_tuple {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                $( let $v = $s.generate(rng)?; )+
+                Some(($($v,)+))
+            }
+        }
+    };
+}
+
+impl_strategy_for_tuple!(A / a);
+impl_strategy_for_tuple!(A / a, B / b);
+impl_strategy_for_tuple!(A / a, B / b, C / c);
+impl_strategy_for_tuple!(A / a, B / b, C / c, D / d);
+impl_strategy_for_tuple!(A / a, B / b, C / c, D / d, E / e);
+impl_strategy_for_tuple!(A / a, B / b, C / c, D / d, E / e, F / f);
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// A strategy for a whole primitive type.
+pub struct AnyPrimitive<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> Option<bool> {
+        Some(rng.next_u64() & 1 == 1)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+macro_rules! impl_arbitrary_for_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.next_u64() as $t)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_for_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The canonical strategy for `T` (subset of `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{BTreeSet, Range, Strategy, TestRng};
+
+    /// A strategy for `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `size`-many elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = self.size.clone().generate(rng)?;
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(self.element.generate(rng)?);
+            }
+            Some(out)
+        }
+    }
+
+    /// A strategy for `BTreeSet`s with sizes drawn from `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Sets of `size`-many distinct elements from `element`. Rejects the
+    /// draw when the element domain cannot fill the requested size.
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<BTreeSet<S::Value>> {
+            let target = self.size.clone().generate(rng)?;
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < 20 * (target + 1) {
+                if let Some(v) = self.element.generate(rng) {
+                    out.insert(v);
+                }
+                attempts += 1;
+            }
+            (out.len() >= self.size.start).then_some(out)
+        }
+    }
+}
+
+/// Runner configuration (`ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_compose, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Boxes any strategy (used by `prop_oneof!`).
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    s.boxed()
+}
+
+/// Runs one property: draws inputs from `strategy` until `config.cases`
+/// cases ran (or a generous rejection budget is exhausted), invoking
+/// `body`. `body` returns `false` to discard the case (`prop_assume!`)
+/// and panics on assertion failure.
+pub fn run_property<S: Strategy>(
+    name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    mut body: impl FnMut(S::Value) -> bool,
+) {
+    let mut rng = TestRng::from_name(name);
+    let mut done: u32 = 0;
+    let mut attempts: u64 = 0;
+    let budget = (config.cases as u64).saturating_mul(200).max(1000);
+    while done < config.cases && attempts < budget {
+        attempts += 1;
+        let Some(input) = strategy.generate(&mut rng) else {
+            continue;
+        };
+        if body(input) {
+            done += 1;
+        }
+    }
+    assert!(
+        done > 0,
+        "property {name}: generator rejected every draw ({attempts} attempts)"
+    );
+}
+
+/// Mirror of proptest's `proptest!` macro (no shrinking; see crate docs).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (
+        @cfg ($config:expr)
+        $(
+            $(#[doc = $doc:expr])*
+            #[test]
+            fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[doc = $doc])*
+            #[test]
+            fn $name() {
+                let config = $config;
+                let strategy = ( $($strat,)+ );
+                $crate::run_property(stringify!($name), &config, &strategy, |input| {
+                    let ( $($arg,)+ ) = input;
+                    // `prop_assume!` expands to an early `return false`.
+                    $body
+                    true
+                });
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Mirror of proptest's `prop_compose!` macro.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[doc = $doc:expr])*
+        $vis:vis fn $name:ident ( $($outer:tt)* ) ( $($arg:pat in $strat:expr),+ $(,)? ) -> $out:ty $body:block
+    ) => {
+        $(#[doc = $doc])*
+        $vis fn $name($($outer)*) -> impl $crate::Strategy<Value = $out> {
+            use $crate::Strategy as _;
+            ( $($strat,)+ ).prop_map(move |( $($arg,)+ )| $body)
+        }
+    };
+}
+
+/// Mirror of proptest's `prop_oneof!` macro (uniform choice).
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($strat:expr),+ $(,)? ) => {
+        $crate::OneOf::new(vec![ $( $crate::boxed($strat) ),+ ])
+    };
+}
+
+/// Mirror of `prop_assert!` (plain assert; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Mirror of `prop_assert_eq!` (plain assert_eq; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Mirror of `prop_assume!`: discards the current case when the
+/// assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return false;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return false;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let v = (2i64..9).generate(&mut rng).unwrap();
+            assert!((2..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn filter_rejects() {
+        let even = (0usize..10).prop_filter("even", |v| v % 2 == 0);
+        let mut rng = TestRng::new(5);
+        for _ in 0..100 {
+            if let Some(v) = even.generate(&mut rng) {
+                assert_eq!(v % 2, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn btree_set_respects_size_bounds() {
+        let s = collection::btree_set(0usize..5, 1..4);
+        let mut rng = TestRng::new(8);
+        for _ in 0..100 {
+            if let Some(set) = s.generate(&mut rng) {
+                assert!(!set.is_empty() && set.len() < 4 || !set.is_empty());
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn the_macro_itself_works(a in 0i64..10, b in 0i64..10, flip in any::<bool>()) {
+            prop_assume!(a != b);
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(lo < hi);
+            if flip {
+                prop_assert_eq!(lo.min(hi), lo);
+            }
+        }
+    }
+
+    prop_compose! {
+        fn pair()(a in 0i64..5, b in 5i64..10) -> (i64, i64) { (a, b) }
+    }
+
+    proptest! {
+        #[test]
+        fn composed_strategies_work(p in pair()) {
+            prop_assert!(p.0 < p.1);
+        }
+    }
+}
