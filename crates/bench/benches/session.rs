@@ -1,0 +1,131 @@
+//! Batched service layer: one `WhyNotSession` answering a whole question
+//! stream vs a fresh evaluation context per question.
+//!
+//! The fresh baseline is exactly what a caller without the session layer
+//! does today: per question, build a `WhyNotInstance` (which re-evaluates
+//! the query) and run `exhaustive_search` (which builds a fresh
+//! `EvalContext`, re-evaluating every concept extension). The session
+//! path pins `(ontology, instance)` once and reuses the extension table,
+//! the answer sets (keyed by query), and the per-constant candidate
+//! lists across the batch.
+//!
+//! Run with `cargo bench -p whynot-bench --bench session`. Results land
+//! in `BENCH_session_batch.json` at the workspace root: per-size medians
+//! for both paths over `scenarios::generators::batched_city_workload`,
+//! plus the speedup on the largest size (the acceptance criterion asks
+//! for session reuse to beat fresh-per-question).
+
+use std::time::Instant;
+use whynot_core::{exhaustive_search, WhyNotInstance, WhyNotSession};
+use whynot_scenarios::generators::{batched_city_workload, BatchedWorkload};
+
+/// Answers every question with a fresh context, the pre-session way.
+fn fresh_per_question(w: &BatchedWorkload) -> usize {
+    let mut with_explanation = 0usize;
+    for q in &w.questions {
+        let wn = WhyNotInstance::new(
+            w.schema.clone(),
+            w.instance.clone(),
+            q.query.clone(),
+            q.tuple.clone(),
+        )
+        .expect("workload questions are valid");
+        if !exhaustive_search(&w.ontology, &wn).is_empty() {
+            with_explanation += 1;
+        }
+    }
+    with_explanation
+}
+
+/// Answers every question through one shared session.
+fn through_session(w: &BatchedWorkload) -> usize {
+    let session = WhyNotSession::new(&w.ontology, &w.schema, &w.instance);
+    let mut with_explanation = 0usize;
+    for q in &w.questions {
+        if !session
+            .exhaustive(q)
+            .expect("workload questions are valid")
+            .is_empty()
+        {
+            with_explanation += 1;
+        }
+    }
+    with_explanation
+}
+
+fn median_ns(mut f: impl FnMut(), runs: usize) -> f64 {
+    f(); // warm-up
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let sizes = [48usize, 96, 192, 384];
+    let regions = 8;
+    let n_questions = 200;
+    let runs = 5;
+    let mut rows: Vec<String> = Vec::new();
+    let mut last_speedup = 0.0;
+
+    println!("batched service: {n_questions} questions, session reuse vs fresh ctx per question");
+    println!(
+        "{:>6} {:>14} {:>14} {:>9}",
+        "cities", "fresh (ms)", "session (ms)", "speedup"
+    );
+    for &n in &sizes {
+        let w = batched_city_workload(n, regions, n_questions, 42);
+        // Answer parity first: the session must agree with the fresh path
+        // question by question (counted via the summary; full per-answer
+        // equality is asserted in the umbrella test suite).
+        let fresh_count = fresh_per_question(&w);
+        let session_count = through_session(&w);
+        assert_eq!(fresh_count, session_count, "paths disagree at n={n}");
+
+        let t_fresh = median_ns(
+            || {
+                std::hint::black_box(fresh_per_question(&w));
+            },
+            runs,
+        );
+        let t_session = median_ns(
+            || {
+                std::hint::black_box(through_session(&w));
+            },
+            runs,
+        );
+        let speedup = t_fresh / t_session;
+        last_speedup = speedup;
+        println!(
+            "{n:>6} {:>14.3} {:>14.3} {speedup:>8.2}x",
+            t_fresh / 1e6,
+            t_session / 1e6
+        );
+        rows.push(format!(
+            "  {{\"workload\": \"batched_city_workload\", \"cities\": {n}, \"regions\": {regions}, \
+             \"questions\": {n_questions}, \"fresh_ns\": {t_fresh:.0}, \
+             \"session_ns\": {t_session:.0}, \"speedup\": {speedup:.2}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n\"bench\": \"session_batch\",\n\"unit\": \"ns median of {runs}\",\n\
+         \"results\": [\n{}\n],\n\"largest_workload_speedup\": {last_speedup:.2}\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_session_batch.json"
+    );
+    std::fs::write(path, &json).expect("write BENCH_session_batch.json");
+    println!("wrote {path}");
+    if last_speedup < 1.0 {
+        println!("WARNING: session reuse is {last_speedup:.2}x vs fresh contexts — expected > 1x");
+    }
+}

@@ -306,6 +306,29 @@ impl FromIterator<Value> for ValueSet {
 
 /// The extension of a concept: either all of `Const`, or a finite
 /// (bitset-backed) set.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use whynot_concepts::Extension;
+/// use whynot_relation::{ConstPool, Value};
+///
+/// // Sets sharing one interned pool compare word-parallel; values
+/// // outside the pool are still represented exactly (overflow set).
+/// let pool = Arc::new(ConstPool::from_values((0..64).map(Value::int)));
+/// let small = Extension::finite_in(Arc::clone(&pool), (0..8).map(Value::int));
+/// let big = Extension::finite_in(Arc::clone(&pool), (0..32).map(Value::int));
+/// assert!(small.subset_of(&big));
+/// assert_eq!(small.intersect(&big), small);
+/// assert_eq!(big.len(), Some(32));
+///
+/// // ⊤ contains everything and reports no finite cardinality.
+/// let top = Extension::Universal;
+/// assert!(top.contains(&Value::str("anything")));
+/// assert!(small.subset_of(&top));
+/// assert_eq!(top.len(), None);
+/// ```
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub enum Extension {
     /// All constants (`[[⊤]] = Const`).

@@ -26,11 +26,46 @@ use whynot_relation::{Attr, Instance, RelId, Schema, Tuple, Value};
 
 /// Computes `lub_I(X)` in selection-free `LS` (paper Lemma 5.1).
 ///
+/// # Examples
+///
+/// ```
+/// use std::collections::BTreeSet;
+/// use whynot_concepts::lub;
+/// use whynot_relation::{Instance, SchemaBuilder, Value};
+///
+/// let mut b = SchemaBuilder::new();
+/// let tc = b.relation("TC", ["from", "to"]);
+/// let schema = b.finish().unwrap();
+/// let mut inst = Instance::new();
+/// inst.insert(tc, vec![Value::str("Amsterdam"), Value::str("Berlin")]);
+/// inst.insert(tc, vec![Value::str("Berlin"), Value::str("Rome")]);
+///
+/// // The least selection-free concept containing {Amsterdam, Berlin}:
+/// // both appear in TC.from, so π_from(TC) is a covering atom — and the
+/// // lub's extension is contained in every covering atom's extension.
+/// let x: BTreeSet<Value> = [Value::str("Amsterdam"), Value::str("Berlin")]
+///     .into_iter()
+///     .collect();
+/// let c = lub(&schema, &inst, &x);
+/// assert!(c.extension(&inst).contains_all(x.iter()));
+/// ```
+///
 /// # Panics
 /// Panics if `x` is empty — the paper only ever takes lubs of non-empty
-/// support sets (Algorithm 2 starts from singletons).
+/// support sets (Algorithm 2 starts from singletons). Service layers that
+/// cannot rule out empty supports should call [`try_lub`] instead.
 pub fn lub(schema: &Schema, inst: &Instance, x: &BTreeSet<Value>) -> LsConcept {
-    assert!(!x.is_empty(), "lub of an empty support set is undefined");
+    try_lub(schema, inst, x).expect("lub of an empty support set is undefined")
+}
+
+/// Non-panicking [`lub`]: `None` iff the support set is empty (every
+/// concept contains `∅`, so no *least* one exists in the pre-order the
+/// paper uses). This is the variant service boundaries should call — a
+/// malformed batched question must surface as an error, not a panic.
+pub fn try_lub(schema: &Schema, inst: &Instance, x: &BTreeSet<Value>) -> Option<LsConcept> {
+    if x.is_empty() {
+        return None;
+    }
     let mut atoms: Vec<LsAtom> = Vec::new();
     if x.len() == 1 {
         atoms.push(LsAtom::Nominal(x.iter().next().expect("non-empty").clone()));
@@ -42,7 +77,7 @@ pub fn lub(schema: &Schema, inst: &Instance, x: &BTreeSet<Value>) -> LsConcept {
             }
         }
     }
-    LsConcept::from_atoms(atoms)
+    Some(LsConcept::from_atoms(atoms))
 }
 
 /// A closed per-attribute bounding box over the tuples of one relation.
@@ -55,10 +90,44 @@ type BoundingBox = Vec<(Value, Value)>;
 /// bounded arity (the candidate boxes per relation are
 /// `∏_attr O(#distinct-values²)`).
 ///
+/// # Examples
+///
+/// ```
+/// use std::collections::BTreeSet;
+/// use whynot_concepts::{lub, lub_sigma};
+/// use whynot_relation::{Instance, SchemaBuilder, Value};
+///
+/// let mut b = SchemaBuilder::new();
+/// let r = b.relation("Cities", ["name", "population"]);
+/// let schema = b.finish().unwrap();
+/// let mut inst = Instance::new();
+/// inst.insert(r, vec![Value::str("Berlin"), Value::int(3_502_000)]);
+/// inst.insert(r, vec![Value::str("Rome"), Value::int(2_753_000)]);
+/// inst.insert(r, vec![Value::str("Santa Cruz"), Value::int(59_946)]);
+///
+/// // With selections the lub can carve the population band [2.7M, 3.5M],
+/// // so it refines the selection-free lub (which keeps Santa Cruz).
+/// let x: BTreeSet<Value> = [Value::str("Berlin"), Value::str("Rome")]
+///     .into_iter()
+///     .collect();
+/// let fine = lub_sigma(&schema, &inst, &x).extension(&inst);
+/// let coarse = lub(&schema, &inst, &x).extension(&inst);
+/// assert!(fine.subset_of(&coarse));
+/// assert!(!fine.contains(&Value::str("Santa Cruz")));
+/// ```
+///
 /// # Panics
-/// Panics if `x` is empty.
+/// Panics if `x` is empty; see [`try_lub_sigma`] for the non-panicking
+/// service-boundary variant.
 pub fn lub_sigma(schema: &Schema, inst: &Instance, x: &BTreeSet<Value>) -> LsConcept {
-    assert!(!x.is_empty(), "lub of an empty support set is undefined");
+    try_lub_sigma(schema, inst, x).expect("lub of an empty support set is undefined")
+}
+
+/// Non-panicking [`lub_sigma`]: `None` iff the support set is empty.
+pub fn try_lub_sigma(schema: &Schema, inst: &Instance, x: &BTreeSet<Value>) -> Option<LsConcept> {
+    if x.is_empty() {
+        return None;
+    }
     let mut atoms: Vec<LsAtom> = Vec::new();
     if x.len() == 1 {
         atoms.push(LsAtom::Nominal(x.iter().next().expect("non-empty").clone()));
@@ -70,7 +139,7 @@ pub fn lub_sigma(schema: &Schema, inst: &Instance, x: &BTreeSet<Value>) -> LsCon
             }
         }
     }
-    LsConcept::from_atoms(atoms)
+    Some(LsConcept::from_atoms(atoms))
 }
 
 /// Converts a bounding box into the concept atom `π_attr(σ_box(R))`,
@@ -441,5 +510,21 @@ mod tests {
     fn lub_of_empty_set_panics() {
         let (schema, _, _, inst) = paper_fixture();
         lub(&schema, &inst, &BTreeSet::new());
+    }
+
+    #[test]
+    fn try_lub_returns_none_on_empty_support() {
+        // Regression: the service boundary must see an `Option`, not a
+        // panic, for malformed (empty-support) requests.
+        let (schema, _, _, inst) = paper_fixture();
+        assert_eq!(try_lub(&schema, &inst, &BTreeSet::new()), None);
+        assert_eq!(try_lub_sigma(&schema, &inst, &BTreeSet::new()), None);
+        // And agrees with the panicking variants on non-empty supports.
+        let x = set(&["Amsterdam", "Berlin"]);
+        assert_eq!(try_lub(&schema, &inst, &x), Some(lub(&schema, &inst, &x)));
+        assert_eq!(
+            try_lub_sigma(&schema, &inst, &x),
+            Some(lub_sigma(&schema, &inst, &x))
+        );
     }
 }

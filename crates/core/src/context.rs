@@ -26,6 +26,28 @@ use whynot_concepts::{Extension, ExtensionTable};
 use whynot_relation::{ConstPool, Instance, PoolMap, Value};
 
 /// A memoizing wrapper over an [`Ontology`] and one pinned instance.
+///
+/// # Examples
+///
+/// ```
+/// use whynot_core::{EvalContext, ExplicitOntology};
+/// use whynot_relation::{Instance, RelId, Value};
+///
+/// let o = ExplicitOntology::builder()
+///     .concept("Top", ["a", "b", "c"])
+///     .concept("Sub", ["a"])
+///     .edge("Sub", "Top")
+///     .build();
+/// let mut inst = Instance::new();
+/// inst.insert(RelId(0), vec![Value::str("a"), Value::str("b")]);
+///
+/// let ctx = EvalContext::new(&o, &inst);
+/// let top = o.concept_expect("Top");
+/// let first = ctx.extension(&top);
+/// let again = ctx.extension(&top); // cache hit — no re-evaluation
+/// assert_eq!(first, again);
+/// assert_eq!(ctx.evaluations(), 1);
+/// ```
 pub struct EvalContext<'a, O: Ontology> {
     ontology: &'a O,
     instance: &'a Instance,

@@ -13,62 +13,85 @@
 use crate::context::EvalContext;
 use crate::ontology::FiniteOntology;
 use crate::whynot::{
-    exts_form_explanation, is_explanation, less_general, Explanation, WhyNotInstance,
+    exts_form_explanation_q, less_general, Explanation, QuestionRef, WhyNotInstance,
 };
-use whynot_concepts::Extension;
+use whynot_concepts::{Extension, ExtensionTable};
+use whynot_relation::Value;
 
 /// Per-position candidate concepts with precomputed answer-conflict
 /// bitsets.
-struct Candidates<C> {
+pub(crate) struct Candidates<C> {
     /// Candidate concepts whose extension contains the position's constant.
-    concepts: Vec<C>,
+    pub(crate) concepts: Vec<C>,
     /// `conflicts[k][w]`: bit `j` set iff answer tuple `j`'s value at this
     /// position lies in candidate `k`'s extension.
-    conflicts: Vec<Vec<u64>>,
+    pub(crate) conflicts: Vec<Vec<u64>>,
 }
 
-/// Builds the per-position candidate sets through the memoizing context:
-/// every concept's extension is evaluated exactly once for the whole
-/// search (the seed re-evaluated per position), all extensions share the
-/// context pool, and the per-answer conflict bits come from pre-interned
-/// probes — one binary search per (position, answer), then O(1) bit
-/// tests per candidate.
-fn build_candidates<O: FiniteOntology>(
-    ctx: &EvalContext<'_, O>,
-    wn: &WhyNotInstance,
-) -> Option<Vec<Candidates<O::Concept>>> {
-    let ans: Vec<&whynot_relation::Tuple> = wn.ans.iter().collect();
+/// The concept indices whose table entry contains `a` — the
+/// question-independent half of candidate construction (it depends only
+/// on the constant, so a session caches it keyed by `a`).
+pub(crate) fn candidate_indices(table: &ExtensionTable, count: usize, a: &Value) -> Vec<usize> {
+    (0..count).filter(|&k| table.get(k).contains(a)).collect()
+}
+
+/// Builds the per-position candidate sets from a prebuilt extension table
+/// and a per-constant candidate-index provider: the per-answer conflict
+/// bits come from pre-interned probes — one binary search per
+/// (position, answer), then O(1) bit tests per candidate. The provider is
+/// a closure so the one-shot path can scan the table while a
+/// [`WhyNotSession`](crate::WhyNotSession) serves memoized index lists.
+pub(crate) fn build_candidates_with<C: Clone>(
+    all: &[C],
+    table: &ExtensionTable,
+    mut indices_for: impl FnMut(&Value) -> std::rc::Rc<Vec<usize>>,
+    q: QuestionRef<'_>,
+) -> Option<Vec<Candidates<C>>> {
+    let ans: Vec<&whynot_relation::Tuple> = q.ans.iter().collect();
     let words = ans.len().div_ceil(64);
-    let all = ctx.concepts();
-    let table = ctx.table(&all);
-    let mut out = Vec::with_capacity(wn.arity());
-    for (i, a_i) in wn.tuple.iter().enumerate() {
+    let mut out = Vec::with_capacity(q.arity());
+    for (i, a_i) in q.tuple.iter().enumerate() {
+        let idxs = indices_for(a_i);
+        if idxs.is_empty() {
+            return None; // no concept covers a_i: no explanation exists
+        }
         // Intern this position's answer values once.
         let probes: Vec<_> = ans.iter().map(|t| table.probe(&t[i])).collect();
         let mut cands = Candidates {
-            concepts: Vec::new(),
-            conflicts: Vec::new(),
+            concepts: Vec::with_capacity(idxs.len()),
+            conflicts: Vec::with_capacity(idxs.len()),
         };
-        for (k, c) in all.iter().enumerate() {
-            let ext = table.get(k);
-            if !ext.contains(a_i) {
-                continue;
-            }
+        for &k in idxs.iter() {
             let mut bits = vec![0u64; words];
             for (j, (t, probe)) in ans.iter().zip(&probes).enumerate() {
                 if table.entry_contains(k, probe, &t[i]) {
                     bits[j / 64] |= 1 << (j % 64);
                 }
             }
-            cands.concepts.push(c.clone());
+            cands.concepts.push(all[k].clone());
             cands.conflicts.push(bits);
-        }
-        if cands.concepts.is_empty() {
-            return None; // no concept covers a_i: no explanation exists
         }
         out.push(cands);
     }
     Some(out)
+}
+
+/// Builds the per-position candidate sets through the memoizing context:
+/// every concept's extension is evaluated exactly once for the whole
+/// search (the seed re-evaluated per position), all extensions share the
+/// context pool.
+fn build_candidates<O: FiniteOntology>(
+    ctx: &EvalContext<'_, O>,
+    wn: &WhyNotInstance,
+) -> Option<Vec<Candidates<O::Concept>>> {
+    let all = ctx.concepts();
+    let table = ctx.table(&all);
+    build_candidates_with(
+        &all,
+        &table,
+        |a| std::rc::Rc::new(candidate_indices(&table, all.len(), a)),
+        wn.question(),
+    )
 }
 
 /// Algorithm 1: computes the set of all most-general explanations for the
@@ -82,19 +105,27 @@ pub fn exhaustive_search<O: FiniteOntology>(
     let Some(candidates) = build_candidates(&ctx, wn) else {
         return Vec::new();
     };
-    if wn.arity() == 0 {
-        return Vec::new();
-    }
-    // Line 2 of Algorithm 1: collect every candidate tuple whose extension
-    // product avoids Ans (an answer tuple survives the product iff its bit
-    // survives the AND of all positions' conflict masks).
-    let words = wn.ans.len().div_ceil(64);
-    let mut found: Vec<Explanation<O::Concept>> = Vec::new();
-    let mut choice: Vec<usize> = Vec::with_capacity(wn.arity());
-    collect(&candidates, &mut choice, &vec![u64::MAX; words], &mut found);
-
+    let found = run_exhaustive(&candidates, wn.question());
     // Lines 3–5: drop explanations strictly less general than another.
     retain_most_general(ontology, found)
+}
+
+/// Line 2 of Algorithm 1 over prebuilt candidates: collect every candidate
+/// tuple whose extension product avoids `Ans` (an answer tuple survives
+/// the product iff its bit survives the AND of all positions' conflict
+/// masks). Most-general filtering is the caller's job.
+pub(crate) fn run_exhaustive<C: Clone>(
+    candidates: &[Candidates<C>],
+    q: QuestionRef<'_>,
+) -> Vec<Explanation<C>> {
+    if q.arity() == 0 {
+        return Vec::new();
+    }
+    let words = q.ans.len().div_ceil(64);
+    let mut found: Vec<Explanation<C>> = Vec::new();
+    let mut choice: Vec<usize> = Vec::with_capacity(q.arity());
+    collect(candidates, &mut choice, &vec![u64::MAX; words], &mut found);
+    found
 }
 
 fn collect<C: Clone>(
@@ -161,12 +192,20 @@ pub fn find_explanation<O: FiniteOntology>(
 ) -> Option<Explanation<O::Concept>> {
     let ctx = EvalContext::with_seeds(ontology, &wn.instance, wn.tuple.iter().cloned());
     let candidates = build_candidates(&ctx, wn)?;
-    if wn.arity() == 0 {
+    run_find_one(&candidates, wn.question())
+}
+
+/// The backtracking existence search over prebuilt candidates.
+pub(crate) fn run_find_one<C: Clone>(
+    candidates: &[Candidates<C>],
+    q: QuestionRef<'_>,
+) -> Option<Explanation<C>> {
+    if q.arity() == 0 {
         return None;
     }
-    let words = wn.ans.len().div_ceil(64);
-    let mut choice: Vec<usize> = Vec::with_capacity(wn.arity());
-    if search_one(&candidates, &mut choice, &vec![u64::MAX; words]) {
+    let words = q.ans.len().div_ceil(64);
+    let mut choice: Vec<usize> = Vec::with_capacity(q.arity());
+    if search_one(candidates, &mut choice, &vec![u64::MAX; words]) {
         Some(Explanation::new(
             choice
                 .iter()
@@ -236,20 +275,36 @@ pub fn check_mge<O: FiniteOntology>(
     e: &Explanation<O::Concept>,
 ) -> bool {
     let ctx = EvalContext::with_seeds(ontology, &wn.instance, wn.tuple.iter().cloned());
-    if !is_explanation(&ctx, wn, e) {
+    let all = ctx.concepts();
+    check_mge_with(&ctx, &all, wn.question(), e)
+}
+
+/// CHECK-MGE over a long-lived context, a prebuilt concept list, and a
+/// borrowed question (the session path; the memoizing context makes the
+/// replacement loop evaluate each candidate concept at most once across
+/// all positions — and, in a session, at most once across all
+/// *questions*).
+pub(crate) fn check_mge_with<O: FiniteOntology>(
+    ctx: &EvalContext<'_, O>,
+    all: &[O::Concept],
+    q: QuestionRef<'_>,
+    e: &Explanation<O::Concept>,
+) -> bool {
+    if e.len() != q.arity() {
         return false;
     }
-    let all = ctx.concepts();
-    // The memoizing context makes the replacement loop evaluate each
-    // candidate concept at most once across all positions.
     let mut exts: Vec<Extension> = e.concepts.iter().map(|c| ctx.extension(c)).collect();
+    if !exts_form_explanation_q(&exts, q) {
+        return false;
+    }
+    let ontology = ctx.ontology();
     for i in 0..e.len() {
-        for c in &all {
+        for c in all {
             if !ontology.subsumed(&e.concepts[i], c) || ontology.subsumed(c, &e.concepts[i]) {
                 continue; // not strictly more general
             }
             let saved = std::mem::replace(&mut exts[i], ctx.extension(c));
-            let still = exts_form_explanation(&exts, wn);
+            let still = exts_form_explanation_q(&exts, q);
             exts[i] = saved;
             if still {
                 return false; // a strictly more general explanation exists

@@ -14,14 +14,14 @@
 //! (Proposition 5.2), built from the same growth probes.
 
 use crate::derived::InstanceOntology;
-use crate::whynot::{exts_form_explanation, Explanation, WhyNotInstance};
+use crate::whynot::{exts_form_explanation_q, Explanation, QuestionRef, WhyNotInstance};
 use std::collections::BTreeSet;
 use whynot_concepts::{lub, lub_sigma, Extension, LsConcept};
 use whynot_relation::{Schema, Value};
 
 /// Which `lub` operator drives the search (i.e. which `LS` fragment the
 /// resulting explanation lives in).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum LubKind {
     /// Selection-free `LS` (Lemma 5.1, PTIME).
     SelectionFree,
@@ -62,47 +62,60 @@ pub fn incremental_search_with_selections(wn: &WhyNotInstance) -> Explanation<Ls
 pub fn incremental_search_kind(wn: &WhyNotInstance, kind: LubKind) -> Explanation<LsConcept> {
     let schema = &wn.schema;
     let inst = &wn.instance;
-    let m = wn.arity();
     // One interned pool for the whole search: every candidate extension
     // is a bitset over adom(I) ∪ ā, so the per-step explanation checks
     // run word-parallel.
     let pool = inst.const_pool_with(wn.tuple.iter().cloned());
+    let adom: Vec<Value> = inst.active_domain().into_iter().collect();
+    incremental_search_core(
+        &adom,
+        wn.question(),
+        &mut |x| lub_of(kind, schema, inst, x),
+        &mut |c| c.extension_in(inst, &pool),
+    )
+}
+
+/// Algorithm 2's growth loop over a borrowed question and caller-supplied
+/// lub / extension providers. The one-shot path passes plain closures; a
+/// [`WhyNotSession`](crate::WhyNotSession) passes memoizing ones, so
+/// repeated support sets and concepts across a question batch are
+/// computed once.
+pub(crate) fn incremental_search_core(
+    adom: &[Value],
+    q: QuestionRef<'_>,
+    lub_of: &mut dyn FnMut(&BTreeSet<Value>) -> LsConcept,
+    ext_of: &mut dyn FnMut(&LsConcept) -> Extension,
+) -> Explanation<LsConcept> {
+    let m = q.arity();
     // Line 2: support sets start at the singletons {aj}.
-    let mut support: Vec<BTreeSet<Value>> = wn
+    let mut support: Vec<BTreeSet<Value>> = q
         .tuple
         .iter()
         .map(|a| [a.clone()].into_iter().collect())
         .collect();
     // Line 3: first candidate explanation — the lubs of the singletons.
-    let mut concepts: Vec<LsConcept> = support
-        .iter()
-        .map(|x| lub_of(kind, schema, inst, x))
-        .collect();
-    let mut exts: Vec<Extension> = concepts
-        .iter()
-        .map(|c| c.extension_in(inst, &pool))
-        .collect();
+    let mut concepts: Vec<LsConcept> = support.iter().map(&mut *lub_of).collect();
+    let mut exts: Vec<Extension> = concepts.iter().map(&mut *ext_of).collect();
     debug_assert!(
-        exts_form_explanation(&exts, wn),
+        exts_form_explanation_q(&exts, q),
         "the nominal-based start must be an explanation"
     );
 
     // Lines 4–11: per position, try to absorb each uncovered active-domain
     // constant into the support set.
-    let adom: Vec<Value> = inst.active_domain().into_iter().collect();
     for j in 0..m {
-        for b in &adom {
+        for b in adom {
             if exts[j].contains(b) {
                 continue; // line 5's set difference, re-evaluated live
             }
             // Lines 6–8: the more general candidate at position j.
             let mut grown = support[j].clone();
             grown.insert(b.clone());
-            let candidate = lub_of(kind, schema, inst, &grown);
-            let candidate_ext = candidate.extension_in(inst, &pool);
+            let candidate = lub_of(&grown);
+            let candidate_ext = ext_of(&candidate);
             // Line 9: keep it only if the tuple stays an explanation.
             let saved = std::mem::replace(&mut exts[j], candidate_ext);
-            if exts_form_explanation(&exts, wn) {
+            if exts_form_explanation_q(&exts, q) {
                 concepts[j] = candidate;
                 support[j] = grown;
             } else {
@@ -129,30 +142,46 @@ pub fn check_mge_instance(wn: &WhyNotInstance, e: &Explanation<LsConcept>, kind:
     let schema = &wn.schema;
     let inst = &wn.instance;
     let pool = inst.const_pool_with(wn.tuple.iter().cloned());
-    let mut exts: Vec<Extension> = e
-        .concepts
-        .iter()
-        .map(|c| c.extension_in(inst, &pool))
-        .collect();
     // Candidate growth constants: adom plus the missing tuple (Prop 5.1's
     // constant restriction K).
     let k_consts = wn.restriction_constants();
+    check_mge_instance_core(
+        &k_consts,
+        wn.question(),
+        e,
+        &mut |x| lub_of(kind, schema, inst, x),
+        &mut |c| c.extension_in(inst, &pool),
+    )
+}
+
+/// The generalization-probe loop of CHECK-MGE W.R.T. `OI`, over a borrowed
+/// question and caller-supplied lub / extension providers. Assumes the
+/// caller has already verified that `e` *is* an explanation (the probes
+/// only decide maximality).
+pub(crate) fn check_mge_instance_core(
+    k_consts: &BTreeSet<Value>,
+    q: QuestionRef<'_>,
+    e: &Explanation<LsConcept>,
+    lub_of: &mut dyn FnMut(&BTreeSet<Value>) -> LsConcept,
+    ext_of: &mut dyn FnMut(&LsConcept) -> Extension,
+) -> bool {
+    let mut exts: Vec<Extension> = e.concepts.iter().map(&mut *ext_of).collect();
     for j in 0..e.len() {
         // The universal extension (⊤) cannot be generalized.
         let Some(current) = exts[j].as_finite().map(|s| s.to_btree_set()) else {
             continue;
         };
-        for b in &k_consts {
+        for b in k_consts {
             if current.contains(b) {
                 continue;
             }
             let mut grown = current.clone();
             grown.insert(b.clone());
-            let candidate = lub_of(kind, schema, inst, &grown);
-            let candidate_ext = candidate.extension_in(inst, &pool);
+            let candidate = lub_of(&grown);
+            let candidate_ext = ext_of(&candidate);
             // Strictly more general by construction: ⊇ current ∪ {b}.
             let saved = std::mem::replace(&mut exts[j], candidate_ext);
-            let still = exts_form_explanation(&exts, wn);
+            let still = exts_form_explanation_q(&exts, q);
             exts[j] = saved;
             if still {
                 return false;
@@ -165,7 +194,7 @@ pub fn check_mge_instance(wn: &WhyNotInstance, e: &Explanation<LsConcept>, kind:
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::whynot::is_explanation;
+    use crate::whynot::{exts_form_explanation, is_explanation};
     use whynot_concepts::LsAtom;
     use whynot_relation::{Atom, Cq, Instance, RelId, SchemaBuilder, Term, Ucq, Var};
 

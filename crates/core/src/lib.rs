@@ -37,7 +37,12 @@
 //! * the §6 variations: [`shortest_mge`], [`irredundant_mge`],
 //!   [`minimize_concept`] / [`minimized_explanation`],
 //!   [`card_maximal_exact`] / [`card_maximal_greedy`], and
-//!   [`is_strong_explanation`].
+//!   [`is_strong_explanation`];
+//! * the **batched service layer** — [`WhyNotSession`] pins one
+//!   `(ontology, instance)` pair and answers a stream of
+//!   [`WhyNotQuestion`]s, sharing the extension cache, answer sets,
+//!   candidate lists and lub results across the whole batch (see the
+//!   [`session`] module docs for the cache inventory).
 
 #![warn(missing_docs)]
 
@@ -50,11 +55,13 @@ mod incremental;
 mod obda_query;
 mod ontology;
 mod schema_mge;
+pub mod session;
 pub mod setcover;
 mod variations;
 mod whynot;
 
 pub use context::EvalContext;
+pub use session::{SessionError, SessionStats, WhyNotQuestion, WhyNotSession};
 
 pub use derived::{
     min_fragment_concepts, InstanceOntology, MaterializedOntology, ObdaOntology, SchemaOntology,
@@ -80,5 +87,6 @@ pub use variations::{
 };
 pub use whynot::{
     display_explanation, equivalent_explanations, explanation_extensions, exts_form_explanation,
-    is_explanation, less_general, strictly_less_general, Explanation, WhyNotInstance,
+    exts_form_explanation_q, is_explanation, less_general, strictly_less_general, Explanation,
+    QuestionRef, WhyNotInstance,
 };

@@ -1,0 +1,760 @@
+//! The batched why-not service layer: one pinned `(ontology, instance)`
+//! pair, many questions.
+//!
+//! The paper frames why-not explanation as a single `(q, I, a)` question,
+//! but a deployed explanation service fields *streams* of questions
+//! against one instance — and almost everything the algorithms compute is
+//! question-independent. A [`WhyNotSession`] pins the pair once and
+//! answers an arbitrary sequence of [`WhyNotQuestion`]s, reusing across
+//! questions everything that does not depend on the question:
+//!
+//! | cache | keyed by | serves |
+//! |---|---|---|
+//! | concept extensions | concept (via [`EvalContext`]) | every algorithm; ≤ 1 `ext(c, I)` eval per concept **per session**, not per question |
+//! | the extension table + [`ConstPool`] | — (built once) | Algorithm 1 candidates, `>card` lists, word-parallel membership |
+//! | answer sets `q(I)` | the query `q` | repeated queries with different missing tuples evaluate `q` once |
+//! | candidate concept indices | the position constant `aᵢ` | Algorithm 1 / `>card` per-position candidate lists (only the answer-conflict bits are per-question) |
+//! | `lub` / `lubσ` results | `(`[`LubKind`]`, support set)` | Algorithm 2's growth probes and MGE checks w.r.t. `OI` |
+//! | `LS`-concept extensions | the concept | Algorithm 2's per-step explanation checks |
+//!
+//! Validation happens at the service boundary: a malformed question
+//! (wrong arity, unknown relation, nullary tuple, tuple already answered)
+//! returns a [`SessionError`] and leaves the session fully usable — it
+//! never panics and never poisons the caches.
+//!
+//! # Examples
+//!
+//! ```
+//! use whynot_core::{ExplicitOntology, WhyNotQuestion, WhyNotSession};
+//! use whynot_relation::{Atom, Cq, Instance, SchemaBuilder, Term, Ucq, Value, Var};
+//!
+//! let ontology = ExplicitOntology::builder()
+//!     .concept("City", ["Amsterdam", "Berlin", "New York"])
+//!     .concept("European-City", ["Amsterdam", "Berlin"])
+//!     .concept("US-City", ["New York"])
+//!     .edge("European-City", "City")
+//!     .edge("US-City", "City")
+//!     .build();
+//! let mut b = SchemaBuilder::new();
+//! let tc = b.relation("TC", ["from", "to"]);
+//! let schema = b.finish().unwrap();
+//! let mut instance = Instance::new();
+//! instance.insert(tc, vec![Value::str("Amsterdam"), Value::str("Berlin")]);
+//!
+//! let session = WhyNotSession::new(&ontology, &schema, &instance);
+//! let q = Ucq::single(Cq::new(
+//!     [Term::Var(Var(0)), Term::Var(Var(1))],
+//!     [Atom::new(tc, [Term::Var(Var(0)), Term::Var(Var(1))])],
+//!     [],
+//! ));
+//! // Two questions, one query evaluation, one extension pass.
+//! let e1 = session.exhaustive(&WhyNotQuestion::new(
+//!     q.clone(),
+//!     [Value::str("New York"), Value::str("Amsterdam")],
+//! ))?;
+//! let e2 = session.exhaustive(&WhyNotQuestion::new(
+//!     q,
+//!     [Value::str("New York"), Value::str("Berlin")],
+//! ))?;
+//! // "New York is a US city, and no US city has an outgoing train."
+//! assert!(!e1.is_empty() && !e2.is_empty());
+//! // The batch-level eval-once contract: both questions together ran the
+//! // ontology's extension function at most once per concept.
+//! assert!(session.evaluations() <= 3);
+//! assert_eq!(session.questions_answered(), 2);
+//! # Ok::<(), whynot_core::SessionError>(())
+//! ```
+
+use crate::context::EvalContext;
+use crate::exhaustive;
+use crate::incremental::{check_mge_instance_core, incremental_search_core, LubKind};
+use crate::ontology::{FiniteOntology, Ontology};
+use crate::variations;
+use crate::whynot::{exts_form_explanation_q, Explanation, QuestionRef};
+use std::cell::{Cell, OnceCell, RefCell};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+use whynot_concepts::{try_lub, try_lub_sigma, Extension, ExtensionTable, LsConcept};
+use whynot_relation::{ConstPool, Instance, RelError, Schema, Tuple, Ucq, Value};
+
+/// One question of a batched stream: the query `q` and the missing tuple
+/// `a`. The schema, instance, and answer set all live in the
+/// [`WhyNotSession`] — the session evaluates (and caches) `Ans = q(I)`
+/// itself.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WhyNotQuestion {
+    /// The query `q` (a union of conjunctive queries).
+    pub query: Ucq,
+    /// The missing tuple `a`, expected outside `q(I)`.
+    pub tuple: Tuple,
+}
+
+impl WhyNotQuestion {
+    /// Builds a question from a query and the missing tuple.
+    pub fn new(query: Ucq, tuple: impl IntoIterator<Item = Value>) -> Self {
+        WhyNotQuestion {
+            query,
+            tuple: tuple.into_iter().collect(),
+        }
+    }
+}
+
+/// Why a question was rejected at the service boundary. Every variant is
+/// recoverable: the session stays fully usable for the next question.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SessionError {
+    /// The query failed schema validation, or its arity disagrees with
+    /// the tuple's.
+    Invalid(RelError),
+    /// The tuple is among the answers — there is nothing to explain.
+    TupleIsAnswer(Tuple),
+    /// The question has arity 0: no position to attach a concept to, and
+    /// no non-empty support set to take a `lub` of.
+    Nullary,
+    /// A `lub` of an empty support set was requested (see
+    /// [`WhyNotSession::lub`]).
+    EmptySupport,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Invalid(e) => write!(f, "invalid question: {e}"),
+            SessionError::TupleIsAnswer(t) => {
+                write!(
+                    f,
+                    "the tuple {t:?} is among the answers — nothing to explain"
+                )
+            }
+            SessionError::Nullary => write!(f, "nullary questions have no positions to explain"),
+            SessionError::EmptySupport => {
+                write!(f, "the lub of an empty support set is undefined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<RelError> for SessionError {
+    fn from(e: RelError) -> Self {
+        SessionError::Invalid(e)
+    }
+}
+
+/// A question validated and bound against the session's instance: the
+/// answer set is resolved (possibly from cache) and the tuple is known to
+/// be missing.
+struct BoundQuestion {
+    ans: Rc<BTreeSet<Tuple>>,
+    tuple: Tuple,
+}
+
+impl BoundQuestion {
+    fn view(&self) -> QuestionRef<'_> {
+        QuestionRef {
+            ans: &self.ans,
+            tuple: &self.tuple,
+        }
+    }
+}
+
+/// Usage counters of a session (see [`WhyNotSession::stats`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SessionStats {
+    /// Questions successfully bound (validation passed).
+    pub questions: usize,
+    /// `ext(c, I)` evaluations of the wrapped ontology — the batch-level
+    /// eval-once contract bounds this by the number of concepts,
+    /// independent of the number of questions.
+    pub evaluations: usize,
+    /// Distinct queries whose answer sets are cached.
+    pub cached_queries: usize,
+    /// Distinct position constants whose candidate lists are cached.
+    pub cached_candidates: usize,
+    /// Distinct `(kind, support)` pairs whose lubs are cached.
+    pub cached_lubs: usize,
+    /// Distinct `LS` concepts whose extensions are cached (Algorithm 2's
+    /// candidates, including rejected growth probes).
+    pub cached_ls_extensions: usize,
+}
+
+/// A batched why-not service over one pinned `(ontology, instance)` pair.
+///
+/// See the [module docs](self) for the cache inventory and an example.
+/// Methods that run Algorithm 1 / CHECK-MGE / the `>card` searches
+/// require [`FiniteOntology`]; Algorithm 2 and its MGE check (which work
+/// w.r.t. the instance-derived ontology `OI`) are available for any
+/// ontology type.
+pub struct WhyNotSession<'a, O: Ontology> {
+    schema: &'a Schema,
+    ctx: EvalContext<'a, O>,
+    /// `adom(I)` in ascending value order (Algorithm 2's growth order).
+    adom: OnceCell<Vec<Value>>,
+    /// The concept list and its one-pass extension table (finite
+    /// ontologies only), built on first use.
+    finite: OnceCell<(Vec<O::Concept>, ExtensionTable)>,
+    /// Candidate concept indices keyed by position constant.
+    candidates: RefCell<BTreeMap<Value, Rc<Vec<usize>>>>,
+    /// Answer sets keyed by query.
+    answers: RefCell<HashMap<Ucq, Rc<BTreeSet<Tuple>>>>,
+    /// `lub` / `lubσ` results keyed by support set, one map per
+    /// [`LubKind`] (so cache hits probe by reference, without cloning the
+    /// support set — Algorithm 2's growth loop is lub-dominated).
+    lubs: [RefCell<BTreeMap<BTreeSet<Value>, LsConcept>>; 2],
+    /// `LS`-concept extensions (Algorithm 2's candidates) keyed by
+    /// concept, interned into the session pool.
+    ls_exts: RefCell<BTreeMap<LsConcept, Extension>>,
+    questions: Cell<usize>,
+}
+
+fn kind_slot(kind: LubKind) -> usize {
+    match kind {
+        LubKind::SelectionFree => 0,
+        LubKind::WithSelections => 1,
+    }
+}
+
+impl<'a, O: Ontology> WhyNotSession<'a, O> {
+    /// Opens a session over `(ontology, instance)`. Construction interns
+    /// `adom(I)` into the shared pool (one instance sweep); everything
+    /// else — extensions, answer sets, candidates, lubs — is computed
+    /// lazily as questions arrive.
+    ///
+    /// The memo caches are append-only and live as long as the session:
+    /// a service answering an unbounded stream against one instance
+    /// should recycle sessions periodically (or per client) to bound
+    /// memory — [`stats`](WhyNotSession::stats) exposes the cache sizes.
+    pub fn new(ontology: &'a O, schema: &'a Schema, instance: &'a Instance) -> Self {
+        WhyNotSession {
+            schema,
+            ctx: EvalContext::new(ontology, instance),
+            adom: OnceCell::new(),
+            finite: OnceCell::new(),
+            candidates: RefCell::new(BTreeMap::new()),
+            answers: RefCell::new(HashMap::new()),
+            lubs: [RefCell::new(BTreeMap::new()), RefCell::new(BTreeMap::new())],
+            ls_exts: RefCell::new(BTreeMap::new()),
+            questions: Cell::new(0),
+        }
+    }
+
+    /// The pinned ontology.
+    pub fn ontology(&self) -> &'a O {
+        self.ctx.ontology()
+    }
+
+    /// The pinned schema.
+    pub fn schema(&self) -> &'a Schema {
+        self.schema
+    }
+
+    /// The pinned instance.
+    pub fn instance(&self) -> &'a Instance {
+        self.ctx.instance()
+    }
+
+    /// The shared pool every cached extension is interned into (`adom(I)`;
+    /// out-of-domain constants are handled exactly via the extensions'
+    /// overflow sets).
+    pub fn pool(&self) -> &Arc<ConstPool> {
+        self.ctx.pool()
+    }
+
+    /// How many times the wrapped ontology's extension function has run —
+    /// the batch-level eval-once contract bounds this by the number of
+    /// concepts, no matter how many questions the session has answered.
+    pub fn evaluations(&self) -> usize {
+        self.ctx.evaluations()
+    }
+
+    /// Questions successfully bound so far.
+    pub fn questions_answered(&self) -> usize {
+        self.questions.get()
+    }
+
+    /// A snapshot of the session's usage counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            questions: self.questions.get(),
+            evaluations: self.ctx.evaluations(),
+            cached_queries: self.answers.borrow().len(),
+            cached_candidates: self.candidates.borrow().len(),
+            cached_lubs: self.lubs.iter().map(|m| m.borrow().len()).sum(),
+            cached_ls_extensions: self.ls_exts.borrow().len(),
+        }
+    }
+
+    /// The answers `q(I)`, evaluated once per distinct query.
+    pub fn answers(&self, query: &Ucq) -> Rc<BTreeSet<Tuple>> {
+        if let Some(hit) = self.answers.borrow().get(query) {
+            return Rc::clone(hit);
+        }
+        let ans = Rc::new(query.eval(self.instance()));
+        self.answers
+            .borrow_mut()
+            .insert(query.clone(), Rc::clone(&ans));
+        ans
+    }
+
+    /// `lub_I(X)` / `lubσ_I(X)` over the pinned instance, memoized by
+    /// `(kind, support)`. The documented service-boundary behaviour for
+    /// malformed requests: an empty support set returns
+    /// [`SessionError::EmptySupport`] instead of panicking.
+    pub fn lub(&self, kind: LubKind, support: &BTreeSet<Value>) -> Result<LsConcept, SessionError> {
+        if support.is_empty() {
+            return Err(SessionError::EmptySupport);
+        }
+        Ok(self.cached_lub(kind, support))
+    }
+
+    /// The memoized lub for a support set known to be non-empty. Hits
+    /// probe the per-kind map by reference; only a miss clones the
+    /// support set (as the inserted key).
+    fn cached_lub(&self, kind: LubKind, support: &BTreeSet<Value>) -> LsConcept {
+        let slot = &self.lubs[kind_slot(kind)];
+        if let Some(hit) = slot.borrow().get(support) {
+            return hit.clone();
+        }
+        let computed = match kind {
+            LubKind::SelectionFree => try_lub(self.schema, self.instance(), support),
+            LubKind::WithSelections => try_lub_sigma(self.schema, self.instance(), support),
+        }
+        .expect("support checked non-empty");
+        slot.borrow_mut().insert(support.clone(), computed.clone());
+        computed
+    }
+
+    /// The extension of an `LS` concept over the pinned instance,
+    /// memoized and interned into the session pool.
+    fn ls_extension(&self, c: &LsConcept) -> Extension {
+        if let Some(hit) = self.ls_exts.borrow().get(c) {
+            return hit.clone();
+        }
+        let ext = c.extension_in(self.instance(), self.pool());
+        self.ls_exts.borrow_mut().insert(c.clone(), ext.clone());
+        ext
+    }
+
+    /// `adom(I)` in ascending order, computed once.
+    fn adom(&self) -> &[Value] {
+        self.adom
+            .get_or_init(|| self.instance().active_domain().into_iter().collect())
+    }
+
+    /// Validates a question and resolves its answer set (from cache when
+    /// the query has been seen before).
+    fn bind(&self, q: &WhyNotQuestion) -> Result<BoundQuestion, SessionError> {
+        q.query.validate(self.schema)?;
+        if q.tuple.is_empty() {
+            return Err(SessionError::Nullary);
+        }
+        if q.tuple.len() != q.query.arity() {
+            return Err(SessionError::Invalid(RelError::Invalid(format!(
+                "why-not tuple has arity {}, query has arity {}",
+                q.tuple.len(),
+                q.query.arity()
+            ))));
+        }
+        let ans = self.answers(&q.query);
+        if ans.contains(&q.tuple) {
+            return Err(SessionError::TupleIsAnswer(q.tuple.clone()));
+        }
+        self.questions.set(self.questions.get() + 1);
+        Ok(BoundQuestion {
+            ans,
+            tuple: q.tuple.clone(),
+        })
+    }
+
+    /// Algorithm 2 (INCREMENTAL SEARCH) w.r.t. the instance-derived
+    /// ontology `OI`, with session-cached lubs and extensions.
+    pub fn incremental(
+        &self,
+        q: &WhyNotQuestion,
+        kind: LubKind,
+    ) -> Result<Explanation<LsConcept>, SessionError> {
+        let bound = self.bind(q)?;
+        Ok(incremental_search_core(
+            self.adom(),
+            bound.view(),
+            &mut |x| self.cached_lub(kind, x),
+            &mut |c| self.ls_extension(c),
+        ))
+    }
+
+    /// CHECK-MGE W.R.T. `OI` (Proposition 5.2) through the session caches.
+    pub fn check_mge_instance(
+        &self,
+        q: &WhyNotQuestion,
+        e: &Explanation<LsConcept>,
+        kind: LubKind,
+    ) -> Result<bool, SessionError> {
+        let bound = self.bind(q)?;
+        let view = bound.view();
+        if e.len() != view.arity() {
+            return Ok(false);
+        }
+        let exts: Vec<Extension> = e.concepts.iter().map(|c| self.ls_extension(c)).collect();
+        if !exts_form_explanation_q(&exts, view) {
+            return Ok(false);
+        }
+        // Prop 5.1's constant restriction K = adom(I) ∪ ā.
+        let mut k_consts: BTreeSet<Value> = self.adom().iter().cloned().collect();
+        k_consts.extend(bound.tuple.iter().cloned());
+        Ok(check_mge_instance_core(
+            &k_consts,
+            view,
+            e,
+            &mut |x| self.cached_lub(kind, x),
+            &mut |c| self.ls_extension(c),
+        ))
+    }
+}
+
+impl<O: FiniteOntology> WhyNotSession<'_, O> {
+    /// The concept list and its extension table, built on first use —
+    /// this is the one place the session pays the full `ext` sweep, and
+    /// it pays it exactly once for the whole question stream.
+    fn finite_index(&self) -> &(Vec<O::Concept>, ExtensionTable) {
+        self.finite.get_or_init(|| {
+            let all = self.ctx.concepts();
+            let table = self.ctx.table(&all);
+            (all, table)
+        })
+    }
+
+    /// Candidate concept indices for one position constant, memoized:
+    /// which concepts' extensions contain `a`. Depends only on `a` — not
+    /// on the query or the rest of the tuple — so the cache carries
+    /// across questions.
+    fn indices_for(&self, a: &Value) -> Rc<Vec<usize>> {
+        if let Some(hit) = self.candidates.borrow().get(a) {
+            return Rc::clone(hit);
+        }
+        let (all, table) = self.finite_index();
+        let idxs = Rc::new(exhaustive::candidate_indices(table, all.len(), a));
+        self.candidates
+            .borrow_mut()
+            .insert(a.clone(), Rc::clone(&idxs));
+        idxs
+    }
+
+    /// Algorithm 1 (EXHAUSTIVE SEARCH): all most-general explanations for
+    /// the question w.r.t. the pinned finite ontology.
+    pub fn exhaustive(
+        &self,
+        q: &WhyNotQuestion,
+    ) -> Result<Vec<Explanation<O::Concept>>, SessionError> {
+        let bound = self.bind(q)?;
+        let (all, table) = self.finite_index();
+        let Some(candidates) =
+            exhaustive::build_candidates_with(all, table, |a| self.indices_for(a), bound.view())
+        else {
+            return Ok(Vec::new());
+        };
+        let found = exhaustive::run_exhaustive(&candidates, bound.view());
+        Ok(exhaustive::retain_most_general(self.ontology(), found))
+    }
+
+    /// EXISTENCE-OF-EXPLANATION: one explanation, if any exists.
+    pub fn find_explanation(
+        &self,
+        q: &WhyNotQuestion,
+    ) -> Result<Option<Explanation<O::Concept>>, SessionError> {
+        let bound = self.bind(q)?;
+        let (all, table) = self.finite_index();
+        let Some(candidates) =
+            exhaustive::build_candidates_with(all, table, |a| self.indices_for(a), bound.view())
+        else {
+            return Ok(None);
+        };
+        Ok(exhaustive::run_find_one(&candidates, bound.view()))
+    }
+
+    /// Whether any explanation exists for the question.
+    pub fn explanation_exists(&self, q: &WhyNotQuestion) -> Result<bool, SessionError> {
+        Ok(self.find_explanation(q)?.is_some())
+    }
+
+    /// CHECK-MGE (Theorem 5.1(1)): whether `e` is a most-general
+    /// explanation for the question.
+    pub fn check_mge(
+        &self,
+        q: &WhyNotQuestion,
+        e: &Explanation<O::Concept>,
+    ) -> Result<bool, SessionError> {
+        let bound = self.bind(q)?;
+        // Building the index up front caches every concept's extension —
+        // the replacement loop then never evaluates anything fresh.
+        let (all, _) = self.finite_index();
+        Ok(exhaustive::check_mge_with(&self.ctx, all, bound.view(), e))
+    }
+
+    /// An exact `>card`-maximal explanation (Proposition 6.4's exponential
+    /// reference algorithm) through the session caches.
+    pub fn card_maximal_exact(
+        &self,
+        q: &WhyNotQuestion,
+    ) -> Result<Option<Explanation<O::Concept>>, SessionError> {
+        let bound = self.bind(q)?;
+        let (all, table) = self.finite_index();
+        let Some(lists) =
+            variations::candidate_lists_with(all, table, |a| self.indices_for(a), bound.view())
+        else {
+            return Ok(None);
+        };
+        Ok(variations::run_card_maximal_exact(&lists, bound.view()))
+    }
+
+    /// The greedy `>card` heuristic through the session caches.
+    pub fn card_maximal_greedy(
+        &self,
+        q: &WhyNotQuestion,
+    ) -> Result<Option<Explanation<O::Concept>>, SessionError> {
+        let bound = self.bind(q)?;
+        let (all, table) = self.finite_index();
+        let Some(lists) =
+            variations::candidate_lists_with(all, table, |a| self.indices_for(a), bound.view())
+        else {
+            return Ok(None);
+        };
+        Ok(variations::run_card_maximal_greedy(&lists, bound.view()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::{check_mge, exhaustive_search, find_explanation};
+    use crate::explicit::ExplicitOntology;
+    use crate::incremental::{check_mge_instance, incremental_search_kind};
+    use crate::whynot::WhyNotInstance;
+    use whynot_relation::{Atom, Cq, SchemaBuilder, Term, Var};
+
+    fn s(x: &str) -> Value {
+        Value::str(x)
+    }
+
+    /// The Figure 3 ontology with the Example 3.4 instance, as a
+    /// (ontology, schema, instance) triple the session can pin.
+    fn fixture() -> (ExplicitOntology, Schema, Instance, whynot_relation::RelId) {
+        let o = ExplicitOntology::builder()
+            .concept(
+                "City",
+                [
+                    "Amsterdam",
+                    "Berlin",
+                    "Rome",
+                    "New York",
+                    "San Francisco",
+                    "Santa Cruz",
+                    "Tokyo",
+                    "Kyoto",
+                ],
+            )
+            .concept("European-City", ["Amsterdam", "Berlin", "Rome"])
+            .concept("Dutch-City", ["Amsterdam"])
+            .concept("US-City", ["New York", "San Francisco", "Santa Cruz"])
+            .concept("East-Coast-City", ["New York"])
+            .concept("West-Coast-City", ["Santa Cruz", "San Francisco"])
+            .edge("European-City", "City")
+            .edge("Dutch-City", "European-City")
+            .edge("US-City", "City")
+            .edge("East-Coast-City", "US-City")
+            .edge("West-Coast-City", "US-City")
+            .build();
+        let mut b = SchemaBuilder::new();
+        let tc = b.relation("Train-Connections", ["city_from", "city_to"]);
+        let schema = b.finish().unwrap();
+        let mut inst = Instance::new();
+        for (a, c) in [
+            ("Amsterdam", "Berlin"),
+            ("Berlin", "Rome"),
+            ("Berlin", "Amsterdam"),
+            ("New York", "San Francisco"),
+            ("San Francisco", "Santa Cruz"),
+            ("Tokyo", "Kyoto"),
+        ] {
+            inst.insert(tc, vec![s(a), s(c)]);
+        }
+        (o, schema, inst, tc)
+    }
+
+    fn two_hop(tc: whynot_relation::RelId) -> Ucq {
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        Ucq::single(Cq::new(
+            [Term::Var(x), Term::Var(y)],
+            [
+                Atom::new(tc, [Term::Var(x), Term::Var(z)]),
+                Atom::new(tc, [Term::Var(z), Term::Var(y)]),
+            ],
+            [],
+        ))
+    }
+
+    fn one_hop(tc: whynot_relation::RelId) -> Ucq {
+        let (x, y) = (Var(0), Var(1));
+        Ucq::single(Cq::new(
+            [Term::Var(x), Term::Var(y)],
+            [Atom::new(tc, [Term::Var(x), Term::Var(y)])],
+            [],
+        ))
+    }
+
+    #[test]
+    fn session_matches_fresh_contexts_per_question() {
+        let (o, schema, inst, tc) = fixture();
+        let session = WhyNotSession::new(&o, &schema, &inst);
+        let questions = [
+            WhyNotQuestion::new(two_hop(tc), [s("Amsterdam"), s("New York")]),
+            WhyNotQuestion::new(two_hop(tc), [s("Rome"), s("Tokyo")]),
+            WhyNotQuestion::new(one_hop(tc), [s("Amsterdam"), s("New York")]),
+            WhyNotQuestion::new(one_hop(tc), [s("Kyoto"), s("Amsterdam")]),
+        ];
+        for q in &questions {
+            let fresh = WhyNotInstance::new(
+                schema.clone(),
+                inst.clone(),
+                q.query.clone(),
+                q.tuple.clone(),
+            )
+            .unwrap();
+            assert_eq!(
+                session.exhaustive(q).unwrap(),
+                exhaustive_search(&o, &fresh),
+                "exhaustive disagrees on {:?}",
+                q.tuple
+            );
+            let found = session.find_explanation(q).unwrap();
+            assert_eq!(found.is_some(), find_explanation(&o, &fresh).is_some());
+            for kind in [LubKind::SelectionFree, LubKind::WithSelections] {
+                let via_session = session.incremental(q, kind).unwrap();
+                let via_fresh = incremental_search_kind(&fresh, kind);
+                assert_eq!(via_session, via_fresh, "incremental({kind:?}) disagrees");
+                assert_eq!(
+                    session.check_mge_instance(q, &via_session, kind).unwrap(),
+                    check_mge_instance(&fresh, &via_fresh, kind)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_eval_once_across_questions() {
+        let (o, schema, inst, tc) = fixture();
+        let session = WhyNotSession::new(&o, &schema, &inst);
+        let tuples = [
+            [s("Amsterdam"), s("New York")],
+            [s("Rome"), s("Tokyo")],
+            [s("Kyoto"), s("Amsterdam")],
+            [s("Santa Cruz"), s("Berlin")],
+        ];
+        for t in &tuples {
+            let q = WhyNotQuestion::new(two_hop(tc), t.clone());
+            let _ = session.exhaustive(&q).unwrap();
+            let _ = session.find_explanation(&q).unwrap();
+            let _ = session.card_maximal_greedy(&q).unwrap();
+        }
+        // 6 concepts, 4 questions, 3 algorithms each — still ≤ 1
+        // evaluation per concept in total.
+        assert_eq!(session.evaluations(), 6);
+        assert_eq!(session.questions_answered(), 12);
+        // One distinct query → one cached answer set.
+        assert_eq!(session.stats().cached_queries, 1);
+    }
+
+    #[test]
+    fn check_mge_through_the_session() {
+        let (o, schema, inst, tc) = fixture();
+        let session = WhyNotSession::new(&o, &schema, &inst);
+        let q = WhyNotQuestion::new(two_hop(tc), [s("Amsterdam"), s("New York")]);
+        let fresh = WhyNotInstance::new(
+            schema.clone(),
+            inst.clone(),
+            q.query.clone(),
+            q.tuple.clone(),
+        )
+        .unwrap();
+        for e in exhaustive_search(&o, &fresh) {
+            assert!(session.check_mge(&q, &e).unwrap());
+            assert!(check_mge(&o, &fresh, &e));
+        }
+        let not_mge = Explanation::new([o.concept_expect("Dutch-City"), o.concept_expect("City")]);
+        assert_eq!(
+            session.check_mge(&q, &not_mge).unwrap(),
+            check_mge(&o, &fresh, &not_mge)
+        );
+    }
+
+    #[test]
+    fn malformed_questions_error_and_leave_the_session_usable() {
+        let (o, schema, inst, tc) = fixture();
+        let session = WhyNotSession::new(&o, &schema, &inst);
+        // Arity mismatch.
+        let bad_arity = WhyNotQuestion::new(two_hop(tc), [s("Amsterdam")]);
+        assert!(matches!(
+            session.exhaustive(&bad_arity),
+            Err(SessionError::Invalid(_))
+        ));
+        // Nullary question.
+        let nullary = WhyNotQuestion::new(two_hop(tc), []);
+        assert_eq!(session.exhaustive(&nullary), Err(SessionError::Nullary));
+        // A tuple that IS an answer.
+        let answered = WhyNotQuestion::new(two_hop(tc), [s("Amsterdam"), s("Rome")]);
+        assert!(matches!(
+            session.incremental(&answered, LubKind::SelectionFree),
+            Err(SessionError::TupleIsAnswer(_))
+        ));
+        // Empty-support lub at the service boundary: an error, not a panic.
+        assert_eq!(
+            session.lub(LubKind::SelectionFree, &BTreeSet::new()),
+            Err(SessionError::EmptySupport)
+        );
+        // None of that poisoned the caches: a well-formed question works.
+        let good = WhyNotQuestion::new(two_hop(tc), [s("Amsterdam"), s("New York")]);
+        assert!(!session.exhaustive(&good).unwrap().is_empty());
+        // Failed bindings are not counted as answered questions.
+        assert_eq!(session.questions_answered(), 1);
+    }
+
+    #[test]
+    fn out_of_domain_tuple_constants_are_handled_exactly() {
+        // The session pool covers adom(I) only; ghost constants flow
+        // through the extensions' overflow sets.
+        let (o, schema, inst, tc) = fixture();
+        let session = WhyNotSession::new(&o, &schema, &inst);
+        let ghost = WhyNotQuestion::new(two_hop(tc), [s("Gotham"), s("Berlin")]);
+        assert!(session.exhaustive(&ghost).unwrap().is_empty());
+        assert!(!session.explanation_exists(&ghost).unwrap());
+        // Algorithm 2 still succeeds: the nominal {Gotham} explains it.
+        let e = session.incremental(&ghost, LubKind::SelectionFree).unwrap();
+        let fresh =
+            WhyNotInstance::new(schema.clone(), inst.clone(), ghost.query, ghost.tuple).unwrap();
+        assert_eq!(e, incremental_search_kind(&fresh, LubKind::SelectionFree));
+    }
+
+    #[test]
+    fn card_maximal_matches_free_functions() {
+        let (o, schema, inst, tc) = fixture();
+        let session = WhyNotSession::new(&o, &schema, &inst);
+        let q = WhyNotQuestion::new(two_hop(tc), [s("Amsterdam"), s("New York")]);
+        let fresh = WhyNotInstance::new(
+            schema.clone(),
+            inst.clone(),
+            q.query.clone(),
+            q.tuple.clone(),
+        )
+        .unwrap();
+        assert_eq!(
+            session.card_maximal_exact(&q).unwrap(),
+            crate::variations::card_maximal_exact(&o, &fresh)
+        );
+        assert_eq!(
+            session.card_maximal_greedy(&q).unwrap(),
+            crate::variations::card_maximal_greedy(&o, &fresh)
+        );
+    }
+}

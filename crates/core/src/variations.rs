@@ -4,10 +4,10 @@
 
 use crate::incremental::{incremental_search_kind, LubKind};
 use crate::ontology::{FiniteOntology, Ontology};
-use crate::whynot::{exts_form_explanation, Explanation, WhyNotInstance};
+use crate::whynot::{exts_form_explanation_q, Explanation, QuestionRef, WhyNotInstance};
 use std::collections::BTreeSet;
-use whynot_concepts::{lub, lub_sigma, simplify, Extension, LsAtom, LsConcept};
-use whynot_relation::{Cq, Term, Ucq, Var};
+use whynot_concepts::{lub, lub_sigma, simplify, Extension, ExtensionTable, LsAtom, LsConcept};
+use whynot_relation::{Cq, Term, Ucq, Value, Var};
 use whynot_subsumption::{satisfiable_under, ChaseLimits, Satisfiability};
 
 // ---------------------------------------------------------------------
@@ -171,6 +171,15 @@ pub fn card_maximal_exact<O: FiniteOntology>(
     wn: &WhyNotInstance,
 ) -> Option<Explanation<O::Concept>> {
     let per_position = candidate_lists(ontology, wn)?;
+    run_card_maximal_exact(&per_position, wn.question())
+}
+
+/// The branch-and-bound core of [`card_maximal_exact`] over prebuilt
+/// candidate lists (reused by the session layer).
+pub(crate) fn run_card_maximal_exact<C: Clone>(
+    per_position: &[Vec<Candidate<C>>],
+    q: QuestionRef<'_>,
+) -> Option<Explanation<C>> {
     // Sort candidates by descending cardinality for better bounds.
     let mut best: Option<(usize, Vec<usize>)> = None;
     let suffix_max: Vec<usize> = {
@@ -188,8 +197,8 @@ pub fn card_maximal_exact<O: FiniteOntology>(
     };
     let mut choice: Vec<usize> = Vec::new();
     branch_card(
-        &per_position,
-        wn,
+        per_position,
+        q,
         &suffix_max,
         0,
         &mut choice,
@@ -204,7 +213,37 @@ pub fn card_maximal_exact<O: FiniteOntology>(
     ))
 }
 
-type Candidate<C> = (C, Extension, usize);
+pub(crate) type Candidate<C> = (C, Extension, usize);
+
+/// Per-position `(concept, extension, cardinality)` candidate lists from
+/// a prebuilt table and per-constant index provider, sorted by descending
+/// cardinality (the `>card` searches' input; a session memoizes the index
+/// lists by constant).
+pub(crate) fn candidate_lists_with<C: Clone>(
+    all: &[C],
+    table: &ExtensionTable,
+    mut indices_for: impl FnMut(&Value) -> std::rc::Rc<Vec<usize>>,
+    q: QuestionRef<'_>,
+) -> Option<Vec<Vec<Candidate<C>>>> {
+    let mut out = Vec::with_capacity(q.arity());
+    for a_i in q.tuple {
+        let idxs = indices_for(a_i);
+        if idxs.is_empty() {
+            return None;
+        }
+        let mut list: Vec<Candidate<C>> = idxs
+            .iter()
+            .map(|&k| {
+                let ext = table.get(k);
+                let card = ext.len().unwrap_or(usize::MAX / 2);
+                (all[k].clone(), ext.clone(), card)
+            })
+            .collect();
+        list.sort_by_key(|c| std::cmp::Reverse(c.2));
+        out.push(list);
+    }
+    Some(out)
+}
 
 fn candidate_lists<O: FiniteOntology>(
     ontology: &O,
@@ -216,28 +255,17 @@ fn candidate_lists<O: FiniteOntology>(
         crate::context::EvalContext::with_seeds(ontology, &wn.instance, wn.tuple.iter().cloned());
     let all = ontology.concepts();
     let table = ctx.table(&all);
-    let mut out = Vec::with_capacity(wn.arity());
-    for a_i in &wn.tuple {
-        let mut list: Vec<Candidate<O::Concept>> = Vec::new();
-        for (k, c) in all.iter().enumerate() {
-            let ext = table.get(k);
-            if ext.contains(a_i) {
-                let card = ext.len().unwrap_or(usize::MAX / 2);
-                list.push((c.clone(), ext.clone(), card));
-            }
-        }
-        if list.is_empty() {
-            return None;
-        }
-        list.sort_by_key(|c| std::cmp::Reverse(c.2));
-        out.push(list);
-    }
-    Some(out)
+    candidate_lists_with(
+        &all,
+        &table,
+        |a| std::rc::Rc::new(crate::exhaustive::candidate_indices(&table, all.len(), a)),
+        wn.question(),
+    )
 }
 
 fn branch_card<C: Clone>(
     per_position: &[Vec<Candidate<C>>],
-    wn: &WhyNotInstance,
+    q: QuestionRef<'_>,
     suffix_max: &[usize],
     depth: usize,
     choice: &mut Vec<usize>,
@@ -245,7 +273,7 @@ fn branch_card<C: Clone>(
     exts: &mut Vec<Extension>,
 ) {
     if depth == per_position.len() {
-        if exts_form_explanation(exts, wn) {
+        if exts_form_explanation_q(exts, q) {
             let total: usize = choice
                 .iter()
                 .enumerate()
@@ -270,7 +298,7 @@ fn branch_card<C: Clone>(
     for k in 0..per_position[depth].len() {
         choice.push(k);
         exts.push(per_position[depth][k].1.clone());
-        branch_card(per_position, wn, suffix_max, depth + 1, choice, best, exts);
+        branch_card(per_position, q, suffix_max, depth + 1, choice, best, exts);
         exts.pop();
         choice.pop();
     }
@@ -285,13 +313,22 @@ pub fn card_maximal_greedy<O: FiniteOntology>(
     wn: &WhyNotInstance,
 ) -> Option<Explanation<O::Concept>> {
     let per_position = candidate_lists(ontology, wn)?;
+    run_card_maximal_greedy(&per_position, wn.question())
+}
+
+/// The greedy core of [`card_maximal_greedy`] over prebuilt candidate
+/// lists (reused by the session layer).
+pub(crate) fn run_card_maximal_greedy<C: Clone>(
+    per_position: &[Vec<Candidate<C>>],
+    q: QuestionRef<'_>,
+) -> Option<Explanation<C>> {
     let mut chosen: Vec<usize> = Vec::new();
     let mut exts: Vec<Extension> = Vec::new();
     for (i, list) in per_position.iter().enumerate() {
         let mut picked = None;
         for (k, (_, ext, _)) in list.iter().enumerate() {
             exts.push(ext.clone());
-            let feasible = completable(&per_position, wn, i + 1, &mut exts);
+            let feasible = completable(per_position, q, i + 1, &mut exts);
             exts.pop();
             if feasible {
                 picked = Some(k);
@@ -312,16 +349,16 @@ pub fn card_maximal_greedy<O: FiniteOntology>(
 
 fn completable<C: Clone>(
     per_position: &[Vec<Candidate<C>>],
-    wn: &WhyNotInstance,
+    q: QuestionRef<'_>,
     depth: usize,
     exts: &mut Vec<Extension>,
 ) -> bool {
     if depth == per_position.len() {
-        return exts_form_explanation(exts, wn);
+        return exts_form_explanation_q(exts, q);
     }
     for (_, ext, _) in &per_position[depth] {
         exts.push(ext.clone());
-        let ok = completable(per_position, wn, depth + 1, exts);
+        let ok = completable(per_position, q, depth + 1, exts);
         exts.pop();
         if ok {
             return true;

@@ -91,6 +91,40 @@ impl WhyNotInstance {
         k.extend(self.tuple.iter().cloned());
         k
     }
+
+    /// The question-specific part of this instance as a borrowed
+    /// [`QuestionRef`] (what the search cores actually consume — the
+    /// schema and instance are carried separately by the evaluation
+    /// context or session).
+    pub fn question(&self) -> QuestionRef<'_> {
+        QuestionRef {
+            ans: &self.ans,
+            tuple: &self.tuple,
+        }
+    }
+}
+
+/// The question-dependent slice of a why-not instance: the precomputed
+/// answers `Ans` and the missing tuple `a`.
+///
+/// The search algorithms only ever touch the schema and instance through
+/// an evaluation context (extensions, lubs, candidate lists) — everything
+/// else they need is here. Splitting this view out is what lets a
+/// [`WhyNotSession`](crate::WhyNotSession) pin `(ontology, instance)`
+/// once and stream many questions through the same caches.
+#[derive(Clone, Copy, Debug)]
+pub struct QuestionRef<'q> {
+    /// The precomputed answers `Ans = q(I)`.
+    pub ans: &'q BTreeSet<Tuple>,
+    /// The missing tuple `a ∉ Ans`.
+    pub tuple: &'q Tuple,
+}
+
+impl QuestionRef<'_> {
+    /// The arity `m` of the question.
+    pub fn arity(&self) -> usize {
+        self.tuple.len()
+    }
 }
 
 /// A tuple of concepts `(C1, …, Cm)` proposed as an explanation
@@ -173,13 +207,19 @@ pub fn is_explanation<O: Ontology>(
 /// The extension-level core of Definition 3.2 (reused by the search
 /// algorithms, which cache extensions).
 pub fn exts_form_explanation(exts: &[Extension], wn: &WhyNotInstance) -> bool {
-    for (ext, a_i) in exts.iter().zip(&wn.tuple) {
+    exts_form_explanation_q(exts, wn.question())
+}
+
+/// [`exts_form_explanation`] against a borrowed [`QuestionRef`] (the
+/// session-layer entry point).
+pub fn exts_form_explanation_q(exts: &[Extension], q: QuestionRef<'_>) -> bool {
+    for (ext, a_i) in exts.iter().zip(q.tuple) {
         if !ext.contains(a_i) {
             return false;
         }
     }
     // Product disjointness: every answer tuple escapes on some position.
-    wn.ans
+    q.ans
         .iter()
         .all(|t| t.iter().zip(exts).any(|(v, ext)| !ext.contains(v)))
 }

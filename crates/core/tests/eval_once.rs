@@ -13,7 +13,8 @@ use std::collections::BTreeMap;
 use whynot_concepts::Extension;
 use whynot_core::{
     check_mge, consistent_with, exhaustive_search, find_explanation, ConceptName, EvalContext,
-    Explanation, ExplicitOntology, FiniteOntology, Ontology, WhyNotInstance,
+    Explanation, ExplicitOntology, FiniteOntology, Ontology, WhyNotInstance, WhyNotQuestion,
+    WhyNotSession,
 };
 use whynot_relation::{Atom, Cq, Instance, SchemaBuilder, Term, Ucq, Value, Var};
 
@@ -178,6 +179,45 @@ fn check_mge_evaluates_each_concept_at_most_once() {
     ]);
     assert!(check_mge(&o, &wn, &e));
     assert_eq!(o.max_calls(), 1, "{:?}", o.calls.borrow());
+}
+
+#[test]
+fn session_batch_evaluates_each_concept_at_most_once_total() {
+    // The batch-level eval-once contract: answering N questions through
+    // one `WhyNotSession` runs the ontology's extension function at most
+    // once per concept *in total* — not once per question. (The fixture's
+    // single-question algorithms already guarantee once per question;
+    // this is the strictly stronger session guarantee.)
+    let (o, wn) = fixture();
+    let schema = wn.schema.clone();
+    let inst = wn.instance.clone();
+    let session = WhyNotSession::new(&o, &schema, &inst);
+    let tuples = [
+        vec![s("Amsterdam"), s("New York")],
+        vec![s("Rome"), s("Tokyo")],
+        vec![s("Kyoto"), s("Amsterdam")],
+        vec![s("Santa Cruz"), s("Berlin")],
+        vec![s("Tokyo"), s("Santa Cruz")],
+    ];
+    let mut answered = 0usize;
+    for t in &tuples {
+        let q = WhyNotQuestion::new(wn.query.clone(), t.clone());
+        let _ = session.exhaustive(&q).unwrap();
+        let _ = session.find_explanation(&q).unwrap();
+        let _ = session.card_maximal_greedy(&q).unwrap();
+        answered += 3;
+    }
+    assert_eq!(session.questions_answered(), answered);
+    assert_eq!(
+        o.max_calls(),
+        1,
+        "a concept was re-evaluated across the batch: {:?}",
+        o.calls.borrow()
+    );
+    assert_eq!(o.total_calls(), o.concepts().len());
+    assert_eq!(session.evaluations(), o.concepts().len());
+    // The answer set was computed once for the whole batch too.
+    assert_eq!(session.stats().cached_queries, 1);
 }
 
 #[test]

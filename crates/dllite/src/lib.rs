@@ -18,6 +18,17 @@
 //! The induced `S`-ontology `O_B` (concepts = basic concepts of `T`,
 //! subsumption = TBox entailment, `ext` = certain extensions) is wrapped
 //! into the why-not framework by `whynot-core`'s `ObdaOntology`.
+//!
+//! # Module map
+//!
+//! | module | paper anchor | contents |
+//! |---|---|---|
+//! | `syntax` | Definition 4.1 | the DL-LiteR grammar: basic concepts/roles, inclusions, [`TBox`] |
+//! | `interpretation` | Definition 4.1 | `(ΦC, ΦR)`-interpretations with lazy-negation model checking |
+//! | `reasoning` | Theorem 4.1(1) | PTIME TBox entailment via inclusion-digraph reachability |
+//! | `mapping` | Definition 4.2 | GAV mapping assertions `∀x̄ φ(x̄) → A(x)` / `→ P(x, y)` |
+//! | `obda` | Definitions 4.3–4.4, Theorems 4.1(2), 4.2 | OBDA specifications, certain extensions, canonical solutions, consistency |
+//! | `rewriting` | Theorem 4.1(2) (via Calvanese et al.) | the *PerfectRef* certain-answer UCQ rewriting |
 
 #![warn(missing_docs)]
 

@@ -7,7 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use whynot_core::{ExplicitOntology, WhyNotInstance};
+use whynot_core::{ExplicitOntology, WhyNotInstance, WhyNotQuestion};
 use whynot_relation::{
     Atom, CmpOp, Comparison, Cq, Fd, Ind, Instance, RelId, Schema, SchemaBuilder, Term, Ucq, Value,
     Var, ViewDef,
@@ -22,6 +22,15 @@ pub struct CityNetwork {
     pub ontology: ExplicitOntology,
     /// The why-not question (two-hop connectivity, cross-region pair).
     pub why_not: WhyNotInstance,
+    /// The `Train-Connections` relation (for building further queries
+    /// over the same schema, e.g. [`batched_city_workload`]).
+    pub tc: RelId,
+}
+
+/// The name of city `i` in a [`city_network`] / [`batched_city_workload`]
+/// instance (the single source of the naming format).
+pub fn city_name(i: usize) -> String {
+    format!("city{i:04}")
 }
 
 /// Builds a [`CityNetwork`]. `n` is the number of cities (≥ 2·regions
@@ -36,7 +45,7 @@ pub fn city_network(n: usize, regions: usize, seed: u64) -> CityNetwork {
     let tc = b.relation("Train-Connections", ["city_from", "city_to"]);
     let schema = b.finish().expect("well-formed");
 
-    let city = |i: usize| format!("city{i:04}");
+    let city = city_name;
     let region_of = |i: usize| i % regions;
 
     let mut inst = Instance::new();
@@ -112,7 +121,115 @@ pub fn city_network(n: usize, regions: usize, seed: u64) -> CityNetwork {
         vec![Value::str(city(a)), Value::str(city(bb))],
     )
     .expect("cross-region pairs are never two-hop connected");
-    CityNetwork { ontology, why_not }
+    CityNetwork {
+        ontology,
+        why_not,
+        tc,
+    }
+}
+
+/// A batched service workload: **one** `(ontology, schema, instance)`
+/// triple plus a stream of why-not questions at mixed arities — the shape
+/// a deployed explanation service sees, and the input of the
+/// `whynot-bench` `session` bench (session reuse vs a fresh context per
+/// question).
+pub struct BatchedWorkload {
+    /// The external ontology (regions → continents → world).
+    pub ontology: ExplicitOntology,
+    /// The schema all questions share.
+    pub schema: Schema,
+    /// The instance all questions share.
+    pub instance: Instance,
+    /// The question stream, deterministic given the seed.
+    pub questions: Vec<WhyNotQuestion>,
+}
+
+/// Builds a [`BatchedWorkload`] over a [`city_network`] instance:
+/// `n_questions` questions cycling through three query shapes —
+/// arity-2 two-hop connectivity, arity-1 mutual connectivity, and arity-3
+/// chain connectivity — with seeded random missing tuples (every tuple is
+/// verified missing, and a sprinkle of out-of-domain "ghost" cities
+/// exercises the overflow path).
+pub fn batched_city_workload(
+    n: usize,
+    regions: usize,
+    n_questions: usize,
+    seed: u64,
+) -> BatchedWorkload {
+    let net = city_network(n, regions, seed);
+    let schema = net.why_not.schema;
+    let instance = net.why_not.instance;
+    let ontology = net.ontology;
+    let tc = net.tc;
+    let city = |i: usize| Value::str(city_name(i));
+
+    let (x, y, z) = (Var(0), Var(1), Var(2));
+    // Arity 2: two-hop connectivity (the paper's running query).
+    let two_hop = Ucq::single(Cq::new(
+        [Term::Var(x), Term::Var(y)],
+        [
+            Atom::new(tc, [Term::Var(x), Term::Var(z)]),
+            Atom::new(tc, [Term::Var(z), Term::Var(y)]),
+        ],
+        [],
+    ));
+    // Arity 1: cities on a mutual (two-way) connection.
+    let mutual = Ucq::single(Cq::new(
+        [Term::Var(x)],
+        [
+            Atom::new(tc, [Term::Var(x), Term::Var(z)]),
+            Atom::new(tc, [Term::Var(z), Term::Var(x)]),
+        ],
+        [],
+    ));
+    // Arity 3: chains x → y → z.
+    let chain = Ucq::single(Cq::new(
+        [Term::Var(x), Term::Var(y), Term::Var(z)],
+        [
+            Atom::new(tc, [Term::Var(x), Term::Var(y)]),
+            Atom::new(tc, [Term::Var(y), Term::Var(z)]),
+        ],
+        [],
+    ));
+    let shapes = [two_hop, mutual, chain];
+    // Evaluate each query once at generation time so every emitted tuple
+    // is verifiably missing (the service re-validates, but the workload
+    // should not contain rejects).
+    let answers: Vec<std::collections::BTreeSet<Vec<Value>>> =
+        shapes.iter().map(|q| q.eval(&instance)).collect();
+
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+    let mut questions = Vec::with_capacity(n_questions);
+    let mut emitted = 0usize;
+    while questions.len() < n_questions {
+        let shape = emitted % shapes.len();
+        emitted += 1;
+        let arity = shapes[shape].arity();
+        // Every 7th question probes an out-of-domain constant.
+        let ghost = emitted.is_multiple_of(7);
+        let mut tuple = None;
+        for _ in 0..32 {
+            let mut t: Vec<Value> = (0..arity).map(|_| city(rng.gen_range(0..n))).collect();
+            if ghost {
+                let slot = rng.gen_range(0..arity);
+                t[slot] = Value::str(format!("ghost{:02}", rng.gen_range(0..8)));
+            }
+            if !answers[shape].contains(&t) {
+                tuple = Some(t);
+                break;
+            }
+        }
+        // 32 misses in a row means the query answers almost everything;
+        // fall back to a guaranteed-missing all-ghost tuple.
+        let tuple = tuple.unwrap_or_else(|| vec![Value::str("ghost-fallback"); arity]);
+        questions.push(WhyNotQuestion::new(shapes[shape].clone(), tuple));
+    }
+    BatchedWorkload {
+        ontology,
+        schema,
+        instance,
+        questions,
+    }
 }
 
 /// A random DAG ontology with consistent extensions: leaf concepts get
@@ -372,6 +489,29 @@ mod tests {
         let net = city_network(16, 2, 3);
         let e = incremental_search(&net.why_not);
         assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn batched_workload_questions_are_well_formed() {
+        use whynot_core::{LubKind, WhyNotSession};
+        let w = batched_city_workload(24, 4, 30, 11);
+        assert_eq!(w.questions.len(), 30);
+        // Mixed arities are present.
+        let arities: std::collections::BTreeSet<usize> =
+            w.questions.iter().map(|q| q.tuple.len()).collect();
+        assert_eq!(arities, [1usize, 2, 3].into_iter().collect());
+        // Every question binds cleanly: the session accepts all of them.
+        let session = WhyNotSession::new(&w.ontology, &w.schema, &w.instance);
+        for q in &w.questions {
+            session.exhaustive(q).expect("generated question is valid");
+            session
+                .incremental(q, LubKind::SelectionFree)
+                .expect("generated question is valid");
+        }
+        assert_eq!(session.questions_answered(), 60);
+        // Determinism.
+        let again = batched_city_workload(24, 4, 30, 11);
+        assert_eq!(w.questions, again.questions);
     }
 
     #[test]

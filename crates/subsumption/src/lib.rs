@@ -22,6 +22,22 @@
 //! [`subsumed_schema`] dispatches on the schema's
 //! [`ConstraintClass`].
 //!
+//! # Module map
+//!
+//! Each module implements one slice of the paper's §4.2 / Theorem 4.3
+//! machinery:
+//!
+//! | module | paper anchor | contents |
+//! |---|---|---|
+//! | `outcome` | Definition 4.6 (`⊑S`) | [`SubsumptionOutcome`] and verified counterexample [`Witness`]es |
+//! | `common` | Definition 4.6, Prop 4.1 | class-independent pre-checks, concepts as unary CQs, end-to-end witness verification |
+//! | `canonical` | §5 chase arguments | canonical databases of concepts: interval-constrained labelled nulls + union-find merging |
+//! | `containment` | Table 1 view rows | CQ-with-comparisons ⊆ UCQ containment via region-split frozen instances (the ΠP2 core) |
+//! | `views` | Table 1: (nested) UCQ views | view unfolding → containment; NP / ΠP2 / coNEXPTIME split by nesting shape |
+//! | `fd` | Table 1: FDs (PTIME) | FD chase with node merges and interval intersection |
+//! | `id` | Table 1: IDs (open / PTIME sel-free) | position-graph reachability + bottom-filling ID chase |
+//! | `chase` | Table 1: FDs + IDs (undecidable) | bounded mixed chase, honest [`SubsumptionOutcome::Unknown`] on bound exhaustion |
+//!
 //! [`ConstraintClass`]: whynot_relation::ConstraintClass
 
 #![warn(missing_docs)]

@@ -10,8 +10,9 @@ use proptest::prelude::*;
 use std::collections::BTreeSet;
 use whynot::concepts::{lub, lub_sigma, simplify, LsConcept, Selection};
 use whynot::core::{
-    check_mge_instance, exts_form_explanation, incremental_search,
-    incremental_search_with_selections, LubKind, WhyNotInstance,
+    check_mge_instance, exhaustive_search, exts_form_explanation, incremental_search,
+    incremental_search_kind, incremental_search_with_selections, ExplicitOntology, LubKind,
+    WhyNotInstance, WhyNotQuestion, WhyNotSession,
 };
 use whynot::relation::{
     Atom, CmpOp, Cq, Instance, Interval, RelId, Schema, SchemaBuilder, Term, Tuple, Ucq, Value, Var,
@@ -328,6 +329,65 @@ proptest! {
         let exts: Vec<_> = e.concepts.iter().map(|c| c.extension(&wn.instance)).collect();
         prop_assert!(exts_form_explanation(&exts, &wn));
         prop_assert!(check_mge_instance(&wn, &e, LubKind::WithSelections));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batched session ≡ fresh contexts, question by question
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn session_answers_equal_fresh_context_answers(
+        inst in small_instance().prop_filter("need data", |i| !i.is_empty()),
+        tuples in proptest::collection::vec((0i64..16, 0i64..16), 1..5),
+    ) {
+        let (schema, _, t) = fixed_schema();
+        // q(u, v) ← T(u, w) ∧ T(w, v): two-hop connectivity over T.
+        let q = Ucq::single(Cq::new(
+            [Term::Var(Var(0)), Term::Var(Var(1))],
+            [
+                Atom::new(t, [Term::Var(Var(0)), Term::Var(Var(2))]),
+                Atom::new(t, [Term::Var(Var(2)), Term::Var(Var(1))]),
+            ],
+            [],
+        ));
+        let ontology = ExplicitOntology::builder()
+            .concept("All", (0i64..16).map(Value::int).collect::<Vec<_>>())
+            .concept("Low", (0i64..8).map(Value::int).collect::<Vec<_>>())
+            .concept("High", (8i64..16).map(Value::int).collect::<Vec<_>>())
+            .concept("Mid", (4i64..12).map(Value::int).collect::<Vec<_>>())
+            .edge("Low", "All")
+            .edge("High", "All")
+            .edge("Mid", "All")
+            .build();
+        // One session for the whole tuple stream vs a fresh context per
+        // question: every answer must agree.
+        let session = WhyNotSession::new(&ontology, &schema, &inst);
+        for (a0, a1) in tuples {
+            let tuple = vec![Value::int(a0), Value::int(a1)];
+            let wq = WhyNotQuestion::new(q.clone(), tuple.clone());
+            match WhyNotInstance::new(schema.clone(), inst.clone(), q.clone(), tuple) {
+                Ok(wn) => {
+                    prop_assert_eq!(
+                        session.exhaustive(&wq).unwrap(),
+                        exhaustive_search(&ontology, &wn)
+                    );
+                    for kind in [LubKind::SelectionFree, LubKind::WithSelections] {
+                        let via_session = session.incremental(&wq, kind).unwrap();
+                        let via_fresh = incremental_search_kind(&wn, kind);
+                        prop_assert_eq!(&via_session, &via_fresh);
+                        prop_assert_eq!(
+                            session.check_mge_instance(&wq, &via_session, kind).unwrap(),
+                            check_mge_instance(&wn, &via_fresh, kind)
+                        );
+                    }
+                }
+                // The tuple is among the answers: both boundaries reject.
+                Err(_) => prop_assert!(session.exhaustive(&wq).is_err()),
+            }
+        }
     }
 }
 
