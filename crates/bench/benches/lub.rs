@@ -1,0 +1,148 @@
+//! Old-vs-pooled lub path on a lub-dominated workload: Algorithm 2's
+//! growth loop driven by the legacy free-function `lub` / `lub_sigma`
+//! (owned `BTreeSet` columns re-derived per probe) against the pooled
+//! `LubEngine` path now wired into `incremental_search_kind`.
+//!
+//! Both sides share the same extension machinery (one interned pool per
+//! run), so the measured difference isolates the lub computation itself —
+//! exactly the inner loop ROADMAP's "lub on bitsets" item targets.
+//!
+//! Run with `cargo bench -p whynot-bench --bench lub`. Results land in
+//! `BENCH_lub_engine.json` at the workspace root: per-size medians for
+//! both paths over `scenarios::generators::city_network`, for the
+//! selection-free (Lemma 5.1) and with-selections (Lemma 5.2) operators,
+//! plus the speedup on the largest selection-free workload.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+use whynot_concepts::{lub, lub_sigma, Extension, LsConcept};
+use whynot_core::{
+    exts_form_explanation, incremental_search_kind, Explanation, LubKind, WhyNotInstance,
+};
+use whynot_relation::Value;
+use whynot_scenarios::generators::city_network;
+
+/// Algorithm 2's growth loop, verbatim in structure, with every probe
+/// going through the legacy free functions — the pre-engine lub path
+/// that re-materializes every `(rel, attr)` column per call.
+fn baseline_incremental(wn: &WhyNotInstance, kind: LubKind) -> Explanation<LsConcept> {
+    let pool = wn.instance.const_pool_with(wn.tuple.iter().cloned());
+    let adom: Vec<Value> = wn.instance.active_domain().into_iter().collect();
+    let lub_of = |x: &BTreeSet<Value>| match kind {
+        LubKind::SelectionFree => lub(&wn.schema, &wn.instance, x),
+        LubKind::WithSelections => lub_sigma(&wn.schema, &wn.instance, x),
+    };
+    let mut support: Vec<BTreeSet<Value>> = wn
+        .tuple
+        .iter()
+        .map(|a| [a.clone()].into_iter().collect())
+        .collect();
+    let mut concepts: Vec<LsConcept> = support.iter().map(&lub_of).collect();
+    let mut exts: Vec<Extension> = concepts
+        .iter()
+        .map(|c| c.extension_in(&wn.instance, &pool))
+        .collect();
+    for j in 0..wn.arity() {
+        for b in &adom {
+            if exts[j].contains(b) {
+                continue;
+            }
+            let mut grown = support[j].clone();
+            grown.insert(b.clone());
+            let candidate = lub_of(&grown);
+            let candidate_ext = candidate.extension_in(&wn.instance, &pool);
+            let saved = std::mem::replace(&mut exts[j], candidate_ext);
+            if exts_form_explanation(&exts, wn) {
+                concepts[j] = candidate;
+                support[j] = grown;
+            } else {
+                exts[j] = saved;
+            }
+        }
+    }
+    Explanation::new(concepts)
+}
+
+fn median_ns(mut f: impl FnMut(), runs: usize) -> f64 {
+    f(); // warm-up
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let regions = 8;
+    let runs = 7;
+    let mut rows: Vec<String> = Vec::new();
+    let mut last_speedup = 0.0;
+
+    println!("lub engine: incremental search, pooled LubEngine vs legacy BTreeSet lub");
+    println!(
+        "{:>16} {:>6} {:>14} {:>14} {:>9}",
+        "kind", "cities", "legacy (ms)", "pooled (ms)", "speedup"
+    );
+    let workloads: [(LubKind, &str, &[usize]); 2] = [
+        (LubKind::WithSelections, "with_selections", &[24, 48, 96]),
+        (
+            LubKind::SelectionFree,
+            "selection_free",
+            &[64, 128, 256, 384],
+        ),
+    ];
+    for (kind, kind_name, sizes) in workloads {
+        for &n in sizes {
+            let net = city_network(n, regions, 42);
+            let wn = &net.why_not;
+            // Equal results first: the legacy path is the semantic
+            // reference the equivalence property tests also pin.
+            let pooled = incremental_search_kind(wn, kind);
+            let legacy = baseline_incremental(wn, kind);
+            assert_eq!(pooled, legacy, "paths disagree at n={n}, {kind_name}");
+
+            let t_old = median_ns(
+                || {
+                    std::hint::black_box(baseline_incremental(wn, kind));
+                },
+                runs,
+            );
+            let t_new = median_ns(
+                || {
+                    std::hint::black_box(incremental_search_kind(wn, kind));
+                },
+                runs,
+            );
+            let speedup = t_old / t_new;
+            last_speedup = speedup;
+            println!(
+                "{kind_name:>16} {n:>6} {:>14.3} {:>14.3} {speedup:>8.2}x",
+                t_old / 1e6,
+                t_new / 1e6
+            );
+            rows.push(format!(
+                "  {{\"workload\": \"city_network\", \"kind\": \"{kind_name}\", \"cities\": {n}, \
+                 \"regions\": {regions}, \"legacy_ns\": {t_old:.0}, \"pooled_ns\": {t_new:.0}, \
+                 \"speedup\": {speedup:.2}}}"
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n\"bench\": \"lub_engine\",\n\"unit\": \"ns median of {runs}\",\n\
+         \"results\": [\n{}\n],\n\"largest_workload_speedup\": {last_speedup:.2}\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lub_engine.json");
+    std::fs::write(path, &json).expect("write BENCH_lub_engine.json");
+    println!("wrote {path}");
+    if last_speedup < 1.0 {
+        println!(
+            "WARNING: pooled lub path is {last_speedup:.2}x vs legacy on the largest workload"
+        );
+    }
+}

@@ -73,19 +73,21 @@ impl LsAtom {
     /// The extension of the atom over `inst`, interned into a shared
     /// pool: projection results are set directly as bits (every projected
     /// value sits in `adom(I)` and therefore in any adom-covering pool),
-    /// so no intermediate tree is built.
+    /// so no intermediate tree is built and — unlike [`LsAtom::extension`],
+    /// which re-materializes the column with owned values every call —
+    /// nothing is cloned for pooled constants.
     pub fn extension_in(&self, inst: &Instance, pool: &Arc<ConstPool>) -> Extension {
         match self {
-            LsAtom::Nominal(c) => Extension::finite_in(Arc::clone(pool), [c.clone()]),
+            LsAtom::Nominal(c) => Extension::finite_refs_in(Arc::clone(pool), [c]),
             LsAtom::Proj {
                 rel,
                 attr,
                 selection,
-            } => Extension::finite_in(
+            } => Extension::finite_refs_in(
                 Arc::clone(pool),
                 inst.tuples(*rel)
                     .filter(|t| selection.selects(t))
-                    .filter_map(|t| t.get(*attr).cloned()),
+                    .filter_map(|t| t.get(*attr)),
             ),
         }
     }

@@ -106,6 +106,40 @@ impl ValueSet {
         }
     }
 
+    /// Inserts a borrowed value, cloning only when it falls outside the
+    /// pool (the clone-free fast path for pooled members — column and
+    /// projection evaluation feed every tuple occurrence through here).
+    pub fn insert_ref(&mut self, v: &Value) -> bool {
+        match self.pool.id_of(v) {
+            Some(id) => {
+                let (w, b) = (id.index() / 64, id.index() % 64);
+                let fresh = self.words[w] & (1 << b) == 0;
+                self.words[w] |= 1 << b;
+                fresh
+            }
+            None => {
+                if self.extra.contains(v) {
+                    false
+                } else {
+                    self.extra.insert(v.clone())
+                }
+            }
+        }
+    }
+
+    /// Collects borrowed values into a set over `pool`, cloning only the
+    /// values the pool does not intern (cf. [`ValueSet::collect_in`]).
+    pub fn collect_refs_in<'v>(
+        pool: Arc<ConstPool>,
+        values: impl IntoIterator<Item = &'v Value>,
+    ) -> Self {
+        let mut set = ValueSet::empty_in(pool);
+        for v in values {
+            set.insert_ref(v);
+        }
+        set
+    }
+
     /// Membership test: a bit probe for pooled values, a tree lookup
     /// otherwise.
     pub fn contains(&self, v: &Value) -> bool {
@@ -360,6 +394,16 @@ impl Extension {
         Extension::Finite(ValueSet::collect_in(pool, values))
     }
 
+    /// A finite extension over a shared pool from borrowed values: pooled
+    /// members become bits without cloning, only out-of-pool values are
+    /// cloned into the overflow set (the engine's evaluation fast path).
+    pub fn finite_refs_in<'v>(
+        pool: Arc<ConstPool>,
+        values: impl IntoIterator<Item = &'v Value>,
+    ) -> Self {
+        Extension::Finite(ValueSet::collect_refs_in(pool, values))
+    }
+
     /// Whether `v` belongs to the extension.
     pub fn contains(&self, v: &Value) -> bool {
         match self {
@@ -537,6 +581,22 @@ mod tests {
                 Value::str("z")
             ]
         );
+    }
+
+    #[test]
+    fn borrowed_collection_matches_owned_collection() {
+        let pool = Arc::new(ConstPool::from_values((0..10).map(Value::int)));
+        let vals = [Value::int(2), Value::int(7), Value::str("ghost")];
+        let by_ref = Extension::finite_refs_in(Arc::clone(&pool), vals.iter());
+        let by_val = Extension::finite_in(Arc::clone(&pool), vals.iter().cloned());
+        assert_eq!(by_ref, by_val);
+        // Only the out-of-pool value landed in the overflow set.
+        assert_eq!(by_ref.as_finite().unwrap().extra().len(), 1);
+        // insert_ref deduplicates overflow values like insert does.
+        let mut set = ValueSet::empty_in(pool);
+        assert!(set.insert_ref(&Value::str("ghost")));
+        assert!(!set.insert_ref(&Value::str("ghost")));
+        assert_eq!(set.len(), 1);
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //!   against one instance into a single shared pool,
 //! * [`lub`] / [`lub_sigma`] — least upper bounds of support sets
 //!   (Lemmas 5.1 and 5.2), the engine of the paper's incremental search
-//!   algorithm, and
+//!   algorithm,
+//! * [`LubEngine`] — the pooled lub engine: one interned column bitset
+//!   per `(rel, attr)` built exactly once, with Lemma 5.1's covering
+//!   test and Lemma 5.2's minimal-box enumeration running word-parallel
+//!   in [`ValueId`](whynot_relation::ValueId) space, and
 //! * [`irredundant`] / [`simplify`] — polynomial-time irredundant
 //!   equivalents (Proposition 6.2).
 
@@ -32,6 +36,7 @@
 mod concept;
 mod extension;
 mod lub;
+mod lub_engine;
 mod minimize;
 mod parse;
 mod selection;
@@ -40,6 +45,7 @@ mod table;
 pub use concept::{LsAtom, LsConcept};
 pub use extension::{Extension, ValueSet, ValueSetIter};
 pub use lub::{lub, lub_extension, lub_sigma, selection_free_atom_count, try_lub, try_lub_sigma};
+pub use lub_engine::LubEngine;
 pub use minimize::{irredundant, simplify, simplify_selections};
 pub use parse::{parse_concept, parse_value, ParseError};
 pub use selection::{SelConstraint, Selection};

@@ -72,7 +72,11 @@ pub fn try_lub(schema: &Schema, inst: &Instance, x: &BTreeSet<Value>) -> Option<
     }
     for rel in schema.rel_ids() {
         for attr in 0..schema.arity(rel) {
-            if x.iter().all(|v| inst.column(rel, attr).contains(v)) {
+            // Materialize the column once per (rel, attr); the previous
+            // code rebuilt it inside the closure, once per support
+            // element — quadratic in |X| with a full column scan each.
+            let col = inst.column(rel, attr);
+            if x.iter().all(|v| col.contains(v)) {
                 atoms.push(LsAtom::proj(rel, attr));
             }
         }
@@ -133,9 +137,29 @@ pub fn try_lub_sigma(schema: &Schema, inst: &Instance, x: &BTreeSet<Value>) -> O
         atoms.push(LsAtom::Nominal(x.iter().next().expect("non-empty").clone()));
     }
     for rel in schema.rel_ids() {
-        for attr in 0..schema.arity(rel) {
-            for bx in minimal_boxes(inst, rel, attr, x) {
-                atoms.push(box_atom(inst, rel, attr, &bx));
+        let arity = schema.arity(rel);
+        let boxes_per_attr: Vec<Vec<BoundingBox>> = (0..arity)
+            .map(|attr| minimal_boxes(inst, rel, attr, x))
+            .collect();
+        if boxes_per_attr.iter().all(Vec::is_empty) {
+            continue;
+        }
+        // Per-attribute column min/max, computed once per relation that
+        // contributes a box at all. The previous code re-materialized the
+        // whole column inside `box_atom`, once per dimension of every
+        // candidate box.
+        let col_ranges: Vec<Option<(Value, Value)>> = (0..arity)
+            .map(|j| {
+                let col = inst.column(rel, j);
+                match (col.first(), col.last()) {
+                    (Some(min), Some(max)) => Some((min.clone(), max.clone())),
+                    _ => None,
+                }
+            })
+            .collect();
+        for (attr, boxes) in boxes_per_attr.iter().enumerate() {
+            for bx in boxes {
+                atoms.push(box_atom(&col_ranges, rel, attr, bx));
             }
         }
     }
@@ -145,12 +169,19 @@ pub fn try_lub_sigma(schema: &Schema, inst: &Instance, x: &BTreeSet<Value>) -> O
 /// Converts a bounding box into the concept atom `π_attr(σ_box(R))`,
 /// omitting the constraints on attributes whose box interval already spans
 /// the entire column (they cannot change the selected set on `inst`).
-fn box_atom(inst: &Instance, rel: RelId, attr: Attr, bx: &BoundingBox) -> LsAtom {
+/// `col_ranges[j]` is the precomputed `(min, max)` of column `j`.
+fn box_atom(
+    col_ranges: &[Option<(Value, Value)>],
+    rel: RelId,
+    attr: Attr,
+    bx: &BoundingBox,
+) -> LsAtom {
     let mut bounds: Vec<(Attr, Value, Value)> = Vec::new();
     for (j, (lo, hi)) in bx.iter().enumerate() {
-        let col = inst.column(rel, j);
-        let spans_column =
-            col.first().is_some_and(|min| min == lo) && col.last().is_some_and(|max| max == hi);
+        let spans_column = col_ranges
+            .get(j)
+            .and_then(|r| r.as_ref())
+            .is_some_and(|(min, max)| min == lo && max == hi);
         if !spans_column {
             bounds.push((j, lo.clone(), hi.clone()));
         }
@@ -234,9 +265,12 @@ fn enumerate_boxes(
     }
 }
 
-/// Keeps only inclusion-minimal boxes (dropping duplicates).
-fn retain_minimal(boxes: Vec<BoundingBox>) -> Vec<BoundingBox> {
-    let mut minimal: Vec<BoundingBox> = Vec::new();
+/// Keeps only inclusion-minimal boxes (dropping duplicates), sorted.
+/// Generic over the endpoint type so the legacy path (owned [`Value`]s)
+/// and the pooled engine ([`whynot_relation::ValueId`]s, whose order is
+/// value order) share one dominance implementation.
+pub(crate) fn retain_minimal<B: Ord>(boxes: Vec<Vec<(B, B)>>) -> Vec<Vec<(B, B)>> {
+    let mut minimal: Vec<Vec<(B, B)>> = Vec::new();
     'outer: for b in boxes {
         let mut i = 0;
         while i < minimal.len() {
@@ -257,7 +291,7 @@ fn retain_minimal(boxes: Vec<BoundingBox>) -> Vec<BoundingBox> {
 }
 
 /// Whether `inner ⊆ outer` per dimension.
-fn box_contains(outer: &BoundingBox, inner: &BoundingBox) -> bool {
+fn box_contains<B: Ord>(outer: &[(B, B)], inner: &[(B, B)]) -> bool {
     outer.len() == inner.len()
         && outer
             .iter()

@@ -1,0 +1,575 @@
+//! The pooled lub engine: `lub` / `lubσ` over interned bitset columns.
+//!
+//! The free functions in [`crate::lub`] re-derive everything from the
+//! instance on every call — Algorithm 2's growth loop calls them once per
+//! probed constant, so each probe used to re-materialize every `(rel,
+//! attr)` column as an owned `BTreeSet<Value>`. A [`LubEngine`] pins one
+//! `(schema, instance)` pair and a shared
+//! [`ConstPool`](whynot_relation::ConstPool), then builds each column
+//! representation **exactly once**, however many lubs it computes:
+//!
+//! * **Lemma 5.1** (selection-free lub): the covering-atom test
+//!   `X ⊆ π_A(R^I)` becomes a word-parallel bitset inclusion between the
+//!   interned support set and the per-column occurrence bitset — no tree
+//!   walks, no value comparisons.
+//! * **Lemma 5.2** (lub with selections): the minimal-box enumeration
+//!   runs in [`ValueId`](whynot_relation::ValueId) space over interned
+//!   tuple rows. Ids ascend with values, so id comparisons *are* value
+//!   comparisons, box bounds are copies of two `u32`s instead of clones
+//!   of two [`Value`]s, and the per-restriction coverage check (`X` still
+//!   fully witnessed) is a bitset inclusion. Only the surviving minimal
+//!   boxes resolve ids back to owned values, once, when the concept atom
+//!   is built.
+//!
+//! Support elements outside the pool (e.g. a why-not question probing a
+//! fresh constant) are handled exactly: no column can contain them, so no
+//! covering atom or box exists and the lub degenerates to the nominal /
+//! `⊤` — the same answer the legacy path gives.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::collections::BTreeSet;
+//! use whynot_concepts::{lub, lub_sigma, LubEngine};
+//! use whynot_relation::{Instance, SchemaBuilder, Value};
+//!
+//! let mut b = SchemaBuilder::new();
+//! let r = b.relation("Cities", ["name", "population"]);
+//! let schema = b.finish().unwrap();
+//! let mut inst = Instance::new();
+//! inst.insert(r, vec![Value::str("Berlin"), Value::int(3_502_000)]);
+//! inst.insert(r, vec![Value::str("Rome"), Value::int(2_753_000)]);
+//! inst.insert(r, vec![Value::str("Santa Cruz"), Value::int(59_946)]);
+//!
+//! let engine = LubEngine::new(&schema, &inst);
+//! let x: BTreeSet<Value> = [Value::str("Berlin"), Value::str("Rome")]
+//!     .into_iter()
+//!     .collect();
+//! // Observationally equivalent to the legacy free functions…
+//! assert_eq!(engine.lub(&x), lub(&schema, &inst, &x));
+//! assert_eq!(engine.lub_sigma(&x), lub_sigma(&schema, &inst, &x));
+//! // …but the columns were interned once, not once per call:
+//! let before = engine.column_builds();
+//! let _ = engine.lub_sigma(&x);
+//! assert_eq!(engine.column_builds(), before);
+//! ```
+
+use crate::concept::{LsAtom, LsConcept};
+use crate::extension::ValueSet;
+use crate::lub::retain_minimal;
+use crate::selection::Selection;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+use std::sync::Arc;
+use whynot_relation::{Attr, ConstPool, Instance, RelId, Schema, Value, ValueId};
+
+/// A bounding box in id space: one closed `(lo, hi)` interval per
+/// attribute, id order being value order.
+type IdBox = Vec<(ValueId, ValueId)>;
+
+/// One relation's interned column data, built at most once per engine.
+struct RelColumns {
+    /// The relation's tuples with every constant replaced by its pool id.
+    rows: Vec<Vec<ValueId>>,
+    /// Per schema attribute: occurrence bitset and id bounds.
+    cols: Vec<ColumnBits>,
+}
+
+/// The interned occurrence set of one `(rel, attr)` column.
+struct ColumnBits {
+    /// Dense occurrence bitset over the pool (`pool.word_len()` words).
+    words: Vec<u64>,
+    /// `(min, max)` occurring ids; `None` for an empty column.
+    bounds: Option<(ValueId, ValueId)>,
+}
+
+/// An interned support set `X`, backed by a [`ValueSet`] over the engine
+/// pool (out-of-pool elements land in its overflow set).
+struct Support {
+    set: ValueSet,
+}
+
+impl Support {
+    /// Bits of the pooled support elements.
+    #[inline]
+    fn words(&self) -> &[u64] {
+        self.set.words()
+    }
+
+    /// Whether *every* element of `X` is pooled. When false, no column
+    /// (⊆ `adom(I)` ⊆ pool) can cover `X`, so the lub has no projection
+    /// atoms at all.
+    #[inline]
+    fn all_pooled(&self) -> bool {
+        self.set.extra().is_empty()
+    }
+
+    #[inline]
+    fn contains(&self, id: ValueId) -> bool {
+        has_bit(self.set.words(), id)
+    }
+}
+
+/// Word-parallel inclusion `sub ⊆ sup` over equally sized word slices
+/// (the scratch buffers here are plain slices, not [`ValueSet`]s).
+#[inline]
+fn words_subset(sub: &[u64], sup: &[u64]) -> bool {
+    sub.iter().zip(sup).all(|(a, b)| a & !b == 0)
+}
+
+#[inline]
+fn set_bit(words: &mut [u64], id: ValueId) {
+    words[id.index() / 64] |= 1 << (id.index() % 64);
+}
+
+#[inline]
+fn has_bit(words: &[u64], id: ValueId) -> bool {
+    words[id.index() / 64] & (1 << (id.index() % 64)) != 0
+}
+
+/// The pooled lub engine: `lub_I` / `lubσ_I` over one pinned
+/// `(schema, instance)` pair, with each `(rel, attr)` column interned
+/// into the shared pool exactly once.
+///
+/// Lemma 5.1's covering-atom test is a word-parallel bitset inclusion
+/// against the interned columns; Lemma 5.2's minimal-box enumeration
+/// runs in [`ValueId`] space (id order is value order). Observationally
+/// equivalent to the legacy free functions [`lub`](crate::lub) /
+/// [`lub_sigma`](crate::lub_sigma).
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::BTreeSet;
+/// use whynot_concepts::{lub, LubEngine};
+/// use whynot_relation::{Instance, SchemaBuilder, Value};
+///
+/// let mut b = SchemaBuilder::new();
+/// let tc = b.relation("TC", ["from", "to"]);
+/// let schema = b.finish().unwrap();
+/// let mut inst = Instance::new();
+/// inst.insert(tc, vec![Value::str("Amsterdam"), Value::str("Berlin")]);
+/// inst.insert(tc, vec![Value::str("Berlin"), Value::str("Rome")]);
+///
+/// let engine = LubEngine::new(&schema, &inst);
+/// let x: BTreeSet<Value> = [Value::str("Amsterdam"), Value::str("Berlin")]
+///     .into_iter()
+///     .collect();
+/// assert_eq!(engine.lub(&x), lub(&schema, &inst, &x));
+/// // Both TC columns were interned by that one call; later lubs reuse
+/// // them.
+/// assert_eq!(engine.column_builds(), 2);
+/// ```
+pub struct LubEngine<'a> {
+    schema: &'a Schema,
+    inst: &'a Instance,
+    pool: Arc<ConstPool>,
+    rels: RefCell<BTreeMap<RelId, Rc<RelColumns>>>,
+    column_builds: Cell<usize>,
+}
+
+impl<'a> LubEngine<'a> {
+    /// An engine over a fresh pool covering `adom(I)`.
+    pub fn new(schema: &'a Schema, inst: &'a Instance) -> Self {
+        LubEngine::with_pool(schema, inst, inst.const_pool())
+    }
+
+    /// An engine over a caller-supplied shared pool — pass the session /
+    /// search pool so the engine's column bitsets index the same id
+    /// space as every cached extension.
+    ///
+    /// The pool must cover `adom(I)` (pools from
+    /// [`Instance::const_pool`] / [`Instance::const_pool_with`] always
+    /// do); the first lub over a relation with unpooled constants
+    /// panics.
+    pub fn with_pool(schema: &'a Schema, inst: &'a Instance, pool: Arc<ConstPool>) -> Self {
+        LubEngine {
+            schema,
+            inst,
+            pool,
+            rels: RefCell::new(BTreeMap::new()),
+            column_builds: Cell::new(0),
+        }
+    }
+
+    /// The shared pool the engine's columns are interned into.
+    pub fn pool(&self) -> &Arc<ConstPool> {
+        &self.pool
+    }
+
+    /// How many `(rel, attr)` column sets have been interned so far.
+    /// Bounded by the schema's total attribute count for the engine's
+    /// whole lifetime — the build-once counting tests assert on this.
+    pub fn column_builds(&self) -> usize {
+        self.column_builds.get()
+    }
+
+    /// `lub_I(X)` in selection-free `LS` (Lemma 5.1), observationally
+    /// equivalent to [`crate::lub`].
+    ///
+    /// # Panics
+    /// Panics if `x` is empty; see [`LubEngine::try_lub`].
+    pub fn lub(&self, x: &BTreeSet<Value>) -> LsConcept {
+        self.try_lub(x)
+            .expect("lub of an empty support set is undefined")
+    }
+
+    /// `lubσ_I(X)` in full `LS` (Lemma 5.2), observationally equivalent
+    /// to [`crate::lub_sigma`].
+    ///
+    /// # Panics
+    /// Panics if `x` is empty; see [`LubEngine::try_lub_sigma`].
+    pub fn lub_sigma(&self, x: &BTreeSet<Value>) -> LsConcept {
+        self.try_lub_sigma(x)
+            .expect("lub of an empty support set is undefined")
+    }
+
+    /// Non-panicking [`LubEngine::lub`]: `None` iff `x` is empty.
+    pub fn try_lub(&self, x: &BTreeSet<Value>) -> Option<LsConcept> {
+        if x.is_empty() {
+            return None;
+        }
+        let mut atoms = self.nominal_start(x);
+        let support = self.intern_support(x);
+        if support.all_pooled() {
+            for rel in self.schema.rel_ids() {
+                let rc = self.rel_columns(rel);
+                for (attr, col) in rc.cols.iter().enumerate() {
+                    // Lemma 5.1's covering-atom test, word-parallel.
+                    if words_subset(support.words(), &col.words) {
+                        atoms.push(LsAtom::proj(rel, attr));
+                    }
+                }
+            }
+        }
+        Some(LsConcept::from_atoms(atoms))
+    }
+
+    /// Non-panicking [`LubEngine::lub_sigma`]: `None` iff `x` is empty.
+    pub fn try_lub_sigma(&self, x: &BTreeSet<Value>) -> Option<LsConcept> {
+        if x.is_empty() {
+            return None;
+        }
+        let mut atoms = self.nominal_start(x);
+        let support = self.intern_support(x);
+        if support.all_pooled() {
+            let mut scratch = vec![0u64; self.pool.word_len()];
+            for rel in self.schema.rel_ids() {
+                let rc = self.rel_columns(rel);
+                for attr in 0..rc.cols.len() {
+                    for bx in self.minimal_boxes(&rc, attr, &support, &mut scratch) {
+                        atoms.push(self.box_atom(rel, &rc, attr, &bx));
+                    }
+                }
+            }
+        }
+        Some(LsConcept::from_atoms(atoms))
+    }
+
+    /// The nominal atom of a singleton support (both lub variants start
+    /// from it).
+    fn nominal_start(&self, x: &BTreeSet<Value>) -> Vec<LsAtom> {
+        if x.len() == 1 {
+            vec![LsAtom::Nominal(x.iter().next().expect("non-empty").clone())]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Interns a support set into pool bits, through the same
+    /// [`ValueSet`] machinery the extension engine uses.
+    fn intern_support(&self, x: &BTreeSet<Value>) -> Support {
+        Support {
+            set: ValueSet::collect_refs_in(Arc::clone(&self.pool), x.iter()),
+        }
+    }
+
+    /// The interned column data of one relation, built on first use.
+    fn rel_columns(&self, rel: RelId) -> Rc<RelColumns> {
+        if let Some(hit) = self.rels.borrow().get(&rel) {
+            return Rc::clone(hit);
+        }
+        let built = Rc::new(self.build_rel(rel));
+        self.column_builds
+            .set(self.column_builds.get() + built.cols.len());
+        self.rels.borrow_mut().insert(rel, Rc::clone(&built));
+        built
+    }
+
+    fn build_rel(&self, rel: RelId) -> RelColumns {
+        let word_len = self.pool.word_len();
+        let rows: Vec<Vec<ValueId>> = self
+            .inst
+            .tuples(rel)
+            .map(|t| {
+                t.iter()
+                    .map(|v| {
+                        self.pool
+                            .id_of(v)
+                            .expect("LubEngine pool must cover the instance's active domain")
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut cols: Vec<ColumnBits> = (0..self.schema.arity(rel))
+            .map(|_| ColumnBits {
+                words: vec![0u64; word_len],
+                bounds: None,
+            })
+            .collect();
+        for row in &rows {
+            for (j, col) in cols.iter_mut().enumerate() {
+                let Some(&id) = row.get(j) else { continue };
+                set_bit(&mut col.words, id);
+                col.bounds = Some(match col.bounds {
+                    None => (id, id),
+                    Some((mn, mx)) => (mn.min(id), mx.max(id)),
+                });
+            }
+        }
+        RelColumns { rows, cols }
+    }
+
+    /// Lemma 5.2's minimal-box enumeration in id space (cf. the legacy
+    /// `minimal_boxes` over owned trees in [`crate::lub`]).
+    fn minimal_boxes(
+        &self,
+        rc: &RelColumns,
+        attr: Attr,
+        support: &Support,
+        scratch: &mut [u64],
+    ) -> Vec<IdBox> {
+        // Witness rows: those whose `attr` coordinate lies in X.
+        let witnesses: Vec<&[ValueId]> = rc
+            .rows
+            .iter()
+            .filter(|r| r.get(attr).is_some_and(|&id| support.contains(id)))
+            .map(|r| r.as_slice())
+            .collect();
+        if witnesses.is_empty() {
+            return Vec::new();
+        }
+        let arity = witnesses[0].len();
+        let all: Vec<usize> = (0..witnesses.len()).collect();
+        if !covers_support(&witnesses, &all, attr, support, scratch) {
+            return Vec::new();
+        }
+        let mut out: Vec<IdBox> = Vec::new();
+        enumerate_boxes(
+            &witnesses,
+            support,
+            attr,
+            arity,
+            0,
+            all,
+            Vec::new(),
+            &mut out,
+            scratch,
+        );
+        retain_minimal(out)
+    }
+
+    /// Resolves an id box into the atom `π_attr(σ_box(R))`, dropping the
+    /// constraints whose interval spans the whole column (precomputed
+    /// per-relation bounds, compared as ids).
+    fn box_atom(&self, rel: RelId, rc: &RelColumns, attr: Attr, bx: &IdBox) -> LsAtom {
+        let mut bounds: Vec<(Attr, Value, Value)> = Vec::new();
+        for (j, &(lo, hi)) in bx.iter().enumerate() {
+            let spans_column = rc
+                .cols
+                .get(j)
+                .and_then(|c| c.bounds)
+                .is_some_and(|(min, max)| min == lo && max == hi);
+            if !spans_column {
+                bounds.push((j, self.pool.value(lo).clone(), self.pool.value(hi).clone()));
+            }
+        }
+        LsAtom::proj_sel(rel, attr, Selection::from_box(bounds))
+    }
+}
+
+/// Whether the surviving witnesses still cover every element of `X`:
+/// their `attr` coordinates, as a bitset, must include the support bits.
+fn covers_support(
+    witnesses: &[&[ValueId]],
+    surviving: &[usize],
+    attr: Attr,
+    support: &Support,
+    scratch: &mut [u64],
+) -> bool {
+    scratch.fill(0);
+    for &i in surviving {
+        set_bit(scratch, witnesses[i][attr]);
+    }
+    words_subset(support.words(), scratch)
+}
+
+/// Recursive enumeration of dimension-tight boxes, mirroring the legacy
+/// enumeration but with id comparisons and bitset coverage checks.
+#[allow(clippy::too_many_arguments)]
+fn enumerate_boxes(
+    witnesses: &[&[ValueId]],
+    support: &Support,
+    attr: Attr,
+    arity: usize,
+    dim: usize,
+    surviving: Vec<usize>,
+    bounds: IdBox,
+    out: &mut Vec<IdBox>,
+    scratch: &mut [u64],
+) {
+    if dim == arity {
+        out.push(bounds);
+        return;
+    }
+    // The candidate endpoints: the surviving witnesses' coordinates in
+    // this dimension, deduplicated ascending (id order = value order).
+    let mut values: Vec<ValueId> = surviving.iter().map(|&i| witnesses[i][dim]).collect();
+    values.sort_unstable();
+    values.dedup();
+    for (li, &lo) in values.iter().enumerate() {
+        for &hi in &values[li..] {
+            let next: Vec<usize> = surviving
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let v = witnesses[i][dim];
+                    lo <= v && v <= hi
+                })
+                .collect();
+            if !covers_support(witnesses, &next, attr, support, scratch) {
+                continue;
+            }
+            let mut b = bounds.clone();
+            b.push((lo, hi));
+            enumerate_boxes(
+                witnesses,
+                support,
+                attr,
+                arity,
+                dim + 1,
+                next,
+                b,
+                out,
+                scratch,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lub::{lub, lub_sigma, try_lub, try_lub_sigma};
+    use whynot_relation::SchemaBuilder;
+
+    fn s(v: &str) -> Value {
+        Value::str(v)
+    }
+
+    fn paper_fixture() -> (Schema, Instance) {
+        let mut b = SchemaBuilder::new();
+        let cities = b.relation("Cities", ["name", "population", "country", "continent"]);
+        let tc = b.relation("Train-Connections", ["city_from", "city_to"]);
+        let schema = b.finish().unwrap();
+        let mut inst = Instance::new();
+        for (name, pop, country, continent) in [
+            ("Amsterdam", 779_808, "Netherlands", "Europe"),
+            ("Berlin", 3_502_000, "Germany", "Europe"),
+            ("Rome", 2_753_000, "Italy", "Europe"),
+            ("New York", 8_337_000, "USA", "N.America"),
+            ("San Francisco", 837_442, "USA", "N.America"),
+            ("Santa Cruz", 59_946, "USA", "N.America"),
+            ("Tokyo", 13_185_000, "Japan", "Asia"),
+            ("Kyoto", 1_400_000, "Japan", "Asia"),
+        ] {
+            inst.insert(
+                cities,
+                vec![s(name), Value::int(pop), s(country), s(continent)],
+            );
+        }
+        for (a, b2) in [
+            ("Amsterdam", "Berlin"),
+            ("Berlin", "Rome"),
+            ("Berlin", "Amsterdam"),
+            ("New York", "San Francisco"),
+            ("San Francisco", "Santa Cruz"),
+            ("Tokyo", "Kyoto"),
+        ] {
+            inst.insert(tc, vec![s(a), s(b2)]);
+        }
+        (schema, inst)
+    }
+
+    fn supports() -> Vec<BTreeSet<Value>> {
+        let set = |vals: &[&str]| -> BTreeSet<Value> { vals.iter().map(|v| s(v)).collect() };
+        vec![
+            set(&["Amsterdam"]),
+            set(&["Amsterdam", "Berlin"]),
+            set(&["Berlin", "Rome"]),
+            set(&["New York", "Santa Cruz"]),
+            set(&["Amsterdam", "Tokyo", "Santa Cruz"]),
+            set(&["nowhere"]),
+            set(&["nowhere", "elsewhere"]),
+            set(&["nowhere", "Amsterdam"]),
+            [Value::int(779_808), Value::int(3_502_000)]
+                .into_iter()
+                .collect(),
+        ]
+    }
+
+    #[test]
+    fn pooled_lub_matches_legacy_on_the_paper_fixture() {
+        let (schema, inst) = paper_fixture();
+        let engine = LubEngine::new(&schema, &inst);
+        for x in supports() {
+            assert_eq!(
+                engine.try_lub(&x),
+                try_lub(&schema, &inst, &x),
+                "lub disagrees on {x:?}"
+            );
+            assert_eq!(
+                engine.try_lub_sigma(&x),
+                try_lub_sigma(&schema, &inst, &x),
+                "lubσ disagrees on {x:?}"
+            );
+        }
+        assert_eq!(engine.try_lub(&BTreeSet::new()), None);
+        assert_eq!(engine.try_lub_sigma(&BTreeSet::new()), None);
+    }
+
+    #[test]
+    fn columns_are_built_at_most_once() {
+        let (schema, inst) = paper_fixture();
+        let engine = LubEngine::new(&schema, &inst);
+        assert_eq!(engine.column_builds(), 0);
+        for x in supports() {
+            let _ = engine.try_lub(&x);
+            let _ = engine.try_lub_sigma(&x);
+        }
+        // Cities has 4 attributes, Train-Connections 2: 6 column sets,
+        // regardless of how many lubs ran.
+        assert_eq!(engine.column_builds(), 6);
+    }
+
+    #[test]
+    fn shared_pool_with_extra_constants_gives_the_same_answers() {
+        // The search algorithms pass pools over adom(I) ∪ ā; the extra
+        // ids shift nothing semantically.
+        let (schema, inst) = paper_fixture();
+        let wide = inst.const_pool_with([s("ghost-a"), s("ghost-b")]);
+        let engine = LubEngine::with_pool(&schema, &inst, wide);
+        for x in supports() {
+            assert_eq!(engine.lub(&x), lub(&schema, &inst, &x), "{x:?}");
+            assert_eq!(engine.lub_sigma(&x), lub_sigma(&schema, &inst, &x), "{x:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty support set")]
+    fn panicking_variant_matches_legacy_contract() {
+        let (schema, inst) = paper_fixture();
+        LubEngine::new(&schema, &inst).lub(&BTreeSet::new());
+    }
+}

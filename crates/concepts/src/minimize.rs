@@ -18,7 +18,12 @@ use whynot_relation::Instance;
 /// normalized order, largest first, so nominals (which force singleton
 /// extensions) tend to be dropped before structural atoms.
 pub fn irredundant(concept: &LsConcept, inst: &Instance) -> LsConcept {
-    let target = concept.extension(inst);
+    // One pool for the whole elimination pass: every candidate extension
+    // is a bitset over it, so the per-removal equality checks compare
+    // word-parallel instead of re-materializing owned trees and walking
+    // them value by value.
+    let pool = inst.const_pool();
+    let target = concept.extension_in(inst, &pool);
     let mut current = concept.clone();
     // Snapshot the parts; removal order: reverse normalized order, so that
     // e.g. selected projections are preferred over plain ones when either
@@ -29,7 +34,7 @@ pub fn irredundant(concept: &LsConcept, inst: &Instance) -> LsConcept {
             break;
         }
         let candidate = current.without(atom);
-        if candidate.extension(inst) == target {
+        if candidate.extension_in(inst, &pool) == target {
             current = candidate;
         }
     }

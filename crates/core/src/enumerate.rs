@@ -16,18 +16,12 @@
 //!   deduplicates by extension tuple, so every returned explanation is a
 //!   checked MGE, but completeness of the enumeration is not guaranteed.
 
-use crate::incremental::LubKind;
+use crate::incremental::{engine_lub, LubKind};
 use crate::whynot::{exts_form_explanation, Explanation, WhyNotInstance};
 use std::collections::BTreeSet;
-use whynot_concepts::{lub, lub_sigma, Extension, LsConcept};
+use std::sync::Arc;
+use whynot_concepts::{Extension, LsConcept, LubEngine};
 use whynot_relation::Value;
-
-fn lub_of(kind: LubKind, wn: &WhyNotInstance, x: &BTreeSet<Value>) -> LsConcept {
-    match kind {
-        LubKind::SelectionFree => lub(&wn.schema, &wn.instance, x),
-        LubKind::WithSelections => lub_sigma(&wn.schema, &wn.instance, x),
-    }
-}
 
 /// Algorithm 2 with round-robin growth: positions absorb constants in an
 /// interleaved order, so no position can monopolize the generalization
@@ -37,32 +31,41 @@ fn lub_of(kind: LubKind, wn: &WhyNotInstance, x: &BTreeSet<Value>) -> LsConcept 
 pub fn incremental_search_balanced(wn: &WhyNotInstance, kind: LubKind) -> Explanation<LsConcept> {
     let adom: Vec<Value> = wn.instance.active_domain().into_iter().collect();
     let positions: Vec<usize> = (0..wn.arity()).collect();
-    grow_with_order(wn, kind, &adom, &positions, true)
+    let pool = wn.instance.const_pool_with(wn.tuple.iter().cloned());
+    let engine = LubEngine::with_pool(&wn.schema, &wn.instance, Arc::clone(&pool));
+    grow_with_order(wn, kind, &engine, &adom, &positions, true)
 }
 
 /// The shared growth engine: processes `(position, constant)` pairs either
 /// round-robin (`balanced`) or position-major like the paper, visiting
-/// positions in the supplied order.
+/// positions in the supplied order. The caller supplies the pooled lub
+/// engine so reruns under permuted orders (the MGE enumeration) share one
+/// set of interned columns.
 fn grow_with_order(
     wn: &WhyNotInstance,
     kind: LubKind,
+    engine: &LubEngine<'_>,
     adom: &[Value],
     positions: &[usize],
     balanced: bool,
 ) -> Explanation<LsConcept> {
     let m = wn.arity();
     debug_assert_eq!(positions.len(), m);
-    // One interned pool per growth run (see `incremental_search_kind`).
-    let pool = wn.instance.const_pool_with(wn.tuple.iter().cloned());
+    // One interned pool per growth run (see `incremental_search_kind`),
+    // shared with the lub engine's column sets.
+    let pool = engine.pool();
     let mut support: Vec<BTreeSet<Value>> = wn
         .tuple
         .iter()
         .map(|a| [a.clone()].into_iter().collect())
         .collect();
-    let mut concepts: Vec<LsConcept> = support.iter().map(|x| lub_of(kind, wn, x)).collect();
+    let mut concepts: Vec<LsConcept> = support
+        .iter()
+        .map(|x| engine_lub(engine, kind, x))
+        .collect();
     let mut exts: Vec<Extension> = concepts
         .iter()
-        .map(|c| c.extension_in(&wn.instance, &pool))
+        .map(|c| c.extension_in(&wn.instance, pool))
         .collect();
 
     let try_grow = |j: usize,
@@ -75,8 +78,8 @@ fn grow_with_order(
         }
         let mut grown = support[j].clone();
         grown.insert(b.clone());
-        let candidate = lub_of(kind, wn, &grown);
-        let candidate_ext = candidate.extension_in(&wn.instance, &pool);
+        let candidate = engine_lub(engine, kind, &grown);
+        let candidate_ext = candidate.extension_in(&wn.instance, pool);
         let saved = std::mem::replace(&mut exts[j], candidate_ext);
         if exts_form_explanation(exts, wn) {
             concepts[j] = candidate;
@@ -115,6 +118,9 @@ pub fn enumerate_mges_instance(
 ) -> Vec<Explanation<LsConcept>> {
     let base: Vec<Value> = wn.instance.active_domain().into_iter().collect();
     let pool = wn.instance.const_pool_with(wn.tuple.iter().cloned());
+    // One lub engine for the whole enumeration: every rerun under a
+    // permuted growth order probes the same interned column sets.
+    let engine = LubEngine::with_pool(&wn.schema, &wn.instance, Arc::clone(&pool));
     let mut seen: BTreeSet<Vec<Extension>> = BTreeSet::new();
     let mut out: Vec<Explanation<LsConcept>> = Vec::new();
     let push = |e: Explanation<LsConcept>,
@@ -157,7 +163,7 @@ pub fn enumerate_mges_instance(
         for rot in 0..m {
             let positions: Vec<usize> = (0..wn.arity()).map(|j| (j + rot) % m).collect();
             for balanced in [true, false] {
-                let e = grow_with_order(wn, kind, &order, &positions, balanced);
+                let e = grow_with_order(wn, kind, &engine, &order, &positions, balanced);
                 push(e, &mut seen, &mut out);
             }
         }

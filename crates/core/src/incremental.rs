@@ -12,12 +12,18 @@
 //!
 //! [`check_mge_instance`] is the CHECK-MGE W.R.T. `OI` procedure
 //! (Proposition 5.2), built from the same growth probes.
+//!
+//! All growth probes run through a pooled
+//! [`LubEngine`](whynot_concepts::LubEngine) sharing the search's
+//! `ConstPool`: the `(rel, attr)` column sets behind Lemmas 5.1/5.2 are
+//! interned once per run, not re-materialized per probed constant.
 
 use crate::derived::InstanceOntology;
 use crate::whynot::{exts_form_explanation_q, Explanation, QuestionRef, WhyNotInstance};
 use std::collections::BTreeSet;
-use whynot_concepts::{lub, lub_sigma, Extension, LsConcept};
-use whynot_relation::{Schema, Value};
+use std::sync::Arc;
+use whynot_concepts::{Extension, LsConcept, LubEngine};
+use whynot_relation::Value;
 
 /// Which `lub` operator drives the search (i.e. which `LS` fragment the
 /// resulting explanation lives in).
@@ -29,15 +35,12 @@ pub enum LubKind {
     WithSelections,
 }
 
-fn lub_of(
-    kind: LubKind,
-    schema: &Schema,
-    inst: &whynot_relation::Instance,
-    x: &BTreeSet<Value>,
-) -> LsConcept {
+/// One growth probe through the pooled engine: the engine owns the
+/// interned column sets, so repeated probes never re-materialize columns.
+pub(crate) fn engine_lub(engine: &LubEngine<'_>, kind: LubKind, x: &BTreeSet<Value>) -> LsConcept {
     match kind {
-        LubKind::SelectionFree => lub(schema, inst, x),
-        LubKind::WithSelections => lub_sigma(schema, inst, x),
+        LubKind::SelectionFree => engine.lub(x),
+        LubKind::WithSelections => engine.lub_sigma(x),
     }
 }
 
@@ -64,13 +67,15 @@ pub fn incremental_search_kind(wn: &WhyNotInstance, kind: LubKind) -> Explanatio
     let inst = &wn.instance;
     // One interned pool for the whole search: every candidate extension
     // is a bitset over adom(I) ∪ ā, so the per-step explanation checks
-    // run word-parallel.
+    // run word-parallel — and the lub engine's column sets index the
+    // same pool, interned once for every growth probe of the run.
     let pool = inst.const_pool_with(wn.tuple.iter().cloned());
+    let engine = LubEngine::with_pool(schema, inst, Arc::clone(&pool));
     let adom: Vec<Value> = inst.active_domain().into_iter().collect();
     incremental_search_core(
         &adom,
         wn.question(),
-        &mut |x| lub_of(kind, schema, inst, x),
+        &mut |x| engine_lub(&engine, kind, x),
         &mut |c| c.extension_in(inst, &pool),
     )
 }
@@ -142,6 +147,7 @@ pub fn check_mge_instance(wn: &WhyNotInstance, e: &Explanation<LsConcept>, kind:
     let schema = &wn.schema;
     let inst = &wn.instance;
     let pool = inst.const_pool_with(wn.tuple.iter().cloned());
+    let engine = LubEngine::with_pool(schema, inst, Arc::clone(&pool));
     // Candidate growth constants: adom plus the missing tuple (Prop 5.1's
     // constant restriction K).
     let k_consts = wn.restriction_constants();
@@ -149,7 +155,7 @@ pub fn check_mge_instance(wn: &WhyNotInstance, e: &Explanation<LsConcept>, kind:
         &k_consts,
         wn.question(),
         e,
-        &mut |x| lub_of(kind, schema, inst, x),
+        &mut |x| engine_lub(&engine, kind, x),
         &mut |c| c.extension_in(inst, &pool),
     )
 }

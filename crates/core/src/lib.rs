@@ -78,7 +78,8 @@ pub use incremental::{
 pub use obda_query::obda_why_not;
 pub use ontology::{consistent_with, FiniteOntology, Ontology};
 pub use schema_mge::{
-    all_mges_schema, check_mge_schema, compute_mge_schema, fragment_concepts, SchemaFragment,
+    all_mges_schema, check_mge_schema, compute_mge_schema, fragment_concepts, fragment_concepts_on,
+    SchemaFragment,
 };
 pub use variations::{
     card_maximal_exact, card_maximal_greedy, degree_of_generality, irredundant_explanation,

@@ -19,9 +19,9 @@
 use crate::derived::{min_fragment_concepts, MaterializedOntology, SchemaOntology};
 use crate::exhaustive::{check_mge, exhaustive_search};
 use crate::whynot::{Explanation, WhyNotInstance};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use whynot_concepts::{LsConcept, Selection};
-use whynot_relation::{CmpOp, Schema, Value};
+use whynot_relation::{CmpOp, Instance, Schema, Value};
 
 /// Which `LS[K]` fragment to materialize.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -41,6 +41,20 @@ pub fn fragment_concepts(
     k: &BTreeSet<Value>,
     fragment: SchemaFragment,
 ) -> Vec<LsConcept> {
+    fragment_concepts_filtered(schema, k, fragment, |_, _, _| true)
+}
+
+/// The single generator behind both fragment materializations: `keep`
+/// decides, per `(rel, selection attribute, constant)`, whether the
+/// equality-selected projections over that triple are emitted. One loop
+/// nest means the pruned and unpruned paths can never diverge in shape
+/// or enumeration order.
+fn fragment_concepts_filtered(
+    schema: &Schema,
+    k: &BTreeSet<Value>,
+    fragment: SchemaFragment,
+    mut keep: impl FnMut(whynot_relation::RelId, usize, &Value) -> bool,
+) -> Vec<LsConcept> {
     let mut out = min_fragment_concepts(schema, k);
     if fragment == SchemaFragment::WithEqualitySelections {
         for rel in schema.rel_ids() {
@@ -48,17 +62,47 @@ pub fn fragment_concepts(
             for attr in 0..arity {
                 for sel_attr in 0..arity {
                     for c in k {
-                        out.push(LsConcept::proj_sel(
-                            rel,
-                            attr,
-                            Selection::new([(sel_attr, CmpOp::Eq, c.clone())]),
-                        ));
+                        if keep(rel, sel_attr, c) {
+                            out.push(LsConcept::proj_sel(
+                                rel,
+                                attr,
+                                Selection::new([(sel_attr, CmpOp::Eq, c.clone())]),
+                            ));
+                        }
                     }
                 }
             }
         }
     }
     out
+}
+
+/// [`fragment_concepts`] pruned against an instance's columns through the
+/// pooled accessor ([`Instance::column_ids`]): an equality selection
+/// `σ_{B=c}(R)` with `c` absent from column `B` of `R^I` selects nothing,
+/// so its projections have empty extensions and can never enter a
+/// candidate list. The `>`-searches over the materialized fragment
+/// ([`compute_mge_schema`], [`all_mges_schema`]) use this — it returns
+/// exactly the same MGEs from a (often much) shorter concept list. The
+/// enumeration order of the surviving concepts is unchanged.
+pub fn fragment_concepts_on(
+    schema: &Schema,
+    inst: &Instance,
+    k: &BTreeSet<Value>,
+    fragment: SchemaFragment,
+) -> Vec<LsConcept> {
+    let pool = inst.const_pool();
+    // K ∩ column membership, memoized per (rel, attr): one interned pass
+    // per column, ids probed by binary search.
+    let mut cols: BTreeMap<(whynot_relation::RelId, usize), Vec<whynot_relation::ValueId>> =
+        BTreeMap::new();
+    fragment_concepts_filtered(schema, k, fragment, |rel, sel_attr, c| {
+        let col = cols
+            .entry((rel, sel_attr))
+            .or_insert_with(|| inst.column_ids(&pool, rel, sel_attr));
+        pool.id_of(c)
+            .is_some_and(|id| col.binary_search(&id).is_ok())
+    })
 }
 
 /// COMPUTE-ONE-MGE W.R.T. `OS` (Definition 5.8): materializes `O_S[K]`
@@ -74,7 +118,10 @@ pub fn compute_mge_schema(
 ) -> Option<Explanation<LsConcept>> {
     let os = SchemaOntology::new(wn.schema.clone());
     let k = wn.restriction_constants();
-    let mat = MaterializedOntology::new(&os, fragment_concepts(&wn.schema, &k, fragment));
+    let mat = MaterializedOntology::new(
+        &os,
+        fragment_concepts_on(&wn.schema, &wn.instance, &k, fragment),
+    );
     exhaustive_search(&mat, wn).into_iter().next()
 }
 
@@ -86,7 +133,10 @@ pub fn all_mges_schema(
 ) -> Vec<Explanation<LsConcept>> {
     let os = SchemaOntology::new(wn.schema.clone());
     let k = wn.restriction_constants();
-    let mat = MaterializedOntology::new(&os, fragment_concepts(&wn.schema, &k, fragment));
+    let mat = MaterializedOntology::new(
+        &os,
+        fragment_concepts_on(&wn.schema, &wn.instance, &k, fragment),
+    );
     exhaustive_search(&mat, wn)
 }
 
@@ -150,6 +200,35 @@ mod tests {
         assert_eq!(min.len(), 1 + k.len() + 3);
         // plus 3·3·|K| equality selections.
         assert_eq!(eq.len(), min.len() + 9 * k.len());
+    }
+
+    #[test]
+    fn pruned_fragment_drops_only_empty_selections_and_keeps_all_mges() {
+        let wn = fd_wn();
+        let k = wn.restriction_constants();
+        let full = fragment_concepts(&wn.schema, &k, SchemaFragment::WithEqualitySelections);
+        let pruned = fragment_concepts_on(
+            &wn.schema,
+            &wn.instance,
+            &k,
+            SchemaFragment::WithEqualitySelections,
+        );
+        assert!(pruned.len() < full.len(), "pruning should bite here");
+        // Every dropped concept has an empty extension on the instance…
+        let pruned_set: BTreeSet<&LsConcept> = pruned.iter().collect();
+        for c in &full {
+            if !pruned_set.contains(c) {
+                assert!(
+                    c.extension(&wn.instance).is_empty(),
+                    "pruned a non-empty concept: {c:?}"
+                );
+            }
+        }
+        // …so the MGE set is unchanged (compare against the full fragment).
+        let os = SchemaOntology::new(wn.schema.clone());
+        let via_full = exhaustive_search(&MaterializedOntology::new(&os, full), &wn);
+        let via_pruned = all_mges_schema(&wn, SchemaFragment::WithEqualitySelections);
+        assert_eq!(via_full, via_pruned);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | answer sets `q(I)` | the query `q` | repeated queries with different missing tuples evaluate `q` once |
 //! | candidate concept indices | the position constant `aᵢ` | Algorithm 1 / `>card` per-position candidate lists (only the answer-conflict bits are per-question) |
 //! | `lub` / `lubσ` results | `(`[`LubKind`]`, support set)` | Algorithm 2's growth probes and MGE checks w.r.t. `OI` |
+//! | the pooled [`LubEngine`] columns | `(rel, attr)` (built once) | every lub-cache miss — fresh support sets probe interned column bitsets, never re-materialized columns |
 //! | `LS`-concept extensions | the concept | Algorithm 2's per-step explanation checks |
 //!
 //! Validation happens at the service boundary: a malformed question
@@ -76,7 +77,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::rc::Rc;
 use std::sync::Arc;
-use whynot_concepts::{try_lub, try_lub_sigma, Extension, ExtensionTable, LsConcept};
+use whynot_concepts::{Extension, ExtensionTable, LsConcept, LubEngine};
 use whynot_relation::{ConstPool, Instance, RelError, Schema, Tuple, Ucq, Value};
 
 /// One question of a batched stream: the query `q` and the missing tuple
@@ -179,6 +180,10 @@ pub struct SessionStats {
     /// Distinct `LS` concepts whose extensions are cached (Algorithm 2's
     /// candidates, including rejected growth probes).
     pub cached_ls_extensions: usize,
+    /// `(rel, attr)` column sets interned by the pooled lub engine —
+    /// bounded by the schema's total attribute count for the session's
+    /// whole lifetime, however many questions were answered.
+    pub lub_column_builds: usize,
 }
 
 /// A batched why-not service over one pinned `(ontology, instance)` pair.
@@ -200,6 +205,10 @@ pub struct WhyNotSession<'a, O: Ontology> {
     candidates: RefCell<BTreeMap<Value, Rc<Vec<usize>>>>,
     /// Answer sets keyed by query.
     answers: RefCell<HashMap<Ucq, Rc<BTreeSet<Tuple>>>>,
+    /// The pooled lub engine behind the lub cache: one interned column
+    /// set per `(rel, attr)` for the whole session, built on the first
+    /// lub miss.
+    lub_engine: OnceCell<LubEngine<'a>>,
     /// `lub` / `lubσ` results keyed by support set, one map per
     /// [`LubKind`] (so cache hits probe by reference, without cloning the
     /// support set — Algorithm 2's growth loop is lub-dominated).
@@ -235,6 +244,7 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
             finite: OnceCell::new(),
             candidates: RefCell::new(BTreeMap::new()),
             answers: RefCell::new(HashMap::new()),
+            lub_engine: OnceCell::new(),
             lubs: [RefCell::new(BTreeMap::new()), RefCell::new(BTreeMap::new())],
             ls_exts: RefCell::new(BTreeMap::new()),
             questions: Cell::new(0),
@@ -284,7 +294,17 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
             cached_candidates: self.candidates.borrow().len(),
             cached_lubs: self.lubs.iter().map(|m| m.borrow().len()).sum(),
             cached_ls_extensions: self.ls_exts.borrow().len(),
+            lub_column_builds: self.lub_engine.get().map_or(0, LubEngine::column_builds),
         }
+    }
+
+    /// The session's pooled lub engine, built (empty) on first use; its
+    /// column sets share the session pool, so they are interned at most
+    /// once per `(rel, attr)` across the whole question stream.
+    fn lub_engine(&self) -> &LubEngine<'a> {
+        self.lub_engine.get_or_init(|| {
+            LubEngine::with_pool(self.schema, self.ctx.instance(), Arc::clone(self.pool()))
+        })
     }
 
     /// The answers `q(I)`, evaluated once per distinct query.
@@ -312,15 +332,17 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
 
     /// The memoized lub for a support set known to be non-empty. Hits
     /// probe the per-kind map by reference; only a miss clones the
-    /// support set (as the inserted key).
+    /// support set (as the inserted key) and runs the pooled
+    /// [`LubEngine`], whose column sets are interned once per session.
     fn cached_lub(&self, kind: LubKind, support: &BTreeSet<Value>) -> LsConcept {
         let slot = &self.lubs[kind_slot(kind)];
         if let Some(hit) = slot.borrow().get(support) {
             return hit.clone();
         }
+        let engine = self.lub_engine();
         let computed = match kind {
-            LubKind::SelectionFree => try_lub(self.schema, self.instance(), support),
-            LubKind::WithSelections => try_lub_sigma(self.schema, self.instance(), support),
+            LubKind::SelectionFree => engine.try_lub(support),
+            LubKind::WithSelections => engine.try_lub_sigma(support),
         }
         .expect("support checked non-empty");
         slot.borrow_mut().insert(support.clone(), computed.clone());
@@ -664,6 +686,32 @@ mod tests {
         assert_eq!(session.questions_answered(), 12);
         // One distinct query → one cached answer set.
         assert_eq!(session.stats().cached_queries, 1);
+    }
+
+    #[test]
+    fn lub_columns_are_interned_at_most_once_per_session() {
+        let (o, schema, inst, tc) = fixture();
+        let session = WhyNotSession::new(&o, &schema, &inst);
+        // Before any lub ran, no columns were built.
+        assert_eq!(session.stats().lub_column_builds, 0);
+        let tuples = [
+            [s("Amsterdam"), s("New York")],
+            [s("Rome"), s("Tokyo")],
+            [s("Kyoto"), s("Amsterdam")],
+            [s("Santa Cruz"), s("Berlin")],
+        ];
+        for t in &tuples {
+            let q = WhyNotQuestion::new(two_hop(tc), t.clone());
+            for kind in [LubKind::SelectionFree, LubKind::WithSelections] {
+                let e = session.incremental(&q, kind).unwrap();
+                let _ = session.check_mge_instance(&q, &e, kind).unwrap();
+            }
+        }
+        // One relation of arity 2: at most 2 column sets, ever — the
+        // whole batch of growth probes shares the interned columns.
+        let stats = session.stats();
+        assert_eq!(stats.lub_column_builds, 2);
+        assert!(stats.cached_lubs > 2, "the batch did exercise the lubs");
     }
 
     #[test]

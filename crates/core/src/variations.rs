@@ -2,11 +2,12 @@
 //! irredundant and minimized explanations, cardinality-based preference,
 //! and strong explanations.
 
-use crate::incremental::{incremental_search_kind, LubKind};
+use crate::incremental::{engine_lub, incremental_search_kind, LubKind};
 use crate::ontology::{FiniteOntology, Ontology};
 use crate::whynot::{exts_form_explanation_q, Explanation, QuestionRef, WhyNotInstance};
 use std::collections::BTreeSet;
-use whynot_concepts::{lub, lub_sigma, simplify, Extension, ExtensionTable, LsAtom, LsConcept};
+use std::sync::Arc;
+use whynot_concepts::{simplify, Extension, ExtensionTable, LsAtom, LsConcept, LubEngine};
 use whynot_relation::{Cq, Term, Ucq, Value, Var};
 use whynot_subsumption::{satisfiable_under, ChaseLimits, Satisfiability};
 
@@ -69,14 +70,13 @@ pub fn minimize_concept(
         return Some(LsConcept::top());
     };
     // Candidate pool: every atom whose extension covers the target —
-    // exactly the lub's conjuncts — plus the original atoms.
+    // exactly the lub's conjuncts (computed through the pooled engine
+    // over the same shared pool) — plus the original atoms.
     let mut atom_pool: Vec<LsAtom> = Vec::new();
     if !target_set.is_empty() {
         let support: BTreeSet<_> = target_set.iter().cloned().collect();
-        let canonical = match kind {
-            LubKind::SelectionFree => lub(&wn.schema, inst, &support),
-            LubKind::WithSelections => lub_sigma(&wn.schema, inst, &support),
-        };
+        let engine = LubEngine::with_pool(&wn.schema, inst, Arc::clone(&pool));
+        let canonical = engine_lub(&engine, kind, &support);
         atom_pool.extend(canonical.parts().cloned());
     }
     for atom in concept.parts() {

@@ -133,10 +133,25 @@ impl Instance {
     }
 
     /// The set of values occurring in attribute position `attr` of `rel`.
+    ///
+    /// Materializes an owned tree per call; hot paths that probe the same
+    /// column repeatedly should hoist the result into a local, or go
+    /// through the borrowed [`Instance::column_refs`] / pooled
+    /// [`Instance::column_ids`](crate::ConstPool) accessors instead.
     pub fn column(&self, rel: RelId, attr: usize) -> BTreeSet<Value> {
         self.tuples(rel)
             .filter_map(|t| t.get(attr).cloned())
             .collect()
+    }
+
+    /// Borrowed column view: every value occurring in attribute position
+    /// `attr` of `rel`, by reference and with repetitions (tuples shorter
+    /// than `attr + 1` are skipped). The allocation-free counterpart of
+    /// [`Instance::column`] for consumers that deduplicate on their own
+    /// terms — e.g. by interning into a
+    /// [`ConstPool`](crate::ConstPool) bitset.
+    pub fn column_refs(&self, rel: RelId, attr: usize) -> impl Iterator<Item = &Value> + '_ {
+        self.tuples(rel).filter_map(move |t| t.get(attr))
     }
 
     /// Checks every tuple's arity against the schema.

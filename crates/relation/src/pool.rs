@@ -19,6 +19,7 @@
 //! overflow set, not by growing the pool.
 
 use crate::instance::Instance;
+use crate::schema::RelId;
 use crate::value::Value;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -247,6 +248,23 @@ impl Instance {
     pub fn const_pool_with(&self, extra: impl IntoIterator<Item = Value>) -> Arc<ConstPool> {
         Arc::new(ConstPool::for_instance_with(self, extra))
     }
+
+    /// The pooled column accessor: the deduplicated ids of every value in
+    /// attribute position `attr` of `rel`, ascending (id order is value
+    /// order). The interned counterpart of [`Instance::column`] — no
+    /// value clones, and the result indexes straight into bitsets over
+    /// `pool`. Values the pool does not intern are omitted; a pool built
+    /// by [`Instance::const_pool`] covers the whole active domain, so
+    /// nothing is omitted for this instance's own columns.
+    pub fn column_ids(&self, pool: &ConstPool, rel: RelId, attr: usize) -> Vec<ValueId> {
+        let mut ids: Vec<ValueId> = self
+            .column_refs(rel, attr)
+            .filter_map(|v| pool.id_of(v))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +301,26 @@ mod tests {
         let with = inst.const_pool_with([s("ghost")]);
         assert_eq!(with.len(), 4);
         assert!(with.contains(&s("ghost")));
+    }
+
+    #[test]
+    fn column_ids_are_sorted_deduplicated_and_pool_relative() {
+        let mut inst = Instance::new();
+        inst.insert(RelId(0), vec![s("b"), s("x")]);
+        inst.insert(RelId(0), vec![s("a"), s("x")]);
+        inst.insert(RelId(0), vec![s("b"), s("y")]);
+        let pool = inst.const_pool();
+        let ids = inst.column_ids(&pool, RelId(0), 0);
+        assert_eq!(ids.len(), 2);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        // Pooled ids resolve back to exactly the owned column's values.
+        let via_ids: BTreeSet<Value> = ids.iter().map(|&i| pool.value(i).clone()).collect();
+        assert_eq!(via_ids, inst.column(RelId(0), 0));
+        // Out-of-range attributes yield an empty column either way.
+        assert!(inst.column_ids(&pool, RelId(0), 5).is_empty());
+        // A non-covering pool omits the unknown values instead of failing.
+        let narrow = ConstPool::from_values([s("a")]);
+        assert_eq!(inst.column_ids(&narrow, RelId(0), 0).len(), 1);
     }
 
     #[test]

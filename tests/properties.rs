@@ -243,6 +243,69 @@ proptest! {
     }
 
     #[test]
+    fn pooled_lub_engine_is_observationally_equivalent_to_legacy(
+        inst in small_instance(),
+        supports in proptest::collection::vec(
+            proptest::collection::btree_set(-2i64..14, 1..4), 1..6),
+    ) {
+        // The pooled engine must agree with the legacy BTreeSet walk on
+        // every support set — including constants outside the active
+        // domain (the -2..0 and 12..14 slices never occur in the
+        // instance) — while interning each (rel, attr) column at most
+        // once for the whole batch.
+        let (schema, r, t) = fixed_schema();
+        let engine = whynot::concepts::LubEngine::new(&schema, &inst);
+        for raw in &supports {
+            let support: BTreeSet<Value> = raw.iter().map(|&n| Value::int(n)).collect();
+            prop_assert_eq!(
+                engine.lub(&support),
+                lub(&schema, &inst, &support),
+                "lub disagrees on {:?}", &support
+            );
+            prop_assert_eq!(
+                engine.lub_sigma(&support),
+                lub_sigma(&schema, &inst, &support),
+                "lubσ disagrees on {:?}", &support
+            );
+        }
+        let _ = (r, t);
+        prop_assert!(engine.column_builds() <= 5, "R has 3 columns, T has 2");
+    }
+
+    #[test]
+    fn pooled_lub_engine_matches_legacy_on_city_workloads(
+        seed in 0u64..32,
+        picks in proptest::collection::vec(
+            proptest::collection::btree_set(0usize..24, 1..4), 1..4),
+    ) {
+        // Same equivalence over the bench generators' city networks: the
+        // supports are real city names (plus one ghost mixed in), the
+        // instance is the scaled train-connection graph.
+        let net = whynot::scenarios::generators::city_network(24, 4, seed);
+        let wn = &net.why_not;
+        let engine = whynot::concepts::LubEngine::new(&wn.schema, &wn.instance);
+        for (i, pick) in picks.iter().enumerate() {
+            let mut support: BTreeSet<Value> = pick
+                .iter()
+                .map(|&c| Value::str(whynot::scenarios::generators::city_name(c)))
+                .collect();
+            if i == 0 {
+                support.insert(Value::str("ghost-city"));
+            }
+            prop_assert_eq!(
+                engine.lub(&support),
+                lub(&wn.schema, &wn.instance, &support)
+            );
+            prop_assert_eq!(
+                engine.lub_sigma(&support),
+                lub_sigma(&wn.schema, &wn.instance, &support)
+            );
+        }
+        // Train-Connections has two columns; nothing is ever rebuilt.
+        prop_assert!(engine.column_builds() <= 2);
+    }
+
+    #[test]
     fn simplify_preserves_extension(
         inst in small_instance(),
         concept in small_concept(),
