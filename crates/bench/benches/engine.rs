@@ -10,7 +10,7 @@
 //! acceptance criterion asks for ≥ 3×).
 
 use std::collections::BTreeSet;
-use std::time::Instant;
+use whynot_bench::median_ns;
 use whynot_core::{
     exhaustive_search, retain_most_general, Explanation, FiniteOntology, WhyNotInstance,
 };
@@ -133,19 +133,6 @@ fn baseline_exhaustive_search<O: FiniteOntology>(
 // ---------------------------------------------------------------------
 // Measurement
 // ---------------------------------------------------------------------
-
-fn median_ns(mut f: impl FnMut(), runs: usize) -> f64 {
-    f(); // warm-up
-    let mut samples: Vec<f64> = (0..runs)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_nanos() as f64
-        })
-        .collect();
-    samples.sort_by(|a, b| a.total_cmp(b));
-    samples[samples.len() / 2]
-}
 
 fn main() {
     let sizes = [64usize, 128, 256, 512, 768];

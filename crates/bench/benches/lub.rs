@@ -14,7 +14,7 @@
 //! plus the speedup on the largest selection-free workload.
 
 use std::collections::BTreeSet;
-use std::time::Instant;
+use whynot_bench::median_ns;
 use whynot_concepts::{lub, lub_sigma, Extension, LsConcept};
 use whynot_core::{
     exts_form_explanation, incremental_search_kind, Explanation, LubKind, WhyNotInstance,
@@ -61,19 +61,6 @@ fn baseline_incremental(wn: &WhyNotInstance, kind: LubKind) -> Explanation<LsCon
         }
     }
     Explanation::new(concepts)
-}
-
-fn median_ns(mut f: impl FnMut(), runs: usize) -> f64 {
-    f(); // warm-up
-    let mut samples: Vec<f64> = (0..runs)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_nanos() as f64
-        })
-        .collect();
-    samples.sort_by(|a, b| a.total_cmp(b));
-    samples[samples.len() / 2]
 }
 
 fn main() {

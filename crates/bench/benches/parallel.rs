@@ -1,0 +1,155 @@
+//! Parallel execution subsystem: the batched session fan-out and the
+//! exhaustive-search shard vs their sequential counterparts.
+//!
+//! Two measurements, both over `scenarios::generators` workloads:
+//!
+//! 1. **Batch fan-out** — `WhyNotSession::answer_batch_with` at 1/2/4/8
+//!    worker threads against the sequential session loop (one
+//!    `session.exhaustive(q)` call per question) on the batched city
+//!    workload. Answer parity is asserted before anything is timed.
+//! 2. **Exhaustive shard** — `exhaustive_search_parallel` (candidate
+//!    conflict bits + first product level sharded) against
+//!    `exhaustive_search` on the largest city workload's single question.
+//!
+//! Run with `cargo bench -p whynot-bench --bench parallel`. Results land
+//! in `BENCH_parallel.json` at the workspace root, including the
+//! machine's `available_parallelism`: thread counts beyond the hardware's
+//! cannot yield wall-clock speedup, so read the speedup columns relative
+//! to that field (a 1-core CI container will honestly report ~1× at
+//! every thread count while still proving bit-for-bit answer parity).
+
+use whynot_bench::median_ns;
+use whynot_core::{exhaustive_search, exhaustive_search_parallel, Executor, WhyNotSession};
+use whynot_scenarios::generators::{batched_city_workload, city_network, BatchedWorkload};
+
+/// The sequential reference: one session, one question at a time.
+fn sequential_session(w: &BatchedWorkload) -> usize {
+    let session = WhyNotSession::new(&w.ontology, &w.schema, &w.instance);
+    w.questions
+        .iter()
+        .filter(|q| !session.exhaustive(q).expect("valid workload").is_empty())
+        .count()
+}
+
+/// The batch fan-out at a given worker count.
+fn batched_session(w: &BatchedWorkload, exec: &Executor) -> usize {
+    let session = WhyNotSession::new(&w.ontology, &w.schema, &w.instance);
+    session
+        .answer_batch_with(exec, &w.questions)
+        .into_iter()
+        .filter(|r| !r.as_ref().expect("valid workload").is_empty())
+        .count()
+}
+
+fn main() {
+    let hardware = std::thread::available_parallelism().map_or(1, usize::from);
+    let thread_counts = [1usize, 2, 4, 8];
+    let runs = 5;
+    let mut rows: Vec<String> = Vec::new();
+
+    // ------------------------------------------------------------------
+    // 1. Batch fan-out on the batched city workload.
+    // ------------------------------------------------------------------
+    let (cities, regions, n_questions) = (192usize, 8usize, 200usize);
+    let w = batched_city_workload(cities, regions, n_questions, 42);
+    println!(
+        "parallel batch: {n_questions} questions over {cities} cities \
+         (hardware threads: {hardware})"
+    );
+    println!("{:>8} {:>14} {:>9}", "threads", "batch (ms)", "speedup");
+
+    // Parity first: every thread count must reproduce the sequential
+    // answers bit for bit (the full equality is asserted in the test
+    // suite; the bench cross-checks the summary).
+    let reference = sequential_session(&w);
+    for &t in &thread_counts {
+        assert_eq!(
+            batched_session(&w, &Executor::with_threads(t)),
+            reference,
+            "parity broke at {t} threads"
+        );
+    }
+
+    let t_seq = median_ns(
+        || {
+            std::hint::black_box(sequential_session(&w));
+        },
+        runs,
+    );
+    println!("{:>8} {:>14.3} {:>8.2}x", "seq", t_seq / 1e6, 1.0);
+    let mut speedup_at = std::collections::BTreeMap::new();
+    for &t in &thread_counts {
+        let exec = Executor::with_threads(t);
+        let t_batch = median_ns(
+            || {
+                std::hint::black_box(batched_session(&w, &exec));
+            },
+            runs,
+        );
+        let speedup = t_seq / t_batch;
+        speedup_at.insert(t, speedup);
+        println!("{t:>8} {:>14.3} {speedup:>8.2}x", t_batch / 1e6);
+        rows.push(format!(
+            "  {{\"bench\": \"answer_batch\", \"workload\": \"batched_city_workload\", \
+             \"cities\": {cities}, \"questions\": {n_questions}, \"threads\": {t}, \
+             \"sequential_ns\": {t_seq:.0}, \"batch_ns\": {t_batch:.0}, \
+             \"speedup\": {speedup:.2}}}"
+        ));
+    }
+
+    // ------------------------------------------------------------------
+    // 2. The exhaustive-search shard on the largest city workload.
+    // ------------------------------------------------------------------
+    let net = city_network(384, 8, 42);
+    let seq_result = exhaustive_search(&net.ontology, &net.why_not);
+    println!("\nexhaustive shard: 384 cities, single question");
+    println!("{:>8} {:>14} {:>9}", "threads", "search (ms)", "speedup");
+    let t_one = median_ns(
+        || {
+            std::hint::black_box(exhaustive_search(&net.ontology, &net.why_not));
+        },
+        runs,
+    );
+    println!("{:>8} {:>14.3} {:>8.2}x", "seq", t_one / 1e6, 1.0);
+    for &t in &thread_counts {
+        let exec = Executor::with_threads(t);
+        assert_eq!(
+            exhaustive_search_parallel(&net.ontology, &net.why_not, &exec),
+            seq_result,
+            "shard parity broke at {t} threads"
+        );
+        let t_par = median_ns(
+            || {
+                std::hint::black_box(exhaustive_search_parallel(
+                    &net.ontology,
+                    &net.why_not,
+                    &exec,
+                ));
+            },
+            runs,
+        );
+        let speedup = t_one / t_par;
+        println!("{t:>8} {:>14.3} {speedup:>8.2}x", t_par / 1e6);
+        rows.push(format!(
+            "  {{\"bench\": \"exhaustive_shard\", \"workload\": \"city_network\", \
+             \"cities\": 384, \"threads\": {t}, \"sequential_ns\": {t_one:.0}, \
+             \"parallel_ns\": {t_par:.0}, \"speedup\": {speedup:.2}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n\"bench\": \"parallel\",\n\"unit\": \"ns median of {runs}\",\n\
+         \"available_parallelism\": {hardware},\n\"results\": [\n{}\n],\n\
+         \"batch_speedup_at_4_threads\": {:.2},\n\
+         \"note\": \"speedup is bounded by available_parallelism; a 1-core \
+         container reports ~1x while still asserting bit-for-bit parity\"\n}}\n",
+        rows.join(",\n"),
+        speedup_at.get(&4).copied().unwrap_or(0.0),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(path, &json).expect("write BENCH_parallel.json");
+    println!("\nwrote {path}");
+    if hardware >= 4 && speedup_at.get(&4).copied().unwrap_or(0.0) < 2.0 {
+        println!("WARNING: expected >= 2x at 4 threads on >= 4 hardware threads");
+    }
+}

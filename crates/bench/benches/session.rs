@@ -15,7 +15,7 @@
 //! plus the speedup on the largest size (the acceptance criterion asks
 //! for session reuse to beat fresh-per-question).
 
-use std::time::Instant;
+use whynot_bench::median_ns;
 use whynot_core::{exhaustive_search, WhyNotInstance, WhyNotSession};
 use whynot_scenarios::generators::{batched_city_workload, BatchedWorkload};
 
@@ -51,19 +51,6 @@ fn through_session(w: &BatchedWorkload) -> usize {
         }
     }
     with_explanation
-}
-
-fn median_ns(mut f: impl FnMut(), runs: usize) -> f64 {
-    f(); // warm-up
-    let mut samples: Vec<f64> = (0..runs)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_nanos() as f64
-        })
-        .collect();
-    samples.sort_by(|a, b| a.total_cmp(b));
-    samples[samples.len() / 2]
 }
 
 fn main() {

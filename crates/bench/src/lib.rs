@@ -18,3 +18,20 @@ pub fn quick() -> Criterion {
         .measurement_time(Duration::from_millis(800))
         .configure_from_args()
 }
+
+/// Median wall-clock nanoseconds of `runs` invocations of `f`, after one
+/// unmeasured warm-up call. The single timing helper shared by the
+/// hand-rolled JSON-emitting bench targets (`engine`, `session`, `lub`,
+/// `parallel`), so the methodology cannot drift between them.
+pub fn median_ns(mut f: impl FnMut(), runs: usize) -> f64 {
+    f(); // warm-up
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}

@@ -27,7 +27,9 @@
 //! * [`LubEngine`] — the pooled lub engine: one interned column bitset
 //!   per `(rel, attr)` built exactly once, with Lemma 5.1's covering
 //!   test and Lemma 5.2's minimal-box enumeration running word-parallel
-//!   in [`ValueId`](whynot_relation::ValueId) space, and
+//!   in [`ValueId`](whynot_relation::ValueId) space, plus its frozen
+//!   `Send + Sync` [`LubView`] (the [`LubProvider`] trait abstracts
+//!   over both) for the parallel search shards, and
 //! * [`irredundant`] / [`simplify`] — polynomial-time irredundant
 //!   equivalents (Proposition 6.2).
 
@@ -45,7 +47,7 @@ mod table;
 pub use concept::{LsAtom, LsConcept};
 pub use extension::{Extension, ValueSet, ValueSetIter};
 pub use lub::{lub, lub_extension, lub_sigma, selection_free_atom_count, try_lub, try_lub_sigma};
-pub use lub_engine::LubEngine;
+pub use lub_engine::{LubEngine, LubProvider, LubView};
 pub use minimize::{irredundant, simplify, simplify_selections};
 pub use parse::{parse_concept, parse_value, ParseError};
 pub use selection::{SelConstraint, Selection};

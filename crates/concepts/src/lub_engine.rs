@@ -60,7 +60,6 @@ use crate::lub::retain_minimal;
 use crate::selection::Selection;
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
 use std::sync::Arc;
 use whynot_relation::{Attr, ConstPool, Instance, RelId, Schema, Value, ValueId};
 
@@ -165,7 +164,7 @@ pub struct LubEngine<'a> {
     schema: &'a Schema,
     inst: &'a Instance,
     pool: Arc<ConstPool>,
-    rels: RefCell<BTreeMap<RelId, Rc<RelColumns>>>,
+    rels: RefCell<BTreeMap<RelId, Arc<RelColumns>>>,
     column_builds: Cell<usize>,
 }
 
@@ -230,17 +229,11 @@ impl<'a> LubEngine<'a> {
         if x.is_empty() {
             return None;
         }
-        let mut atoms = self.nominal_start(x);
-        let support = self.intern_support(x);
+        let mut atoms = nominal_start(x);
+        let support = intern_support(&self.pool, x);
         if support.all_pooled() {
             for rel in self.schema.rel_ids() {
-                let rc = self.rel_columns(rel);
-                for (attr, col) in rc.cols.iter().enumerate() {
-                    // Lemma 5.1's covering-atom test, word-parallel.
-                    if words_subset(support.words(), &col.words) {
-                        atoms.push(LsAtom::proj(rel, attr));
-                    }
-                }
+                push_covering_atoms(rel, &self.rel_columns(rel), &support, &mut atoms);
             }
         }
         Some(LsConcept::from_atoms(atoms))
@@ -251,49 +244,49 @@ impl<'a> LubEngine<'a> {
         if x.is_empty() {
             return None;
         }
-        let mut atoms = self.nominal_start(x);
-        let support = self.intern_support(x);
+        let mut atoms = nominal_start(x);
+        let support = intern_support(&self.pool, x);
         if support.all_pooled() {
             let mut scratch = vec![0u64; self.pool.word_len()];
             for rel in self.schema.rel_ids() {
-                let rc = self.rel_columns(rel);
-                for attr in 0..rc.cols.len() {
-                    for bx in self.minimal_boxes(&rc, attr, &support, &mut scratch) {
-                        atoms.push(self.box_atom(rel, &rc, attr, &bx));
-                    }
-                }
+                push_box_atoms(
+                    &self.pool,
+                    rel,
+                    &self.rel_columns(rel),
+                    &support,
+                    &mut scratch,
+                    &mut atoms,
+                );
             }
         }
         Some(LsConcept::from_atoms(atoms))
     }
 
-    /// The nominal atom of a singleton support (both lub variants start
-    /// from it).
-    fn nominal_start(&self, x: &BTreeSet<Value>) -> Vec<LsAtom> {
-        if x.len() == 1 {
-            vec![LsAtom::Nominal(x.iter().next().expect("non-empty").clone())]
-        } else {
-            Vec::new()
-        }
-    }
-
-    /// Interns a support set into pool bits, through the same
-    /// [`ValueSet`] machinery the extension engine uses.
-    fn intern_support(&self, x: &BTreeSet<Value>) -> Support {
-        Support {
-            set: ValueSet::collect_refs_in(Arc::clone(&self.pool), x.iter()),
+    /// Freezes the engine into a read-only [`LubView`] safe to share
+    /// across worker threads: every relation's columns are interned now
+    /// (counted against [`LubEngine::column_builds`] exactly as lazy use
+    /// would — at most once per `(rel, attr)`), and the view carries
+    /// only `Arc`s of the finished data.
+    pub fn freeze(&self) -> LubView {
+        LubView {
+            pool: Arc::clone(&self.pool),
+            rels: self
+                .schema
+                .rel_ids()
+                .map(|rel| (rel, self.rel_columns(rel)))
+                .collect(),
         }
     }
 
     /// The interned column data of one relation, built on first use.
-    fn rel_columns(&self, rel: RelId) -> Rc<RelColumns> {
+    fn rel_columns(&self, rel: RelId) -> Arc<RelColumns> {
         if let Some(hit) = self.rels.borrow().get(&rel) {
-            return Rc::clone(hit);
+            return Arc::clone(hit);
         }
-        let built = Rc::new(self.build_rel(rel));
+        let built = Arc::new(self.build_rel(rel));
         self.column_builds
             .set(self.column_builds.get() + built.cols.len());
-        self.rels.borrow_mut().insert(rel, Rc::clone(&built));
+        self.rels.borrow_mut().insert(rel, Arc::clone(&built));
         built
     }
 
@@ -330,63 +323,233 @@ impl<'a> LubEngine<'a> {
         }
         RelColumns { rows, cols }
     }
+}
 
-    /// Lemma 5.2's minimal-box enumeration in id space (cf. the legacy
-    /// `minimal_boxes` over owned trees in [`crate::lub`]).
-    fn minimal_boxes(
-        &self,
-        rc: &RelColumns,
-        attr: Attr,
-        support: &Support,
-        scratch: &mut [u64],
-    ) -> Vec<IdBox> {
-        // Witness rows: those whose `attr` coordinate lies in X.
-        let witnesses: Vec<&[ValueId]> = rc
-            .rows
-            .iter()
-            .filter(|r| r.get(attr).is_some_and(|&id| support.contains(id)))
-            .map(|r| r.as_slice())
-            .collect();
-        if witnesses.is_empty() {
-            return Vec::new();
-        }
-        let arity = witnesses[0].len();
-        let all: Vec<usize> = (0..witnesses.len()).collect();
-        if !covers_support(&witnesses, &all, attr, support, scratch) {
-            return Vec::new();
-        }
-        let mut out: Vec<IdBox> = Vec::new();
-        enumerate_boxes(
-            &witnesses,
-            support,
-            attr,
-            arity,
-            0,
-            all,
-            Vec::new(),
-            &mut out,
-            scratch,
-        );
-        retain_minimal(out)
+/// A read-only snapshot of a [`LubEngine`]'s interned columns, safe to
+/// share across worker threads (`Send + Sync`): the parallel search
+/// shards freeze the engine once, fan the growth probes out, and every
+/// worker computes lubs against the same column bitsets — built at most
+/// once per `(rel, attr)` for the engine *and* all its views together.
+///
+/// Obtained from [`LubEngine::freeze`]; observationally equivalent to
+/// the engine it was frozen from (proven by tests).
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::BTreeSet;
+/// use whynot_concepts::LubEngine;
+/// use whynot_relation::{Instance, SchemaBuilder, Value};
+///
+/// let mut b = SchemaBuilder::new();
+/// let tc = b.relation("TC", ["from", "to"]);
+/// let schema = b.finish().unwrap();
+/// let mut inst = Instance::new();
+/// inst.insert(tc, vec![Value::str("Amsterdam"), Value::str("Berlin")]);
+///
+/// let engine = LubEngine::new(&schema, &inst);
+/// let view = engine.freeze(); // Send + Sync
+/// let x: BTreeSet<Value> = [Value::str("Amsterdam")].into_iter().collect();
+/// assert_eq!(view.lub(&x), engine.lub(&x));
+/// ```
+#[derive(Clone)]
+pub struct LubView {
+    pool: Arc<ConstPool>,
+    /// Every schema relation's interned columns, in `RelId` order.
+    rels: Vec<(RelId, Arc<RelColumns>)>,
+}
+
+impl LubView {
+    /// The shared pool the columns are interned into.
+    pub fn pool(&self) -> &Arc<ConstPool> {
+        &self.pool
     }
 
-    /// Resolves an id box into the atom `π_attr(σ_box(R))`, dropping the
-    /// constraints whose interval spans the whole column (precomputed
-    /// per-relation bounds, compared as ids).
-    fn box_atom(&self, rel: RelId, rc: &RelColumns, attr: Attr, bx: &IdBox) -> LsAtom {
-        let mut bounds: Vec<(Attr, Value, Value)> = Vec::new();
-        for (j, &(lo, hi)) in bx.iter().enumerate() {
-            let spans_column = rc
-                .cols
-                .get(j)
-                .and_then(|c| c.bounds)
-                .is_some_and(|(min, max)| min == lo && max == hi);
-            if !spans_column {
-                bounds.push((j, self.pool.value(lo).clone(), self.pool.value(hi).clone()));
+    /// `lub_I(X)` (Lemma 5.1); see [`LubEngine::lub`].
+    ///
+    /// # Panics
+    /// Panics if `x` is empty; see [`LubView::try_lub`].
+    pub fn lub(&self, x: &BTreeSet<Value>) -> LsConcept {
+        self.try_lub(x)
+            .expect("lub of an empty support set is undefined")
+    }
+
+    /// `lubσ_I(X)` (Lemma 5.2); see [`LubEngine::lub_sigma`].
+    ///
+    /// # Panics
+    /// Panics if `x` is empty; see [`LubView::try_lub_sigma`].
+    pub fn lub_sigma(&self, x: &BTreeSet<Value>) -> LsConcept {
+        self.try_lub_sigma(x)
+            .expect("lub of an empty support set is undefined")
+    }
+
+    /// Non-panicking [`LubView::lub`]: `None` iff `x` is empty.
+    pub fn try_lub(&self, x: &BTreeSet<Value>) -> Option<LsConcept> {
+        if x.is_empty() {
+            return None;
+        }
+        let mut atoms = nominal_start(x);
+        let support = intern_support(&self.pool, x);
+        if support.all_pooled() {
+            for (rel, rc) in &self.rels {
+                push_covering_atoms(*rel, rc, &support, &mut atoms);
             }
         }
-        LsAtom::proj_sel(rel, attr, Selection::from_box(bounds))
+        Some(LsConcept::from_atoms(atoms))
     }
+
+    /// Non-panicking [`LubView::lub_sigma`]: `None` iff `x` is empty.
+    pub fn try_lub_sigma(&self, x: &BTreeSet<Value>) -> Option<LsConcept> {
+        if x.is_empty() {
+            return None;
+        }
+        let mut atoms = nominal_start(x);
+        let support = intern_support(&self.pool, x);
+        if support.all_pooled() {
+            let mut scratch = vec![0u64; self.pool.word_len()];
+            for (rel, rc) in &self.rels {
+                push_box_atoms(&self.pool, *rel, rc, &support, &mut scratch, &mut atoms);
+            }
+        }
+        Some(LsConcept::from_atoms(atoms))
+    }
+}
+
+/// The common interface of [`LubEngine`] and [`LubView`]: the search
+/// algorithms are generic over it, so one code path serves the lazily
+/// caching single-threaded engine and its frozen multi-thread view.
+pub trait LubProvider {
+    /// The shared pool lub extensions and column bitsets index.
+    fn pool(&self) -> &Arc<ConstPool>;
+    /// Non-panicking `lub_I(X)` (Lemma 5.1): `None` iff `x` is empty.
+    fn try_lub(&self, x: &BTreeSet<Value>) -> Option<LsConcept>;
+    /// Non-panicking `lubσ_I(X)` (Lemma 5.2): `None` iff `x` is empty.
+    fn try_lub_sigma(&self, x: &BTreeSet<Value>) -> Option<LsConcept>;
+}
+
+impl LubProvider for LubEngine<'_> {
+    fn pool(&self) -> &Arc<ConstPool> {
+        LubEngine::pool(self)
+    }
+    fn try_lub(&self, x: &BTreeSet<Value>) -> Option<LsConcept> {
+        LubEngine::try_lub(self, x)
+    }
+    fn try_lub_sigma(&self, x: &BTreeSet<Value>) -> Option<LsConcept> {
+        LubEngine::try_lub_sigma(self, x)
+    }
+}
+
+impl LubProvider for LubView {
+    fn pool(&self) -> &Arc<ConstPool> {
+        LubView::pool(self)
+    }
+    fn try_lub(&self, x: &BTreeSet<Value>) -> Option<LsConcept> {
+        LubView::try_lub(self, x)
+    }
+    fn try_lub_sigma(&self, x: &BTreeSet<Value>) -> Option<LsConcept> {
+        LubView::try_lub_sigma(self, x)
+    }
+}
+
+/// The nominal atom of a singleton support (both lub variants start
+/// from it).
+fn nominal_start(x: &BTreeSet<Value>) -> Vec<LsAtom> {
+    if x.len() == 1 {
+        vec![LsAtom::Nominal(x.iter().next().expect("non-empty").clone())]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Interns a support set into pool bits, through the same [`ValueSet`]
+/// machinery the extension engine uses.
+fn intern_support(pool: &Arc<ConstPool>, x: &BTreeSet<Value>) -> Support {
+    Support {
+        set: ValueSet::collect_refs_in(Arc::clone(pool), x.iter()),
+    }
+}
+
+/// Lemma 5.1 over one relation: pushes `π_attr(R)` for every column
+/// whose occurrence bitset covers the support (word-parallel inclusion).
+fn push_covering_atoms(rel: RelId, rc: &RelColumns, support: &Support, atoms: &mut Vec<LsAtom>) {
+    for (attr, col) in rc.cols.iter().enumerate() {
+        if words_subset(support.words(), &col.words) {
+            atoms.push(LsAtom::proj(rel, attr));
+        }
+    }
+}
+
+/// Lemma 5.2 over one relation: pushes `π_attr(σ_box(R))` for every
+/// minimal covering box of every attribute.
+fn push_box_atoms(
+    pool: &ConstPool,
+    rel: RelId,
+    rc: &RelColumns,
+    support: &Support,
+    scratch: &mut [u64],
+    atoms: &mut Vec<LsAtom>,
+) {
+    for attr in 0..rc.cols.len() {
+        for bx in minimal_boxes(rc, attr, support, scratch) {
+            atoms.push(box_atom(pool, rel, rc, attr, &bx));
+        }
+    }
+}
+
+/// Lemma 5.2's minimal-box enumeration in id space (cf. the legacy
+/// `minimal_boxes` over owned trees in [`crate::lub`]).
+fn minimal_boxes(
+    rc: &RelColumns,
+    attr: Attr,
+    support: &Support,
+    scratch: &mut [u64],
+) -> Vec<IdBox> {
+    // Witness rows: those whose `attr` coordinate lies in X.
+    let witnesses: Vec<&[ValueId]> = rc
+        .rows
+        .iter()
+        .filter(|r| r.get(attr).is_some_and(|&id| support.contains(id)))
+        .map(|r| r.as_slice())
+        .collect();
+    if witnesses.is_empty() {
+        return Vec::new();
+    }
+    let arity = witnesses[0].len();
+    let all: Vec<usize> = (0..witnesses.len()).collect();
+    if !covers_support(&witnesses, &all, attr, support, scratch) {
+        return Vec::new();
+    }
+    let mut out: Vec<IdBox> = Vec::new();
+    enumerate_boxes(
+        &witnesses,
+        support,
+        attr,
+        arity,
+        0,
+        all,
+        Vec::new(),
+        &mut out,
+        scratch,
+    );
+    retain_minimal(out)
+}
+
+/// Resolves an id box into the atom `π_attr(σ_box(R))`, dropping the
+/// constraints whose interval spans the whole column (precomputed
+/// per-relation bounds, compared as ids).
+fn box_atom(pool: &ConstPool, rel: RelId, rc: &RelColumns, attr: Attr, bx: &IdBox) -> LsAtom {
+    let mut bounds: Vec<(Attr, Value, Value)> = Vec::new();
+    for (j, &(lo, hi)) in bx.iter().enumerate() {
+        let spans_column = rc
+            .cols
+            .get(j)
+            .and_then(|c| c.bounds)
+            .is_some_and(|(min, max)| min == lo && max == hi);
+        if !spans_column {
+            bounds.push((j, pool.value(lo).clone(), pool.value(hi).clone()));
+        }
+    }
+    LsAtom::proj_sel(rel, attr, Selection::from_box(bounds))
 }
 
 /// Whether the surviving witnesses still cover every element of `X`:
@@ -571,5 +734,61 @@ mod tests {
     fn panicking_variant_matches_legacy_contract() {
         let (schema, inst) = paper_fixture();
         LubEngine::new(&schema, &inst).lub(&BTreeSet::new());
+    }
+
+    #[test]
+    fn frozen_view_matches_the_engine_on_every_support() {
+        let (schema, inst) = paper_fixture();
+        let engine = LubEngine::new(&schema, &inst);
+        let view = engine.freeze();
+        for x in supports() {
+            assert_eq!(view.try_lub(&x), engine.try_lub(&x), "lub disagrees: {x:?}");
+            assert_eq!(
+                view.try_lub_sigma(&x),
+                engine.try_lub_sigma(&x),
+                "lubσ disagrees: {x:?}"
+            );
+        }
+        assert_eq!(view.try_lub(&BTreeSet::new()), None);
+        assert_eq!(view.try_lub_sigma(&BTreeSet::new()), None);
+    }
+
+    #[test]
+    fn freeze_counts_each_column_once_and_shares_with_later_lubs() {
+        let (schema, inst) = paper_fixture();
+        let engine = LubEngine::new(&schema, &inst);
+        let _view = engine.freeze();
+        // Freezing interned every column: 4 (Cities) + 2 (TC).
+        assert_eq!(engine.column_builds(), 6);
+        // Neither later engine lubs nor a second freeze rebuild anything.
+        for x in supports() {
+            let _ = engine.try_lub(&x);
+            let _ = engine.try_lub_sigma(&x);
+        }
+        let _again = engine.freeze();
+        assert_eq!(engine.column_builds(), 6);
+    }
+
+    #[test]
+    fn views_are_send_sync_and_usable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LubView>();
+
+        let (schema, inst) = paper_fixture();
+        let engine = LubEngine::new(&schema, &inst);
+        let view = engine.freeze();
+        let xs = supports();
+        let sequential: Vec<_> = xs.iter().map(|x| view.try_lub_sigma(x)).collect();
+        let threaded: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = xs
+                .iter()
+                .map(|x| {
+                    let view = &view;
+                    s.spawn(move || view.try_lub_sigma(x))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(sequential, threaded);
     }
 }

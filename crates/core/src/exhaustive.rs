@@ -15,8 +15,16 @@ use crate::ontology::FiniteOntology;
 use crate::whynot::{
     exts_form_explanation_q, less_general, Explanation, QuestionRef, WhyNotInstance,
 };
-use whynot_concepts::{Extension, ExtensionTable};
-use whynot_relation::Value;
+use std::sync::Arc;
+use whynot_concepts::{Extension, ExtensionTable, Probe};
+use whynot_parallel::Executor;
+use whynot_relation::{Tuple, Value};
+
+/// Below this many membership probes (candidates × answers) at a
+/// position, the conflict bits are computed inline: the executor spawns
+/// fresh scoped threads per call, whose spawn/join cost (tens of µs)
+/// only amortizes over a probe loop at least that large.
+const PAR_PROBE_THRESHOLD: usize = 1 << 15;
 
 /// Per-position candidate concepts with precomputed answer-conflict
 /// bitsets.
@@ -44,10 +52,27 @@ pub(crate) fn candidate_indices(table: &ExtensionTable, count: usize, a: &Value)
 pub(crate) fn build_candidates_with<C: Clone>(
     all: &[C],
     table: &ExtensionTable,
-    mut indices_for: impl FnMut(&Value) -> std::rc::Rc<Vec<usize>>,
+    indices_for: impl FnMut(&Value) -> Arc<Vec<usize>>,
     q: QuestionRef<'_>,
 ) -> Option<Vec<Candidates<C>>> {
-    let ans: Vec<&whynot_relation::Tuple> = q.ans.iter().collect();
+    build_candidates_exec(all, table, indices_for, q, None)
+}
+
+/// [`build_candidates_with`] with an optional executor: the per-candidate
+/// conflict-bit loops — the `O(candidates × answers)` inner product that
+/// dominates Algorithm 1's setup on large instances — are sharded across
+/// the executor's workers. The candidate index lists and probes are
+/// resolved sequentially first (they may touch session caches), so the
+/// fan-out reads only the shared [`ExtensionTable`]; results land by
+/// candidate index, making the output identical to the sequential build.
+pub(crate) fn build_candidates_exec<C: Clone>(
+    all: &[C],
+    table: &ExtensionTable,
+    mut indices_for: impl FnMut(&Value) -> Arc<Vec<usize>>,
+    q: QuestionRef<'_>,
+    exec: Option<&Executor>,
+) -> Option<Vec<Candidates<C>>> {
+    let ans: Vec<&Tuple> = q.ans.iter().collect();
     let words = ans.len().div_ceil(64);
     let mut out = Vec::with_capacity(q.arity());
     for (i, a_i) in q.tuple.iter().enumerate() {
@@ -56,24 +81,48 @@ pub(crate) fn build_candidates_with<C: Clone>(
             return None; // no concept covers a_i: no explanation exists
         }
         // Intern this position's answer values once.
-        let probes: Vec<_> = ans.iter().map(|t| table.probe(&t[i])).collect();
-        let mut cands = Candidates {
-            concepts: Vec::with_capacity(idxs.len()),
-            conflicts: Vec::with_capacity(idxs.len()),
-        };
-        for &k in idxs.iter() {
-            let mut bits = vec![0u64; words];
-            for (j, (t, probe)) in ans.iter().zip(&probes).enumerate() {
-                if table.entry_contains(k, probe, &t[i]) {
-                    bits[j / 64] |= 1 << (j % 64);
-                }
+        let probes: Vec<Probe> = ans.iter().map(|t| table.probe(&t[i])).collect();
+        let conflicts: Vec<Vec<u64>> = match exec {
+            Some(e)
+                if e.threads() > 1
+                    && idxs.len() > 1
+                    && idxs.len().saturating_mul(ans.len()) >= PAR_PROBE_THRESHOLD =>
+            {
+                e.par_map_index(idxs.len(), |ki| {
+                    conflict_bits(table, idxs[ki], i, &ans, &probes, words)
+                })
             }
-            cands.concepts.push(all[k].clone());
-            cands.conflicts.push(bits);
-        }
-        out.push(cands);
+            _ => idxs
+                .iter()
+                .map(|&k| conflict_bits(table, k, i, &ans, &probes, words))
+                .collect(),
+        };
+        out.push(Candidates {
+            concepts: idxs.iter().map(|&k| all[k].clone()).collect(),
+            conflicts,
+        });
     }
     Some(out)
+}
+
+/// One candidate's answer-conflict bitset at one position: bit `j` set
+/// iff answer tuple `j`'s value there lies in the candidate's extension.
+/// Shared verbatim by the sequential and parallel builds.
+fn conflict_bits(
+    table: &ExtensionTable,
+    k: usize,
+    position: usize,
+    ans: &[&Tuple],
+    probes: &[Probe],
+    words: usize,
+) -> Vec<u64> {
+    let mut bits = vec![0u64; words];
+    for (j, (t, probe)) in ans.iter().zip(probes).enumerate() {
+        if table.entry_contains(k, probe, &t[position]) {
+            bits[j / 64] |= 1 << (j % 64);
+        }
+    }
+    bits
 }
 
 /// Builds the per-position candidate sets through the memoizing context:
@@ -84,13 +133,24 @@ fn build_candidates<O: FiniteOntology>(
     ctx: &EvalContext<'_, O>,
     wn: &WhyNotInstance,
 ) -> Option<Vec<Candidates<O::Concept>>> {
+    build_candidates_ctx(ctx, wn, None)
+}
+
+/// [`build_candidates`] with an optional executor for the conflict-bit
+/// shard.
+fn build_candidates_ctx<O: FiniteOntology>(
+    ctx: &EvalContext<'_, O>,
+    wn: &WhyNotInstance,
+    exec: Option<&Executor>,
+) -> Option<Vec<Candidates<O::Concept>>> {
     let all = ctx.concepts();
     let table = ctx.table(&all);
-    build_candidates_with(
+    build_candidates_exec(
         &all,
         &table,
-        |a| std::rc::Rc::new(candidate_indices(&table, all.len(), a)),
+        |a| Arc::new(candidate_indices(&table, all.len(), a)),
         wn.question(),
+        exec,
     )
 }
 
@@ -110,6 +170,28 @@ pub fn exhaustive_search<O: FiniteOntology>(
     retain_most_general(ontology, found)
 }
 
+/// Algorithm 1 with its embarrassingly parallel halves sharded across the
+/// executor's workers: the per-position candidate/conflict-bit
+/// construction and the first level of the product search both fan out,
+/// and results land by input index — the output (explanations *and* their
+/// order) is identical to [`exhaustive_search`] at every thread count.
+pub fn exhaustive_search_parallel<O>(
+    ontology: &O,
+    wn: &WhyNotInstance,
+    exec: &Executor,
+) -> Vec<Explanation<O::Concept>>
+where
+    O: FiniteOntology + Sync,
+    O::Concept: Send + Sync,
+{
+    let ctx = EvalContext::with_seeds(ontology, &wn.instance, wn.tuple.iter().cloned());
+    let Some(candidates) = build_candidates_ctx(&ctx, wn, Some(exec)) else {
+        return Vec::new();
+    };
+    let found = run_exhaustive_exec(&candidates, wn.question(), Some(exec));
+    retain_most_general(ontology, found)
+}
+
 /// Line 2 of Algorithm 1 over prebuilt candidates: collect every candidate
 /// tuple whose extension product avoids `Ans` (an answer tuple survives
 /// the product iff its bit survives the AND of all positions' conflict
@@ -126,6 +208,41 @@ pub(crate) fn run_exhaustive<C: Clone>(
     let mut choice: Vec<usize> = Vec::with_capacity(q.arity());
     collect(candidates, &mut choice, &vec![u64::MAX; words], &mut found);
     found
+}
+
+/// [`run_exhaustive`] with the first position's candidates fanned out
+/// across workers: each worker owns the whole subtree under one
+/// first-position choice, and subtree results are concatenated in
+/// first-choice order — exactly the DFS emission order of the sequential
+/// collect.
+pub(crate) fn run_exhaustive_exec<C: Clone + Send + Sync>(
+    candidates: &[Candidates<C>],
+    q: QuestionRef<'_>,
+    exec: Option<&Executor>,
+) -> Vec<Explanation<C>> {
+    let fanout = candidates.first().map_or(0, |c| c.concepts.len());
+    // Same spawn/join amortization bar as the conflict-bit shard: the
+    // (unpruned) product size times the per-node mask width estimates
+    // the search's work; below the bar the sequential DFS wins.
+    let words = q.ans.len().div_ceil(64);
+    let product = candidates
+        .iter()
+        .fold(1usize, |acc, c| acc.saturating_mul(c.concepts.len()));
+    let Some(exec) = exec.filter(|e| {
+        e.threads() > 1 && fanout > 1 && product.saturating_mul(words) >= PAR_PROBE_THRESHOLD
+    }) else {
+        return run_exhaustive(candidates, q);
+    };
+    let subtrees = exec.par_map_index(fanout, |k| {
+        // The sequential root mask is all-ones, so the first AND is just
+        // the candidate's own conflict bits.
+        let masked = candidates[0].conflicts[k].clone();
+        let mut found = Vec::new();
+        let mut choice = vec![k];
+        collect(candidates, &mut choice, &masked, &mut found);
+        found
+    });
+    subtrees.into_iter().flatten().collect()
 }
 
 fn collect<C: Clone>(
@@ -498,6 +615,34 @@ mod tests {
         ));
         let wn = WhyNotInstance::new(schema, inst, q, vec![s("b")]).unwrap();
         assert!(!explanation_exists(&o, &wn));
+    }
+
+    #[test]
+    fn parallel_exhaustive_is_bit_for_bit_sequential() {
+        let o = figure_3();
+        let wn = example_3_4();
+        let sequential = exhaustive_search(&o, &wn);
+        for threads in [1, 2, 4, 8] {
+            let exec = Executor::with_threads(threads);
+            assert_eq!(
+                exhaustive_search_parallel(&o, &wn, &exec),
+                sequential,
+                "diverged at {threads} threads"
+            );
+        }
+        // The no-explanation edges hold under the executor too.
+        let mut b = SchemaBuilder::new();
+        let tc = b.relation("TC", ["from", "to"]);
+        let schema = b.finish().unwrap();
+        let mut inst = Instance::new();
+        inst.insert(tc, vec![s("Amsterdam"), s("Berlin")]);
+        let q = Ucq::single(Cq::new(
+            [Term::Var(Var(0)), Term::Var(Var(1))],
+            [Atom::new(tc, [Term::Var(Var(0)), Term::Var(Var(1))])],
+            [],
+        ));
+        let ghost = WhyNotInstance::new(schema, inst, q, vec![s("Gotham"), s("Berlin")]).unwrap();
+        assert!(exhaustive_search_parallel(&o, &ghost, &Executor::with_threads(4)).is_empty());
     }
 
     #[test]

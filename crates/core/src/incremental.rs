@@ -22,7 +22,7 @@ use crate::derived::InstanceOntology;
 use crate::whynot::{exts_form_explanation_q, Explanation, QuestionRef, WhyNotInstance};
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use whynot_concepts::{Extension, LsConcept, LubEngine};
+use whynot_concepts::{Extension, LsConcept, LubEngine, LubProvider};
 use whynot_relation::Value;
 
 /// Which `lub` operator drives the search (i.e. which `LS` fragment the
@@ -35,13 +35,20 @@ pub enum LubKind {
     WithSelections,
 }
 
-/// One growth probe through the pooled engine: the engine owns the
-/// interned column sets, so repeated probes never re-materialize columns.
-pub(crate) fn engine_lub(engine: &LubEngine<'_>, kind: LubKind, x: &BTreeSet<Value>) -> LsConcept {
+/// One growth probe through a pooled lub provider (the lazily caching
+/// [`LubEngine`] or its frozen [`LubView`](whynot_concepts::LubView)):
+/// the provider owns the interned column sets, so repeated probes never
+/// re-materialize columns.
+pub(crate) fn engine_lub<P: LubProvider + ?Sized>(
+    engine: &P,
+    kind: LubKind,
+    x: &BTreeSet<Value>,
+) -> LsConcept {
     match kind {
-        LubKind::SelectionFree => engine.lub(x),
-        LubKind::WithSelections => engine.lub_sigma(x),
+        LubKind::SelectionFree => engine.try_lub(x),
+        LubKind::WithSelections => engine.try_lub_sigma(x),
     }
+    .expect("lub of an empty support set is undefined")
 }
 
 /// Algorithm 2 (INCREMENTAL SEARCH): a most-general explanation for the

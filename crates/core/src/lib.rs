@@ -42,7 +42,17 @@
 //!   `(ontology, instance)` pair and answers a stream of
 //!   [`WhyNotQuestion`]s, sharing the extension cache, answer sets,
 //!   candidate lists and lub results across the whole batch (see the
-//!   [`session`] module docs for the cache inventory).
+//!   [`session`] module docs for the cache inventory);
+//! * **parallel search shards** over the scoped-thread [`Executor`]
+//!   (re-exported from `whynot-parallel`): [`exhaustive_search_parallel`]
+//!   fans Algorithm 1's candidate/conflict-bit construction and its
+//!   first product level out across workers,
+//!   [`enumerate_mges_instance_parallel`] runs the MGE enumeration's
+//!   permuted reruns concurrently over one frozen lub-column view, and
+//!   [`WhyNotSession::answer_batch`] /
+//!   [`WhyNotSession::incremental_batch`] answer whole question slices
+//!   concurrently — all bit-for-bit equal to their sequential
+//!   counterparts at every thread count (the `WHYNOT_THREADS` knob).
 
 #![warn(missing_docs)]
 
@@ -61,14 +71,18 @@ mod variations;
 mod whynot;
 
 pub use context::EvalContext;
-pub use session::{SessionError, SessionStats, WhyNotQuestion, WhyNotSession};
+pub use session::{SessionError, SessionStats, WhyNotQuestion, WhyNotSession, WorkerStats};
+pub use whynot_parallel::{Executor, ExecutorBuilder, THREADS_ENV};
 
 pub use derived::{
     min_fragment_concepts, InstanceOntology, MaterializedOntology, ObdaOntology, SchemaOntology,
 };
-pub use enumerate::{enumerate_mges_instance, incremental_search_balanced};
+pub use enumerate::{
+    enumerate_mges_instance, enumerate_mges_instance_parallel, incremental_search_balanced,
+};
 pub use exhaustive::{
-    check_mge, exhaustive_search, explanation_exists, find_explanation, retain_most_general,
+    check_mge, exhaustive_search, exhaustive_search_parallel, explanation_exists, find_explanation,
+    retain_most_general,
 };
 pub use explicit::{ConceptName, ExplicitOntology, ExplicitOntologyBuilder};
 pub use incremental::{

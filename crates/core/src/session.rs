@@ -68,16 +68,16 @@
 
 use crate::context::EvalContext;
 use crate::exhaustive;
-use crate::incremental::{check_mge_instance_core, incremental_search_core, LubKind};
+use crate::incremental::{check_mge_instance_core, engine_lub, incremental_search_core, LubKind};
 use crate::ontology::{FiniteOntology, Ontology};
 use crate::variations;
 use crate::whynot::{exts_form_explanation_q, Explanation, QuestionRef};
 use std::cell::{Cell, OnceCell, RefCell};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
-use std::rc::Rc;
 use std::sync::Arc;
 use whynot_concepts::{Extension, ExtensionTable, LsConcept, LubEngine};
+use whynot_parallel::Executor;
 use whynot_relation::{ConstPool, Instance, RelError, Schema, Tuple, Ucq, Value};
 
 /// One question of a batched stream: the query `q` and the missing tuple
@@ -145,11 +145,17 @@ impl From<RelError> for SessionError {
     }
 }
 
+/// The session's memoized `lub` / `lubσ` results for one [`LubKind`].
+/// Behind an `Arc` so a parallel batch snapshots the whole map in O(1);
+/// see the field docs on [`WhyNotSession::lubs`].
+type LubCache = Arc<BTreeMap<BTreeSet<Value>, LsConcept>>;
+
 /// A question validated and bound against the session's instance: the
 /// answer set is resolved (possibly from cache) and the tuple is known to
-/// be missing.
+/// be missing. `Send + Sync` (the answer set is behind an `Arc`), so a
+/// batch of bound questions can fan out across workers.
 struct BoundQuestion {
-    ans: Rc<BTreeSet<Tuple>>,
+    ans: Arc<BTreeSet<Tuple>>,
     tuple: Tuple,
 }
 
@@ -184,6 +190,29 @@ pub struct SessionStats {
     /// bounded by the schema's total attribute count for the session's
     /// whole lifetime, however many questions were answered.
     pub lub_column_builds: usize,
+    /// Parallel batches run ([`WhyNotSession::answer_batch`] /
+    /// [`WhyNotSession::incremental_batch`] calls).
+    pub batches: usize,
+    /// Questions that went through a parallel batch fan-out (included in
+    /// `questions` too — batches bind through the same validation path).
+    pub batch_questions: usize,
+}
+
+/// Per-worker counters of the most recent parallel batch (see
+/// [`WhyNotSession::last_batch_workers`]): together with
+/// [`SessionStats`], these pin the session invariants under parallelism —
+/// however the questions spread over workers, `evaluations` stays bounded
+/// by the concept count and `lub_column_builds` by the schema's attribute
+/// count, because both happen in the sequential freeze phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WorkerStats {
+    /// The worker id (in `0..threads`).
+    pub worker: usize,
+    /// Questions this worker answered in the batch.
+    pub questions: usize,
+    /// Lubs this worker computed against the frozen column view
+    /// (Algorithm 2 batches only; 0 for exhaustive batches).
+    pub lubs_computed: usize,
 }
 
 /// A batched why-not service over one pinned `(ontology, instance)` pair.
@@ -201,22 +230,35 @@ pub struct WhyNotSession<'a, O: Ontology> {
     /// The concept list and its one-pass extension table (finite
     /// ontologies only), built on first use.
     finite: OnceCell<(Vec<O::Concept>, ExtensionTable)>,
-    /// Candidate concept indices keyed by position constant.
-    candidates: RefCell<BTreeMap<Value, Rc<Vec<usize>>>>,
+    /// Candidate concept indices keyed by position constant (`Arc` so a
+    /// batch can snapshot the lists and fan them out across workers).
+    candidates: RefCell<BTreeMap<Value, Arc<Vec<usize>>>>,
     /// Answer sets keyed by query.
-    answers: RefCell<HashMap<Ucq, Rc<BTreeSet<Tuple>>>>,
+    answers: RefCell<HashMap<Ucq, Arc<BTreeSet<Tuple>>>>,
     /// The pooled lub engine behind the lub cache: one interned column
     /// set per `(rel, attr)` for the whole session, built on the first
     /// lub miss.
     lub_engine: OnceCell<LubEngine<'a>>,
     /// `lub` / `lubσ` results keyed by support set, one map per
     /// [`LubKind`] (so cache hits probe by reference, without cloning the
-    /// support set — Algorithm 2's growth loop is lub-dominated).
-    lubs: [RefCell<BTreeMap<BTreeSet<Value>, LsConcept>>; 2],
+    /// support set — Algorithm 2's growth loop is lub-dominated). The
+    /// maps live behind `Arc` so a parallel batch snapshots them in O(1)
+    /// (a pointer clone); sequential inserts go through `Arc::make_mut`,
+    /// which mutates in place while no snapshot is alive.
+    lubs: [RefCell<LubCache>; 2],
     /// `LS`-concept extensions (Algorithm 2's candidates) keyed by
-    /// concept, interned into the session pool.
-    ls_exts: RefCell<BTreeMap<LsConcept, Extension>>,
+    /// concept, interned into the session pool (`Arc` for the same O(1)
+    /// batch-snapshot reason).
+    ls_exts: RefCell<Arc<BTreeMap<LsConcept, Extension>>>,
     questions: Cell<usize>,
+    /// The executor parallel batches (and the exhaustive conflict-bit
+    /// shard) run on; `None` means each batch call builds a default one
+    /// from `WHYNOT_THREADS` / the machine parallelism.
+    executor: Option<Executor>,
+    batches: Cell<usize>,
+    batch_questions: Cell<usize>,
+    /// Per-worker counters of the most recent batch.
+    worker_stats: RefCell<Vec<WorkerStats>>,
 }
 
 fn kind_slot(kind: LubKind) -> usize {
@@ -245,10 +287,65 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
             candidates: RefCell::new(BTreeMap::new()),
             answers: RefCell::new(HashMap::new()),
             lub_engine: OnceCell::new(),
-            lubs: [RefCell::new(BTreeMap::new()), RefCell::new(BTreeMap::new())],
-            ls_exts: RefCell::new(BTreeMap::new()),
+            lubs: [
+                RefCell::new(Arc::new(BTreeMap::new())),
+                RefCell::new(Arc::new(BTreeMap::new())),
+            ],
+            ls_exts: RefCell::new(Arc::new(BTreeMap::new())),
             questions: Cell::new(0),
+            executor: None,
+            batches: Cell::new(0),
+            batch_questions: Cell::new(0),
+            worker_stats: RefCell::new(Vec::new()),
         }
+    }
+
+    /// Pins an executor for this session's parallel paths: every
+    /// [`answer_batch`](WhyNotSession::answer_batch) /
+    /// [`incremental_batch`](WhyNotSession::incremental_batch) call uses
+    /// it instead of building one from `WHYNOT_THREADS`, and single-
+    /// question exhaustive searches shard their conflict-bit construction
+    /// across its workers.
+    pub fn set_executor(&mut self, exec: Executor) {
+        self.executor = Some(exec);
+    }
+
+    /// The pinned executor, if [`set_executor`](WhyNotSession::set_executor)
+    /// was called.
+    pub fn executor(&self) -> Option<Executor> {
+        self.executor
+    }
+
+    /// The executor a batch call will actually run on.
+    fn batch_executor(&self) -> Executor {
+        self.executor.unwrap_or_default()
+    }
+
+    /// Per-worker counters of the most recent parallel batch (empty until
+    /// the first batch). Worker attribution is scheduling-dependent; the
+    /// *sum* over workers is not.
+    pub fn last_batch_workers(&self) -> Vec<WorkerStats> {
+        self.worker_stats.borrow().clone()
+    }
+
+    /// Batch accounting: one more batch, its question count, which
+    /// worker handled each question, and (for lub-driven batches) how
+    /// many lubs each worker computed.
+    fn record_batch(&self, workers: usize, question_workers: &[usize], worker_lubs: &[usize]) {
+        let mut stats: Vec<WorkerStats> = (0..workers)
+            .map(|worker| WorkerStats {
+                worker,
+                lubs_computed: worker_lubs.get(worker).copied().unwrap_or(0),
+                ..WorkerStats::default()
+            })
+            .collect();
+        for &worker in question_workers {
+            stats[worker].questions += 1;
+        }
+        self.batches.set(self.batches.get() + 1);
+        self.batch_questions
+            .set(self.batch_questions.get() + question_workers.len());
+        *self.worker_stats.borrow_mut() = stats;
     }
 
     /// The pinned ontology.
@@ -295,6 +392,8 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
             cached_lubs: self.lubs.iter().map(|m| m.borrow().len()).sum(),
             cached_ls_extensions: self.ls_exts.borrow().len(),
             lub_column_builds: self.lub_engine.get().map_or(0, LubEngine::column_builds),
+            batches: self.batches.get(),
+            batch_questions: self.batch_questions.get(),
         }
     }
 
@@ -307,15 +406,18 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
         })
     }
 
-    /// The answers `q(I)`, evaluated once per distinct query.
-    pub fn answers(&self, query: &Ucq) -> Rc<BTreeSet<Tuple>> {
+    /// The answers `q(I)`, evaluated once per distinct query. Returned
+    /// behind an `Arc` (not an `Rc`): answer sets are part of the state a
+    /// parallel batch shares read-only across workers, and `Arc` keeps
+    /// the public signature thread-safe.
+    pub fn answers(&self, query: &Ucq) -> Arc<BTreeSet<Tuple>> {
         if let Some(hit) = self.answers.borrow().get(query) {
-            return Rc::clone(hit);
+            return Arc::clone(hit);
         }
-        let ans = Rc::new(query.eval(self.instance()));
+        let ans = Arc::new(query.eval(self.instance()));
         self.answers
             .borrow_mut()
-            .insert(query.clone(), Rc::clone(&ans));
+            .insert(query.clone(), Arc::clone(&ans));
         ans
     }
 
@@ -345,7 +447,7 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
             LubKind::WithSelections => engine.try_lub_sigma(support),
         }
         .expect("support checked non-empty");
-        slot.borrow_mut().insert(support.clone(), computed.clone());
+        Arc::make_mut(&mut *slot.borrow_mut()).insert(support.clone(), computed.clone());
         computed
     }
 
@@ -356,7 +458,7 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
             return hit.clone();
         }
         let ext = c.extension_in(self.instance(), self.pool());
-        self.ls_exts.borrow_mut().insert(c.clone(), ext.clone());
+        Arc::make_mut(&mut *self.ls_exts.borrow_mut()).insert(c.clone(), ext.clone());
         ext
     }
 
@@ -434,6 +536,143 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
             &mut |c| self.ls_extension(c),
         ))
     }
+
+    /// [`incremental`](WhyNotSession::incremental) over a whole question
+    /// slice, fanned out across the session executor's workers
+    /// (freeze-then-fan-out):
+    ///
+    /// 1. **Bind** (sequential): every question is validated and its
+    ///    answer set resolved through the shared query cache.
+    /// 2. **Freeze** (sequential): the pooled [`LubEngine`] is forced and
+    ///    frozen into a read-only column view — all `(rel, attr)` column
+    ///    interning happens here, at most once per session, whatever the
+    ///    thread count.
+    /// 3. **Fan out**: each worker runs Algorithm 2's growth loop against
+    ///    the frozen view with worker-local lub/extension memos; results
+    ///    land by question index.
+    /// 4. **Merge** (sequential): the worker-local memos fold back into
+    ///    the session's lub and `LS`-extension caches, so later
+    ///    sequential questions still hit warm caches.
+    ///
+    /// Per-question results — explanations *and* errors — are identical
+    /// to calling [`incremental`](WhyNotSession::incremental) on each
+    /// question in order, at every thread count (lubs and extensions are
+    /// pure in the pinned instance; memoization only changes speed).
+    pub fn incremental_batch(
+        &self,
+        questions: &[WhyNotQuestion],
+        kind: LubKind,
+    ) -> Vec<Result<Explanation<LsConcept>, SessionError>> {
+        self.incremental_batch_with(&self.batch_executor(), questions, kind)
+    }
+
+    /// [`incremental_batch`](WhyNotSession::incremental_batch) on an
+    /// explicit executor.
+    pub fn incremental_batch_with(
+        &self,
+        exec: &Executor,
+        questions: &[WhyNotQuestion],
+        kind: LubKind,
+    ) -> Vec<Result<Explanation<LsConcept>, SessionError>> {
+        // Phase 1+2 (sequential): bind, then freeze the shared state the
+        // workers read — adom, the lub column view, instance, pool, and
+        // an O(1) snapshot (`Arc` pointer clone) of the caches warmed by
+        // earlier questions, so a warm session keeps its reuse advantage
+        // inside the batch.
+        let bound: Vec<Result<BoundQuestion, SessionError>> =
+            questions.iter().map(|q| self.bind(q)).collect();
+        if bound.iter().all(Result::is_err) {
+            // Nothing will run Algorithm 2 (empty batch, or every
+            // question failed validation): don't freeze the lub engine —
+            // the sequential path would not have interned columns either.
+            // The rejected questions are tallied on worker 0, matching a
+            // fan-out whose only work was reporting errors.
+            self.record_batch(exec.threads(), &vec![0; bound.len()], &[]);
+            return bound
+                .into_iter()
+                .map(|b| match b {
+                    Err(e) => Err(e),
+                    Ok(_) => unreachable!("all bindings failed"),
+                })
+                .collect();
+        }
+        let adom = self.adom();
+        let view = self.lub_engine().freeze();
+        let inst = self.instance();
+        let pool = Arc::clone(self.pool());
+        let warm_lubs = Arc::clone(&self.lubs[kind_slot(kind)].borrow());
+        let warm_exts = Arc::clone(&self.ls_exts.borrow());
+
+        type Memos = (
+            BTreeMap<BTreeSet<Value>, LsConcept>,
+            BTreeMap<LsConcept, Extension>,
+        );
+        // Worker-local memos: one slot per worker, shared across all of
+        // that worker's questions (the mutex is uncontended — each
+        // worker only ever locks its own slot).
+        let slots: Vec<std::sync::Mutex<Memos>> = (0..exec.threads())
+            .map(|_| std::sync::Mutex::new(Memos::default()))
+            .collect();
+
+        // Phase 3: pure fan-out. Only `Send + Sync` state is captured.
+        let outcomes: Vec<(usize, Result<Explanation<LsConcept>, SessionError>)> = exec
+            .par_map_with_worker(questions.len(), |worker, i| match &bound[i] {
+                Err(e) => (worker, Err(e.clone())),
+                Ok(b) => {
+                    let mut memos = slots[worker].lock().expect("uncontended worker slot");
+                    let (lubs, exts) = &mut *memos;
+                    let e = incremental_search_core(
+                        adom,
+                        b.view(),
+                        &mut |x| match warm_lubs.get(x).or_else(|| lubs.get(x)) {
+                            Some(hit) => hit.clone(),
+                            None => {
+                                let c = engine_lub(&view, kind, x);
+                                lubs.insert(x.clone(), c.clone());
+                                c
+                            }
+                        },
+                        &mut |c| match warm_exts.get(c).or_else(|| exts.get(c)) {
+                            Some(hit) => hit.clone(),
+                            None => {
+                                let ext = c.extension_in(inst, &pool);
+                                exts.insert(c.clone(), ext.clone());
+                                ext
+                            }
+                        },
+                    );
+                    (worker, Ok(e))
+                }
+            });
+
+        // Phase 4 (sequential): merge the worker memos into the session
+        // caches (first write wins; all values are equal by purity) and
+        // tally per-worker counters. The snapshots drop first so
+        // `Arc::make_mut` mutates the live caches in place instead of
+        // copying them.
+        drop(warm_lubs);
+        drop(warm_exts);
+        let mut per_worker_lubs: Vec<usize> = Vec::with_capacity(slots.len());
+        {
+            let mut lub_slot = self.lubs[kind_slot(kind)].borrow_mut();
+            let mut ext_slot = self.ls_exts.borrow_mut();
+            let lub_cache = Arc::make_mut(&mut *lub_slot);
+            let ext_cache = Arc::make_mut(&mut *ext_slot);
+            for slot in slots {
+                let (lubs, exts) = slot.into_inner().expect("workers joined");
+                per_worker_lubs.push(lubs.len());
+                for (k, v) in lubs {
+                    lub_cache.entry(k).or_insert(v);
+                }
+                for (k, v) in exts {
+                    ext_cache.entry(k).or_insert(v);
+                }
+            }
+        }
+        let question_workers: Vec<usize> = outcomes.iter().map(|&(worker, _)| worker).collect();
+        self.record_batch(exec.threads(), &question_workers, &per_worker_lubs);
+        outcomes.into_iter().map(|(_, result)| result).collect()
+    }
 }
 
 impl<O: FiniteOntology> WhyNotSession<'_, O> {
@@ -452,29 +691,36 @@ impl<O: FiniteOntology> WhyNotSession<'_, O> {
     /// which concepts' extensions contain `a`. Depends only on `a` — not
     /// on the query or the rest of the tuple — so the cache carries
     /// across questions.
-    fn indices_for(&self, a: &Value) -> Rc<Vec<usize>> {
+    fn indices_for(&self, a: &Value) -> Arc<Vec<usize>> {
         if let Some(hit) = self.candidates.borrow().get(a) {
-            return Rc::clone(hit);
+            return Arc::clone(hit);
         }
         let (all, table) = self.finite_index();
-        let idxs = Rc::new(exhaustive::candidate_indices(table, all.len(), a));
+        let idxs = Arc::new(exhaustive::candidate_indices(table, all.len(), a));
         self.candidates
             .borrow_mut()
-            .insert(a.clone(), Rc::clone(&idxs));
+            .insert(a.clone(), Arc::clone(&idxs));
         idxs
     }
 
     /// Algorithm 1 (EXHAUSTIVE SEARCH): all most-general explanations for
-    /// the question w.r.t. the pinned finite ontology.
+    /// the question w.r.t. the pinned finite ontology. When the session
+    /// has an [executor](WhyNotSession::set_executor), the per-candidate
+    /// conflict-bit construction is sharded across its workers (the
+    /// output is identical either way).
     pub fn exhaustive(
         &self,
         q: &WhyNotQuestion,
     ) -> Result<Vec<Explanation<O::Concept>>, SessionError> {
         let bound = self.bind(q)?;
         let (all, table) = self.finite_index();
-        let Some(candidates) =
-            exhaustive::build_candidates_with(all, table, |a| self.indices_for(a), bound.view())
-        else {
+        let Some(candidates) = exhaustive::build_candidates_exec(
+            all,
+            table,
+            |a| self.indices_for(a),
+            bound.view(),
+            self.executor.as_ref(),
+        ) else {
             return Ok(Vec::new());
         };
         let found = exhaustive::run_exhaustive(&candidates, bound.view());
@@ -544,6 +790,99 @@ impl<O: FiniteOntology> WhyNotSession<'_, O> {
             return Ok(None);
         };
         Ok(variations::run_card_maximal_greedy(&lists, bound.view()))
+    }
+}
+
+impl<O> WhyNotSession<'_, O>
+where
+    O: FiniteOntology + Sync,
+    O::Concept: Send + Sync,
+{
+    /// Algorithm 1 over a whole question slice, fanned out across the
+    /// session executor's workers — the batched service's parallel entry
+    /// point (freeze-then-fan-out):
+    ///
+    /// 1. **Bind** (sequential): every question is validated and its
+    ///    answer set resolved through the shared query cache.
+    /// 2. **Freeze** (sequential): the concept list, the one-pass
+    ///    extension table, and every needed per-constant candidate index
+    ///    list are forced into the session caches — *all* ontology
+    ///    `ext(c, I)` evaluations happen here, so the ≤-one-eval-per-
+    ///    concept session invariant holds at every thread count.
+    /// 3. **Fan out**: one task per question; workers read the shared
+    ///    table and the `Arc`ed index lists, run the candidate
+    ///    construction, the product search, and most-general filtering.
+    ///    Results land by question index.
+    ///
+    /// Per-question results — explanations, their order, *and* errors —
+    /// are identical to calling [`exhaustive`](WhyNotSession::exhaustive)
+    /// on each question in order, at every thread count.
+    pub fn answer_batch(
+        &self,
+        questions: &[WhyNotQuestion],
+    ) -> Vec<Result<Vec<Explanation<O::Concept>>, SessionError>> {
+        self.answer_batch_with(&self.batch_executor(), questions)
+    }
+
+    /// [`answer_batch`](WhyNotSession::answer_batch) on an explicit
+    /// executor.
+    pub fn answer_batch_with(
+        &self,
+        exec: &Executor,
+        questions: &[WhyNotQuestion],
+    ) -> Vec<Result<Vec<Explanation<O::Concept>>, SessionError>> {
+        // Phase 1 (sequential): bind every question through the shared
+        // caches.
+        let bound: Vec<Result<BoundQuestion, SessionError>> =
+            questions.iter().map(|q| self.bind(q)).collect();
+        // Phase 2 (sequential): freeze the shared read-only state — the
+        // concept list + extension table (every `ext` evaluation happens
+        // here) and the per-constant candidate index lists.
+        let (all, table) = self.finite_index();
+        let lists: Vec<Option<Vec<Arc<Vec<usize>>>>> = bound
+            .iter()
+            .map(|b| match b {
+                Ok(b) => Some(b.tuple.iter().map(|a| self.indices_for(a)).collect()),
+                Err(_) => None,
+            })
+            .collect();
+        let ontology = self.ontology();
+
+        // Phase 3: pure fan-out over `Send + Sync` state only (the
+        // session itself — `RefCell`s and all — is *not* captured).
+        type Outcome<C> = (usize, Result<Vec<Explanation<C>>, SessionError>);
+        let outcomes: Vec<Outcome<O::Concept>> =
+            exec.par_map_with_worker(questions.len(), |worker, i| {
+                let result = match &bound[i] {
+                    Err(e) => Err(e.clone()),
+                    Ok(b) => {
+                        let lists_i = lists[i].as_ref().expect("bound questions have lists");
+                        let view = b.view();
+                        // Candidate lists come from the frozen snapshot:
+                        // positions are consumed in order, one per call.
+                        let mut position = 0usize;
+                        let found = match exhaustive::build_candidates_with(
+                            all,
+                            table,
+                            |_| {
+                                let idxs = Arc::clone(&lists_i[position]);
+                                position += 1;
+                                idxs
+                            },
+                            view,
+                        ) {
+                            None => Vec::new(),
+                            Some(candidates) => exhaustive::run_exhaustive(&candidates, view),
+                        };
+                        Ok(exhaustive::retain_most_general(ontology, found))
+                    }
+                };
+                (worker, result)
+            });
+
+        let question_workers: Vec<usize> = outcomes.iter().map(|&(worker, _)| worker).collect();
+        self.record_batch(exec.threads(), &question_workers, &[]);
+        outcomes.into_iter().map(|(_, result)| result).collect()
     }
 }
 
@@ -782,6 +1121,159 @@ mod tests {
         let fresh =
             WhyNotInstance::new(schema.clone(), inst.clone(), ghost.query, ghost.tuple).unwrap();
         assert_eq!(e, incremental_search_kind(&fresh, LubKind::SelectionFree));
+    }
+
+    #[test]
+    fn answer_batch_matches_sequential_at_every_thread_count() {
+        let (o, schema, inst, tc) = fixture();
+        let questions = vec![
+            WhyNotQuestion::new(two_hop(tc), [s("Amsterdam"), s("New York")]),
+            WhyNotQuestion::new(two_hop(tc), [s("Rome"), s("Tokyo")]),
+            WhyNotQuestion::new(one_hop(tc), [s("Amsterdam"), s("New York")]),
+            WhyNotQuestion::new(one_hop(tc), [s("Kyoto"), s("Amsterdam")]),
+            // A malformed question mid-batch: the error must land at its
+            // index without perturbing its neighbours.
+            WhyNotQuestion::new(two_hop(tc), [s("Amsterdam")]),
+            WhyNotQuestion::new(two_hop(tc), [s("Gotham"), s("Berlin")]),
+        ];
+        // The sequential reference, question by question.
+        let reference = WhyNotSession::new(&o, &schema, &inst);
+        let expected: Vec<_> = questions.iter().map(|q| reference.exhaustive(q)).collect();
+        for threads in [1, 2, 4, 8] {
+            let session = WhyNotSession::new(&o, &schema, &inst);
+            let exec = Executor::with_threads(threads);
+            let got = session.answer_batch_with(&exec, &questions);
+            assert_eq!(got, expected, "batch diverged at {threads} threads");
+            // The eval-once invariant holds under parallelism: all
+            // evaluations happened in the sequential freeze phase.
+            assert_eq!(session.evaluations(), 6);
+            let stats = session.stats();
+            assert_eq!(stats.batches, 1);
+            assert_eq!(stats.batch_questions, questions.len());
+            let workers = session.last_batch_workers();
+            assert_eq!(workers.len(), threads);
+            assert_eq!(
+                workers.iter().map(|w| w.questions).sum::<usize>(),
+                questions.len()
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_batch_matches_sequential_at_every_thread_count() {
+        let (o, schema, inst, tc) = fixture();
+        let questions = vec![
+            WhyNotQuestion::new(two_hop(tc), [s("Amsterdam"), s("New York")]),
+            WhyNotQuestion::new(two_hop(tc), [s("Rome"), s("Tokyo")]),
+            WhyNotQuestion::new(two_hop(tc), [s("Kyoto"), s("Amsterdam")]),
+            WhyNotQuestion::new(two_hop(tc), [s("Amsterdam"), s("Rome")]), // is an answer
+            WhyNotQuestion::new(one_hop(tc), [s("Santa Cruz"), s("Berlin")]),
+        ];
+        for kind in [LubKind::SelectionFree, LubKind::WithSelections] {
+            let reference = WhyNotSession::new(&o, &schema, &inst);
+            let expected: Vec<_> = questions
+                .iter()
+                .map(|q| reference.incremental(q, kind))
+                .collect();
+            for threads in [1, 2, 4] {
+                let session = WhyNotSession::new(&o, &schema, &inst);
+                let exec = Executor::with_threads(threads);
+                let got = session.incremental_batch_with(&exec, &questions, kind);
+                assert_eq!(got, expected, "{kind:?} diverged at {threads} threads");
+                // Column interning happened in the freeze phase, once per
+                // (rel, attr) — the thread count cannot inflate it.
+                let stats = session.stats();
+                assert_eq!(stats.lub_column_builds, 2);
+                // The merged worker memos leave the same caches a
+                // sequential run would have built.
+                assert_eq!(stats.cached_lubs, reference.stats().cached_lubs);
+                assert_eq!(
+                    stats.cached_ls_extensions,
+                    reference.stats().cached_ls_extensions
+                );
+                let lubs_total: usize = session
+                    .last_batch_workers()
+                    .iter()
+                    .map(|w| w.lubs_computed)
+                    .sum();
+                assert!(lubs_total > 0, "the batch did compute lubs");
+            }
+        }
+    }
+
+    #[test]
+    fn error_only_batches_do_not_freeze_the_lub_engine() {
+        // An empty batch, or one where every question fails validation,
+        // must not intern any lub columns — matching the sequential
+        // path, which never reaches Algorithm 2 for such questions.
+        let (o, schema, inst, tc) = fixture();
+        let session = WhyNotSession::new(&o, &schema, &inst);
+        let exec = Executor::with_threads(2);
+        assert!(session
+            .incremental_batch_with(&exec, &[], LubKind::SelectionFree)
+            .is_empty());
+        let bad = vec![
+            WhyNotQuestion::new(two_hop(tc), [s("Amsterdam")]), // arity
+            WhyNotQuestion::new(two_hop(tc), [s("Amsterdam"), s("Rome")]), // is answer
+        ];
+        let results = session.incremental_batch_with(&exec, &bad, LubKind::SelectionFree);
+        assert!(results.iter().all(Result::is_err));
+        assert_eq!(session.stats().lub_column_builds, 0);
+        assert_eq!(session.stats().batches, 2);
+        // One real question then interns columns as usual.
+        let good = WhyNotQuestion::new(two_hop(tc), [s("Amsterdam"), s("New York")]);
+        let mixed = session.incremental_batch_with(&exec, &[good], LubKind::SelectionFree);
+        assert!(mixed[0].is_ok());
+        assert_eq!(session.stats().lub_column_builds, 2);
+    }
+
+    #[test]
+    fn repeat_incremental_batches_hit_the_warm_caches() {
+        // The second identical batch must be served from the caches the
+        // first batch merged back — workers compute zero fresh lubs.
+        let (o, schema, inst, tc) = fixture();
+        let session = WhyNotSession::new(&o, &schema, &inst);
+        let questions = vec![
+            WhyNotQuestion::new(two_hop(tc), [s("Amsterdam"), s("New York")]),
+            WhyNotQuestion::new(two_hop(tc), [s("Rome"), s("Tokyo")]),
+        ];
+        let exec = Executor::with_threads(2);
+        let first = session.incremental_batch_with(&exec, &questions, LubKind::SelectionFree);
+        let computed_first: usize = session
+            .last_batch_workers()
+            .iter()
+            .map(|w| w.lubs_computed)
+            .sum();
+        assert!(computed_first > 0);
+        let again = session.incremental_batch_with(&exec, &questions, LubKind::SelectionFree);
+        assert_eq!(first, again);
+        let computed_again: usize = session
+            .last_batch_workers()
+            .iter()
+            .map(|w| w.lubs_computed)
+            .sum();
+        assert_eq!(computed_again, 0, "warm caches were ignored");
+    }
+
+    #[test]
+    fn batches_and_sequential_questions_interleave() {
+        // A batch must leave the session fully usable — and warmed — for
+        // later sequential questions, and vice versa.
+        let (o, schema, inst, tc) = fixture();
+        let mut session = WhyNotSession::new(&o, &schema, &inst);
+        session.set_executor(Executor::with_threads(2));
+        assert_eq!(session.executor(), Some(Executor::with_threads(2)));
+        let q1 = WhyNotQuestion::new(two_hop(tc), [s("Amsterdam"), s("New York")]);
+        let q2 = WhyNotQuestion::new(two_hop(tc), [s("Rome"), s("Tokyo")]);
+        let solo = session.exhaustive(&q1).unwrap();
+        let batch = session.answer_batch(&[q1.clone(), q2.clone()]);
+        assert_eq!(batch[0].as_ref().unwrap(), &solo);
+        let after = session.exhaustive(&q2).unwrap();
+        assert_eq!(batch[1].as_ref().unwrap(), &after);
+        // Still one distinct query, still ≤ 1 eval per concept.
+        assert_eq!(session.evaluations(), 6);
+        assert_eq!(session.stats().cached_queries, 1);
+        assert_eq!(session.stats().batches, 1);
     }
 
     #[test]

@@ -222,7 +222,7 @@ pub(crate) type Candidate<C> = (C, Extension, usize);
 pub(crate) fn candidate_lists_with<C: Clone>(
     all: &[C],
     table: &ExtensionTable,
-    mut indices_for: impl FnMut(&Value) -> std::rc::Rc<Vec<usize>>,
+    mut indices_for: impl FnMut(&Value) -> Arc<Vec<usize>>,
     q: QuestionRef<'_>,
 ) -> Option<Vec<Vec<Candidate<C>>>> {
     let mut out = Vec::with_capacity(q.arity());
@@ -258,7 +258,7 @@ fn candidate_lists<O: FiniteOntology>(
     candidate_lists_with(
         &all,
         &table,
-        |a| std::rc::Rc::new(crate::exhaustive::candidate_indices(&table, all.len(), a)),
+        |a| Arc::new(crate::exhaustive::candidate_indices(&table, all.len(), a)),
         wn.question(),
     )
 }

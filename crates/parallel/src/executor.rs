@@ -1,0 +1,290 @@
+//! The fork/join executor over [`std::thread::scope`].
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The environment variable naming the default worker count
+/// (`WHYNOT_THREADS`). Ignored when unset, empty, unparsable, or zero —
+/// the executor then falls back to
+/// [`std::thread::available_parallelism`].
+pub const THREADS_ENV: &str = "WHYNOT_THREADS";
+
+/// How many chunks each worker should get on average: more than one so
+/// an unlucky worker stuck with expensive items can be rebalanced by the
+/// atomic cursor, small enough that per-chunk bookkeeping stays noise.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// The fixed chunk-count target of [`Executor::par_reduce`]. Independent
+/// of the worker count so the fold tree — and therefore the result of a
+/// merely-associative fold — is identical at every thread count.
+const REDUCE_CHUNKS: usize = 64;
+
+fn machine_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn parse_threads(raw: &str) -> Option<usize> {
+    let n: usize = raw.trim().parse().ok()?;
+    (n >= 1).then_some(n)
+}
+
+/// The worker count an [`Executor::new`] executor would use right now:
+/// `WHYNOT_THREADS` if set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`].
+pub fn available_threads() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|raw| parse_threads(&raw))
+        .unwrap_or_else(machine_parallelism)
+}
+
+/// A fork/join executor configuration: how many scoped workers each
+/// `par_*` call may spawn. See the [crate docs](crate) for the
+/// determinism and panic contracts.
+///
+/// # Examples
+///
+/// ```
+/// use whynot_parallel::Executor;
+///
+/// let exec = Executor::with_threads(3);
+/// assert_eq!(exec.threads(), 3);
+/// let doubled = exec.par_map(&[1, 2, 3, 4, 5], |x| x * 2);
+/// assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// An executor with the default worker count (see
+    /// [`available_threads`]).
+    pub fn new() -> Self {
+        Executor::with_threads(available_threads())
+    }
+
+    /// An executor with an explicit worker count (clamped to ≥ 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Starts building an executor.
+    pub fn builder() -> ExecutorBuilder {
+        ExecutorBuilder::default()
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `0..n`, returning results **in index order**. Work
+    /// is distributed in contiguous chunks claimed through an atomic
+    /// cursor; with one worker (or one item) it degenerates to a plain
+    /// sequential loop on the calling thread.
+    ///
+    /// # Panics
+    /// If `f` panics in any worker, the first panic payload (in worker
+    /// spawn order) resumes on the caller after all workers joined.
+    pub fn par_map_index<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.par_map_with_worker(n, |_, i| f(i))
+    }
+
+    /// [`Executor::par_map_index`] with the worker id (in `0..threads()`)
+    /// passed as the closure's first argument. The *results* are still
+    /// deterministic by index; which worker computed which index is
+    /// scheduling-dependent and intended for counters/telemetry only.
+    pub fn par_map_with_worker<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, usize) -> R + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(n);
+        if workers == 1 {
+            return (0..n).map(|i| f(0, i)).collect();
+        }
+        let chunk = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+        let grouped = run_chunked(workers, n, chunk, &f);
+        let mut out = Vec::with_capacity(n);
+        for (_, mut items) in grouped {
+            out.append(&mut items);
+        }
+        out
+    }
+
+    /// Maps `f` over a slice, results in input order.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_map_index(items.len(), |i| f(&items[i]))
+    }
+
+    /// Runs `f` for each element of a slice (fan-out for side effects —
+    /// `f` must synchronize its own writes, e.g. through atomics or by
+    /// writing to disjoint state it owns).
+    pub fn par_for_each<T, F>(&self, items: &[T], f: F)
+    where
+        T: Sync,
+        F: Fn(&T) + Sync,
+    {
+        self.par_map_index(items.len(), |i| f(&items[i]));
+    }
+
+    /// Folds `map(0) ⊕ map(1) ⊕ … ⊕ map(n-1)` under `fold`, seeded with
+    /// `identity`. The fold tree is fixed: indices fold left-to-right
+    /// within chunks whose boundaries depend only on `n` (never on the
+    /// worker count), and chunk results fold left-to-right in chunk
+    /// order — so the result is identical at every thread count provided
+    /// `fold` is associative with `identity` as a left identity.
+    pub fn par_reduce<R, M, F>(&self, n: usize, identity: R, map: M, fold: F) -> R
+    where
+        R: Send,
+        M: Fn(usize) -> R + Sync,
+        F: Fn(R, R) -> R + Sync,
+    {
+        if n == 0 {
+            return identity;
+        }
+        let chunk = n.div_ceil(REDUCE_CHUNKS).max(1);
+        let n_chunks = n.div_ceil(chunk);
+        let chunk_results = self.par_map_index(n_chunks, |c| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            let mut acc = map(lo);
+            for i in lo + 1..hi {
+                acc = fold(acc, map(i));
+            }
+            acc
+        });
+        let mut acc = identity;
+        for r in chunk_results {
+            acc = fold(acc, r);
+        }
+        acc
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new()
+    }
+}
+
+/// The chunked scoped-thread core: `workers` scoped threads claim chunk
+/// indices from an atomic cursor, compute their items in order, and the
+/// chunks are reassembled ascending — input order in, input order out.
+fn run_chunked<R, F>(workers: usize, n: usize, chunk: usize, f: &F) -> Vec<(usize, Vec<R>)>
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    let n_chunks = n.div_ceil(chunk);
+    let cursor = AtomicUsize::new(0);
+    let mut grouped: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(n_chunks))
+            .map(|worker| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let lo = c * chunk;
+                        let hi = (lo + chunk).min(n);
+                        local.push((c, (lo..hi).map(|i| f(worker, i)).collect()));
+                    }
+                    local
+                })
+            })
+            .collect();
+        // Join in spawn order; the first panicking worker's payload is
+        // re-raised after the scope has joined every sibling (scope
+        // exit joins the rest before unwinding escapes).
+        let mut all = Vec::with_capacity(n_chunks);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            match h.join() {
+                Ok(mut chunks) => all.append(&mut chunks),
+                Err(payload) => panic = panic.or(Some(payload)),
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+        all
+    });
+    grouped.sort_unstable_by_key(|&(c, _)| c);
+    grouped
+}
+
+/// Builds an [`Executor`]: an explicit thread count wins; otherwise the
+/// environment / machine default applies at [`ExecutorBuilder::build`]
+/// time.
+///
+/// # Examples
+///
+/// ```
+/// use whynot_parallel::Executor;
+///
+/// let exec = Executor::builder().threads(2).build();
+/// assert_eq!(exec.threads(), 2);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecutorBuilder {
+    threads: Option<usize>,
+}
+
+impl ExecutorBuilder {
+    /// Sets an explicit worker count (clamped to ≥ 1), overriding the
+    /// `WHYNOT_THREADS` / machine default.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Finishes the executor.
+    pub fn build(self) -> Executor {
+        match self.threads {
+            Some(n) => Executor::with_threads(n),
+            None => Executor::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 16 "), Some(16));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads(""), None);
+        assert_eq!(parse_threads("lots"), None);
+        assert_eq!(parse_threads("-2"), None);
+    }
+
+    #[test]
+    fn with_threads_clamps_to_one() {
+        assert_eq!(Executor::with_threads(0).threads(), 1);
+        assert_eq!(Executor::builder().threads(0).build().threads(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Executor contract tests: deterministic ordering, panic propagation,
+//! degenerate inputs, nesting, and the reduce fold-tree guarantee.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use whynot_parallel::{available_threads, Executor};
+
+#[test]
+fn empty_input_returns_empty_without_spawning() {
+    let exec = Executor::with_threads(8);
+    let out: Vec<usize> = exec.par_map_index(0, |_| panic!("must not run"));
+    assert!(out.is_empty());
+    let none: Vec<String> = exec.par_map(&[] as &[u8], |_| panic!("must not run"));
+    assert!(none.is_empty());
+    exec.par_for_each(&[] as &[u8], |_| panic!("must not run"));
+    assert_eq!(exec.par_reduce(0, 7usize, |_| 0, |a, b| a + b), 7);
+}
+
+#[test]
+fn results_land_by_input_index_at_every_thread_count() {
+    let items: Vec<usize> = (0..997).collect();
+    let expected: Vec<usize> = items.iter().map(|i| i * 3 + 1).collect();
+    for threads in [1, 2, 3, 4, 7, 16, 64] {
+        let exec = Executor::with_threads(threads);
+        // Skew the per-item cost so completion order ≠ input order.
+        let got = exec.par_map(&items, |&i| {
+            if i % 97 == 0 {
+                std::thread::yield_now();
+            }
+            i * 3 + 1
+        });
+        assert_eq!(got, expected, "order broke at {threads} threads");
+    }
+}
+
+#[test]
+fn one_thread_degenerates_to_the_sequential_loop() {
+    let exec = Executor::with_threads(1);
+    // Runs entirely on the calling thread: the thread id recorded by
+    // every item is the caller's.
+    let caller = std::thread::current().id();
+    let calls = AtomicUsize::new(0);
+    let out = exec.par_map_index(10, |i| {
+        calls.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(std::thread::current().id(), caller);
+        i
+    });
+    assert_eq!(out, (0..10).collect::<Vec<_>>());
+    assert_eq!(calls.load(Ordering::Relaxed), 10);
+}
+
+#[test]
+fn worker_panics_propagate_with_their_payload() {
+    let exec = Executor::with_threads(4);
+    let caught = std::panic::catch_unwind(|| {
+        exec.par_map_index(100, |i| {
+            if i == 63 {
+                panic!("boom at 63");
+            }
+            i
+        })
+    });
+    let payload = caught.expect_err("the worker panic must propagate");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .map(str::to_owned)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .expect("panic payload survives");
+    assert!(msg.contains("boom at 63"), "{msg}");
+}
+
+#[test]
+fn all_workers_joined_even_when_one_panics() {
+    // Every non-panicking item records itself; after the panic unwinds,
+    // no scoped worker may still be running (scope guarantees the join),
+    // so the count is stable immediately.
+    static DONE: AtomicUsize = AtomicUsize::new(0);
+    let exec = Executor::with_threads(4);
+    let result = std::panic::catch_unwind(|| {
+        exec.par_map_index(64, |i| {
+            if i == 0 {
+                panic!("first chunk dies");
+            }
+            DONE.fetch_add(1, Ordering::SeqCst);
+            i
+        })
+    });
+    assert!(result.is_err());
+    let after = DONE.load(Ordering::SeqCst);
+    std::thread::yield_now();
+    assert_eq!(
+        DONE.load(Ordering::SeqCst),
+        after,
+        "a worker outlived the scope"
+    );
+}
+
+#[test]
+fn nested_fan_out_works() {
+    let outer = Executor::with_threads(3);
+    let inner = Executor::with_threads(2);
+    let table = outer.par_map_index(5, |i| inner.par_map_index(4, move |j| i * 10 + j));
+    for (i, row) in table.iter().enumerate() {
+        assert_eq!(row, &vec![i * 10, i * 10 + 1, i * 10 + 2, i * 10 + 3]);
+    }
+}
+
+#[test]
+fn par_for_each_visits_every_item_exactly_once() {
+    let counts: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+    let items: Vec<usize> = (0..500).collect();
+    Executor::with_threads(8).par_for_each(&items, |&i| {
+        counts[i].fetch_add(1, Ordering::Relaxed);
+    });
+    assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+}
+
+#[test]
+fn par_reduce_is_identical_across_thread_counts() {
+    // A non-commutative (but associative) fold: string concatenation.
+    // The fixed fold tree makes every thread count produce the same
+    // result as the sequential left fold.
+    let expected: String = (0..300).map(|i| format!("{i},")).collect();
+    for threads in [1, 2, 3, 8, 32] {
+        let exec = Executor::with_threads(threads);
+        let got = exec.par_reduce(
+            300,
+            String::new(),
+            |i| format!("{i},"),
+            |mut a, b| {
+                a.push_str(&b);
+                a
+            },
+        );
+        assert_eq!(got, expected, "fold tree changed at {threads} threads");
+    }
+}
+
+#[test]
+fn par_map_with_worker_ids_stay_in_range() {
+    let exec = Executor::with_threads(4);
+    let tagged = exec.par_map_with_worker(200, |worker, i| (worker, i));
+    for (idx, &(worker, i)) in tagged.iter().enumerate() {
+        assert_eq!(i, idx, "results must land by input index");
+        assert!(worker < 4, "worker id {worker} out of range");
+    }
+}
+
+#[test]
+fn available_threads_is_positive() {
+    // Whatever WHYNOT_THREADS / the machine says, the answer is ≥ 1.
+    assert!(available_threads() >= 1);
+}
+
+#[test]
+fn executor_is_send_sync_and_copy() {
+    fn assert_send_sync<T: Send + Sync + Copy>() {}
+    assert_send_sync::<Executor>();
+}

@@ -29,6 +29,9 @@
 //!   memoizing `EvalContext` extension engine, explanations, most-general
 //!   explanations, the exhaustive and incremental search algorithms
 //!   (paper §3, §5) and the Section 6 variations.
+//! * [`parallel`] — the scoped-thread fork/join executor behind the
+//!   parallel search shards (`WHYNOT_THREADS` knob, deterministic result
+//!   order, panic propagation).
 //! * [`scenarios`] — the paper's figures and examples as executable
 //!   scenarios, plus seeded workload generators used by the benches.
 //!
@@ -49,6 +52,7 @@
 pub use whynot_concepts as concepts;
 pub use whynot_core as core;
 pub use whynot_dllite as dllite;
+pub use whynot_parallel as parallel;
 pub use whynot_relation as relation;
 pub use whynot_scenarios as scenarios;
 pub use whynot_subsumption as subsumption;
