@@ -141,8 +141,10 @@ fn main() {
         "{{\n\"bench\": \"parallel\",\n\"unit\": \"ns median of {runs}\",\n\
          \"available_parallelism\": {hardware},\n\"results\": [\n{}\n],\n\
          \"batch_speedup_at_4_threads\": {:.2},\n\
-         \"note\": \"speedup is bounded by available_parallelism; a 1-core \
-         container reports ~1x while still asserting bit-for-bit parity\"\n}}\n",
+         \"note\": \"speedup is bounded by available_parallelism; on a 1-core \
+         container the batch loses outright (while still asserting bit-for-bit \
+         parity) because the sequential path answers out of the session's \
+         engine-v2 conflict cache, which parallel workers rebuild per shard\"\n}}\n",
         rows.join(",\n"),
         speedup_at.get(&4).copied().unwrap_or(0.0),
     );

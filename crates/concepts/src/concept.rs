@@ -196,7 +196,7 @@ impl LsConcept {
     pub fn extension(&self, inst: &Instance) -> Extension {
         let mut ext = Extension::Universal;
         for atom in &self.parts {
-            ext = ext.intersect(&atom.extension(inst));
+            ext.intersect_assign(&atom.extension(inst));
             if ext.is_empty() {
                 break;
             }
@@ -211,7 +211,7 @@ impl LsConcept {
     pub fn extension_in(&self, inst: &Instance, pool: &Arc<ConstPool>) -> Extension {
         let mut ext = Extension::Universal;
         for atom in &self.parts {
-            ext = ext.intersect(&atom.extension_in(inst, pool));
+            ext.intersect_assign(&atom.extension_in(inst, pool));
             if ext.is_empty() {
                 break;
             }

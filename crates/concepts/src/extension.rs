@@ -17,6 +17,7 @@
 //! equality/ordering are value-set equality/ordering regardless of which
 //! pool backs either side.
 
+use crate::kernels;
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -151,13 +152,12 @@ impl ValueSet {
 
     /// Number of members.
     pub fn len(&self) -> usize {
-        let bits: u32 = self.words.iter().map(|w| w.count_ones()).sum();
-        bits as usize + self.extra.len()
+        kernels::count_ones(&self.words) + self.extra.len()
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.extra.is_empty() && self.words.iter().all(|&w| w == 0)
+        self.extra.is_empty() && kernels::is_zero(&self.words)
     }
 
     /// Whether both sets index the same pool (the word-parallel fast
@@ -166,31 +166,27 @@ impl ValueSet {
         Arc::ptr_eq(&self.pool, &other.pool)
     }
 
-    /// Set inclusion `self ⊆ other`. Word-parallel when the pools are
-    /// shared; falls back to per-value membership otherwise.
+    /// Set inclusion `self ⊆ other`. Word-parallel (unrolled kernel)
+    /// when the pools are shared; falls back to per-value membership
+    /// otherwise.
     pub fn is_subset(&self, other: &ValueSet) -> bool {
         if self.same_pool(other) {
-            self.words
-                .iter()
-                .zip(&other.words)
-                .all(|(a, b)| a & !b == 0)
+            kernels::subset(&self.words, &other.words)
                 && self.extra.iter().all(|v| other.extra.contains(v))
         } else {
             self.iter().all(|v| other.contains(v))
         }
     }
 
-    /// Set intersection. Word-parallel when the pools are shared.
+    /// Set intersection. Word-parallel (unrolled kernel) when the pools
+    /// are shared.
     pub fn intersection(&self, other: &ValueSet) -> ValueSet {
         if self.same_pool(other) {
+            let mut words = self.words.clone();
+            kernels::and_assign(&mut words, &other.words);
             ValueSet {
                 pool: Arc::clone(&self.pool),
-                words: self
-                    .words
-                    .iter()
-                    .zip(&other.words)
-                    .map(|(a, b)| a & b)
-                    .collect(),
+                words,
                 extra: self.extra.intersection(&other.extra).cloned().collect(),
             }
         } else {
@@ -198,6 +194,20 @@ impl ValueSet {
                 Arc::clone(&self.pool),
                 self.iter().filter(|v| other.contains(v)).cloned(),
             )
+        }
+    }
+
+    /// In-place intersection `self &= other`: the allocation-free twin
+    /// of [`ValueSet::intersection`] on the shared-pool fast path (the
+    /// conjunction loops of concept evaluation call it once per `⊓`).
+    pub fn intersect_assign(&mut self, other: &ValueSet) {
+        if self.same_pool(other) {
+            kernels::and_assign(&mut self.words, &other.words);
+            if !self.extra.is_empty() {
+                self.extra.retain(|v| other.extra.contains(v));
+            }
+        } else {
+            *self = self.intersection(other);
         }
     }
 
@@ -446,6 +456,19 @@ impl Extension {
         }
     }
 
+    /// In-place intersection `self = self ∩ other`, equal to
+    /// [`Extension::intersect`] but reusing `self`'s words on the
+    /// finite/finite shared-pool path — the product loops intersect one
+    /// running extension per conjunct, so this is what keeps them from
+    /// allocating a fresh extension per `⊓`.
+    pub fn intersect_assign(&mut self, other: &Extension) {
+        match (self, other) {
+            (_, Extension::Universal) => {}
+            (this @ Extension::Universal, e) => *this = e.clone(),
+            (Extension::Finite(a), Extension::Finite(b)) => a.intersect_assign(b),
+        }
+    }
+
     /// The finite set inside, if finite.
     pub fn as_finite(&self) -> Option<&ValueSet> {
         match self {
@@ -608,6 +631,40 @@ mod tests {
         assert!(!all.subset_of(&evens));
         assert_eq!(evens.intersect(&all), evens);
         assert_eq!(evens.len(), Some(65));
+    }
+
+    #[test]
+    fn intersect_assign_matches_intersect() {
+        let pool = Arc::new(ConstPool::from_values((0..130).map(Value::int)));
+        let shared_a = Extension::finite_in(Arc::clone(&pool), (0..100).map(Value::int));
+        let shared_b =
+            Extension::finite_in(Arc::clone(&pool), (50..130).step_by(3).map(Value::int));
+        let mut with_extra_a = Extension::finite_in(Arc::clone(&pool), (0..70).map(Value::int));
+        let mut with_extra_b = Extension::finite_in(Arc::clone(&pool), (60..130).map(Value::int));
+        if let Extension::Finite(set) = &mut with_extra_a {
+            set.insert(Value::str("ghost"));
+            set.insert(Value::str("only-a"));
+        }
+        if let Extension::Finite(set) = &mut with_extra_b {
+            set.insert(Value::str("ghost"));
+        }
+        let private = fin(&[55, 61, 200]); // different pool → slow path
+        let cases = [
+            (shared_a.clone(), shared_b.clone()),
+            (shared_b, shared_a.clone()),
+            (with_extra_a, with_extra_b),
+            (shared_a.clone(), private.clone()),
+            (private, shared_a.clone()),
+            (Extension::Universal, shared_a.clone()),
+            (shared_a, Extension::Universal),
+            (Extension::Universal, Extension::Universal),
+        ];
+        for (a, b) in cases {
+            let expect = a.intersect(&b);
+            let mut got = a.clone();
+            got.intersect_assign(&b);
+            assert_eq!(got, expect, "intersect_assign({a:?}, {b:?})");
+        }
     }
 
     #[test]

@@ -29,7 +29,11 @@
 //!   test and Lemma 5.2's minimal-box enumeration running word-parallel
 //!   in [`ValueId`](whynot_relation::ValueId) space, plus its frozen
 //!   `Send + Sync` [`LubView`] (the [`LubProvider`] trait abstracts
-//!   over both) for the parallel search shards, and
+//!   over both) for the parallel search shards,
+//! * [`kernels`] — the shared unrolled 256-bit-chunk bitset kernels
+//!   every engine crate's hot word loop runs on, and [`IdBits`] —
+//!   two-level (sorted-array / dense-word) id sets selected per column
+//!   by density ([`sparse_threshold`]), and
 //! * [`irredundant`] / [`simplify`] — polynomial-time irredundant
 //!   equivalents (Proposition 6.2).
 
@@ -37,11 +41,13 @@
 
 mod concept;
 mod extension;
+pub mod kernels;
 mod lub;
 mod lub_engine;
 mod minimize;
 mod parse;
 mod selection;
+mod sparse;
 mod table;
 
 pub use concept::{LsAtom, LsConcept};
@@ -51,4 +57,5 @@ pub use lub_engine::{LubEngine, LubProvider, LubView};
 pub use minimize::{irredundant, simplify, simplify_selections};
 pub use parse::{parse_concept, parse_value, ParseError};
 pub use selection::{SelConstraint, Selection};
+pub use sparse::{sparse_threshold, IdBits};
 pub use table::{ExtensionTable, Probe};

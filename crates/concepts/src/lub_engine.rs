@@ -56,12 +56,14 @@
 
 use crate::concept::{LsAtom, LsConcept};
 use crate::extension::ValueSet;
+use crate::kernels;
 use crate::lub::retain_minimal;
 use crate::selection::Selection;
+use crate::sparse::IdBits;
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
-use whynot_relation::{Attr, ConstPool, Instance, RelId, Schema, Value, ValueId};
+use whynot_relation::{Attr, ConstPool, Instance, RelId, Schema, ScratchArena, Value, ValueId};
 
 /// A bounding box in id space: one closed `(lo, hi)` interval per
 /// attribute, id order being value order.
@@ -75,10 +77,12 @@ struct RelColumns {
     cols: Vec<ColumnBits>,
 }
 
-/// The interned occurrence set of one `(rel, attr)` column.
+/// The interned occurrence set of one `(rel, attr)` column. The
+/// container (sorted id array vs dense words) is selected per column by
+/// density — see [`crate::sparse`].
 struct ColumnBits {
-    /// Dense occurrence bitset over the pool (`pool.word_len()` words).
-    words: Vec<u64>,
+    /// Occurrence set over the pool's id space.
+    bits: IdBits,
     /// `(min, max)` occurring ids; `None` for an empty column.
     bounds: Option<(ValueId, ValueId)>,
 }
@@ -111,10 +115,11 @@ impl Support {
 }
 
 /// Word-parallel inclusion `sub ⊆ sup` over equally sized word slices
-/// (the scratch buffers here are plain slices, not [`ValueSet`]s).
+/// (the scratch buffers here are plain slices, not [`ValueSet`]s) —
+/// the shared unrolled kernel.
 #[inline]
 fn words_subset(sub: &[u64], sup: &[u64]) -> bool {
-    sub.iter().zip(sup).all(|(a, b)| a & !b == 0)
+    kernels::subset(sub, sup)
 }
 
 #[inline]
@@ -166,6 +171,9 @@ pub struct LubEngine<'a> {
     pool: Arc<ConstPool>,
     rels: RefCell<BTreeMap<RelId, Arc<RelColumns>>>,
     column_builds: Cell<usize>,
+    /// Recycles the lubσ coverage scratch across calls (one engine
+    /// serves every probe of a growth loop).
+    scratch: ScratchArena,
 }
 
 impl<'a> LubEngine<'a> {
@@ -189,6 +197,7 @@ impl<'a> LubEngine<'a> {
             pool,
             rels: RefCell::new(BTreeMap::new()),
             column_builds: Cell::new(0),
+            scratch: ScratchArena::new(),
         }
     }
 
@@ -247,7 +256,7 @@ impl<'a> LubEngine<'a> {
         let mut atoms = nominal_start(x);
         let support = intern_support(&self.pool, x);
         if support.all_pooled() {
-            let mut scratch = vec![0u64; self.pool.word_len()];
+            let mut scratch = self.scratch.take(self.pool.word_len());
             for rel in self.schema.rel_ids() {
                 push_box_atoms(
                     &self.pool,
@@ -258,6 +267,7 @@ impl<'a> LubEngine<'a> {
                     &mut atoms,
                 );
             }
+            self.scratch.recycle(scratch);
         }
         Some(LsConcept::from_atoms(atoms))
     }
@@ -305,22 +315,29 @@ impl<'a> LubEngine<'a> {
                     .collect()
             })
             .collect();
-        let mut cols: Vec<ColumnBits> = (0..self.schema.arity(rel))
-            .map(|_| ColumnBits {
-                words: vec![0u64; word_len],
-                bounds: None,
-            })
-            .collect();
+        let arity = self.schema.arity(rel);
+        let mut words: Vec<Vec<u64>> = (0..arity).map(|_| vec![0u64; word_len]).collect();
+        let mut bounds: Vec<Option<(ValueId, ValueId)>> = vec![None; arity];
         for row in &rows {
-            for (j, col) in cols.iter_mut().enumerate() {
+            for j in 0..arity {
                 let Some(&id) = row.get(j) else { continue };
-                set_bit(&mut col.words, id);
-                col.bounds = Some(match col.bounds {
+                set_bit(&mut words[j], id);
+                bounds[j] = Some(match bounds[j] {
                     None => (id, id),
                     Some((mn, mx)) => (mn.min(id), mx.max(id)),
                 });
             }
         }
+        // Each column picks its container (sparse array vs dense words)
+        // by density, once, here.
+        let cols = words
+            .into_iter()
+            .zip(bounds)
+            .map(|(w, bounds)| ColumnBits {
+                bits: IdBits::from_words(w, self.pool.len()),
+                bounds,
+            })
+            .collect();
         RelColumns { rows, cols }
     }
 }
@@ -473,7 +490,7 @@ fn intern_support(pool: &Arc<ConstPool>, x: &BTreeSet<Value>) -> Support {
 /// whose occurrence bitset covers the support (word-parallel inclusion).
 fn push_covering_atoms(rel: RelId, rc: &RelColumns, support: &Support, atoms: &mut Vec<LsAtom>) {
     for (attr, col) in rc.cols.iter().enumerate() {
-        if words_subset(support.words(), &col.words) {
+        if col.bits.superset_of_words(support.words()) {
             atoms.push(LsAtom::proj(rel, attr));
         }
     }
@@ -527,7 +544,7 @@ fn minimal_boxes(
         arity,
         0,
         all,
-        Vec::new(),
+        &mut Vec::new(),
         &mut out,
         scratch,
     );
@@ -569,7 +586,9 @@ fn covers_support(
 }
 
 /// Recursive enumeration of dimension-tight boxes, mirroring the legacy
-/// enumeration but with id comparisons and bitset coverage checks.
+/// enumeration but with id comparisons and bitset coverage checks. The
+/// running bound stack is pushed/popped in place (one clone per
+/// *emitted* box, not one per visited node).
 #[allow(clippy::too_many_arguments)]
 fn enumerate_boxes(
     witnesses: &[&[ValueId]],
@@ -578,12 +597,12 @@ fn enumerate_boxes(
     arity: usize,
     dim: usize,
     surviving: Vec<usize>,
-    bounds: IdBox,
+    bounds: &mut IdBox,
     out: &mut Vec<IdBox>,
     scratch: &mut [u64],
 ) {
     if dim == arity {
-        out.push(bounds);
+        out.push(bounds.clone());
         return;
     }
     // The candidate endpoints: the surviving witnesses' coordinates in
@@ -604,8 +623,7 @@ fn enumerate_boxes(
             if !covers_support(witnesses, &next, attr, support, scratch) {
                 continue;
             }
-            let mut b = bounds.clone();
-            b.push((lo, hi));
+            bounds.push((lo, hi));
             enumerate_boxes(
                 witnesses,
                 support,
@@ -613,10 +631,11 @@ fn enumerate_boxes(
                 arity,
                 dim + 1,
                 next,
-                b,
+                bounds,
                 out,
                 scratch,
             );
+            bounds.pop();
         }
     }
 }

@@ -23,7 +23,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use whynot_concepts::{Extension, ExtensionTable};
-use whynot_relation::{ConstPool, Instance, PoolMap, Value};
+use whynot_relation::{ConstPool, Instance, PoolMap, ScratchArena, Value};
 
 /// A memoizing wrapper over an [`Ontology`] and one pinned instance.
 ///
@@ -59,6 +59,10 @@ pub struct EvalContext<'a, O: Ontology> {
     /// the key stays unambiguous.
     pool_maps: RefCell<Vec<(Arc<ConstPool>, PoolMap)>>,
     evaluations: Cell<usize>,
+    /// Recycles the searches' word-buffer scratch (conflict bitsets,
+    /// product-walk mask frames) across the questions this context
+    /// serves.
+    scratch: ScratchArena,
 }
 
 impl<'a, O: Ontology> EvalContext<'a, O> {
@@ -71,6 +75,7 @@ impl<'a, O: Ontology> EvalContext<'a, O> {
             cache: RefCell::new(BTreeMap::new()),
             pool_maps: RefCell::new(Vec::new()),
             evaluations: Cell::new(0),
+            scratch: ScratchArena::new(),
         }
     }
 
@@ -89,6 +94,7 @@ impl<'a, O: Ontology> EvalContext<'a, O> {
             cache: RefCell::new(BTreeMap::new()),
             pool_maps: RefCell::new(Vec::new()),
             evaluations: Cell::new(0),
+            scratch: ScratchArena::new(),
         }
     }
 
@@ -105,6 +111,14 @@ impl<'a, O: Ontology> EvalContext<'a, O> {
     /// The shared pool all cached extensions are interned into.
     pub fn pool(&self) -> &Arc<ConstPool> {
         &self.pool
+    }
+
+    /// The context's scratch arena: searches draw their per-question
+    /// word buffers (conflict bitsets, mask frames) from here and
+    /// recycle them, so a long-lived context answers its second and
+    /// later questions without touching the allocator.
+    pub fn scratch(&self) -> &ScratchArena {
+        &self.scratch
     }
 
     /// `ext(c, I)` — memoized; evaluates the wrapped ontology at most

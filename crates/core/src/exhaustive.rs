@@ -16,9 +16,9 @@ use crate::whynot::{
     exts_form_explanation_q, less_general, Explanation, QuestionRef, WhyNotInstance,
 };
 use std::sync::Arc;
-use whynot_concepts::{Extension, ExtensionTable, Probe};
+use whynot_concepts::{kernels, Extension, ExtensionTable, Probe};
 use whynot_parallel::Executor;
-use whynot_relation::{Tuple, Value};
+use whynot_relation::{ScratchArena, Tuple, Value};
 
 /// Below this many membership probes (candidates × answers) at a
 /// position, the conflict bits are computed inline: the executor spawns
@@ -27,13 +27,26 @@ use whynot_relation::{Tuple, Value};
 const PAR_PROBE_THRESHOLD: usize = 1 << 15;
 
 /// Per-position candidate concepts with precomputed answer-conflict
-/// bitsets.
+/// bitsets, ordered ascending by conflict popcount (most selective
+/// first) — the product walk's masks empty out as early as possible.
 pub(crate) struct Candidates<C> {
     /// Candidate concepts whose extension contains the position's constant.
     pub(crate) concepts: Vec<C>,
     /// `conflicts[k][w]`: bit `j` set iff answer tuple `j`'s value at this
     /// position lies in candidate `k`'s extension.
     pub(crate) conflicts: Vec<Vec<u64>>,
+}
+
+/// Returns a question's conflict buffers to the arena once the search is
+/// done — the next question on the same context re-takes them instead of
+/// allocating.
+pub(crate) fn recycle_candidates<C>(arena: Option<&ScratchArena>, candidates: Vec<Candidates<C>>) {
+    let Some(arena) = arena else { return };
+    for c in candidates {
+        for bits in c.conflicts {
+            arena.recycle(bits);
+        }
+    }
 }
 
 /// The concept indices whose table entry contains `a` — the
@@ -54,8 +67,9 @@ pub(crate) fn build_candidates_with<C: Clone>(
     table: &ExtensionTable,
     indices_for: impl FnMut(&Value) -> Arc<Vec<usize>>,
     q: QuestionRef<'_>,
+    arena: Option<&ScratchArena>,
 ) -> Option<Vec<Candidates<C>>> {
-    build_candidates_exec(all, table, indices_for, q, None)
+    build_candidates_exec(all, table, indices_for, q, None, arena)
 }
 
 /// [`build_candidates_with`] with an optional executor: the per-candidate
@@ -71,6 +85,7 @@ pub(crate) fn build_candidates_exec<C: Clone>(
     mut indices_for: impl FnMut(&Value) -> Arc<Vec<usize>>,
     q: QuestionRef<'_>,
     exec: Option<&Executor>,
+    arena: Option<&ScratchArena>,
 ) -> Option<Vec<Candidates<C>>> {
     let ans: Vec<&Tuple> = q.ans.iter().collect();
     let words = ans.len().div_ceil(64);
@@ -78,27 +93,43 @@ pub(crate) fn build_candidates_exec<C: Clone>(
     for (i, a_i) in q.tuple.iter().enumerate() {
         let idxs = indices_for(a_i);
         if idxs.is_empty() {
+            recycle_candidates(arena, out);
             return None; // no concept covers a_i: no explanation exists
         }
         // Intern this position's answer values once.
         let probes: Vec<Probe> = ans.iter().map(|t| table.probe(&t[i])).collect();
-        let conflicts: Vec<Vec<u64>> = match exec {
+        let mut conflicts: Vec<Vec<u64>> = match exec {
             Some(e)
                 if e.threads() > 1
                     && idxs.len() > 1
                     && idxs.len().saturating_mul(ans.len()) >= PAR_PROBE_THRESHOLD =>
             {
+                // Workers allocate their own buffers; the arena is
+                // single-threaded by design.
                 e.par_map_index(idxs.len(), |ki| {
-                    conflict_bits(table, idxs[ki], i, &ans, &probes, words)
+                    conflict_bits(table, idxs[ki], i, &ans, &probes, words, None)
                 })
             }
             _ => idxs
                 .iter()
-                .map(|&k| conflict_bits(table, k, i, &ans, &probes, words))
+                .map(|&k| conflict_bits(table, k, i, &ans, &probes, words, arena))
                 .collect(),
         };
+        // Selectivity ordering: visit the most-selective candidates
+        // (fewest surviving answers) first, so the product walk's running
+        // masks go empty as early as possible. Stable (ties keep table
+        // order); sound because every consumer of the candidate lists —
+        // sequential, sharded, and session paths alike — shares this
+        // build, and `retain_most_general` sorts the final output.
+        let mut order: Vec<usize> = (0..idxs.len()).collect();
+        order.sort_by_key(|&ki| (kernels::count_ones(&conflicts[ki]), ki));
+        let concepts = order.iter().map(|&ki| all[idxs[ki]].clone()).collect();
+        let conflicts = order
+            .iter()
+            .map(|&ki| std::mem::take(&mut conflicts[ki]))
+            .collect();
         out.push(Candidates {
-            concepts: idxs.iter().map(|&k| all[k].clone()).collect(),
+            concepts,
             conflicts,
         });
     }
@@ -115,8 +146,12 @@ fn conflict_bits(
     ans: &[&Tuple],
     probes: &[Probe],
     words: usize,
+    arena: Option<&ScratchArena>,
 ) -> Vec<u64> {
-    let mut bits = vec![0u64; words];
+    let mut bits = match arena {
+        Some(a) => a.take(words),
+        None => vec![0u64; words],
+    };
     for (j, (t, probe)) in ans.iter().zip(probes).enumerate() {
         if table.entry_contains(k, probe, &t[position]) {
             bits[j / 64] |= 1 << (j % 64);
@@ -151,6 +186,7 @@ fn build_candidates_ctx<O: FiniteOntology>(
         |a| Arc::new(candidate_indices(&table, all.len(), a)),
         wn.question(),
         exec,
+        Some(ctx.scratch()),
     )
 }
 
@@ -165,7 +201,7 @@ pub fn exhaustive_search<O: FiniteOntology>(
     let Some(candidates) = build_candidates(&ctx, wn) else {
         return Vec::new();
     };
-    let found = run_exhaustive(&candidates, wn.question());
+    let found = run_exhaustive(&candidates, wn.question(), Some(ctx.scratch()));
     // Lines 3–5: drop explanations strictly less general than another.
     retain_most_general(ontology, found)
 }
@@ -188,7 +224,7 @@ where
     let Some(candidates) = build_candidates_ctx(&ctx, wn, Some(exec)) else {
         return Vec::new();
     };
-    let found = run_exhaustive_exec(&candidates, wn.question(), Some(exec));
+    let found = run_exhaustive_exec(&candidates, wn.question(), Some(exec), Some(ctx.scratch()));
     retain_most_general(ontology, found)
 }
 
@@ -199,6 +235,7 @@ where
 pub(crate) fn run_exhaustive<C: Clone>(
     candidates: &[Candidates<C>],
     q: QuestionRef<'_>,
+    arena: Option<&ScratchArena>,
 ) -> Vec<Explanation<C>> {
     if q.arity() == 0 {
         return Vec::new();
@@ -206,7 +243,29 @@ pub(crate) fn run_exhaustive<C: Clone>(
     let words = q.ans.len().div_ceil(64);
     let mut found: Vec<Explanation<C>> = Vec::new();
     let mut choice: Vec<usize> = Vec::with_capacity(q.arity());
-    collect(candidates, &mut choice, &vec![u64::MAX; words], &mut found);
+    // One preallocated mask frame per depth — the walk itself never
+    // touches the allocator (cf. the old per-node `Vec` AND).
+    let mut root = match arena {
+        Some(a) => a.take(words),
+        None => vec![0u64; words],
+    };
+    root.fill(u64::MAX);
+    let mut frames = match arena {
+        Some(a) => a.take(words * candidates.len()),
+        None => vec![0u64; words * candidates.len()],
+    };
+    collect(
+        candidates,
+        &mut choice,
+        &root,
+        &mut frames,
+        words,
+        &mut found,
+    );
+    if let Some(a) = arena {
+        a.recycle(root);
+        a.recycle(frames);
+    }
     found
 }
 
@@ -219,6 +278,7 @@ pub(crate) fn run_exhaustive_exec<C: Clone + Send + Sync>(
     candidates: &[Candidates<C>],
     q: QuestionRef<'_>,
     exec: Option<&Executor>,
+    arena: Option<&ScratchArena>,
 ) -> Vec<Explanation<C>> {
     let fanout = candidates.first().map_or(0, |c| c.concepts.len());
     // Same spawn/join amortization bar as the conflict-bit shard: the
@@ -231,15 +291,28 @@ pub(crate) fn run_exhaustive_exec<C: Clone + Send + Sync>(
     let Some(exec) = exec.filter(|e| {
         e.threads() > 1 && fanout > 1 && product.saturating_mul(words) >= PAR_PROBE_THRESHOLD
     }) else {
-        return run_exhaustive(candidates, q);
+        return run_exhaustive(candidates, q, arena);
     };
     let subtrees = exec.par_map_index(fanout, |k| {
         // The sequential root mask is all-ones, so the first AND is just
-        // the candidate's own conflict bits.
+        // the candidate's own conflict bits. Each worker owns its whole
+        // subtree and its own (thread-local) frame stack.
         let masked = candidates[0].conflicts[k].clone();
         let mut found = Vec::new();
         let mut choice = vec![k];
-        collect(candidates, &mut choice, &masked, &mut found);
+        if kernels::is_zero(&masked) {
+            emit_all(candidates, &mut choice, &mut found);
+        } else {
+            let mut frames = vec![0u64; words * candidates.len().saturating_sub(1)];
+            collect(
+                candidates,
+                &mut choice,
+                &masked,
+                &mut frames,
+                words,
+                &mut found,
+            );
+        }
         found
     });
     subtrees.into_iter().flatten().collect()
@@ -249,11 +322,13 @@ fn collect<C: Clone>(
     candidates: &[Candidates<C>],
     choice: &mut Vec<usize>,
     live: &[u64],
+    frames: &mut [u64],
+    words: usize,
     found: &mut Vec<Explanation<C>>,
 ) {
     let depth = choice.len();
     if depth == candidates.len() {
-        if live.iter().all(|w| *w == 0) {
+        if kernels::is_zero(live) {
             found.push(Explanation::new(
                 choice
                     .iter()
@@ -263,14 +338,42 @@ fn collect<C: Clone>(
         }
         return;
     }
+    let (mine, rest) = frames.split_at_mut(words);
     for k in 0..candidates[depth].concepts.len() {
-        let masked: Vec<u64> = live
-            .iter()
-            .zip(&candidates[depth].conflicts[k])
-            .map(|(l, c)| l & c)
-            .collect();
+        let empty = kernels::and_into(mine, live, &candidates[depth].conflicts[k]);
         choice.push(k);
-        collect(candidates, choice, &masked, found);
+        if empty {
+            // The running mask excludes every answer already: every
+            // completion of this prefix is an explanation, in exactly
+            // the DFS emission order — skip the remaining mask work.
+            emit_all(candidates, choice, found);
+        } else {
+            collect(candidates, choice, mine, rest, words, found);
+        }
+        choice.pop();
+    }
+}
+
+/// Emits every completion of the current choice prefix (the subtree
+/// under an already-empty conflict mask — see [`collect`]).
+fn emit_all<C: Clone>(
+    candidates: &[Candidates<C>],
+    choice: &mut Vec<usize>,
+    found: &mut Vec<Explanation<C>>,
+) {
+    let depth = choice.len();
+    if depth == candidates.len() {
+        found.push(Explanation::new(
+            choice
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| candidates[i].concepts[k].clone()),
+        ));
+        return;
+    }
+    for k in 0..candidates[depth].concepts.len() {
+        choice.push(k);
+        emit_all(candidates, choice, found);
         choice.pop();
     }
 }
@@ -309,20 +412,50 @@ pub fn find_explanation<O: FiniteOntology>(
 ) -> Option<Explanation<O::Concept>> {
     let ctx = EvalContext::with_seeds(ontology, &wn.instance, wn.tuple.iter().cloned());
     let candidates = build_candidates(&ctx, wn)?;
-    run_find_one(&candidates, wn.question())
+    run_find_one(&candidates, wn.question(), Some(ctx.scratch()))
 }
 
 /// The backtracking existence search over prebuilt candidates.
 pub(crate) fn run_find_one<C: Clone>(
     candidates: &[Candidates<C>],
     q: QuestionRef<'_>,
+    arena: Option<&ScratchArena>,
 ) -> Option<Explanation<C>> {
     if q.arity() == 0 {
         return None;
     }
     let words = q.ans.len().div_ceil(64);
     let mut choice: Vec<usize> = Vec::with_capacity(q.arity());
-    if search_one(candidates, &mut choice, &vec![u64::MAX; words]) {
+    let mut root = match arena {
+        Some(a) => a.take(words),
+        None => vec![0u64; words],
+    };
+    root.fill(u64::MAX);
+    // Per-depth mask frames plus one shared pair of pruning buffers
+    // (`must_cover` / `excludable` are dead once a node recurses, so one
+    // pair serves the whole search).
+    let mut frames = match arena {
+        Some(a) => a.take(words * candidates.len()),
+        None => vec![0u64; words * candidates.len()],
+    };
+    let mut prune = match arena {
+        Some(a) => a.take(words * 2),
+        None => vec![0u64; words * 2],
+    };
+    let hit = search_one(
+        candidates,
+        &mut choice,
+        &root,
+        &mut frames,
+        &mut prune,
+        words,
+    );
+    if let Some(a) = arena {
+        a.recycle(root);
+        a.recycle(frames);
+        a.recycle(prune);
+    }
+    if hit {
         Some(Explanation::new(
             choice
                 .iter()
@@ -338,37 +471,44 @@ fn search_one<C: Clone>(
     candidates: &[Candidates<C>],
     choice: &mut Vec<usize>,
     live: &[u64],
+    frames: &mut [u64],
+    prune: &mut [u64],
+    words: usize,
 ) -> bool {
     let depth = choice.len();
     if depth == candidates.len() {
-        return live.iter().all(|w| *w == 0);
+        return kernels::is_zero(live);
     }
     // Pruning: if the remaining positions cannot exclude some still-live
     // answer tuple no matter what, fail early. A tuple is excludable at a
     // later position iff some candidate there does not conflict with it.
-    let mut must_cover: Vec<u64> = live.to_vec();
+    let (must_cover, excludable) = prune.split_at_mut(words);
+    must_cover.copy_from_slice(live);
     for cands in &candidates[depth..] {
-        let mut excludable = vec![0u64; live.len()];
+        excludable.fill(0);
         for bits in &cands.conflicts {
             for (e, b) in excludable.iter_mut().zip(bits) {
                 *e |= !b;
             }
         }
-        for (m, e) in must_cover.iter_mut().zip(&excludable) {
-            *m &= !e;
+        for (m, e) in must_cover.iter_mut().zip(excludable.iter()) {
+            *m &= !*e;
         }
     }
-    if must_cover.iter().any(|w| *w != 0) {
+    if !kernels::is_zero(must_cover) {
         return false;
     }
+    let (mine, rest) = frames.split_at_mut(words);
     for k in 0..candidates[depth].concepts.len() {
-        let masked: Vec<u64> = live
-            .iter()
-            .zip(&candidates[depth].conflicts[k])
-            .map(|(l, c)| l & c)
-            .collect();
+        let empty = kernels::and_into(mine, live, &candidates[depth].conflicts[k]);
         choice.push(k);
-        if search_one(candidates, choice, &masked) {
+        if empty {
+            // Every completion succeeds; the DFS would land on the
+            // first candidate at each remaining position.
+            choice.resize(candidates.len(), 0);
+            return true;
+        }
+        if search_one(candidates, choice, mine, rest, prune, words) {
             return true;
         }
         choice.pop();

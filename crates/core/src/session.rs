@@ -13,7 +13,8 @@
 //! | concept extensions | concept (via [`EvalContext`]) | every algorithm; ≤ 1 `ext(c, I)` eval per concept **per session**, not per question |
 //! | the extension table + [`ConstPool`] | — (built once) | Algorithm 1 candidates, `>card` lists, word-parallel membership |
 //! | answer sets `q(I)` | the query `q` | repeated queries with different missing tuples evaluate `q` once |
-//! | candidate concept indices | the position constant `aᵢ` | Algorithm 1 / `>card` per-position candidate lists (only the answer-conflict bits are per-question) |
+//! | candidate concept indices | the position constant `aᵢ` | Algorithm 1 / `>card` per-position candidate lists |
+//! | answer probes + conflict bitsets | `(query, position[, concept])` | Algorithm 1's per-candidate conflict masks — question-independent, so the per-question build is a cache probe and a word copy per candidate |
 //! | `lub` / `lubσ` results | `(`[`LubKind`]`, support set)` | Algorithm 2's growth probes and MGE checks w.r.t. `OI` |
 //! | the pooled [`LubEngine`] columns | `(rel, attr)` (built once) | every lub-cache miss — fresh support sets probe interned column bitsets, never re-materialized columns |
 //! | `LS`-concept extensions | the concept | Algorithm 2's per-step explanation checks |
@@ -76,7 +77,7 @@ use std::cell::{Cell, OnceCell, RefCell};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
-use whynot_concepts::{Extension, ExtensionTable, LsConcept, LubEngine};
+use whynot_concepts::{kernels, Extension, ExtensionTable, LsConcept, LubEngine, Probe};
 use whynot_parallel::Executor;
 use whynot_relation::{ConstPool, Instance, RelError, Schema, Tuple, Ucq, Value};
 
@@ -181,6 +182,10 @@ pub struct SessionStats {
     pub cached_queries: usize,
     /// Distinct position constants whose candidate lists are cached.
     pub cached_candidates: usize,
+    /// Distinct `(query, position, concept)` conflict bitsets cached for
+    /// Algorithm 1 (question-independent: keyed by the query's answers,
+    /// not the missing tuple).
+    pub cached_conflicts: usize,
     /// Distinct `(kind, support)` pairs whose lubs are cached.
     pub cached_lubs: usize,
     /// Distinct `LS` concepts whose extensions are cached (Algorithm 2's
@@ -217,6 +222,10 @@ pub struct WorkerStats {
 
 /// A batched why-not service over one pinned `(ontology, instance)` pair.
 ///
+/// An interned conflict bitset and its popcount, shared out of the
+/// session's conflict cache.
+type ConflictBits = Arc<(Vec<u64>, usize)>;
+
 /// See the [module docs](self) for the cache inventory and an example.
 /// Methods that run Algorithm 1 / CHECK-MGE / the `>card` searches
 /// require [`FiniteOntology`]; Algorithm 2 and its MGE check (which work
@@ -235,6 +244,21 @@ pub struct WhyNotSession<'a, O: Ontology> {
     candidates: RefCell<BTreeMap<Value, Arc<Vec<usize>>>>,
     /// Answer sets keyed by query.
     answers: RefCell<HashMap<Ucq, Arc<BTreeSet<Tuple>>>>,
+    /// Interned answer probes keyed by `(answer set, position)`: the
+    /// `pool.id_of` binary searches for one position's answer column are
+    /// paid once per query, not once per question. The answer set is
+    /// identified by the pointer of its `Arc` in [`answers`] — stable
+    /// and unique because that cache is append-only for the session's
+    /// lifetime.
+    #[allow(clippy::type_complexity)]
+    probes: RefCell<HashMap<(usize, usize), Arc<Vec<Probe>>>>,
+    /// Algorithm 1 conflict bitsets (with their popcounts) keyed by
+    /// `(answer set, position, concept index)`. A candidate's conflict
+    /// bits depend on the query's answers and the concept — *not* on
+    /// the missing tuple — so questions sharing a query reuse them
+    /// wholesale; the per-question work drops to a cache probe and a
+    /// word copy per surviving candidate.
+    conflicts: RefCell<HashMap<(usize, usize, usize), ConflictBits>>,
     /// The pooled lub engine behind the lub cache: one interned column
     /// set per `(rel, attr)` for the whole session, built on the first
     /// lub miss.
@@ -286,6 +310,8 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
             finite: OnceCell::new(),
             candidates: RefCell::new(BTreeMap::new()),
             answers: RefCell::new(HashMap::new()),
+            probes: RefCell::new(HashMap::new()),
+            conflicts: RefCell::new(HashMap::new()),
             lub_engine: OnceCell::new(),
             lubs: [
                 RefCell::new(Arc::new(BTreeMap::new())),
@@ -389,6 +415,7 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
             evaluations: self.ctx.evaluations(),
             cached_queries: self.answers.borrow().len(),
             cached_candidates: self.candidates.borrow().len(),
+            cached_conflicts: self.conflicts.borrow().len(),
             cached_lubs: self.lubs.iter().map(|m| m.borrow().len()).sum(),
             cached_ls_extensions: self.ls_exts.borrow().len(),
             lub_column_builds: self.lub_engine.get().map_or(0, LubEngine::column_builds),
@@ -703,27 +730,111 @@ impl<O: FiniteOntology> WhyNotSession<'_, O> {
         idxs
     }
 
+    /// The pre-interned probes for position `i` of a bound question's
+    /// answer column, cached per `(answer set, position)` (see the
+    /// `probes` field docs).
+    fn probes_for(&self, bound: &BoundQuestion, i: usize) -> Arc<Vec<Probe>> {
+        let key = (Arc::as_ptr(&bound.ans) as usize, i);
+        if let Some(hit) = self.probes.borrow().get(&key) {
+            return Arc::clone(hit);
+        }
+        let (_, table) = self.finite_index();
+        let probes = Arc::new(bound.ans.iter().map(|t| table.probe(&t[i])).collect());
+        self.probes.borrow_mut().insert(key, Arc::clone(&probes));
+        probes
+    }
+
+    /// Concept `k`'s Algorithm 1 conflict bitset (and its popcount) at
+    /// position `i`, cached per `(answer set, position, concept)` (see
+    /// the `conflicts` field docs): bit `j` is set iff answer `j`'s
+    /// value at position `i` lies in the concept's extension.
+    fn conflict_bits_for(
+        &self,
+        bound: &BoundQuestion,
+        i: usize,
+        k: usize,
+    ) -> Arc<(Vec<u64>, usize)> {
+        let key = (Arc::as_ptr(&bound.ans) as usize, i, k);
+        if let Some(hit) = self.conflicts.borrow().get(&key) {
+            return Arc::clone(hit);
+        }
+        let (_, table) = self.finite_index();
+        let probes = self.probes_for(bound, i);
+        let mut bits = vec![0u64; bound.ans.len().div_ceil(64)];
+        for (j, (t, probe)) in bound.ans.iter().zip(probes.iter()).enumerate() {
+            if table.entry_contains(k, probe, &t[i]) {
+                bits[j / 64] |= 1 << (j % 64);
+            }
+        }
+        let count = kernels::count_ones(&bits);
+        let entry = Arc::new((bits, count));
+        self.conflicts.borrow_mut().insert(key, Arc::clone(&entry));
+        entry
+    }
+
+    /// Algorithm 1's per-position candidates for a bound question,
+    /// assembled from the session caches: candidate index lists (per
+    /// constant), probes (per query and position), and conflict bitsets
+    /// (per query, position, and concept). Steady state does no probing
+    /// at all — each position costs its cache lookups plus one arena
+    /// word-copy per candidate. Candidates come out ordered ascending by
+    /// conflict popcount, exactly like
+    /// [`exhaustive::build_candidates_with`] (whose sort key `(count,
+    /// list position)` this reproduces — `indices_for` lists are
+    /// ascending), so session answers stay bit-for-bit equal to the
+    /// one-shot and batch paths.
+    fn cached_candidates_for(
+        &self,
+        bound: &BoundQuestion,
+    ) -> Option<Vec<exhaustive::Candidates<O::Concept>>> {
+        let (all, _) = self.finite_index();
+        let words = bound.ans.len().div_ceil(64);
+        let arena = self.ctx.scratch();
+        let mut out = Vec::with_capacity(bound.tuple.len());
+        for (i, a_i) in bound.tuple.iter().enumerate() {
+            let idxs = self.indices_for(a_i);
+            if idxs.is_empty() {
+                exhaustive::recycle_candidates(Some(arena), out);
+                return None;
+            }
+            let mut entries: Vec<(usize, ConflictBits)> = idxs
+                .iter()
+                .map(|&k| (k, self.conflict_bits_for(bound, i, k)))
+                .collect();
+            entries.sort_by_key(|(k, e)| (e.1, *k));
+            let concepts = entries.iter().map(|(k, _)| all[*k].clone()).collect();
+            let conflicts = entries
+                .iter()
+                .map(|(_, e)| {
+                    let mut buf = arena.take(words);
+                    buf.copy_from_slice(&e.0);
+                    buf
+                })
+                .collect();
+            out.push(exhaustive::Candidates {
+                concepts,
+                conflicts,
+            });
+        }
+        Some(out)
+    }
+
     /// Algorithm 1 (EXHAUSTIVE SEARCH): all most-general explanations for
-    /// the question w.r.t. the pinned finite ontology. When the session
-    /// has an [executor](WhyNotSession::set_executor), the per-candidate
-    /// conflict-bit construction is sharded across its workers (the
-    /// output is identical either way).
+    /// the question w.r.t. the pinned finite ontology. The per-position
+    /// candidates come from the session's conflict-bit cache (see
+    /// [`stats`](WhyNotSession::stats)'s `cached_conflicts`): questions
+    /// sharing a query rebuild nothing but a word copy per candidate.
     pub fn exhaustive(
         &self,
         q: &WhyNotQuestion,
     ) -> Result<Vec<Explanation<O::Concept>>, SessionError> {
         let bound = self.bind(q)?;
-        let (all, table) = self.finite_index();
-        let Some(candidates) = exhaustive::build_candidates_exec(
-            all,
-            table,
-            |a| self.indices_for(a),
-            bound.view(),
-            self.executor.as_ref(),
-        ) else {
+        let arena = Some(self.ctx.scratch());
+        let Some(candidates) = self.cached_candidates_for(&bound) else {
             return Ok(Vec::new());
         };
-        let found = exhaustive::run_exhaustive(&candidates, bound.view());
+        let found = exhaustive::run_exhaustive(&candidates, bound.view(), arena);
+        exhaustive::recycle_candidates(arena, candidates);
         Ok(exhaustive::retain_most_general(self.ontology(), found))
     }
 
@@ -733,13 +844,13 @@ impl<O: FiniteOntology> WhyNotSession<'_, O> {
         q: &WhyNotQuestion,
     ) -> Result<Option<Explanation<O::Concept>>, SessionError> {
         let bound = self.bind(q)?;
-        let (all, table) = self.finite_index();
-        let Some(candidates) =
-            exhaustive::build_candidates_with(all, table, |a| self.indices_for(a), bound.view())
-        else {
+        let arena = Some(self.ctx.scratch());
+        let Some(candidates) = self.cached_candidates_for(&bound) else {
             return Ok(None);
         };
-        Ok(exhaustive::run_find_one(&candidates, bound.view()))
+        let found = exhaustive::run_find_one(&candidates, bound.view(), arena);
+        exhaustive::recycle_candidates(arena, candidates);
+        Ok(found)
     }
 
     /// Whether any explanation exists for the question.
@@ -861,6 +972,9 @@ where
                         // Candidate lists come from the frozen snapshot:
                         // positions are consumed in order, one per call.
                         let mut position = 0usize;
+                        // Workers run in parallel and must not share the
+                        // session's single-threaded arena — they allocate
+                        // locally (`None`).
                         let found = match exhaustive::build_candidates_with(
                             all,
                             table,
@@ -870,9 +984,10 @@ where
                                 idxs
                             },
                             view,
+                            None,
                         ) {
                             None => Vec::new(),
-                            Some(candidates) => exhaustive::run_exhaustive(&candidates, view),
+                            Some(candidates) => exhaustive::run_exhaustive(&candidates, view, None),
                         };
                         Ok(exhaustive::retain_most_general(ontology, found))
                     }
@@ -1001,6 +1116,36 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn scratch_arena_reaches_steady_state_across_questions() {
+        let (o, schema, inst, tc) = fixture();
+        let session = WhyNotSession::new(&o, &schema, &inst);
+        let tuples = [
+            [s("Amsterdam"), s("New York")],
+            [s("Rome"), s("Tokyo")],
+            [s("Kyoto"), s("Amsterdam")],
+            [s("Santa Cruz"), s("Berlin")],
+        ];
+        // Warm up on the first question, then require that later
+        // questions of the same shape draw every word buffer from the
+        // arena's free list instead of the allocator.
+        let warm = WhyNotQuestion::new(two_hop(tc), tuples[0].clone());
+        let _ = session.exhaustive(&warm).unwrap();
+        let _ = session.find_explanation(&warm).unwrap();
+        let after_warmup = session.ctx.scratch().allocations();
+        for t in &tuples[1..] {
+            let q = WhyNotQuestion::new(two_hop(tc), t.clone());
+            let _ = session.exhaustive(&q).unwrap();
+            let _ = session.find_explanation(&q).unwrap();
+        }
+        assert_eq!(
+            session.ctx.scratch().allocations(),
+            after_warmup,
+            "steady-state questions should be allocation-free"
+        );
+        assert!(session.ctx.scratch().reuses() > 0);
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! A recycling bump arena for the engine's word-buffer scratch.
+//!
+//! Every why-not question burns through the same families of transient
+//! `Vec<u64>` buffers: per-candidate conflict bitsets, the product
+//! walk's running masks, the lub engine's coverage scratch. Allocating
+//! them through the global allocator per question (worse: per search
+//! node) is pure overhead — the buffers all have the same length
+//! (`pool.word_len()` or a small multiple) and die before the next
+//! question starts.
+//!
+//! [`ScratchArena`] keeps those carcasses on a free list instead: a
+//! search [`take`](ScratchArena::take)s zeroed buffers, works, and
+//! [`recycle`](ScratchArena::recycle)s them on the way out, so from the
+//! second question on the engine runs allocation-free — "reset per
+//! question" without ever returning memory to the allocator. The
+//! counters ([`allocations`](ScratchArena::allocations) /
+//! [`reuses`](ScratchArena::reuses)) exist so tests can pin that
+//! steady-state behavior, the same way the extension engine pins
+//! evaluation counts.
+//!
+//! The arena is deliberately single-threaded (`RefCell`, like the
+//! caches it sits next to in an evaluation context): parallel workers
+//! have their own stacks and allocate locally; the arena serves the
+//! session-owned sequential paths, which is where per-question churn
+//! actually repeats.
+
+use std::cell::{Cell, RefCell};
+
+/// A free list of `Vec<u64>` scratch buffers (see the module docs).
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    free: RefCell<Vec<Vec<u64>>>,
+    allocations: Cell<usize>,
+    reuses: Cell<usize>,
+}
+
+impl ScratchArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        ScratchArena::default()
+    }
+
+    /// A zeroed buffer of exactly `words` words — recycled when the
+    /// free list has one that fits, freshly allocated otherwise.
+    ///
+    /// The list holds mixed sizes (per-candidate masks, frame stacks,
+    /// pruning pairs), so this is a first-fit scan rather than a blind
+    /// pop: a question that needs a large frame stack must not burn a
+    /// small conflict buffer (regrowing it) while a big carcass sits
+    /// one slot deeper. The list stays tens of entries long, making the
+    /// scan noise next to the buffer work it saves.
+    pub fn take(&self, words: usize) -> Vec<u64> {
+        let mut free = self.free.borrow_mut();
+        match free.iter().position(|buf| buf.capacity() >= words) {
+            Some(at) => {
+                let mut buf = free.swap_remove(at);
+                self.reuses.set(self.reuses.get() + 1);
+                buf.clear();
+                buf.resize(words, 0);
+                buf
+            }
+            None => {
+                // Nothing fits: regrow the smallest carcass (one
+                // reallocation now, the right size parked later) or
+                // start fresh on an empty list. Counted honestly either
+                // way.
+                self.allocations.set(self.allocations.get() + 1);
+                match free.pop() {
+                    Some(mut buf) => {
+                        buf.clear();
+                        buf.resize(words, 0);
+                        buf
+                    }
+                    None => vec![0u64; words],
+                }
+            }
+        }
+    }
+
+    /// Returns a buffer to the free list for the next
+    /// [`take`](ScratchArena::take).
+    pub fn recycle(&self, buf: Vec<u64>) {
+        if buf.capacity() > 0 {
+            self.free.borrow_mut().push(buf);
+        }
+    }
+
+    /// How many buffers were served by the global allocator (a fresh
+    /// `vec!` or a forced regrow).
+    pub fn allocations(&self) -> usize {
+        self.allocations.get()
+    }
+
+    /// How many buffers were served off the free list without touching
+    /// the allocator.
+    pub fn reuses(&self) -> usize {
+        self.reuses.get()
+    }
+
+    /// Buffers currently parked on the free list.
+    pub fn parked(&self) -> usize {
+        self.free.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_zeroed_and_recycled() {
+        let arena = ScratchArena::new();
+        let mut a = arena.take(4);
+        assert_eq!(a, vec![0u64; 4]);
+        a.fill(u64::MAX);
+        arena.recycle(a);
+        assert_eq!(arena.parked(), 1);
+        // The recycled buffer comes back zeroed, with no new allocation.
+        let b = arena.take(4);
+        assert_eq!(b, vec![0u64; 4]);
+        assert_eq!(arena.allocations(), 1);
+        assert_eq!(arena.reuses(), 1);
+        arena.recycle(b);
+        // A bigger request regrows (counted as an allocation).
+        let c = arena.take(64);
+        assert_eq!(c.len(), 64);
+        assert_eq!(arena.allocations(), 2);
+    }
+
+    #[test]
+    fn steady_state_is_allocation_free() {
+        let arena = ScratchArena::new();
+        for _ in 0..10 {
+            let bufs: Vec<Vec<u64>> = (0..3).map(|_| arena.take(8)).collect();
+            for b in bufs {
+                arena.recycle(b);
+            }
+        }
+        assert_eq!(arena.allocations(), 3);
+        assert_eq!(arena.reuses(), 27);
+    }
+}

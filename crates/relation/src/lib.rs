@@ -19,11 +19,14 @@
 //!   selections and the chase,
 //! * [`ConstPool`] / [`ValueId`] — the interned-constant pool over an
 //!   instance's active domain, the id space of the bitset extension
-//!   engine in `whynot-concepts`, and
+//!   engine in `whynot-concepts`,
+//! * [`ScratchArena`] — the recycling free-list arena the search
+//!   engines draw their per-question word-buffer scratch from, and
 //! * [`freeze`] — canonical databases for containment tests.
 
 #![warn(missing_docs)]
 
+mod arena;
 mod constraints;
 mod error;
 mod freeze;
@@ -36,6 +39,7 @@ mod schema;
 mod value;
 mod views;
 
+pub use arena::ScratchArena;
 pub use constraints::{
     classify, validate, view_partition, Constraint, ConstraintClass, Fd, Ind, ViewDef,
     ViewPartition,

@@ -6,18 +6,97 @@
 //! `op ∈ {=, <, >, ≤, ≥}` and `c ∈ Const`. Comparisons **between
 //! variables** are deliberately unsupported, exactly as in the paper.
 //!
-//! Evaluation is a backtracking join: sound, complete, and deliberately
-//! simple — the paper's why-not instances carry their answer set `Ans`
-//! pre-computed, so query evaluation is never on the critical path of the
-//! complexity results (Definition 5.1 discussion).
+//! Evaluation is an index-accelerated backtracking join. Each call
+//! builds a transient [`JoinIndex`] over the relations the query
+//! touches — per attribute position, a hash map from value to the
+//! tuples carrying it — and every search node then narrows to the
+//! smallest bucket among its bound argument positions instead of
+//! scanning the whole relation. Only atoms with no bound argument (the
+//! enumeration roots) still scan, which is the output-bounded part of
+//! the join. The paper's why-not instances carry their answer set `Ans`
+//! pre-computed, so evaluation is never on the critical path of the
+//! complexity results (Definition 5.1 discussion) — but the batched
+//! session layer evaluates each distinct query once, which puts it
+//! squarely on the wall-clock path of a question stream.
 
 use crate::error::RelError;
 use crate::instance::{Instance, Tuple};
 use crate::interval::Interval;
 use crate::schema::{RelId, Schema};
 use crate::value::Value;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+
+/// A transient hash join index over the relations a query touches.
+///
+/// Built once per evaluation call (and shared across the disjuncts of a
+/// [`Ucq`]): for every relation some atom mentions, the tuples in
+/// instance order plus, for each attribute position, a map from value
+/// to the positions of the tuples carrying it. Construction is one pass
+/// over the touched relations — linear, and paid back as soon as any
+/// join step would otherwise rescan a relation under a bound variable.
+/// The index borrows the instance, so it cannot outlive (or observe
+/// mutations of) the data it summarizes.
+struct JoinIndex<'a> {
+    rels: HashMap<RelId, RelIndex<'a>>,
+}
+
+/// One relation's slice of the [`JoinIndex`].
+struct RelIndex<'a> {
+    /// The relation's tuples, in instance (sorted-set) order.
+    tuples: Vec<&'a Tuple>,
+    /// `0..tuples.len()`, lent out when no argument is bound.
+    all: Vec<u32>,
+    /// Per attribute position: value → positions of tuples carrying it.
+    by_attr: Vec<HashMap<&'a Value, Vec<u32>>>,
+}
+
+impl<'a> JoinIndex<'a> {
+    /// Indexes every relation mentioned by `atoms`, each up to the
+    /// widest arity any atom uses it with.
+    fn build<'q>(atoms: impl Iterator<Item = &'q Atom>, inst: &'a Instance) -> Self {
+        let mut need: BTreeMap<RelId, usize> = BTreeMap::new();
+        for atom in atoms {
+            let arity = need.entry(atom.rel).or_insert(0);
+            *arity = (*arity).max(atom.args.len());
+        }
+        let rels = need
+            .into_iter()
+            .map(|(rel, arity)| {
+                let tuples: Vec<&Tuple> = inst.tuples(rel).collect();
+                let all: Vec<u32> = (0..tuples.len() as u32).collect();
+                let mut by_attr: Vec<HashMap<&Value, Vec<u32>>> = vec![HashMap::new(); arity];
+                for (i, t) in tuples.iter().enumerate() {
+                    for (p, bucket) in by_attr.iter_mut().enumerate() {
+                        if let Some(v) = t.get(p) {
+                            bucket.entry(v).or_default().push(i as u32);
+                        }
+                    }
+                }
+                (
+                    rel,
+                    RelIndex {
+                        tuples,
+                        all,
+                        by_attr,
+                    },
+                )
+            })
+            .collect();
+        JoinIndex { rels }
+    }
+}
+
+impl RelIndex<'_> {
+    /// The positions of the tuples whose attribute `attr` equals
+    /// `value` — empty when the value never occurs there.
+    fn bucket(&self, attr: usize, value: &Value) -> &[u32] {
+        self.by_attr
+            .get(attr)
+            .and_then(|m| m.get(value))
+            .map_or(&[], |b| b)
+    }
+}
 
 /// A query variable.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -283,15 +362,22 @@ impl Cq {
 
     /// Evaluates the query over `inst`, returning the answer set `q(I)`.
     pub fn eval(&self, inst: &Instance) -> BTreeSet<Tuple> {
+        let index = JoinIndex::build(self.atoms.iter(), inst);
         let mut out = BTreeSet::new();
+        self.eval_with(&index, &mut out);
+        out
+    }
+
+    /// Evaluates over a pre-built index (shared across a union's
+    /// disjuncts), accumulating answers into `out`.
+    fn eval_with(&self, index: &JoinIndex<'_>, out: &mut BTreeSet<Tuple>) {
         let intervals = self.var_intervals();
         if intervals.values().any(|iv| iv.is_empty()) {
-            return out;
+            return;
         }
         let mut assignment: BTreeMap<Var, Value> = BTreeMap::new();
         let mut remaining: Vec<usize> = (0..self.atoms.len()).collect();
-        self.search(inst, &intervals, &mut assignment, &mut remaining, &mut out);
-        out
+        self.search(index, &intervals, &mut assignment, &mut remaining, out);
     }
 
     /// Whether `tuple` is an answer of the query over `inst`.
@@ -331,8 +417,9 @@ impl Cq {
         }
         let mut remaining: Vec<usize> = (0..self.atoms.len()).collect();
         let mut found = false;
+        let index = JoinIndex::build(self.atoms.iter(), inst);
         self.search_body(
-            inst,
+            &index,
             &intervals,
             &mut assignment,
             &mut remaining,
@@ -346,13 +433,13 @@ impl Cq {
 
     fn search(
         &self,
-        inst: &Instance,
+        index: &JoinIndex<'_>,
         intervals: &BTreeMap<Var, Interval>,
         assignment: &mut BTreeMap<Var, Value>,
         remaining: &mut Vec<usize>,
         out: &mut BTreeSet<Tuple>,
     ) {
-        self.search_body(inst, intervals, assignment, remaining, &mut |assignment| {
+        self.search_body(index, intervals, assignment, remaining, &mut |assignment| {
             let tuple: Option<Tuple> = self
                 .head
                 .iter()
@@ -370,9 +457,14 @@ impl Cq {
 
     /// Core backtracking join. Calls `on_match` for every satisfying
     /// assignment of the body; `on_match` returns `false` to cut the search.
+    ///
+    /// Each node probes the [`JoinIndex`] with every bound argument of
+    /// the picked atom and iterates the smallest bucket; the unifier
+    /// still checks all positions, so the bucket is a sound
+    /// overapproximation, never a filter that could drop matches.
     fn search_body(
         &self,
-        inst: &Instance,
+        index: &JoinIndex<'_>,
         intervals: &BTreeMap<Var, Interval>,
         assignment: &mut BTreeMap<Var, Value>,
         remaining: &mut Vec<usize>,
@@ -383,23 +475,40 @@ impl Cq {
         };
         let idx = remaining.swap_remove(pos);
         let atom = &self.atoms[idx];
-        let tuples: Vec<&Tuple> = inst.tuples(atom.rel).collect();
-        for tuple in tuples {
-            let mut bound_here: Vec<Var> = Vec::new();
-            if self.try_unify(atom, tuple, intervals, assignment, &mut bound_here) {
-                let keep_going = self.search_body(inst, intervals, assignment, remaining, on_match);
-                for v in &bound_here {
-                    assignment.remove(v);
+        if let Some(rel) = index.rels.get(&atom.rel) {
+            let mut candidates: &[u32] = &rel.all;
+            for (p, term) in atom.args.iter().enumerate() {
+                let value = match term {
+                    Term::Const(c) => c,
+                    Term::Var(v) => match assignment.get(v) {
+                        Some(value) => value,
+                        None => continue,
+                    },
+                };
+                let bucket = rel.bucket(p, value);
+                if bucket.len() < candidates.len() {
+                    candidates = bucket;
                 }
-                if !keep_going {
-                    remaining.push(idx);
-                    let last = remaining.len() - 1;
-                    remaining.swap(pos.min(last), last);
-                    return false;
-                }
-            } else {
-                for v in &bound_here {
-                    assignment.remove(v);
+            }
+            for &ti in candidates {
+                let tuple = rel.tuples[ti as usize];
+                let mut bound_here: Vec<Var> = Vec::new();
+                if self.try_unify(atom, tuple, intervals, assignment, &mut bound_here) {
+                    let keep_going =
+                        self.search_body(index, intervals, assignment, remaining, on_match);
+                    for v in &bound_here {
+                        assignment.remove(v);
+                    }
+                    if !keep_going {
+                        remaining.push(idx);
+                        let last = remaining.len() - 1;
+                        remaining.swap(pos.min(last), last);
+                        return false;
+                    }
+                } else {
+                    for v in &bound_here {
+                        assignment.remove(v);
+                    }
                 }
             }
         }
@@ -599,11 +708,13 @@ impl Ucq {
         Ok(())
     }
 
-    /// Evaluates the union over `inst`.
+    /// Evaluates the union over `inst`. The join index is built once
+    /// and shared by every disjunct.
     pub fn eval(&self, inst: &Instance) -> BTreeSet<Tuple> {
+        let index = JoinIndex::build(self.disjuncts.iter().flat_map(|d| d.atoms.iter()), inst);
         let mut out = BTreeSet::new();
         for d in &self.disjuncts {
-            out.extend(d.eval(inst));
+            d.eval_with(&index, &mut out);
         }
         out
     }

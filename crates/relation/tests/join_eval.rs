@@ -1,0 +1,172 @@
+//! The index-accelerated backtracking join against a brute-force
+//! cross-product model.
+//!
+//! `Cq::eval` narrows each search node to the smallest join-index
+//! bucket among its bound arguments; these properties check that the
+//! narrowing never changes the answer set by comparing against an
+//! evaluator with no search at all: enumerate every combination of one
+//! tuple per atom, keep the consistent ones, apply the comparison
+//! intervals, project the head. Queries are decoded from raw byte
+//! vectors (safe by construction: heads and comparisons only use
+//! variables that occur in atoms), spanning 1–3 atoms over a binary and
+//! a unary relation with a mix of variables and constants.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use whynot_relation::{
+    Atom, CmpOp, Comparison, Cq, Instance, Interval, RelId, Term, Tuple, Ucq, Value, Var,
+};
+
+/// Decodes an argument code: 0..4 are variables, 4..6 are constants.
+fn decode_term(code: u8) -> Term {
+    match code % 6 {
+        v @ 0..=3 => Term::Var(Var(v as u32)),
+        c => Term::Const(Value::int(i64::from(c) - 2)),
+    }
+}
+
+/// Builds the two-relation fixture: binary `R` and unary `S`, populated
+/// from the raw codes (values all land in `0..6`, so constants from
+/// [`decode_term`] — `2` and `3` — actually collide with data).
+fn decode_instance(r_raw: &[u8], s_raw: &[u8]) -> Instance {
+    let mut inst = Instance::new();
+    for &code in r_raw {
+        inst.insert(
+            RelId(0),
+            vec![
+                Value::int(i64::from(code % 6)),
+                Value::int(i64::from(code / 6)),
+            ],
+        );
+    }
+    for &code in s_raw {
+        inst.insert(RelId(1), vec![Value::int(i64::from(code % 6))]);
+    }
+    inst
+}
+
+/// Decodes a safe query: atoms from the raw codes, head = every atom
+/// variable in order, comparisons restricted to atom variables.
+fn decode_query(atom_raw: &[u8], cmp_raw: &[u8]) -> Cq {
+    let atoms: Vec<Atom> = atom_raw
+        .iter()
+        .map(|&code| {
+            if code % 2 == 0 {
+                Atom::new(RelId(0), [decode_term(code / 2), decode_term(code / 12)])
+            } else {
+                Atom::new(RelId(1), [decode_term(code / 2)])
+            }
+        })
+        .collect();
+    let vars: Vec<Var> = {
+        let set: BTreeSet<Var> = atoms.iter().flat_map(|a| a.vars()).collect();
+        set.into_iter().collect()
+    };
+    let head: Vec<Term> = vars.iter().map(|&v| Term::Var(v)).collect();
+    let comparisons: Vec<Comparison> = cmp_raw
+        .iter()
+        .filter(|_| !vars.is_empty())
+        .map(|&code| {
+            Comparison::new(
+                vars[code as usize % vars.len()],
+                CmpOp::ALL[code as usize / 4 % 5],
+                Value::int(i64::from(code / 20 % 6)),
+            )
+        })
+        .collect();
+    Cq::new(head, atoms, comparisons)
+}
+
+/// The model: no search, no index — the full cross product of one
+/// tuple per atom, consistency-checked and projected.
+fn brute_force(cq: &Cq, inst: &Instance) -> BTreeSet<Tuple> {
+    let intervals = cq.var_intervals();
+    let mut out = BTreeSet::new();
+    if intervals.values().any(Interval::is_empty) {
+        return out;
+    }
+    let per_atom: Vec<Vec<&Tuple>> = cq
+        .atoms
+        .iter()
+        .map(|a| inst.tuples(a.rel).collect())
+        .collect();
+    if per_atom.iter().any(Vec::is_empty) {
+        return out;
+    }
+    let mut pick = vec![0usize; cq.atoms.len()];
+    loop {
+        let mut assignment: BTreeMap<Var, Value> = BTreeMap::new();
+        let consistent = cq.atoms.iter().enumerate().all(|(a_idx, atom)| {
+            let tuple: &Tuple = per_atom[a_idx][pick[a_idx]];
+            atom.args.len() == tuple.len()
+                && atom.args.iter().zip(tuple).all(|(term, value)| match term {
+                    Term::Const(c) => c == value,
+                    Term::Var(v) => match assignment.get(v) {
+                        Some(prev) => prev == value,
+                        None => {
+                            assignment.insert(*v, value.clone());
+                            true
+                        }
+                    },
+                })
+        });
+        if consistent
+            && intervals
+                .iter()
+                .all(|(v, iv)| assignment.get(v).is_none_or(|val| iv.contains(val)))
+        {
+            let tuple: Option<Tuple> = cq
+                .head
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => Some(c.clone()),
+                    Term::Var(v) => assignment.get(v).cloned(),
+                })
+                .collect();
+            if let Some(t) = tuple {
+                out.insert(t);
+            }
+        }
+        // Odometer step over the cross product.
+        let mut done = true;
+        for (digit, dim) in pick.iter_mut().zip(&per_atom) {
+            *digit += 1;
+            if *digit < dim.len() {
+                done = false;
+                break;
+            }
+            *digit = 0;
+        }
+        if done {
+            return out;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn indexed_eval_matches_brute_force(
+        r_raw in proptest::collection::vec(any::<u8>(), 0..12),
+        s_raw in proptest::collection::vec(0u8..6, 0..8),
+        atom_raw in proptest::collection::vec(any::<u8>(), 1..4),
+        cmp_raw in proptest::collection::vec(any::<u8>(), 0..2),
+    ) {
+        let inst = decode_instance(&r_raw, &s_raw);
+        let cq = decode_query(&atom_raw, &cmp_raw);
+        let model = brute_force(&cq, &inst);
+        prop_assert_eq!(cq.eval(&inst), model.clone());
+        // `answers` goes through the same indexed join with a cut; it
+        // must agree with membership for hits and misses alike.
+        for t in &model {
+            prop_assert!(cq.answers(&inst, t));
+        }
+        let probe = vec![Value::int(2); cq.arity()];
+        prop_assert_eq!(cq.answers(&inst, &probe), model.contains(&probe));
+        // A union of the query with itself changes nothing; the shared
+        // index must behave like the per-disjunct ones.
+        let union = Ucq::new([cq.clone(), cq]);
+        prop_assert_eq!(union.eval(&inst), model);
+    }
+}
