@@ -1,0 +1,141 @@
+//! Live instances: a delta-maintained `WhyNotSession` consuming an
+//! interleaved mutation/question stream vs the pre-delta baseline that
+//! rebuilds a fresh session after every mutation.
+//!
+//! The rebuild baseline is what a caller without `apply_delta` does: keep
+//! a materialized instance, fold each delta into it, and start a cold
+//! session (cold answer sets, cold extension table, cold candidate and
+//! conflict caches) for the questions that follow. The live path applies
+//! the same deltas to one long-lived session, whose selective
+//! invalidation drops only the caches the delta can reach — one mode's
+//! standing query out of all of them — and keeps everything else.
+//!
+//! The workload is `scenarios::generators::modal_mutation_stream` in its
+//! steady-state regime: many independent transport relations, one
+//! standing query per mode, a small delta share (a live service answers
+//! many questions per update), and each delta touching exactly one mode.
+//! Questions run Algorithm 1 (exhaustive search), the cache-bound path;
+//! incremental lub questions key their probes on per-question support
+//! sets that rarely recur across questions, so they are delta-neutral in
+//! both paths and would only dilute the measurement (their correctness
+//! under deltas is covered by the `delta_differential` suite).
+//!
+//! Run with `cargo bench -p whynot-bench --bench live_delta`. Results
+//! land in `BENCH_live_delta.json` at the workspace root: per-size
+//! medians for both paths, plus the steady-state speedup on the largest
+//! size (the acceptance criterion asks for ≥ 10x).
+
+use whynot_bench::median_ns;
+use whynot_core::{Explanation, SessionError, WhyNotSession};
+use whynot_scenarios::generators::{modal_mutation_stream, MutationStep, MutationWorkload};
+
+type AskResult = Result<Vec<Explanation<whynot_core::ConceptName>>, SessionError>;
+
+/// One long-lived session, deltas folded in via `apply_delta`.
+fn live_session(w: &MutationWorkload) -> Vec<AskResult> {
+    let mut session = WhyNotSession::new(&w.ontology, &w.schema, &w.instance);
+    let mut out = Vec::new();
+    for step in &w.steps {
+        match step {
+            MutationStep::Mutate(delta) => {
+                session
+                    .apply_delta(delta)
+                    .expect("generated delta is valid");
+            }
+            MutationStep::Ask(q) => out.push(session.exhaustive(q)),
+        }
+    }
+    out
+}
+
+/// The baseline: materialize each delta, then answer the question run
+/// that follows it with a cold session.
+fn rebuild_per_mutation(w: &MutationWorkload) -> Vec<AskResult> {
+    let mut current = w.instance.clone();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < w.steps.len() {
+        while let Some(MutationStep::Mutate(delta)) = w.steps.get(i) {
+            current = current.apply_delta(delta).instance;
+            i += 1;
+        }
+        if i >= w.steps.len() {
+            break;
+        }
+        let session = WhyNotSession::new(&w.ontology, &w.schema, &current);
+        while let Some(MutationStep::Ask(q)) = w.steps.get(i) {
+            out.push(session.exhaustive(q));
+            i += 1;
+        }
+    }
+    out
+}
+
+fn main() {
+    let sizes = [96usize, 192, 384];
+    let regions = 12;
+    let modes = 48;
+    let mutate_percent = 2;
+    let n_steps = 2400;
+    let runs = 5;
+    let mut rows: Vec<String> = Vec::new();
+    let mut last_speedup = 0.0;
+
+    println!(
+        "live instances: {n_steps}-step steady-state streams ({modes} modes, \
+         {mutate_percent}% deltas), apply_delta vs rebuild per mutation"
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>9}",
+        "cities", "rebuild (ms)", "live (ms)", "speedup"
+    );
+    for &n in &sizes {
+        let w = modal_mutation_stream(n, regions, modes, mutate_percent, n_steps, 42);
+        // Parity first: both paths must give every question the same
+        // explanations (and the same rejections) before either is timed.
+        let live = live_session(&w);
+        let rebuilt = rebuild_per_mutation(&w);
+        assert_eq!(live, rebuilt, "paths disagree at n={n}");
+
+        let t_rebuild = median_ns(
+            || {
+                std::hint::black_box(rebuild_per_mutation(&w));
+            },
+            runs,
+        );
+        let t_live = median_ns(
+            || {
+                std::hint::black_box(live_session(&w));
+            },
+            runs,
+        );
+        let speedup = t_rebuild / t_live;
+        last_speedup = speedup;
+        println!(
+            "{n:>6} {:>14.3} {:>14.3} {speedup:>8.2}x",
+            t_rebuild / 1e6,
+            t_live / 1e6
+        );
+        rows.push(format!(
+            "  {{\"workload\": \"modal_mutation_stream\", \"cities\": {n}, \
+             \"regions\": {regions}, \"modes\": {modes}, \
+             \"mutate_percent\": {mutate_percent}, \"steps\": {n_steps}, \
+             \"rebuild_ns\": {t_rebuild:.0}, \"live_ns\": {t_live:.0}, \
+             \"speedup\": {speedup:.2}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n\"bench\": \"live_delta\",\n\"unit\": \"ns median of {runs}\",\n\
+         \"results\": [\n{}\n],\n\"largest_workload_speedup\": {last_speedup:.2}\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_live_delta.json");
+    std::fs::write(path, &json).expect("write BENCH_live_delta.json");
+    println!("wrote {path}");
+    if last_speedup < 10.0 {
+        println!(
+            "WARNING: live session is {last_speedup:.2}x vs rebuild per mutation — expected >= 10x"
+        );
+    }
+}

@@ -92,6 +92,15 @@ impl LsAtom {
         }
     }
 
+    /// The relation the atom reads, if any (`None` for nominals, whose
+    /// extension is instance-independent).
+    pub fn rel(&self) -> Option<RelId> {
+        match self {
+            LsAtom::Nominal(_) => None,
+            LsAtom::Proj { rel, .. } => Some(*rel),
+        }
+    }
+
     /// Whether the atom uses no selection (`LS` without `σ`).
     pub fn is_selection_free(&self) -> bool {
         match self {
@@ -178,6 +187,13 @@ impl LsConcept {
     /// Number of conjuncts (0 for `⊤`).
     pub fn num_parts(&self) -> usize {
         self.parts.len()
+    }
+
+    /// The relations the concept reads (its signature): the extension
+    /// over an instance can only change when one of these relations
+    /// changes. Empty for `⊤` and purely nominal concepts.
+    pub fn rels(&self) -> std::collections::BTreeSet<RelId> {
+        self.parts.iter().filter_map(LsAtom::rel).collect()
     }
 
     /// Whether this is `⊤`.

@@ -63,7 +63,9 @@ use crate::sparse::IdBits;
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
-use whynot_relation::{Attr, ConstPool, Instance, RelId, Schema, ScratchArena, Value, ValueId};
+use whynot_relation::{
+    Attr, ConstPool, Instance, PoolMap, RelId, Schema, ScratchArena, Value, ValueId,
+};
 
 /// A bounding box in id space: one closed `(lo, hi)` interval per
 /// attribute, id order being value order.
@@ -167,7 +169,10 @@ fn has_bit(words: &[u64], id: ValueId) -> bool {
 /// ```
 pub struct LubEngine<'a> {
     schema: &'a Schema,
-    inst: &'a Instance,
+    /// Owned snapshot (cheap: instances share per-relation storage), so
+    /// the engine can be retargeted by [`LubEngine::apply_delta`]
+    /// without lifetime gymnastics at the session layer.
+    inst: Instance,
     pool: Arc<ConstPool>,
     rels: RefCell<BTreeMap<RelId, Arc<RelColumns>>>,
     column_builds: Cell<usize>,
@@ -178,7 +183,7 @@ pub struct LubEngine<'a> {
 
 impl<'a> LubEngine<'a> {
     /// An engine over a fresh pool covering `adom(I)`.
-    pub fn new(schema: &'a Schema, inst: &'a Instance) -> Self {
+    pub fn new(schema: &'a Schema, inst: &Instance) -> Self {
         LubEngine::with_pool(schema, inst, inst.const_pool())
     }
 
@@ -190,10 +195,10 @@ impl<'a> LubEngine<'a> {
     /// [`Instance::const_pool`] / [`Instance::const_pool_with`] always
     /// do); the first lub over a relation with unpooled constants
     /// panics.
-    pub fn with_pool(schema: &'a Schema, inst: &'a Instance, pool: Arc<ConstPool>) -> Self {
+    pub fn with_pool(schema: &'a Schema, inst: &Instance, pool: Arc<ConstPool>) -> Self {
         LubEngine {
             schema,
-            inst,
+            inst: inst.clone(),
             pool,
             rels: RefCell::new(BTreeMap::new()),
             column_builds: Cell::new(0),
@@ -272,6 +277,43 @@ impl<'a> LubEngine<'a> {
         Some(LsConcept::from_atoms(atoms))
     }
 
+    /// The Lemma 5.1 covering atoms contributed by **one** relation, or
+    /// an empty list when some support element is outside the pool (no
+    /// column can cover it).
+    ///
+    /// Both lub variants assemble their answers relation by relation, so
+    /// a cached lub can be *repaired* after a delta: keep the atoms of
+    /// untouched relations, recompute only the changed relations' atoms
+    /// with this method, and re-collect.
+    pub fn covering_atoms(&self, rel: RelId, x: &BTreeSet<Value>) -> Vec<LsAtom> {
+        let mut atoms = Vec::new();
+        let support = intern_support(&self.pool, x);
+        if support.all_pooled() {
+            push_covering_atoms(rel, &self.rel_columns(rel), &support, &mut atoms);
+        }
+        atoms
+    }
+
+    /// The Lemma 5.2 box atoms contributed by **one** relation; the
+    /// `lubσ` counterpart of [`LubEngine::covering_atoms`].
+    pub fn box_atoms(&self, rel: RelId, x: &BTreeSet<Value>) -> Vec<LsAtom> {
+        let mut atoms = Vec::new();
+        let support = intern_support(&self.pool, x);
+        if support.all_pooled() {
+            let mut scratch = self.scratch.take(self.pool.word_len());
+            push_box_atoms(
+                &self.pool,
+                rel,
+                &self.rel_columns(rel),
+                &support,
+                &mut scratch,
+                &mut atoms,
+            );
+            self.scratch.recycle(scratch);
+        }
+        atoms
+    }
+
     /// Freezes the engine into a read-only [`LubView`] safe to share
     /// across worker threads: every relation's columns are interned now
     /// (counted against [`LubEngine::column_builds`] exactly as lazy use
@@ -301,7 +343,6 @@ impl<'a> LubEngine<'a> {
     }
 
     fn build_rel(&self, rel: RelId) -> RelColumns {
-        let word_len = self.pool.word_len();
         let rows: Vec<Vec<ValueId>> = self
             .inst
             .tuples(rel)
@@ -315,31 +356,104 @@ impl<'a> LubEngine<'a> {
                     .collect()
             })
             .collect();
-        let arity = self.schema.arity(rel);
-        let mut words: Vec<Vec<u64>> = (0..arity).map(|_| vec![0u64; word_len]).collect();
-        let mut bounds: Vec<Option<(ValueId, ValueId)>> = vec![None; arity];
-        for row in &rows {
-            for j in 0..arity {
-                let Some(&id) = row.get(j) else { continue };
-                set_bit(&mut words[j], id);
-                bounds[j] = Some(match bounds[j] {
-                    None => (id, id),
-                    Some((mn, mx)) => (mn.min(id), mx.max(id)),
-                });
-            }
-        }
-        // Each column picks its container (sparse array vs dense words)
-        // by density, once, here.
-        let cols = words
-            .into_iter()
-            .zip(bounds)
-            .map(|(w, bounds)| ColumnBits {
-                bits: IdBits::from_words(w, self.pool.len()),
-                bounds,
-            })
-            .collect();
+        let cols = columns_from_rows(&rows, self.schema.arity(rel), &self.pool);
         RelColumns { rows, cols }
     }
+
+    /// Retargets the engine at a post-delta snapshot, keeping every
+    /// interned column of an unchanged relation.
+    ///
+    /// `changed` is the effective change set from
+    /// [`Instance::apply_delta`]; those relations' columns are dropped
+    /// (rebuilt lazily, counted by [`LubEngine::column_builds`] as
+    /// usual). When the delta introduced new constants the caller passes
+    /// `repool = (next_pool, map)` from
+    /// [`GenPool::absorb`](whynot_relation::GenPool::absorb): retained
+    /// columns are then *remapped* into the new id space — a pure id
+    /// translation, never a re-intern — so they still count as retained.
+    ///
+    /// Returns `(retained, invalidated)` in column units.
+    pub fn apply_delta(
+        &mut self,
+        new_inst: &Instance,
+        changed: &BTreeSet<RelId>,
+        repool: Option<(&Arc<ConstPool>, &PoolMap)>,
+    ) -> (usize, usize) {
+        let mut retained = 0usize;
+        let mut invalidated = 0usize;
+        let mut rels = self.rels.borrow_mut();
+        let old: Vec<(RelId, Arc<RelColumns>)> = std::mem::take(&mut *rels).into_iter().collect();
+        for (rel, rc) in old {
+            if changed.contains(&rel) {
+                invalidated += rc.cols.len();
+                continue;
+            }
+            retained += rc.cols.len();
+            let kept = match repool {
+                None => rc,
+                Some((pool, map)) => Arc::new(remap_columns(&rc, map, pool)),
+            };
+            rels.insert(rel, kept);
+        }
+        drop(rels);
+        self.inst = new_inst.clone();
+        if let Some((pool, _)) = repool {
+            self.pool = Arc::clone(pool);
+        }
+        (retained, invalidated)
+    }
+}
+
+/// Builds the per-attribute occurrence bitsets and id bounds of a
+/// relation's interned rows (shared by first-time builds and
+/// cross-generation remaps).
+fn columns_from_rows(rows: &[Vec<ValueId>], arity: usize, pool: &ConstPool) -> Vec<ColumnBits> {
+    let word_len = pool.word_len();
+    let mut words: Vec<Vec<u64>> = (0..arity).map(|_| vec![0u64; word_len]).collect();
+    let mut bounds: Vec<Option<(ValueId, ValueId)>> = vec![None; arity];
+    for row in rows {
+        for j in 0..arity {
+            let Some(&id) = row.get(j) else { continue };
+            set_bit(&mut words[j], id);
+            bounds[j] = Some(match bounds[j] {
+                None => (id, id),
+                Some((mn, mx)) => (mn.min(id), mx.max(id)),
+            });
+        }
+    }
+    // Each column picks its container (sparse array vs dense words)
+    // by density, once, here.
+    words
+        .into_iter()
+        .zip(bounds)
+        .map(|(w, bounds)| ColumnBits {
+            bits: IdBits::from_words(w, pool.len()),
+            bounds,
+        })
+        .collect()
+}
+
+/// Translates a retained relation's columns into the next pool
+/// generation. The map is total on old ids (generations only grow) and
+/// monotone (id order is value order in both pools), so rows translate
+/// id-by-id and the bitsets are rebuilt from the translated rows without
+/// touching a single [`Value`].
+fn remap_columns(rc: &RelColumns, map: &PoolMap, pool: &ConstPool) -> RelColumns {
+    let rows: Vec<Vec<ValueId>> = rc
+        .rows
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|&id| {
+                    map.translate(id)
+                        .expect("generation maps are total on old ids")
+                })
+                .collect()
+        })
+        .collect();
+    let arity = rc.cols.len();
+    let cols = columns_from_rows(&rows, arity, pool);
+    RelColumns { rows, cols }
 }
 
 /// A read-only snapshot of a [`LubEngine`]'s interned columns, safe to
@@ -786,6 +900,88 @@ mod tests {
         }
         let _again = engine.freeze();
         assert_eq!(engine.column_builds(), 6);
+    }
+
+    #[test]
+    fn apply_delta_retains_unchanged_relation_columns() {
+        let (schema, inst) = paper_fixture();
+        let mut engine = LubEngine::new(&schema, &inst);
+        for x in supports() {
+            let _ = engine.try_lub_sigma(&x);
+        }
+        assert_eq!(engine.column_builds(), 6);
+
+        // Delete one train connection; Cities is untouched.
+        let tc = RelId(1);
+        let mut next = inst.clone();
+        next.remove(tc, &[s("Tokyo"), s("Kyoto")]);
+        let changed: BTreeSet<RelId> = [tc].into_iter().collect();
+        let (retained, invalidated) = engine.apply_delta(&next, &changed, None);
+        assert_eq!((retained, invalidated), (4, 2));
+
+        // Every lub matches a fresh engine over the new instance, and
+        // only TC's 2 columns were rebuilt.
+        let fresh = LubEngine::new(&schema, &next);
+        for x in supports() {
+            assert_eq!(engine.try_lub(&x), fresh.try_lub(&x), "{x:?}");
+            assert_eq!(engine.try_lub_sigma(&x), fresh.try_lub_sigma(&x), "{x:?}");
+        }
+        assert_eq!(engine.column_builds(), 8);
+    }
+
+    #[test]
+    fn apply_delta_remaps_retained_columns_across_generations() {
+        use whynot_relation::GenPool;
+        let (schema, inst) = paper_fixture();
+        let mut gen = GenPool::new(inst.const_pool());
+        let mut engine = LubEngine::with_pool(&schema, &inst, Arc::clone(gen.pool()));
+        for x in supports() {
+            let _ = engine.try_lub_sigma(&x);
+        }
+
+        // Insert a brand-new city constant into TC only.
+        let tc = RelId(1);
+        let mut next = inst.clone();
+        next.insert(tc, vec![s("Kyoto"), s("Aomori")]);
+        let map = gen.absorb([s("Aomori")]).expect("new constant");
+        let changed: BTreeSet<RelId> = [tc].into_iter().collect();
+        let (retained, invalidated) = engine.apply_delta(&next, &changed, Some((gen.pool(), &map)));
+        assert_eq!((retained, invalidated), (4, 2));
+        assert!(Arc::ptr_eq(engine.pool(), gen.pool()));
+
+        let fresh = LubEngine::with_pool(&schema, &next, Arc::clone(gen.pool()));
+        let mut xs = supports();
+        xs.push([s("Aomori")].into_iter().collect());
+        xs.push([s("Aomori"), s("Kyoto")].into_iter().collect());
+        for x in xs {
+            assert_eq!(engine.try_lub(&x), fresh.try_lub(&x), "{x:?}");
+            assert_eq!(engine.try_lub_sigma(&x), fresh.try_lub_sigma(&x), "{x:?}");
+        }
+        // Cities' 4 retained columns were remapped, not rebuilt; only
+        // TC's 2 were re-interned (6 initial + 2).
+        assert_eq!(engine.column_builds(), 8);
+    }
+
+    #[test]
+    fn per_relation_atoms_reassemble_the_full_lub() {
+        let (schema, inst) = paper_fixture();
+        let engine = LubEngine::new(&schema, &inst);
+        for x in supports() {
+            if x.is_empty() {
+                continue;
+            }
+            let mut atoms = nominal_start(&x);
+            let mut atoms_sigma = nominal_start(&x);
+            for rel in schema.rel_ids() {
+                atoms.extend(engine.covering_atoms(rel, &x));
+                atoms_sigma.extend(engine.box_atoms(rel, &x));
+            }
+            assert_eq!(Some(LsConcept::from_atoms(atoms)), engine.try_lub(&x));
+            assert_eq!(
+                Some(LsConcept::from_atoms(atoms_sigma)),
+                engine.try_lub_sigma(&x)
+            );
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use crate::extension::Extension;
 use crate::sparse::IdBits;
 use std::sync::Arc;
-use whynot_relation::{ConstPool, Value, ValueId};
+use whynot_relation::{ConstPool, PoolMap, Value, ValueId};
 
 /// All of a concept list's extensions over one instance, sharing a pool.
 #[derive(Clone, Debug)]
@@ -59,6 +59,53 @@ impl ExtensionTable {
     /// The shared pool.
     pub fn pool(&self) -> &Arc<ConstPool> {
         &self.pool
+    }
+
+    /// Rebuilds the table after an instance delta, re-evaluating **only**
+    /// the `dirty` entries (those whose concept signature intersects the
+    /// changed relations).
+    ///
+    /// Clean entries are retained as-is when the pool is unchanged, or
+    /// bridged into the next generation with one [`PoolMap`] bit remap
+    /// (`map = Some(…)` from
+    /// [`GenPool::absorb`](whynot_relation::GenPool::absorb)) — overflow
+    /// values the new generation interns migrate into bits
+    /// automatically. Returns `(table, reevaluated, retained)`.
+    pub fn refreshed(
+        self,
+        pool: Arc<ConstPool>,
+        map: Option<&PoolMap>,
+        dirty: &[bool],
+        mut eval: impl FnMut(usize) -> Extension,
+    ) -> (ExtensionTable, usize, usize) {
+        debug_assert_eq!(dirty.len(), self.exts.len());
+        let mut reevaluated = 0usize;
+        let mut retained = 0usize;
+        let exts: Vec<Extension> = self
+            .exts
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| {
+                if dirty[i] {
+                    reevaluated += 1;
+                    eval(i).reinterned(&pool)
+                } else {
+                    retained += 1;
+                    match map {
+                        None => e,
+                        Some(m) => e.reinterned_via(&pool, m),
+                    }
+                }
+            })
+            .collect();
+        let sparse = exts
+            .iter()
+            .map(|e| match e {
+                Extension::Finite(set) => IdBits::sparse_from_words(set.words(), pool.len()),
+                Extension::Universal => None,
+            })
+            .collect();
+        (ExtensionTable { pool, exts, sparse }, reevaluated, retained)
     }
 
     /// The extension at `index`.
@@ -148,6 +195,57 @@ mod tests {
                 assert!(Arc::ptr_eq(set.pool(), &pool));
             }
         }
+    }
+
+    #[test]
+    fn refreshed_reevaluates_only_dirty_entries() {
+        let pool = Arc::new(ConstPool::from_values((0..8).map(Value::int)));
+        let table = ExtensionTable::build(Arc::clone(&pool), 3, |i| {
+            Extension::finite((0..=i as i64).map(Value::int))
+        });
+        let mut calls = vec![0usize; 3];
+        let (table, reevaluated, retained) =
+            table.refreshed(Arc::clone(&pool), None, &[false, true, false], |i| {
+                calls[i] += 1;
+                Extension::finite([Value::int(7)])
+            });
+        assert_eq!((reevaluated, retained), (1, 2));
+        assert_eq!(calls, vec![0, 1, 0]);
+        let seven = Value::int(7);
+        let p = table.probe(&seven);
+        assert!(table.entry_contains(1, &p, &seven));
+        assert!(!table.entry_contains(0, &p, &seven));
+    }
+
+    #[test]
+    fn refreshed_bridges_clean_entries_across_generations() {
+        use whynot_relation::GenPool;
+        let pool = Arc::new(ConstPool::from_values((0..4).map(Value::int)));
+        // Entry 1 holds an out-of-pool (overflow) value that the next
+        // generation interns — the remap must migrate it into bits.
+        let ghost = Value::int(100);
+        let table = ExtensionTable::build(Arc::clone(&pool), 2, |i| {
+            if i == 0 {
+                Extension::finite([Value::int(1), Value::int(3)])
+            } else {
+                Extension::finite([Value::int(2), ghost.clone()])
+            }
+        });
+        let mut gen = GenPool::new(pool);
+        let map = gen.absorb([ghost.clone()]).unwrap();
+        let (table, reevaluated, retained) =
+            table.refreshed(Arc::clone(gen.pool()), Some(&map), &[false, false], |_| {
+                unreachable!("no dirty entries")
+            });
+        assert_eq!((reevaluated, retained), (0, 2));
+        assert!(Arc::ptr_eq(table.pool(), gen.pool()));
+        let p = table.probe(&ghost);
+        assert!(p.in_pool(), "ghost is interned in the new generation");
+        assert!(table.entry_contains(1, &p, &ghost));
+        assert!(!table.entry_contains(0, &p, &ghost));
+        let three = Value::int(3);
+        let p3 = table.probe(&three);
+        assert!(table.entry_contains(0, &p3, &three));
     }
 
     #[test]

@@ -20,10 +20,10 @@
 
 use crate::ontology::{FiniteOntology, Ontology};
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use whynot_concepts::{Extension, ExtensionTable};
-use whynot_relation::{ConstPool, Instance, PoolMap, ScratchArena, Value};
+use whynot_relation::{ConstPool, GenPool, Instance, PoolMap, RelId, ScratchArena, Value};
 
 /// A memoizing wrapper over an [`Ontology`] and one pinned instance.
 ///
@@ -50,8 +50,13 @@ use whynot_relation::{ConstPool, Instance, PoolMap, ScratchArena, Value};
 /// ```
 pub struct EvalContext<'a, O: Ontology> {
     ontology: &'a O,
-    instance: &'a Instance,
-    pool: Arc<ConstPool>,
+    /// Owned snapshot of the pinned instance (cheap: instances share
+    /// per-relation storage), so [`EvalContext::apply_delta`] can
+    /// retarget the context without lifetime gymnastics. The
+    /// [`Ontology`] impl recognizes callers' handles to the same data
+    /// via [`Instance::shares_storage`].
+    instance: Instance,
+    pool: GenPool,
     cache: RefCell<BTreeMap<O::Concept, Extension>>,
     /// Id translations from foreign pools (e.g. an `ExplicitOntology`'s
     /// build-time pool) into `pool`, built once per foreign pool. The
@@ -67,11 +72,11 @@ pub struct EvalContext<'a, O: Ontology> {
 
 impl<'a, O: Ontology> EvalContext<'a, O> {
     /// A context over `adom(I)`.
-    pub fn new(ontology: &'a O, instance: &'a Instance) -> Self {
+    pub fn new(ontology: &'a O, instance: &Instance) -> Self {
         EvalContext {
             ontology,
-            instance,
-            pool: instance.const_pool(),
+            instance: instance.clone(),
+            pool: GenPool::new(instance.const_pool()),
             cache: RefCell::new(BTreeMap::new()),
             pool_maps: RefCell::new(Vec::new()),
             evaluations: Cell::new(0),
@@ -84,13 +89,13 @@ impl<'a, O: Ontology> EvalContext<'a, O> {
     /// universe `K`).
     pub fn with_seeds(
         ontology: &'a O,
-        instance: &'a Instance,
+        instance: &Instance,
         seeds: impl IntoIterator<Item = Value>,
     ) -> Self {
         EvalContext {
             ontology,
-            instance,
-            pool: instance.const_pool_with(seeds),
+            instance: instance.clone(),
+            pool: GenPool::new(instance.const_pool_with(seeds)),
             cache: RefCell::new(BTreeMap::new()),
             pool_maps: RefCell::new(Vec::new()),
             evaluations: Cell::new(0),
@@ -103,14 +108,21 @@ impl<'a, O: Ontology> EvalContext<'a, O> {
         self.ontology
     }
 
-    /// The pinned instance.
-    pub fn instance(&self) -> &'a Instance {
-        self.instance
+    /// The pinned instance (the latest snapshot after any deltas).
+    pub fn instance(&self) -> &Instance {
+        &self.instance
     }
 
-    /// The shared pool all cached extensions are interned into.
+    /// The shared pool all cached extensions are interned into (the
+    /// current generation's).
     pub fn pool(&self) -> &Arc<ConstPool> {
-        &self.pool
+        self.pool.pool()
+    }
+
+    /// The pool generation: 0 at construction, bumped once per
+    /// [`EvalContext::apply_delta`] that introduced new constants.
+    pub fn generation(&self) -> u64 {
+        self.pool.generation()
     }
 
     /// The context's scratch arena: searches draw their per-question
@@ -128,7 +140,7 @@ impl<'a, O: Ontology> EvalContext<'a, O> {
             return hit.clone();
         }
         self.evaluations.set(self.evaluations.get() + 1);
-        let ext = self.reintern(self.ontology.extension(c, self.instance));
+        let ext = self.reintern(self.ontology.extension(c, &self.instance));
         self.cache.borrow_mut().insert(c.clone(), ext.clone());
         ext
     }
@@ -145,11 +157,12 @@ impl<'a, O: Ontology> EvalContext<'a, O> {
         let Extension::Finite(set) = &ext else {
             return ext;
         };
-        if Arc::ptr_eq(set.pool(), &self.pool) {
+        let pool = self.pool.pool();
+        if Arc::ptr_eq(set.pool(), pool) {
             return ext;
         }
         if Arc::strong_count(set.pool()) <= 1 {
-            return Extension::Finite(set.reinterned(&self.pool));
+            return Extension::Finite(set.reinterned(pool));
         }
         let mut maps = self.pool_maps.borrow_mut();
         let map = match maps
@@ -158,12 +171,12 @@ impl<'a, O: Ontology> EvalContext<'a, O> {
         {
             Some(i) => &maps[i].1,
             None => {
-                let built = PoolMap::between(set.pool(), &self.pool);
+                let built = PoolMap::between(set.pool(), pool);
                 maps.push((Arc::clone(set.pool()), built));
                 &maps.last().expect("just pushed").1
             }
         };
-        Extension::Finite(set.reinterned_via(&self.pool, map))
+        Extension::Finite(set.reinterned_via(pool, map))
     }
 
     /// How many times the wrapped ontology's extension function ran (the
@@ -175,8 +188,73 @@ impl<'a, O: Ontology> EvalContext<'a, O> {
     /// Evaluates a concept list into an [`ExtensionTable`] (each concept
     /// exactly once, all entries sharing the context pool).
     pub fn table(&self, concepts: &[O::Concept]) -> ExtensionTable {
-        ExtensionTable::for_items(Arc::clone(&self.pool), concepts, |c| self.extension(c))
+        ExtensionTable::for_items(Arc::clone(self.pool.pool()), concepts, |c| {
+            self.extension(c)
+        })
     }
+
+    /// Retargets the context at a post-delta snapshot, dropping **only**
+    /// the cached extensions whose [`signature`](Ontology::signature)
+    /// intersects the effectively changed relations.
+    ///
+    /// `new_constants` are the constants of net-inserted facts (from
+    /// [`DeltaOutcome`](whynot_relation::DeltaOutcome)); any not yet
+    /// pooled trigger a generation bump, and retained cache entries are
+    /// then bridged into the new generation with one bit remap each.
+    /// The scratch arena and the evaluation counter survive untouched.
+    ///
+    /// Returns the generation bridge (for sibling caches interned in the
+    /// same pool) plus drop/retain counts.
+    pub fn apply_delta(
+        &mut self,
+        snapshot: &Instance,
+        changed: &BTreeSet<RelId>,
+        new_constants: impl IntoIterator<Item = Value>,
+    ) -> ContextDelta {
+        let map = self.pool.absorb(new_constants);
+        let pool = Arc::clone(self.pool.pool());
+        if map.is_some() {
+            // Cached foreign-pool translations target the old generation.
+            self.pool_maps.get_mut().clear();
+        }
+        let cache = self.cache.get_mut();
+        let old = std::mem::take(cache);
+        let mut dropped = 0usize;
+        let mut retained = 0usize;
+        for (c, ext) in old {
+            if self.ontology.signature(&c).intersects(changed) {
+                dropped += 1;
+                continue;
+            }
+            retained += 1;
+            let ext = match &map {
+                None => ext,
+                Some(m) => ext.reinterned_via(&pool, m),
+            };
+            cache.insert(c, ext);
+        }
+        self.instance = snapshot.clone();
+        ContextDelta {
+            map,
+            extensions_dropped: dropped,
+            extensions_retained: retained,
+        }
+    }
+}
+
+/// What [`EvalContext::apply_delta`] did: the generation bridge (if the
+/// pool grew) and the per-concept cache counts.
+#[derive(Debug)]
+pub struct ContextDelta {
+    /// Old-generation → new-generation id translation; `None` when no
+    /// new constant was introduced (the common steady-state case).
+    pub map: Option<PoolMap>,
+    /// Cached extensions dropped because their signature intersects the
+    /// delta.
+    pub extensions_dropped: usize,
+    /// Cached extensions that survived (remapped across a generation
+    /// bump if one happened).
+    pub extensions_retained: usize,
 }
 
 impl<O: Ontology> Ontology for EvalContext<'_, O> {
@@ -189,7 +267,9 @@ impl<O: Ontology> Ontology for EvalContext<'_, O> {
     fn extension(&self, c: &O::Concept, inst: &Instance) -> Extension {
         // Serve the pinned instance from the cache; any other instance
         // passes through (Definition 4.8's ext is instance-parametric).
-        if std::ptr::eq(inst, self.instance) {
+        // The context owns a snapshot, so callers' handles are
+        // recognized by shared storage, not just by address.
+        if std::ptr::eq(inst, &self.instance) || inst.shares_storage(&self.instance) {
             self.extension(c)
         } else {
             self.ontology.extension(c, inst)

@@ -15,7 +15,7 @@
 //! finite `LminS[K]` restriction used by the materialization-based upper
 //! bounds (Propositions 4.2, 5.3, 5.4).
 
-use crate::ontology::{FiniteOntology, Ontology};
+use crate::ontology::{ConceptSignature, FiniteOntology, Ontology};
 use std::cell::RefCell;
 use std::collections::BTreeSet;
 use whynot_concepts::{Extension, LsConcept};
@@ -61,6 +61,11 @@ impl Ontology for InstanceOntology {
 
     fn concept_name(&self, c: &LsConcept) -> String {
         c.display(&self.schema).to_string()
+    }
+
+    fn signature(&self, c: &LsConcept) -> ConceptSignature {
+        // An LS concept reads exactly the relations its projections name.
+        ConceptSignature::Rels(c.rels())
     }
 }
 
@@ -111,6 +116,10 @@ impl Ontology for SchemaOntology {
 
     fn concept_name(&self, c: &LsConcept) -> String {
         c.display(&self.schema).to_string()
+    }
+
+    fn signature(&self, c: &LsConcept) -> ConceptSignature {
+        ConceptSignature::Rels(c.rels())
     }
 }
 
@@ -168,6 +177,19 @@ impl Ontology for ObdaOntology {
     fn concept_name(&self, c: &BasicConcept) -> String {
         c.to_string()
     }
+
+    fn signature(&self, _c: &BasicConcept) -> ConceptSignature {
+        // Certain extensions close over the whole TBox, so any concept
+        // may depend on any mapping's body relations; the union over all
+        // mappings is the sound per-ontology signature.
+        ConceptSignature::Rels(
+            self.spec
+                .mappings()
+                .iter()
+                .flat_map(|m| m.body.iter().map(|a| a.rel))
+                .collect(),
+        )
+    }
 }
 
 impl FiniteOntology for ObdaOntology {
@@ -220,6 +242,10 @@ impl<O: Ontology> Ontology for MaterializedOntology<'_, O> {
 
     fn concept_name(&self, c: &O::Concept) -> String {
         self.inner.concept_name(c)
+    }
+
+    fn signature(&self, c: &O::Concept) -> ConceptSignature {
+        self.inner.signature(c)
     }
 }
 

@@ -6,7 +6,7 @@
 //! concept as a function of the instance; the explicit table variant
 //! covers every use in the paper's examples and the benchmark generators.
 
-use crate::ontology::{FiniteOntology, Ontology};
+use crate::ontology::{ConceptSignature, FiniteOntology, Ontology};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
@@ -108,6 +108,12 @@ impl Ontology for ExplicitOntology {
 
     fn concept_name(&self, c: &ConceptName) -> String {
         c.0.clone()
+    }
+
+    fn signature(&self, _c: &ConceptName) -> ConceptSignature {
+        // Stored extensions never read the instance: no delta touches
+        // them.
+        ConceptSignature::Independent
     }
 }
 

@@ -71,7 +71,9 @@ mod variations;
 mod whynot;
 
 pub use context::EvalContext;
-pub use session::{SessionError, SessionStats, WhyNotQuestion, WhyNotSession, WorkerStats};
+pub use session::{
+    DeltaStats, SessionError, SessionStats, WhyNotQuestion, WhyNotSession, WorkerStats,
+};
 pub use whynot_parallel::{Executor, ExecutorBuilder, THREADS_ENV};
 
 pub use derived::{
@@ -90,7 +92,7 @@ pub use incremental::{
     incremental_search_with_selections, LubKind,
 };
 pub use obda_query::obda_why_not;
-pub use ontology::{consistent_with, FiniteOntology, Ontology};
+pub use ontology::{consistent_with, ConceptSignature, FiniteOntology, Ontology};
 pub use schema_mge::{
     all_mges_schema, check_mge_schema, compute_mge_schema, fragment_concepts, fragment_concepts_on,
     SchemaFragment,

@@ -6,9 +6,44 @@
 //! below captures exactly that; [`FiniteOntology`] adds enumerability,
 //! which Algorithm 1 (exhaustive search) requires.
 
+use std::collections::BTreeSet;
 use std::fmt::Debug;
 use whynot_concepts::Extension;
-use whynot_relation::Instance;
+use whynot_relation::{Instance, RelId};
+
+/// Which relations a concept's extension *reads*: the dependency
+/// information the live-instance layer uses to invalidate caches
+/// selectively after a [`Delta`](whynot_relation::Delta).
+///
+/// A signature is sound iff `ext(c, I) = ext(c, J)` whenever `I` and `J`
+/// agree on every relation the signature names. [`ConceptSignature::Any`]
+/// (the conservative default) is always sound; ontologies that know
+/// better should override [`Ontology::signature`] — that is what makes
+/// deltas cheap.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ConceptSignature {
+    /// The extension never depends on the instance (e.g. an
+    /// [`ExplicitOntology`](crate::ExplicitOntology)'s stored sets, or a
+    /// nominal `{c}`). No delta invalidates it.
+    Independent,
+    /// The extension reads exactly these relations; deltas elsewhere
+    /// cannot change it.
+    Rels(BTreeSet<RelId>),
+    /// Unknown dependencies: every effective delta invalidates it.
+    Any,
+}
+
+impl ConceptSignature {
+    /// Whether a delta that effectively changed `changed` can affect an
+    /// extension with this signature.
+    pub fn intersects(&self, changed: &BTreeSet<RelId>) -> bool {
+        match self {
+            ConceptSignature::Independent => false,
+            ConceptSignature::Rels(rels) => rels.iter().any(|r| changed.contains(r)),
+            ConceptSignature::Any => !changed.is_empty(),
+        }
+    }
+}
 
 /// An `S`-ontology `(C, ⊑, ext)` over some relational schema
 /// (Definition 3.1).
@@ -26,6 +61,16 @@ pub trait Ontology {
     /// `Debug`).
     fn concept_name(&self, c: &Self::Concept) -> String {
         format!("{c:?}")
+    }
+
+    /// The relations `ext(c, ·)` reads (see [`ConceptSignature`]).
+    ///
+    /// The default is the always-sound [`ConceptSignature::Any`];
+    /// overriding it with something tighter lets the live-instance layer
+    /// keep this concept's cached extensions across unrelated deltas.
+    fn signature(&self, c: &Self::Concept) -> ConceptSignature {
+        let _ = c;
+        ConceptSignature::Any
     }
 
     /// Strict subsumption `sub ⊏ sup` in the pre-order: `sub ⊑ sup` and

@@ -74,12 +74,12 @@ use crate::ontology::{FiniteOntology, Ontology};
 use crate::variations;
 use crate::whynot::{exts_form_explanation_q, Explanation, QuestionRef};
 use std::cell::{Cell, OnceCell, RefCell};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 use whynot_concepts::{kernels, Extension, ExtensionTable, LsConcept, LubEngine, Probe};
 use whynot_parallel::Executor;
-use whynot_relation::{ConstPool, Instance, RelError, Schema, Tuple, Ucq, Value};
+use whynot_relation::{ConstPool, Delta, Instance, RelError, RelId, Schema, Tuple, Ucq, Value};
 
 /// One question of a batched stream: the query `q` and the missing tuple
 /// `a`. The schema, instance, and answer set all live in the
@@ -146,10 +146,25 @@ impl From<RelError> for SessionError {
     }
 }
 
+/// One memoized `lub` / `lubσ` result, validated lazily against the
+/// session's delta journal: `epoch` is the journal length at the last
+/// validation, and `pooled` records whether the support was fully pooled
+/// then (an unpooled support has a nominal-only, instance-independent
+/// lub that no delta can invalidate). [`WhyNotSession::apply_delta`]
+/// never touches these entries — [`WhyNotSession::cached_lub`] repairs a
+/// stale entry on its next access, so the many supports a question
+/// stream never revisits cost nothing per delta.
+#[derive(Clone)]
+struct LubEntry {
+    concept: LsConcept,
+    pooled: bool,
+    epoch: usize,
+}
+
 /// The session's memoized `lub` / `lubσ` results for one [`LubKind`].
 /// Behind an `Arc` so a parallel batch snapshots the whole map in O(1);
 /// see the field docs on [`WhyNotSession::lubs`].
-type LubCache = Arc<BTreeMap<BTreeSet<Value>, LsConcept>>;
+type LubCache = Arc<BTreeMap<BTreeSet<Value>, LubEntry>>;
 
 /// A question validated and bound against the session's instance: the
 /// answer set is resolved (possibly from cache) and the tuple is known to
@@ -201,6 +216,120 @@ pub struct SessionStats {
     /// Questions that went through a parallel batch fan-out (included in
     /// `questions` too — batches bind through the same validation path).
     pub batch_questions: usize,
+    /// [`apply_delta`](WhyNotSession::apply_delta) calls accepted
+    /// (including no-ops).
+    pub deltas: usize,
+    /// Cache entries invalidated by deltas, summed over all calls (see
+    /// [`DeltaStats::invalidated`]).
+    pub delta_invalidated: usize,
+    /// Cache entries that survived deltas, summed over all calls (see
+    /// [`DeltaStats::retained`]).
+    pub delta_retained: usize,
+    /// The [`ConstPool`] generation: 0 at construction, bumped by each
+    /// delta that introduced constants outside the current pool.
+    pub pool_generation: u64,
+}
+
+/// What one [`WhyNotSession::apply_delta`] call did to each session
+/// cache: how much was invalidated (dropped, re-evaluated, or repaired)
+/// versus retained across the mutation. A no-op delta returns the
+/// all-zero default — nothing is invalidated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DeltaStats {
+    /// Relations whose fact set effectively changed.
+    pub changed_relations: usize,
+    /// Facts present after the delta that were absent before.
+    pub facts_inserted: usize,
+    /// Facts absent after the delta that were present before.
+    pub facts_deleted: usize,
+    /// Whether the delta introduced constants outside the pool (forcing a
+    /// generation bump; retained interned caches were bit-remapped).
+    pub generation_bumped: bool,
+    /// Memoized `ext(c, I)` entries dropped because the concept's
+    /// [`signature`](Ontology::signature) intersects the changed
+    /// relations.
+    pub extensions_dropped: usize,
+    /// Memoized `ext(c, I)` entries that survived.
+    pub extensions_retained: usize,
+    /// Extension-table entries re-evaluated (dirty signatures).
+    pub table_reevaluated: usize,
+    /// Extension-table entries carried over unchanged (or bit-remapped
+    /// across a generation bump).
+    pub table_retained: usize,
+    /// Cached answer sets dropped because the query mentions a changed
+    /// relation.
+    pub answers_dropped: usize,
+    /// Cached answer sets that survived.
+    pub answers_retained: usize,
+    /// Per-constant candidate lists dropped (any dirty concept can
+    /// reshuffle every list).
+    pub candidates_dropped: usize,
+    /// Per-constant candidate lists that survived.
+    pub candidates_retained: usize,
+    /// Interned answer probes dropped (their answer set died, or a
+    /// generation bump re-numbered every id).
+    pub probes_dropped: usize,
+    /// Interned answer probes that survived.
+    pub probes_retained: usize,
+    /// Conflict bitsets dropped (answer set died or concept dirty).
+    pub conflicts_dropped: usize,
+    /// Conflict bitsets that survived (they are value-semantic — safe
+    /// across generation bumps).
+    pub conflicts_retained: usize,
+    /// Cached lubs scheduled for recomputation from scratch (their
+    /// support gained pooled constants in the new generation, which can
+    /// grow the lub beyond its nominal atoms). The recompute itself runs
+    /// lazily, on the entry's next access.
+    pub lubs_recomputed: usize,
+    /// Cached lubs scheduled for atom-level repair: unchanged relations'
+    /// atoms kept, changed relations' contributions re-derived against
+    /// the engine's fresh columns. The repair itself runs lazily, on the
+    /// entry's next access — supports a question stream never revisits
+    /// cost nothing.
+    pub lubs_repaired: usize,
+    /// Cached lubs untouched (support not fully pooled — the result is
+    /// nominal-only and instance-independent).
+    pub lubs_retained: usize,
+    /// `LS`-concept extensions dropped (the concept reads a changed
+    /// relation).
+    pub ls_extensions_dropped: usize,
+    /// `LS`-concept extensions that survived.
+    pub ls_extensions_retained: usize,
+    /// Lub-engine column sets dropped (their relation changed).
+    pub lub_columns_dropped: usize,
+    /// Lub-engine column sets retained (id-remapped across a bump).
+    pub lub_columns_retained: usize,
+}
+
+impl DeltaStats {
+    /// Total cache entries the delta invalidated: everything dropped,
+    /// re-evaluated, repaired, or recomputed.
+    pub fn invalidated(&self) -> usize {
+        self.extensions_dropped
+            + self.table_reevaluated
+            + self.answers_dropped
+            + self.candidates_dropped
+            + self.probes_dropped
+            + self.conflicts_dropped
+            + self.lubs_recomputed
+            + self.lubs_repaired
+            + self.ls_extensions_dropped
+            + self.lub_columns_dropped
+    }
+
+    /// Total cache entries that survived the delta intact (possibly
+    /// bit-remapped into a new pool generation, never re-evaluated).
+    pub fn retained(&self) -> usize {
+        self.extensions_retained
+            + self.table_retained
+            + self.answers_retained
+            + self.candidates_retained
+            + self.probes_retained
+            + self.conflicts_retained
+            + self.lubs_retained
+            + self.ls_extensions_retained
+            + self.lub_columns_retained
+    }
 }
 
 /// Per-worker counters of the most recent parallel batch (see
@@ -270,11 +399,21 @@ pub struct WhyNotSession<'a, O: Ontology> {
     /// (a pointer clone); sequential inserts go through `Arc::make_mut`,
     /// which mutates in place while no snapshot is alive.
     lubs: [RefCell<LubCache>; 2],
+    /// The effective change set of every accepted delta, in order: the
+    /// journal lazy lub repair replays. An entry with `epoch == len` is
+    /// current; a stale one re-derives exactly the relations in
+    /// `lub_log[epoch..]` on its next access.
+    lub_log: RefCell<Vec<BTreeSet<RelId>>>,
     /// `LS`-concept extensions (Algorithm 2's candidates) keyed by
     /// concept, interned into the session pool (`Arc` for the same O(1)
     /// batch-snapshot reason).
     ls_exts: RefCell<Arc<BTreeMap<LsConcept, Extension>>>,
     questions: Cell<usize>,
+    /// Delta accounting: calls accepted, entries invalidated, entries
+    /// retained (summed over calls; see [`DeltaStats`]).
+    deltas: Cell<usize>,
+    delta_invalidated: Cell<usize>,
+    delta_retained: Cell<usize>,
     /// The executor parallel batches (and the exhaustive conflict-bit
     /// shard) run on; `None` means each batch call builds a default one
     /// from `WHYNOT_THREADS` / the machine parallelism.
@@ -317,8 +456,12 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
                 RefCell::new(Arc::new(BTreeMap::new())),
                 RefCell::new(Arc::new(BTreeMap::new())),
             ],
+            lub_log: RefCell::new(Vec::new()),
             ls_exts: RefCell::new(Arc::new(BTreeMap::new())),
             questions: Cell::new(0),
+            deltas: Cell::new(0),
+            delta_invalidated: Cell::new(0),
+            delta_retained: Cell::new(0),
             executor: None,
             batches: Cell::new(0),
             batch_questions: Cell::new(0),
@@ -384,8 +527,9 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
         self.schema
     }
 
-    /// The pinned instance.
-    pub fn instance(&self) -> &'a Instance {
+    /// The pinned instance (the latest snapshot after any
+    /// [`apply_delta`](WhyNotSession::apply_delta) calls).
+    pub fn instance(&self) -> &Instance {
         self.ctx.instance()
     }
 
@@ -421,7 +565,240 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
             lub_column_builds: self.lub_engine.get().map_or(0, LubEngine::column_builds),
             batches: self.batches.get(),
             batch_questions: self.batch_questions.get(),
+            deltas: self.deltas.get(),
+            delta_invalidated: self.delta_invalidated.get(),
+            delta_retained: self.delta_retained.get(),
+            pool_generation: self.ctx.generation(),
         }
+    }
+
+    /// Applies a tuple-level [`Delta`] to the pinned instance **in
+    /// place**, invalidating only the cache entries the changed relations
+    /// can actually affect. Everything else — unrelated extensions,
+    /// answer sets, conflict bitsets, lub results, interned columns, the
+    /// scratch arena — survives, so a long-lived session absorbs
+    /// mutations without restarting from cold caches.
+    ///
+    /// Invalidation is keyed on the delta's *effective* change set (a
+    /// mutation that cancels out touches nothing) intersected with each
+    /// cache entry's relation footprint: the ontology's
+    /// [`signature`](Ontology::signature) for concept extensions, the
+    /// query's atoms for answer sets, the `LS` concept's atoms for lubs
+    /// and their extensions. Constants never seen before trigger a
+    /// [`ConstPool`] generation bump; retained interned caches are then
+    /// bridged with one bit-remap each, never re-evaluated.
+    ///
+    /// A malformed delta (unknown relation, arity mismatch) is rejected
+    /// with [`SessionError::Invalid`] before anything is touched.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use whynot_core::{ExplicitOntology, SessionError, WhyNotQuestion, WhyNotSession};
+    /// use whynot_relation::{Atom, Cq, Delta, Instance, SchemaBuilder, Term, Ucq, Value, Var};
+    ///
+    /// let ontology = ExplicitOntology::builder()
+    ///     .concept("City", ["Amsterdam", "Berlin", "New York"])
+    ///     .concept("European-City", ["Amsterdam", "Berlin"])
+    ///     .concept("US-City", ["New York"])
+    ///     .edge("European-City", "City")
+    ///     .edge("US-City", "City")
+    ///     .build();
+    /// let mut b = SchemaBuilder::new();
+    /// let tc = b.relation("TC", ["from", "to"]);
+    /// let schema = b.finish().unwrap();
+    /// let mut instance = Instance::new();
+    /// instance.insert(tc, vec![Value::str("Amsterdam"), Value::str("Berlin")]);
+    ///
+    /// let mut session = WhyNotSession::new(&ontology, &schema, &instance);
+    /// let q = Ucq::single(Cq::new(
+    ///     [Term::Var(Var(0)), Term::Var(Var(1))],
+    ///     [Atom::new(tc, [Term::Var(Var(0)), Term::Var(Var(1))])],
+    ///     [],
+    /// ));
+    /// // "Why is there no train from New York to Amsterdam?"
+    /// let question = WhyNotQuestion::new(q, [Value::str("New York"), Value::str("Amsterdam")]);
+    /// assert!(!session.exhaustive(&question)?.is_empty());
+    ///
+    /// // Insert the missing connection live: the very next question sees it.
+    /// let mut delta = Delta::new();
+    /// delta.insert(tc, vec![Value::str("New York"), Value::str("Amsterdam")]);
+    /// let stats = session.apply_delta(&delta)?;
+    /// assert_eq!(stats.facts_inserted, 1);
+    /// // The query's answer set was dropped (it reads TC) …
+    /// assert_eq!(stats.answers_dropped, 1);
+    /// // … but the explicit ontology's extensions are instance-independent
+    /// // and all survived.
+    /// assert_eq!(stats.extensions_dropped, 0);
+    /// assert!(matches!(
+    ///     session.exhaustive(&question),
+    ///     Err(SessionError::TupleIsAnswer(_))
+    /// ));
+    /// # Ok::<(), SessionError>(())
+    /// ```
+    pub fn apply_delta(&mut self, delta: &Delta) -> Result<DeltaStats, SessionError> {
+        delta.check(self.schema)?;
+        let outcome = self.instance().apply_delta(delta);
+        self.deltas.set(self.deltas.get() + 1);
+        if outcome.is_noop() {
+            return Ok(DeltaStats::default());
+        }
+        let changed = outcome.changed;
+        let mut stats = DeltaStats {
+            changed_relations: changed.len(),
+            facts_inserted: outcome.inserted,
+            facts_deleted: outcome.deleted,
+            ..DeltaStats::default()
+        };
+
+        // 1. The evaluation context: per-concept extension memo, pool
+        // generation, scratch arena (which survives untouched).
+        let ctx_delta = self.ctx.apply_delta(
+            &outcome.instance,
+            &changed,
+            outcome.inserted_constants.iter().cloned(),
+        );
+        let map = ctx_delta.map;
+        stats.generation_bumped = map.is_some();
+        stats.extensions_dropped = ctx_delta.extensions_dropped;
+        stats.extensions_retained = ctx_delta.extensions_retained;
+        let pool = Arc::clone(self.ctx.pool());
+
+        // 2. adom(I): any effective delta can change it.
+        self.adom.take();
+
+        // 3. The finite index: re-evaluate only dirty entries, bridge the
+        // clean ones across the (possible) generation bump.
+        let mut dirty: Vec<bool> = Vec::new();
+        if let Some((concepts, table)) = self.finite.take() {
+            dirty = concepts
+                .iter()
+                .map(|c| self.ontology().signature(c).intersects(&changed))
+                .collect();
+            let (table, reevaluated, retained) =
+                table.refreshed(Arc::clone(&pool), map.as_ref(), &dirty, |i| {
+                    self.ctx.extension(&concepts[i])
+                });
+            stats.table_reevaluated = reevaluated;
+            stats.table_retained = retained;
+            self.finite
+                .set((concepts, table))
+                .expect("finite cell was taken");
+        }
+        let any_concept_dirty = dirty.iter().any(|&d| d);
+
+        // 4. Candidate lists: membership of *any* dirty concept can
+        // reshuffle every per-constant list.
+        let candidates = self.candidates.get_mut();
+        if any_concept_dirty {
+            stats.candidates_dropped = candidates.len();
+            candidates.clear();
+        } else {
+            stats.candidates_retained = candidates.len();
+        }
+
+        // 5. Answer sets: drop exactly the queries that read a changed
+        // relation, remembering the dying `Arc` addresses so the
+        // pointer-keyed probe and conflict caches can be purged *before*
+        // a future answer set could reuse a freed address.
+        let answers = self.answers.get_mut();
+        let before = answers.len();
+        let mut dead_ptrs: HashSet<usize> = HashSet::new();
+        answers.retain(|q, ans| {
+            if q.rels().iter().any(|r| changed.contains(r)) {
+                dead_ptrs.insert(Arc::as_ptr(ans) as usize);
+                false
+            } else {
+                true
+            }
+        });
+        stats.answers_dropped = before - answers.len();
+        stats.answers_retained = answers.len();
+
+        // 6. Answer probes: invalid wholesale on a generation bump (ids
+        // were re-numbered), otherwise they die with their answer set.
+        let probes = self.probes.get_mut();
+        let before = probes.len();
+        if map.is_some() {
+            probes.clear();
+        } else {
+            probes.retain(|(ptr, _), _| !dead_ptrs.contains(ptr));
+        }
+        stats.probes_dropped = before - probes.len();
+        stats.probes_retained = probes.len();
+
+        // 7. Conflict bitsets are value-semantic (answer index →
+        // membership): they survive generation bumps, and die only with
+        // their answer set or their concept.
+        let conflicts = self.conflicts.get_mut();
+        let before = conflicts.len();
+        conflicts.retain(|(ptr, _, k), _| {
+            !dead_ptrs.contains(ptr) && !dirty.get(*k).copied().unwrap_or(true)
+        });
+        stats.conflicts_dropped = before - conflicts.len();
+        stats.conflicts_retained = conflicts.len();
+
+        // 8. The lub engine: changed relations' columns drop, retained
+        // ones are id-remapped across a bump. (If lubs were cached the
+        // engine necessarily exists — misses build it.)
+        if let Some(engine) = self.lub_engine.get_mut() {
+            let repool = map.as_ref().map(|m| (&pool, m));
+            let (cols_retained, cols_dropped) =
+                engine.apply_delta(&outcome.instance, &changed, repool);
+            stats.lub_columns_retained = cols_retained;
+            stats.lub_columns_dropped = cols_dropped;
+        }
+
+        // 9. Cached lubs: repaired *lazily*, not discarded. A lub is the
+        // nominal of its support plus per-relation contributions; the
+        // contributions of unchanged relations stay exact, but a changed
+        // relation can both lose and *gain* atoms, so every pooled entry
+        // needs its changed relations re-derived. Doing that here would
+        // be O(cache) engine work per delta — and the cache accumulates
+        // every support a question stream ever probed, most of which are
+        // never probed again. Instead the change set is appended to the
+        // delta journal and a stale entry is repaired on its next access
+        // (see `cached_lub`); this loop only classifies, for the stats:
+        // pooled entries are scheduled for repair, unpooled ones have
+        // nominal-only (instance-independent) lubs and stay valid as
+        // they are — unless this delta's generation bump just pooled
+        // their support, which forces a recompute (the lub can grow
+        // relation atoms it never had).
+        self.lub_log.get_mut().push(changed.clone());
+        for cache_cell in self.lubs.iter_mut() {
+            for (support, entry) in cache_cell.get_mut().iter() {
+                if entry.pooled {
+                    stats.lubs_repaired += 1;
+                } else if map.is_some() && support.iter().all(|v| pool.id_of(v).is_some()) {
+                    stats.lubs_recomputed += 1;
+                } else {
+                    stats.lubs_retained += 1;
+                }
+            }
+        }
+
+        // 10. LS-concept extensions: an extension reads exactly its
+        // concept's relations (nominals read none).
+        let ls_cache = Arc::make_mut(self.ls_exts.get_mut());
+        let old_ls = std::mem::take(ls_cache);
+        for (c, ext) in old_ls {
+            if c.rels().iter().any(|r| changed.contains(r)) {
+                stats.ls_extensions_dropped += 1;
+                continue;
+            }
+            stats.ls_extensions_retained += 1;
+            let ext = match &map {
+                None => ext,
+                Some(m) => ext.reinterned_via(&pool, m),
+            };
+            ls_cache.insert(c, ext);
+        }
+
+        self.delta_invalidated
+            .set(self.delta_invalidated.get() + stats.invalidated());
+        self.delta_retained
+            .set(self.delta_retained.get() + stats.retained());
+        Ok(stats)
     }
 
     /// The session's pooled lub engine, built (empty) on first use; its
@@ -462,11 +839,20 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
     /// The memoized lub for a support set known to be non-empty. Hits
     /// probe the per-kind map by reference; only a miss clones the
     /// support set (as the inserted key) and runs the pooled
-    /// [`LubEngine`], whose column sets are interned once per session.
+    /// [`LubEngine`], whose column sets are interned once per session. A
+    /// hit left stale by [`apply_delta`](WhyNotSession::apply_delta) is
+    /// revalidated here against the delta journal first — see
+    /// [`revalidate_lub`](WhyNotSession::revalidate_lub).
     fn cached_lub(&self, kind: LubKind, support: &BTreeSet<Value>) -> LsConcept {
+        let epoch = self.lub_log.borrow().len();
         let slot = &self.lubs[kind_slot(kind)];
-        if let Some(hit) = slot.borrow().get(support) {
-            return hit.clone();
+        let stale = match slot.borrow().get(support) {
+            Some(entry) if entry.epoch == epoch => return entry.concept.clone(),
+            Some(_) => true,
+            None => false,
+        };
+        if stale {
+            return self.revalidate_lub(kind, support, epoch);
         }
         let engine = self.lub_engine();
         let computed = match kind {
@@ -474,8 +860,95 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
             LubKind::WithSelections => engine.try_lub_sigma(support),
         }
         .expect("support checked non-empty");
-        Arc::make_mut(&mut *slot.borrow_mut()).insert(support.clone(), computed.clone());
+        let pooled = self.support_pooled(support);
+        Arc::make_mut(&mut *slot.borrow_mut()).insert(
+            support.clone(),
+            LubEntry {
+                concept: computed.clone(),
+                pooled,
+                epoch,
+            },
+        );
         computed
+    }
+
+    /// Whether every constant of `support` is interned in the session
+    /// pool. An unpooled support cannot occur in any relation, so its
+    /// lub is the bare nominal — instance-independent until a generation
+    /// bump pools it.
+    fn support_pooled(&self, support: &BTreeSet<Value>) -> bool {
+        let pool = self.pool();
+        support.iter().all(|v| pool.id_of(v).is_some())
+    }
+
+    /// Brings one stale lub cache entry up to `epoch` (the current delta
+    /// journal length): a still-unpooled support keeps its nominal-only
+    /// concept as is; a support that was pooled at its last validation
+    /// keeps the atoms of untouched relations and re-derives exactly the
+    /// relations the journal names since then; a support the journal
+    /// window *newly* pooled is recomputed from scratch (its lub can
+    /// grow relation atoms it never had).
+    fn revalidate_lub(&self, kind: LubKind, support: &BTreeSet<Value>, epoch: usize) -> LsConcept {
+        let pooled_now = self.support_pooled(support);
+        let engine = self.lub_engine();
+        let pending: BTreeSet<RelId> = {
+            let log = self.lub_log.borrow();
+            let entry_epoch = self.lubs[kind_slot(kind)]
+                .borrow()
+                .get(support)
+                .expect("revalidate_lub only runs on a stale hit")
+                .epoch;
+            log[entry_epoch..]
+                .iter()
+                .flat_map(|s| s.iter().copied())
+                .collect()
+        };
+        let mut slot = self.lubs[kind_slot(kind)].borrow_mut();
+        let entry = Arc::make_mut(&mut *slot)
+            .get_mut(support)
+            .expect("revalidate_lub only runs on a stale hit");
+        if !pooled_now {
+            // Still nominal-only: nothing the deltas did can reach it.
+        } else if entry.pooled {
+            let mut atoms: Vec<_> = entry
+                .concept
+                .parts()
+                .filter(|a| a.rel().is_none_or(|r| !pending.contains(&r)))
+                .cloned()
+                .collect();
+            for &rel in &pending {
+                atoms.extend(match kind {
+                    LubKind::SelectionFree => engine.covering_atoms(rel, support),
+                    LubKind::WithSelections => engine.box_atoms(rel, support),
+                });
+            }
+            entry.concept = LsConcept::from_atoms(atoms);
+        } else {
+            entry.concept = match kind {
+                LubKind::SelectionFree => engine.try_lub(support),
+                LubKind::WithSelections => engine.try_lub_sigma(support),
+            }
+            .expect("cached supports are non-empty");
+        }
+        entry.pooled = pooled_now;
+        entry.epoch = epoch;
+        entry.concept.clone()
+    }
+
+    /// Revalidates every stale lub of `kind` in one sweep — the batch
+    /// paths call this before snapshotting the cache for their workers,
+    /// who read it immutably and could not repair entries themselves.
+    fn flush_stale_lubs(&self, kind: LubKind) {
+        let epoch = self.lub_log.borrow().len();
+        let stale: Vec<BTreeSet<Value>> = self.lubs[kind_slot(kind)]
+            .borrow()
+            .iter()
+            .filter(|(_, e)| e.epoch != epoch)
+            .map(|(s, _)| s.clone())
+            .collect();
+        for support in &stale {
+            self.revalidate_lub(kind, support, epoch);
+        }
     }
 
     /// The extension of an `LS` concept over the pinned instance,
@@ -627,6 +1100,11 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
         let view = self.lub_engine().freeze();
         let inst = self.instance();
         let pool = Arc::clone(self.pool());
+        // Lazy delta repair cannot run inside the fan-out (workers share
+        // the snapshot immutably), so bring every stale entry current
+        // first; the snapshot then contains only valid concepts.
+        self.flush_stale_lubs(kind);
+        let epoch = self.lub_log.borrow().len();
         let warm_lubs = Arc::clone(&self.lubs[kind_slot(kind)].borrow());
         let warm_exts = Arc::clone(&self.ls_exts.borrow());
 
@@ -651,7 +1129,8 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
                     let e = incremental_search_core(
                         adom,
                         b.view(),
-                        &mut |x| match warm_lubs.get(x).or_else(|| lubs.get(x)) {
+                        &mut |x| match warm_lubs.get(x).map(|e| &e.concept).or_else(|| lubs.get(x))
+                        {
                             Some(hit) => hit.clone(),
                             None => {
                                 let c = engine_lub(&view, kind, x);
@@ -689,7 +1168,14 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
                 let (lubs, exts) = slot.into_inner().expect("workers joined");
                 per_worker_lubs.push(lubs.len());
                 for (k, v) in lubs {
-                    lub_cache.entry(k).or_insert(v);
+                    if let std::collections::btree_map::Entry::Vacant(slot) = lub_cache.entry(k) {
+                        let pooled = slot.key().iter().all(|val| pool.id_of(val).is_some());
+                        slot.insert(LubEntry {
+                            concept: v,
+                            pooled,
+                            epoch,
+                        });
+                    }
                 }
                 for (k, v) in exts {
                     ext_cache.entry(k).or_insert(v);
@@ -1419,6 +1905,236 @@ mod tests {
         assert_eq!(session.evaluations(), 6);
         assert_eq!(session.stats().cached_queries, 1);
         assert_eq!(session.stats().batches, 1);
+    }
+
+    /// A minimal finite ontology with honest per-relation signatures:
+    /// one concept per relation, whose extension is that relation's
+    /// first column. Lets the delta tests pin *which* caches a mutation
+    /// of one relation may touch.
+    struct ColumnOntology {
+        rels: Vec<whynot_relation::RelId>,
+    }
+
+    impl Ontology for ColumnOntology {
+        type Concept = whynot_relation::RelId;
+
+        fn subsumed(&self, sub: &Self::Concept, sup: &Self::Concept) -> bool {
+            sub == sup
+        }
+
+        fn extension(&self, c: &Self::Concept, inst: &Instance) -> Extension {
+            Extension::finite(inst.tuples(*c).map(|t| t[0].clone()))
+        }
+
+        fn signature(&self, c: &Self::Concept) -> crate::ontology::ConceptSignature {
+            crate::ontology::ConceptSignature::Rels([*c].into())
+        }
+    }
+
+    impl FiniteOntology for ColumnOntology {
+        fn concepts(&self) -> Vec<Self::Concept> {
+            self.rels.clone()
+        }
+    }
+
+    /// Two relations with disjoint queries: the playground where a delta
+    /// on `R` must leave every `S`-keyed cache entry alone. `R` holds
+    /// `{a, b}`; binary `S` holds `{(c, a)}`, so the concept extensions
+    /// (first columns) are `{a, b}` and `{c}`.
+    fn two_rel_fixture() -> (
+        ColumnOntology,
+        Schema,
+        Instance,
+        whynot_relation::RelId,
+        whynot_relation::RelId,
+    ) {
+        let mut b = SchemaBuilder::new();
+        let r = b.relation("R", ["x"]);
+        let s_rel = b.relation("S", ["x", "y"]);
+        let schema = b.finish().unwrap();
+        let mut inst = Instance::new();
+        inst.insert(r, vec![s("a")]);
+        inst.insert(r, vec![s("b")]);
+        inst.insert(s_rel, vec![s("c"), s("a")]);
+        let o = ColumnOntology {
+            rels: vec![r, s_rel],
+        };
+        (o, schema, inst, r, s_rel)
+    }
+
+    /// `q(x) :- R(x)` — answers `{a, b}`; asking why-not `c` gives the
+    /// `S` concept (extension `{c}`) as a conflict-free candidate.
+    fn r_query(rel: whynot_relation::RelId) -> Ucq {
+        Ucq::single(Cq::new(
+            [Term::Var(Var(0))],
+            [Atom::new(rel, [Term::Var(Var(0))])],
+            [],
+        ))
+    }
+
+    /// `q(x) :- S(y, x)` — answers `{a}`; asking why-not `c` again uses
+    /// the `S` concept, and its conflict bitset survives `R`-deltas.
+    fn s_query(rel: whynot_relation::RelId) -> Ucq {
+        Ucq::single(Cq::new(
+            [Term::Var(Var(0))],
+            [Atom::new(rel, [Term::Var(Var(1)), Term::Var(Var(0))])],
+            [],
+        ))
+    }
+
+    #[test]
+    fn delta_invalidates_only_the_changed_relations_caches() {
+        let (o, schema, inst, r, s_rel) = two_rel_fixture();
+        let mut session = WhyNotSession::new(&o, &schema, &inst);
+        // Warm every finite-path cache for both relations.
+        let q_r = WhyNotQuestion::new(r_query(r), [s("c")]);
+        let q_s = WhyNotQuestion::new(s_query(s_rel), [s("c")]);
+        let _ = session.exhaustive(&q_r).unwrap();
+        let _ = session.exhaustive(&q_s).unwrap();
+        let evals_before = session.evaluations();
+        let s_answers_before = session.answers(&q_s.query);
+
+        // Mutate R only, with a constant the pool already holds.
+        let mut delta = Delta::new();
+        delta.insert(r, vec![s("c")]);
+        let stats = session.apply_delta(&delta).unwrap();
+
+        assert!(!stats.generation_bumped);
+        assert_eq!(stats.changed_relations, 1);
+        // Exactly the R concept was dropped and re-evaluated; S survived.
+        assert_eq!(
+            (stats.extensions_dropped, stats.extensions_retained),
+            (1, 1)
+        );
+        assert_eq!((stats.table_reevaluated, stats.table_retained), (1, 1));
+        // Exactly the R query's answers (and probes) died.
+        assert_eq!((stats.answers_dropped, stats.answers_retained), (1, 1));
+        assert_eq!((stats.probes_dropped, stats.probes_retained), (1, 1));
+        // Conflict bitsets keyed by the dead answer set or the dirty
+        // concept died; the (S answers, S concept) one survived.
+        assert_eq!(stats.conflicts_retained, 1);
+        // The S answer set is literally the same allocation.
+        assert!(Arc::ptr_eq(&session.answers(&q_s.query), &s_answers_before));
+        // Re-evaluation cost: one `ext` call (the R concept), not a sweep.
+        assert_eq!(session.evaluations(), evals_before + 1);
+        assert_eq!(session.stats().deltas, 1);
+
+        // Parity with a fresh session over the mutated instance — the
+        // delta made `c` an answer of the R query, so both sessions must
+        // now reject that question identically.
+        let now = session.instance().clone();
+        let fresh = WhyNotSession::new(&o, &schema, &now);
+        assert_eq!(
+            session.exhaustive(&q_r),
+            Err(SessionError::TupleIsAnswer(vec![s("c")]))
+        );
+        for q in [&q_r, &q_s] {
+            assert_eq!(session.exhaustive(q), fresh.exhaustive(q));
+        }
+    }
+
+    #[test]
+    fn noop_delta_invalidates_nothing() {
+        let (o, schema, inst, r, s_rel) = two_rel_fixture();
+        let mut session = WhyNotSession::new(&o, &schema, &inst);
+        let q_r = WhyNotQuestion::new(r_query(r), [s("c")]);
+        let _ = session.exhaustive(&q_r).unwrap();
+        let before = session.stats();
+        let answers_before = session.answers(&q_r.query);
+
+        let mut delta = Delta::new();
+        delta.insert(r, vec![s("a")]); // already present
+        delta.delete(s_rel, vec![s("zz"), s("zz")]); // absent
+        let stats = session.apply_delta(&delta).unwrap();
+
+        assert_eq!(stats, DeltaStats::default());
+        assert_eq!(stats.invalidated(), 0);
+        let after = session.stats();
+        assert_eq!(after.evaluations, before.evaluations);
+        assert_eq!(after.cached_queries, before.cached_queries);
+        assert_eq!(after.cached_conflicts, before.cached_conflicts);
+        assert_eq!(after.pool_generation, 0);
+        assert_eq!(after.deltas, 1);
+        assert!(Arc::ptr_eq(&session.answers(&q_r.query), &answers_before));
+    }
+
+    #[test]
+    fn generation_bump_bridges_retained_caches() {
+        let (o, schema, inst, r, s_rel) = two_rel_fixture();
+        let mut session = WhyNotSession::new(&o, &schema, &inst);
+        let q_r = WhyNotQuestion::new(r_query(r), [s("c")]);
+        let q_s = WhyNotQuestion::new(s_query(s_rel), [s("c")]);
+        let _ = session.exhaustive(&q_r).unwrap();
+        let _ = session.exhaustive(&q_s).unwrap();
+
+        // A brand-new constant lands in R: the pool grows a generation.
+        let mut delta = Delta::new();
+        delta.insert(r, vec![s("fresh")]);
+        let stats = session.apply_delta(&delta).unwrap();
+
+        assert!(stats.generation_bumped);
+        assert_eq!(session.stats().pool_generation, 1);
+        // The S extension was bridged, not re-evaluated …
+        assert_eq!(stats.extensions_retained, 1);
+        assert_eq!(stats.table_reevaluated, 1);
+        // … but probes hold raw pool ids, so a bump drops them all.
+        assert_eq!(stats.probes_retained, 0);
+        assert_eq!(stats.probes_dropped, 2);
+        // Conflict bits are value-semantic: the S entry survived the bump.
+        assert_eq!(stats.conflicts_retained, 1);
+        assert!(session.pool().contains(&s("fresh")));
+
+        let now = session.instance().clone();
+        let fresh = WhyNotSession::new(&o, &schema, &now);
+        for q in [&q_r, &q_s] {
+            assert_eq!(session.exhaustive(q).unwrap(), fresh.exhaustive(q).unwrap());
+        }
+        // The bridged caches answer later questions without extra evals.
+        let fresh_q = WhyNotQuestion::new(s_query(s_rel), [s("fresh")]);
+        assert_eq!(
+            session.exhaustive(&fresh_q).unwrap(),
+            fresh.exhaustive(&fresh_q).unwrap()
+        );
+    }
+
+    #[test]
+    fn delta_repairs_cached_lubs_instead_of_dropping_them() {
+        let (o, schema, inst, tc) = fixture();
+        let mut session = WhyNotSession::new(&o, &schema, &inst);
+        let q = WhyNotQuestion::new(two_hop(tc), [s("Amsterdam"), s("New York")]);
+        for kind in [LubKind::SelectionFree, LubKind::WithSelections] {
+            let _ = session.incremental(&q, kind).unwrap();
+        }
+        let warmed = session.stats().cached_lubs;
+        assert!(warmed > 0);
+
+        let mut delta = Delta::new();
+        delta.insert(tc, vec![s("Kyoto"), s("Tokyo")]);
+        let stats = session.apply_delta(&delta).unwrap();
+        // Every pooled cached lub was repaired in place (the one changed
+        // relation's atoms recomputed, nominals kept); none recomputed
+        // from scratch, none dropped.
+        assert_eq!(stats.lubs_repaired + stats.lubs_retained, warmed);
+        assert_eq!(stats.lubs_recomputed, 0);
+        assert!(stats.lubs_repaired > 0);
+        assert_eq!(session.stats().cached_lubs, warmed);
+        // Engine columns for the single relation were dropped, none kept.
+        assert_eq!(stats.lub_columns_retained, 0);
+
+        // Each repaired entry equals what a cold engine computes.
+        let now = session.instance().clone();
+        let fresh = WhyNotSession::new(&o, &schema, &now);
+        for kind in [LubKind::SelectionFree, LubKind::WithSelections] {
+            assert_eq!(
+                session.incremental(&q, kind).unwrap(),
+                fresh.incremental(&q, kind).unwrap()
+            );
+            let support: BTreeSet<Value> = [s("Amsterdam"), s("Berlin")].into();
+            assert_eq!(
+                session.lub(kind, &support).unwrap(),
+                fresh.lub(kind, &support).unwrap()
+            );
+        }
     }
 
     #[test]

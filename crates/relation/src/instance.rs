@@ -13,6 +13,7 @@ use crate::schema::{RelId, Schema};
 use crate::value::Value;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// A database tuple.
 pub type Tuple = Vec<Value>;
@@ -27,9 +28,18 @@ pub struct Fact {
 }
 
 /// A database instance: a finite set of facts.
+///
+/// Per-relation storage sits behind an `Arc`, so cloning an instance is
+/// O(#relations) pointer bumps and two snapshots produced by
+/// [`Instance::apply_delta`] *share* the storage of every relation the
+/// delta did not touch. [`Instance::shares_storage`] tests that sharing;
+/// the evaluation layers use it to recognize "same data, different
+/// handle" without comparing tuples. In-place mutation
+/// ([`Instance::insert`] / [`Instance::remove`]) copies-on-write via
+/// [`Arc::make_mut`], so mutating one snapshot never disturbs another.
 #[derive(Clone, Default, PartialEq, Eq, Debug)]
 pub struct Instance {
-    relations: BTreeMap<RelId, BTreeSet<Tuple>>,
+    relations: BTreeMap<RelId, Arc<BTreeSet<Tuple>>>,
 }
 
 impl Instance {
@@ -42,7 +52,7 @@ impl Instance {
     /// caller's responsibility; use [`Instance::insert_checked`] to
     /// validate). Returns whether the fact was new.
     pub fn insert(&mut self, rel: RelId, tuple: impl Into<Tuple>) -> bool {
-        self.relations.entry(rel).or_default().insert(tuple.into())
+        Arc::make_mut(self.relations.entry(rel).or_default()).insert(tuple.into())
     }
 
     /// Inserts a fact, validating arity against `schema`.
@@ -66,14 +76,46 @@ impl Instance {
 
     /// Removes a fact; returns whether it was present.
     pub fn remove(&mut self, rel: RelId, tuple: &[Value]) -> bool {
-        self.relations
-            .get_mut(&rel)
-            .is_some_and(|rs| rs.remove(tuple))
+        match self.relations.get_mut(&rel) {
+            // Probe before make_mut: removing an absent tuple must not
+            // force a copy-on-write of a shared relation.
+            Some(rs) if rs.contains(tuple) => Arc::make_mut(rs).remove(tuple),
+            _ => false,
+        }
+    }
+
+    /// Whether `self` and `other` share the storage of every relation —
+    /// i.e. they are clones / delta snapshots with identical data. This
+    /// is a pointer-equality walk (O(#relations)), never a tuple
+    /// comparison; instances that are equal but independently built
+    /// return `false`.
+    pub fn shares_storage(&self, other: &Instance) -> bool {
+        self.relations.len() == other.relations.len()
+            && self
+                .relations
+                .iter()
+                .zip(other.relations.iter())
+                .all(|((ra, sa), (rb, sb))| ra == rb && Arc::ptr_eq(sa, sb))
+    }
+
+    /// Whether the storage of `rel` is shared (pointer-equal) between
+    /// `self` and `other`. Relations absent on both sides count as
+    /// shared (both are the empty relation).
+    pub fn shares_relation_storage(&self, other: &Instance, rel: RelId) -> bool {
+        match (self.relations.get(&rel), other.relations.get(&rel)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            (None, None) => true,
+            (Some(a), None) => a.is_empty(),
+            (None, Some(b)) => b.is_empty(),
+        }
     }
 
     /// The tuples of `rel` (`R^I`), empty if none were inserted.
     pub fn tuples(&self, rel: RelId) -> impl Iterator<Item = &Tuple> + '_ {
-        self.relations.get(&rel).into_iter().flatten()
+        self.relations
+            .get(&rel)
+            .into_iter()
+            .flat_map(|rs| rs.iter())
     }
 
     /// Number of tuples in `rel`.
@@ -120,7 +162,7 @@ impl Instance {
     pub fn active_domain(&self) -> BTreeSet<Value> {
         self.relations
             .values()
-            .flatten()
+            .flat_map(|rs| rs.iter())
             .flat_map(|t| t.iter().cloned())
             .collect()
     }
@@ -129,7 +171,10 @@ impl Instance {
     /// repetitions (the allocation-free feed for
     /// [`ConstPool::for_instance`](crate::ConstPool::for_instance)).
     pub fn value_occurrences(&self) -> impl Iterator<Item = &Value> + '_ {
-        self.relations.values().flatten().flat_map(|t| t.iter())
+        self.relations
+            .values()
+            .flat_map(|rs| rs.iter())
+            .flat_map(|t| t.iter())
     }
 
     /// The set of values occurring in attribute position `attr` of `rel`.
@@ -161,7 +206,7 @@ impl Instance {
                 return Err(RelError::UnknownRelation(format!("{rel:?}")));
             }
             let expected = schema.arity(rel);
-            for t in tuples {
+            for t in tuples.iter() {
                 if t.len() != expected {
                     return Err(RelError::ArityMismatch {
                         relation: schema.name(rel).to_string(),
@@ -205,7 +250,7 @@ impl fmt::Display for DisplayInstance<'_> {
                 continue;
             }
             writeln!(f, "{}:", self.schema.name(rel))?;
-            for t in tuples {
+            for t in tuples.iter() {
                 let row: Vec<String> = t.iter().map(|v| v.to_string()).collect();
                 writeln!(f, "  ({})", row.join(", "))?;
             }

@@ -20,6 +20,9 @@
 //! * [`ConstPool`] / [`ValueId`] — the interned-constant pool over an
 //!   instance's active domain, the id space of the bitset extension
 //!   engine in `whynot-concepts`,
+//! * [`Delta`] / [`GenPool`] — tuple-level mutation logs with
+//!   storage-sharing snapshots, and the generational pool growth that
+//!   keeps interned structures valid across mutations,
 //! * [`ScratchArena`] — the recycling free-list arena the search
 //!   engines draw their per-question word-buffer scratch from, and
 //! * [`freeze`] — canonical databases for containment tests.
@@ -28,6 +31,7 @@
 
 mod arena;
 mod constraints;
+mod delta;
 mod error;
 mod freeze;
 mod instance;
@@ -44,12 +48,13 @@ pub use constraints::{
     classify, validate, view_partition, Constraint, ConstraintClass, Fd, Ind, ViewDef,
     ViewPartition,
 };
+pub use delta::{Delta, DeltaOutcome};
 pub use error::RelError;
 pub use freeze::{freeze, freeze_with, fresh_constant, is_fresh_constant, Frozen};
 pub use instance::{instance_of, Fact, Instance, Tuple};
 pub use interval::{Bound, Interval};
 pub use parse::{parse_fact, parse_program, parse_query, Loaded};
-pub use pool::{ConstPool, PoolMap, ValueId};
+pub use pool::{ConstPool, GenPool, PoolMap, ValueId};
 pub use query::{Atom, CmpOp, Comparison, Cq, Term, Ucq, Var};
 pub use schema::{Attr, RelId, RelationDecl, Schema, SchemaBuilder};
 pub use value::{Rational, Value};

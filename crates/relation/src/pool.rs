@@ -16,7 +16,10 @@
 //! bounds the constants an explanation needs to `adom(I) ∪ {a1,…,am}`,
 //! so the universe is known up front. Values outside the pool (rare:
 //! nominals over fresh constants) are handled by the extension layer's
-//! overflow set, not by growing the pool.
+//! overflow set, not by growing the pool. When the *instance* evolves
+//! (see [`Delta`](crate::Delta)), growth happens between pools, not
+//! inside one: [`GenPool`] builds the next immutable generation and a
+//! [`PoolMap`] bridge so old interned structures remap in bulk.
 
 use crate::instance::Instance;
 use crate::schema::RelId;
@@ -236,6 +239,78 @@ impl PoolMap {
     }
 }
 
+/// A generational handle over immutable [`ConstPool`]s: the growth seam
+/// for live instances.
+///
+/// Each pool is still immutable — the invariant that ascending id order
+/// is ascending value order must hold, and appending to a sorted array
+/// would break it. Instead, [`GenPool::absorb`] builds the *next
+/// generation*: a fresh pool over the sorted union of the old universe
+/// and the new constants, plus a [`PoolMap`] that translates every old
+/// id into the new pool (total, since generations only grow). Structures
+/// interned against the old generation are bridged with one bit remap
+/// per bitset instead of re-hashing their values.
+///
+/// Deletes never shrink a generation: a pool is only required to *cover*
+/// the active domain (plus the question constants), and keeping retired
+/// constants interned costs a few bits per bitset word while letting
+/// every delete avoid a generation bump entirely.
+#[derive(Clone, Debug)]
+pub struct GenPool {
+    pool: Arc<ConstPool>,
+    generation: u64,
+}
+
+impl GenPool {
+    /// Wraps an existing pool as generation 0.
+    pub fn new(pool: Arc<ConstPool>) -> Self {
+        GenPool {
+            pool,
+            generation: 0,
+        }
+    }
+
+    /// The current generation's pool.
+    pub fn pool(&self) -> &Arc<ConstPool> {
+        &self.pool
+    }
+
+    /// The generation counter: bumped once per [`GenPool::absorb`] that
+    /// actually introduced constants.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Interns any of `values` not yet covered. If none are new this is a
+    /// no-op returning `None` (the generation does not bump). Otherwise
+    /// it builds the next-generation pool via one merge walk and returns
+    /// the `PoolMap` translating old ids into it — total on old ids,
+    /// because generations only grow.
+    pub fn absorb(&mut self, values: impl IntoIterator<Item = Value>) -> Option<PoolMap> {
+        let fresh: BTreeSet<Value> = values
+            .into_iter()
+            .filter(|v| !self.pool.contains(v))
+            .collect();
+        if fresh.is_empty() {
+            return None;
+        }
+        let mut merged: Vec<Value> = Vec::with_capacity(self.pool.len() + fresh.len());
+        let mut extra = fresh.into_iter().peekable();
+        for v in self.pool.values() {
+            while extra.peek().is_some_and(|f| f < v) {
+                merged.push(extra.next().unwrap());
+            }
+            merged.push(v.clone());
+        }
+        merged.extend(extra);
+        let next = Arc::new(ConstPool::from_sorted_vec(merged));
+        let map = PoolMap::between(&self.pool, &next);
+        self.pool = next;
+        self.generation += 1;
+        Some(map)
+    }
+}
+
 impl Instance {
     /// Interns this instance's active domain into a fresh shared pool
     /// (the engine entry point: build once, thread everywhere).
@@ -329,6 +404,48 @@ mod tests {
         let p = ConstPool::from_values((0..65).map(Value::int));
         assert_eq!(p.len(), 65);
         assert_eq!(p.word_len(), 2);
+    }
+
+    #[test]
+    fn genpool_absorb_of_known_values_is_a_noop() {
+        let mut g = GenPool::new(Arc::new(ConstPool::from_values([s("a"), s("b")])));
+        assert_eq!(g.generation(), 0);
+        assert!(g.absorb([s("a"), s("b"), s("a")]).is_none());
+        assert_eq!(g.generation(), 0);
+        assert_eq!(g.pool().len(), 2);
+    }
+
+    #[test]
+    fn genpool_absorb_bumps_and_translates_totally() {
+        let mut g = GenPool::new(Arc::new(ConstPool::from_values([s("b"), s("d")])));
+        let old = Arc::clone(g.pool());
+        let map = g.absorb([s("a"), s("c"), s("d"), s("e")]).unwrap();
+        assert_eq!(g.generation(), 1);
+        assert_eq!(g.pool().len(), 5);
+        // Id order is still value order in the new generation.
+        let order: Vec<&Value> = g.pool().iter().map(|(_, v)| v).collect();
+        assert_eq!(order, vec![&s("a"), &s("b"), &s("c"), &s("d"), &s("e")]);
+        // Every old id translates, and to the same value.
+        for (id, v) in old.iter() {
+            let new_id = map.translate(id).expect("total on old ids");
+            assert_eq!(g.pool().value(new_id), v);
+        }
+        // New constants are interleaved, so ids genuinely shifted.
+        assert_eq!(map.translate(ValueId(0)), Some(ValueId(1)));
+        assert_eq!(map.translate(ValueId(1)), Some(ValueId(3)));
+    }
+
+    #[test]
+    fn genpool_generations_chain() {
+        let mut g = GenPool::new(Arc::new(ConstPool::new()));
+        assert!(g.absorb([s("m")]).is_some());
+        assert!(g.absorb([s("m")]).is_none());
+        assert!(g.absorb([s("z"), s("a")]).is_some());
+        assert_eq!(g.generation(), 2);
+        assert_eq!(g.pool().len(), 3);
+        assert!(g.pool().contains(&s("a")));
+        assert!(g.pool().contains(&s("m")));
+        assert!(g.pool().contains(&s("z")));
     }
 
     #[test]

@@ -287,6 +287,13 @@ impl Cq {
         self.atoms.iter().flat_map(|a| a.vars()).collect()
     }
 
+    /// The relations the query reads (its syntactic signature): the
+    /// answer set over an instance can only change when one of these
+    /// relations changes.
+    pub fn rels(&self) -> BTreeSet<RelId> {
+        self.atoms.iter().map(|a| a.rel).collect()
+    }
+
     /// All constants mentioned in the query (atom arguments, head,
     /// comparisons).
     pub fn constants(&self) -> BTreeSet<Value> {
@@ -722,6 +729,12 @@ impl Ucq {
     /// Whether `tuple` is an answer over `inst`.
     pub fn answers(&self, inst: &Instance, tuple: &[Value]) -> bool {
         self.disjuncts.iter().any(|d| d.answers(inst, tuple))
+    }
+
+    /// The relations any disjunct reads (the union's syntactic
+    /// signature; see [`Cq::rels`]).
+    pub fn rels(&self) -> BTreeSet<RelId> {
+        self.disjuncts.iter().flat_map(|d| d.rels()).collect()
     }
 
     /// All constants mentioned in any disjunct.

@@ -9,8 +9,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use whynot_core::{ExplicitOntology, WhyNotInstance, WhyNotQuestion};
 use whynot_relation::{
-    Atom, CmpOp, Comparison, Cq, Fd, Ind, Instance, RelId, Schema, SchemaBuilder, Term, Ucq, Value,
-    Var, ViewDef,
+    Atom, CmpOp, Comparison, Cq, Delta, Fd, Ind, Instance, RelId, Schema, SchemaBuilder, Term, Ucq,
+    Value, Var, ViewDef,
 };
 
 /// A scalable version of the paper's running example: `n` cities in
@@ -163,35 +163,7 @@ pub fn batched_city_workload(
     let tc = net.tc;
     let city = |i: usize| Value::str(city_name(i));
 
-    let (x, y, z) = (Var(0), Var(1), Var(2));
-    // Arity 2: two-hop connectivity (the paper's running query).
-    let two_hop = Ucq::single(Cq::new(
-        [Term::Var(x), Term::Var(y)],
-        [
-            Atom::new(tc, [Term::Var(x), Term::Var(z)]),
-            Atom::new(tc, [Term::Var(z), Term::Var(y)]),
-        ],
-        [],
-    ));
-    // Arity 1: cities on a mutual (two-way) connection.
-    let mutual = Ucq::single(Cq::new(
-        [Term::Var(x)],
-        [
-            Atom::new(tc, [Term::Var(x), Term::Var(z)]),
-            Atom::new(tc, [Term::Var(z), Term::Var(x)]),
-        ],
-        [],
-    ));
-    // Arity 3: chains x → y → z.
-    let chain = Ucq::single(Cq::new(
-        [Term::Var(x), Term::Var(y), Term::Var(z)],
-        [
-            Atom::new(tc, [Term::Var(x), Term::Var(y)]),
-            Atom::new(tc, [Term::Var(y), Term::Var(z)]),
-        ],
-        [],
-    ));
-    let shapes = [two_hop, mutual, chain];
+    let shapes = city_query_shapes(tc);
     // Evaluate each query once at generation time so every emitted tuple
     // is verifiably missing (the service re-validates, but the workload
     // should not contain rejects).
@@ -229,6 +201,391 @@ pub fn batched_city_workload(
         schema,
         instance,
         questions,
+    }
+}
+
+/// The three query shapes every city workload cycles through: arity-2
+/// two-hop connectivity (the paper's running query), arity-1 mutual
+/// connectivity, and arity-3 chain connectivity.
+pub fn city_query_shapes(tc: RelId) -> [Ucq; 3] {
+    let (x, y, z) = (Var(0), Var(1), Var(2));
+    let two_hop = Ucq::single(Cq::new(
+        [Term::Var(x), Term::Var(y)],
+        [
+            Atom::new(tc, [Term::Var(x), Term::Var(z)]),
+            Atom::new(tc, [Term::Var(z), Term::Var(y)]),
+        ],
+        [],
+    ));
+    let mutual = Ucq::single(Cq::new(
+        [Term::Var(x)],
+        [
+            Atom::new(tc, [Term::Var(x), Term::Var(z)]),
+            Atom::new(tc, [Term::Var(z), Term::Var(x)]),
+        ],
+        [],
+    ));
+    let chain = Ucq::single(Cq::new(
+        [Term::Var(x), Term::Var(y), Term::Var(z)],
+        [
+            Atom::new(tc, [Term::Var(x), Term::Var(y)]),
+            Atom::new(tc, [Term::Var(y), Term::Var(z)]),
+        ],
+        [],
+    ));
+    [two_hop, mutual, chain]
+}
+
+/// One step of a live-instance workload (see [`mutation_stream`] and
+/// [`random_mutation_stream`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MutationStep {
+    /// Apply this delta to the live instance/session.
+    Mutate(Delta),
+    /// Ask this why-not question (the consumer decides which algorithms
+    /// to run; the tuple is *not* guaranteed missing, so rejected
+    /// questions exercise the error path too).
+    Ask(WhyNotQuestion),
+}
+
+/// A live-session workload: one `(ontology, schema, instance)` starting
+/// triple plus an interleaved stream of deltas and questions. Consumed by
+/// the `delta_differential` test suite (delta-maintained session ≡ fresh
+/// session on the materialized instance) and the `live_delta` bench
+/// (delta-maintained session vs rebuild-per-mutation).
+pub struct MutationWorkload {
+    /// The external ontology.
+    pub ontology: ExplicitOntology,
+    /// The schema all steps share.
+    pub schema: Schema,
+    /// The *initial* instance; [`MutationStep::Mutate`] steps evolve it.
+    pub instance: Instance,
+    /// The interleaved delta/question stream, deterministic in the seed.
+    pub steps: Vec<MutationStep>,
+}
+
+/// The mutation mix shared by both stream generators: mostly effective
+/// single-fact mutations, plus deliberate no-ops (inserting present
+/// facts, deleting absent ones), brand-new constants (forcing pool
+/// generation bumps downstream), and insert+delete pairs that cancel
+/// within one delta.
+fn push_mutation(
+    delta: &mut Delta,
+    live: &Instance,
+    rel: RelId,
+    rng: &mut StdRng,
+    mut random_tuple: impl FnMut(&mut StdRng) -> Vec<Value>,
+    mut fresh_tuple: impl FnMut(&mut StdRng) -> Vec<Value>,
+) {
+    match rng.gen_range(0..8u32) {
+        // Insert a random tuple (sometimes already present → no-op).
+        0..=2 => {
+            delta.insert(rel, random_tuple(rng));
+        }
+        // Delete a random existing fact, when there is one.
+        3..=4 => {
+            let n = live.cardinality(rel);
+            if n > 0 {
+                let t = live
+                    .tuples(rel)
+                    .nth(rng.gen_range(0..n))
+                    .expect("index < cardinality")
+                    .clone();
+                delta.delete(rel, t);
+            } else {
+                delta.insert(rel, random_tuple(rng));
+            }
+        }
+        // Guaranteed no-op: delete a tuple that is (almost surely) absent.
+        5 => {
+            delta.delete(rel, fresh_tuple(rng));
+        }
+        // A brand-new constant: forces a pool generation bump downstream.
+        6 => {
+            delta.insert(rel, fresh_tuple(rng));
+        }
+        // Insert-then-delete of the same new fact: cancels exactly.
+        _ => {
+            let t = fresh_tuple(rng);
+            delta.insert(rel, t.clone());
+            delta.delete(rel, t);
+        }
+    }
+}
+
+/// A [`MutationWorkload`] over a [`city_network`]: `n_steps` interleaved
+/// steps, roughly 40% deltas (1–3 mutations each, in the
+/// `push_mutation` mix: effective edits, no-ops, ghost cities, cancel
+/// pairs) and 60% questions cycling the three [`city_query_shapes`].
+pub fn mutation_stream(n: usize, regions: usize, n_steps: usize, seed: u64) -> MutationWorkload {
+    let net = city_network(n, regions, seed);
+    let schema = net.why_not.schema;
+    let instance = net.why_not.instance;
+    let ontology = net.ontology;
+    let tc = net.tc;
+    let shapes = city_query_shapes(tc);
+
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x11fe));
+    let mut live = instance.clone();
+    let mut ghosts = 0usize;
+    let mut steps = Vec::with_capacity(n_steps);
+    for step in 0..n_steps {
+        if rng.gen_range(0..10) < 4 {
+            let mut delta = Delta::new();
+            for _ in 0..rng.gen_range(1..4) {
+                let random_edge = |rng: &mut StdRng| {
+                    vec![
+                        Value::str(city_name(rng.gen_range(0..n))),
+                        Value::str(city_name(rng.gen_range(0..n))),
+                    ]
+                };
+                let fresh_edge = |rng: &mut StdRng| {
+                    ghosts += 1;
+                    vec![
+                        Value::str(format!("ghost{ghosts:04}")),
+                        Value::str(city_name(rng.gen_range(0..n))),
+                    ]
+                };
+                push_mutation(&mut delta, &live, tc, &mut rng, random_edge, fresh_edge);
+            }
+            live = live.apply_delta(&delta).instance;
+            steps.push(MutationStep::Mutate(delta));
+        } else {
+            let shape = &shapes[step % shapes.len()];
+            let tuple: Vec<Value> = (0..shape.arity())
+                .map(|_| Value::str(city_name(rng.gen_range(0..n))))
+                .collect();
+            steps.push(MutationStep::Ask(WhyNotQuestion::new(shape.clone(), tuple)));
+        }
+    }
+    MutationWorkload {
+        ontology,
+        schema,
+        instance,
+        steps,
+    }
+}
+
+/// The steady-state variant of [`mutation_stream`]: the same city
+/// ontology, but `modes` independent transport relations (`Mode0`,
+/// `Mode1`, …), each with its own per-region edge set; the three
+/// [`city_query_shapes`] are instantiated per mode and cycle across all
+/// of them, and every delta touches exactly *one* mode.
+/// `mutate_percent` sets the delta share of the stream — a steady-state
+/// service answers many questions per update, so the bench uses a small
+/// value. This is the workload where selective invalidation earns its
+/// keep: a delta on one mode leaves every other mode's cached answers,
+/// probes, conflicts, and lub atoms intact, while rebuilding per
+/// mutation recomputes all of them from scratch.
+pub fn modal_mutation_stream(
+    n: usize,
+    regions: usize,
+    modes: usize,
+    mutate_percent: u32,
+    n_steps: usize,
+    seed: u64,
+) -> MutationWorkload {
+    assert!(modes >= 1 && mutate_percent <= 100);
+    // The ontology (World ⊒ Continents ⊒ Regions) only reads the city
+    // names, so the single-relation network's ontology is reused as is.
+    let ontology = city_network(n, regions, seed).ontology;
+
+    let mut b = SchemaBuilder::new();
+    let rels: Vec<RelId> = (0..modes)
+        .map(|m| b.relation(format!("Mode{m}"), ["city_from", "city_to"]))
+        .collect();
+    let schema = b.finish().expect("well-formed");
+
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x40da1));
+    let region_of = |i: usize| i % regions;
+    let mut by_region: Vec<Vec<usize>> = vec![Vec::new(); regions];
+    for i in 0..n {
+        by_region[region_of(i)].push(i);
+    }
+    // Each mode gets its own rotated region rings plus random chords, so
+    // the modes overlap without being copies of each other.
+    let mut instance = Instance::new();
+    for (m, &rel) in rels.iter().enumerate() {
+        for members in &by_region {
+            let len = members.len();
+            for w in 0..len {
+                let a = members[(w + m) % len];
+                let bb = members[(w + m + 1) % len];
+                instance.insert(
+                    rel,
+                    vec![Value::str(city_name(a)), Value::str(city_name(bb))],
+                );
+            }
+            for _ in 0..len / 3 {
+                let a = members[rng.gen_range(0..len)];
+                let bb = members[rng.gen_range(0..len)];
+                if a != bb {
+                    instance.insert(
+                        rel,
+                        vec![Value::str(city_name(a)), Value::str(city_name(bb))],
+                    );
+                }
+            }
+        }
+    }
+
+    // One standing query per mode, cycling the three shapes across
+    // modes: a delta on one mode then dirties exactly `1/modes` of the
+    // stream's query population.
+    let shapes: Vec<Ucq> = rels
+        .iter()
+        .enumerate()
+        .map(|(m, &rel)| city_query_shapes(rel)[m % 3].clone())
+        .collect();
+
+    let mut live = instance.clone();
+    let mut ghosts = 0usize;
+    let mut steps = Vec::with_capacity(n_steps);
+    for step in 0..n_steps {
+        if rng.gen_range(0..100u32) < mutate_percent {
+            let rel = rels[rng.gen_range(0..modes)];
+            let mut delta = Delta::new();
+            for _ in 0..rng.gen_range(1..4) {
+                let random_edge = |rng: &mut StdRng| {
+                    vec![
+                        Value::str(city_name(rng.gen_range(0..n))),
+                        Value::str(city_name(rng.gen_range(0..n))),
+                    ]
+                };
+                let fresh_edge = |rng: &mut StdRng| {
+                    ghosts += 1;
+                    vec![
+                        Value::str(format!("ghost{ghosts:04}")),
+                        Value::str(city_name(rng.gen_range(0..n))),
+                    ]
+                };
+                push_mutation(&mut delta, &live, rel, &mut rng, random_edge, fresh_edge);
+            }
+            live = live.apply_delta(&delta).instance;
+            steps.push(MutationStep::Mutate(delta));
+        } else {
+            let shape = &shapes[step % shapes.len()];
+            let tuple: Vec<Value> = (0..shape.arity())
+                .map(|_| Value::str(city_name(rng.gen_range(0..n))))
+                .collect();
+            steps.push(MutationStep::Ask(WhyNotQuestion::new(shape.clone(), tuple)));
+        }
+    }
+    MutationWorkload {
+        ontology,
+        schema,
+        instance,
+        steps,
+    }
+}
+
+/// The fuzz variant of [`mutation_stream`]: a random multi-relation
+/// schema (arities 1–3), a random integer instance, a small band
+/// ontology over the same integer domain, and an interleaved stream of
+/// deltas and per-relation questions. Meant for differential testing —
+/// tuples are random, so questions hit answers (error path), missing
+/// tuples, and out-of-domain constants alike.
+pub fn random_mutation_stream(
+    n_rels: usize,
+    rows: usize,
+    domain: i64,
+    n_steps: usize,
+    seed: u64,
+) -> MutationWorkload {
+    assert!(n_rels >= 1 && domain >= 4);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = SchemaBuilder::new();
+    let rels: Vec<RelId> = (0..n_rels)
+        .map(|i| {
+            let arity = rng.gen_range(1..4usize);
+            b.relation(
+                format!("R{i}"),
+                (0..arity).map(|a| format!("x{a}")).collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let schema = b.finish().expect("well-formed");
+    let instance = random_instance(&schema, rows, domain, seed.wrapping_add(7));
+
+    // Band concepts over the shared integer domain, so candidate sets
+    // are non-trivial: Low / High / Evens, all under All.
+    let ontology = ExplicitOntology::builder()
+        .concept("All", (0..domain).map(Value::int).collect::<Vec<_>>())
+        .concept("Low", (0..domain / 2).map(Value::int).collect::<Vec<_>>())
+        .concept(
+            "High",
+            (domain / 2..domain).map(Value::int).collect::<Vec<_>>(),
+        )
+        .concept(
+            "Evens",
+            (0..domain)
+                .filter(|v| v % 2 == 0)
+                .map(Value::int)
+                .collect::<Vec<_>>(),
+        )
+        .edge("Low", "All")
+        .edge("High", "All")
+        .edge("Evens", "All")
+        .build();
+
+    // One identity query per relation: q(x̄) :- R(x̄).
+    let queries: Vec<Ucq> = rels
+        .iter()
+        .map(|&rel| {
+            let arity = schema.arity(rel);
+            let vars: Vec<Term> = (0..arity).map(|i| Term::Var(Var(i as u32))).collect();
+            Ucq::single(Cq::new(vars.clone(), [Atom::new(rel, vars)], []))
+        })
+        .collect();
+
+    let mut live = instance.clone();
+    let mut fresh_next = domain;
+    let mut steps = Vec::with_capacity(n_steps);
+    for step in 0..n_steps {
+        if rng.gen_range(0..10) < 4 {
+            let mut delta = Delta::new();
+            for _ in 0..rng.gen_range(1..3) {
+                let rel = rels[rng.gen_range(0..rels.len())];
+                let arity = schema.arity(rel);
+                let random_tuple = |rng: &mut StdRng| {
+                    (0..arity)
+                        .map(|_| Value::int(rng.gen_range(0..domain)))
+                        .collect::<Vec<_>>()
+                };
+                let fresh_tuple = |rng: &mut StdRng| {
+                    fresh_next += 1;
+                    let mut t: Vec<Value> = (0..arity)
+                        .map(|_| Value::int(rng.gen_range(0..domain)))
+                        .collect();
+                    t[0] = Value::int(fresh_next);
+                    t
+                };
+                push_mutation(&mut delta, &live, rel, &mut rng, random_tuple, fresh_tuple);
+            }
+            live = live.apply_delta(&delta).instance;
+            steps.push(MutationStep::Mutate(delta));
+        } else {
+            let qi = step % queries.len();
+            let arity = queries[qi].arity();
+            // Mostly in-domain tuples; every 5th question probes an
+            // out-of-domain constant.
+            let mut tuple: Vec<Value> = (0..arity)
+                .map(|_| Value::int(rng.gen_range(0..domain)))
+                .collect();
+            if step % 5 == 0 {
+                tuple[rng.gen_range(0..arity)] = Value::int(domain + 1000 + step as i64);
+            }
+            steps.push(MutationStep::Ask(WhyNotQuestion::new(
+                queries[qi].clone(),
+                tuple,
+            )));
+        }
+    }
+    MutationWorkload {
+        ontology,
+        schema,
+        instance,
+        steps,
     }
 }
 
@@ -567,6 +924,42 @@ mod tests {
             *schema.constraint_class(),
             whynot_relation::ConstraintClass::UcqViews { comparisons: true }
         );
+    }
+
+    #[test]
+    fn mutation_streams_are_deterministic_and_valid() {
+        for w in [
+            mutation_stream(16, 3, 40, 5),
+            random_mutation_stream(3, 6, 8, 40, 5),
+        ] {
+            assert_eq!(w.steps.len(), 40);
+            let mut mutates = 0usize;
+            let mut asks = 0usize;
+            for step in &w.steps {
+                match step {
+                    MutationStep::Mutate(delta) => {
+                        mutates += 1;
+                        delta.check(&w.schema).expect("generated delta is valid");
+                        assert!(!delta.is_empty(), "mutate steps carry facts");
+                    }
+                    MutationStep::Ask(q) => {
+                        asks += 1;
+                        assert!(!q.tuple.is_empty());
+                    }
+                }
+            }
+            assert!(mutates > 0, "stream interleaves deltas");
+            assert!(asks > 0, "stream interleaves questions");
+        }
+        // Same seed ⇒ identical streams (bit-for-bit).
+        let a = mutation_stream(16, 3, 40, 5);
+        let b = mutation_stream(16, 3, 40, 5);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.instance, b.instance);
+        let a = random_mutation_stream(3, 6, 8, 40, 5);
+        let b = random_mutation_stream(3, 6, 8, 40, 5);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.instance, b.instance);
     }
 
     #[test]

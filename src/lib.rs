@@ -61,12 +61,12 @@ pub use whynot_subsumption as subsumption;
 pub mod prelude {
     pub use crate::concepts::{LsAtom, LsConcept, Selection};
     pub use crate::core::{
-        exhaustive_search, incremental_search, incremental_search_with_selections, Explanation,
-        ExplicitOntology, FiniteOntology, InstanceOntology, ObdaOntology, Ontology, SchemaOntology,
-        WhyNotInstance,
+        exhaustive_search, incremental_search, incremental_search_with_selections, DeltaStats,
+        Explanation, ExplicitOntology, FiniteOntology, InstanceOntology, ObdaOntology, Ontology,
+        SchemaOntology, SessionError, WhyNotInstance, WhyNotQuestion, WhyNotSession,
     };
     pub use crate::dllite::{BasicConcept, GavMapping, ObdaSpec, Role, TBox, TBoxAxiom};
     pub use crate::relation::{
-        Attr, CmpOp, Cq, Instance, RelId, Schema, SchemaBuilder, Tuple, Ucq, Value,
+        Attr, CmpOp, Cq, Delta, GenPool, Instance, RelId, Schema, SchemaBuilder, Tuple, Ucq, Value,
     };
 }
