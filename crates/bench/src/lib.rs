@@ -6,6 +6,8 @@
 //! polynomial rows must scale smoothly, hardness rows must blow up where
 //! the paper places the lower bound.
 
+#![forbid(unsafe_code)]
+
 use criterion::Criterion;
 use std::time::Duration;
 

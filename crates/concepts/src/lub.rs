@@ -55,6 +55,8 @@ use whynot_relation::{Attr, Instance, RelId, Schema, Tuple, Value};
 /// support sets (Algorithm 2 starts from singletons). Service layers that
 /// cannot rule out empty supports should call [`try_lub`] instead.
 pub fn lub(schema: &Schema, inst: &Instance, x: &BTreeSet<Value>) -> LsConcept {
+    // lint: allow(no-panic-in-lib) — documented panicking convenience
+    // wrapper; `try_lub` is the checked twin service boundaries call (PR 2).
     try_lub(schema, inst, x).expect("lub of an empty support set is undefined")
 }
 
@@ -68,6 +70,8 @@ pub fn try_lub(schema: &Schema, inst: &Instance, x: &BTreeSet<Value>) -> Option<
     }
     let mut atoms: Vec<LsAtom> = Vec::new();
     if x.len() == 1 {
+        // lint: allow(no-panic-in-lib) — the emptiness early-return above
+        // proves the iterator yields at least one element.
         atoms.push(LsAtom::Nominal(x.iter().next().expect("non-empty").clone()));
     }
     for rel in schema.rel_ids() {
@@ -75,6 +79,8 @@ pub fn try_lub(schema: &Schema, inst: &Instance, x: &BTreeSet<Value>) -> Option<
             // Materialize the column once per (rel, attr); the previous
             // code rebuilt it inside the closure, once per support
             // element — quadratic in |X| with a full column scan each.
+            // lint: allow(no-owned-column) — legacy reference lub, kept as
+            // the differential oracle the pooled LubEngine is raced against.
             let col = inst.column(rel, attr);
             if x.iter().all(|v| col.contains(v)) {
                 atoms.push(LsAtom::proj(rel, attr));
@@ -124,6 +130,8 @@ type BoundingBox = Vec<(Value, Value)>;
 /// Panics if `x` is empty; see [`try_lub_sigma`] for the non-panicking
 /// service-boundary variant.
 pub fn lub_sigma(schema: &Schema, inst: &Instance, x: &BTreeSet<Value>) -> LsConcept {
+    // lint: allow(no-panic-in-lib) — documented panicking convenience
+    // wrapper; `try_lub_sigma` is the checked twin boundaries call (PR 2).
     try_lub_sigma(schema, inst, x).expect("lub of an empty support set is undefined")
 }
 
@@ -134,6 +142,8 @@ pub fn try_lub_sigma(schema: &Schema, inst: &Instance, x: &BTreeSet<Value>) -> O
     }
     let mut atoms: Vec<LsAtom> = Vec::new();
     if x.len() == 1 {
+        // lint: allow(no-panic-in-lib) — the emptiness early-return above
+        // proves the iterator yields at least one element.
         atoms.push(LsAtom::Nominal(x.iter().next().expect("non-empty").clone()));
     }
     for rel in schema.rel_ids() {
@@ -150,6 +160,8 @@ pub fn try_lub_sigma(schema: &Schema, inst: &Instance, x: &BTreeSet<Value>) -> O
         // candidate box.
         let col_ranges: Vec<Option<(Value, Value)>> = (0..arity)
             .map(|j| {
+                // lint: allow(no-owned-column) — legacy reference lub, kept
+                // as the oracle the pooled LubEngine is raced against.
                 let col = inst.column(rel, j);
                 match (col.first(), col.last()) {
                     (Some(min), Some(max)) => Some((min.clone(), max.clone())),

@@ -225,6 +225,8 @@ impl<'a> LubEngine<'a> {
     /// Panics if `x` is empty; see [`LubEngine::try_lub`].
     pub fn lub(&self, x: &BTreeSet<Value>) -> LsConcept {
         self.try_lub(x)
+            // lint: allow(no-panic-in-lib) — documented panicking wrapper;
+            // `try_lub` is the checked twin boundaries call.
             .expect("lub of an empty support set is undefined")
     }
 
@@ -235,6 +237,8 @@ impl<'a> LubEngine<'a> {
     /// Panics if `x` is empty; see [`LubEngine::try_lub_sigma`].
     pub fn lub_sigma(&self, x: &BTreeSet<Value>) -> LsConcept {
         self.try_lub_sigma(x)
+            // lint: allow(no-panic-in-lib) — documented panicking wrapper;
+            // `try_lub_sigma` is the checked twin boundaries call.
             .expect("lub of an empty support set is undefined")
     }
 
@@ -351,6 +355,9 @@ impl<'a> LubEngine<'a> {
                     .map(|v| {
                         self.pool
                             .id_of(v)
+                            // lint: allow(no-panic-in-lib) — the engine pool
+                            // is built from this instance's active domain, so
+                            // every stored value has an id by construction.
                             .expect("LubEngine pool must cover the instance's active domain")
                     })
                     .collect()
@@ -446,6 +453,8 @@ fn remap_columns(rc: &RelColumns, map: &PoolMap, pool: &ConstPool) -> RelColumns
             row.iter()
                 .map(|&id| {
                     map.translate(id)
+                        // lint: allow(no-panic-in-lib) — generations only
+                        // grow, so a PoolMap is total on every old id.
                         .expect("generation maps are total on old ids")
                 })
                 .collect()
@@ -502,6 +511,8 @@ impl LubView {
     /// Panics if `x` is empty; see [`LubView::try_lub`].
     pub fn lub(&self, x: &BTreeSet<Value>) -> LsConcept {
         self.try_lub(x)
+            // lint: allow(no-panic-in-lib) — documented panicking wrapper;
+            // `try_lub` is the checked twin boundaries call.
             .expect("lub of an empty support set is undefined")
     }
 
@@ -511,6 +522,8 @@ impl LubView {
     /// Panics if `x` is empty; see [`LubView::try_lub_sigma`].
     pub fn lub_sigma(&self, x: &BTreeSet<Value>) -> LsConcept {
         self.try_lub_sigma(x)
+            // lint: allow(no-panic-in-lib) — documented panicking wrapper;
+            // `try_lub_sigma` is the checked twin boundaries call.
             .expect("lub of an empty support set is undefined")
     }
 
@@ -586,6 +599,8 @@ impl LubProvider for LubView {
 /// from it).
 fn nominal_start(x: &BTreeSet<Value>) -> Vec<LsAtom> {
     if x.len() == 1 {
+        // lint: allow(no-panic-in-lib) — the len() == 1 guard proves the
+        // iterator yields exactly one element.
         vec![LsAtom::Nominal(x.iter().next().expect("non-empty").clone())]
     } else {
         Vec::new()

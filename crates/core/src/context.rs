@@ -173,6 +173,8 @@ impl<'a, O: Ontology> EvalContext<'a, O> {
             None => {
                 let built = PoolMap::between(set.pool(), pool);
                 maps.push((Arc::clone(set.pool()), built));
+                // lint: allow(no-panic-in-lib) — pushed on the line above,
+                // so the vector cannot be empty here.
                 &maps.last().expect("just pushed").1
             }
         };

@@ -71,6 +71,8 @@ impl ExplicitOntology {
     /// (for tests and examples).
     pub fn concept_expect(&self, name: &str) -> ConceptName {
         self.concept(name)
+            // lint: allow(no-panic-in-lib) — documented panicking convenience
+            // twin of the checked `concept`, for tests and examples only.
             .unwrap_or_else(|| panic!("ontology has no concept named {name:?}"))
     }
 
@@ -172,9 +174,14 @@ impl ExplicitOntologyBuilder {
         for (sub, sup) in &self.edges {
             let a = *index
                 .get(sub)
+                // lint: allow(no-panic-in-lib) — builder-time programmer
+                // error: ontologies are built before any session exists, so
+                // this cannot fire across a session boundary.
                 .unwrap_or_else(|| panic!("edge references unknown concept {sub}"));
             let b = *index
                 .get(sup)
+                // lint: allow(no-panic-in-lib) — builder-time programmer
+                // error, as above.
                 .unwrap_or_else(|| panic!("edge references unknown concept {sup}"));
             subsumed[a][b] = true;
         }

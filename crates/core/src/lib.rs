@@ -55,6 +55,7 @@
 //!   counterparts at every thread count (the `WHYNOT_THREADS` knob).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod context;
 mod derived;

@@ -74,7 +74,13 @@ use crate::ontology::{FiniteOntology, Ontology};
 use crate::variations;
 use crate::whynot::{exts_form_explanation_q, Explanation, QuestionRef};
 use std::cell::{Cell, OnceCell, RefCell};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
+// lint: allow(deterministic-iteration) — session caches are probed by key;
+// the one iteration (delta invalidation) mutates caches, never results.
+use std::collections::HashMap;
+// lint: allow(deterministic-iteration) — scratch set for dead cache keys
+// during delta invalidation; membership tests only.
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
 use whynot_concepts::{kernels, Extension, ExtensionTable, LsConcept, LubEngine, Probe};
@@ -372,6 +378,8 @@ pub struct WhyNotSession<'a, O: Ontology> {
     /// batch can snapshot the lists and fan them out across workers).
     candidates: RefCell<BTreeMap<Value, Arc<Vec<usize>>>>,
     /// Answer sets keyed by query.
+    // lint: allow(deterministic-iteration) — probed by query; the answers
+    // themselves live in the ordered `BTreeSet` values.
     answers: RefCell<HashMap<Ucq, Arc<BTreeSet<Tuple>>>>,
     /// Interned answer probes keyed by `(answer set, position)`: the
     /// `pool.id_of` binary searches for one position's answer column are
@@ -380,6 +388,8 @@ pub struct WhyNotSession<'a, O: Ontology> {
     /// and unique because that cache is append-only for the session's
     /// lifetime.
     #[allow(clippy::type_complexity)]
+    // lint: allow(deterministic-iteration) — pointer-keyed probe cache;
+    // keyed lookups only, never iterated.
     probes: RefCell<HashMap<(usize, usize), Arc<Vec<Probe>>>>,
     /// Algorithm 1 conflict bitsets (with their popcounts) keyed by
     /// `(answer set, position, concept index)`. A candidate's conflict
@@ -387,6 +397,8 @@ pub struct WhyNotSession<'a, O: Ontology> {
     /// the missing tuple — so questions sharing a query reuse them
     /// wholesale; the per-question work drops to a cache probe and a
     /// word copy per surviving candidate.
+    // lint: allow(deterministic-iteration) — pointer-keyed conflict cache;
+    // keyed lookups only, never iterated.
     conflicts: RefCell<HashMap<(usize, usize, usize), ConflictBits>>,
     /// The pooled lub engine behind the lub cache: one interned column
     /// set per `(rel, attr)` for the whole session, built on the first
@@ -448,8 +460,13 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
             adom: OnceCell::new(),
             finite: OnceCell::new(),
             candidates: RefCell::new(BTreeMap::new()),
+            // lint: allow(deterministic-iteration) — see the field docs:
+            // all three hash caches are keyed lookups, never iterated
+            // into results.
             answers: RefCell::new(HashMap::new()),
+            // lint: allow(deterministic-iteration) — as above.
             probes: RefCell::new(HashMap::new()),
+            // lint: allow(deterministic-iteration) — as above.
             conflicts: RefCell::new(HashMap::new()),
             lub_engine: OnceCell::new(),
             lubs: [
@@ -683,6 +700,8 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
             stats.table_retained = retained;
             self.finite
                 .set((concepts, table))
+                // lint: allow(no-panic-in-lib) — the cell was emptied by the
+                // `take()` this branch is guarded on, so `set` cannot fail.
                 .expect("finite cell was taken");
         }
         let any_concept_dirty = dirty.iter().any(|&d| d);
@@ -703,7 +722,9 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
         // a future answer set could reuse a freed address.
         let answers = self.answers.get_mut();
         let before = answers.len();
-        let mut dead_ptrs: HashSet<usize> = HashSet::new();
+        // lint: allow(deterministic-iteration) — membership-only scratch;
+        // retained entries keep the cache's own order.
+        let mut dead_ptrs = HashSet::<usize>::new();
         answers.retain(|q, ans| {
             if q.rels().iter().any(|r| changed.contains(r)) {
                 dead_ptrs.insert(Arc::as_ptr(ans) as usize);
@@ -859,6 +880,8 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
             LubKind::SelectionFree => engine.try_lub(support),
             LubKind::WithSelections => engine.try_lub_sigma(support),
         }
+        // lint: allow(no-panic-in-lib) — `bind` rejects empty supports with
+        // `SessionError::EmptySupport` before any lub is cached or computed.
         .expect("support checked non-empty");
         let pooled = self.support_pooled(support);
         Arc::make_mut(&mut *slot.borrow_mut()).insert(
@@ -896,6 +919,8 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
             let entry_epoch = self.lubs[kind_slot(kind)]
                 .borrow()
                 .get(support)
+                // lint: allow(no-panic-in-lib) — only `cached_lub` calls
+                // this, and only after finding `support` present and stale.
                 .expect("revalidate_lub only runs on a stale hit")
                 .epoch;
             log[entry_epoch..]
@@ -906,6 +931,8 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
         let mut slot = self.lubs[kind_slot(kind)].borrow_mut();
         let entry = Arc::make_mut(&mut *slot)
             .get_mut(support)
+            // lint: allow(no-panic-in-lib) — same precondition as above; the
+            // entry cannot vanish between the two borrows of this method.
             .expect("revalidate_lub only runs on a stale hit");
         if !pooled_now {
             // Still nominal-only: nothing the deltas did can reach it.
@@ -928,6 +955,8 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
                 LubKind::SelectionFree => engine.try_lub(support),
                 LubKind::WithSelections => engine.try_lub_sigma(support),
             }
+            // lint: allow(no-panic-in-lib) — every cached support passed the
+            // non-emptiness validation in `bind` when it was first computed.
             .expect("cached supports are non-empty");
         }
         entry.pooled = pooled_now;
@@ -1092,6 +1121,8 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
                 .into_iter()
                 .map(|b| match b {
                     Err(e) => Err(e),
+                    // lint: allow(no-panic-in-lib) — guarded by the
+                    // `bound.iter().all(Result::is_err)` check above.
                     Ok(_) => unreachable!("all bindings failed"),
                 })
                 .collect();
@@ -1124,6 +1155,10 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
             .par_map_with_worker(questions.len(), |worker, i| match &bound[i] {
                 Err(e) => (worker, Err(e.clone())),
                 Ok(b) => {
+                    // lint: allow(no-panic-in-lib) — a slot is poisoned only
+                    // if a sibling worker panicked, and the executor re-raises
+                    // that panic after join; this expect can never be the
+                    // first failure the caller sees.
                     let mut memos = slots[worker].lock().expect("uncontended worker slot");
                     let (lubs, exts) = &mut *memos;
                     let e = incremental_search_core(
@@ -1165,6 +1200,9 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
             let lub_cache = Arc::make_mut(&mut *lub_slot);
             let ext_cache = Arc::make_mut(&mut *ext_slot);
             for slot in slots {
+                // lint: allow(no-panic-in-lib) — scoped workers joined before
+                // this line; a poisoned slot implies a worker panic that the
+                // executor already propagated.
                 let (lubs, exts) = slot.into_inner().expect("workers joined");
                 per_worker_lubs.push(lubs.len());
                 for (k, v) in lubs {
@@ -1453,6 +1491,8 @@ where
                 let result = match &bound[i] {
                     Err(e) => Err(e.clone()),
                     Ok(b) => {
+                        // lint: allow(no-panic-in-lib) — `lists[i]` is Some
+                        // exactly when `bound[i]` is Ok; this arm matched Ok.
                         let lists_i = lists[i].as_ref().expect("bound questions have lists");
                         let view = b.view();
                         // Candidate lists come from the frozen snapshot:

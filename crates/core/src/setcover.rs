@@ -88,6 +88,8 @@ pub fn reduce_set_cover(sc: &SetCover) -> (ExplicitOntology, WhyNotInstance) {
     // head repeats one variable, so Ans is the diagonal.
     let mut sb = SchemaBuilder::new();
     let urel = sb.relation("U", ["elem"]);
+    // lint: allow(no-panic-in-lib) — fixed single-relation schema with no
+    // constraints: `finish` cannot reject it.
     let schema = sb.finish().unwrap();
     let mut inst = Instance::new();
     for u in 0..sc.universe {
@@ -100,6 +102,8 @@ pub fn reduce_set_cover(sc: &SetCover) -> (ExplicitOntology, WhyNotInstance) {
         [],
     ));
     let missing = vec![star; sc.budget];
+    // lint: allow(no-panic-in-lib) — the reduction's missing tuple repeats
+    // `⋆`, which is outside the universe, so it is never a diagonal answer.
     let wn = WhyNotInstance::new(schema, inst, q, missing).expect("⋆ is never a diagonal answer");
     (ontology, wn)
 }

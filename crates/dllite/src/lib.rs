@@ -31,6 +31,7 @@
 //! | `rewriting` | Theorem 4.1(2) (via Calvanese et al.) | the *PerfectRef* certain-answer UCQ rewriting |
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod interpretation;
 mod mapping;

@@ -1,0 +1,221 @@
+//! Per-file analysis context: the token stream plus everything a rule
+//! needs to scope itself — which compilation target the file belongs to
+//! (library, binary, test, bench, example), which crate it lives in,
+//! and which byte ranges are `#[cfg(test)]` code so test-tolerant rules
+//! can skip them.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// What kind of compilation target a file belongs to, derived from its
+/// workspace-relative path. Rules scope themselves by target: e.g.
+/// `no-println-in-lib` fires only in [`Target::LibSrc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// `crates/<c>/src/**` or the umbrella `src/*.rs` (library code).
+    LibSrc,
+    /// `src/bin/**` or `**/src/main.rs` — binaries may print.
+    BinSrc,
+    /// `**/tests/**` — integration tests.
+    TestDir,
+    /// `**/benches/**` — benchmarks.
+    BenchDir,
+    /// `examples/**` — runnable demos.
+    ExampleDir,
+}
+
+/// A lexed file plus the path-derived facts rules scope on.
+pub struct FileCtx {
+    /// Workspace-relative path, `/`-separated (e.g.
+    /// `crates/core/src/session.rs`).
+    pub rel_path: String,
+    /// Full source text.
+    pub src: String,
+    /// The token stream from [`lex`].
+    pub tokens: Vec<Token>,
+    /// Byte ranges covered by `#[cfg(test)]` items (inline test modules
+    /// and test-gated functions).
+    pub test_regions: Vec<(usize, usize)>,
+    /// Which compilation target the path puts this file in.
+    pub target: Target,
+    /// `Some("relation")` for `crates/relation/...`, `None` for the
+    /// umbrella package at the workspace root.
+    pub crate_name: Option<String>,
+}
+
+impl FileCtx {
+    /// Lexes `src` and classifies the file by its workspace-relative
+    /// path.
+    pub fn new(rel_path: &str, src: String) -> Self {
+        let tokens = lex(&src);
+        let test_regions = find_test_regions(&src, &tokens);
+        let target = classify(rel_path);
+        let crate_name = rel_path
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .map(str::to_string);
+        FileCtx {
+            rel_path: rel_path.to_string(),
+            src,
+            tokens,
+            test_regions,
+            target,
+            crate_name,
+        }
+    }
+
+    /// True when the token falls inside a `#[cfg(test)]` region or the
+    /// whole file is a test/bench/example target.
+    pub fn is_test_code(&self, tok: &Token) -> bool {
+        match self.target {
+            Target::TestDir | Target::BenchDir | Target::ExampleDir => true,
+            _ => self
+                .test_regions
+                .iter()
+                .any(|&(lo, hi)| tok.start >= lo && tok.start < hi),
+        }
+    }
+
+    /// The token's text.
+    pub fn text(&self, tok: &Token) -> &str {
+        tok.text(&self.src)
+    }
+
+    /// Indices of non-comment tokens, in order — the "code stream"
+    /// most rules walk so comments can never satisfy a code pattern.
+    pub fn code_indices(&self) -> Vec<usize> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Classifies a workspace-relative path into a [`Target`].
+fn classify(rel_path: &str) -> Target {
+    let p = rel_path;
+    if p.contains("/tests/") || p.starts_with("tests/") {
+        Target::TestDir
+    } else if p.contains("/benches/") || p.starts_with("benches/") {
+        Target::BenchDir
+    } else if p.contains("/examples/") || p.starts_with("examples/") {
+        Target::ExampleDir
+    } else if p.contains("/src/bin/") || p.starts_with("src/bin/") || p.ends_with("/main.rs") {
+        Target::BinSrc
+    } else {
+        Target::LibSrc
+    }
+}
+
+/// Finds byte ranges of `#[cfg(test)]`-gated items: the attribute, any
+/// attributes stacked after it, and the item body through its matching
+/// closing brace (or terminating `;` for `mod tests;` declarations).
+///
+/// This is a token-level approximation, but an exact one for the shapes
+/// that occur in practice: `#[cfg(test)] mod tests { … }` and
+/// `#[cfg(test)] fn helper() { … }`. Braces inside strings or comments
+/// cannot confuse the matcher because they were never lexed as
+/// punctuation.
+fn find_test_regions(src: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if let Some(after_attr) = match_cfg_test(src, &code, i) {
+            let start = code[i].start;
+            let mut j = after_attr;
+            // Skip any further stacked attributes (`#[derive(..)]` etc).
+            while j < code.len() && code[j].text(src) == "#" {
+                j = skip_attribute(src, &code, j);
+            }
+            // Scan to the item body: `{ … }` matched by depth, or a
+            // terminating `;` (e.g. `mod tests;`), whichever comes first.
+            let mut end = src.len();
+            while j < code.len() {
+                let t = code[j].text(src);
+                if t == ";" {
+                    end = code[j].end;
+                    break;
+                }
+                if t == "{" {
+                    let mut depth = 1usize;
+                    j += 1;
+                    while j < code.len() && depth > 0 {
+                        match code[j].text(src) {
+                            "{" => depth += 1,
+                            "}" => depth -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    end = code.get(j - 1).map_or(src.len(), |t| t.end);
+                    break;
+                }
+                j += 1;
+            }
+            regions.push((start, end));
+            // Continue past the region (nested cfg(test) adds nothing).
+            while i < code.len() && code[i].start < end {
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// If `code[i..]` starts a `#[cfg(…)]` attribute whose argument list
+/// mentions the bare ident `test`, returns the index just past the
+/// closing `]`.
+fn match_cfg_test(src: &str, code: &[&Token], i: usize) -> Option<usize> {
+    if code.get(i)?.text(src) != "#" || code.get(i + 1)?.text(src) != "[" {
+        return None;
+    }
+    if code.get(i + 2)?.text(src) != "cfg" {
+        return None;
+    }
+    let mut j = i + 3;
+    let mut depth = 0usize;
+    let mut saw_test = false;
+    while let Some(t) = code.get(j) {
+        match t.text(src) {
+            "[" | "(" => depth += 1,
+            ")" => depth = depth.saturating_sub(1),
+            "]" if depth == 0 => {
+                return if saw_test { Some(j + 1) } else { None };
+            }
+            "test" if t.kind == TokenKind::Ident => saw_test = true,
+            // `#[cfg(not(test))]` gates *live* code — never a test region.
+            "not" if t.kind == TokenKind::Ident => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Skips a `#[…]` attribute starting at `i` (which must point at `#`);
+/// returns the index just past its closing `]`.
+fn skip_attribute(src: &str, code: &[&Token], i: usize) -> usize {
+    let mut j = i + 1; // at '['
+    let mut depth = 0usize;
+    while let Some(t) = code.get(j) {
+        match t.text(src) {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    code.len()
+}

@@ -1,0 +1,81 @@
+//! Span-carrying diagnostics.
+//!
+//! Every finding a rule emits names the rule, carries a one-line
+//! message, and anchors to an exact `file:line:col` plus the source
+//! line it fired on, so both the human reporter and `--json` can render
+//! it without re-reading the file.
+
+use crate::lexer::Token;
+
+/// One finding: a rule violation (or a pragma problem) at an exact spot.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule identifier (`no-rc`, `safety-comment`, …) or `pragma` for
+    /// problems with the suppression layer itself.
+    pub rule: &'static str,
+    /// One-line human explanation of what fired and why it matters.
+    pub message: String,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column, in characters.
+    pub col: u32,
+    /// Byte offset of the finding in the file — used to pair findings
+    /// with pragmas deterministically; not rendered.
+    pub byte: usize,
+    /// The full source line the finding anchors to, for the reporter.
+    pub snippet: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic anchored at `tok` inside `src`.
+    pub fn at(rule: &'static str, message: String, file: &str, src: &str, tok: &Token) -> Self {
+        Diagnostic {
+            rule,
+            message,
+            file: file.to_string(),
+            line: tok.line,
+            col: tok.col,
+            byte: tok.start,
+            snippet: line_of(src, tok.start),
+        }
+    }
+
+    /// Builds a diagnostic at an explicit line (for pragma problems,
+    /// which anchor to a comment rather than a code token).
+    pub fn at_line(rule: &'static str, message: String, file: &str, src: &str, line: u32) -> Self {
+        let byte = byte_of_line(src, line);
+        Diagnostic {
+            rule,
+            message,
+            file: file.to_string(),
+            line,
+            col: 1,
+            byte,
+            snippet: line_of(src, byte),
+        }
+    }
+}
+
+/// The full text of the line containing byte offset `at`.
+fn line_of(src: &str, at: usize) -> String {
+    let at = at.min(src.len());
+    let start = src[..at].rfind('\n').map_or(0, |i| i + 1);
+    let end = src[at..].find('\n').map_or(src.len(), |i| at + i);
+    src[start..end].to_string()
+}
+
+/// Byte offset of the start of 1-based `line`.
+fn byte_of_line(src: &str, line: u32) -> usize {
+    let mut current = 1u32;
+    for (i, b) in src.bytes().enumerate() {
+        if current == line {
+            return i;
+        }
+        if b == b'\n' {
+            current += 1;
+        }
+    }
+    src.len()
+}

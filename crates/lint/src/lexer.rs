@@ -1,0 +1,332 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The scanner does **not** parse Rust; it splits a source file into a
+//! flat token stream precise enough that lint rules never false-positive
+//! on the contents of strings or comments. The tricky lexical islands are
+//! all handled: ordinary strings with escapes, raw strings with an
+//! arbitrary number of `#` guards, byte/raw-byte strings, char and
+//! byte-char literals (disambiguated from lifetimes), line comments
+//! (including `///` and `//!` doc comments), and **nested** block
+//! comments. Everything else is an identifier, a number, or a single
+//! punctuation character.
+//!
+//! Tokens carry byte spans into the original source plus 1-based
+//! line/column coordinates (columns count characters, not bytes, so
+//! diagnostics line up with what editors display).
+
+/// The coarse classification a rule needs: is this token code, and if
+/// so, what kind of code — or is it comment/literal content that rules
+/// must never match into?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifiers and keywords (`Rc`, `unsafe`, `fn`, `r#raw`).
+    Ident,
+    /// `'a`, `'static` — *not* char literals.
+    Lifetime,
+    /// Integer/float literal heads (`42`, `0xFF`, the `1` of `1.5`).
+    Number,
+    /// `"…"` and `b"…"` with escape handling.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br#"…"#` with balanced `#` guards.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// `// …` to end of line, including `///` and `//!` doc comments.
+    LineComment,
+    /// `/* … */`, nested to arbitrary depth.
+    BlockComment,
+    /// Any single punctuation character (`.`, `:`, `{`, `!`, …).
+    Punct,
+}
+
+/// One lexed token: kind plus byte span and 1-based line/column.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte in the source.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in characters) of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text, sliced out of the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    /// Byte position.
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if pred(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes a whole source file into a token stream. Never fails: malformed
+/// input (e.g. an unterminated string) degrades to a best-effort token
+/// that runs to end of file, which is good enough for linting — the
+/// compiler rejects such files anyway.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let kind = if c.is_whitespace() {
+            cur.eat_while(|c| c.is_whitespace());
+            continue;
+        } else if c == '/' && cur.peek_at(1) == Some('/') {
+            cur.eat_while(|c| c != '\n');
+            TokenKind::LineComment
+        } else if c == '/' && cur.peek_at(1) == Some('*') {
+            lex_block_comment(&mut cur);
+            TokenKind::BlockComment
+        } else if let Some(kind) = try_lex_raw_or_byte(&mut cur) {
+            kind
+        } else if c == '"' {
+            cur.bump();
+            lex_string_body(&mut cur, '"');
+            TokenKind::Str
+        } else if c == '\'' {
+            lex_quote(&mut cur)
+        } else if is_ident_start(c) {
+            cur.eat_while(is_ident_continue);
+            TokenKind::Ident
+        } else if c.is_ascii_digit() {
+            cur.eat_while(|c| c.is_alphanumeric() || c == '_');
+            TokenKind::Number
+        } else {
+            cur.bump();
+            TokenKind::Punct
+        };
+        out.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Consumes a `/* … */` block comment, honoring nesting.
+fn lex_block_comment(cur: &mut Cursor<'_>) {
+    cur.bump(); // '/'
+    cur.bump(); // '*'
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(), cur.peek_at(1)) {
+            (Some('/'), Some('*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some('*'), Some('/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break, // unterminated: run to EOF
+        }
+    }
+}
+
+/// Consumes the body of a `"…"` string (opening quote already eaten),
+/// honoring `\"` and `\\` escapes.
+fn lex_string_body(cur: &mut Cursor<'_>, close: char) {
+    while let Some(c) = cur.bump() {
+        if c == '\\' {
+            cur.bump(); // whatever is escaped, including \" and \\
+        } else if c == close {
+            break;
+        }
+    }
+}
+
+/// Handles every token that can start with `r` or `b`: raw strings
+/// (`r"…"`, `r#"…"#`), byte strings (`b"…"`), raw byte strings
+/// (`br#"…"#`), byte chars (`b'x'`) — and raw identifiers (`r#match`),
+/// which lex as plain identifiers. Returns `None` when the `r`/`b` is
+/// just the start of an ordinary identifier.
+fn try_lex_raw_or_byte(cur: &mut Cursor<'_>) -> Option<TokenKind> {
+    let c = cur.peek()?;
+    if c != 'r' && c != 'b' {
+        return None;
+    }
+    // Look ahead without consuming: prefix letters, then optional '#'s,
+    // then the quote that proves this is a literal.
+    let rest = &cur.src[cur.pos..];
+    let mut chars = rest.chars();
+    let first = chars.next()?;
+    let mut prefix = 1usize;
+    let mut second = chars.next();
+    // `br` / `rb` (only `br` is real Rust, but accept both orders).
+    if (first == 'b' && second == Some('r')) || (first == 'r' && second == Some('b')) {
+        prefix = 2;
+        second = chars.next();
+    }
+    let raw = first == 'r' || prefix == 2;
+    if raw {
+        // Count '#' guards, then require '"' (raw string) — or, for
+        // `r#ident`, fall through to identifier lexing.
+        let mut hashes = 0usize;
+        let mut look = second;
+        while look == Some('#') {
+            hashes += 1;
+            look = chars.next();
+        }
+        if look == Some('"') {
+            for _ in 0..prefix + hashes + 1 {
+                cur.bump();
+            }
+            lex_raw_string_body(cur, hashes);
+            return Some(TokenKind::RawStr);
+        }
+        if first == 'r' && hashes == 1 && look.map(is_ident_start) == Some(true) {
+            // Raw identifier `r#keyword`.
+            cur.bump(); // r
+            cur.bump(); // #
+            cur.eat_while(is_ident_continue);
+            return Some(TokenKind::Ident);
+        }
+        return None; // plain identifier starting with r/b
+    }
+    // first == 'b'
+    match second {
+        Some('"') => {
+            cur.bump();
+            cur.bump();
+            lex_string_body(cur, '"');
+            Some(TokenKind::Str)
+        }
+        Some('\'') => {
+            cur.bump(); // b
+            cur.bump(); // '
+            lex_char_body(cur);
+            Some(TokenKind::Char)
+        }
+        _ => None,
+    }
+}
+
+/// Consumes a raw-string body until `"` followed by `hashes` `#`s.
+fn lex_raw_string_body(cur: &mut Cursor<'_>, hashes: usize) {
+    while let Some(c) = cur.bump() {
+        if c == '"' {
+            let mut seen = 0usize;
+            while seen < hashes && cur.peek() == Some('#') {
+                cur.bump();
+                seen += 1;
+            }
+            if seen == hashes {
+                break; // fewer '#'s than the guard: still inside the string
+            }
+        }
+    }
+}
+
+/// Disambiguates `'` between a lifetime (`'a`, `'static`) and a char
+/// literal (`'x'`, `'\n'`), then consumes whichever it is.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    // A lifetime is `'` + ident run NOT followed by a closing `'`.
+    let rest = &cur.src[cur.pos + 1..];
+    let mut chars = rest.chars();
+    if let Some(first) = chars.next() {
+        if is_ident_start(first) {
+            let mut after = chars.clone();
+            let mut run = 1usize;
+            let mut next = after.next();
+            while next.map(is_ident_continue) == Some(true) {
+                run += 1;
+                next = after.next();
+            }
+            if next != Some('\'') {
+                // `'a` with no closing quote: lifetime.
+                cur.bump(); // '
+                for _ in 0..run {
+                    cur.bump();
+                }
+                return TokenKind::Lifetime;
+            }
+        }
+    }
+    cur.bump(); // '
+    lex_char_body(cur);
+    TokenKind::Char
+}
+
+/// Consumes a char-literal body (opening `'` already eaten) through the
+/// closing `'`, handling `\'`, `\\`, `\u{…}`, `\x41`.
+fn lex_char_body(cur: &mut Cursor<'_>) {
+    match cur.bump() {
+        Some('\\') => {
+            cur.bump(); // the escaped character (n, ', \, u, x, …)
+        }
+        Some('\'') | None => return, // `''` is malformed; stop early
+        Some(_) => {}
+    }
+    // Consume any remaining body (hex digits, `{1F600}`) up to the
+    // closing quote, which cannot be past the end of the line.
+    cur.eat_while(|c| c != '\'' && c != '\n');
+    if cur.peek() == Some('\'') {
+        cur.bump();
+    }
+}

@@ -1,0 +1,90 @@
+//! CLI entry point for `whynot-lint`.
+//!
+//! ```text
+//! cargo run -p whynot-lint              # human report, exit 1 on findings
+//! cargo run -p whynot-lint -- --json    # machine-readable report for CI
+//! cargo run -p whynot-lint -- --list-rules
+//! cargo run -p whynot-lint -- --root /path/to/workspace
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use whynot_lint::{all_rules, find_root, lint_workspace, load, report};
+
+struct Args {
+    json: bool,
+    list_rules: bool,
+    root: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        list_rules: false,
+        root: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => {
+                let path = it.next().ok_or("--root needs a path argument")?;
+                args.root = Some(PathBuf::from(path));
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("whynot-lint: {e}");
+            eprintln!("usage: whynot-lint [--json] [--list-rules] [--root <dir>]");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for rule in all_rules() {
+            println!("{:<26} {}", rule.id(), rule.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = match args.root {
+        Some(r) => r,
+        // The binary normally runs via `cargo run -p whynot-lint`, so
+        // walk up from the current directory to the workspace root.
+        None => match find_root(&PathBuf::from(".")) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("whynot-lint: cannot locate workspace root: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let ws = match load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("whynot-lint: cannot load workspace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = lint_workspace(&ws);
+    let rendered = if args.json {
+        report::json(&findings, ws.files.len())
+    } else {
+        report::human(&findings, ws.files.len())
+    };
+    print!("{rendered}");
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,177 @@
+//! The suppression layer: `// lint: allow(<rule>) — <justification>`.
+//!
+//! A pragma is a line comment that waives **exactly one** finding of the
+//! named rule. The justification is mandatory — a pragma without one is
+//! itself a finding — so every suppression in the tree documents *why*
+//! the flagged pattern is intentional. A pragma that matches no finding
+//! is also a finding (`pragma`/unused), which keeps stale waivers from
+//! accumulating as the code underneath them is fixed.
+//!
+//! Placement: a trailing pragma (code before it on the same line) waives
+//! a finding on its own line; a standalone pragma waives the first
+//! matching finding within the next [`WINDOW`] lines. The window exists
+//! because `rustfmt` is free to re-wrap the statement under the pragma,
+//! which can shift the offending token a line or two down — the lint
+//! must agree with whatever formatting `cargo fmt` settles on.
+
+use crate::context::FileCtx;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+
+/// How many lines below a standalone pragma a finding may sit and still
+/// be waived by it.
+pub const WINDOW: u32 = 3;
+
+/// A parsed pragma comment.
+#[derive(Debug)]
+pub struct Pragma {
+    /// The rule name inside `allow(…)`.
+    pub rule: String,
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Line the waiving window is measured from: for a standalone pragma
+    /// whose justification wraps onto further comment lines, the last
+    /// line of that contiguous comment block; otherwise [`Self::line`].
+    pub anchor: u32,
+    /// Whether code precedes the comment on its line (trailing pragma).
+    pub trailing: bool,
+    /// Whether a justification follows the `allow(…)`.
+    pub justified: bool,
+}
+
+/// Extracts every pragma comment from a file's token stream.
+pub fn collect(file: &FileCtx) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    let mut last_code_line = 0u32;
+    for (i, tok) in file.tokens.iter().enumerate() {
+        match tok.kind {
+            TokenKind::LineComment => {
+                if let Some(mut p) = parse(file.text(tok), tok.line, last_code_line == tok.line) {
+                    // A justification may wrap onto following comment
+                    // lines; the window starts where the block ends.
+                    p.anchor = p.line;
+                    for next in &file.tokens[i + 1..] {
+                        if next.kind == TokenKind::LineComment && next.line == p.anchor + 1 {
+                            p.anchor = next.line;
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push(p);
+                }
+            }
+            TokenKind::BlockComment => {}
+            _ => last_code_line = tok.line,
+        }
+    }
+    out
+}
+
+/// Parses one line comment into a pragma, if it is one.
+fn parse(comment: &str, line: u32, trailing: bool) -> Option<Pragma> {
+    let body = comment.trim_start_matches('/').trim_start();
+    let rest = body.strip_prefix("lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let tail = rest[close + 1..].trim_start();
+    // Justification: an em-dash or ASCII dash separator followed by
+    // non-empty prose.
+    let justified = ["—", "--", "-"]
+        .iter()
+        .find_map(|sep| tail.strip_prefix(sep))
+        .map(str::trim)
+        .is_some_and(|t| !t.is_empty());
+    Some(Pragma {
+        rule,
+        line,
+        anchor: line,
+        trailing,
+        justified,
+    })
+}
+
+/// Applies a file's pragmas to its findings: waived findings are
+/// removed, and pragma problems (unknown rule, missing justification,
+/// nothing to waive) are appended as `pragma` findings.
+///
+/// Each pragma waives at most one finding; findings are matched in
+/// source order, pragmas in order of appearance.
+pub fn apply(
+    file: &FileCtx,
+    known_rules: &[&'static str],
+    mut findings: Vec<Diagnostic>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let pragmas = collect(file);
+    findings.sort_by_key(|d| d.byte);
+    let mut waived = vec![false; findings.len()];
+    let mut used = vec![false; pragmas.len()];
+    for (pi, p) in pragmas.iter().enumerate() {
+        if !known_rules.contains(&p.rule.as_str()) {
+            out.push(Diagnostic::at_line(
+                "pragma",
+                format!(
+                    "pragma names unknown rule `{}` (known: {})",
+                    p.rule,
+                    known_rules.join(", ")
+                ),
+                &file.rel_path,
+                &file.src,
+                p.line,
+            ));
+            continue;
+        }
+        if !p.justified {
+            out.push(Diagnostic::at_line(
+                "pragma",
+                format!(
+                    "pragma `allow({})` has no justification — write \
+                     `// lint: allow({}) — <why this is intentional>`",
+                    p.rule, p.rule
+                ),
+                &file.rel_path,
+                &file.src,
+                p.line,
+            ));
+            continue;
+        }
+        let in_window = |line: u32| {
+            if p.trailing {
+                line == p.line
+            } else {
+                line > p.anchor && line <= p.anchor + WINDOW
+            }
+        };
+        if let Some(fi) = findings
+            .iter()
+            .enumerate()
+            .position(|(i, d)| !waived[i] && d.rule == p.rule && in_window(d.line))
+        {
+            waived[fi] = true;
+            used[pi] = true;
+        }
+    }
+    for (pi, p) in pragmas.iter().enumerate() {
+        let valid = known_rules.contains(&p.rule.as_str()) && p.justified;
+        if valid && !used[pi] {
+            out.push(Diagnostic::at_line(
+                "pragma",
+                format!(
+                    "unused pragma: no `{}` finding within {} line(s) — \
+                     remove it or move it next to the code it waives",
+                    p.rule, WINDOW
+                ),
+                &file.rel_path,
+                &file.src,
+                p.line,
+            ));
+        }
+    }
+    for (i, d) in findings.into_iter().enumerate() {
+        if !waived[i] {
+            out.push(d);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Reporters: rustc-style human output and a machine-readable `--json`
+//! mode for CI artifacts. Both are pure functions from findings to a
+//! `String`, so tests can assert on exact output.
+
+use crate::diag::Diagnostic;
+
+/// Renders findings the way rustc does — `file:line:col`, the offending
+/// source line, and a caret under the column — so editors and CI log
+/// scrapers can jump straight to the spot.
+pub fn human(findings: &[Diagnostic], files_scanned: usize) -> String {
+    let mut s = String::new();
+    for d in findings {
+        s.push_str(&format!(
+            "error[{}]: {}\n  --> {}:{}:{}\n",
+            d.rule, d.message, d.file, d.line, d.col
+        ));
+        if !d.snippet.is_empty() {
+            s.push_str(&format!("   |\n   | {}\n", d.snippet));
+            let pad = " ".repeat((d.col as usize).saturating_sub(1));
+            s.push_str(&format!("   | {pad}^\n"));
+        }
+        s.push('\n');
+    }
+    if findings.is_empty() {
+        s.push_str(&format!(
+            "whynot-lint: clean — 0 findings across {files_scanned} files\n"
+        ));
+    } else {
+        s.push_str(&format!(
+            "whynot-lint: {} finding(s) across {} files\n",
+            findings.len(),
+            files_scanned
+        ));
+    }
+    s
+}
+
+/// Renders findings as a JSON document:
+/// `{"findings": [{file, line, col, rule, message}, …], "files_scanned": n}`.
+pub fn json(findings: &[Diagnostic], files_scanned: usize) -> String {
+    let mut s = String::from("{\n  \"findings\": [");
+    for (i, d) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"message\": {}}}",
+            escape(&d.file),
+            d.line,
+            d.col,
+            escape(d.rule),
+            escape(&d.message)
+        ));
+    }
+    if !findings.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str(&format!(
+        "],\n  \"files_scanned\": {files_scanned},\n  \"finding_count\": {}\n}}\n",
+        findings.len()
+    ));
+    s
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn escape(raw: &str) -> String {
+    let mut s = String::with_capacity(raw.len() + 2);
+    s.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}

@@ -1,0 +1,123 @@
+//! Workspace discovery: find the root `Cargo.toml`, read its `members`
+//! list (hand-rolled — the lint is dependency-free, so no TOML crate),
+//! and collect every `.rs` file each member compiles. Vendored
+//! stand-ins under `vendor/` are skipped: they emulate external
+//! crates-io APIs and are not subject to the engine's invariants. The
+//! lint's own fixture corpus (`tests/fixtures/`) is skipped too — its
+//! firing halves violate rules on purpose.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A workspace ready to lint: the root plus every source file, as
+/// (workspace-relative path, contents), in sorted order so reports are
+/// deterministic.
+pub struct Workspace {
+    pub root: PathBuf,
+    pub files: Vec<(String, String)>,
+    /// README.md contents, for registry cross-checks ("" if absent).
+    pub readme: String,
+}
+
+/// Walks up from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_root(start: &Path) -> io::Result<PathBuf> {
+    let mut dir = start.canonicalize()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() && fs::read_to_string(&manifest)?.contains("[workspace]") {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "no workspace Cargo.toml above the starting directory",
+            ));
+        }
+    }
+}
+
+/// Loads the workspace at `root`: parses the members list and reads
+/// every member's `src/`, `tests/`, `benches/`, and `examples/` trees,
+/// plus the root package's own.
+pub fn load(root: &Path) -> io::Result<Workspace> {
+    let manifest = fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut dirs: Vec<PathBuf> = vec![root.to_path_buf()];
+    for member in parse_members(&manifest) {
+        if member.starts_with("vendor/") {
+            continue; // stand-ins for external crates: out of scope
+        }
+        dirs.push(root.join(member));
+    }
+    let mut files = Vec::new();
+    for dir in &dirs {
+        for sub in ["src", "tests", "benches", "examples"] {
+            collect_rs(&dir.join(sub), root, &mut files)?;
+        }
+    }
+    files.sort();
+    files.dedup_by(|a, b| a.0 == b.0);
+    let mut out = Vec::with_capacity(files.len());
+    for (rel, path) in files {
+        out.push((rel, fs::read_to_string(path)?));
+    }
+    let readme = fs::read_to_string(root.join("README.md")).unwrap_or_default();
+    Ok(Workspace {
+        root: root.to_path_buf(),
+        files: out,
+        readme,
+    })
+}
+
+/// Extracts the quoted entries of the `members = [ … ]` array.
+fn parse_members(manifest: &str) -> Vec<String> {
+    let Some(start) = manifest.find("members") else {
+        return Vec::new();
+    };
+    let Some(open) = manifest[start..].find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = manifest[start + open..].find(']') else {
+        return Vec::new();
+    };
+    let body = &manifest[start + open + 1..start + open + close];
+    body.split(',')
+        .filter_map(|entry| {
+            let entry = entry.trim().trim_matches('"');
+            (!entry.is_empty() && !entry.starts_with('#')).then(|| entry.to_string())
+        })
+        .collect()
+}
+
+/// Recursively collects `.rs` files under `dir` as
+/// (workspace-relative path, absolute path), skipping fixture corpora.
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "fixtures") {
+                continue; // lint fixtures violate rules on purpose
+            }
+            collect_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! The dogfood gate: the workspace this lint ships in must itself lint
+//! clean. Any PR that introduces a flagged pattern — or an unjustified
+//! or stale pragma — fails this test before CI even reaches the binary.
+
+use whynot_lint::{lint_workspace, walk};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels below the workspace root");
+    let ws = walk::load(root).expect("workspace loads");
+    assert!(
+        ws.files.len() > 50,
+        "workspace walk looks truncated: {} files",
+        ws.files.len()
+    );
+    let findings = lint_workspace(&ws);
+    assert!(
+        findings.is_empty(),
+        "the shipped workspace has lint findings:\n{}",
+        findings
+            .iter()
+            .map(|d| format!("{}:{}:{} [{}] {}", d.file, d.line, d.col, d.rule, d.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,13 @@
+//! Fixture: ordered collections, so iteration order is reproducible —
+//! clean.
+
+use std::collections::BTreeMap;
+
+/// Groups answers in key order.
+pub fn group(keys: &[u32]) -> BTreeMap<u32, usize> {
+    let mut m = BTreeMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m
+}

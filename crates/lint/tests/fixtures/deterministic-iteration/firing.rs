@@ -1,0 +1,13 @@
+//! Fixture: hash collections in result-producing lib code — fires
+//! `deterministic-iteration` once per mention.
+
+use std::collections::HashMap;
+
+/// Groups answers with nondeterministic iteration order.
+pub fn group(keys: &[u32]) -> HashMap<u32, usize> {
+    let mut m = HashMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,12 @@
+//! Fixture: only registered knobs, plus the bare `"WHYNOT_"` prefix a
+//! matcher might hold — clean.
+
+/// Reads the declared thread knob.
+pub fn threads() -> Option<String> {
+    std::env::var("WHYNOT_THREADS").ok()
+}
+
+/// A prefix literal is not a variable name.
+pub fn is_knob(name: &str) -> bool {
+    name.starts_with("WHYNOT_")
+}

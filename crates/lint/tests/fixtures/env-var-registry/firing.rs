@@ -1,0 +1,7 @@
+//! Fixture: an env knob missing from the registry — fires
+//! `env-var-registry`.
+
+/// Reads an undeclared knob.
+pub fn knob() -> Option<String> {
+    std::env::var("WHYNOT_SECRET_KNOB").ok()
+}

@@ -1,0 +1,4 @@
+//! Fixture: opens with a module doc header — clean.
+
+/// Some item.
+pub fn f() {}

@@ -1,0 +1,5 @@
+// A leading line comment that is not a `//!` module doc header — fires
+// `mod-doc`.
+
+/// Some item.
+pub fn f() {}

@@ -1,0 +1,6 @@
+//! Fixture: pooled accessors instead of owned rebuilds — clean.
+
+/// Borrows the pooled column instead of rebuilding it.
+pub fn distinct(inst: &whynot_relation::Instance, rel: u32) -> usize {
+    inst.column_refs(rel, 0).len()
+}

@@ -1,0 +1,7 @@
+//! Fixture: owned `Instance::column(…)` outside `crates/relation` —
+//! fires `no-owned-column`.
+
+/// Rebuilds the column's `BTreeSet` on every call.
+pub fn distinct(inst: &whynot_relation::Instance, rel: u32) -> usize {
+    inst.column(rel, 0).len()
+}

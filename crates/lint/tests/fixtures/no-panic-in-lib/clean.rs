@@ -1,0 +1,27 @@
+//! Fixture: fallible code that propagates instead of panicking, plus a
+//! user-defined `expect` method returning `Result` — clean. The
+//! `.expect("{")?` call below must not be mistaken for `Option::expect`:
+//! the trailing `?` proves the call propagates.
+
+/// A tiny parser with a `Result`-returning `expect`, like the concept
+/// grammar's.
+pub struct P;
+
+impl P {
+    /// Consumes the given token or errors.
+    pub fn expect(&mut self, _tok: &str) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Parses a block by propagating with `?`.
+    pub fn block(&mut self) -> Result<(), String> {
+        self.expect("{")?;
+        self.expect("}")?;
+        Ok(())
+    }
+}
+
+/// Propagates an absent first element as an error.
+pub fn first(xs: &[u32]) -> Result<u32, String> {
+    xs.first().copied().ok_or_else(|| "empty".to_string())
+}

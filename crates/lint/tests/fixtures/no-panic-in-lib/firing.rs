@@ -1,0 +1,17 @@
+//! Fixture: panics reachable from the session boundary — fires
+//! `no-panic-in-lib` three times.
+
+/// Unwraps an `Option`.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+/// Expects a value.
+pub fn must(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+/// Dead-ends with a macro panic.
+pub fn nope() -> u32 {
+    unreachable!("never")
+}

@@ -1,0 +1,6 @@
+//! Fixture: library code formats instead of printing — clean.
+
+/// Returns the message for the caller to print.
+pub fn trace(n: usize) -> String {
+    format!("expanded {n} nodes")
+}

@@ -1,0 +1,8 @@
+//! Fixture: stdout noise in library code — fires `no-println-in-lib`
+//! for the `println!` and the `dbg!`.
+
+/// Prints from what would be a hot path.
+pub fn trace(n: usize) {
+    println!("expanded {n} nodes");
+    let _ = dbg!(n);
+}

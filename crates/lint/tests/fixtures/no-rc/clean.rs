@@ -1,0 +1,19 @@
+//! Fixture: `Arc` sharing, with `Rc` appearing only inside a comment
+//! and a string literal — none of which may fire `no-rc`.
+
+use std::sync::Arc;
+
+// Rc<T> in a comment is not a finding.
+/// Holds "Rc" only inside a string literal.
+pub struct Node {
+    payload: Arc<Vec<u32>>,
+    label: &'static str,
+}
+
+/// Builds a node whose label merely *mentions* `Rc`.
+pub fn node() -> Node {
+    Node {
+        payload: Arc::new(Vec::new()),
+        label: "Rc is just text here",
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: shared ownership through `Rc` — must fire `no-rc`.
+
+use std::rc::Rc;
+
+/// A node sharing its payload the non-`Send` way.
+pub struct Node {
+    payload: Rc<Vec<u32>>,
+}

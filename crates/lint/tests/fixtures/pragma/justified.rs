@@ -1,0 +1,10 @@
+//! Fixture: a justified standalone pragma waives exactly one finding —
+//! clean.
+
+/// Infallible by construction.
+pub fn head() -> u32 {
+    let xs = [1u32, 2, 3];
+    // lint: allow(no-panic-in-lib) — `xs` is the non-empty literal
+    // above, so `first` always returns `Some`.
+    *xs.first().unwrap()
+}

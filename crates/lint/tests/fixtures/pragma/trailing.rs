@@ -1,0 +1,7 @@
+//! Fixture: a trailing pragma waives the finding on its own line —
+//! clean.
+
+/// Infallible by construction.
+pub fn one() -> u32 {
+    [1u32].first().copied().unwrap() // lint: allow(no-panic-in-lib) — literal non-empty array
+}

@@ -1,0 +1,8 @@
+//! Fixture: a pragma without a justification is itself a finding, and
+//! waives nothing.
+
+/// Tries to waive without saying why.
+pub fn head(xs: &[u32]) -> u32 {
+    // lint: allow(no-panic-in-lib)
+    *xs.first().unwrap()
+}

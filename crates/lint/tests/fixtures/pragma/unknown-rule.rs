@@ -1,0 +1,7 @@
+//! Fixture: a pragma naming an unknown rule is a finding.
+
+/// Waives a rule that does not exist.
+pub fn f() -> u32 {
+    // lint: allow(no-such-rule) — typo'd rule name
+    1
+}

@@ -1,0 +1,8 @@
+//! Fixture: a justified pragma with nothing to waive is a finding —
+//! stale waivers must not accumulate.
+
+/// Nothing here panics.
+pub fn f() -> u32 {
+    // lint: allow(no-panic-in-lib) — stale waiver left behind after a fix
+    1
+}

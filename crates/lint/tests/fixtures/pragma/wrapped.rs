@@ -1,0 +1,13 @@
+//! Fixture: a justification that wraps across several comment lines —
+//! the waiver window is measured from the *end* of the comment block,
+//! so the flagged call stays waived even though it sits more than
+//! WINDOW lines below the pragma's first line.
+
+/// Infallible by construction.
+pub fn head() -> u32 {
+    // lint: allow(no-panic-in-lib) — this justification deliberately
+    // wraps across four comment lines so the flagged call sits more
+    // than WINDOW lines below the pragma's first line; anchoring the
+    // window at the block's end keeps it waived after rustfmt re-wraps.
+    [1u32].first().copied().unwrap()
+}

@@ -1,0 +1,10 @@
+//! Fixture: `unsafe` covered by a `// SAFETY:` comment inside the
+//! window — clean.
+
+/// Reads a byte with the argument written down.
+pub fn peek(xs: &[u8]) -> u8 {
+    debug_assert!(!xs.is_empty());
+    // SAFETY: the caller guarantees `xs` is non-empty, checked by the
+    // debug assertion above, so index 0 is in bounds.
+    unsafe { *xs.get_unchecked(0) }
+}

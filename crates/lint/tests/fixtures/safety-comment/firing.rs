@@ -1,0 +1,7 @@
+//! Fixture: `unsafe` with no written safety argument — fires
+//! `safety-comment`.
+
+/// Reads a byte without stating why the index is in bounds.
+pub fn peek(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(0) }
+}

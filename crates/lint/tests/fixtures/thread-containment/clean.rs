@@ -1,0 +1,14 @@
+//! Fixture: threads confined to comments and `#[cfg(test)]` — clean.
+
+// std::thread::spawn in a comment is fine.
+
+/// Library code that delegates to the executor abstraction instead.
+pub fn contained() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_thread() {
+        std::thread::spawn(|| {}).join().unwrap();
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: raw `std::thread` outside `crates/parallel` — fires
+//! `thread-containment`.
+
+/// Spawns without going through the `Executor`.
+pub fn rogue() {
+    std::thread::spawn(|| {}).join().ok();
+}

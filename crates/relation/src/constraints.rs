@@ -283,6 +283,8 @@ pub fn view_partition(schema: &Schema) -> ViewPartition {
     let mut deps: BTreeMap<RelId, BTreeSet<RelId>> = BTreeMap::new();
     for (&v, &idx) in &views {
         let Constraint::View(def) = &schema.constraints()[idx] else {
+            // lint: allow(no-panic-in-lib) — `views` maps each RelId to the index
+            // it was collected from in the Constraint::View match above.
             unreachable!()
         };
         deps.insert(v, def.dependencies(&view_set));

@@ -52,7 +52,9 @@ pub fn freeze(cq: &Cq) -> Result<Frozen, RelError> {
         .into_iter()
         .map(|v| (v, fresh_constant(v.0)))
         .collect();
-    Ok(freeze_with(cq, &assignment).expect("comparison-free freeze cannot fail"))
+    freeze_with(cq, &assignment).ok_or_else(|| {
+        RelError::Invalid("freeze: comparison-free freeze failed on a total assignment".into())
+    })
 }
 
 /// Freezes a CQ under a given (total) variable assignment, checking that

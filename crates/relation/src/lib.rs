@@ -28,6 +28,7 @@
 //! * [`freeze`] — canonical databases for containment tests.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod arena;
 mod constraints;

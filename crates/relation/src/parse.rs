@@ -135,7 +135,9 @@ pub fn parse_program(src: &str) -> Result<Loaded, RelError> {
         rebuilt.add_ind(Ind::new(frid, fa, trid, ta));
     }
     for (name, _attrs, body) in pending_views {
-        let rid = probe.rel(&name).expect("declared above");
+        let rid = probe
+            .rel(&name)
+            .ok_or_else(|| RelError::UnknownRelation(name.clone()))?;
         let ucq = parse_query(&probe, &body)?;
         rebuilt.add_view(ViewDef::new(rid, ucq));
     }

@@ -297,8 +297,8 @@ impl GenPool {
         let mut merged: Vec<Value> = Vec::with_capacity(self.pool.len() + fresh.len());
         let mut extra = fresh.into_iter().peekable();
         for v in self.pool.values() {
-            while extra.peek().is_some_and(|f| f < v) {
-                merged.push(extra.next().unwrap());
+            while let Some(f) = extra.next_if(|f| f < v) {
+                merged.push(f);
             }
             merged.push(v.clone());
         }

@@ -24,7 +24,10 @@ use crate::instance::{Instance, Tuple};
 use crate::interval::Interval;
 use crate::schema::{RelId, Schema};
 use crate::value::Value;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
+// lint: allow(deterministic-iteration) — imported for the probe-only
+// JoinIndex below; its iteration order never reaches an answer set.
+use std::collections::HashMap;
 use std::fmt;
 
 /// A transient hash join index over the relations a query touches.
@@ -38,6 +41,8 @@ use std::fmt;
 /// The index borrows the instance, so it cannot outlive (or observe
 /// mutations of) the data it summarizes.
 struct JoinIndex<'a> {
+    // lint: allow(deterministic-iteration) — keyed lookups only; the
+    // backtracking walk iterates atoms and tuple buckets, never this map.
     rels: HashMap<RelId, RelIndex<'a>>,
 }
 
@@ -48,6 +53,8 @@ struct RelIndex<'a> {
     /// `0..tuples.len()`, lent out when no argument is bound.
     all: Vec<u32>,
     /// Per attribute position: value → positions of tuples carrying it.
+    // lint: allow(deterministic-iteration) — probed by value; buckets keep
+    // tuple order, and the map itself is never iterated.
     by_attr: Vec<HashMap<&'a Value, Vec<u32>>>,
 }
 
@@ -65,7 +72,9 @@ impl<'a> JoinIndex<'a> {
             .map(|(rel, arity)| {
                 let tuples: Vec<&Tuple> = inst.tuples(rel).collect();
                 let all: Vec<u32> = (0..tuples.len() as u32).collect();
-                let mut by_attr: Vec<HashMap<&Value, Vec<u32>>> = vec![HashMap::new(); arity];
+                // lint: allow(deterministic-iteration) — see the field doc:
+                // probe-only buckets in tuple order.
+                let mut by_attr = vec![HashMap::<&Value, Vec<u32>>::new(); arity];
                 for (i, t) in tuples.iter().enumerate() {
                     for (p, bucket) in by_attr.iter_mut().enumerate() {
                         if let Some(v) = t.get(p) {
@@ -634,6 +643,9 @@ impl Cq {
             map.insert(v, Term::Var(Var(*next_var)));
             *next_var += 1;
         }
+        // lint: allow(no-panic-in-lib) — the map sends every variable of this
+        // CQ to a fresh variable term, which satisfies substitute's only
+        // precondition; a total fresh renaming cannot fail.
         self.substitute(&map).expect("pure renaming cannot fail")
     }
 

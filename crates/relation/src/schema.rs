@@ -96,6 +96,8 @@ impl Schema {
     /// is missing. Intended for tests and examples.
     pub fn rel_expect(&self, name: &str) -> RelId {
         self.rel(name)
+            // lint: allow(no-panic-in-lib) — documented panicking convenience
+            // twin of the checked `rel`, for tests and examples only.
             .unwrap_or_else(|| panic!("schema has no relation named {name:?}"))
     }
 
@@ -108,6 +110,8 @@ impl Schema {
     /// examples.
     pub fn attr_expect(&self, rel: RelId, attr_name: &str) -> Attr {
         self.attr(rel, attr_name).unwrap_or_else(|| {
+            // lint: allow(no-panic-in-lib) — documented panicking convenience
+            // twin of the checked `attr`, for tests and examples only.
             panic!(
                 "relation {:?} has no attribute named {attr_name:?}",
                 self.name(rel)

@@ -38,6 +38,8 @@ pub fn materialize_views(schema: &Schema, base: &Instance) -> Result<Instance, R
     for &view in &part.topo_order {
         let idx = part.views[&view];
         let Constraint::View(def) = &schema.constraints()[idx] else {
+            // lint: allow(no-panic-in-lib) — `part.views` indices come from
+            // the Constraint::View match in `view_partition`.
             unreachable!()
         };
         for tuple in def.definition.eval(&inst) {
@@ -60,6 +62,8 @@ pub fn unfold_cq(schema: &Schema, cq: &Cq) -> Result<Ucq, RelError> {
         .iter()
         .map(|(&rel, &idx)| {
             let Constraint::View(def) = &schema.constraints()[idx] else {
+                // lint: allow(no-panic-in-lib) — `part.views` indices come
+                // from the Constraint::View match in `view_partition`.
                 unreachable!()
             };
             (rel, def)

@@ -18,6 +18,7 @@
 //! here as [`setcover`] for convenience.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod generators;
 pub mod paper;

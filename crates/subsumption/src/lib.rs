@@ -41,6 +41,7 @@
 //! [`ConstraintClass`]: whynot_relation::ConstraintClass
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod canonical;
 mod chase;

@@ -49,6 +49,9 @@
 //! // city reaches a US city in two hops."
 //! assert!(mges.iter().any(|e| e.to_string() == "⟨European-City, US-City⟩"));
 //! ```
+
+#![forbid(unsafe_code)]
+
 pub use whynot_concepts as concepts;
 pub use whynot_core as core;
 pub use whynot_dllite as dllite;
