@@ -73,7 +73,8 @@ mod whynot;
 
 pub use context::EvalContext;
 pub use session::{
-    DeltaStats, SessionError, SessionStats, WhyNotQuestion, WhyNotSession, WorkerStats,
+    CacheBudget, DeltaStats, EvictionStats, SessionError, SessionStats, WhyNotQuestion,
+    WhyNotSession, WorkerStats,
 };
 pub use whynot_parallel::{Executor, ExecutorBuilder, THREADS_ENV};
 

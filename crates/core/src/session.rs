@@ -165,6 +165,10 @@ struct LubEntry {
     concept: LsConcept,
     pooled: bool,
     epoch: usize,
+    /// LRU recency stamp (see [`CacheBudget`]); assigned at insert,
+    /// refreshed on hits only while the lub budget is finite, so the
+    /// unlimited default never pays `Arc::make_mut` on the hit path.
+    stamp: u64,
 }
 
 /// The session's memoized `lub` / `lubσ` results for one [`LubKind`].
@@ -234,6 +238,9 @@ pub struct SessionStats {
     /// The [`ConstPool`] generation: 0 at construction, bumped by each
     /// delta that introduced constants outside the current pool.
     pub pool_generation: u64,
+    /// Total cache entries evicted under the session's [`CacheBudget`]
+    /// (see [`WhyNotSession::evictions`] for the per-cache breakdown).
+    pub cache_evictions: usize,
 }
 
 /// What one [`WhyNotSession::apply_delta`] call did to each session
@@ -355,11 +362,101 @@ pub struct WorkerStats {
     pub lubs_computed: usize,
 }
 
+/// Per-cache entry budgets for a session's memo caches — the knob a
+/// long-running service (see `whynot-server`) turns to bound memory.
+///
+/// The default is [`unlimited`](CacheBudget::unlimited): every cache is
+/// append-only for the session's lifetime, exactly the pre-budget
+/// behaviour. A finite budget caps the entry count; inserting past the
+/// cap evicts the least-recently-used entry first (recency stamps are
+/// unique, so the victim is deterministic). A budget of 0 disables the
+/// cache entirely — every probe recomputes, answers stay correct, the
+/// session just loses its reuse advantage.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheBudget {
+    /// Max cached answer sets (`cached_queries` in [`SessionStats`]).
+    /// Evicting one cascades: the probe and conflict entries keyed by
+    /// its pointer are purged with it, so a recycled allocation can
+    /// never resurrect a dead entry.
+    pub answers: usize,
+    /// Max per-constant candidate index lists.
+    pub candidates: usize,
+    /// Max interned answer-probe vectors.
+    pub probes: usize,
+    /// Max Algorithm 1 conflict bitsets.
+    pub conflicts: usize,
+    /// Max memoized lubs, per [`LubKind`].
+    pub lubs: usize,
+    /// Max memoized `LS`-concept extensions.
+    pub ls_extensions: usize,
+}
+
+impl CacheBudget {
+    /// No limits — the append-only default.
+    pub const fn unlimited() -> Self {
+        CacheBudget::uniform(usize::MAX)
+    }
+
+    /// The same entry cap on every cache.
+    pub const fn uniform(n: usize) -> Self {
+        CacheBudget {
+            answers: n,
+            candidates: n,
+            probes: n,
+            conflicts: n,
+            lubs: n,
+            ls_extensions: n,
+        }
+    }
+}
+
+impl Default for CacheBudget {
+    fn default() -> Self {
+        CacheBudget::unlimited()
+    }
+}
+
+/// How many entries each cache has evicted to stay inside its
+/// [`CacheBudget`] (see [`WhyNotSession::evictions`]). Entries dropped
+/// because a delta invalidated them are counted by [`DeltaStats`], not
+/// here — eviction is purely a memory-pressure event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EvictionStats {
+    /// Answer sets evicted.
+    pub answers: usize,
+    /// Candidate index lists evicted.
+    pub candidates: usize,
+    /// Probe vectors evicted (including cascade purges when their
+    /// answer set was evicted).
+    pub probes: usize,
+    /// Conflict bitsets evicted (including cascade purges).
+    pub conflicts: usize,
+    /// Lub entries evicted.
+    pub lubs: usize,
+    /// `LS`-concept extensions evicted.
+    pub ls_extensions: usize,
+}
+
+impl EvictionStats {
+    /// Total entries evicted across every cache.
+    pub fn total(&self) -> usize {
+        self.answers
+            + self.candidates
+            + self.probes
+            + self.conflicts
+            + self.lubs
+            + self.ls_extensions
+    }
+}
+
 /// A batched why-not service over one pinned `(ontology, instance)` pair.
 ///
 /// An interned conflict bitset and its popcount, shared out of the
 /// session's conflict cache.
 type ConflictBits = Arc<(Vec<u64>, usize)>;
+
+/// A cache entry carrying its LRU recency stamp.
+type Stamped<T> = (T, Cell<u64>);
 
 /// See the [module docs](self) for the cache inventory and an example.
 /// Methods that run Algorithm 1 / CHECK-MGE / the `>card` searches
@@ -375,22 +472,24 @@ pub struct WhyNotSession<'a, O: Ontology> {
     /// ontologies only), built on first use.
     finite: OnceCell<(Vec<O::Concept>, ExtensionTable)>,
     /// Candidate concept indices keyed by position constant (`Arc` so a
-    /// batch can snapshot the lists and fan them out across workers).
-    candidates: RefCell<BTreeMap<Value, Arc<Vec<usize>>>>,
-    /// Answer sets keyed by query.
+    /// batch can snapshot the lists and fan them out across workers),
+    /// each entry carrying its LRU recency stamp.
+    candidates: RefCell<BTreeMap<Value, Stamped<Arc<Vec<usize>>>>>,
+    /// Answer sets keyed by query, each entry carrying its LRU stamp.
     // lint: allow(deterministic-iteration) — probed by query; the answers
     // themselves live in the ordered `BTreeSet` values.
-    answers: RefCell<HashMap<Ucq, Arc<BTreeSet<Tuple>>>>,
+    answers: RefCell<HashMap<Ucq, Stamped<Arc<BTreeSet<Tuple>>>>>,
     /// Interned answer probes keyed by `(answer set, position)`: the
     /// `pool.id_of` binary searches for one position's answer column are
     /// paid once per query, not once per question. The answer set is
     /// identified by the pointer of its `Arc` in [`answers`] — stable
-    /// and unique because that cache is append-only for the session's
-    /// lifetime.
+    /// and unique while it stays cached; evicting an answer set purges
+    /// its probe entries (see [`CacheBudget::answers`]), and with the
+    /// default unlimited budget the cache is append-only as before.
     #[allow(clippy::type_complexity)]
     // lint: allow(deterministic-iteration) — pointer-keyed probe cache;
-    // keyed lookups only, never iterated.
-    probes: RefCell<HashMap<(usize, usize), Arc<Vec<Probe>>>>,
+    // keyed lookups only, never iterated into results.
+    probes: RefCell<HashMap<(usize, usize), Stamped<Arc<Vec<Probe>>>>>,
     /// Algorithm 1 conflict bitsets (with their popcounts) keyed by
     /// `(answer set, position, concept index)`. A candidate's conflict
     /// bits depend on the query's answers and the concept — *not* on
@@ -398,8 +497,8 @@ pub struct WhyNotSession<'a, O: Ontology> {
     /// wholesale; the per-question work drops to a cache probe and a
     /// word copy per surviving candidate.
     // lint: allow(deterministic-iteration) — pointer-keyed conflict cache;
-    // keyed lookups only, never iterated.
-    conflicts: RefCell<HashMap<(usize, usize, usize), ConflictBits>>,
+    // keyed lookups only, never iterated into results.
+    conflicts: RefCell<HashMap<(usize, usize, usize), Stamped<ConflictBits>>>,
     /// The pooled lub engine behind the lub cache: one interned column
     /// set per `(rel, attr)` for the whole session, built on the first
     /// lub miss.
@@ -420,6 +519,19 @@ pub struct WhyNotSession<'a, O: Ontology> {
     /// concept, interned into the session pool (`Arc` for the same O(1)
     /// batch-snapshot reason).
     ls_exts: RefCell<Arc<BTreeMap<LsConcept, Extension>>>,
+    /// Recency stamps for [`ls_exts`](Self::ls_exts), maintained only
+    /// while that budget is finite (the extension values are snapshotted
+    /// by parallel batches, so the stamps live beside the cache rather
+    /// than inside it — the unlimited default pays nothing).
+    ls_lru: RefCell<BTreeMap<LsConcept, u64>>,
+    /// Entry budgets for every cache above; `CacheBudget::unlimited()`
+    /// (the default) preserves the historical append-only behaviour.
+    budget: CacheBudget,
+    /// The LRU clock: bumped on every cache touch, so recency stamps are
+    /// unique and eviction picks a deterministic victim.
+    clock: Cell<u64>,
+    /// Entries evicted per cache under the budget.
+    evicted: Cell<EvictionStats>,
     questions: Cell<usize>,
     /// Delta accounting: calls accepted, entries invalidated, entries
     /// retained (summed over calls; see [`DeltaStats`]).
@@ -443,17 +555,39 @@ fn kind_slot(kind: LubKind) -> usize {
     }
 }
 
+/// The least-recently-used key of a stamped hash cache. Stamps are
+/// unique (the session clock bumps on every touch), so the minimum — and
+/// therefore the victim — is deterministic despite the map's order.
+// lint: allow(deterministic-iteration) — min of unique stamps: the
+// victim is independent of iteration order.
+fn lru_key<K: Clone + Eq + std::hash::Hash, V>(map: &HashMap<K, (V, Cell<u64>)>) -> Option<K> {
+    map.iter()
+        .min_by_key(|(_, (_, stamp))| stamp.get())
+        .map(|(k, _)| k.clone())
+}
+
+/// The least-recently-used key of a stamped ordered cache.
+fn lru_key_btree<K: Clone + Ord, V>(map: &BTreeMap<K, (V, Cell<u64>)>) -> Option<K> {
+    map.iter()
+        .min_by_key(|(_, (_, stamp))| stamp.get())
+        .map(|(k, _)| k.clone())
+}
+
 impl<'a, O: Ontology> WhyNotSession<'a, O> {
     /// Opens a session over `(ontology, instance)`. Construction interns
     /// `adom(I)` into the shared pool (one instance sweep); everything
     /// else — extensions, answer sets, candidates, lubs — is computed
     /// lazily as questions arrive.
     ///
-    /// The memo caches are append-only and live as long as the session:
-    /// a service answering an unbounded stream against one instance
-    /// should recycle sessions periodically (or per client) to bound
-    /// memory — [`stats`](WhyNotSession::stats) exposes the cache sizes.
-    pub fn new(ontology: &'a O, schema: &'a Schema, instance: &'a Instance) -> Self {
+    /// The memo caches live as long as the session. Long-lived services
+    /// bound them with [`set_cache_budget`](WhyNotSession::set_cache_budget)
+    /// (LRU eviction) or recycle sessions periodically —
+    /// [`stats`](WhyNotSession::stats) exposes the cache sizes.
+    ///
+    /// The instance is snapshotted (cheaply — instances share interned
+    /// storage), so its borrow ends with this call; only the ontology
+    /// and schema must outlive the session.
+    pub fn new(ontology: &'a O, schema: &'a Schema, instance: &Instance) -> Self {
         WhyNotSession {
             schema,
             ctx: EvalContext::new(ontology, instance),
@@ -475,6 +609,10 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
             ],
             lub_log: RefCell::new(Vec::new()),
             ls_exts: RefCell::new(Arc::new(BTreeMap::new())),
+            ls_lru: RefCell::new(BTreeMap::new()),
+            budget: CacheBudget::unlimited(),
+            clock: Cell::new(0),
+            evicted: Cell::new(EvictionStats::default()),
             questions: Cell::new(0),
             deltas: Cell::new(0),
             delta_invalidated: Cell::new(0),
@@ -494,6 +632,171 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
     /// across its workers.
     pub fn set_executor(&mut self, exec: Executor) {
         self.executor = Some(exec);
+    }
+
+    /// Sets the per-cache entry budgets and trims every cache down to
+    /// them immediately, least-recently-used entries first (trimmed
+    /// entries are counted in [`evictions`](WhyNotSession::evictions)).
+    /// The default is [`CacheBudget::unlimited`]; a budget of 0 disables
+    /// a cache without affecting answers.
+    pub fn set_cache_budget(&mut self, budget: CacheBudget) {
+        self.budget = budget;
+        if budget.ls_extensions == usize::MAX {
+            self.ls_lru.get_mut().clear();
+        } else {
+            // Seed recency for entries cached before the budget existed:
+            // ascending stamps in the cache's own (deterministic) order.
+            let keys: Vec<LsConcept> = self.ls_exts.get_mut().keys().cloned().collect();
+            let seeded: BTreeMap<LsConcept, u64> =
+                keys.into_iter().map(|c| (c, self.clock_tick())).collect();
+            *self.ls_lru.get_mut() = seeded;
+        }
+        self.trim_to_budget();
+    }
+
+    /// The session's current [`CacheBudget`].
+    pub fn cache_budget(&self) -> CacheBudget {
+        self.budget
+    }
+
+    /// Per-cache counts of LRU evictions under the budget (all zero for
+    /// the unlimited default).
+    pub fn evictions(&self) -> EvictionStats {
+        self.evicted.get()
+    }
+
+    /// The next unique recency stamp.
+    fn clock_tick(&self) -> u64 {
+        let t = self.clock.get() + 1;
+        self.clock.set(t);
+        t
+    }
+
+    fn count_evicted(&self, f: impl FnOnce(&mut EvictionStats)) {
+        let mut e = self.evicted.get();
+        f(&mut e);
+        self.evicted.set(e);
+    }
+
+    /// Whether a bound question's answer set is still in the answers
+    /// cache. The probe and conflict caches key on the answer `Arc`'s
+    /// address, which is only meaningful while that `Arc` is resident —
+    /// a non-resident set (budget 0, or evicted mid-batch) could collide
+    /// with a recycled allocation, so its entries are neither read nor
+    /// written. Unlimited budgets keep the append-only invariant and
+    /// skip the scan.
+    fn ans_resident(&self, ans: &Arc<BTreeSet<Tuple>>) -> bool {
+        if self.budget.answers == usize::MAX {
+            return true;
+        }
+        self.answers
+            .borrow()
+            .values()
+            .any(|(cached, _)| Arc::ptr_eq(cached, ans))
+    }
+
+    /// Evicts the LRU answer set and cascades: probe and conflict
+    /// entries keyed by its pointer are purged with it, so a later
+    /// allocation reusing the address can never hit stale state.
+    // lint: allow(deterministic-iteration) — the victim comes from
+    // `lru_key` (unique stamps); the cascade purge is key-filtered.
+    fn evict_one_answer(&self, cache: &mut HashMap<Ucq, (Arc<BTreeSet<Tuple>>, Cell<u64>)>) {
+        let Some(key) = lru_key(cache) else { return };
+        let Some((ans, _)) = cache.remove(&key) else {
+            return;
+        };
+        let ptr = Arc::as_ptr(&ans) as usize;
+        let mut probes = self.probes.borrow_mut();
+        let probes_before = probes.len();
+        probes.retain(|(p, _), _| *p != ptr);
+        let probes_purged = probes_before - probes.len();
+        drop(probes);
+        let mut conflicts = self.conflicts.borrow_mut();
+        let conflicts_before = conflicts.len();
+        conflicts.retain(|(p, _, _), _| *p != ptr);
+        let conflicts_purged = conflicts_before - conflicts.len();
+        drop(conflicts);
+        self.count_evicted(|e| {
+            e.answers += 1;
+            e.probes += probes_purged;
+            e.conflicts += conflicts_purged;
+        });
+    }
+
+    /// Trims every cache down to the current budget, LRU-first.
+    fn trim_to_budget(&self) {
+        let budget = self.budget;
+        loop {
+            let mut cache = self.answers.borrow_mut();
+            if cache.len() <= budget.answers {
+                break;
+            }
+            self.evict_one_answer(&mut cache);
+        }
+        {
+            let mut cache = self.candidates.borrow_mut();
+            while cache.len() > budget.candidates {
+                let Some(key) = lru_key_btree(&cache) else {
+                    break;
+                };
+                cache.remove(&key);
+                self.count_evicted(|e| e.candidates += 1);
+            }
+        }
+        {
+            let mut cache = self.probes.borrow_mut();
+            while cache.len() > budget.probes {
+                let Some(key) = lru_key(&cache) else { break };
+                cache.remove(&key);
+                self.count_evicted(|e| e.probes += 1);
+            }
+        }
+        {
+            let mut cache = self.conflicts.borrow_mut();
+            while cache.len() > budget.conflicts {
+                let Some(key) = lru_key(&cache) else { break };
+                cache.remove(&key);
+                self.count_evicted(|e| e.conflicts += 1);
+            }
+        }
+        for slot in &self.lubs {
+            let mut slot = slot.borrow_mut();
+            let cache = Arc::make_mut(&mut *slot);
+            while cache.len() > budget.lubs {
+                let Some(key) = cache
+                    .iter()
+                    .min_by_key(|(_, e)| e.stamp)
+                    .map(|(k, _)| k.clone())
+                else {
+                    break;
+                };
+                cache.remove(&key);
+                self.count_evicted(|e| e.lubs += 1);
+            }
+        }
+        self.trim_ls_extensions();
+    }
+
+    /// Trims the `LS`-extension cache to its budget, LRU-first by the
+    /// side recency map (entries the map does not know count as oldest,
+    /// in the cache's own deterministic order).
+    fn trim_ls_extensions(&self) {
+        let budget = self.budget.ls_extensions;
+        let mut slot = self.ls_exts.borrow_mut();
+        let cache = Arc::make_mut(&mut *slot);
+        let mut lru = self.ls_lru.borrow_mut();
+        while cache.len() > budget {
+            let Some(key) = cache
+                .iter()
+                .min_by_key(|(c, _)| lru.get(*c).copied().unwrap_or(0))
+                .map(|(c, _)| c.clone())
+            else {
+                break;
+            };
+            cache.remove(&key);
+            lru.remove(&key);
+            self.count_evicted(|e| e.ls_extensions += 1);
+        }
     }
 
     /// The pinned executor, if [`set_executor`](WhyNotSession::set_executor)
@@ -579,6 +882,7 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
             cached_conflicts: self.conflicts.borrow().len(),
             cached_lubs: self.lubs.iter().map(|m| m.borrow().len()).sum(),
             cached_ls_extensions: self.ls_exts.borrow().len(),
+            cache_evictions: self.evicted.get().total(),
             lub_column_builds: self.lub_engine.get().map_or(0, LubEngine::column_builds),
             batches: self.batches.get(),
             batch_questions: self.batch_questions.get(),
@@ -725,7 +1029,7 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
         // lint: allow(deterministic-iteration) — membership-only scratch;
         // retained entries keep the cache's own order.
         let mut dead_ptrs = HashSet::<usize>::new();
-        answers.retain(|q, ans| {
+        answers.retain(|q, (ans, _)| {
             if q.rels().iter().any(|r| changed.contains(r)) {
                 dead_ptrs.insert(Arc::as_ptr(ans) as usize);
                 false
@@ -814,6 +1118,11 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
             };
             ls_cache.insert(c, ext);
         }
+        // Recency stamps follow their entries (only maintained while the
+        // budget is finite).
+        self.ls_lru
+            .get_mut()
+            .retain(|c, _| ls_cache.contains_key(c));
 
         self.delta_invalidated
             .set(self.delta_invalidated.get() + stats.invalidated());
@@ -836,13 +1145,22 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
     /// parallel batch shares read-only across workers, and `Arc` keeps
     /// the public signature thread-safe.
     pub fn answers(&self, query: &Ucq) -> Arc<BTreeSet<Tuple>> {
-        if let Some(hit) = self.answers.borrow().get(query) {
+        if let Some((hit, stamp)) = self.answers.borrow().get(query) {
+            stamp.set(self.clock_tick());
             return Arc::clone(hit);
         }
         let ans = Arc::new(query.eval(self.instance()));
-        self.answers
-            .borrow_mut()
-            .insert(query.clone(), Arc::clone(&ans));
+        if self.budget.answers == 0 {
+            return ans;
+        }
+        let mut cache = self.answers.borrow_mut();
+        while cache.len() >= self.budget.answers {
+            self.evict_one_answer(&mut cache);
+        }
+        cache.insert(
+            query.clone(),
+            (Arc::clone(&ans), Cell::new(self.clock_tick())),
+        );
         ans
     }
 
@@ -867,11 +1185,21 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
     fn cached_lub(&self, kind: LubKind, support: &BTreeSet<Value>) -> LsConcept {
         let epoch = self.lub_log.borrow().len();
         let slot = &self.lubs[kind_slot(kind)];
-        let stale = match slot.borrow().get(support) {
-            Some(entry) if entry.epoch == epoch => return entry.concept.clone(),
-            Some(_) => true,
-            None => false,
+        let (hit, stale) = match slot.borrow().get(support) {
+            Some(entry) if entry.epoch == epoch => (Some(entry.concept.clone()), false),
+            Some(_) => (None, true),
+            None => (None, false),
         };
+        if let Some(concept) = hit {
+            // Refresh recency only under a finite budget: the unlimited
+            // default keeps the historical zero-cost hit path.
+            if self.budget.lubs != usize::MAX {
+                if let Some(entry) = Arc::make_mut(&mut *slot.borrow_mut()).get_mut(support) {
+                    entry.stamp = self.clock_tick();
+                }
+            }
+            return concept;
+        }
         if stale {
             return self.revalidate_lub(kind, support, epoch);
         }
@@ -883,13 +1211,30 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
         // lint: allow(no-panic-in-lib) — `bind` rejects empty supports with
         // `SessionError::EmptySupport` before any lub is cached or computed.
         .expect("support checked non-empty");
+        if self.budget.lubs == 0 {
+            return computed;
+        }
         let pooled = self.support_pooled(support);
-        Arc::make_mut(&mut *slot.borrow_mut()).insert(
+        let mut slot_ref = slot.borrow_mut();
+        let cache = Arc::make_mut(&mut *slot_ref);
+        while cache.len() >= self.budget.lubs {
+            let Some(key) = cache
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            cache.remove(&key);
+            self.count_evicted(|e| e.lubs += 1);
+        }
+        cache.insert(
             support.clone(),
             LubEntry {
                 concept: computed.clone(),
                 pooled,
                 epoch,
+                stamp: self.clock_tick(),
             },
         );
         computed
@@ -961,6 +1306,7 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
         }
         entry.pooled = pooled_now;
         entry.epoch = epoch;
+        entry.stamp = self.clock_tick();
         entry.concept.clone()
     }
 
@@ -983,11 +1329,26 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
     /// The extension of an `LS` concept over the pinned instance,
     /// memoized and interned into the session pool.
     fn ls_extension(&self, c: &LsConcept) -> Extension {
+        let finite = self.budget.ls_extensions != usize::MAX;
         if let Some(hit) = self.ls_exts.borrow().get(c) {
+            if finite {
+                self.ls_lru
+                    .borrow_mut()
+                    .insert(c.clone(), self.clock_tick());
+            }
             return hit.clone();
         }
         let ext = c.extension_in(self.instance(), self.pool());
+        if self.budget.ls_extensions == 0 {
+            return ext;
+        }
         Arc::make_mut(&mut *self.ls_exts.borrow_mut()).insert(c.clone(), ext.clone());
+        if finite {
+            self.ls_lru
+                .borrow_mut()
+                .insert(c.clone(), self.clock_tick());
+            self.trim_ls_extensions();
+        }
         ext
     }
 
@@ -1205,21 +1566,36 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
                 // executor already propagated.
                 let (lubs, exts) = slot.into_inner().expect("workers joined");
                 per_worker_lubs.push(lubs.len());
-                for (k, v) in lubs {
-                    if let std::collections::btree_map::Entry::Vacant(slot) = lub_cache.entry(k) {
-                        let pooled = slot.key().iter().all(|val| pool.id_of(val).is_some());
-                        slot.insert(LubEntry {
-                            concept: v,
-                            pooled,
-                            epoch,
-                        });
+                if self.budget.lubs > 0 {
+                    for (k, v) in lubs {
+                        if let std::collections::btree_map::Entry::Vacant(slot) = lub_cache.entry(k)
+                        {
+                            let pooled = slot.key().iter().all(|val| pool.id_of(val).is_some());
+                            slot.insert(LubEntry {
+                                concept: v,
+                                pooled,
+                                epoch,
+                                stamp: self.clock_tick(),
+                            });
+                        }
                     }
                 }
-                for (k, v) in exts {
-                    ext_cache.entry(k).or_insert(v);
+                if self.budget.ls_extensions > 0 {
+                    let ls_finite = self.budget.ls_extensions != usize::MAX;
+                    for (k, v) in exts {
+                        if ls_finite {
+                            self.ls_lru
+                                .borrow_mut()
+                                .entry(k.clone())
+                                .or_insert_with(|| self.clock_tick());
+                        }
+                        ext_cache.entry(k).or_insert(v);
+                    }
                 }
             }
         }
+        // The merge can overshoot a finite budget; trim LRU-first.
+        self.trim_to_budget();
         let question_workers: Vec<usize> = outcomes.iter().map(|&(worker, _)| worker).collect();
         self.record_batch(exec.threads(), &question_workers, &per_worker_lubs);
         outcomes.into_iter().map(|(_, result)| result).collect()
@@ -1243,14 +1619,24 @@ impl<O: FiniteOntology> WhyNotSession<'_, O> {
     /// on the query or the rest of the tuple — so the cache carries
     /// across questions.
     fn indices_for(&self, a: &Value) -> Arc<Vec<usize>> {
-        if let Some(hit) = self.candidates.borrow().get(a) {
+        if let Some((hit, stamp)) = self.candidates.borrow().get(a) {
+            stamp.set(self.clock_tick());
             return Arc::clone(hit);
         }
         let (all, table) = self.finite_index();
         let idxs = Arc::new(exhaustive::candidate_indices(table, all.len(), a));
-        self.candidates
-            .borrow_mut()
-            .insert(a.clone(), Arc::clone(&idxs));
+        if self.budget.candidates == 0 {
+            return idxs;
+        }
+        let mut cache = self.candidates.borrow_mut();
+        while cache.len() >= self.budget.candidates {
+            let Some(key) = lru_key_btree(&cache) else {
+                break;
+            };
+            cache.remove(&key);
+            self.count_evicted(|e| e.candidates += 1);
+        }
+        cache.insert(a.clone(), (Arc::clone(&idxs), Cell::new(self.clock_tick())));
         idxs
     }
 
@@ -1259,12 +1645,28 @@ impl<O: FiniteOntology> WhyNotSession<'_, O> {
     /// `probes` field docs).
     fn probes_for(&self, bound: &BoundQuestion, i: usize) -> Arc<Vec<Probe>> {
         let key = (Arc::as_ptr(&bound.ans) as usize, i);
-        if let Some(hit) = self.probes.borrow().get(&key) {
-            return Arc::clone(hit);
+        // A non-resident answer set never touches the pointer-keyed
+        // cache — its address is not a stable identity (see
+        // `ans_resident`).
+        let resident = self.ans_resident(&bound.ans);
+        if resident {
+            if let Some((hit, stamp)) = self.probes.borrow().get(&key) {
+                stamp.set(self.clock_tick());
+                return Arc::clone(hit);
+            }
         }
         let (_, table) = self.finite_index();
-        let probes = Arc::new(bound.ans.iter().map(|t| table.probe(&t[i])).collect());
-        self.probes.borrow_mut().insert(key, Arc::clone(&probes));
+        let probes: Arc<Vec<Probe>> =
+            Arc::new(bound.ans.iter().map(|t| table.probe(&t[i])).collect());
+        if resident && self.budget.probes > 0 {
+            let mut cache = self.probes.borrow_mut();
+            while cache.len() >= self.budget.probes {
+                let Some(victim) = lru_key(&cache) else { break };
+                cache.remove(&victim);
+                self.count_evicted(|e| e.probes += 1);
+            }
+            cache.insert(key, (Arc::clone(&probes), Cell::new(self.clock_tick())));
+        }
         probes
     }
 
@@ -1279,8 +1681,12 @@ impl<O: FiniteOntology> WhyNotSession<'_, O> {
         k: usize,
     ) -> Arc<(Vec<u64>, usize)> {
         let key = (Arc::as_ptr(&bound.ans) as usize, i, k);
-        if let Some(hit) = self.conflicts.borrow().get(&key) {
-            return Arc::clone(hit);
+        let resident = self.ans_resident(&bound.ans);
+        if resident {
+            if let Some((hit, stamp)) = self.conflicts.borrow().get(&key) {
+                stamp.set(self.clock_tick());
+                return Arc::clone(hit);
+            }
         }
         let (_, table) = self.finite_index();
         let probes = self.probes_for(bound, i);
@@ -1292,7 +1698,15 @@ impl<O: FiniteOntology> WhyNotSession<'_, O> {
         }
         let count = kernels::count_ones(&bits);
         let entry = Arc::new((bits, count));
-        self.conflicts.borrow_mut().insert(key, Arc::clone(&entry));
+        if resident && self.budget.conflicts > 0 {
+            let mut cache = self.conflicts.borrow_mut();
+            while cache.len() >= self.budget.conflicts {
+                let Some(victim) = lru_key(&cache) else { break };
+                cache.remove(&victim);
+                self.count_evicted(|e| e.conflicts += 1);
+            }
+            cache.insert(key, (Arc::clone(&entry), Cell::new(self.clock_tick())));
+        }
         entry
     }
 
@@ -2197,5 +2611,172 @@ mod tests {
             session.card_maximal_greedy(&q).unwrap(),
             crate::variations::card_maximal_greedy(&o, &fresh)
         );
+    }
+
+    /// A cache budget of 0 disables every cache but changes no answer:
+    /// the acceptance bar for the server's memory bounding. Covers a
+    /// mid-stream delta, so the budget interacts with invalidation too.
+    #[test]
+    fn zero_budget_still_answers_correctly() {
+        let (o, schema, inst, tc) = fixture();
+        let mut reference = WhyNotSession::new(&o, &schema, &inst);
+        let mut capped = WhyNotSession::new(&o, &schema, &inst);
+        capped.set_cache_budget(CacheBudget::uniform(0));
+        let questions = [
+            WhyNotQuestion::new(two_hop(tc), [s("Amsterdam"), s("New York")]),
+            WhyNotQuestion::new(two_hop(tc), [s("Rome"), s("Tokyo")]),
+            WhyNotQuestion::new(one_hop(tc), [s("Kyoto"), s("Amsterdam")]),
+            WhyNotQuestion::new(two_hop(tc), [s("Amsterdam"), s("Rome")]), // is an answer
+        ];
+        let mut delta = Delta::new();
+        delta.insert(tc, vec![s("Kyoto"), s("Tokyo")]);
+        for stage in 0..2 {
+            if stage == 1 {
+                reference.apply_delta(&delta).unwrap();
+                capped.apply_delta(&delta).unwrap();
+            }
+            for q in &questions {
+                assert_eq!(reference.exhaustive(q), capped.exhaustive(q));
+                assert_eq!(reference.find_explanation(q), capped.find_explanation(q));
+                assert_eq!(
+                    reference.incremental(q, LubKind::SelectionFree),
+                    capped.incremental(q, LubKind::SelectionFree)
+                );
+                assert_eq!(
+                    reference.incremental(q, LubKind::WithSelections),
+                    capped.incremental(q, LubKind::WithSelections)
+                );
+                assert_eq!(
+                    reference.card_maximal_exact(q),
+                    capped.card_maximal_exact(q)
+                );
+                assert_eq!(
+                    reference.card_maximal_greedy(q),
+                    capped.card_maximal_greedy(q)
+                );
+            }
+        }
+        // Every cache stayed empty the whole run.
+        let stats = capped.stats();
+        assert_eq!(stats.cached_queries, 0);
+        assert_eq!(stats.cached_candidates, 0);
+        assert_eq!(stats.cached_conflicts, 0);
+        assert_eq!(stats.cached_lubs, 0);
+        assert_eq!(stats.cached_ls_extensions, 0);
+    }
+
+    /// Finite budgets bound every cache, evict LRU-first, and count
+    /// evictions; answers stay identical to an unlimited session.
+    #[test]
+    fn lru_eviction_bounds_caches_and_counts() {
+        let (o, schema, inst, tc) = fixture();
+        let reference = WhyNotSession::new(&o, &schema, &inst);
+        let mut capped = WhyNotSession::new(&o, &schema, &inst);
+        capped.set_cache_budget(CacheBudget::uniform(2));
+        let tuples = [
+            [s("Amsterdam"), s("New York")],
+            [s("Rome"), s("Tokyo")],
+            [s("Kyoto"), s("Amsterdam")],
+            [s("Berlin"), s("Kyoto")],
+            [s("Santa Cruz"), s("Berlin")],
+        ];
+        for t in &tuples {
+            let q2 = WhyNotQuestion::new(two_hop(tc), t.clone());
+            let q1 = WhyNotQuestion::new(one_hop(tc), t.clone());
+            assert_eq!(reference.exhaustive(&q2), capped.exhaustive(&q2));
+            assert_eq!(reference.exhaustive(&q1), capped.exhaustive(&q1));
+            assert_eq!(
+                reference.incremental(&q2, LubKind::SelectionFree),
+                capped.incremental(&q2, LubKind::SelectionFree)
+            );
+        }
+        let stats = capped.stats();
+        assert!(stats.cached_queries <= 2);
+        assert!(stats.cached_candidates <= 2);
+        assert!(stats.cached_conflicts <= 2);
+        assert!(stats.cached_lubs <= 4, "2 per kind");
+        assert!(stats.cached_ls_extensions <= 2);
+        let ev = capped.evictions();
+        assert!(ev.candidates > 0, "5 distinct constants through budget 2");
+        assert!(ev.lubs > 0);
+        assert_eq!(stats.cache_evictions, ev.total());
+        assert!(stats.cache_evictions > 0);
+        // The unlimited reference evicted nothing.
+        assert_eq!(reference.stats().cache_evictions, 0);
+        assert_eq!(reference.evictions(), EvictionStats::default());
+    }
+
+    /// Recency is honoured: touching an entry saves it from eviction,
+    /// and cached answer sets keep their identity across hits.
+    #[test]
+    fn lru_eviction_prefers_least_recently_used() {
+        let (o, schema, inst, tc) = fixture();
+        let mut session = WhyNotSession::new(&o, &schema, &inst);
+        session.set_cache_budget(CacheBudget {
+            answers: 2,
+            ..CacheBudget::unlimited()
+        });
+        let q_two = two_hop(tc);
+        let q_one = one_hop(tc);
+        let three = Ucq::single(Cq::new(
+            [Term::Var(Var(0)), Term::Var(Var(1))],
+            [
+                Atom::new(tc, [Term::Var(Var(0)), Term::Var(Var(2))]),
+                Atom::new(tc, [Term::Var(Var(2)), Term::Var(Var(3))]),
+                Atom::new(tc, [Term::Var(Var(3)), Term::Var(Var(1))]),
+            ],
+            [],
+        ));
+        let a_two = session.answers(&q_two);
+        let _a_one = session.answers(&q_one);
+        // Touch `q_two`: `q_one` becomes the LRU entry.
+        assert!(Arc::ptr_eq(&session.answers(&q_two), &a_two));
+        // Inserting a third answer set evicts `q_one`, not `q_two`.
+        let _ = session.answers(&three);
+        assert_eq!(session.evictions().answers, 1);
+        assert!(
+            Arc::ptr_eq(&session.answers(&q_two), &a_two),
+            "recently-touched entry survived"
+        );
+        assert_eq!(session.stats().cached_queries, 2);
+    }
+
+    /// `set_cache_budget` trims a warm session immediately, and the
+    /// cascade purges pointer-keyed entries with their answer set.
+    #[test]
+    fn set_budget_trims_warm_session() {
+        let (o, schema, inst, tc) = fixture();
+        let mut session = WhyNotSession::new(&o, &schema, &inst);
+        for t in [
+            [s("Amsterdam"), s("New York")],
+            [s("Rome"), s("Tokyo")],
+            [s("Kyoto"), s("Amsterdam")],
+        ] {
+            let q = WhyNotQuestion::new(two_hop(tc), t.clone());
+            session.exhaustive(&q).unwrap();
+            let q = WhyNotQuestion::new(one_hop(tc), t);
+            session.exhaustive(&q).unwrap();
+            session
+                .incremental(
+                    &WhyNotQuestion::new(two_hop(tc), [s("Berlin"), s("Kyoto")]),
+                    LubKind::WithSelections,
+                )
+                .unwrap();
+        }
+        let warm = session.stats();
+        assert!(warm.cached_queries >= 2);
+        assert!(warm.cached_conflicts > 1);
+        session.set_cache_budget(CacheBudget::uniform(1));
+        let trimmed = session.stats();
+        assert!(trimmed.cached_queries <= 1);
+        assert!(trimmed.cached_candidates <= 1);
+        assert!(trimmed.cached_conflicts <= 1);
+        assert!(trimmed.cached_lubs <= 2);
+        assert!(trimmed.cached_ls_extensions <= 1);
+        assert!(session.evictions().total() > 0);
+        // Still answers correctly after the trim.
+        let fresh = WhyNotSession::new(&o, &schema, &inst);
+        let q = WhyNotQuestion::new(two_hop(tc), [s("Amsterdam"), s("New York")]);
+        assert_eq!(fresh.exhaustive(&q), session.exhaustive(&q));
     }
 }

@@ -10,12 +10,14 @@ use crate::diag::Diagnostic;
 use crate::lexer::{Token, TokenKind};
 
 /// The crates whose library code must stay panic-free: anything
-/// reachable from `WhyNotSession` returns `SessionError` instead.
-const PANIC_FREE_CRATES: [&str; 4] = ["relation", "concepts", "core", "dllite"];
+/// reachable from `WhyNotSession` returns `SessionError` instead, and
+/// a server that dies on bad client input is a denial of service.
+const PANIC_FREE_CRATES: [&str; 5] = ["relation", "concepts", "core", "dllite", "server"];
 
 /// The crates that produce user-visible results (answer sets,
-/// explanations, MGEs) and therefore must iterate deterministically.
-const DETERMINISTIC_CRATES: [&str; 7] = [
+/// explanations, MGEs, wire responses) and therefore must iterate
+/// deterministically.
+const DETERMINISTIC_CRATES: [&str; 8] = [
     "relation",
     "concepts",
     "core",
@@ -23,12 +25,21 @@ const DETERMINISTIC_CRATES: [&str; 7] = [
     "subsumption",
     "scenarios",
     "parallel",
+    "server",
 ];
 
 /// Every `WHYNOT_*` environment variable the workspace is allowed to
 /// read. Adding a knob means adding it here **and** documenting it in
 /// the README — the `env-var-registry` rule cross-checks both.
-pub const ENV_REGISTRY: [&str; 2] = ["WHYNOT_THREADS", "WHYNOT_SPARSE_THRESHOLD"];
+pub const ENV_REGISTRY: [&str; 7] = [
+    "WHYNOT_THREADS",
+    "WHYNOT_SPARSE_THRESHOLD",
+    "WHYNOT_SERVER_THREADS",
+    "WHYNOT_SERVER_QUEUE_DEPTH",
+    "WHYNOT_SERVER_CACHE_BUDGET",
+    "WHYNOT_SERVER_SNAPSHOT_DIR",
+    "WHYNOT_SERVER_MAX_TENANTS",
+];
 
 /// A single static-analysis rule.
 pub trait Rule {

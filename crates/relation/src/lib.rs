@@ -37,12 +37,14 @@ mod error;
 mod freeze;
 mod instance;
 mod interval;
+pub mod json;
 mod parse;
 mod pool;
 mod query;
 mod schema;
 mod value;
 mod views;
+pub mod wire;
 
 pub use arena::ScratchArena;
 pub use constraints::{

@@ -1,0 +1,270 @@
+//! Wire encoding of [`Value`]s, [`Fact`]s and [`Delta`]s over the
+//! [`json`](crate::json) layer — the shared vocabulary of the
+//! `whynot-server` protocol, its snapshot files, and the checksummed
+//! WAL whose records replay through `apply_delta` on restart.
+//!
+//! Encodings are exact and deterministic:
+//!
+//! * a string value is a JSON string; an integer value is a JSON
+//!   integer; a non-integer rational is `{"r":[num,den]}` (never a
+//!   float);
+//! * a fact is `["RelName", v1, ..., vk]` — relation *names*, not ids,
+//!   so logs survive schema re-interning across restarts;
+//! * a delta is `{"ins":[fact...],"del":[fact...]}`;
+//! * a WAL record is one line,
+//!   `{"seq":N,"crc":C,"delta":{...}}`, where `C` is the FNV-1a hash of
+//!   the serialized delta. [`delta_from_wal_line`] verifies the
+//!   checksum and re-checks arities against the schema, so a torn tail
+//!   or bit rot surfaces as an error the replayer can stop at.
+
+use crate::delta::Delta;
+use crate::error::RelError;
+use crate::instance::Fact;
+use crate::json::{Json, JsonObj};
+use crate::schema::Schema;
+use crate::value::{Rational, Value};
+
+/// Encodes one value (see the module docs for the shape).
+pub fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Str(s) => Json::str(&**s),
+        Value::Num(r) if r.den() == 1 => Json::Int(r.num()),
+        Value::Num(r) => JsonObj::new()
+            .field("r", Json::Arr(vec![Json::Int(r.num()), Json::Int(r.den())]))
+            .build(),
+    }
+}
+
+/// Decodes one value.
+pub fn value_from_json(j: &Json) -> Result<Value, RelError> {
+    match j {
+        Json::Str(s) => Ok(Value::str(s.as_str())),
+        Json::Int(n) => Ok(Value::Num(Rational::new(*n, 1))),
+        Json::Obj(_) => {
+            let parts = j.get("r").and_then(Json::as_arr).ok_or_else(|| {
+                RelError::Invalid("rational value must be {\"r\":[num,den]}".into())
+            })?;
+            match parts {
+                [num, den] => {
+                    let (num, den) = (
+                        num.as_int().ok_or_else(|| {
+                            RelError::Invalid("rational numerator must be an integer".into())
+                        })?,
+                        den.as_int().ok_or_else(|| {
+                            RelError::Invalid("rational denominator must be an integer".into())
+                        })?,
+                    );
+                    if den == 0 {
+                        return Err(RelError::Invalid("rational denominator is zero".into()));
+                    }
+                    Ok(Value::rat(num, den))
+                }
+                _ => Err(RelError::Invalid(
+                    "rational value must carry exactly [num,den]".into(),
+                )),
+            }
+        }
+        other => Err(RelError::Invalid(format!("not a wire value: {other}"))),
+    }
+}
+
+/// Encodes a fact as `["RelName", v1, ..., vk]`.
+pub fn fact_to_json(schema: &Schema, fact: &Fact) -> Json {
+    let mut items = Vec::with_capacity(1 + fact.tuple.len());
+    items.push(Json::str(schema.name(fact.rel)));
+    items.extend(fact.tuple.iter().map(value_to_json));
+    Json::Arr(items)
+}
+
+/// Decodes a fact, resolving the relation name against `schema` and
+/// checking the arity.
+pub fn fact_from_json(schema: &Schema, j: &Json) -> Result<Fact, RelError> {
+    let items = j
+        .as_arr()
+        .ok_or_else(|| RelError::Invalid(format!("a wire fact is an array, got {j}")))?;
+    let (name, values) = items
+        .split_first()
+        .ok_or_else(|| RelError::Invalid("a wire fact needs a relation name".into()))?;
+    let name = name.as_str().ok_or_else(|| {
+        RelError::Invalid("a wire fact's first element is the relation name".into())
+    })?;
+    let rel = schema
+        .rel(name)
+        .ok_or_else(|| RelError::UnknownRelation(name.to_string()))?;
+    if values.len() != schema.arity(rel) {
+        return Err(RelError::ArityMismatch {
+            relation: name.to_string(),
+            expected: schema.arity(rel),
+            got: values.len(),
+        });
+    }
+    let tuple = values
+        .iter()
+        .map(value_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Fact { rel, tuple })
+}
+
+/// Encodes a delta as `{"ins":[fact...],"del":[fact...]}`.
+pub fn delta_to_json(schema: &Schema, delta: &Delta) -> Json {
+    let facts = |fs: &[Fact]| Json::Arr(fs.iter().map(|f| fact_to_json(schema, f)).collect());
+    JsonObj::new()
+        .field("ins", facts(delta.inserts()))
+        .field("del", facts(delta.deletes()))
+        .build()
+}
+
+/// Decodes a delta and re-checks it against the schema.
+pub fn delta_from_json(schema: &Schema, j: &Json) -> Result<Delta, RelError> {
+    let side = |key: &str| -> Result<Vec<Fact>, RelError> {
+        j.get(key)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| RelError::Invalid(format!("a wire delta needs an `{key}` array")))?
+            .iter()
+            .map(|f| fact_from_json(schema, f))
+            .collect()
+    };
+    let mut delta = Delta::new();
+    for fact in side("ins")? {
+        delta.insert(fact.rel, fact.tuple);
+    }
+    for fact in side("del")? {
+        delta.delete(fact.rel, fact.tuple);
+    }
+    delta.check(schema)?;
+    Ok(delta)
+}
+
+/// FNV-1a over the bytes — the WAL's torn-write/bit-rot detector.
+/// (Not cryptographic; the log is trusted local state.)
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Serializes one WAL record: `{"seq":N,"crc":C,"delta":{...}}` on a
+/// single line (the serializer never emits newlines).
+pub fn delta_to_wal_line(schema: &Schema, seq: u64, delta: &Delta) -> String {
+    let body = delta_to_json(schema, delta);
+    let body_text = body.to_string();
+    JsonObj::new()
+        .field("seq", seq)
+        .field("crc", checksum(body_text.as_bytes()))
+        .field("delta", body)
+        .build()
+        .to_string()
+}
+
+/// Parses and verifies one WAL record, returning its sequence number
+/// and delta. Fails on any mismatch — malformed JSON, checksum drift,
+/// unknown relations, arity errors — so replay can stop at the last
+/// valid record.
+pub fn delta_from_wal_line(schema: &Schema, line: &str) -> Result<(u64, Delta), RelError> {
+    let record = Json::parse(line.trim())?;
+    let seq = record
+        .get("seq")
+        .and_then(Json::as_int)
+        .and_then(|n| u64::try_from(n).ok())
+        .ok_or_else(|| RelError::Invalid("WAL record needs a non-negative `seq`".into()))?;
+    let crc = record
+        .get("crc")
+        .and_then(Json::as_int)
+        .and_then(|n| u64::try_from(n).ok())
+        .ok_or_else(|| RelError::Invalid("WAL record needs a `crc`".into()))?;
+    let body = record
+        .get("delta")
+        .ok_or_else(|| RelError::Invalid("WAL record needs a `delta`".into()))?;
+    let body_text = body.to_string();
+    let actual = checksum(body_text.as_bytes());
+    if actual != crc {
+        return Err(RelError::Invalid(format!(
+            "WAL checksum mismatch at seq {seq}: recorded {crc}, computed {actual}"
+        )));
+    }
+    Ok((seq, delta_from_json(schema, body)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    fn schema() -> Schema {
+        parse_program("relation City(name, pop)\nrelation Near(a, b)")
+            .expect("test schema parses")
+            .schema
+    }
+
+    #[test]
+    fn values_roundtrip_exactly() {
+        for v in [
+            Value::int(42),
+            Value::int(-3),
+            Value::rat(1, 3),
+            Value::rat(-7, 2),
+            Value::str("Kyoto \"north\"\n"),
+        ] {
+            let j = value_to_json(&v);
+            assert_eq!(
+                value_from_json(&Json::parse(&j.to_string()).unwrap()).unwrap(),
+                v
+            );
+        }
+        // Integer-valued rationals collapse to JSON integers.
+        assert_eq!(value_to_json(&Value::rat(6, 2)), Json::Int(3));
+    }
+
+    #[test]
+    fn deltas_roundtrip_through_wal_lines() {
+        let schema = schema();
+        let city = schema.rel("City").unwrap();
+        let near = schema.rel("Near").unwrap();
+        let mut delta = Delta::new();
+        delta
+            .insert(city, vec![Value::str("Kyoto"), Value::int(1463)])
+            .insert(near, vec![Value::str("Kyoto"), Value::str("Osaka")])
+            .delete(city, vec![Value::str("Atlantis"), Value::rat(1, 2)]);
+        let line = delta_to_wal_line(&schema, 7, &delta);
+        assert!(!line.contains('\n'));
+        let (seq, back) = delta_from_wal_line(&schema, &line).unwrap();
+        assert_eq!(seq, 7);
+        assert_eq!(back.inserts(), delta.inserts());
+        assert_eq!(back.deletes(), delta.deletes());
+    }
+
+    #[test]
+    fn corrupt_records_are_rejected() {
+        let schema = schema();
+        let city = schema.rel("City").unwrap();
+        let mut delta = Delta::new();
+        delta.insert(city, vec![Value::str("Kyoto"), Value::int(1)]);
+        let line = delta_to_wal_line(&schema, 1, &delta);
+
+        // Truncation.
+        assert!(delta_from_wal_line(&schema, &line[..line.len() - 2]).is_err());
+        // Payload tamper: flips the delta without updating the crc.
+        let tampered = line.replace("Kyoto", "Tokyo");
+        assert!(delta_from_wal_line(&schema, &tampered).is_err());
+        // Unknown relation fails even with a fresh, valid checksum.
+        let other = parse_program("relation Village(name, pop)").unwrap().schema;
+        let village = other.rel("Village").unwrap();
+        let mut foreign = Delta::new();
+        foreign.insert(village, vec![Value::str("x"), Value::int(1)]);
+        let foreign_line = delta_to_wal_line(&other, 2, &foreign);
+        assert!(delta_from_wal_line(&schema, &foreign_line).is_err());
+    }
+
+    #[test]
+    fn wrong_arity_facts_are_rejected() {
+        let schema = schema();
+        let bad = Json::parse("[\"City\",\"Kyoto\"]").unwrap();
+        assert!(matches!(
+            fact_from_json(&schema, &bad),
+            Err(RelError::ArityMismatch { .. })
+        ));
+    }
+}

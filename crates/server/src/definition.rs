@@ -1,0 +1,239 @@
+//! Tenant definitions: the text a `create` command supplies, pinning a
+//! tenant's `(ontology, schema, instance)` triple.
+//!
+//! A definition is the `whynot_relation::parse_program` grammar
+//! (`relation` / `fd` / `ind` / `data` lines) extended with two
+//! ontology line forms:
+//!
+//! ```text
+//! concept Europe = Amsterdam, Paris, Berlin
+//! axiom Europe < World
+//! ```
+//!
+//! `concept` declares a named concept with an explicit extension
+//! (values parse like query constants: integers, quoted or bare
+//! strings); `axiom` declares a subsumption edge between two declared
+//! concepts. The result is an [`ExplicitOntology`] over the program's
+//! schema and data. `view` lines are rejected: a tenant's facts evolve
+//! by `Delta`, and replaying deltas under view re-materialization has
+//! no defined semantics here.
+//!
+//! [`ParsedDefinition::stripped`] is the definition minus its `data`
+//! lines — the part that determines the leaked `(schema, ontology)`
+//! core (see [`tenant`](crate::tenant)) and the part a snapshot stores
+//! next to the *current* fact set.
+
+use crate::error::ServerError;
+use std::collections::BTreeSet;
+use whynot_concepts::{parse_value, Extension};
+use whynot_core::{ExplicitOntology, ExplicitOntologyBuilder, FiniteOntology, Ontology};
+use whynot_relation::{parse_program, Instance, Schema, Value};
+
+/// A parsed tenant definition.
+pub struct ParsedDefinition {
+    /// The relational schema (relations + constraints).
+    pub schema: Schema,
+    /// The explicit tenant ontology.
+    pub ontology: ExplicitOntology,
+    /// The initial instance (the definition's `data` lines).
+    pub instance: Instance,
+    /// The definition with `data` lines removed: schema + ontology
+    /// only, in original line order.
+    pub stripped: String,
+}
+
+/// Parses a tenant definition (see the module docs for the grammar).
+pub fn parse_definition(text: &str) -> Result<ParsedDefinition, ServerError> {
+    let mut program_lines: Vec<&str> = Vec::new();
+    let mut stripped_lines: Vec<&str> = Vec::new();
+    let mut concepts: Vec<(String, Vec<Value>)> = Vec::new();
+    let mut axioms: Vec<(String, String)> = Vec::new();
+
+    for raw in text.lines() {
+        let line = raw.trim();
+        if let Some(rest) = line.strip_prefix("concept ") {
+            let (name, ext) = rest.split_once('=').ok_or_else(|| {
+                ServerError::Invalid(format!("concept needs 'Name = values': {line}"))
+            })?;
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(ServerError::Invalid(format!(
+                    "concept needs a name: {line}"
+                )));
+            }
+            let values: Vec<Value> = ext
+                .split(',')
+                .map(str::trim)
+                .filter(|v| !v.is_empty())
+                .map(parse_value)
+                .collect();
+            concepts.push((name.to_string(), values));
+            stripped_lines.push(raw);
+        } else if let Some(rest) = line.strip_prefix("axiom ") {
+            let (sub, sup) = rest
+                .split_once('<')
+                .ok_or_else(|| ServerError::Invalid(format!("axiom needs 'Sub < Sup': {line}")))?;
+            let (sub, sup) = (sub.trim(), sup.trim());
+            if sub.is_empty() || sup.is_empty() {
+                return Err(ServerError::Invalid(format!(
+                    "axiom needs two concept names: {line}"
+                )));
+            }
+            axioms.push((sub.to_string(), sup.to_string()));
+            stripped_lines.push(raw);
+        } else if line.strip_prefix("view ").is_some() {
+            return Err(ServerError::Invalid(
+                "view relations are not supported in tenant definitions \
+                 (tenant facts evolve by deltas; views would need re-materialization)"
+                    .into(),
+            ));
+        } else {
+            program_lines.push(raw);
+            if line.strip_prefix("data ").is_none() {
+                stripped_lines.push(raw);
+            }
+        }
+    }
+
+    // Validate axiom endpoints up front: the ontology builder treats an
+    // unknown edge concept as a programmer error, the server treats it
+    // as client input.
+    for (sub, sup) in &axioms {
+        for name in [sub, sup] {
+            if !concepts.iter().any(|(c, _)| c == name) {
+                return Err(ServerError::Invalid(format!(
+                    "axiom references undeclared concept {name:?}"
+                )));
+            }
+        }
+    }
+    for (i, (name, _)) in concepts.iter().enumerate() {
+        if concepts.iter().skip(i + 1).any(|(c, _)| c == name) {
+            return Err(ServerError::Invalid(format!(
+                "concept {name:?} declared twice"
+            )));
+        }
+    }
+
+    let program = program_lines.join("\n");
+    let loaded = parse_program(&program)
+        .map_err(|e| ServerError::Invalid(format!("definition program: {e}")))?;
+    if !loaded.base.satisfies_constraints(&loaded.schema) {
+        return Err(ServerError::Invalid(
+            "the definition's data violates its declared constraints".into(),
+        ));
+    }
+
+    let mut builder = ExplicitOntologyBuilder::default();
+    for (name, values) in concepts {
+        builder = builder.concept(name, values);
+    }
+    for (sub, sup) in axioms {
+        builder = builder.edge(sub, sup);
+    }
+
+    Ok(ParsedDefinition {
+        schema: loaded.schema,
+        ontology: builder.build(),
+        instance: loaded.base,
+        stripped: stripped_lines.join("\n"),
+    })
+}
+
+/// Renders a value as definition text: strings quoted (so they parse as
+/// constants, never variables), numbers as-is.
+fn value_text(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("\"{s}\""),
+        other => other.to_string(),
+    }
+}
+
+/// Regenerates a tenant definition from an in-memory
+/// `(schema, ontology, instance)` triple — the inverse of
+/// [`parse_definition`], up to attribute names (relations get generic
+/// `a0..ak` attributes). Relation declaration order follows the
+/// schema's id order, so re-parsing assigns identical `RelId`s and
+/// deltas serialized against the original schema decode cleanly. Used
+/// by the differential tests and the throughput bench to put
+/// scenario-generated workloads behind the wire.
+pub fn definition_text(
+    schema: &Schema,
+    ontology: &ExplicitOntology,
+    instance: &Instance,
+) -> String {
+    let mut lines = Vec::new();
+    for rel in schema.rel_ids() {
+        let attrs: Vec<String> = (0..schema.arity(rel)).map(|i| format!("a{i}")).collect();
+        lines.push(format!(
+            "relation {}({})",
+            schema.name(rel),
+            attrs.join(", ")
+        ));
+    }
+    let empty = Instance::new();
+    let concepts = ontology.concepts();
+    for concept in &concepts {
+        let ext: BTreeSet<Value> = match ontology.extension(concept, &empty) {
+            Extension::Finite(set) => set.to_btree_set(),
+            Extension::Universal => BTreeSet::new(),
+        };
+        let values: Vec<String> = ext.iter().map(value_text).collect();
+        lines.push(format!("concept {concept} = {}", values.join(", ")));
+    }
+    for sub in &concepts {
+        for sup in &concepts {
+            if sub != sup && ontology.subsumed(sub, sup) {
+                lines.push(format!("axiom {sub} < {sup}"));
+            }
+        }
+    }
+    for fact in instance.facts() {
+        let values: Vec<String> = fact.tuple.iter().map(value_text).collect();
+        lines.push(format!(
+            "data {}({})",
+            schema.name(fact.rel),
+            values.join(", ")
+        ));
+    }
+    lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whynot_core::{FiniteOntology, Ontology};
+
+    const DEF: &str = r#"relation City(name, region)
+concept Europe = Amsterdam, Paris
+concept World = Amsterdam, Paris, Kyoto
+axiom Europe < World
+data City("Amsterdam", "eu")
+data City("Kyoto", "asia")"#;
+
+    #[test]
+    fn parses_schema_ontology_and_data() {
+        let def = parse_definition(DEF).unwrap();
+        assert!(def.schema.rel("City").is_some());
+        assert_eq!(def.instance.len(), 2);
+        let names = def.ontology.concepts();
+        assert_eq!(names.len(), 2);
+        let eu = def.ontology.concept("Europe").unwrap();
+        let world = def.ontology.concept("World").unwrap();
+        assert!(def.ontology.subsumed(&eu, &world));
+        assert!(!def.ontology.subsumed(&world, &eu));
+        // The stripped definition drops exactly the data lines.
+        assert!(!def.stripped.contains("data "));
+        assert!(def.stripped.contains("concept Europe"));
+        assert!(def.stripped.contains("relation City"));
+    }
+
+    #[test]
+    fn rejects_bad_definitions() {
+        assert!(parse_definition("concept X").is_err());
+        assert!(parse_definition("axiom A < B").is_err());
+        assert!(parse_definition("concept A = x\nconcept A = y").is_err());
+        assert!(parse_definition("view V(a): v(X) <- R(X)").is_err());
+        assert!(parse_definition("nonsense").is_err());
+    }
+}

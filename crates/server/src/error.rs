@@ -1,0 +1,99 @@
+//! The server's error type: every failure a command can hit, each with
+//! a stable machine-readable `kind` that scripted clients switch on
+//! (the human-readable message may evolve; the kind strings are wire
+//! contract).
+
+use std::fmt;
+use whynot_core::SessionError;
+
+/// Why a server command failed. Every variant is recoverable — the
+/// server keeps serving the next line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ServerError {
+    /// The command line itself is malformed.
+    Protocol(String),
+    /// The named tenant is not resident.
+    NoSuchTenant(String),
+    /// `create` targeted a name that is already resident.
+    TenantExists(String),
+    /// Admission control: the resident-tenant memory budget is
+    /// exhausted.
+    TenantCapacity {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// Admission control: the tenant's bounded request queue is full.
+    QueueFull {
+        /// The tenant whose queue rejected the request.
+        tenant: String,
+        /// The configured depth.
+        depth: usize,
+    },
+    /// A definition, query, tuple, or delta failed to parse or
+    /// validate.
+    Invalid(String),
+    /// The session rejected the question (see [`SessionError`]).
+    Session(SessionError),
+    /// A durability command ran without a configured snapshot
+    /// directory.
+    NoDurability,
+    /// A snapshot/WAL file operation failed.
+    Io(String),
+    /// A WAL or snapshot record failed verification.
+    Wal(String),
+}
+
+impl ServerError {
+    /// The stable machine-readable kind for the wire's `"kind"` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServerError::Protocol(_) => "protocol",
+            ServerError::NoSuchTenant(_) => "no-such-tenant",
+            ServerError::TenantExists(_) => "tenant-exists",
+            ServerError::TenantCapacity { .. } => "tenant-capacity",
+            ServerError::QueueFull { .. } => "queue-full",
+            ServerError::Invalid(_) => "invalid",
+            ServerError::Session(SessionError::Invalid(_)) => "invalid",
+            ServerError::Session(SessionError::TupleIsAnswer(_)) => "tuple-is-answer",
+            ServerError::Session(SessionError::Nullary) => "nullary",
+            ServerError::Session(SessionError::EmptySupport) => "empty-support",
+            ServerError::NoDurability => "no-durability",
+            ServerError::Io(_) => "io",
+            ServerError::Wal(_) => "wal",
+        }
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Protocol(msg) => write!(f, "{msg}"),
+            ServerError::NoSuchTenant(name) => write!(f, "no tenant named {name:?} is resident"),
+            ServerError::TenantExists(name) => write!(f, "tenant {name:?} already exists"),
+            ServerError::TenantCapacity { limit } => {
+                write!(f, "tenant capacity reached ({limit} resident)")
+            }
+            ServerError::QueueFull { tenant, depth } => {
+                write!(f, "queue for tenant {tenant:?} is full ({depth} pending)")
+            }
+            ServerError::Invalid(msg) => write!(f, "{msg}"),
+            ServerError::Session(e) => write!(f, "{e}"),
+            ServerError::NoDurability => {
+                write!(
+                    f,
+                    "no snapshot directory configured (WHYNOT_SERVER_SNAPSHOT_DIR)"
+                )
+            }
+            ServerError::Io(msg) => write!(f, "{msg}"),
+            ServerError::Wal(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<SessionError> for ServerError {
+    fn from(e: SessionError) -> Self {
+        ServerError::Session(e)
+    }
+}

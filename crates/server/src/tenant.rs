@@ -1,0 +1,83 @@
+//! Leaked, interned tenant cores.
+//!
+//! [`WhyNotSession`](whynot_core::WhyNotSession) borrows its schema and
+//! ontology for its whole lifetime, which fights a server that creates
+//! and evicts tenants dynamically. The resolution: a tenant's
+//! *immutable* core — schema, ontology, and the stripped definition
+//! text that produced them — is leaked to `'static` once per distinct
+//! definition and interned in a process-wide registry keyed by that
+//! text. Evicting and re-loading a tenant (or re-creating it after a
+//! simulated restart) reuses the already-leaked core, so total leaked
+//! memory is bounded by the number of *distinct* definitions the
+//! process has ever seen, not by tenant churn. The mutable half of a
+//! tenant (its instance) lives inside the session and is never leaked.
+
+use crate::definition::{parse_definition, ParsedDefinition};
+use crate::error::ServerError;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+use whynot_core::ExplicitOntology;
+use whynot_relation::{Instance, Schema};
+
+/// The immutable, `'static` core of a tenant. `Copy`: these are three
+/// pointers into interned leaks.
+#[derive(Clone, Copy)]
+pub struct TenantCore {
+    /// The tenant's schema.
+    pub schema: &'static Schema,
+    /// The tenant's ontology.
+    pub ontology: &'static ExplicitOntology,
+    /// The definition text (minus `data` lines) both of the above were
+    /// parsed from — the intern key, and what snapshots store.
+    pub stripped: &'static str,
+}
+
+static REGISTRY: Mutex<BTreeMap<String, TenantCore>> = Mutex::new(BTreeMap::new());
+
+/// Parses a definition and interns its immutable core, returning the
+/// core plus the definition's initial instance. A definition whose
+/// stripped text was seen before (by any server instance in this
+/// process) reuses the existing leak.
+pub fn intern_definition(text: &str) -> Result<(TenantCore, Instance), ServerError> {
+    let def = parse_definition(text)?;
+    Ok((intern_core(&def), def.instance))
+}
+
+fn intern_core(def: &ParsedDefinition) -> TenantCore {
+    let mut registry = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(core) = registry.get(&def.stripped) {
+        return *core;
+    }
+    // First sighting of this definition: leak one copy of the
+    // immutable parts. Re-parsing the same text yields identical
+    // relation ids (declaration order is the id order), so instances
+    // and deltas decoded against a reused core line up exactly.
+    let core = TenantCore {
+        schema: Box::leak(Box::new(def.schema.clone())),
+        ontology: Box::leak(Box::new(def.ontology.clone())),
+        stripped: Box::leak(def.stripped.clone().into_boxed_str()),
+    };
+    registry.insert(def.stripped.clone(), core);
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_definitions_share_one_leaked_core() {
+        let text = "relation R(a)\nconcept C = 1, 2\ndata R(1)";
+        let (a, inst_a) = intern_definition(text).unwrap();
+        // Different data, same stripped core.
+        let (b, inst_b) = intern_definition("relation R(a)\nconcept C = 1, 2\ndata R(2)").unwrap();
+        assert!(std::ptr::eq(a.schema, b.schema));
+        assert!(std::ptr::eq(a.ontology, b.ontology));
+        assert_eq!(inst_a.len(), 1);
+        assert_eq!(inst_b.len(), 1);
+        assert_ne!(
+            inst_a.tuples(a.schema.rel("R").unwrap()).next(),
+            inst_b.tuples(b.schema.rel("R").unwrap()).next()
+        );
+    }
+}

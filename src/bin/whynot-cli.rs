@@ -8,7 +8,14 @@
 //!     [--enumerate N]           # enumerate up to N growth orders
 //!     [--check 'π_…; π_…']      # check a concept tuple as an explanation
 //!     [--strong]                # also run the §6 strong-explanation test
+//!     [--json]                  # machine-readable output (one JSON object)
 //! ```
+//!
+//! `--json` swaps the human-readable report for a single JSON object on
+//! stdout, serialized with the same wire layer `whynot-server` uses —
+//! values via `whynot_relation::wire`, explanations via
+//! `whynot_server::ls_explanation_to_json` — so CLI output and server
+//! `ask` responses agree byte-for-byte on how explanations look.
 //!
 //! The program file declares relations, constraints, views and facts in
 //! the format of `whynot_relation::parse_program` (see the library docs);
@@ -22,7 +29,10 @@ use whynot::core::{
     irredundant_explanation, is_explanation, is_strong_explanation, Explanation, InstanceOntology,
     LubKind, StrongOutcome, WhyNotInstance,
 };
+use whynot::relation::json::{Json, JsonObj};
+use whynot::relation::wire::value_to_json;
 use whynot::relation::{materialize_views, parse_program, parse_query, Value};
+use whynot::server::ls_explanation_to_json;
 
 struct Args {
     program: String,
@@ -32,6 +42,7 @@ struct Args {
     enumerate: usize,
     check: Option<String>,
     strong: bool,
+    json: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
     let mut enumerate = 0usize;
     let mut check = None;
     let mut strong = false;
+    let mut json = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--query" => query = Some(args.next().ok_or("--query needs a value")?),
@@ -57,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--check" => check = Some(args.next().ok_or("--check needs concepts")?),
             "--strong" => strong = true,
+            "--json" => json = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if program.is_none() => program = Some(other.to_string()),
             other => return Err(format!("unexpected argument {other:?}\n{USAGE}")),
@@ -70,11 +83,12 @@ fn parse_args() -> Result<Args, String> {
         enumerate,
         check,
         strong,
+        json,
     })
 }
 
 const USAGE: &str = "usage: whynot-cli <program.wn> --query '<rule>' --missing 'c1, c2' \
-[--selections] [--enumerate N] [--check 'concept; concept'] [--strong]";
+[--selections] [--enumerate N] [--check 'concept; concept'] [--strong] [--json]";
 
 fn main() -> ExitCode {
     match run() {
@@ -104,6 +118,10 @@ fn run() -> Result<(), String> {
         .collect();
     let wn = WhyNotInstance::new(loaded.schema, instance, query, missing)
         .map_err(|e| format!("why-not: {e}"))?;
+
+    if args.json {
+        return run_json(&args, &wn);
+    }
 
     println!("Answers ({}):", wn.ans.len());
     for t in wn.ans.iter().take(20) {
@@ -165,5 +183,69 @@ fn run() -> Result<(), String> {
         println!("Most-general explanation (balanced Algorithm 2):");
         println!("  {}", display_explanation(&oi, &lean));
     }
+    Ok(())
+}
+
+/// The `--json` output path: the same computations as the text report,
+/// rendered as one JSON object through the server's wire serializers.
+fn run_json(args: &Args, wn: &WhyNotInstance) -> Result<(), String> {
+    let kind = if args.selections {
+        LubKind::WithSelections
+    } else {
+        LubKind::SelectionFree
+    };
+    let oi = InstanceOntology::new(wn.schema.clone(), wn.instance.clone());
+    let mut obj = JsonObj::new()
+        .field("answers", wn.ans.len())
+        .field(
+            "missing",
+            Json::Arr(wn.tuple.iter().map(value_to_json).collect()),
+        )
+        .field(
+            "lub",
+            if args.selections {
+                "with-selections"
+            } else {
+                "selection-free"
+            },
+        );
+
+    if let Some(check) = &args.check {
+        let concepts: Result<Vec<_>, _> = check
+            .split(';')
+            .map(|c| parse_concept(&wn.schema, c.trim()))
+            .collect();
+        let concepts = concepts.map_err(|e| format!("--check: {e}"))?;
+        let e = Explanation::new(concepts);
+        let holds = is_explanation(&oi, wn, &e);
+        let mut hypothesis = JsonObj::new()
+            .field("concepts", ls_explanation_to_json(&wn.schema, &e))
+            .field("explanation", holds);
+        if holds {
+            hypothesis = hypothesis.field("most_general", check_mge_instance(wn, &e, kind));
+        }
+        if args.strong {
+            let strength = match is_strong_explanation(wn, &e) {
+                StrongOutcome::Strong => "strong",
+                StrongOutcome::NotStrong => "not-strong",
+                StrongOutcome::Unknown(_) => "unknown",
+            };
+            hypothesis = hypothesis.field("strength", strength);
+        }
+        obj = obj.field("hypothesis", hypothesis.build());
+    }
+
+    if args.enumerate > 0 {
+        let explanations: Vec<Json> = enumerate_mges_instance(wn, kind, args.enumerate)
+            .iter()
+            .map(|e| ls_explanation_to_json(&wn.schema, &irredundant_explanation(wn, e)))
+            .collect();
+        obj = obj.field("explanations", Json::Arr(explanations));
+    } else {
+        let e = incremental_search_balanced(wn, kind);
+        let lean = irredundant_explanation(wn, &e);
+        obj = obj.field("explanation", ls_explanation_to_json(&wn.schema, &lean));
+    }
+    println!("{}", obj.build());
     Ok(())
 }

@@ -34,6 +34,10 @@
 //!   order, panic propagation).
 //! * [`scenarios`] — the paper's figures and examples as executable
 //!   scenarios, plus seeded workload generators used by the benches.
+//! * [`server`] — `whynot-server`: a multi-tenant why-not question
+//!   service over a line-oriented JSON wire protocol, with bounded
+//!   per-tenant queues, fair-share scheduling, session cache budgets,
+//!   and durable tenant state (snapshots + a delta WAL).
 //!
 //! ## Quickstart
 //!
@@ -58,6 +62,7 @@ pub use whynot_dllite as dllite;
 pub use whynot_parallel as parallel;
 pub use whynot_relation as relation;
 pub use whynot_scenarios as scenarios;
+pub use whynot_server as server;
 pub use whynot_subsumption as subsumption;
 
 /// Convenience prelude bringing the most common types into scope.
