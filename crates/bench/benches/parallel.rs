@@ -139,12 +139,14 @@ fn main() {
 
     let json = format!(
         "{{\n\"bench\": \"parallel\",\n\"unit\": \"ns median of {runs}\",\n\
-         \"available_parallelism\": {hardware},\n\"results\": [\n{}\n],\n\
+         \"available_parallelism\": {hardware},\n\"single_core\": {},\n\
+         \"results\": [\n{}\n],\n\
          \"batch_speedup_at_4_threads\": {:.2},\n\
          \"note\": \"speedup is bounded by available_parallelism; on a 1-core \
          container the batch loses outright (while still asserting bit-for-bit \
          parity) because the sequential path answers out of the session's \
          engine-v2 conflict cache, which parallel workers rebuild per shard\"\n}}\n",
+        hardware == 1,
         rows.join(",\n"),
         speedup_at.get(&4).copied().unwrap_or(0.0),
     );

@@ -8,6 +8,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod regression;
+
 use criterion::Criterion;
 use std::time::Duration;
 

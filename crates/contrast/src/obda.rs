@@ -1,0 +1,79 @@
+//! Contrast over **ontology-level queries** in an OBDA setting: `a`
+//! and `b` are certain-answer candidates under DL-LiteR rewriting.
+//!
+//! The pipeline mirrors `whynot_core::obda_why_not`: the ontology-level
+//! conjunctive query is rewritten by PerfectRef over the TBox and
+//! unfolded through the GAV mappings into a relational UCQ
+//! (Definition 4.4's reduction), whose evaluation *is* the certain
+//! answer set. The rewritten query then feeds the ordinary contrast
+//! machinery — lub-derived difference separators and the foil-aligned
+//! MGE — while the induced ontology `O_B` (Theorem 4.2) supplies named
+//! separators, so an answer reads back in the vocabulary the question
+//! was asked in.
+
+use whynot_core::{
+    contrast_instance, ontology_difference, ContrastAnswer, ContrastQuestion, LubKind,
+    ObdaOntology, SessionError,
+};
+use whynot_dllite::{BasicConcept, ObdaSpec, OntCq};
+use whynot_relation::{Instance, RelError, Schema, Tuple, Ucq, Value};
+
+/// A contrastive answer over an ontology-level query.
+#[derive(Clone, Debug)]
+pub struct ObdaContrast {
+    /// The relational UCQ the ontology-level query rewrote/unfolded to;
+    /// its evaluation is the certain answer set both tuples were judged
+    /// against.
+    pub rewritten: Ucq,
+    /// The lub-derived halves: per-position difference separators and
+    /// the foil-aligned MGE, over the data instance.
+    pub answer: ContrastAnswer,
+    /// Per position, the subsumption-maximal concepts of the induced
+    /// ontology `O_B` whose certain extension contains the foil's value
+    /// but not the missing one — the named difference.
+    pub ontology_difference: Vec<Vec<BasicConcept>>,
+}
+
+/// Answers "why is `missing` not a certain answer of `q` while `foil`
+/// is?" over an OBDA specification. Rewrites `q` to its relational
+/// certain-answer UCQ, refuses inconsistent instances (every tuple is
+/// vacuously certain there — no contrast exists), and runs both the
+/// lub-level and ontology-level differences.
+pub fn obda_contrast(
+    spec: &ObdaSpec,
+    schema: &Schema,
+    inst: &Instance,
+    q: &OntCq,
+    missing: impl IntoIterator<Item = Value>,
+    foil: impl IntoIterator<Item = Value>,
+    kind: LubKind,
+) -> Result<ObdaContrast, SessionError> {
+    if !spec.is_consistent(inst) {
+        return Err(SessionError::Invalid(RelError::Invalid(
+            "inconsistent OBDA instance: every tuple is vacuously certain".into(),
+        )));
+    }
+    let rewritten = spec.rewrite_to_relational(schema, q)?;
+    let question = ContrastQuestion::new(rewritten.clone(), missing, foil);
+    let answer = contrast_instance(schema, inst, &question, kind)?;
+    let ontology = ObdaOntology::new(spec.clone());
+    let named = ontology_difference(&ontology, inst, &question.missing, &question.foil);
+    Ok(ObdaContrast {
+        rewritten,
+        answer,
+        ontology_difference: named,
+    })
+}
+
+/// The certain answers of an ontology-level query — the set `missing`
+/// must avoid and `foil` must hit. Exposed for workload generators and
+/// tests picking contrast pairs.
+pub fn certain_answers(
+    spec: &ObdaSpec,
+    schema: &Schema,
+    inst: &Instance,
+    q: &OntCq,
+) -> Result<std::collections::BTreeSet<Tuple>, SessionError> {
+    let rewritten = spec.rewrite_to_relational(schema, q)?;
+    Ok(rewritten.eval(inst))
+}

@@ -1,0 +1,78 @@
+//! Standalone parallel contrast batches: many questions, one frozen
+//! lub column view, no session required.
+//!
+//! The per-question work of a contrastive search touches only
+//! `(schema, I)`-derived state — the lub columns and extension
+//! evaluations over `K = adom(I) ∪ ā` — so a batch fans out perfectly:
+//! build one pooled [`LubEngine`], [`freeze`](LubEngine::freeze) its
+//! column view, and run every question against the shared view on the
+//! `whynot-parallel` executor. Results are bit-identical to the
+//! sequential per-question path ([`contrast_instance`]) at every thread
+//! count, because lubs and extensions are pure in the instance (the
+//! pool only affects interning).
+//!
+//! Small batches skip the freeze entirely: below
+//! [`PAR_THRESHOLD_ENV`] questions (default
+//! [`DEFAULT_PAR_THRESHOLD`]), or on a single-thread executor, the
+//! sequential path runs unchanged.
+
+use std::sync::Arc;
+use whynot_concepts::LubEngine;
+use whynot_core::{
+    contrast_instance, contrast_with, ContrastAnswer, ContrastQuestion, Executor, LubKind,
+    SessionError,
+};
+use whynot_relation::{Instance, Schema};
+
+/// Env knob: minimum batch size before the parallel fan-out engages.
+pub const PAR_THRESHOLD_ENV: &str = "WHYNOT_CONTRAST_PAR_THRESHOLD";
+
+/// Default for [`PAR_THRESHOLD_ENV`]: batches of two already amortize
+/// the freeze.
+pub const DEFAULT_PAR_THRESHOLD: usize = 2;
+
+/// The parallel threshold: [`PAR_THRESHOLD_ENV`] when set to a valid
+/// `usize`, [`DEFAULT_PAR_THRESHOLD`] otherwise.
+pub fn par_threshold() -> usize {
+    std::env::var(PAR_THRESHOLD_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_PAR_THRESHOLD)
+}
+
+/// [`contrast_batch_with`] on the ambient executor (the
+/// `WHYNOT_THREADS` knob).
+pub fn contrast_batch(
+    schema: &Schema,
+    inst: &Instance,
+    questions: &[ContrastQuestion],
+    kind: LubKind,
+) -> Vec<Result<ContrastAnswer, SessionError>> {
+    contrast_batch_with(&Executor::new(), schema, inst, questions, kind)
+}
+
+/// One-shot contrastive answers for a whole question slice, fanned out
+/// over `exec` against a single frozen lub view. Per-question results
+/// equal [`contrast_instance`] in order, at every thread count.
+pub fn contrast_batch_with(
+    exec: &Executor,
+    schema: &Schema,
+    inst: &Instance,
+    questions: &[ContrastQuestion],
+    kind: LubKind,
+) -> Vec<Result<ContrastAnswer, SessionError>> {
+    if exec.threads() <= 1 || questions.len() < par_threshold() {
+        return questions
+            .iter()
+            .map(|q| contrast_instance(schema, inst, q, kind))
+            .collect();
+    }
+    // One pool interning every question's missing constants: a superset
+    // of any per-question pool, which extensions are indifferent to.
+    let pool = inst.const_pool_with(questions.iter().flat_map(|q| q.missing.iter().cloned()));
+    let engine = LubEngine::with_pool(schema, inst, Arc::clone(&pool));
+    let view = engine.freeze();
+    exec.par_map(questions, |q| {
+        contrast_with(&view, schema, inst, &pool, q, kind)
+    })
+}

@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 
 mod context;
+mod contrast;
 mod derived;
 mod enumerate;
 mod exhaustive;
@@ -72,6 +73,9 @@ mod variations;
 mod whynot;
 
 pub use context::EvalContext;
+pub use contrast::{
+    contrast_instance, contrast_with, ontology_difference, ContrastAnswer, ContrastQuestion,
+};
 pub use session::{
     CacheBudget, DeltaStats, EvictionStats, SessionError, SessionStats, WhyNotQuestion,
     WhyNotSession, WorkerStats,

@@ -68,6 +68,9 @@
 //! ```
 
 use crate::context::EvalContext;
+use crate::contrast::{
+    contrast_core, restriction_values, validate_contrast, ContrastAnswer, ContrastQuestion,
+};
 use crate::exhaustive;
 use crate::incremental::{check_mge_instance_core, engine_lub, incremental_search_core, LubKind};
 use crate::ontology::{FiniteOntology, Ontology};
@@ -124,6 +127,9 @@ pub enum SessionError {
     /// A `lub` of an empty support set was requested (see
     /// [`WhyNotSession::lub`]).
     EmptySupport,
+    /// A contrastive question named a foil that is not among the answers
+    /// — there is no contrast to draw.
+    FoilNotAnswer(Tuple),
 }
 
 impl fmt::Display for SessionError {
@@ -139,6 +145,12 @@ impl fmt::Display for SessionError {
             SessionError::Nullary => write!(f, "nullary questions have no positions to explain"),
             SessionError::EmptySupport => {
                 write!(f, "the lub of an empty support set is undefined")
+            }
+            SessionError::FoilNotAnswer(t) => {
+                write!(
+                    f,
+                    "the foil {t:?} is not among the answers — no contrast to draw"
+                )
             }
         }
     }
@@ -194,6 +206,30 @@ impl BoundQuestion {
     }
 }
 
+/// A contrastive question validated and bound: the full answer set is
+/// resolved (from cache when possible), the foil's membership verified,
+/// and the residual set `Ans \ {foil}` materialized for the foil-aligned
+/// search. `Send + Sync`, so a contrast batch can fan out.
+struct BoundContrast {
+    /// The full answer set — the ontology-difference path indexes the
+    /// foil's conflict bit against it.
+    ans: Arc<BTreeSet<Tuple>>,
+    /// `Ans \ {foil}`: the answers the foil-aligned MGE must avoid.
+    residual: Arc<BTreeSet<Tuple>>,
+    missing: Tuple,
+    foil: Tuple,
+}
+
+impl BoundContrast {
+    /// The residual question the lub-driven cores consume.
+    fn view(&self) -> QuestionRef<'_> {
+        QuestionRef {
+            ans: &self.residual,
+            tuple: &self.missing,
+        }
+    }
+}
+
 /// Usage counters of a session (see [`WhyNotSession::stats`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct SessionStats {
@@ -216,6 +252,9 @@ pub struct SessionStats {
     /// Distinct `LS` concepts whose extensions are cached (Algorithm 2's
     /// candidates, including rejected growth probes).
     pub cached_ls_extensions: usize,
+    /// Distinct `(query, missing, foil, kind)` contrastive answers
+    /// cached.
+    pub cached_contrasts: usize,
     /// `(rel, attr)` column sets interned by the pooled lub engine —
     /// bounded by the schema's total attribute count for the session's
     /// whole lifetime, however many questions were answered.
@@ -312,6 +351,13 @@ pub struct DeltaStats {
     pub lub_columns_dropped: usize,
     /// Lub-engine column sets retained (id-remapped across a bump).
     pub lub_columns_retained: usize,
+    /// Cached contrastive answers dropped. A contrast entry certifies
+    /// *maximality* against the full column set, so any effective delta
+    /// can invalidate it (a new covering atom anywhere can admit a more
+    /// general separator) — the classification is all-or-nothing:
+    /// everything drops on an effective delta, everything survives a
+    /// no-op.
+    pub contrast_dropped: usize,
 }
 
 impl DeltaStats {
@@ -328,6 +374,7 @@ impl DeltaStats {
             + self.lubs_repaired
             + self.ls_extensions_dropped
             + self.lub_columns_dropped
+            + self.contrast_dropped
     }
 
     /// Total cache entries that survived the delta intact (possibly
@@ -389,6 +436,9 @@ pub struct CacheBudget {
     pub lubs: usize,
     /// Max memoized `LS`-concept extensions.
     pub ls_extensions: usize,
+    /// Max cached contrastive answers (keyed `(query, missing, foil,
+    /// kind)`).
+    pub contrast: usize,
 }
 
 impl CacheBudget {
@@ -406,6 +456,7 @@ impl CacheBudget {
             conflicts: n,
             lubs: n,
             ls_extensions: n,
+            contrast: n,
         }
     }
 }
@@ -435,6 +486,8 @@ pub struct EvictionStats {
     pub lubs: usize,
     /// `LS`-concept extensions evicted.
     pub ls_extensions: usize,
+    /// Contrastive answers evicted.
+    pub contrast: usize,
 }
 
 impl EvictionStats {
@@ -446,6 +499,7 @@ impl EvictionStats {
             + self.conflicts
             + self.lubs
             + self.ls_extensions
+            + self.contrast
     }
 }
 
@@ -524,6 +578,16 @@ pub struct WhyNotSession<'a, O: Ontology> {
     /// by parallel batches, so the stamps live beside the cache rather
     /// than inside it — the unlimited default pays nothing).
     ls_lru: RefCell<BTreeMap<LsConcept, u64>>,
+    /// Contrastive answers keyed by `(query, missing, foil, kind slot)`,
+    /// each entry carrying its LRU stamp. Dropped wholesale by any
+    /// effective delta (see [`DeltaStats::contrast_dropped`]): the
+    /// stored separators and foil-aligned MGE are certified *maximal*
+    /// against the full lub column set, which any relation change can
+    /// extend.
+    #[allow(clippy::type_complexity)]
+    // lint: allow(deterministic-iteration) — keyed lookups only, never
+    // iterated into results.
+    contrast: RefCell<HashMap<(Ucq, Tuple, Tuple, usize), Stamped<Arc<ContrastAnswer>>>>,
     /// Entry budgets for every cache above; `CacheBudget::unlimited()`
     /// (the default) preserves the historical append-only behaviour.
     budget: CacheBudget,
@@ -610,6 +674,8 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
             lub_log: RefCell::new(Vec::new()),
             ls_exts: RefCell::new(Arc::new(BTreeMap::new())),
             ls_lru: RefCell::new(BTreeMap::new()),
+            // lint: allow(deterministic-iteration) — as above.
+            contrast: RefCell::new(HashMap::new()),
             budget: CacheBudget::unlimited(),
             clock: Cell::new(0),
             evicted: Cell::new(EvictionStats::default()),
@@ -774,6 +840,14 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
                 self.count_evicted(|e| e.lubs += 1);
             }
         }
+        {
+            let mut cache = self.contrast.borrow_mut();
+            while cache.len() > budget.contrast {
+                let Some(key) = lru_key(&cache) else { break };
+                cache.remove(&key);
+                self.count_evicted(|e| e.contrast += 1);
+            }
+        }
         self.trim_ls_extensions();
     }
 
@@ -882,6 +956,7 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
             cached_conflicts: self.conflicts.borrow().len(),
             cached_lubs: self.lubs.iter().map(|m| m.borrow().len()).sum(),
             cached_ls_extensions: self.ls_exts.borrow().len(),
+            cached_contrasts: self.contrast.borrow().len(),
             cache_evictions: self.evicted.get().total(),
             lub_column_builds: self.lub_engine.get().map_or(0, LubEngine::column_builds),
             batches: self.batches.get(),
@@ -1123,6 +1198,19 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
         self.ls_lru
             .get_mut()
             .retain(|c, _| ls_cache.contains_key(c));
+
+        // 11. Contrastive answers: the cached separators and foil-aligned
+        // MGEs are certified *maximal* against the full lub column set —
+        // a change to any relation can mint a new covering atom that
+        // admits a strictly more general result, so there is no sound
+        // per-entry retention test short of recomputing. Effective
+        // deltas drop the cache wholesale (no-ops returned early above
+        // and retain everything); the per-position *ontology* difference
+        // is not cached here at all — it reuses the candidate and
+        // conflict caches, which are selectively retained in 4/7.
+        let contrast = self.contrast.get_mut();
+        stats.contrast_dropped = contrast.len();
+        contrast.clear();
 
         self.delta_invalidated
             .set(self.delta_invalidated.get() + stats.invalidated());
@@ -1600,6 +1688,253 @@ impl<'a, O: Ontology> WhyNotSession<'a, O> {
         self.record_batch(exec.threads(), &question_workers, &per_worker_lubs);
         outcomes.into_iter().map(|(_, result)| result).collect()
     }
+
+    /// The contrast cache key of a question under one [`LubKind`].
+    fn contrast_key(q: &ContrastQuestion, kind: LubKind) -> (Ucq, Tuple, Tuple, usize) {
+        (
+            q.query.clone(),
+            q.missing.clone(),
+            q.foil.clone(),
+            kind_slot(kind),
+        )
+    }
+
+    /// Validates a contrastive question and resolves both its answer set
+    /// (cached per query) and the residual set `Ans \ {foil}`.
+    fn bind_contrast(&self, q: &ContrastQuestion) -> Result<BoundContrast, SessionError> {
+        q.query.validate(self.schema)?;
+        let ans = self.answers(&q.query);
+        let residual = Arc::new(validate_contrast(&q.query, &q.missing, &q.foil, &ans)?);
+        self.questions.set(self.questions.get() + 1);
+        Ok(BoundContrast {
+            ans,
+            residual,
+            missing: q.missing.clone(),
+            foil: q.foil.clone(),
+        })
+    }
+
+    /// Inserts a freshly computed contrastive answer under the budget
+    /// (evicting LRU-first past the cap; budget 0 skips caching).
+    fn store_contrast(&self, key: (Ucq, Tuple, Tuple, usize), answer: &Arc<ContrastAnswer>) {
+        if self.budget.contrast == 0 {
+            return;
+        }
+        let mut cache = self.contrast.borrow_mut();
+        while cache.len() >= self.budget.contrast {
+            let Some(victim) = lru_key(&cache) else { break };
+            cache.remove(&victim);
+            self.count_evicted(|e| e.contrast += 1);
+        }
+        cache.insert(key, (Arc::clone(answer), Cell::new(self.clock_tick())));
+    }
+
+    /// The contrastive answer — per-position difference separators plus
+    /// the foil-aligned MGE (see [`ContrastAnswer`]) — through the
+    /// session's lub and extension caches, memoized by
+    /// `(query, missing, foil, kind)`. A cache hit skips binding
+    /// entirely (the entry can only exist while the instance is
+    /// unchanged — every effective delta drops the cache), so hits do
+    /// not count toward [`questions_answered`](Self::questions_answered).
+    pub fn contrast(
+        &self,
+        q: &ContrastQuestion,
+        kind: LubKind,
+    ) -> Result<Arc<ContrastAnswer>, SessionError> {
+        let key = Self::contrast_key(q, kind);
+        if let Some((hit, stamp)) = self.contrast.borrow().get(&key) {
+            stamp.set(self.clock_tick());
+            return Ok(Arc::clone(hit));
+        }
+        let bound = self.bind_contrast(q)?;
+        let k_vals = restriction_values(self.adom().iter().cloned(), &bound.missing);
+        let answer = Arc::new(contrast_core(
+            &k_vals,
+            bound.view(),
+            &bound.foil,
+            &mut |x| self.cached_lub(kind, x),
+            &mut |c| self.ls_extension(c),
+        ));
+        self.store_contrast(key, &answer);
+        Ok(answer)
+    }
+
+    /// [`contrast`](WhyNotSession::contrast) over a whole question
+    /// slice, fanned out across the session executor's workers.
+    pub fn contrast_batch(
+        &self,
+        questions: &[ContrastQuestion],
+        kind: LubKind,
+    ) -> Vec<Result<Arc<ContrastAnswer>, SessionError>> {
+        self.contrast_batch_with(&self.batch_executor(), questions, kind)
+    }
+
+    /// [`contrast_batch`](WhyNotSession::contrast_batch) on an explicit
+    /// executor — the same freeze-then-fan-out shape as
+    /// [`incremental_batch_with`](WhyNotSession::incremental_batch_with):
+    /// bind + cache-probe sequentially, freeze the lub column view and
+    /// O(1) snapshots of the warm caches, fan the two contrast cores out
+    /// with worker-local memos, then merge the memos and the computed
+    /// answers back. Per-question results are identical to calling
+    /// [`contrast`](WhyNotSession::contrast) on each question in order,
+    /// at every thread count.
+    pub fn contrast_batch_with(
+        &self,
+        exec: &Executor,
+        questions: &[ContrastQuestion],
+        kind: LubKind,
+    ) -> Vec<Result<Arc<ContrastAnswer>, SessionError>> {
+        enum Prep {
+            /// Already resolved sequentially: a cache hit or a binding
+            /// error.
+            Done(Result<Arc<ContrastAnswer>, SessionError>),
+            /// Bound and waiting for the fan-out.
+            Run(BoundContrast),
+        }
+        // Phase 1 (sequential): probe the contrast cache, bind misses.
+        let prepared: Vec<Prep> = questions
+            .iter()
+            .map(|q| {
+                let key = Self::contrast_key(q, kind);
+                if let Some((hit, stamp)) = self.contrast.borrow().get(&key) {
+                    stamp.set(self.clock_tick());
+                    return Prep::Done(Ok(Arc::clone(hit)));
+                }
+                match self.bind_contrast(q) {
+                    Err(e) => Prep::Done(Err(e)),
+                    Ok(b) => Prep::Run(b),
+                }
+            })
+            .collect();
+        if !prepared.iter().any(|p| matches!(p, Prep::Run(_))) {
+            // Nothing to compute (hits and rejections only): don't freeze
+            // the lub engine — the sequential path would not have either.
+            self.record_batch(exec.threads(), &vec![0; prepared.len()], &[]);
+            return prepared
+                .into_iter()
+                .map(|p| match p {
+                    Prep::Done(r) => r,
+                    // lint: allow(no-panic-in-lib) — guarded by the
+                    // `any(Prep::Run)` check above.
+                    Prep::Run(_) => unreachable!("no runnable questions"),
+                })
+                .collect();
+        }
+        // Phase 2 (sequential): freeze the shared read-only state.
+        let adom = self.adom();
+        let view = self.lub_engine().freeze();
+        let inst = self.instance();
+        let pool = Arc::clone(self.pool());
+        self.flush_stale_lubs(kind);
+        let epoch = self.lub_log.borrow().len();
+        let warm_lubs = Arc::clone(&self.lubs[kind_slot(kind)].borrow());
+        let warm_exts = Arc::clone(&self.ls_exts.borrow());
+
+        type Memos = (
+            BTreeMap<BTreeSet<Value>, LsConcept>,
+            BTreeMap<LsConcept, Extension>,
+        );
+        let slots: Vec<std::sync::Mutex<Memos>> = (0..exec.threads())
+            .map(|_| std::sync::Mutex::new(Memos::default()))
+            .collect();
+
+        // Phase 3: pure fan-out over `Send + Sync` state only.
+        let outcomes: Vec<(usize, Result<Arc<ContrastAnswer>, SessionError>)> = exec
+            .par_map_with_worker(prepared.len(), |worker, i| match &prepared[i] {
+                Prep::Done(r) => (worker, r.clone()),
+                Prep::Run(b) => {
+                    // lint: allow(no-panic-in-lib) — a slot is poisoned only
+                    // if a sibling worker panicked, and the executor re-raises
+                    // that panic after join; this expect can never be the
+                    // first failure the caller sees.
+                    let mut memos = slots[worker].lock().expect("uncontended worker slot");
+                    let (lubs, exts) = &mut *memos;
+                    let k_vals = restriction_values(adom.iter().cloned(), &b.missing);
+                    let answer = contrast_core(
+                        &k_vals,
+                        b.view(),
+                        &b.foil,
+                        &mut |x| match warm_lubs.get(x).map(|e| &e.concept).or_else(|| lubs.get(x))
+                        {
+                            Some(hit) => hit.clone(),
+                            None => {
+                                let c = engine_lub(&view, kind, x);
+                                lubs.insert(x.clone(), c.clone());
+                                c
+                            }
+                        },
+                        &mut |c| match warm_exts.get(c).or_else(|| exts.get(c)) {
+                            Some(hit) => hit.clone(),
+                            None => {
+                                let ext = c.extension_in(inst, &pool);
+                                exts.insert(c.clone(), ext.clone());
+                                ext
+                            }
+                        },
+                    );
+                    (worker, Ok(Arc::new(answer)))
+                }
+            });
+
+        // Phase 4 (sequential): merge worker memos into the session
+        // caches (first write wins; equal by purity), then the computed
+        // contrastive answers themselves, in question order.
+        drop(warm_lubs);
+        drop(warm_exts);
+        let mut per_worker_lubs: Vec<usize> = Vec::with_capacity(slots.len());
+        {
+            let mut lub_slot = self.lubs[kind_slot(kind)].borrow_mut();
+            let mut ext_slot = self.ls_exts.borrow_mut();
+            let lub_cache = Arc::make_mut(&mut *lub_slot);
+            let ext_cache = Arc::make_mut(&mut *ext_slot);
+            for slot in slots {
+                // lint: allow(no-panic-in-lib) — scoped workers joined before
+                // this line; a poisoned slot implies a worker panic that the
+                // executor already propagated.
+                let (lubs, exts) = slot.into_inner().expect("workers joined");
+                per_worker_lubs.push(lubs.len());
+                if self.budget.lubs > 0 {
+                    for (k, v) in lubs {
+                        if let std::collections::btree_map::Entry::Vacant(slot) = lub_cache.entry(k)
+                        {
+                            let pooled = slot.key().iter().all(|val| pool.id_of(val).is_some());
+                            slot.insert(LubEntry {
+                                concept: v,
+                                pooled,
+                                epoch,
+                                stamp: self.clock_tick(),
+                            });
+                        }
+                    }
+                }
+                if self.budget.ls_extensions > 0 {
+                    let ls_finite = self.budget.ls_extensions != usize::MAX;
+                    for (k, v) in exts {
+                        if ls_finite {
+                            self.ls_lru
+                                .borrow_mut()
+                                .entry(k.clone())
+                                .or_insert_with(|| self.clock_tick());
+                        }
+                        ext_cache.entry(k).or_insert(v);
+                    }
+                }
+            }
+        }
+        for (i, (p, (_, result))) in prepared.iter().zip(&outcomes).enumerate() {
+            if let (Prep::Run(_), Ok(answer)) = (p, result) {
+                let key = Self::contrast_key(&questions[i], kind);
+                if !self.contrast.borrow().contains_key(&key) {
+                    self.store_contrast(key, answer);
+                }
+            }
+        }
+        // The merge can overshoot a finite budget; trim LRU-first.
+        self.trim_to_budget();
+        let question_workers: Vec<usize> = outcomes.iter().map(|&(worker, _)| worker).collect();
+        self.record_batch(exec.threads(), &question_workers, &per_worker_lubs);
+        outcomes.into_iter().map(|(_, result)| result).collect()
+    }
 }
 
 impl<O: FiniteOntology> WhyNotSession<'_, O> {
@@ -1839,6 +2174,49 @@ impl<O: FiniteOntology> WhyNotSession<'_, O> {
             return Ok(None);
         };
         Ok(variations::run_card_maximal_greedy(&lists, bound.view()))
+    }
+
+    /// Per-position subsumption-maximal *named* separators: for each
+    /// position `i`, every finite-ontology concept `C` with
+    /// `foil[i] ∈ ext(C)` and `missing[i] ∉ ext(C)` that no other such
+    /// concept strictly extension-subsumes. Equal to the free function
+    /// [`crate::ontology_difference`] but routed through the session's
+    /// conflict bitsets and candidate index: "`foil[i] ∈ ext(C_k)`" is
+    /// bit `j*` of the cached conflict word for `(i, k)` (where `j*` is
+    /// the foil's rank in the ordered answer set), and
+    /// "`missing[i] ∉ ext(C_k)`" is a binary search miss on the cached
+    /// per-value candidate list.
+    pub fn contrast_ontology_difference(
+        &self,
+        q: &ContrastQuestion,
+    ) -> Result<Vec<Vec<O::Concept>>, SessionError> {
+        let bound = self.bind_contrast(q)?;
+        let Some(foil_idx) = bound.ans.iter().position(|t| t == &bound.foil) else {
+            // Unreachable after `bind_contrast`, but stay panic-free.
+            return Err(SessionError::FoilNotAnswer(bound.foil.clone()));
+        };
+        // Conflict bitsets are keyed by the *legacy* bound question: they
+        // describe membership against the full answer set, whose order
+        // determines which bit is the foil's.
+        let legacy = BoundQuestion {
+            ans: Arc::clone(&bound.ans),
+            tuple: bound.missing.clone(),
+        };
+        let (all, _) = self.finite_index();
+        let mut out: Vec<Vec<O::Concept>> = Vec::with_capacity(bound.missing.len());
+        for i in 0..bound.missing.len() {
+            let excluded = self.indices_for(&bound.missing[i]);
+            let mut separators: Vec<(O::Concept, Extension)> = Vec::new();
+            for (k, concept) in all.iter().enumerate() {
+                let bits = self.conflict_bits_for(&legacy, i, k);
+                let foil_in = (bits.0[foil_idx / 64] >> (foil_idx % 64)) & 1 == 1;
+                if foil_in && excluded.binary_search(&k).is_err() {
+                    separators.push((concept.clone(), self.ctx.extension(concept)));
+                }
+            }
+            out.push(crate::contrast::retain_ext_maximal(separators));
+        }
+        Ok(out)
     }
 }
 
@@ -2778,5 +3156,177 @@ mod tests {
         let fresh = WhyNotSession::new(&o, &schema, &inst);
         let q = WhyNotQuestion::new(two_hop(tc), [s("Amsterdam"), s("New York")]);
         assert_eq!(fresh.exhaustive(&q), session.exhaustive(&q));
+    }
+
+    /// The paper-style contrast pair over the two-hop query: reachable
+    /// `(Amsterdam, Rome)` answers while `(Amsterdam, New York)` does
+    /// not.
+    fn contrast_pair(tc: whynot_relation::RelId) -> ContrastQuestion {
+        ContrastQuestion::new(
+            two_hop(tc),
+            [s("Amsterdam"), s("New York")],
+            [s("Amsterdam"), s("Rome")],
+        )
+    }
+
+    /// Session contrast ≡ the one-shot free function for both lub
+    /// kinds; a repeat is a cache hit sharing the same `Arc`.
+    #[test]
+    fn contrast_matches_one_shot() {
+        let (o, schema, inst, tc) = fixture();
+        let session = WhyNotSession::new(&o, &schema, &inst);
+        let q = contrast_pair(tc);
+        for kind in [LubKind::SelectionFree, LubKind::WithSelections] {
+            let via_session = session.contrast(&q, kind).unwrap();
+            let one_shot = crate::contrast::contrast_instance(&schema, &inst, &q, kind).unwrap();
+            assert_eq!(*via_session, one_shot, "contrast({kind:?}) disagrees");
+            let hit = session.contrast(&q, kind).unwrap();
+            assert!(Arc::ptr_eq(&via_session, &hit), "cache hit shares the Arc");
+        }
+        assert_eq!(session.stats().cached_contrasts, 2);
+        // Validation errors surface through the session path too.
+        let bad = ContrastQuestion::new(
+            two_hop(tc),
+            [s("Amsterdam"), s("New York")],
+            [s("Tokyo"), s("Berlin")],
+        );
+        assert!(matches!(
+            session.contrast(&bad, LubKind::SelectionFree),
+            Err(SessionError::FoilNotAnswer(_))
+        ));
+    }
+
+    /// A contrast batch is bit-identical to asking sequentially, at
+    /// every thread count, with errors held in place.
+    #[test]
+    fn contrast_batch_matches_sequential() {
+        let (o, schema, inst, tc) = fixture();
+        let questions = [
+            contrast_pair(tc),
+            // An invalid entry: the foil is not an answer.
+            ContrastQuestion::new(
+                two_hop(tc),
+                [s("Amsterdam"), s("New York")],
+                [s("Tokyo"), s("Berlin")],
+            ),
+            ContrastQuestion::new(
+                two_hop(tc),
+                [s("Tokyo"), s("Santa Cruz")],
+                [s("New York"), s("Santa Cruz")],
+            ),
+            // A duplicate of the first: resolved from cache mid-batch
+            // on the sequential path, deduplicated afterwards here.
+            contrast_pair(tc),
+        ];
+        for kind in [LubKind::SelectionFree, LubKind::WithSelections] {
+            let sequential = WhyNotSession::new(&o, &schema, &inst);
+            let expected: Vec<_> = questions
+                .iter()
+                .map(|q| sequential.contrast(q, kind))
+                .collect();
+            for threads in [1, 4] {
+                let session = WhyNotSession::new(&o, &schema, &inst);
+                let exec = Executor::with_threads(threads);
+                let got = session.contrast_batch_with(&exec, &questions, kind);
+                assert_eq!(got.len(), expected.len());
+                for (g, e) in got.iter().zip(&expected) {
+                    match (g, e) {
+                        (Ok(g), Ok(e)) => assert_eq!(**g, **e, "threads={threads}"),
+                        (Err(g), Err(e)) => assert_eq!(g, e),
+                        _ => panic!("Ok/Err mismatch at threads={threads}"),
+                    }
+                }
+                // Two distinct cacheable questions: the error entry is
+                // never stored and the duplicate collapses onto its key.
+                assert_eq!(session.stats().cached_contrasts, 2, "dedup on store");
+                // A rerun of the same batch is all cache hits: values
+                // unchanged, and the duplicate now shares the single
+                // stored entry.
+                let again = session.contrast_batch_with(&exec, &questions, kind);
+                for (g, a) in got.iter().zip(&again) {
+                    if let (Ok(g), Ok(a)) = (g, a) {
+                        assert_eq!(**g, **a, "rerun should agree");
+                    }
+                }
+                if let (Ok(first), Ok(last)) = (&again[0], &again[3]) {
+                    assert!(Arc::ptr_eq(first, last), "warm duplicate shares the Arc");
+                }
+            }
+        }
+    }
+
+    /// The bitset-backed session ontology difference ≡ the free
+    /// function's direct extension scan.
+    #[test]
+    fn contrast_ontology_difference_matches_free_function() {
+        let (o, schema, inst, tc) = fixture();
+        let session = WhyNotSession::new(&o, &schema, &inst);
+        let q = contrast_pair(tc);
+        let via_session = session.contrast_ontology_difference(&q).unwrap();
+        let free = crate::contrast::ontology_difference(&o, &inst, &q.missing, &q.foil);
+        assert_eq!(via_session, free);
+        // Position 1 separates Rome from New York: European-City is the
+        // unique maximal named separator.
+        assert_eq!(via_session[1].len(), 1);
+        assert_eq!(format!("{}", via_session[1][0]), "European-City");
+    }
+
+    /// Any effective delta drops the whole contrast cache (maximality
+    /// is certified against the full column set); a no-op keeps it.
+    #[test]
+    fn delta_drops_contrast_cache() {
+        let (o, schema, inst, tc) = fixture();
+        let mut session = WhyNotSession::new(&o, &schema, &inst);
+        let q = contrast_pair(tc);
+        let before = session.contrast(&q, LubKind::SelectionFree).unwrap();
+        assert_eq!(session.stats().cached_contrasts, 1);
+
+        // A no-op delta (deleting an absent fact) retains everything.
+        let mut noop = Delta::new();
+        noop.delete(tc, vec![s("Rome"), s("Tokyo")]);
+        let stats = session.apply_delta(&noop).unwrap();
+        assert_eq!(stats.contrast_dropped, 0);
+        let hit = session.contrast(&q, LubKind::SelectionFree).unwrap();
+        assert!(Arc::ptr_eq(&before, &hit), "no-op delta keeps the cache");
+
+        // An effective delta drops the cache and changes the answer:
+        // Rome–Tokyo opens a second Amsterdam two-hop target.
+        let mut delta = Delta::new();
+        delta.insert(tc, vec![s("Rome"), s("Tokyo")]);
+        let stats = session.apply_delta(&delta).unwrap();
+        assert_eq!(stats.contrast_dropped, 1);
+        assert_eq!(session.stats().cached_contrasts, 0);
+        let after = session.contrast(&q, LubKind::SelectionFree).unwrap();
+        let fresh_inst = session.instance().clone();
+        let fresh =
+            crate::contrast::contrast_instance(&schema, &fresh_inst, &q, LubKind::SelectionFree)
+                .unwrap();
+        assert_eq!(*after, fresh, "recompute sees the new instance");
+    }
+
+    /// The contrast cache obeys its budget: LRU eviction past the cap,
+    /// counted, and budget 0 disables caching entirely.
+    #[test]
+    fn contrast_cache_honours_budget() {
+        let (o, schema, inst, tc) = fixture();
+        let mut session = WhyNotSession::new(&o, &schema, &inst);
+        session.set_cache_budget(CacheBudget {
+            contrast: 1,
+            ..CacheBudget::unlimited()
+        });
+        let q = contrast_pair(tc);
+        session.contrast(&q, LubKind::SelectionFree).unwrap();
+        session.contrast(&q, LubKind::WithSelections).unwrap();
+        assert_eq!(session.stats().cached_contrasts, 1);
+        assert_eq!(session.evictions().contrast, 1);
+        session.set_cache_budget(CacheBudget {
+            contrast: 0,
+            ..CacheBudget::unlimited()
+        });
+        assert_eq!(session.stats().cached_contrasts, 0);
+        let a = session.contrast(&q, LubKind::SelectionFree).unwrap();
+        let b = session.contrast(&q, LubKind::SelectionFree).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "budget 0 disables the cache");
+        assert_eq!(a, b, "…but answers stay equal");
     }
 }

@@ -107,6 +107,31 @@ fn run(w: &MutationWorkload, steps: &[MutationStep], exact: bool) -> Result<(), 
                     }
                 }
 
+                // Contrast: foil the first current answer (when one
+                // exists) and compare the full contrastive answer plus
+                // the named ontology difference — this is what pins the
+                // drop-all contrast invalidation as *correct*, not just
+                // conservative.
+                let ans = q.query.eval(&materialized);
+                if let Some(foil) = ans.iter().next().cloned() {
+                    let cq =
+                        whynot_core::ContrastQuestion::new(q.query.clone(), q.tuple.clone(), foil);
+                    for kind in [LubKind::SelectionFree, LubKind::WithSelections] {
+                        diff(
+                            i,
+                            &format!("contrast({kind:?})"),
+                            &live.contrast(&cq, kind),
+                            &fresh.contrast(&cq, kind),
+                        )?;
+                    }
+                    diff(
+                        i,
+                        "contrast_ontology_difference",
+                        &live.contrast_ontology_difference(&cq),
+                        &fresh.contrast_ontology_difference(&cq),
+                    )?;
+                }
+
                 diff(
                     i,
                     "card_maximal_greedy",

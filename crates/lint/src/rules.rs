@@ -12,12 +12,14 @@ use crate::lexer::{Token, TokenKind};
 /// The crates whose library code must stay panic-free: anything
 /// reachable from `WhyNotSession` returns `SessionError` instead, and
 /// a server that dies on bad client input is a denial of service.
-const PANIC_FREE_CRATES: [&str; 5] = ["relation", "concepts", "core", "dllite", "server"];
+const PANIC_FREE_CRATES: [&str; 6] = [
+    "relation", "concepts", "core", "dllite", "contrast", "server",
+];
 
 /// The crates that produce user-visible results (answer sets,
 /// explanations, MGEs, wire responses) and therefore must iterate
 /// deterministically.
-const DETERMINISTIC_CRATES: [&str; 8] = [
+const DETERMINISTIC_CRATES: [&str; 9] = [
     "relation",
     "concepts",
     "core",
@@ -25,15 +27,17 @@ const DETERMINISTIC_CRATES: [&str; 8] = [
     "subsumption",
     "scenarios",
     "parallel",
+    "contrast",
     "server",
 ];
 
 /// Every `WHYNOT_*` environment variable the workspace is allowed to
 /// read. Adding a knob means adding it here **and** documenting it in
 /// the README — the `env-var-registry` rule cross-checks both.
-pub const ENV_REGISTRY: [&str; 7] = [
+pub const ENV_REGISTRY: [&str; 8] = [
     "WHYNOT_THREADS",
     "WHYNOT_SPARSE_THRESHOLD",
+    "WHYNOT_CONTRAST_PAR_THRESHOLD",
     "WHYNOT_SERVER_THREADS",
     "WHYNOT_SERVER_QUEUE_DEPTH",
     "WHYNOT_SERVER_CACHE_BUDGET",

@@ -1,0 +1,263 @@
+//! Contrast-pair workload generators: seeded streams of "why is `ā`
+//! missing while `b̄` answers?" questions over the city-network and
+//! retail scenarios, plus an OBDA workload that scales the paper's
+//! Figure 4 specification with extra cities. These are the inputs of
+//! the `whynot-bench` `contrast` bench and the differential tests —
+//! everything is deterministic given the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use whynot_core::{ContrastQuestion, ExplicitOntology};
+use whynot_dllite::{AtomicRole, ObdaSpec, OntAtom, OntCq};
+use whynot_relation::{Instance, Schema, Term, Tuple, Ucq, Value, Var};
+
+use crate::generators::city_network;
+use crate::paper::{data_schema, figure_2_base, figure_4_mappings, figure_4_tbox};
+use crate::retail::retail_scenario;
+
+/// One scenario's contrast-question stream: a shared
+/// `(ontology, schema, instance, query)` plus sampled `(missing, foil)`
+/// pairs — every foil answers the query, no missing tuple does.
+pub struct ContrastWorkload {
+    /// The external ontology (for the named ontology-level difference).
+    pub ontology: ExplicitOntology,
+    /// The schema all questions share.
+    pub schema: Schema,
+    /// The instance all questions are judged against.
+    pub instance: Instance,
+    /// The query under contrast.
+    pub query: Ucq,
+    /// The sampled contrast questions, foils cycling over the answers.
+    pub questions: Vec<ContrastQuestion>,
+}
+
+/// Samples `n_pairs` contrast questions: foils uniformly from the
+/// answer set, missing tuples uniformly from `adom^arity \ Ans`.
+fn sample_pairs(
+    query: &Ucq,
+    instance: &Instance,
+    n_pairs: usize,
+    rng: &mut StdRng,
+) -> Vec<ContrastQuestion> {
+    let ans = query.eval(instance);
+    assert!(!ans.is_empty(), "workload query must have answers to foil");
+    let answers: Vec<Tuple> = ans.iter().cloned().collect();
+    let arity = answers[0].len();
+    let adom: Vec<Value> = instance.active_domain().into_iter().collect();
+    let mut out = Vec::new();
+    let mut attempts = 0usize;
+    while out.len() < n_pairs && attempts < n_pairs * 64 {
+        attempts += 1;
+        let foil = answers[rng.gen_range(0..answers.len())].clone();
+        let missing: Tuple = (0..arity)
+            .map(|_| adom[rng.gen_range(0..adom.len())].clone())
+            .collect();
+        if !ans.contains(&missing) {
+            out.push(ContrastQuestion::new(query.clone(), missing, foil));
+        }
+    }
+    assert!(!out.is_empty(), "no non-answer tuple found in adom^arity");
+    out
+}
+
+/// Contrast pairs over a [`city_network`]: "why is this cross-pair not
+/// two-hop connected while that one is?" — the contrast bench's main
+/// workload.
+pub fn city_contrast_workload(
+    n: usize,
+    regions: usize,
+    n_pairs: usize,
+    seed: u64,
+) -> ContrastWorkload {
+    let net = city_network(n, regions, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00c0_47a5);
+    let schema = net.why_not.schema.clone();
+    let instance = net.why_not.instance.clone();
+    let query = net.why_not.query.clone();
+    let questions = sample_pairs(&query, &instance, n_pairs, &mut rng);
+    ContrastWorkload {
+        ontology: net.ontology,
+        schema,
+        instance,
+        query,
+        questions,
+    }
+}
+
+/// Contrast pairs over a [`retail_scenario`]: "why is this
+/// product–store pair not stocked while that one is?".
+pub fn retail_contrast_workload(
+    n_products: usize,
+    n_stores: usize,
+    categories: usize,
+    regions: usize,
+    n_pairs: usize,
+    seed: u64,
+) -> ContrastWorkload {
+    let sc = retail_scenario(n_products, n_stores, categories, regions, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x007e_7a11);
+    let schema = sc.why_not.schema.clone();
+    let instance = sc.why_not.instance.clone();
+    let query = sc.why_not.query.clone();
+    let questions = sample_pairs(&query, &instance, n_pairs, &mut rng);
+    ContrastWorkload {
+        ontology: sc.ontology,
+        schema,
+        instance,
+        query,
+        questions,
+    }
+}
+
+/// An OBDA contrast workload: the paper's Figure 4 specification over a
+/// Figure 2 base scaled with extra cities, and contrast pairs judged
+/// against **certain-answer** semantics.
+pub struct ObdaContrastWorkload {
+    /// The DL-LiteR TBox and GAV mappings (Figure 4).
+    pub spec: ObdaSpec,
+    /// The data schema (`Cities`, `Train-Connections`).
+    pub schema: Schema,
+    /// The scaled, consistent base instance.
+    pub instance: Instance,
+    /// The ontology-level query: `q(x, y) ← connected(x, y)`.
+    pub query: OntCq,
+    /// The query's PerfectRef rewriting unfolded through the mappings —
+    /// its evaluation is the certain answer set.
+    pub rewritten: Ucq,
+    /// `(missing, foil)` pairs: every foil is a certain answer, no
+    /// missing tuple is.
+    pub pairs: Vec<(Tuple, Tuple)>,
+}
+
+/// Builds an [`ObdaContrastWorkload`] with `extra` generated cities,
+/// each placed on exactly one continent (so the TBox's continent
+/// disjointness keeps the instance consistent) and wired into the train
+/// network within its continent.
+pub fn obda_contrast_workload(extra: usize, n_pairs: usize, seed: u64) -> ObdaContrastWorkload {
+    let (schema, cities, tc) = data_schema();
+    let spec = ObdaSpec::new(figure_4_tbox(), figure_4_mappings(cities, tc));
+    let mut inst = figure_2_base(cities, tc);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Seed cities per continent (from Figure 2) to anchor connections.
+    let mut by_continent: Vec<(&str, Vec<String>)> = vec![
+        (
+            "Europe",
+            vec!["Amsterdam".into(), "Berlin".into(), "Rome".into()],
+        ),
+        (
+            "N.America",
+            vec![
+                "New York".into(),
+                "San Francisco".into(),
+                "Santa Cruz".into(),
+            ],
+        ),
+        ("Asia", vec!["Tokyo".into(), "Kyoto".into()]),
+    ];
+    for i in 0..extra {
+        let slot = rng.gen_range(0..by_continent.len());
+        let name = format!("GenCity{i:03}");
+        let (continent, members) = &mut by_continent[slot];
+        inst.insert(
+            cities,
+            vec![
+                Value::str(name.as_str()),
+                Value::int(10_000 + rng.gen_range(0..1_000_000i64)),
+                Value::str("Genland"),
+                Value::str(*continent),
+            ],
+        );
+        // One intra-continent connection, random direction.
+        let peer = members[rng.gen_range(0..members.len())].clone();
+        let (from, to) = if rng.gen_bool(0.5) {
+            (name.clone(), peer)
+        } else {
+            (peer, name.clone())
+        };
+        inst.insert(tc, vec![Value::str(from), Value::str(to)]);
+        members.push(name);
+    }
+    assert!(spec.is_consistent(&inst), "one continent per city");
+
+    let query = OntCq::new(
+        [Term::Var(Var(0)), Term::Var(Var(1))],
+        [OntAtom::Role(
+            AtomicRole::new("connected"),
+            Term::Var(Var(0)),
+            Term::Var(Var(1)),
+        )],
+    );
+    let rewritten = spec
+        .rewrite_to_relational(&schema, &query)
+        .expect("Figure 4 rewrites");
+    let certain = rewritten.eval(&inst);
+    assert!(!certain.is_empty(), "the train network certainly connects");
+    let answers: Vec<Tuple> = certain.iter().cloned().collect();
+    let names: Vec<String> = by_continent
+        .iter()
+        .flat_map(|(_, m)| m.iter().cloned())
+        .collect();
+    let mut pairs = Vec::new();
+    let mut attempts = 0usize;
+    while pairs.len() < n_pairs && attempts < n_pairs * 64 {
+        attempts += 1;
+        let foil = answers[rng.gen_range(0..answers.len())].clone();
+        let missing = vec![
+            Value::str(names[rng.gen_range(0..names.len())].as_str()),
+            Value::str(names[rng.gen_range(0..names.len())].as_str()),
+        ];
+        if !certain.contains(&missing) {
+            pairs.push((missing, foil));
+        }
+    }
+    assert!(!pairs.is_empty(), "no uncertain pair found");
+    ObdaContrastWorkload {
+        spec,
+        schema,
+        instance: inst,
+        query,
+        rewritten,
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contrast_workloads_are_valid_and_deterministic() {
+        for w in [
+            city_contrast_workload(18, 3, 12, 5),
+            retail_contrast_workload(12, 9, 3, 3, 12, 5),
+        ] {
+            assert_eq!(w.questions.len(), 12);
+            let ans = w.query.eval(&w.instance);
+            for q in &w.questions {
+                assert!(ans.contains(&q.foil), "every foil answers");
+                assert!(!ans.contains(&q.missing), "no missing tuple answers");
+                assert_eq!(q.missing.len(), q.foil.len());
+            }
+        }
+        let a = city_contrast_workload(18, 3, 12, 5);
+        let b = city_contrast_workload(18, 3, 12, 5);
+        assert_eq!(a.questions, b.questions);
+        assert_eq!(a.instance, b.instance);
+    }
+
+    #[test]
+    fn obda_workload_is_consistent_and_certain() {
+        let w = obda_contrast_workload(10, 8, 3);
+        assert!(w.spec.is_consistent(&w.instance));
+        let certain = w.rewritten.eval(&w.instance);
+        assert_eq!(w.pairs.len(), 8);
+        for (missing, foil) in &w.pairs {
+            assert!(certain.contains(foil));
+            assert!(!certain.contains(missing));
+        }
+        let again = obda_contrast_workload(10, 8, 3);
+        assert_eq!(w.pairs, again.pairs);
+        assert_eq!(w.instance, again.instance);
+    }
+}

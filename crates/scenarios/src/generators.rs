@@ -822,6 +822,104 @@ pub fn random_instance(schema: &Schema, rows: usize, domain: i64, seed: u64) -> 
     inst
 }
 
+/// A random `(schema, ontology, instance, query)` scenario for the
+/// contrast fuzz harness. The instance is carried as a **fact list** so
+/// a failing case shrinks structurally — remove facts one at a time,
+/// rebuild via [`RandomScenario::instance_of`], re-check — which the
+/// vendored proptest cannot do on its own.
+pub struct RandomScenario {
+    /// Two relations: binary `R(a, b)` and unary `S(x)`.
+    pub schema: Schema,
+    /// A random concept hierarchy over the same `e{i}` constants.
+    pub ontology: ExplicitOntology,
+    /// The binary relation.
+    pub r: RelId,
+    /// The unary relation.
+    pub s: RelId,
+    /// The instance, fact by fact (sorted, deduplicated).
+    pub facts: Vec<(RelId, Vec<Value>)>,
+    /// A random binary query: one `R` atom, a two-hop `R` join, or an
+    /// `R ⋈ S` semijoin.
+    pub query: Ucq,
+}
+
+impl RandomScenario {
+    /// Materializes a fact subset — the shrinker's rebuild hook.
+    pub fn instance_of(&self, facts: &[(RelId, Vec<Value>)]) -> Instance {
+        let mut inst = Instance::new();
+        for (rel, tuple) in facts {
+            inst.insert(*rel, tuple.clone());
+        }
+        inst
+    }
+
+    /// The full instance.
+    pub fn instance(&self) -> Instance {
+        self.instance_of(&self.facts)
+    }
+}
+
+/// Builds a [`RandomScenario`]: 4–7 constants, 3–10 binary facts, 0–3
+/// unary facts, one of three query shapes, and a [`random_ontology`]
+/// hierarchy — everything derived from the one seed.
+pub fn random_scenario(seed: u64) -> RandomScenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let elem = |i: usize| format!("e{i}");
+    let domain = 4 + rng.gen_range(0..4usize);
+    let mut b = SchemaBuilder::new();
+    let r = b.relation("R", ["a", "b"]);
+    let s = b.relation("S", ["x"]);
+    let schema = b.finish().expect("well-formed");
+    let mut facts: Vec<(RelId, Vec<Value>)> = Vec::new();
+    for _ in 0..(3 + rng.gen_range(0..8)) {
+        facts.push((
+            r,
+            vec![
+                Value::str(elem(rng.gen_range(0..domain))),
+                Value::str(elem(rng.gen_range(0..domain))),
+            ],
+        ));
+    }
+    for _ in 0..rng.gen_range(0..4) {
+        facts.push((s, vec![Value::str(elem(rng.gen_range(0..domain)))]));
+    }
+    facts.sort();
+    facts.dedup();
+    let ontology = random_ontology(3, 2, domain, seed ^ 0x9e37_79b9);
+    let (x, y, z) = (Var(0), Var(1), Var(2));
+    let query = match rng.gen_range(0..3u8) {
+        0 => Ucq::single(Cq::new(
+            [Term::Var(x), Term::Var(y)],
+            [Atom::new(r, [Term::Var(x), Term::Var(y)])],
+            [],
+        )),
+        1 => Ucq::single(Cq::new(
+            [Term::Var(x), Term::Var(y)],
+            [
+                Atom::new(r, [Term::Var(x), Term::Var(z)]),
+                Atom::new(r, [Term::Var(z), Term::Var(y)]),
+            ],
+            [],
+        )),
+        _ => Ucq::single(Cq::new(
+            [Term::Var(x), Term::Var(y)],
+            [
+                Atom::new(r, [Term::Var(x), Term::Var(y)]),
+                Atom::new(s, [Term::Var(x)]),
+            ],
+            [],
+        )),
+    };
+    RandomScenario {
+        schema,
+        ontology,
+        r,
+        s,
+        facts,
+        query,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -960,6 +1058,31 @@ mod tests {
         let b = random_mutation_stream(3, 6, 8, 40, 5);
         assert_eq!(a.steps, b.steps);
         assert_eq!(a.instance, b.instance);
+    }
+
+    #[test]
+    fn random_scenarios_are_deterministic_and_well_formed() {
+        for seed in 0..16 {
+            let sc = random_scenario(seed);
+            let again = random_scenario(seed);
+            assert_eq!(sc.facts, again.facts);
+            assert_eq!(sc.query, again.query);
+            sc.query
+                .validate(&sc.schema)
+                .expect("query fits the schema");
+            let inst = sc.instance();
+            assert_eq!(inst, again.instance());
+            // The fact list and the instance agree fact-by-fact.
+            assert!(sc
+                .facts
+                .iter()
+                .all(|(rel, t)| inst.tuples(*rel).any(|row| row == t)));
+            // Removing any one fact still materializes (the shrinker's
+            // only requirement).
+            if !sc.facts.is_empty() {
+                let _ = sc.instance_of(&sc.facts[1..]);
+            }
+        }
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! * [`generators`] — seeded, reproducible workload generators for the
 //!   benchmark harness (city networks, random ontologies, view stacks,
 //!   constraint suites, random instances).
+//! * [`contrast`] — contrast-pair streams over the city/retail
+//!   scenarios and an OBDA workload under certain-answer semantics,
+//!   for the `contrast` bench and the differential tests.
 //!
 //! The SET COVER hardness family lives in `whynot_core::setcover` (it is
 //! part of the paper's Theorem 5.1(2) construction) and is re-exported
@@ -20,6 +23,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod contrast;
 pub mod generators;
 pub mod paper;
 pub mod retail;

@@ -55,6 +55,7 @@ impl ServerError {
             ServerError::Invalid(_) => "invalid",
             ServerError::Session(SessionError::Invalid(_)) => "invalid",
             ServerError::Session(SessionError::TupleIsAnswer(_)) => "tuple-is-answer",
+            ServerError::Session(SessionError::FoilNotAnswer(_)) => "foil-not-answer",
             ServerError::Session(SessionError::Nullary) => "nullary",
             ServerError::Session(SessionError::EmptySupport) => "empty-support",
             ServerError::NoDurability => "no-durability",

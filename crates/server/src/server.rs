@@ -12,6 +12,7 @@
 //! create <tenant>          … definition lines …          end
 //! ask     <tenant> <algo> | <query rule> | <v1, v2, …>
 //! enqueue <tenant> <algo> | <query rule> | <v1, v2, …>
+//! contrast <tenant> | <query rule> | <a1, a2, …> | <b1, b2, …>
 //! run
 //! mutate  <tenant> | {"ins":[["Rel",…]…],"del":[…]}
 //! stats   <tenant>        snapshot <tenant>     evict <tenant>
@@ -28,6 +29,14 @@
 //! batch through the session's executor-parallel batch entry points —
 //! results are bit-identical to sequential answering at every thread
 //! count, which is what keeps the smoke-test transcript golden.
+//!
+//! **Contrast.** The `contrast`/`contrast-sigma` algorithms answer
+//! "why is `ā` missing while `b̄` answers?" and take a fourth
+//! `| <foil>` segment in `ask`/`enqueue`; the top-level `contrast`
+//! command is sugar for `ask <tenant> contrast | …`. Responses carry
+//! the per-position lub separators (`difference`), the foil-aligned
+//! most-general explanation (`foil_mge`), and the named separators of
+//! the tenant's explicit ontology (`ontology_difference`).
 
 use crate::config::ServerConfig;
 use crate::durable::{valid_tenant_name, Durability};
@@ -36,11 +45,12 @@ use crate::tenant::{intern_definition, TenantCore};
 use std::collections::{BTreeMap, VecDeque};
 use whynot_concepts::{parse_value, LsConcept};
 use whynot_core::{
-    Executor, Explanation, LubKind, Ontology, SessionStats, WhyNotQuestion, WhyNotSession,
+    ContrastAnswer, ContrastQuestion, Executor, Explanation, LubKind, Ontology, SessionStats,
+    WhyNotQuestion, WhyNotSession,
 };
 use whynot_relation::json::{Json, JsonObj};
 use whynot_relation::wire::delta_from_json;
-use whynot_relation::{parse_query, Schema, Value};
+use whynot_relation::{parse_query, Schema, Tuple, Value};
 
 /// The question algorithms the wire exposes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -57,6 +67,11 @@ pub enum Algo {
     CardGreedy,
     /// Exact `>card`-maximal search.
     CardExact,
+    /// Contrastive question (selection-free lubs): difference
+    /// separators plus the foil-aligned MGE.
+    Contrast,
+    /// Contrastive question with selections (`lubσ`).
+    ContrastSigma,
 }
 
 impl Algo {
@@ -68,9 +83,11 @@ impl Algo {
             "incremental-sigma" => Ok(Algo::IncrementalSigma),
             "card-greedy" => Ok(Algo::CardGreedy),
             "card-exact" => Ok(Algo::CardExact),
+            "contrast" => Ok(Algo::Contrast),
+            "contrast-sigma" => Ok(Algo::ContrastSigma),
             other => Err(ServerError::Protocol(format!(
                 "unknown algorithm {other:?} (expected exhaustive|find|incremental|\
-                 incremental-sigma|card-greedy|card-exact)"
+                 incremental-sigma|card-greedy|card-exact|contrast|contrast-sigma)"
             ))),
         }
     }
@@ -83,6 +100,18 @@ impl Algo {
             Algo::IncrementalSigma => "incremental-sigma",
             Algo::CardGreedy => "card-greedy",
             Algo::CardExact => "card-exact",
+            Algo::Contrast => "contrast",
+            Algo::ContrastSigma => "contrast-sigma",
+        }
+    }
+
+    /// The lub kind of a contrast algorithm; `None` for the plain
+    /// why-not ones. Doubles as the "takes a foil segment" predicate.
+    fn contrast_kind(self) -> Option<LubKind> {
+        match self {
+            Algo::Contrast => Some(LubKind::SelectionFree),
+            Algo::ContrastSigma => Some(LubKind::WithSelections),
+            _ => None,
         }
     }
 }
@@ -92,6 +121,9 @@ struct Ticket {
     id: u64,
     algo: Algo,
     question: WhyNotQuestion,
+    /// The foil tuple `b̄` — present exactly for the contrast
+    /// algorithms.
+    foil: Option<Tuple>,
 }
 
 /// One resident tenant: its interned core, its session, its bounded
@@ -195,6 +227,7 @@ impl ServerCore {
                 Vec::new()
             }
             "ask" => vec![respond(self.ask(rest), "ask")],
+            "contrast" => vec![respond(self.contrast_cmd(rest), "contrast")],
             "enqueue" => vec![respond(self.enqueue(rest), "enqueue")],
             "run" => self.run_queues(),
             "mutate" => vec![respond(self.mutate(rest), "mutate")],
@@ -257,11 +290,15 @@ impl ServerCore {
             .ok_or_else(|| ServerError::NoSuchTenant(name.to_string()))
     }
 
-    /// Parses `"<tenant> <algo> | <query> | <missing>"`.
-    fn parse_ask(&self, rest: &str) -> Result<(String, Algo, WhyNotQuestion), ServerError> {
+    /// Parses `"<tenant> <algo> | <query> | <missing>"`, with a fourth
+    /// `| <foil>` segment for the contrast algorithms.
+    fn parse_ask(
+        &self,
+        rest: &str,
+    ) -> Result<(String, Algo, WhyNotQuestion, Option<Tuple>), ServerError> {
         let mut parts = rest.splitn(3, '|');
         let head = parts.next().unwrap_or("").trim();
-        let (query_text, missing_text) = match (parts.next(), parts.next()) {
+        let (query_text, tail) = match (parts.next(), parts.next()) {
             (Some(q), Some(m)) => (q.trim(), m.trim()),
             _ => {
                 return Err(ServerError::Protocol(
@@ -274,6 +311,17 @@ impl ServerCore {
         })?;
         let tenant = tenant.trim().to_string();
         let algo = Algo::parse(algo_token.trim())?;
+        let (missing_text, foil) = if algo.contrast_kind().is_some() {
+            let (m, f) = tail.split_once('|').ok_or_else(|| {
+                ServerError::Protocol(
+                    "contrast expects `| <missing values> | <foil values>`".into(),
+                )
+            })?;
+            let foil: Tuple = f.trim().split(',').map(parse_value).collect();
+            (m.trim(), Some(foil))
+        } else {
+            (tail, None)
+        };
         let schema = self
             .tenants
             .get(&tenant)
@@ -283,22 +331,37 @@ impl ServerCore {
         let query = parse_query(schema, query_text)
             .map_err(|e| ServerError::Invalid(format!("query: {e}")))?;
         let missing: Vec<Value> = missing_text.split(',').map(parse_value).collect();
-        Ok((tenant, algo, WhyNotQuestion::new(query, missing)))
+        Ok((tenant, algo, WhyNotQuestion::new(query, missing), foil))
     }
 
     fn ask(&mut self, rest: &str) -> Result<Json, ServerError> {
-        let (tenant_name, algo, question) = self.parse_ask(rest)?;
+        self.ask_as(rest, "ask")
+    }
+
+    fn ask_as(&mut self, rest: &str, command: &str) -> Result<Json, ServerError> {
+        let (tenant_name, algo, question, foil) = self.parse_ask(rest)?;
         let tenant = self.tenant_mut(&tenant_name)?;
-        let payload = answer(&tenant.session, algo, &question)?;
-        let mut obj = ok("ask")
+        let payload = answer(&tenant.session, algo, &question, foil.as_ref())?;
+        let mut obj = ok(command)
             .field("tenant", tenant_name)
             .field("algo", algo.wire_name());
         obj = payload.attach(obj);
         Ok(obj.build())
     }
 
+    /// `contrast <tenant> | <query> | <missing> | <foil>` — sugar for
+    /// `ask <tenant> contrast | …`, answered identically.
+    fn contrast_cmd(&mut self, rest: &str) -> Result<Json, ServerError> {
+        let (tenant, tail) = rest.split_once('|').ok_or_else(|| {
+            ServerError::Protocol(
+                "expected `<tenant> | <query> | <missing values> | <foil values>`".into(),
+            )
+        })?;
+        self.ask_as(&format!("{} contrast |{tail}", tenant.trim()), "contrast")
+    }
+
     fn enqueue(&mut self, rest: &str) -> Result<Json, ServerError> {
-        let (tenant_name, algo, question) = self.parse_ask(rest)?;
+        let (tenant_name, algo, question, foil) = self.parse_ask(rest)?;
         let depth = self.config.queue_depth;
         let ticket = self.next_ticket;
         let tenant = self.tenant_mut(&tenant_name)?;
@@ -313,6 +376,7 @@ impl ServerCore {
             id: ticket,
             algo,
             question,
+            foil,
         });
         let queued = tenant.queue.len();
         self.next_ticket += 1;
@@ -412,6 +476,7 @@ impl ServerCore {
             .field("conflicts", ev.conflicts)
             .field("lubs", ev.lubs)
             .field("ls_extensions", ev.ls_extensions)
+            .field("contrast", ev.contrast)
             .build();
         Ok(ok("stats")
             .field("tenant", name)
@@ -423,6 +488,7 @@ impl ServerCore {
             .field("cached_conflicts", s.cached_conflicts)
             .field("cached_lubs", s.cached_lubs)
             .field("cached_ls_extensions", s.cached_ls_extensions)
+            .field("cached_contrasts", s.cached_contrasts)
             .field("batches", s.batches)
             .field("batch_questions", s.batch_questions)
             .field("cache_evictions", s.cache_evictions)
@@ -545,6 +611,12 @@ enum Payload {
     All(Vec<Json>),
     /// `explanation`: one explanation or `null`.
     One(Option<Json>),
+    /// The three contrastive fields (see the module docs).
+    Contrast {
+        difference: Json,
+        foil_mge: Json,
+        ontology_difference: Json,
+    },
 }
 
 impl Payload {
@@ -553,6 +625,14 @@ impl Payload {
             Payload::All(items) => obj.field("explanations", Json::Arr(items)),
             Payload::One(Some(e)) => obj.field("explanation", e),
             Payload::One(None) => obj.field("explanation", Json::Null),
+            Payload::Contrast {
+                difference,
+                foil_mge,
+                ontology_difference,
+            } => obj
+                .field("difference", difference)
+                .field("foil_mge", foil_mge)
+                .field("ontology_difference", ontology_difference),
         }
     }
 }
@@ -579,11 +659,72 @@ pub fn ls_explanation_to_json(schema: &Schema, e: &Explanation<LsConcept>) -> Js
     )
 }
 
+/// Serializes one contrastive answer, reading the named ontology-level
+/// difference back through the session (cheap — the answer-set bind is
+/// cached per query).
+fn contrast_payload(
+    session: &WhyNotSession<'static, whynot_core::ExplicitOntology>,
+    cq: &ContrastQuestion,
+    answer: &ContrastAnswer,
+) -> Result<Payload, ServerError> {
+    let schema = session.schema();
+    let ontology = session.ontology();
+    let named = session.contrast_ontology_difference(cq)?;
+    let difference = Json::Arr(
+        answer
+            .difference
+            .iter()
+            .map(|c| match c {
+                Some(c) => Json::str(c.display(schema).to_string()),
+                None => Json::Null,
+            })
+            .collect(),
+    );
+    let foil_mge = match &answer.foil_mge {
+        Some(e) => ls_explanation_to_json(schema, e),
+        None => Json::Null,
+    };
+    let ontology_difference = Json::Arr(
+        named
+            .iter()
+            .map(|cs| {
+                Json::Arr(
+                    cs.iter()
+                        .map(|c| Json::str(ontology.concept_name(c)))
+                        .collect(),
+                )
+            })
+            .collect(),
+    );
+    Ok(Payload::Contrast {
+        difference,
+        foil_mge,
+        ontology_difference,
+    })
+}
+
+/// The contrast question of a ticket; an absent foil (unreachable
+/// through the parser) fails validation downstream instead of
+/// panicking here.
+fn contrast_question(q: &WhyNotQuestion, foil: Option<&Tuple>) -> ContrastQuestion {
+    ContrastQuestion::new(
+        q.query.clone(),
+        q.tuple.clone(),
+        foil.cloned().unwrap_or_default(),
+    )
+}
+
 fn answer(
     session: &WhyNotSession<'static, whynot_core::ExplicitOntology>,
     algo: Algo,
     q: &WhyNotQuestion,
+    foil: Option<&Tuple>,
 ) -> Result<Payload, ServerError> {
+    if let Some(kind) = algo.contrast_kind() {
+        let cq = contrast_question(q, foil);
+        let contrast = session.contrast(&cq, kind)?;
+        return contrast_payload(session, &cq, &contrast);
+    }
     let schema = session.schema();
     let ontology = session.ontology();
     Ok(match algo {
@@ -617,6 +758,9 @@ fn answer(
                 .card_maximal_exact(q)?
                 .map(|e| explanation_to_json(ontology, &e)),
         ),
+        // Resolved by the contrast_kind early return above; answering
+        // an empty payload keeps the match exhaustive without a panic.
+        Algo::Contrast | Algo::ContrastSigma => Payload::One(None),
     })
 }
 
@@ -640,6 +784,8 @@ fn run_tenant_batch(
         Algo::IncrementalSigma,
         Algo::CardGreedy,
         Algo::CardExact,
+        Algo::Contrast,
+        Algo::ContrastSigma,
     ] {
         let idxs: Vec<usize> = batch
             .iter()
@@ -686,9 +832,32 @@ fn run_tenant_batch(
                     );
                 }
             }
+            Algo::Contrast | Algo::ContrastSigma if idxs.len() > 1 => {
+                let kind = if algo == Algo::Contrast {
+                    LubKind::SelectionFree
+                } else {
+                    LubKind::WithSelections
+                };
+                let cqs: Vec<ContrastQuestion> = idxs
+                    .iter()
+                    .map(|&i| contrast_question(&batch[i].question, batch[i].foil.as_ref()))
+                    .collect();
+                let answers = tenant.session.contrast_batch_with(exec, &cqs, kind);
+                for ((slot, cq), res) in idxs.iter().zip(&cqs).zip(answers) {
+                    results[*slot] = Some(
+                        res.map_err(ServerError::from)
+                            .and_then(|a| contrast_payload(&tenant.session, cq, &a)),
+                    );
+                }
+            }
             _ => {
                 for &i in &idxs {
-                    results[i] = Some(answer(&tenant.session, algo, &batch[i].question));
+                    results[i] = Some(answer(
+                        &tenant.session,
+                        algo,
+                        &batch[i].question,
+                        batch[i].foil.as_ref(),
+                    ));
                 }
             }
         }
@@ -904,6 +1073,75 @@ mod tests {
             "{}",
             out[0]
         );
+    }
+
+    #[test]
+    fn contrast_ask_sugar_and_errors() {
+        let mut server = boot();
+        // Sugar and the explicit algo form answer identically modulo
+        // the command/algo labels.
+        let long = server.handle_line("ask t1 contrast | q(X) <- City(X, R) | Kyoto | Amsterdam");
+        let short = server.handle_line("contrast t1 | q(X) <- City(X, R) | Kyoto | Amsterdam");
+        let long_doc = Json::parse(&long[0]).unwrap();
+        let short_doc = Json::parse(&short[0]).unwrap();
+        assert_eq!(long_doc.get("command"), Some(&Json::str("ask")));
+        assert_eq!(short_doc.get("command"), Some(&Json::str("contrast")));
+        for field in ["difference", "foil_mge", "ontology_difference"] {
+            assert_eq!(long_doc.get(field), short_doc.get(field), "{field}");
+        }
+        // Europe holds Amsterdam but not Kyoto: the named separator.
+        assert_eq!(
+            long_doc.get("ontology_difference"),
+            Some(&Json::Arr(vec![Json::Arr(vec![Json::str("Europe")])]))
+        );
+        // A foil that is not an answer maps to its own wire kind.
+        let out = server.handle_line("ask t1 contrast | q(X) <- City(X, R) | Kyoto | Paris");
+        assert!(
+            out[0].contains("\"kind\":\"foil-not-answer\""),
+            "{}",
+            out[0]
+        );
+        // A missing foil segment is a protocol error.
+        let out = server.handle_line("ask t1 contrast | q(X) <- City(X, R) | Kyoto");
+        assert!(out[0].contains("\"kind\":\"protocol\""), "{}", out[0]);
+    }
+
+    #[test]
+    fn contrast_batches_are_bit_identical_at_every_thread_count() {
+        let script = [
+            "enqueue t1 contrast | q(X) <- City(X, R) | Kyoto | Amsterdam",
+            "enqueue t1 contrast | q(X) <- City(X, R) | Osaka | Amsterdam",
+            "enqueue t1 contrast-sigma | q(X) <- City(X, R) | Kyoto | Amsterdam",
+            "enqueue t1 contrast | q(X) <- City(X, R) | Kyoto | Paris",
+            "run",
+            "stats t1",
+        ];
+        let mut transcripts = Vec::new();
+        for threads in [1, 2, 4] {
+            let mut server = ServerCore::new(ServerConfig {
+                threads: Some(threads),
+                ..ServerConfig::default()
+            });
+            for line in DEF {
+                server.handle_line(line);
+            }
+            let mut out = Vec::new();
+            for line in script {
+                out.extend(server.handle_line(line));
+            }
+            transcripts.push(out.join("\n"));
+        }
+        assert_eq!(transcripts[0], transcripts[1], "threads 1 vs 2");
+        assert_eq!(transcripts[0], transcripts[2], "threads 1 vs 4");
+        // The batch drain answered the same payloads a direct ask does.
+        let mut direct = boot();
+        let ask = direct.handle_line("ask t1 contrast | q(X) <- City(X, R) | Kyoto | Amsterdam");
+        let ask_doc = Json::parse(&ask[0]).unwrap();
+        // Four enqueue acknowledgements precede the drained results.
+        let first_result = Json::parse(transcripts[0].lines().nth(4).unwrap()).unwrap();
+        for field in ["difference", "foil_mge", "ontology_difference"] {
+            assert_eq!(first_result.get(field), ask_doc.get(field), "{field}");
+        }
     }
 
     #[test]

@@ -32,6 +32,10 @@
 //! * [`parallel`] — the scoped-thread fork/join executor behind the
 //!   parallel search shards (`WHYNOT_THREADS` knob, deterministic result
 //!   order, panic propagation).
+//! * [`contrast`] — contrastive why-not explanations ("why is `a`
+//!   missing while `b` answers?"): difference separators, foil-aligned
+//!   MGEs, the brute-force reference, a standalone parallel batch, and
+//!   the OBDA variant over certain-answer semantics.
 //! * [`scenarios`] — the paper's figures and examples as executable
 //!   scenarios, plus seeded workload generators used by the benches.
 //! * [`server`] — `whynot-server`: a multi-tenant why-not question
@@ -57,6 +61,7 @@
 #![forbid(unsafe_code)]
 
 pub use whynot_concepts as concepts;
+pub use whynot_contrast as contrast;
 pub use whynot_core as core;
 pub use whynot_dllite as dllite;
 pub use whynot_parallel as parallel;
@@ -69,9 +74,10 @@ pub use whynot_subsumption as subsumption;
 pub mod prelude {
     pub use crate::concepts::{LsAtom, LsConcept, Selection};
     pub use crate::core::{
-        exhaustive_search, incremental_search, incremental_search_with_selections, DeltaStats,
-        Explanation, ExplicitOntology, FiniteOntology, InstanceOntology, ObdaOntology, Ontology,
-        SchemaOntology, SessionError, WhyNotInstance, WhyNotQuestion, WhyNotSession,
+        exhaustive_search, incremental_search, incremental_search_with_selections,
+        ContrastQuestion, DeltaStats, Explanation, ExplicitOntology, FiniteOntology,
+        InstanceOntology, ObdaOntology, Ontology, SchemaOntology, SessionError, WhyNotInstance,
+        WhyNotQuestion, WhyNotSession,
     };
     pub use crate::dllite::{BasicConcept, GavMapping, ObdaSpec, Role, TBox, TBoxAxiom};
     pub use crate::relation::{
